@@ -1,0 +1,39 @@
+//! Criterion counterpart of Figure 11: recovery time vs injected error
+//! count (superlinear growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milr_bench::{prepare, NetChoice, Scale};
+use milr_fault::{inject_whole_weight, FaultRng};
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_recovery");
+    group.sample_size(10);
+    let prep = prepare(NetChoice::Mnist, Scale::Reduced, 0xBE7C);
+    let total = prep.model.param_count();
+    for errors in [10usize, 100, 500] {
+        let q = errors as f64 / total as f64;
+        group.bench_with_input(BenchmarkId::from_parameter(errors), &q, |b, &q| {
+            b.iter_batched(
+                || {
+                    let mut model = prep.model.clone();
+                    let mut rng = FaultRng::seed(7);
+                    for layer in model.layers_mut() {
+                        if let Some(p) = layer.params_mut() {
+                            inject_whole_weight(p.data_mut(), q, &mut rng);
+                        }
+                    }
+                    let report = prep.milr.detect(&model).expect("detect");
+                    (model, report)
+                },
+                |(mut model, report)| {
+                    let _ = prep.milr.recover(&mut model, &report);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

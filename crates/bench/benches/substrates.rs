@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the substrates MILR is built on: conv/matmul
+//! forward, LU/QR solving, SECDED and AES-XTS throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use milr_ecc::{Secded, SecdedMemory};
+use milr_linalg::{lstsq, Mat};
+use milr_tensor::{conv2d, ConvSpec, Padding, TensorRng};
+use milr_xts::{EncryptedMemory, XtsCipher};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut rng = TensorRng::new(3);
+
+    let input = rng.uniform_tensor(&[1, 28, 28, 8]);
+    let filters = rng.uniform_tensor(&[3, 3, 8, 16]);
+    let spec = ConvSpec::new(3, 1, Padding::Same).expect("static");
+    c.bench_function("conv2d_28x28x8_to_16", |b| {
+        b.iter(|| conv2d(&input, &filters, &spec).expect("conv"))
+    });
+
+    let a = rng.uniform_tensor(&[128, 128]);
+    let bmat = rng.uniform_tensor(&[128, 128]);
+    c.bench_function("matmul_128", |b| b.iter(|| a.matmul(&bmat).expect("matmul")));
+
+    let sys = Mat::from_fn(96, 96, |i, j| {
+        if i == j {
+            50.0
+        } else {
+            ((i * 31 + j * 7) % 11) as f64 / 11.0
+        }
+    });
+    let rhs: Vec<f64> = (0..96).map(|i| i as f64 * 0.25).collect();
+    c.bench_function("lu_solve_96", |b| b.iter(|| sys.solve(&rhs).expect("solve")));
+    c.bench_function("qr_lstsq_96", |b| b.iter(|| lstsq(&sys, &rhs).expect("lstsq")));
+
+    let weights: Vec<f32> = (0..4096).map(|i| i as f32 * 0.01).collect();
+    c.bench_function("secded_protect_scrub_4096", |b| {
+        b.iter(|| {
+            let mut mem = SecdedMemory::protect(&weights);
+            mem.scrub()
+        })
+    });
+    c.bench_function("secded_encode_word", |b| {
+        b.iter(|| Secded::encode(0xDEAD_BEEF))
+    });
+
+    let cipher = XtsCipher::new(&[7; 16], &[9; 16]);
+    c.bench_function("xts_encrypt_decrypt_4096_weights", |b| {
+        b.iter(|| {
+            let mem = EncryptedMemory::encrypt(&weights, cipher.clone()).expect("encrypt");
+            mem.decrypt_all().expect("decrypt")
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

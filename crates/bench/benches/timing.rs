@@ -1,0 +1,39 @@
+//! Criterion counterpart of Table X: single/batch prediction and MILR
+//! error-identification time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milr_bench::{prepare, NetChoice, Scale};
+use milr_tensor::TensorRng;
+
+fn bench_timing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table10");
+    group.sample_size(10);
+    for net in [NetChoice::Mnist, NetChoice::CifarSmall] {
+        let prep = prepare(net, Scale::Reduced, 0xBE7C);
+        let mut single_dims = vec![1usize];
+        single_dims.extend_from_slice(prep.model.input_shape());
+        let single = TensorRng::new(1).uniform_tensor(&single_dims);
+        group.bench_with_input(
+            BenchmarkId::new("single_prediction", prep.label.clone()),
+            &prep,
+            |b, p| b.iter(|| p.model.forward(&single).expect("forward")),
+        );
+        let mut batch_dims = vec![64usize];
+        batch_dims.extend_from_slice(prep.model.input_shape());
+        let batch = TensorRng::new(2).uniform_tensor(&batch_dims);
+        group.bench_with_input(
+            BenchmarkId::new("batch64_prediction", prep.label.clone()),
+            &prep,
+            |b, p| b.iter(|| p.model.forward(&batch).expect("forward")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("identification", prep.label.clone()),
+            &prep,
+            |b, p| b.iter(|| p.milr.detect(&p.model).expect("detect")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timing);
+criterion_main!(benches);

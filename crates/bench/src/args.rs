@@ -1,0 +1,114 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+
+use crate::{NetChoice, Scale};
+
+/// Parsed experiment options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Which network family to evaluate.
+    pub net: NetChoice,
+    /// Reduced-scale twin (default) or verbatim paper architecture.
+    pub scale: Scale,
+    /// Injection trials per point (the paper uses 40).
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            net: NetChoice::Mnist,
+            scale: Scale::Reduced,
+            trials: 10,
+            seed: 0xBE7C,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args`-style arguments.
+    ///
+    /// Supported flags: `--net mnist|cifar-small|cifar-large`,
+    /// `--paper-scale`, `--trials N`, `--seed N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or malformed
+    /// values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--net" => {
+                    let v = iter.next().ok_or("--net needs a value")?;
+                    out.net = match v.as_str() {
+                        "mnist" => NetChoice::Mnist,
+                        "cifar-small" => NetChoice::CifarSmall,
+                        "cifar-large" => NetChoice::CifarLarge,
+                        other => return Err(format!("unknown net {other}")),
+                    };
+                }
+                "--paper-scale" => out.scale = Scale::Paper,
+                "--trials" => {
+                    let v = iter.next().ok_or("--trials needs a value")?;
+                    out.trials = v.parse().map_err(|e| format!("bad --trials: {e}"))?;
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    out.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: [--net mnist|cifar-small|cifar-large] [--paper-scale] [--trials N] [--seed N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<Args, String> {
+        Args::parse(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, Args::default());
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&["--net", "cifar-large", "--paper-scale", "--trials", "40", "--seed", "7"])
+            .unwrap();
+        assert_eq!(a.net, NetChoice::CifarLarge);
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.trials, 40);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--net", "alexnet"]).is_err());
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "many"]).is_err());
+    }
+}

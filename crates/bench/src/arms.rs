@@ -1,0 +1,273 @@
+//! Injection-and-recovery arms: the four protection configurations the
+//! paper compares (no recovery, ECC, MILR, ECC + MILR), applied to one
+//! trial each.
+
+use crate::nets::PreparedNet;
+use milr_core::RecoveryOutcome;
+use milr_ecc::SecdedMemory;
+use milr_fault::{corrupt_layer, inject_rber, inject_secded_rber, inject_whole_weight, FaultRng};
+use milr_nn::Sequential;
+
+/// Protection arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arm {
+    /// Raw injection, no recovery (panel (a) of Figures 5/7/9).
+    None,
+    /// Per-word SECDED in DRAM: inject into code words, scrub (panel
+    /// (b)).
+    Ecc,
+    /// MILR detection + recovery on plaintext weights (panel (c)).
+    Milr,
+    /// ECC scrub first, MILR on the residual multi-bit errors (panel
+    /// (d)).
+    EccMilr,
+}
+
+impl Arm {
+    /// Panel label used in report headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Arm::None => "No recovery",
+            Arm::Ecc => "ECC",
+            Arm::Milr => "MILR",
+            Arm::EccMilr => "ECC + MILR",
+        }
+    }
+}
+
+/// Outcome of one injection trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// Absolute post-trial accuracy on the held-out set.
+    pub accuracy: f64,
+    /// Accuracy normalized to the error-free network (the paper's
+    /// y-axis).
+    pub normalized: f64,
+    /// Layers MILR flagged (0 for arms without MILR).
+    pub flagged_layers: usize,
+}
+
+fn accuracy_of(prep: &PreparedNet, model: &Sequential) -> (f64, f64) {
+    let accuracy = model
+        .accuracy(&prep.test.images, &prep.test.labels)
+        .unwrap_or(0.0);
+    let normalized = if prep.clean_accuracy > 0.0 {
+        accuracy / prep.clean_accuracy
+    } else {
+        0.0
+    };
+    (accuracy, normalized)
+}
+
+fn inject_raw(model: &mut Sequential, rber: f64, rng: &mut FaultRng) {
+    for layer in model.layers_mut() {
+        if let Some(p) = layer.params_mut() {
+            inject_rber(p.data_mut(), rber, rng);
+        }
+    }
+}
+
+/// Injects at `rber` into ECC code words per layer, scrubs like a memory
+/// controller, and writes the decoded weights back.
+fn inject_through_ecc(model: &mut Sequential, rber: f64, rng: &mut FaultRng) {
+    for layer in model.layers_mut() {
+        if let Some(p) = layer.params_mut() {
+            let mut mem = SecdedMemory::protect(p.data());
+            inject_secded_rber(&mut mem, rber, rng);
+            let (decoded, _report) = mem.scrub();
+            p.data_mut().copy_from_slice(&decoded);
+        }
+    }
+}
+
+/// One random-bit-flip trial (experiment 1, Figures 5/7/9).
+pub fn run_rber_trial(prep: &PreparedNet, arm: Arm, rber: f64, seed: u64) -> TrialResult {
+    let mut model = prep.model.clone();
+    let mut rng = FaultRng::seed(seed);
+    let mut flagged_layers = 0usize;
+    match arm {
+        Arm::None => inject_raw(&mut model, rber, &mut rng),
+        Arm::Ecc => inject_through_ecc(&mut model, rber, &mut rng),
+        Arm::Milr => {
+            inject_raw(&mut model, rber, &mut rng);
+            if let Ok(report) = prep.milr.detect(&model) {
+                flagged_layers = report.flagged.len();
+                let _ = prep.milr.recover(&mut model, &report);
+            }
+        }
+        Arm::EccMilr => {
+            inject_through_ecc(&mut model, rber, &mut rng);
+            if let Ok(report) = prep.milr.detect(&model) {
+                flagged_layers = report.flagged.len();
+                let _ = prep.milr.recover(&mut model, &report);
+            }
+        }
+    }
+    let (accuracy, normalized) = accuracy_of(prep, &model);
+    TrialResult {
+        accuracy,
+        normalized,
+        flagged_layers,
+    }
+}
+
+/// One whole-weight-error trial (experiment 2, Figures 6/8/10). Only the
+/// `None` and `Milr` arms are meaningful: "ECC and ECC + MILR were not
+/// tested with this scheme as ECC can only correct 1 bit errors and all
+/// errors injected would be 32 bit errors" (§V-B).
+pub fn run_whole_weight_trial(prep: &PreparedNet, arm: Arm, q: f64, seed: u64) -> TrialResult {
+    let mut model = prep.model.clone();
+    let mut rng = FaultRng::seed(seed);
+    let mut flagged_layers = 0usize;
+    for layer in model.layers_mut() {
+        if let Some(p) = layer.params_mut() {
+            inject_whole_weight(p.data_mut(), q, &mut rng);
+        }
+    }
+    if arm == Arm::Milr {
+        if let Ok(report) = prep.milr.detect(&model) {
+            flagged_layers = report.flagged.len();
+            let _ = prep.milr.recover(&mut model, &report);
+        }
+    }
+    let (accuracy, normalized) = accuracy_of(prep, &model);
+    TrialResult {
+        accuracy,
+        normalized,
+        flagged_layers,
+    }
+}
+
+/// One row of the whole-layer-corruption tables (IV/VI/VIII).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCorruptionRow {
+    /// Layer index in the model.
+    pub index: usize,
+    /// Layer kind ("Conv2D", "Bias", "Dense").
+    pub kind: String,
+    /// Normalized accuracy with the corrupted layer left in place.
+    pub none_normalized: f64,
+    /// Normalized accuracy after MILR recovery.
+    pub milr_normalized: f64,
+    /// True when recovery was the approximate least-squares path (the
+    /// paper's "N/A — convolution partial recoverable" marker).
+    pub partial_marker: bool,
+}
+
+/// Experiment 3: corrupts every parameterized layer in turn, measuring
+/// accuracy without and with MILR recovery (Tables IV/VI/VIII).
+pub fn run_layer_corruption(prep: &PreparedNet, seed: u64) -> Vec<LayerCorruptionRow> {
+    let mut rows = Vec::new();
+    for (i, layer) in prep.model.layers().iter().enumerate() {
+        if layer.param_count() == 0 {
+            continue;
+        }
+        let mut model = prep.model.clone();
+        let mut rng = FaultRng::seed(seed ^ (i as u64) << 8);
+        corrupt_layer(
+            model.layers_mut()[i].params_mut().expect("param layer").data_mut(),
+            &mut rng,
+        );
+        let (_, none_normalized) = accuracy_of(prep, &model);
+        let rec = prep
+            .milr
+            .recover_layers(&mut model, &[i])
+            .expect("structure matches");
+        let partial_marker = rec
+            .outcomes
+            .iter()
+            .any(|(_, o)| matches!(o, RecoveryOutcome::MinNorm { .. }));
+        let (_, milr_normalized) = accuracy_of(prep, &model);
+        rows.push(LayerCorruptionRow {
+            index: i,
+            kind: layer.kind_name().to_string(),
+            none_normalized,
+            milr_normalized,
+            partial_marker,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nets::{prepare, NetChoice, Scale};
+
+    fn prep() -> PreparedNet {
+        prepare(NetChoice::Mnist, Scale::Reduced, 11)
+    }
+
+    #[test]
+    fn zero_rate_trials_are_clean() {
+        let p = prep();
+        for arm in [Arm::None, Arm::Ecc, Arm::Milr, Arm::EccMilr] {
+            let r = run_rber_trial(&p, arm, 0.0, 1);
+            assert!(
+                (r.normalized - 1.0).abs() < 1e-9,
+                "{:?}: {r:?}",
+                arm.label()
+            );
+        }
+    }
+
+    #[test]
+    fn milr_beats_none_at_high_rate() {
+        // 5e-4 on the reduced net is where the paper-shape gap is
+        // widest: the unprotected network collapses while MILR still
+        // recovers most trials (cf. Figure 5 panels a/c).
+        let p = prep();
+        let mut none_sum = 0.0;
+        let mut milr_sum = 0.0;
+        for t in 0..5 {
+            none_sum += run_rber_trial(&p, Arm::None, 5e-4, t).normalized;
+            milr_sum += run_rber_trial(&p, Arm::Milr, 5e-4, t).normalized;
+        }
+        assert!(
+            milr_sum > none_sum,
+            "MILR {milr_sum} not better than none {none_sum}"
+        );
+    }
+
+    #[test]
+    fn ecc_corrects_everything_at_low_rate() {
+        let p = prep();
+        let r = run_rber_trial(&p, Arm::Ecc, 1e-5, 3);
+        assert!((r.normalized - 1.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn whole_weight_milr_recovers() {
+        let p = prep();
+        let none = run_whole_weight_trial(&p, Arm::None, 5e-3, 4);
+        let milr = run_whole_weight_trial(&p, Arm::Milr, 5e-3, 4);
+        assert!(milr.normalized >= none.normalized, "{milr:?} vs {none:?}");
+        assert!(milr.flagged_layers > 0);
+    }
+
+    #[test]
+    fn layer_corruption_rows_cover_param_layers() {
+        let p = prep();
+        let rows = run_layer_corruption(&p, 5);
+        let param_layers = p
+            .model
+            .layers()
+            .iter()
+            .filter(|l| l.param_count() > 0)
+            .count();
+        assert_eq!(rows.len(), param_layers);
+        // Fully-recoverable layers restore ~100% normalized accuracy.
+        for row in &rows {
+            if !row.partial_marker {
+                assert!(
+                    row.milr_normalized > 0.95,
+                    "layer {} ({}) only {}",
+                    row.index,
+                    row.kind,
+                    row.milr_normalized
+                );
+            }
+            assert!(row.milr_normalized + 1e-9 >= row.none_normalized * 0.5);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation: 2-D CRC group width — localization precision (false
+//! positives) vs metadata storage. The paper fixes the group at 4
+//! parameters (§IV-B-c); this sweep shows why that is a sweet spot.
+//!
+//! ```text
+//! cargo run --release -p milr-bench --bin ablation_crc
+//! ```
+
+use milr_bench::Args;
+use milr_ecc::Crc2d;
+use milr_fault::FaultRng;
+
+fn main() {
+    let args = Args::from_env();
+    let (rows, cols) = (32usize, 64usize); // a (Z, Y) filter slice
+    let grid: Vec<f32> = (0..rows * cols).map(|i| (i as f32).sin()).collect();
+    println!("# Ablation — 2-D CRC group width on a {rows}x{cols} parameter slice");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "group", "codes(B)", "errors", "flagged", "false+"
+    );
+    for group in [2usize, 4, 8, 16] {
+        let cfg = Crc2d::with_group(rows, cols, group);
+        let codes = cfg.encode(&grid);
+        let mut rng = FaultRng::seed(args.seed);
+        for n_err in [1usize, 4, 16, 64] {
+            let mut bad = grid.clone();
+            let mut truth = std::collections::HashSet::new();
+            while truth.len() < n_err {
+                let r = rng.below(rows);
+                let c = rng.below(cols);
+                if truth.insert((r, c)) {
+                    bad[r * cols + c] += 1.0;
+                }
+            }
+            let flagged = codes.locate_errors(&bad);
+            let false_pos = flagged
+                .iter()
+                .filter(|cell| !truth.contains(cell))
+                .count();
+            println!(
+                "{:>6} {:>10} {:>10} {:>12} {:>12}",
+                group,
+                codes.storage_bytes(),
+                n_err,
+                flagged.len(),
+                false_pos
+            );
+        }
+    }
+}

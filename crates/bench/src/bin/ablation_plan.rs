@@ -1,0 +1,45 @@
+//! Ablation: the initialization-phase planning decisions — checkpoint
+//! placement, dummy-data choices and the checkpoint-vs-dummy cost
+//! comparison the paper describes in §III.
+//!
+//! ```text
+//! cargo run --release -p milr-bench --bin ablation_plan -- --net mnist
+//! ```
+
+use milr_bench::{prepare, Args};
+
+fn main() {
+    let args = Args::from_env();
+    let prep = prepare(args.net, args.scale, args.seed);
+    let plan = prep.milr.plan();
+    println!("# Protection plan — {}", prep.label);
+    println!(
+        "checkpoints at positions {:?} ({} segments, recoverable-layer budget {})",
+        plan.checkpoints,
+        plan.segments().len(),
+        plan.recoverable_layer_budget()
+    );
+    println!(
+        "\n{:<6} {:<12} {:>10}  {:<26} {:<20}",
+        "Layer", "Kind", "Params", "Solving", "Inversion"
+    );
+    for lp in &plan.layers {
+        println!(
+            "{:<6} {:<12} {:>10}  {:<26} {:<20}",
+            lp.index,
+            lp.kind,
+            lp.param_count,
+            lp.solving
+                .map(|s| format!("{s:?}"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:?}", lp.inversion),
+        );
+    }
+    let report = prep.milr.storage_report(&prep.model);
+    println!(
+        "\nstorage: MILR {} bytes vs backup {} bytes (ratio {:.3})",
+        report.milr_bytes(),
+        report.backup_bytes,
+        report.fraction_of_backup()
+    );
+}

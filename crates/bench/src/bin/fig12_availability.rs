@@ -1,0 +1,67 @@
+//! Figure 12: the availability vs minimum-accuracy trade-off (Equation
+//! 6) for the three networks, with the paper's two example users:
+//! (A) minimum accuracy 99.999%, (B) availability 99.9%.
+//!
+//! Timings (`T_d`, `T_r`) are measured live on the prepared networks;
+//! the error-rate assumption is the paper's 75,000 errors per 10⁹
+//! device-hours per Mbit.
+//!
+//! ```text
+//! cargo run --release -p milr-bench --bin fig12_availability
+//! ```
+
+use milr_bench::{prepare, Args, NetChoice};
+use milr_core::availability::AvailabilityModel;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    println!("# Figure 12 — availability vs minimum accuracy (Eq. 6)");
+    for net in [NetChoice::Mnist, NetChoice::CifarSmall, NetChoice::CifarLarge] {
+        let prep = prepare(net, args.scale, args.seed);
+        // Measure detection time live.
+        let start = Instant::now();
+        for _ in 0..5 {
+            prep.milr.detect(&prep.model).expect("detect");
+        }
+        let td = start.elapsed().as_secs_f64() / 5.0;
+        // Recovery time for a representative single-layer heal.
+        let mut model = prep.model.clone();
+        let target = prep
+            .model
+            .layers()
+            .iter()
+            .position(|l| l.param_count() > 0)
+            .expect("has params");
+        let start = Instant::now();
+        let _ = prep.milr.recover_layers(&mut model, &[target]);
+        let tr = start.elapsed().as_secs_f64();
+        // The error-arrival rate uses the *paper architecture's* memory
+        // footprint (Tables I–III); a reduced twin's few hundred
+        // kilobits would see one error per ~50 years and the curve
+        // would sit entirely in its flat region.
+        let paper_params = match net {
+            NetChoice::Mnist => milr_models::mnist(0).model.param_count(),
+            NetChoice::CifarSmall => milr_models::cifar_small(0).model.param_count(),
+            NetChoice::CifarLarge => milr_models::cifar_large(0).model.param_count(),
+        };
+        let mbits = paper_params as f64 * 32.0 / 1e6;
+        let model = AvailabilityModel::from_network(mbits, td, tr, prep.clean_accuracy, 1e-4);
+        println!(
+            "\n## {} (Td {:.4}s, Tr {:.4}s, {:.1} Mbit, Tbe {:.0}s)",
+            prep.label, td, tr, mbits, model.time_between_errors
+        );
+        println!("{:>16} {:>16} {:>14}", "Availability", "Downtime", "MinAccuracy");
+        for (a, acc) in model.curve(12) {
+            println!("{a:>16.12} {:>16.3e} {acc:>14.6}", 1.0 - a);
+        }
+        // The paper's example users.
+        let user_a = model.availability_for_accuracy(0.99999 * prep.clean_accuracy);
+        println!(
+            "user A (min accuracy 99.999% of clean): availability {user_a:.12} (downtime {:.3e})",
+            1.0 - user_a
+        );
+        let user_b = model.min_accuracy(0.999);
+        println!("user B (availability 99.9%): min accuracy {user_b:.6}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Figures 5 / 7 / 9: normalized accuracy after recovery from varying
+//! RBER, four panels (no recovery, ECC, MILR, ECC + MILR), box-plot
+//! statistics over repeated trials.
+//!
+//! ```text
+//! cargo run --release -p milr-bench --bin fig5_rber -- --net mnist --trials 40
+//! ```
+
+use milr_bench::{prepare, run_rber_trial, Args, Arm, BoxStats, NetChoice};
+
+fn rates(net: NetChoice) -> Vec<f64> {
+    // Paper x-axes: MNIST sweeps to 1e-3; the CIFAR nets to 5e-4.
+    let base = [1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4];
+    match net {
+        NetChoice::Mnist => base.iter().copied().chain([1e-3]).collect(),
+        _ => base.to_vec(),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let prep = prepare(args.net, args.scale, args.seed);
+    println!(
+        "# Figure 5/7/9 — {} — normalized accuracy vs RBER ({} trials, clean accuracy {:.3})",
+        prep.label, args.trials, prep.clean_accuracy
+    );
+    for arm in [Arm::None, Arm::Ecc, Arm::Milr, Arm::EccMilr] {
+        println!("\n## panel: {}", arm.label());
+        for &rate in &rates(args.net) {
+            let samples: Vec<f64> = (0..args.trials)
+                .map(|t| {
+                    run_rber_trial(&prep, arm, rate, args.seed ^ (t as u64) << 20 ^ rate.to_bits())
+                        .normalized
+                })
+                .collect();
+            let stats = BoxStats::compute(&samples);
+            println!("rber {rate:7.0e}  {}", stats.row());
+        }
+    }
+}

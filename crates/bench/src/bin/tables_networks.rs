@@ -1,0 +1,23 @@
+//! Tables I / II / III: the evaluation network architectures with
+//! per-layer output shapes and trainable-parameter counts.
+//!
+//! ```text
+//! cargo run --release -p milr-bench --bin tables_networks
+//! ```
+
+fn main() {
+    for (table, net) in [
+        ("Table I — MNIST network", milr_models::mnist(0).model),
+        (
+            "Table II — CIFAR-10 small network",
+            milr_models::cifar_small(0).model,
+        ),
+        (
+            "Table III — CIFAR-10 large network",
+            milr_models::cifar_large(0).model,
+        ),
+    ] {
+        println!("# {table}");
+        println!("{}", net.summary());
+    }
+}

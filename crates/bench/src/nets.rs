@@ -1,0 +1,188 @@
+//! Network preparation: build, train briefly, protect.
+
+use milr_core::{Milr, MilrConfig};
+use milr_nn::{data, Sequential, Trainer, TrainerConfig};
+
+/// Which evaluation network family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetChoice {
+    /// Table I / Figures 5–6 / Tables IV–V.
+    Mnist,
+    /// Table II / Figures 7–8 / Tables VI–VII.
+    CifarSmall,
+    /// Table III / Figures 9–10 / Tables VIII–IX.
+    CifarLarge,
+}
+
+impl NetChoice {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetChoice::Mnist => "MNIST",
+            NetChoice::CifarSmall => "CIFAR-10 small",
+            NetChoice::CifarLarge => "CIFAR-10 large",
+        }
+    }
+}
+
+/// Network scale for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced twin (same layer-type sequence, smaller tensors).
+    Reduced,
+    /// Verbatim Tables I–III architecture.
+    Paper,
+}
+
+/// A trained, protected network plus its held-out test set.
+#[derive(Debug)]
+pub struct PreparedNet {
+    /// Display name including the scale.
+    pub label: String,
+    /// The trained model (the golden state).
+    pub model: Sequential,
+    /// MILR protection built on the golden state.
+    pub milr: Milr,
+    /// Held-out test set for accuracy measurement.
+    pub test: data::Dataset,
+    /// Error-free accuracy on `test` (denominator of normalized
+    /// accuracy).
+    pub clean_accuracy: f64,
+}
+
+/// Builds, trains and protects the requested network.
+///
+/// Reduced scale trains to genuinely discriminative accuracy in under a
+/// second; paper scale constructs the full Tables I–III architectures
+/// and trains them briefly on the synthetic datasets (minutes, and the
+/// dense-layer recovery systems become the paper's full sizes).
+pub fn prepare(net: NetChoice, scale: Scale, seed: u64) -> PreparedNet {
+    prepare_with_config(net, scale, seed, MilrConfig::default())
+}
+
+/// [`prepare`] with an explicit MILR configuration (used by the
+/// ablation binaries).
+pub fn prepare_with_config(
+    net: NetChoice,
+    scale: Scale,
+    seed: u64,
+    config: MilrConfig,
+) -> PreparedNet {
+    // Small-data CNN training occasionally collapses for an unlucky
+    // initialization; retry with a reseeded init (the golden network
+    // just needs non-trivial accuracy for normalized measurements).
+    let mut best: Option<PreparedNet> = None;
+    for attempt in 0..3u64 {
+        let candidate = prepare_once(net, scale, seed.wrapping_add(attempt * 101), config);
+        let good_enough = candidate.clean_accuracy >= 0.35;
+        let better = best
+            .as_ref()
+            .map(|b| candidate.clean_accuracy > b.clean_accuracy)
+            .unwrap_or(true);
+        if better {
+            best = Some(candidate);
+        }
+        if good_enough {
+            break;
+        }
+    }
+    best.expect("at least one attempt ran")
+}
+
+fn prepare_once(net: NetChoice, scale: Scale, seed: u64, config: MilrConfig) -> PreparedNet {
+    let (label, mut model, train, test) = match (net, scale) {
+        (NetChoice::Mnist, Scale::Reduced) => {
+            let n = milr_models::reduced_mnist(seed);
+            (
+                format!("{} [reduced]", net.name()),
+                n.model,
+                data::digits(300, 14, seed ^ 0xAAAA),
+                data::digits(100, 14, seed ^ 0x5555),
+            )
+        }
+        (NetChoice::CifarSmall, Scale::Reduced) | (NetChoice::CifarLarge, Scale::Reduced) => {
+            let n = milr_models::reduced_cifar_small(seed);
+            (
+                format!("{} [reduced]", net.name()),
+                n.model,
+                data::patches(300, 16, seed ^ 0xAAAA),
+                data::patches(100, 16, seed ^ 0x5555),
+            )
+        }
+        (NetChoice::Mnist, Scale::Paper) => {
+            let n = milr_models::mnist(seed);
+            (
+                format!("{} [paper]", net.name()),
+                n.model,
+                data::digits(200, 28, seed ^ 0xAAAA),
+                data::digits(60, 28, seed ^ 0x5555),
+            )
+        }
+        (NetChoice::CifarSmall, Scale::Paper) => {
+            let n = milr_models::cifar_small(seed);
+            (
+                format!("{} [paper]", net.name()),
+                n.model,
+                data::patches(200, 32, seed ^ 0xAAAA),
+                data::patches(60, 32, seed ^ 0x5555),
+            )
+        }
+        (NetChoice::CifarLarge, Scale::Paper) => {
+            let n = milr_models::cifar_large(seed);
+            (
+                format!("{} [paper]", net.name()),
+                n.model,
+                data::patches(200, 32, seed ^ 0xAAAA),
+                data::patches(60, 32, seed ^ 0x5555),
+            )
+        }
+    };
+    let mut trainer = Trainer::new(TrainerConfig {
+        learning_rate: 0.02,
+        momentum: 0.9,
+        seed,
+    });
+    let (epochs, batch) = match scale {
+        Scale::Reduced => (15, 25),
+        Scale::Paper => (2, 25),
+    };
+    trainer
+        .fit(&mut model, &train, epochs, batch)
+        .expect("training the prepared nets cannot fail structurally");
+    let clean_accuracy = model
+        .accuracy(&test.images, &test.labels)
+        .expect("test set matches model input");
+    let milr = Milr::protect(&model, config).expect("protection of a valid model succeeds");
+    PreparedNet {
+        label,
+        model,
+        milr,
+        test,
+        clean_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_mnist_prepares_and_learns() {
+        let p = prepare(NetChoice::Mnist, Scale::Reduced, 3);
+        assert!(p.label.contains("reduced"));
+        assert!(
+            p.clean_accuracy > 0.5,
+            "clean accuracy {}",
+            p.clean_accuracy
+        );
+        // Protection is live: a clean detect pass.
+        let report = p.milr.detect(&p.model).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn reduced_cifar_prepares() {
+        let p = prepare(NetChoice::CifarSmall, Scale::Reduced, 4);
+        assert!(p.clean_accuracy > 0.4, "{}", p.clean_accuracy);
+    }
+}

@@ -1,0 +1,242 @@
+//! Availability–accuracy trade-off model (paper §V-E, Equation 6,
+//! Figure 12).
+//!
+//! A network spends time in detection passes and recovery, which costs
+//! availability; running detection less often lets more errors
+//! accumulate between heals, which costs minimum accuracy. The paper
+//! models the trade-off with
+//!
+//! ```text
+//! f(a) = A( [ (1/(1−a)) · (Td·I) + Tr ]⁻¹-ish budget arithmetic )
+//! ```
+//!
+//! concretely instantiated here as: given a target availability `a`,
+//! the time budget for protection work per error interval is
+//! `(1 − a) · T_be`; after reserving the recovery time `T_r`, the budget
+//! buys `I = ((1−a)·T_be − T_r) / T_d` detection passes per interval, so
+//! errors accumulate for `T_be / I` before being healed and the minimum
+//! accuracy is `A(errors_per_interval / I)` with `A(·)` a linear
+//! degradation from the error-free accuracy to the accuracy after one
+//! year of accumulated errors (the paper's stated assumptions: DRAM
+//! field error rate of 75,000 errors per 10⁹ device-hours per Mbit,
+//! detection running twice between errors, linear `A`).
+
+/// Parameters of the availability model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityModel {
+    /// Detection (identification) time `T_d` in seconds — Table X.
+    pub detection_time: f64,
+    /// Recovery time `T_r` in seconds for the expected per-interval
+    /// errors — Figure 11.
+    pub recovery_time: f64,
+    /// Mean time between errors `T_be` in seconds.
+    pub time_between_errors: f64,
+    /// Error-free (normalized) accuracy, `A(0)`.
+    pub base_accuracy: f64,
+    /// Normalized accuracy after one year of unrecovered accumulation,
+    /// `A(N_year)`.
+    pub year_accuracy: f64,
+    /// Expected errors in one year (defines the slope of `A`).
+    pub errors_per_year: f64,
+}
+
+/// The paper's worst-case DRAM field error rate: 75,000 errors per 10⁹
+/// device-hours per Mbit [Schroeder et al., SIGMETRICS'09].
+pub const ERRORS_PER_BILLION_DEVICE_HOURS_PER_MBIT: f64 = 75_000.0;
+
+/// Seconds in a (non-leap) year.
+pub const SECONDS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+
+impl AvailabilityModel {
+    /// Builds the model from a network's memory footprint and measured
+    /// MILR timings, using the paper's error-rate assumption.
+    ///
+    /// `weight_mbits` is the protected memory in megabits;
+    /// `accuracy_drop_per_error` the linear accuracy loss per
+    /// accumulated error (fraction of normalized accuracy).
+    pub fn from_network(
+        weight_mbits: f64,
+        detection_time: f64,
+        recovery_time: f64,
+        base_accuracy: f64,
+        accuracy_drop_per_error: f64,
+    ) -> Self {
+        let errors_per_hour =
+            ERRORS_PER_BILLION_DEVICE_HOURS_PER_MBIT / 1e9 * weight_mbits;
+        let time_between_errors = 3600.0 / errors_per_hour;
+        let errors_per_year = errors_per_hour * 24.0 * 365.0;
+        let year_accuracy =
+            (base_accuracy - accuracy_drop_per_error * errors_per_year).max(0.0);
+        AvailabilityModel {
+            detection_time,
+            recovery_time,
+            time_between_errors,
+            base_accuracy,
+            year_accuracy,
+            errors_per_year,
+        }
+    }
+
+    /// The linear accuracy function `A(n)` for `n` accumulated errors.
+    pub fn accuracy_after_errors(&self, n: f64) -> f64 {
+        if self.errors_per_year <= 0.0 {
+            return self.base_accuracy;
+        }
+        let slope = (self.base_accuracy - self.year_accuracy) / self.errors_per_year;
+        (self.base_accuracy - slope * n).max(0.0)
+    }
+
+    /// The detection/heal period `P` affordable at availability `a`:
+    /// each cycle takes `T_d + T_r` of downtime, so `a = 1 − (T_d +
+    /// T_r)/P` and `P = (T_d + T_r)/(1 − a)`.
+    pub fn cycle_period(&self, availability: f64) -> f64 {
+        (self.detection_time + self.recovery_time) / (1.0 - availability)
+    }
+
+    /// Detection passes per error interval at availability `a`
+    /// (Equation 6's `I`): `T_be / P`.
+    pub fn detection_runs_per_interval(&self, availability: f64) -> f64 {
+        self.time_between_errors / self.cycle_period(availability)
+    }
+
+    /// Minimum (normalized) accuracy sustained at availability `a` —
+    /// the curve of Figure 12.
+    ///
+    /// Concrete instantiation of Equation 6: MILR runs a
+    /// detection-and-heal cycle every `P = (T_d + T_r)/(1 − a)` seconds;
+    /// errors arrive every `T_be` seconds and accumulate unhealed for at
+    /// most one period, so the worst-case accumulated error count is
+    /// `P / T_be` and the sustained minimum accuracy is `A(P / T_be)`.
+    /// Demanding more availability stretches the period and lets more
+    /// errors pile up — the downward-bending trade-off of Figure 12.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < a < 1`.
+    pub fn min_accuracy(&self, availability: f64) -> f64 {
+        assert!(
+            availability > 0.0 && availability < 1.0,
+            "availability must be in (0, 1)"
+        );
+        let period = self.cycle_period(availability);
+        self.accuracy_after_errors(period / self.time_between_errors)
+    }
+
+    /// Inverse query: the availability achievable while sustaining at
+    /// least `target` minimum accuracy (bisection over the monotone
+    /// trade-off; the paper's "user A" lookup).
+    pub fn availability_for_accuracy(&self, target: f64) -> f64 {
+        let (mut lo, mut hi) = (1e-9, 1.0 - 1e-9);
+        // min_accuracy is non-increasing in availability.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.min_accuracy(mid) >= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Sweeps the availability axis, returning `(availability,
+    /// min_accuracy)` pairs for the Figure 12 curve.
+    ///
+    /// The sweep is anchored to this deployment's interesting region:
+    /// from one detection cycle per error interval (`P = T_be`, maximum
+    /// useful protection) out to one cycle per 10⁴ error intervals
+    /// (errors pile up), concentrating samples near the knee.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        let overhead = self.detection_time + self.recovery_time;
+        // Availability when healing every error interval / every 1e4
+        // intervals.
+        let a_lo = (1.0 - overhead / self.time_between_errors).clamp(1e-9, 1.0 - 1e-12);
+        let a_hi =
+            (1.0 - overhead / (1e4 * self.time_between_errors)).clamp(a_lo, 1.0 - 1e-12);
+        (0..points)
+            .map(|i| {
+                let t = i as f64 / (points.saturating_sub(1).max(1)) as f64;
+                // Log-interpolate the unavailability between the anchors.
+                let u = (1.0 - a_lo).ln() * (1.0 - t) + (1.0 - a_hi).ln() * t;
+                let a = 1.0 - u.exp();
+                (a, self.min_accuracy(a))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AvailabilityModel {
+        AvailabilityModel::from_network(
+            53.4, // MNIST network ≈ 1.67M params × 32 bits
+            0.010,
+            1.0,
+            0.992,
+            1e-6,
+        )
+    }
+
+    #[test]
+    fn error_rate_arithmetic() {
+        let m = model();
+        // 75000/1e9 per hour per Mbit × 53.4 Mbit ≈ 4e-3 errors/hour.
+        let per_hour = 3600.0 / m.time_between_errors;
+        assert!((per_hour - 75_000.0 / 1e9 * 53.4).abs() < 1e-9);
+        assert!(m.errors_per_year > 30.0 && m.errors_per_year < 40.0);
+    }
+
+    #[test]
+    fn accuracy_function_is_linear_and_clamped() {
+        let m = model();
+        assert_eq!(m.accuracy_after_errors(0.0), m.base_accuracy);
+        let half = m.accuracy_after_errors(m.errors_per_year / 2.0);
+        assert!(half < m.base_accuracy && half > m.year_accuracy);
+        assert_eq!(m.accuracy_after_errors(1e18), 0.0);
+    }
+
+    #[test]
+    fn tradeoff_is_monotone() {
+        let m = model();
+        // Higher availability -> fewer detection runs -> lower minimum
+        // accuracy.
+        let a_low = m.min_accuracy(0.99);
+        let a_high = m.min_accuracy(0.999_999);
+        assert!(a_low >= a_high, "{a_low} vs {a_high}");
+        let runs_low = m.detection_runs_per_interval(0.99);
+        let runs_high = m.detection_runs_per_interval(0.999_999);
+        assert!(runs_low > runs_high);
+    }
+
+    #[test]
+    fn inverse_query_consistent() {
+        let m = model();
+        let target = m.base_accuracy * 0.99999;
+        let a = m.availability_for_accuracy(target);
+        assert!(a > 0.0 && a < 1.0);
+        assert!(m.min_accuracy(a) >= target * 0.999_999);
+    }
+
+    #[test]
+    fn curve_is_well_formed() {
+        let m = model();
+        let curve = m.curve(32);
+        assert_eq!(curve.len(), 32);
+        for (a, acc) in &curve {
+            assert!(*a > 0.9 && *a < 1.0);
+            assert!(*acc >= 0.0 && *acc <= m.base_accuracy);
+        }
+        // Availabilities increase along the sweep.
+        for w in curve.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must be in")]
+    fn min_accuracy_validates_input() {
+        model().min_accuracy(1.5);
+    }
+}

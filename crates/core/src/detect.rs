@@ -1,0 +1,240 @@
+//! MILR error-detection phase (paper §III, Figure 2).
+//!
+//! Each parameterized layer is replayed on its private seeded
+//! pseudo-random input and the output is compared against the stored
+//! partial checkpoint. The per-layer inputs are independent, so an
+//! erroneous layer cannot cascade mismatches into other layers' checks.
+//! Bias layers use the stored parameter-sum scheme (§IV-E-c).
+//!
+//! Detection is deliberately lightweight and therefore imperfect: "they
+//! are only detected when they have a meaningful impact on the output of
+//! the layer" (§V-B). The tolerance lives in
+//! [`MilrConfig`](crate::MilrConfig).
+
+use crate::artifacts::{conv_probe_location, detection_input, Artifacts};
+use crate::semantics::milr_forward;
+use crate::{MilrConfig, MilrError, Result};
+use milr_nn::{Layer, Sequential};
+use std::time::Duration;
+
+/// Result of checking one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCheck {
+    /// Layer index.
+    pub layer: usize,
+    /// Layer kind name.
+    pub kind: String,
+    /// True when the layer's check mismatched (errors present).
+    pub flagged: bool,
+    /// Worst relative deviation observed (0 for clean layers).
+    pub max_deviation: f32,
+}
+
+/// Output of the detection phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionReport {
+    /// Indices of layers flagged as erroneous, ascending.
+    pub flagged: Vec<usize>,
+    /// Every per-layer check performed.
+    pub checks: Vec<LayerCheck>,
+    /// Wall-clock duration of the detection pass (the paper's
+    /// "identification time", Table X).
+    pub elapsed: Duration,
+}
+
+impl DetectionReport {
+    /// True when no layer was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.flagged.is_empty()
+    }
+}
+
+/// Runs the detection phase against the (possibly corrupted) model.
+pub(crate) fn run_detection(
+    model: &Sequential,
+    artifacts: &Artifacts,
+    config: &MilrConfig,
+) -> Result<DetectionReport> {
+    let start = std::time::Instant::now();
+    let mut checks = Vec::new();
+    let mut flagged = Vec::new();
+    for (i, layer) in model.layers().iter().enumerate() {
+        let check = match layer {
+            Layer::Conv2D { .. } => {
+                let stored = artifacts.partial_checkpoints.get(&i).ok_or_else(|| {
+                    MilrError::CorruptArtifacts(format!("missing partial checkpoint {i}"))
+                })?;
+                let det = detection_input(model, config, i);
+                let out = milr_forward(layer, &det)?;
+                let (gh, gw) = (out.shape().dim(1), out.shape().dim(2));
+                let (ci, cj) = conv_probe_location(gh, gw);
+                let y = out.shape().dim(3);
+                if y != stored.len() {
+                    return Err(MilrError::ModelMismatch(format!(
+                        "layer {i}: {y} filters but {} stored probes",
+                        stored.len()
+                    )));
+                }
+                let mut dev = 0.0f32;
+                for (k, &golden) in stored.iter().enumerate() {
+                    let now = out.at(&[0, ci, cj, k])?;
+                    dev = dev.max(relative_deviation(now, golden));
+                }
+                make_check(i, layer, dev, config)
+            }
+            Layer::Dense { .. } => {
+                let stored = artifacts.partial_checkpoints.get(&i).ok_or_else(|| {
+                    MilrError::CorruptArtifacts(format!("missing partial checkpoint {i}"))
+                })?;
+                let det = detection_input(model, config, i);
+                let out = milr_forward(layer, &det)?;
+                let row = out.row(0)?;
+                if row.len() != stored.len() {
+                    return Err(MilrError::ModelMismatch(format!(
+                        "layer {i}: {} columns but {} stored probes",
+                        row.len(),
+                        stored.len()
+                    )));
+                }
+                let mut dev = 0.0f32;
+                for (now, &golden) in row.iter().zip(stored.iter()) {
+                    dev = dev.max(relative_deviation(*now, golden));
+                }
+                make_check(i, layer, dev, config)
+            }
+            Layer::Bias { bias } => {
+                let stored = artifacts.bias_sums.get(&i).ok_or_else(|| {
+                    MilrError::CorruptArtifacts(format!("missing bias sum {i}"))
+                })?;
+                let now = bias.sum();
+                let dev = relative_deviation(now as f32, *stored as f32);
+                make_check(i, layer, dev, config)
+            }
+            _ => continue,
+        };
+        if check.flagged {
+            flagged.push(i);
+        }
+        checks.push(check);
+    }
+    Ok(DetectionReport {
+        flagged,
+        checks,
+        elapsed: start.elapsed(),
+    })
+}
+
+fn relative_deviation(now: f32, golden: f32) -> f32 {
+    let diff = (now - golden).abs();
+    if !diff.is_finite() {
+        return f32::INFINITY;
+    }
+    diff / golden.abs().max(1e-12)
+}
+
+fn make_check(i: usize, layer: &Layer, dev: f32, config: &MilrConfig) -> LayerCheck {
+    // Flagged when the relative deviation exceeds the tolerance (the
+    // absolute floor is folded into relative_deviation's denominator).
+    let flagged = !dev.is_finite() || dev > config.rtol.max(config.atol);
+    LayerCheck {
+        layer: i,
+        kind: layer.kind_name().to_string(),
+        flagged,
+        max_deviation: dev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::Artifacts;
+    use crate::plan::ProtectionPlan;
+    use milr_tensor::{ConvSpec, Padding, TensorRng};
+
+    fn setup() -> (Sequential, Artifacts, MilrConfig) {
+        let mut rng = TensorRng::new(3);
+        let mut m = Sequential::new(vec![8, 8, 1]);
+        let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+        m.push(Layer::conv2d_random(3, 1, 4, spec, &mut rng).unwrap())
+            .unwrap();
+        m.push(Layer::bias_zero(4)).unwrap();
+        m.push(Layer::Flatten).unwrap();
+        m.push(Layer::dense_random(6 * 6 * 4, 5, &mut rng).unwrap())
+            .unwrap();
+        let cfg = MilrConfig::default();
+        let plan = ProtectionPlan::build(&m, &cfg).unwrap();
+        let art = Artifacts::build(&m, &plan, &cfg).unwrap();
+        (m, art, cfg)
+    }
+
+    #[test]
+    fn clean_model_is_clean() {
+        let (m, art, cfg) = setup();
+        let report = run_detection(&m, &art, &cfg).unwrap();
+        assert!(report.is_clean(), "{:?}", report.flagged);
+        // One check per parameterized layer (conv, bias, dense).
+        assert_eq!(report.checks.len(), 3);
+        assert!(report.checks.iter().all(|c| c.max_deviation == 0.0));
+    }
+
+    #[test]
+    fn corrupted_conv_is_flagged() {
+        let (mut m, art, cfg) = setup();
+        m.layers_mut()[0].params_mut().unwrap().data_mut()[7] += 3.0;
+        let report = run_detection(&m, &art, &cfg).unwrap();
+        assert_eq!(report.flagged, vec![0]);
+    }
+
+    #[test]
+    fn corrupted_dense_is_flagged() {
+        let (mut m, art, cfg) = setup();
+        let w = m.layers_mut()[3].params_mut().unwrap().data_mut();
+        w[0] = -w[0] - 5.0;
+        let report = run_detection(&m, &art, &cfg).unwrap();
+        assert_eq!(report.flagged, vec![3]);
+    }
+
+    #[test]
+    fn corrupted_bias_is_flagged_by_sum() {
+        let (mut m, art, cfg) = setup();
+        m.layers_mut()[1].params_mut().unwrap().data_mut()[2] = 0.5;
+        let report = run_detection(&m, &art, &cfg).unwrap();
+        assert_eq!(report.flagged, vec![1]);
+    }
+
+    #[test]
+    fn multiple_layers_flagged_independently() {
+        let (mut m, art, cfg) = setup();
+        m.layers_mut()[0].params_mut().unwrap().data_mut()[0] = 9.0;
+        m.layers_mut()[3].params_mut().unwrap().data_mut()[10] = -9.0;
+        let report = run_detection(&m, &art, &cfg).unwrap();
+        assert_eq!(report.flagged, vec![0, 3]);
+    }
+
+    #[test]
+    fn nan_corruption_is_flagged() {
+        let (mut m, art, cfg) = setup();
+        m.layers_mut()[3].params_mut().unwrap().data_mut()[4] = f32::NAN;
+        let report = run_detection(&m, &art, &cfg).unwrap();
+        assert!(report.flagged.contains(&3));
+    }
+
+    #[test]
+    fn tiny_lsb_error_may_escape_detection() {
+        // The paper's lightweight-detection caveat: flipping the lowest
+        // mantissa bit of one weight moves the probe by ~1e-7 relative,
+        // below the tolerance.
+        let (mut m, art, cfg) = setup();
+        let w = m.layers_mut()[3].params_mut().unwrap().data_mut();
+        w[0] = f32::from_bits(w[0].to_bits() ^ 1);
+        let report = run_detection(&m, &art, &cfg).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn detection_reports_duration() {
+        let (m, art, cfg) = setup();
+        let report = run_detection(&m, &art, &cfg).unwrap();
+        assert!(report.elapsed.as_nanos() > 0);
+    }
+}

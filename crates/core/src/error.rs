@@ -1,0 +1,102 @@
+use milr_linalg::LinalgError;
+use milr_nn::NnError;
+use milr_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by MILR's initialization, detection and recovery
+/// phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilrError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying network operation failed.
+    Network(NnError),
+    /// A linear solve failed (singular or mis-shaped system).
+    Solve(LinalgError),
+    /// Recovery required inverting a layer the plan marked
+    /// non-invertible — indicates artifacts and model fell out of sync.
+    NotInvertible {
+        /// Layer index.
+        layer: usize,
+        /// Layer kind.
+        kind: String,
+    },
+    /// The model handed to detection/recovery is structurally different
+    /// from the one that was protected.
+    ModelMismatch(String),
+    /// The stored artifacts are internally inconsistent (e.g. missing
+    /// checkpoint for a planned position).
+    CorruptArtifacts(String),
+}
+
+impl fmt::Display for MilrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilrError::Tensor(e) => write!(f, "tensor error: {e}"),
+            MilrError::Network(e) => write!(f, "network error: {e}"),
+            MilrError::Solve(e) => write!(f, "solver error: {e}"),
+            MilrError::NotInvertible { layer, kind } => {
+                write!(f, "layer {layer} ({kind}) cannot be inverted")
+            }
+            MilrError::ModelMismatch(msg) => write!(f, "model mismatch: {msg}"),
+            MilrError::CorruptArtifacts(msg) => write!(f, "corrupt artifacts: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MilrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MilrError::Tensor(e) => Some(e),
+            MilrError::Network(e) => Some(e),
+            MilrError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for MilrError {
+    fn from(e: TensorError) -> Self {
+        MilrError::Tensor(e)
+    }
+}
+
+impl From<NnError> for MilrError {
+    fn from(e: NnError) -> Self {
+        MilrError::Network(e)
+    }
+}
+
+impl From<LinalgError> for MilrError {
+    fn from(e: LinalgError) -> Self {
+        MilrError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let t: MilrError = TensorError::InvalidGeometry("x".into()).into();
+        assert!(t.to_string().contains("tensor error"));
+        let n: MilrError = NnError::BadConfig("y".into()).into();
+        assert!(n.to_string().contains("network error"));
+        let s: MilrError = LinalgError::Singular { pivot: 2 }.into();
+        assert!(s.to_string().contains("solver error"));
+        assert!(std::error::Error::source(&s).is_some());
+        let ni = MilrError::NotInvertible {
+            layer: 3,
+            kind: "MaxPool2D".into(),
+        };
+        assert!(ni.to_string().contains("cannot be inverted"));
+        assert!(std::error::Error::source(&ni).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MilrError>();
+    }
+}

@@ -1,0 +1,615 @@
+use crate::artifacts::{golden_input, Artifacts};
+use crate::detect::{run_detection, DetectionReport};
+use crate::invert::backward_to;
+use crate::plan::{ProtectionPlan, SolvingPlan};
+use crate::semantics::milr_forward_range;
+use crate::solve::{solve_bias, solve_conv_partial, solve_dense, SolveOutcome};
+use crate::storage::StorageReport;
+use crate::{MilrConfig, MilrError, Result};
+use milr_nn::{Layer, Sequential};
+use milr_tensor::Tensor;
+use std::time::Duration;
+
+/// How one flagged layer fared during recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryOutcome {
+    /// Parameters fully re-solved (exact up to `f32` rounding).
+    Full,
+    /// CRC-guided partial recovery: only the flagged weights were
+    /// re-solved.
+    Partial {
+        /// Number of weights re-solved.
+        solved: usize,
+    },
+    /// Minimum-norm least-squares approximation — the under-determined
+    /// whole-layer case of partial-recoverability conv layers (the
+    /// paper's "N/A — convolution partial recoverable" rows).
+    MinNorm {
+        /// Number of approximated unknowns.
+        unknowns: usize,
+    },
+    /// Recovery failed (propagation or solve error); parameters left
+    /// unchanged.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl From<SolveOutcome> for RecoveryOutcome {
+    fn from(o: SolveOutcome) -> Self {
+        match o {
+            SolveOutcome::Full => RecoveryOutcome::Full,
+            SolveOutcome::Partial { solved } => RecoveryOutcome::Partial { solved },
+            SolveOutcome::MinNorm { unknowns } => RecoveryOutcome::MinNorm { unknowns },
+        }
+    }
+}
+
+/// Output of the recovery phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Per-flagged-layer outcomes, in recovery order.
+    pub outcomes: Vec<(usize, RecoveryOutcome)>,
+    /// Wall-clock duration of the recovery pass (Figure 11's quantity).
+    pub elapsed: Duration,
+}
+
+impl RecoveryReport {
+    /// True when every flagged layer recovered fully.
+    pub fn all_full(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|(_, o)| matches!(o, RecoveryOutcome::Full))
+    }
+}
+
+/// A MILR protection instance: the plan plus every artifact of the
+/// initialization phase, ready to run detection and recovery against
+/// the live model.
+///
+/// See the [crate docs](crate) for the end-to-end flow.
+#[derive(Debug, Clone)]
+pub struct Milr {
+    config: MilrConfig,
+    plan: ProtectionPlan,
+    artifacts: Artifacts,
+    /// Structural fingerprint of the protected model, used to reject
+    /// detection/recovery against a different architecture.
+    fingerprint: Vec<(String, usize)>,
+}
+
+impl Milr {
+    /// Runs the initialization phase on a (presumed golden) model:
+    /// plans checkpoints and dummy data, then computes and stores all
+    /// artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilrError::ModelMismatch`] for empty models and
+    /// propagates tensor/geometry failures.
+    pub fn protect(model: &Sequential, config: MilrConfig) -> Result<Self> {
+        let plan = ProtectionPlan::build(model, &config)?;
+        let artifacts = Artifacts::build(model, &plan, &config)?;
+        Ok(Milr {
+            config,
+            plan,
+            artifacts,
+            fingerprint: fingerprint(model),
+        })
+    }
+
+    /// The protection plan.
+    pub fn plan(&self) -> &ProtectionPlan {
+        &self.plan
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MilrConfig {
+        &self.config
+    }
+
+    /// Storage accounting for the stored artifacts (Tables V/VII/IX).
+    pub fn storage_report(&self, model: &Sequential) -> StorageReport {
+        StorageReport::compute(model, &self.plan, &self.artifacts)
+    }
+
+    /// Runs the error-detection phase against the live model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilrError::ModelMismatch`] when the model's structure
+    /// differs from the protected one.
+    pub fn detect(&self, model: &Sequential) -> Result<DetectionReport> {
+        self.check_structure(model)?;
+        run_detection(model, &self.artifacts, &self.config)
+    }
+
+    /// Runs the recovery phase: heals every layer flagged in `report`,
+    /// writing recovered parameters into `model` in place.
+    ///
+    /// Layers are processed in ascending order within each checkpoint
+    /// segment; with multiple erroneous layers in one segment the
+    /// propagated golden values degrade and recovery becomes
+    /// best-effort, exactly as the paper describes (§V-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilrError::ModelMismatch`] for structural mismatches.
+    /// Per-layer failures do not abort the pass; they are recorded as
+    /// [`RecoveryOutcome::Failed`].
+    pub fn recover(
+        &self,
+        model: &mut Sequential,
+        report: &DetectionReport,
+    ) -> Result<RecoveryReport> {
+        self.recover_layers(model, &report.flagged)
+    }
+
+    /// Iterative refinement (an extension beyond the paper): re-runs
+    /// recovery over the same flagged set up to `iterations` times.
+    ///
+    /// When two erroneous layers share one checkpoint segment, each
+    /// one's golden input/output propagates through the other's corrupt
+    /// parameters, so a single pass is only best-effort (§V-A). Because
+    /// every pass replaces each flagged layer with the exact solution
+    /// *given its neighbours' current state*, alternating passes
+    /// contract toward the golden fixed point; iteration stops early
+    /// once all outcomes are `Full` and parameters stop moving.
+    ///
+    /// # Errors
+    ///
+    /// See [`Milr::recover`].
+    pub fn recover_iterative(
+        &self,
+        model: &mut Sequential,
+        flagged: &[usize],
+        iterations: usize,
+    ) -> Result<RecoveryReport> {
+        let start = std::time::Instant::now();
+        let mut last = RecoveryReport {
+            outcomes: Vec::new(),
+            elapsed: Duration::ZERO,
+        };
+        let mut previous: Option<Vec<Tensor>> = None;
+        for _ in 0..iterations.max(1) {
+            last = self.recover_layers(model, flagged)?;
+            let snapshot: Vec<Tensor> = flagged
+                .iter()
+                .filter_map(|&i| model.layers()[i].params().cloned())
+                .collect();
+            if let Some(prev) = &previous {
+                let converged = prev
+                    .iter()
+                    .zip(snapshot.iter())
+                    .all(|(a, b)| a.approx_eq(b, 1e-7, 1e-9));
+                if converged {
+                    break;
+                }
+            }
+            previous = Some(snapshot);
+        }
+        Ok(RecoveryReport {
+            outcomes: last.outcomes,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Recovers an explicit list of layer indices (useful for targeted
+    /// healing, e.g. the whole-layer-corruption experiment where the
+    /// corrupted layer is known).
+    ///
+    /// # Errors
+    ///
+    /// See [`Milr::recover`].
+    pub fn recover_layers(
+        &self,
+        model: &mut Sequential,
+        flagged: &[usize],
+    ) -> Result<RecoveryReport> {
+        self.check_structure(model)?;
+        let start = std::time::Instant::now();
+        let mut outcomes = Vec::new();
+        let mut flagged: Vec<usize> = flagged.to_vec();
+        flagged.sort_unstable();
+        flagged.dedup();
+        for (seg_start, seg_end) in self.plan.segments() {
+            let in_segment: Vec<usize> = flagged
+                .iter()
+                .copied()
+                .filter(|&i| i >= seg_start && i < seg_end)
+                .collect();
+            if in_segment.is_empty() {
+                continue;
+            }
+            let input_anchor = self.anchor(model, seg_start)?;
+            let output_anchor = self
+                .artifacts
+                .full_checkpoints
+                .get(&seg_end)
+                .ok_or_else(|| {
+                    MilrError::CorruptArtifacts(format!("missing checkpoint {seg_end}"))
+                })?
+                .clone();
+            for &f in &in_segment {
+                let outcome = self.recover_one(
+                    model,
+                    f,
+                    &input_anchor,
+                    seg_start,
+                    &output_anchor,
+                    seg_end,
+                );
+                outcomes.push((
+                    f,
+                    match outcome {
+                        Ok(o) => o.into(),
+                        Err(e) => RecoveryOutcome::Failed {
+                            reason: e.to_string(),
+                        },
+                    },
+                ));
+            }
+        }
+        Ok(RecoveryReport {
+            outcomes,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    fn anchor(&self, model: &Sequential, position: usize) -> Result<Tensor> {
+        if position == 0 {
+            Ok(golden_input(model, &self.config))
+        } else {
+            self.artifacts
+                .full_checkpoints
+                .get(&position)
+                .cloned()
+                .ok_or_else(|| {
+                    MilrError::CorruptArtifacts(format!("missing checkpoint {position}"))
+                })
+        }
+    }
+
+    fn recover_one(
+        &self,
+        model: &mut Sequential,
+        index: usize,
+        input_anchor: &Tensor,
+        seg_start: usize,
+        output_anchor: &Tensor,
+        seg_end: usize,
+    ) -> Result<SolveOutcome> {
+        // Golden input: forward from the segment-start anchor.
+        let x = milr_forward_range(model, input_anchor, seg_start, index)?;
+        // Golden output: inverse passes from the segment-end anchor.
+        let y = backward_to(
+            model,
+            &self.plan,
+            &self.artifacts,
+            &self.config,
+            output_anchor,
+            seg_end,
+            index,
+        )?;
+        let solving = self.plan.layers[index].solving.ok_or_else(|| {
+            MilrError::ModelMismatch(format!("layer {index} has no parameters to recover"))
+        })?;
+        let (recovered, outcome) = match (&model.layers()[index], solving) {
+            (Layer::Dense { weights }, plan @ SolvingPlan::DenseFull { .. }) => {
+                let n = weights.shape().dim(0);
+                let p = weights.shape().dim(1);
+                solve_dense(&x, &y, plan, &self.artifacts, &self.config, index, n, p)?
+            }
+            // Both conv plans route through the CRC-guided solver: it
+            // degrades to a full solve when every weight is flagged, and
+            // the stored grids verify the healed bank bit-exactly. This
+            // matters even for `ConvFull` geometry — a conv fed by
+            // another conv has a rank-deficient im2col system, where a
+            // blind full solve returns consistent-but-wrong weights.
+            (
+                Layer::Conv2D { filters, spec },
+                SolvingPlan::ConvFull | SolvingPlan::ConvPartial,
+            ) => solve_conv_partial(&x, &y, filters, spec, &self.artifacts, index)?,
+            (Layer::Bias { bias }, SolvingPlan::Bias) => solve_bias(&x, &y, bias.numel())?,
+            (layer, plan) => {
+                return Err(MilrError::ModelMismatch(format!(
+                    "layer {index} ({}) does not match its solving plan {plan:?}",
+                    layer.kind_name()
+                )))
+            }
+        };
+        let params = model.layers_mut()[index]
+            .params_mut()
+            .ok_or_else(|| MilrError::ModelMismatch(format!("layer {index} lost its params")))?;
+        *params = recovered;
+        Ok(outcome)
+    }
+
+    fn check_structure(&self, model: &Sequential) -> Result<()> {
+        let fp = fingerprint(model);
+        if fp != self.fingerprint {
+            return Err(MilrError::ModelMismatch(format!(
+                "model structure changed since protection ({} vs {} layers)",
+                fp.len(),
+                self.fingerprint.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn fingerprint(model: &Sequential) -> Vec<(String, usize)> {
+    model
+        .layers()
+        .iter()
+        .map(|l| (l.kind_name().to_string(), l.param_count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milr_fault::{corrupt_layer, inject_rber, inject_whole_weight, FaultRng};
+    use milr_nn::Activation;
+    use milr_tensor::{ConvSpec, Padding, PoolSpec, TensorRng};
+
+    /// A miniature network exercising every layer type MILR handles.
+    ///
+    /// Sized so that the second convolution (partial recoverability,
+    /// F²Z = 54 > G² = 16) still has enough equations per filter to
+    /// re-solve CRC-flagged weights exactly for small error counts.
+    fn test_model(seed: u64) -> Sequential {
+        let mut rng = TensorRng::new(seed);
+        let mut m = Sequential::new(vec![14, 14, 1]);
+        let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+        m.push(Layer::conv2d_random(3, 1, 6, spec, &mut rng).unwrap())
+            .unwrap();
+        m.push(Layer::bias_zero(6)).unwrap();
+        m.push(Layer::Activation(Activation::Relu)).unwrap();
+        m.push(Layer::MaxPool2D(PoolSpec::new(2, 2).unwrap()))
+            .unwrap();
+        m.push(Layer::conv2d_random(3, 6, 4, spec, &mut rng).unwrap())
+            .unwrap();
+        m.push(Layer::bias_zero(4)).unwrap();
+        m.push(Layer::Activation(Activation::Relu)).unwrap();
+        m.push(Layer::Flatten).unwrap();
+        m.push(Layer::dense_random(4 * 4 * 4, 8, &mut rng).unwrap())
+            .unwrap();
+        m.push(Layer::bias_zero(8)).unwrap();
+        m.push(Layer::Activation(Activation::Softmax)).unwrap();
+        m
+    }
+
+    fn protect(m: &Sequential) -> Milr {
+        Milr::protect(m, MilrConfig::default()).unwrap()
+    }
+
+    fn params_eq(a: &Sequential, b: &Sequential, rtol: f32, atol: f32) -> bool {
+        a.layers().iter().zip(b.layers().iter()).all(|(x, y)| {
+            match (x.params(), y.params()) {
+                (Some(p), Some(q)) => p.approx_eq(q, rtol, atol),
+                (None, None) => true,
+                _ => false,
+            }
+        })
+    }
+
+    #[test]
+    fn clean_network_detects_clean_and_recovers_nothing() {
+        let mut m = test_model(1);
+        let milr = protect(&m);
+        let report = milr.detect(&m).unwrap();
+        assert!(report.is_clean());
+        let rec = milr.recover(&mut m, &report).unwrap();
+        assert!(rec.outcomes.is_empty());
+    }
+
+    #[test]
+    fn heals_single_corrupted_conv_layer() {
+        let mut m = test_model(2);
+        let golden = m.clone();
+        let milr = protect(&m);
+        m.layers_mut()[0].params_mut().unwrap().data_mut()[10] = 47.0;
+        let report = milr.detect(&m).unwrap();
+        assert_eq!(report.flagged, vec![0]);
+        let rec = milr.recover(&mut m, &report).unwrap();
+        // CRC localizes the single bad weight: exact partial recovery.
+        assert!(
+            matches!(rec.outcomes[0].1, RecoveryOutcome::Partial { solved } if solved >= 1),
+            "{:?}",
+            rec.outcomes
+        );
+        assert!(params_eq(&m, &golden, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn heals_corrupted_dense_layer() {
+        let mut m = test_model(3);
+        let golden = m.clone();
+        let milr = protect(&m);
+        let w = m.layers_mut()[8].params_mut().unwrap().data_mut();
+        inject_whole_weight(w, 0.2, &mut FaultRng::seed(5));
+        let report = milr.detect(&m).unwrap();
+        assert_eq!(report.flagged, vec![8]);
+        milr.recover(&mut m, &report).unwrap();
+        assert!(params_eq(&m, &golden, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn heals_corrupted_bias_layer() {
+        let mut m = test_model(4);
+        let golden = m.clone();
+        let milr = protect(&m);
+        m.layers_mut()[5].params_mut().unwrap().data_mut()[1] = -3.5;
+        let report = milr.detect(&m).unwrap();
+        assert_eq!(report.flagged, vec![5]);
+        milr.recover(&mut m, &report).unwrap();
+        assert!(params_eq(&m, &golden, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn heals_whole_layer_corruption_of_recoverable_layers() {
+        // Layer 8 (dense) fully randomized -> exact recovery expected.
+        let mut m = test_model(5);
+        let golden = m.clone();
+        let milr = protect(&m);
+        corrupt_layer(
+            m.layers_mut()[8].params_mut().unwrap().data_mut(),
+            &mut FaultRng::seed(9),
+        );
+        let report = milr.detect(&m).unwrap();
+        assert!(report.flagged.contains(&8));
+        let rec = milr.recover(&mut m, &report).unwrap();
+        assert!(rec.all_full(), "{:?}", rec.outcomes);
+        assert!(params_eq(&m, &golden, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn heals_multiple_layers_in_different_segments() {
+        let mut m = test_model(6);
+        let golden = m.clone();
+        let milr = protect(&m);
+        // Conv 0 (segment before the pool checkpoint) and dense 8
+        // (after it).
+        m.layers_mut()[0].params_mut().unwrap().data_mut()[3] += 5.0;
+        m.layers_mut()[8].params_mut().unwrap().data_mut()[7] -= 4.0;
+        let report = milr.detect(&m).unwrap();
+        assert_eq!(report.flagged, vec![0, 8]);
+        let rec = milr.recover(&mut m, &report).unwrap();
+        for (_, outcome) in &rec.outcomes {
+            assert!(
+                matches!(
+                    outcome,
+                    RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }
+                ),
+                "{:?}",
+                rec.outcomes
+            );
+        }
+        assert!(params_eq(&m, &golden, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn heals_rber_injection_with_self_recovery_extension() {
+        // With the dense self-recovery extension, the dense layer heals
+        // independently of its segment-mates, so iterative recovery
+        // converges to the golden parameters even with several
+        // erroneous layers in one checkpoint segment.
+        let mut m = test_model(7);
+        let golden = m.clone();
+        let milr = Milr::protect(
+            &m,
+            MilrConfig {
+                dense_self_recovery: true,
+                ..MilrConfig::default()
+            },
+        )
+        .unwrap();
+        let mut rng = FaultRng::seed(11);
+        for layer in m.layers_mut() {
+            if let Some(p) = layer.params_mut() {
+                inject_rber(p.data_mut(), 1e-3, &mut rng);
+            }
+        }
+        let report = milr.detect(&m).unwrap();
+        assert!(!report.is_clean());
+        milr.recover_iterative(&mut m, &report.flagged, 4).unwrap();
+        assert!(
+            params_eq(&m, &golden, 1e-3, 1e-4),
+            "parameters did not converge to golden"
+        );
+    }
+
+    #[test]
+    fn paper_mode_multi_error_segment_is_best_effort() {
+        // Paper-faithful configuration: several erroneous layers inside
+        // one checkpoint segment recover approximately, not exactly
+        // (§V-A: "full self-healing cannot be guaranteed. However,
+        // error recovery is invoked regardless"). What IS guaranteed:
+        // layers that are alone in their segment heal exactly.
+        let mut m = test_model(7);
+        let golden = m.clone();
+        let milr = protect(&m);
+        let mut rng = FaultRng::seed(11);
+        for layer in m.layers_mut() {
+            if let Some(p) = layer.params_mut() {
+                inject_rber(p.data_mut(), 1e-3, &mut rng);
+            }
+        }
+        let report = milr.detect(&m).unwrap();
+        // Seed 11 flags conv 0 (alone among checkpoints 0..3) plus conv
+        // 4 and dense 8, which share segment 3..11.
+        assert_eq!(report.flagged, vec![0, 4, 8]);
+        let rec = milr.recover(&mut m, &report).unwrap();
+        assert_eq!(rec.outcomes.len(), 3);
+        // Singleton-segment layer healed exactly.
+        assert!(m.layers()[0]
+            .params()
+            .unwrap()
+            .approx_eq(golden.layers()[0].params().unwrap(), 1e-4, 1e-5));
+        // Shared-segment layers were re-solved (parameters moved toward
+        // reproducing the golden flow) — recovery reports them, and the
+        // recovered network still reproduces the stored golden output
+        // checkpoint reasonably (best-effort contract).
+        for (_, outcome) in &rec.outcomes {
+            assert!(!matches!(outcome, RecoveryOutcome::Failed { .. }));
+        }
+    }
+
+    #[test]
+    fn rejects_structurally_different_model() {
+        let m = test_model(8);
+        let milr = protect(&m);
+        let other = test_model(9); // same structure, different weights: OK
+        assert!(milr.detect(&other).is_ok());
+        let mut rng = TensorRng::new(1);
+        let mut different = Sequential::new(vec![4]);
+        different
+            .push(Layer::dense_random(4, 2, &mut rng).unwrap())
+            .unwrap();
+        assert!(matches!(
+            milr.detect(&different),
+            Err(MilrError::ModelMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn recover_layers_accepts_explicit_targets() {
+        let mut m = test_model(10);
+        let golden = m.clone();
+        let milr = protect(&m);
+        corrupt_layer(
+            m.layers_mut()[9].params_mut().unwrap().data_mut(),
+            &mut FaultRng::seed(3),
+        );
+        // Heal without running detection (targeted recovery).
+        let rec = milr.recover_layers(&mut m, &[9]).unwrap();
+        assert!(rec.all_full());
+        assert!(params_eq(&m, &golden, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn reports_failed_recovery_without_aborting() {
+        let mut m = test_model(11);
+        let milr = protect(&m);
+        // Ask to recover a parameterless layer: Failed outcome, no
+        // panic, other layers unaffected.
+        let rec = milr.recover_layers(&mut m, &[2]).unwrap();
+        assert_eq!(rec.outcomes.len(), 1);
+        assert!(matches!(
+            rec.outcomes[0].1,
+            RecoveryOutcome::Failed { .. }
+        ));
+    }
+
+    #[test]
+    fn storage_report_is_consistent() {
+        let m = test_model(12);
+        let milr = protect(&m);
+        let report = milr.storage_report(&m);
+        assert!(report.milr_bytes() > 0);
+        assert_eq!(report.backup_bytes, m.param_count() * 4);
+        assert_eq!(report.ecc_bytes, m.param_count() * 7 / 8);
+    }
+}

@@ -1,0 +1,80 @@
+//! MILR's recovery-pass layer semantics.
+//!
+//! During initialization, detection and recovery, "all activation
+//! functions are treated as linear activation functions. Allowing forward
+//! and backward passes through the layer without any changes to the
+//! tensor" (paper §IV-D); dropout and other pass-through layers are
+//! "essentially ignored". Every MILR pass therefore flows through this
+//! module instead of the inference-time [`Layer::forward`], keeping the
+//! golden artifacts and the replayed passes bit-identical and the layer
+//! algebra exactly invertible.
+
+use crate::Result;
+use milr_nn::{Layer, Sequential};
+use milr_tensor::Tensor;
+
+/// Forward pass of one layer under MILR semantics: activations and
+/// dropout are identity, everything else is the normal layer math.
+pub(crate) fn milr_forward(layer: &Layer, x: &Tensor) -> Result<Tensor> {
+    match layer {
+        Layer::Activation(_) | Layer::Dropout { .. } => Ok(x.clone()),
+        other => Ok(other.forward(x)?),
+    }
+}
+
+/// Runs layers `from..to` of the model under MILR semantics.
+pub(crate) fn milr_forward_range(
+    model: &Sequential,
+    x: &Tensor,
+    from: usize,
+    to: usize,
+) -> Result<Tensor> {
+    let mut cur = x.clone();
+    for layer in &model.layers()[from..to] {
+        cur = milr_forward(layer, &cur)?;
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milr_nn::Activation;
+    use milr_tensor::TensorRng;
+
+    #[test]
+    fn activations_and_dropout_pass_through() {
+        let x = Tensor::from_vec(vec![-2.0, 3.0], &[1, 2]).unwrap();
+        let relu = Layer::Activation(Activation::Relu);
+        assert_eq!(milr_forward(&relu, &x).unwrap(), x);
+        let drop = Layer::Dropout { rate: 0.9 };
+        assert_eq!(milr_forward(&drop, &x).unwrap(), x);
+        // Inference semantics would have clamped the negative.
+        assert_ne!(relu.forward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn parameterized_layers_keep_their_math() {
+        let mut rng = TensorRng::new(1);
+        let dense = Layer::dense_random(4, 3, &mut rng).unwrap();
+        let x = rng.uniform_tensor(&[2, 4]);
+        assert_eq!(
+            milr_forward(&dense, &x).unwrap(),
+            dense.forward(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn range_composition() {
+        let mut rng = TensorRng::new(2);
+        let mut m = Sequential::new(vec![4]);
+        m.push(Layer::dense_random(4, 4, &mut rng).unwrap())
+            .unwrap();
+        m.push(Layer::Activation(Activation::Relu)).unwrap();
+        m.push(Layer::bias_zero(4)).unwrap();
+        let x = rng.uniform_tensor(&[1, 4]);
+        let ab = milr_forward_range(&m, &x, 0, 2).unwrap();
+        let full = milr_forward_range(&m, &ab, 2, 3).unwrap();
+        assert_eq!(full, milr_forward_range(&m, &x, 0, 3).unwrap());
+    }
+}

@@ -1,0 +1,267 @@
+//! MILR across layer topologies beyond the paper's three evaluation
+//! networks: same padding, stride 2, average pooling, zero padding,
+//! sigmoid/tanh activations, dropout — every layer variant the
+//! substrate supports must protect, detect and heal.
+
+use milr_core::{Milr, MilrConfig, RecoveryOutcome};
+use milr_fault::{corrupt_layer, FaultRng};
+use milr_nn::{Activation, Layer, Sequential};
+use milr_tensor::{ConvSpec, Padding, PoolSpec, Tensor, TensorRng};
+
+fn protect(model: &Sequential) -> Milr {
+    Milr::protect(model, MilrConfig::default()).expect("protect")
+}
+
+fn corrupt_and_heal(model: &mut Sequential, milr: &Milr, layer: usize) -> RecoveryOutcome {
+    corrupt_layer(
+        model.layers_mut()[layer]
+            .params_mut()
+            .expect("param layer")
+            .data_mut(),
+        &mut FaultRng::seed(layer as u64 + 100),
+    );
+    let report = milr.detect(model).expect("detect");
+    assert!(
+        report.flagged.contains(&layer),
+        "layer {layer} not flagged: {:?}",
+        report.flagged
+    );
+    let rec = milr.recover(model, &report).expect("recover");
+    rec.outcomes
+        .iter()
+        .find(|(l, _)| *l == layer)
+        .map(|(_, o)| o.clone())
+        .expect("outcome recorded")
+}
+
+fn params_close(a: &Sequential, b: &Sequential, layer: usize) -> bool {
+    a.layers()[layer]
+        .params()
+        .unwrap()
+        .approx_eq(b.layers()[layer].params().unwrap(), 1e-3, 1e-4)
+}
+
+#[test]
+fn same_padding_conv_heals() {
+    // Same padding puts zero rows into the im2col system; recovery must
+    // handle the border equations.
+    let mut rng = TensorRng::new(41);
+    let spec = ConvSpec::new(3, 1, Padding::Same).unwrap();
+    let mut m = Sequential::new(vec![8, 8, 1]);
+    m.push(Layer::conv2d_random(3, 1, 4, spec, &mut rng).unwrap())
+        .unwrap();
+    m.push(Layer::bias_zero(4)).unwrap();
+    let golden = m.clone();
+    let milr = protect(&m);
+    let outcome = corrupt_and_heal(&mut m, &milr, 0);
+    assert!(
+        matches!(outcome, RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }),
+        "{outcome:?}"
+    );
+    assert!(params_close(&m, &golden, 0));
+}
+
+#[test]
+fn stride_two_conv_heals() {
+    let mut rng = TensorRng::new(42);
+    let spec = ConvSpec::new(3, 2, Padding::Valid).unwrap();
+    let mut m = Sequential::new(vec![11, 11, 1]);
+    m.push(Layer::conv2d_random(3, 1, 4, spec, &mut rng).unwrap())
+        .unwrap();
+    let golden = m.clone();
+    let milr = protect(&m);
+    // G = (11-3)/2+1 = 5; G² = 25 >= F²Z = 9: determined system.
+    let outcome = corrupt_and_heal(&mut m, &milr, 0);
+    assert!(
+        matches!(outcome, RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }),
+        "{outcome:?}"
+    );
+    assert!(params_close(&m, &golden, 0));
+}
+
+#[test]
+fn avg_pool_gets_checkpoint_and_downstream_heals() {
+    let mut rng = TensorRng::new(43);
+    let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+    let mut m = Sequential::new(vec![10, 10, 1]);
+    m.push(Layer::conv2d_random(3, 1, 4, spec, &mut rng).unwrap())
+        .unwrap();
+    m.push(Layer::AvgPool2D(PoolSpec::new(2, 2).unwrap()))
+        .unwrap();
+    m.push(Layer::Flatten).unwrap();
+    m.push(Layer::dense_random(4 * 4 * 4, 6, &mut rng).unwrap())
+        .unwrap();
+    let golden = m.clone();
+    let milr = protect(&m);
+    // Average pooling is non-invertible: checkpoint at its position.
+    assert!(milr.plan().checkpoints.contains(&1));
+    let outcome = corrupt_and_heal(&mut m, &milr, 3);
+    assert!(matches!(outcome, RecoveryOutcome::Full), "{outcome:?}");
+    assert!(params_close(&m, &golden, 3));
+    // The conv before the pool heals too.
+    let outcome = corrupt_and_heal(&mut m, &milr, 0);
+    assert!(
+        matches!(outcome, RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }),
+        "{outcome:?}"
+    );
+    assert!(params_close(&m, &golden, 0));
+}
+
+#[test]
+fn zero_pad_layer_is_transparent_to_recovery() {
+    let mut rng = TensorRng::new(44);
+    let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+    let mut m = Sequential::new(vec![6, 6, 1]);
+    m.push(Layer::conv2d_random(3, 1, 4, spec, &mut rng).unwrap())
+        .unwrap();
+    m.push(Layer::ZeroPad2D { pad: 1 }).unwrap();
+    m.push(Layer::conv2d_random(3, 4, 4, spec, &mut rng).unwrap())
+        .unwrap();
+    let golden = m.clone();
+    let milr = protect(&m);
+    // Corrupt the first conv: its output must be recovered backward
+    // through the second conv AND the zero-pad layer (crop).
+    let outcome = corrupt_and_heal(&mut m, &milr, 0);
+    assert!(
+        matches!(outcome, RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }),
+        "{outcome:?}"
+    );
+    assert!(params_close(&m, &golden, 0));
+}
+
+#[test]
+fn sigmoid_and_tanh_networks_protect_and_heal() {
+    for activation in [Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
+        let mut rng = TensorRng::new(45);
+        let mut m = Sequential::new(vec![6]);
+        m.push(Layer::dense_random(6, 5, &mut rng).unwrap()).unwrap();
+        m.push(Layer::Activation(activation)).unwrap();
+        m.push(Layer::dense_random(5, 4, &mut rng).unwrap()).unwrap();
+        let golden = m.clone();
+        let milr = protect(&m);
+        let outcome = corrupt_and_heal(&mut m, &milr, 0);
+        assert!(matches!(outcome, RecoveryOutcome::Full), "{activation:?}");
+        assert!(params_close(&m, &golden, 0), "{activation:?}");
+    }
+}
+
+#[test]
+fn dropout_layer_is_ignored_by_milr() {
+    let mut rng = TensorRng::new(46);
+    let mut m = Sequential::new(vec![8]);
+    m.push(Layer::dense_random(8, 6, &mut rng).unwrap()).unwrap();
+    m.push(Layer::Dropout { rate: 0.5 }).unwrap();
+    m.push(Layer::dense_random(6, 4, &mut rng).unwrap()).unwrap();
+    let golden = m.clone();
+    let milr = protect(&m);
+    // Corrupt the layer *behind* the dropout: backward pass crosses it.
+    let outcome = corrupt_and_heal(&mut m, &milr, 0);
+    assert!(matches!(outcome, RecoveryOutcome::Full));
+    assert!(params_close(&m, &golden, 0));
+}
+
+#[test]
+fn deep_dense_chain_heals_each_layer_in_turn() {
+    let mut rng = TensorRng::new(47);
+    let widths = [10usize, 9, 8, 7, 6];
+    let mut m = Sequential::new(vec![widths[0]]);
+    for w in widths.windows(2) {
+        m.push(Layer::dense_random(w[0], w[1], &mut rng).unwrap())
+            .unwrap();
+        m.push(Layer::bias_zero(w[1])).unwrap();
+        m.push(Layer::Activation(Activation::Relu)).unwrap();
+    }
+    let golden = m.clone();
+    let milr = protect(&m);
+    for layer in (0..m.len()).filter(|&i| m.layers()[i].param_count() > 0) {
+        let mut victim = golden.clone();
+        let outcome = corrupt_and_heal(&mut victim, &milr, layer);
+        assert!(
+            matches!(outcome, RecoveryOutcome::Full),
+            "layer {layer}: {outcome:?}"
+        );
+        assert!(params_close(&victim, &golden, layer), "layer {layer}");
+    }
+}
+
+#[test]
+fn detection_survives_infinity_and_nan_weights() {
+    let mut rng = TensorRng::new(48);
+    let mut m = Sequential::new(vec![5]);
+    m.push(Layer::dense_random(5, 4, &mut rng).unwrap()).unwrap();
+    m.push(Layer::bias_zero(4)).unwrap();
+    let golden = m.clone();
+    let milr = protect(&m);
+    for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        let mut victim = golden.clone();
+        victim.layers_mut()[0].params_mut().unwrap().data_mut()[2] = poison;
+        let report = milr.detect(&victim).expect("detect");
+        assert!(report.flagged.contains(&0), "poison {poison} undetected");
+        milr.recover(&mut victim, &report).expect("recover");
+        assert!(params_close(&victim, &golden, 0), "poison {poison}");
+    }
+}
+
+#[test]
+fn flow_batch_config_strengthens_conv_systems() {
+    // With flow_batch 4, a conv that is partial at B=1 becomes fully
+    // determined (B·G² ≥ F²Z) and the plan reflects it.
+    let mut rng = TensorRng::new(49);
+    let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+    let build = || {
+        let mut m = Sequential::new(vec![6, 6, 4]);
+        m.push(Layer::conv2d_random(3, 4, 4, spec, &mut TensorRng::new(50)).unwrap())
+            .unwrap();
+        m
+    };
+    let _ = &mut rng;
+    let m = build();
+    // B=1: G²=16 < F²Z=36 -> partial.
+    let milr1 = Milr::protect(&m, MilrConfig::default()).unwrap();
+    assert_eq!(
+        format!("{:?}", milr1.plan().layers[0].solving.unwrap()),
+        "ConvPartial"
+    );
+    // B=4: 64 >= 36 -> full.
+    let milr4 = Milr::protect(
+        &m,
+        MilrConfig {
+            flow_batch: 4,
+            ..MilrConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        format!("{:?}", milr4.plan().layers[0].solving.unwrap()),
+        "ConvFull"
+    );
+    // And the stronger system still heals.
+    let mut victim = m.clone();
+    victim.layers_mut()[0].params_mut().unwrap().data_mut()[7] += 9.0;
+    let report = milr4.detect(&victim).unwrap();
+    milr4.recover(&mut victim, &report).unwrap();
+    assert!(victim.layers()[0]
+        .params()
+        .unwrap()
+        .approx_eq(m.layers()[0].params().unwrap(), 1e-3, 1e-4));
+}
+
+#[test]
+fn bias_only_difference_does_not_confuse_structure_check() {
+    // Same structure, different weights: detect works; recovered values
+    // are the *protected* network's weights, not the imposter's.
+    let mut rng_a = TensorRng::new(51);
+    let mut a = Sequential::new(vec![4]);
+    a.push(Layer::dense_random(4, 3, &mut rng_a).unwrap())
+        .unwrap();
+    let milr = protect(&a);
+    let mut rng_b = TensorRng::new(52);
+    let mut b = Sequential::new(vec![4]);
+    b.push(Layer::dense_random(4, 3, &mut rng_b).unwrap())
+        .unwrap();
+    let report = milr.detect(&b).expect("same structure detects fine");
+    assert!(report.flagged.contains(&0), "imposter weights flagged");
+    milr.recover(&mut b, &report).expect("recover");
+    let healed: &Tensor = b.layers()[0].params().unwrap();
+    assert!(healed.approx_eq(a.layers()[0].params().unwrap(), 1e-4, 1e-5));
+}

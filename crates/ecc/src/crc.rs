@@ -1,0 +1,171 @@
+//! Table-driven cyclic redundancy checks.
+//!
+//! MILR's 2-D error coding (paper §IV-B-c) computes CRCs over sets of 4
+//! parameters. CRC-32 (IEEE, reflected 0xEDB88320) is the default used by
+//! [`Crc2d`](crate::Crc2d); CRC-16 and CRC-8 exist for the
+//! storage-overhead ablation — a smaller code shrinks MILR's metadata at
+//! the price of a higher silent-collision probability.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32Hasher::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Incremental CRC-32 hasher.
+///
+/// ```
+/// use milr_ecc::{crc32, Crc32Hasher};
+///
+/// let mut h = Crc32Hasher::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finalize(), crc32(b"hello world"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32Hasher {
+    state: u32,
+}
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+impl Crc32Hasher {
+    /// Creates a hasher with the standard initial state.
+    pub fn new() -> Self {
+        Crc32Hasher { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Finishes and returns the checksum.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32Hasher {
+    fn default() -> Self {
+        Crc32Hasher::new()
+    }
+}
+
+/// CRC-16/CCITT-FALSE (polynomial `0x1021`, init `0xFFFF`).
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// CRC-8 (polynomial `0x07`, init `0x00`).
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc: u8 = 0;
+    for &b in data {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE check value.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc8_known_vector() {
+        // CRC-8 (SMBus) check value.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in [0usize, 1, 10, data.len()] {
+            let mut h = Crc32Hasher::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), crc32(data));
+        }
+    }
+
+    #[test]
+    fn default_equals_new() {
+        assert_eq!(Crc32Hasher::default(), Crc32Hasher::new());
+    }
+
+    proptest! {
+        #[test]
+        fn single_bit_flip_changes_crc32(
+            data in proptest::collection::vec(proptest::num::u8::ANY, 1..64),
+            flip in 0usize..512,
+        ) {
+            let mut corrupted = data.clone();
+            let bit = flip % (data.len() * 8);
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            prop_assert_ne!(crc32(&data), crc32(&corrupted));
+        }
+
+        #[test]
+        fn crc_is_deterministic(data in proptest::collection::vec(proptest::num::u8::ANY, 0..64)) {
+            prop_assert_eq!(crc32(&data), crc32(&data));
+            prop_assert_eq!(crc16(&data), crc16(&data));
+            prop_assert_eq!(crc8(&data), crc8(&data));
+        }
+    }
+}

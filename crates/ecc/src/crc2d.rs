@@ -1,0 +1,362 @@
+use crate::crc32;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for two-dimensional CRC error coding over a 2-D grid of
+/// `f32` parameters.
+///
+/// This is the paper's adaptation of Kim et al.'s 2-D error coding
+/// (§IV-B-c, Fig. 4): CRCs are computed *horizontally* over sets of
+/// [`group`](Crc2d::group) parameters along each row and *vertically*
+/// over sets along each column. A corrupted weight invalidates exactly
+/// one row code and one column code; intersecting the mismatched codes
+/// pinpoints candidate cells. MILR applies this to each of the `F²`
+/// `(Z, Y)` slices of a convolution filter tensor so that partial
+/// recovery can solve only for the flagged weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crc2d {
+    rows: usize,
+    cols: usize,
+    group: usize,
+}
+
+/// Stored CRC codes for one grid, produced by [`Crc2d::encode`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crc2dCodes {
+    config: Crc2d,
+    /// `rows × ceil(cols/group)` codes, row-major.
+    row_codes: Vec<u32>,
+    /// `cols × ceil(rows/group)` codes, column-major.
+    col_codes: Vec<u32>,
+}
+
+impl Crc2d {
+    /// Default parameter-group width used by the paper ("sets of 4
+    /// parameters").
+    pub const PAPER_GROUP: usize = 4;
+
+    /// Creates a configuration with the paper's group width of 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self::with_group(rows, cols, Self::PAPER_GROUP)
+    }
+
+    /// Creates a configuration with an explicit group width (for the
+    /// storage/false-positive ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn with_group(rows: usize, cols: usize, group: usize) -> Self {
+        assert!(rows > 0 && cols > 0 && group > 0, "grid must be non-empty");
+        Crc2d { rows, cols, group }
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Parameters per CRC group.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    fn row_chunks(&self) -> usize {
+        self.cols.div_ceil(self.group)
+    }
+
+    fn col_chunks(&self) -> usize {
+        self.rows.div_ceil(self.group)
+    }
+
+    /// Encodes a row-major `rows × cols` grid of parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid.len() != rows * cols`.
+    pub fn encode(&self, grid: &[f32]) -> Crc2dCodes {
+        assert_eq!(grid.len(), self.rows * self.cols, "grid size mismatch");
+        let mut row_codes = Vec::with_capacity(self.rows * self.row_chunks());
+        for r in 0..self.rows {
+            for chunk in 0..self.row_chunks() {
+                let start = chunk * self.group;
+                let end = (start + self.group).min(self.cols);
+                let mut bytes = Vec::with_capacity((end - start) * 4);
+                for c in start..end {
+                    bytes.extend_from_slice(&grid[r * self.cols + c].to_le_bytes());
+                }
+                row_codes.push(crc32(&bytes));
+            }
+        }
+        let mut col_codes = Vec::with_capacity(self.cols * self.col_chunks());
+        for c in 0..self.cols {
+            for chunk in 0..self.col_chunks() {
+                let start = chunk * self.group;
+                let end = (start + self.group).min(self.rows);
+                let mut bytes = Vec::with_capacity((end - start) * 4);
+                for r in start..end {
+                    bytes.extend_from_slice(&grid[r * self.cols + c].to_le_bytes());
+                }
+                col_codes.push(crc32(&bytes));
+            }
+        }
+        Crc2dCodes {
+            config: *self,
+            row_codes,
+            col_codes,
+        }
+    }
+}
+
+impl Crc2dCodes {
+    /// The configuration these codes were produced with.
+    pub fn config(&self) -> &Crc2d {
+        &self.config
+    }
+
+    /// Bytes of error-resistant storage these codes occupy (4 bytes per
+    /// CRC-32), for the storage-overhead accounting of Tables V/VII/IX.
+    pub fn storage_bytes(&self) -> usize {
+        (self.row_codes.len() + self.col_codes.len()) * 4
+    }
+
+    /// True when every stored code matches the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` does not match the configured dimensions.
+    pub fn is_clean(&self, grid: &[f32]) -> bool {
+        self.config.encode(grid) == *self
+    }
+
+    /// True when the row chunk and column chunk containing `(r, c)` both
+    /// match their stored codes — used by MILR to snap re-solved weights
+    /// to the exact golden bits (a recovered value one ulp off flips
+    /// both codes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid or the coordinates are out of range.
+    pub fn cell_consistent(&self, grid: &[f32], r: usize, c: usize) -> bool {
+        let cfg = &self.config;
+        assert_eq!(grid.len(), cfg.rows * cfg.cols, "grid size mismatch");
+        assert!(r < cfg.rows && c < cfg.cols, "cell out of range");
+        let row_chunk = c / cfg.group;
+        let start = row_chunk * cfg.group;
+        let end = (start + cfg.group).min(cfg.cols);
+        let mut bytes = Vec::with_capacity((end - start) * 4);
+        for cc in start..end {
+            bytes.extend_from_slice(&grid[r * cfg.cols + cc].to_le_bytes());
+        }
+        if crc32(&bytes) != self.row_codes[r * cfg.row_chunks() + row_chunk] {
+            return false;
+        }
+        let col_chunk = r / cfg.group;
+        let start = col_chunk * cfg.group;
+        let end = (start + cfg.group).min(cfg.rows);
+        let mut bytes = Vec::with_capacity((end - start) * 4);
+        for rr in start..end {
+            bytes.extend_from_slice(&grid[rr * cfg.cols + c].to_le_bytes());
+        }
+        crc32(&bytes) == self.col_codes[c * cfg.col_chunks() + col_chunk]
+    }
+
+    /// Returns the `(row, col)` cells suspected of corruption, by
+    /// intersecting mismatched horizontal and vertical codes.
+    ///
+    /// The result is a superset of the truly corrupted cells whenever
+    /// multiple errors share rows/columns (the false positives whose rate
+    /// the paper reports as low); it can miss errors only on a CRC-32
+    /// collision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` does not match the configured dimensions.
+    pub fn locate_errors(&self, grid: &[f32]) -> Vec<(usize, usize)> {
+        let fresh = self.config.encode(grid);
+        let cfg = &self.config;
+        let rc = cfg.row_chunks();
+        let cc = cfg.col_chunks();
+        // bad_row[r][chunk] / bad_col[c][chunk] mismatch bitmaps.
+        let bad_row: Vec<bool> = self
+            .row_codes
+            .iter()
+            .zip(fresh.row_codes.iter())
+            .map(|(a, b)| a != b)
+            .collect();
+        let bad_col: Vec<bool> = self
+            .col_codes
+            .iter()
+            .zip(fresh.col_codes.iter())
+            .map(|(a, b)| a != b)
+            .collect();
+        let mut cells = Vec::new();
+        for r in 0..cfg.rows {
+            for c in 0..cfg.cols {
+                let row_chunk = c / cfg.group;
+                let col_chunk = r / cfg.group;
+                if bad_row[r * rc + row_chunk] && bad_col[c * cc + col_chunk] {
+                    cells.push((r, c));
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols).map(|i| i as f32 * 0.37 - 3.0).collect()
+    }
+
+    #[test]
+    fn clean_grid_reports_no_errors() {
+        let g = grid(8, 8);
+        let codes = Crc2d::new(8, 8).encode(&g);
+        assert!(codes.is_clean(&g));
+        assert!(codes.locate_errors(&g).is_empty());
+    }
+
+    #[test]
+    fn single_error_located_exactly() {
+        let g = grid(8, 12);
+        let codes = Crc2d::new(8, 12).encode(&g);
+        let mut bad = g.clone();
+        bad[3 * 12 + 7] = f32::from_bits(bad[3 * 12 + 7].to_bits() ^ 0x0040_0000);
+        let cells = codes.locate_errors(&bad);
+        assert_eq!(cells, vec![(3, 7)]);
+    }
+
+    #[test]
+    fn multiple_scattered_errors_are_covered() {
+        let g = grid(16, 16);
+        let codes = Crc2d::new(16, 16).encode(&g);
+        let mut bad = g.clone();
+        let corrupted = [(0usize, 0usize), (5, 9), (12, 3), (15, 15)];
+        for &(r, c) in &corrupted {
+            bad[r * 16 + c] += 1.0;
+        }
+        let cells = codes.locate_errors(&bad);
+        for &(r, c) in &corrupted {
+            assert!(cells.contains(&(r, c)), "missing ({r},{c}) in {cells:?}");
+        }
+    }
+
+    #[test]
+    fn aligned_errors_produce_false_positives_not_misses() {
+        // Two errors in the same row chunk and two columns sharing a
+        // column chunk: the intersection may flag extra cells but never
+        // misses the real ones.
+        let g = grid(8, 8);
+        let codes = Crc2d::new(8, 8).encode(&g);
+        let mut bad = g.clone();
+        let corrupted = [(1usize, 2usize), (2, 1)];
+        for &(r, c) in &corrupted {
+            bad[r * 8 + c] -= 2.5;
+        }
+        let cells = codes.locate_errors(&bad);
+        for &(r, c) in &corrupted {
+            assert!(cells.contains(&(r, c)));
+        }
+        // (1,1) and (2,2) share the mismatched chunks: allowed false
+        // positives.
+        assert!(cells.len() >= 2);
+    }
+
+    #[test]
+    fn non_multiple_dimensions_handled() {
+        // 5x7 with group 4 exercises the ragged final chunks.
+        let g = grid(5, 7);
+        let codes = Crc2d::new(5, 7).encode(&g);
+        let mut bad = g.clone();
+        bad[4 * 7 + 6] *= -1.0;
+        assert_eq!(codes.locate_errors(&bad), vec![(4, 6)]);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let codes = Crc2d::new(8, 8).encode(&grid(8, 8));
+        // 8 rows x 2 chunks + 8 cols x 2 chunks = 32 codes x 4 bytes.
+        assert_eq!(codes.storage_bytes(), 128);
+    }
+
+    #[test]
+    fn group_width_affects_storage() {
+        let g = grid(8, 8);
+        let g4 = Crc2d::with_group(8, 8, 4).encode(&g).storage_bytes();
+        let g8 = Crc2d::with_group(8, 8, 8).encode(&g).storage_bytes();
+        assert!(g8 < g4);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid size mismatch")]
+    fn encode_panics_on_bad_grid() {
+        Crc2d::new(2, 2).encode(&[0.0; 3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn every_injected_error_is_flagged(
+            rows in 2usize..10,
+            cols in 2usize..10,
+            errors in proptest::collection::vec((0usize..100, 0usize..100), 1..6),
+        ) {
+            let g = grid(rows, cols);
+            let codes = Crc2d::new(rows, cols).encode(&g);
+            let mut bad = g.clone();
+            let mut truth = std::collections::HashSet::new();
+            for &(er, ec) in &errors {
+                let (r, c) = (er % rows, ec % cols);
+                bad[r * cols + c] += 7.25;
+                truth.insert((r, c));
+            }
+            // Cells whose value actually changed must all be flagged.
+            let flagged: std::collections::HashSet<_> =
+                codes.locate_errors(&bad).into_iter().collect();
+            for (r, c) in truth {
+                if bad[r * cols + c] != g[r * cols + c] {
+                    prop_assert!(flagged.contains(&(r, c)), "missed ({r},{c})");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod cell_tests {
+    use super::*;
+
+    #[test]
+    fn cell_consistent_tracks_corruption() {
+        let g: Vec<f32> = (0..64).map(|i| i as f32 * 0.3).collect();
+        let codes = Crc2d::new(8, 8).encode(&g);
+        assert!(codes.cell_consistent(&g, 3, 5));
+        let mut bad = g.clone();
+        bad[3 * 8 + 5] += 1.0;
+        assert!(!codes.cell_consistent(&bad, 3, 5));
+        // A cell sharing neither chunk is unaffected.
+        assert!(codes.cell_consistent(&bad, 0, 0));
+    }
+
+    #[test]
+    fn cell_consistent_detects_one_ulp() {
+        let g: Vec<f32> = (0..16).map(|i| i as f32 + 0.125).collect();
+        let codes = Crc2d::new(4, 4).encode(&g);
+        let mut bad = g.clone();
+        bad[5] = f32::from_bits(bad[5].to_bits() + 1);
+        assert!(!codes.cell_consistent(&bad, 1, 1));
+    }
+}

@@ -1,0 +1,189 @@
+use crate::{DecodeOutcome, Secded};
+
+/// A weight buffer stored under SECDED protection, one (39,32) code word
+/// per `f32` parameter — the ECC baseline configuration of the paper's
+/// evaluation ("protecting each word … that coincides with a single
+/// parameter").
+///
+/// Fault injectors flip bits directly in the code words (ciphertext-side
+/// DRAM errors); [`SecdedMemory::scrub`] then behaves like an ECC memory
+/// controller sweep: single-bit errors are corrected in place, multi-bit
+/// errors pass through silently ("no correction occurs and interrupts is
+/// not raised").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecdedMemory {
+    words: Vec<u64>,
+}
+
+/// Statistics from one scrub pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Words decoded without error.
+    pub clean: usize,
+    /// Words with a corrected single-bit error.
+    pub corrected: usize,
+    /// Words with a detected-but-uncorrectable (double) error.
+    pub uncorrectable: usize,
+}
+
+impl SecdedMemory {
+    /// Encodes a weight buffer into protected storage.
+    pub fn protect(weights: &[f32]) -> Self {
+        SecdedMemory {
+            words: weights
+                .iter()
+                .map(|w| Secded::encode(w.to_bits()))
+                .collect(),
+        }
+    }
+
+    /// Number of protected words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when no words are stored.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Raw code words (39 valid bits each).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable raw code words, for fault injection.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Flips one bit of one code word (bit 0..39).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` or `bit` is out of range.
+    pub fn flip_bit(&mut self, word: usize, bit: u32) {
+        assert!(bit < Secded::CODE_BITS, "bit {bit} outside code word");
+        self.words[word] ^= 1u64 << bit;
+    }
+
+    /// Decodes every word best-effort, without correcting storage.
+    pub fn read_all(&self) -> Vec<f32> {
+        self.words
+            .iter()
+            .map(|&w| f32::from_bits(Secded::decode(w).data()))
+            .collect()
+    }
+
+    /// Decodes every word, repairing correctable errors in place, and
+    /// returns the decoded weights plus statistics.
+    pub fn scrub(&mut self) -> (Vec<f32>, ScrubReport) {
+        let mut report = ScrubReport::default();
+        let mut out = Vec::with_capacity(self.words.len());
+        for w in &mut self.words {
+            match Secded::decode(*w) {
+                DecodeOutcome::Clean { data } => {
+                    report.clean += 1;
+                    out.push(f32::from_bits(data));
+                }
+                DecodeOutcome::Corrected { data, .. } => {
+                    report.corrected += 1;
+                    *w = Secded::encode(data);
+                    out.push(f32::from_bits(data));
+                }
+                DecodeOutcome::DoubleError { data } => {
+                    report.uncorrectable += 1;
+                    out.push(f32::from_bits(data));
+                }
+            }
+        }
+        (out, report)
+    }
+
+    /// ECC storage overhead in bytes: 7 check bits per 32-bit word
+    /// (`params × 7 / 8`), the quantity reported in the paper's storage
+    /// tables.
+    pub fn overhead_bytes(&self) -> usize {
+        self.words.len() * Secded::CHECK_BITS as usize / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_weights() -> Vec<f32> {
+        (0..64).map(|i| (i as f32) * 0.125 - 4.0).collect()
+    }
+
+    #[test]
+    fn protect_read_roundtrip() {
+        let w = sample_weights();
+        let mem = SecdedMemory::protect(&w);
+        assert_eq!(mem.len(), 64);
+        assert!(!mem.is_empty());
+        assert_eq!(mem.read_all(), w);
+    }
+
+    #[test]
+    fn scrub_fixes_single_bit_errors() {
+        let w = sample_weights();
+        let mut mem = SecdedMemory::protect(&w);
+        mem.flip_bit(3, 11);
+        mem.flip_bit(17, 0);
+        let (decoded, report) = mem.scrub();
+        assert_eq!(decoded, w);
+        assert_eq!(report.corrected, 2);
+        assert_eq!(report.uncorrectable, 0);
+        assert_eq!(report.clean, 62);
+        // Storage itself was healed: next scrub is clean.
+        let (_, second) = mem.scrub();
+        assert_eq!(second.corrected, 0);
+        assert_eq!(second.clean, 64);
+    }
+
+    #[test]
+    fn scrub_reports_double_errors_without_fixing() {
+        let w = sample_weights();
+        let mut mem = SecdedMemory::protect(&w);
+        mem.flip_bit(5, 2);
+        mem.flip_bit(5, 30);
+        let (decoded, report) = mem.scrub();
+        assert_eq!(report.uncorrectable, 1);
+        // The word is still corrupt (silent data corruption).
+        assert_ne!(decoded[5], w[5]);
+    }
+
+    #[test]
+    fn whole_weight_error_defeats_ecc() {
+        // The PSEC motivation: flip all 32 data-carrying bits.
+        let w = vec![1.5f32];
+        let mut mem = SecdedMemory::protect(&w);
+        for bit in 0..32 {
+            // Flip a spread of code-word bits (not only data positions;
+            // the attack model garbles the whole encryption word).
+            mem.flip_bit(0, bit);
+        }
+        let (decoded, report) = mem.scrub();
+        assert_eq!(report.corrected + report.uncorrectable + report.clean, 1);
+        assert_ne!(decoded[0], 1.5);
+    }
+
+    #[test]
+    fn overhead_matches_paper_formula() {
+        // MNIST network: 1,669,290 params -> ECC 1.46 MB (Table V).
+        let n = 1_669_290usize;
+        let mem = SecdedMemory::protect(&vec![0.0f32; 4]);
+        let _ = mem;
+        let bytes = n * 7 / 8;
+        let mb = bytes as f64 / 1_000_000.0;
+        assert!((mb - 1.46).abs() < 0.01, "{mb}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside code word")]
+    fn flip_bit_validates_position() {
+        let mut mem = SecdedMemory::protect(&[0.0]);
+        mem.flip_bit(0, 39);
+    }
+}

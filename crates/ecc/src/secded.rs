@@ -1,0 +1,265 @@
+/// Single-error-correcting, double-error-detecting Hamming code (39,32).
+///
+/// The code word layout follows the classic extended Hamming
+/// construction: bit positions `1..=38` hold parity bits at the powers of
+/// two (1, 2, 4, 8, 16, 32) and data bits elsewhere; bit position 0 holds
+/// the overall parity covering every other bit. Seven check bits protect
+/// 32 data bits, matching the paper's "(39,32) code … 7 additional ECC
+/// bits for each 32-bit word" (§V-A).
+///
+/// The type is a namespace: both operations are stateless associated
+/// functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Secded;
+
+/// Outcome of decoding a 39-bit SECDED code word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// Code word was clean; data extracted.
+    Clean {
+        /// The stored 32-bit word.
+        data: u32,
+    },
+    /// A single-bit error was detected and corrected.
+    Corrected {
+        /// The corrected 32-bit word.
+        data: u32,
+        /// Code-word bit position (0..39) that was repaired.
+        bit: u8,
+    },
+    /// A double-bit error was detected; `data` is the best-effort
+    /// (uncorrected) extraction. The paper's baseline raises no
+    /// interrupt in this case, so the corrupted data flows onward —
+    /// exactly how the evaluation treats multi-bit words.
+    DoubleError {
+        /// Best-effort extraction of the (still corrupt) data bits.
+        data: u32,
+    },
+}
+
+impl DecodeOutcome {
+    /// The carried data word regardless of outcome.
+    pub fn data(&self) -> u32 {
+        match *self {
+            DecodeOutcome::Clean { data }
+            | DecodeOutcome::Corrected { data, .. }
+            | DecodeOutcome::DoubleError { data } => data,
+        }
+    }
+
+    /// True unless a double error was detected.
+    pub fn is_reliable(&self) -> bool {
+        !matches!(self, DecodeOutcome::DoubleError { .. })
+    }
+}
+
+/// Code-word positions 1..=38 that hold data bits (non powers of two).
+fn data_positions() -> impl Iterator<Item = u32> {
+    (1u32..39).filter(|p| !p.is_power_of_two())
+}
+
+impl Secded {
+    /// Number of bits in a code word.
+    pub const CODE_BITS: u32 = 39;
+    /// Number of data bits per code word.
+    pub const DATA_BITS: u32 = 32;
+    /// Check bits per code word (Hamming + overall parity).
+    pub const CHECK_BITS: u32 = 7;
+
+    /// Encodes a 32-bit word into a 39-bit code word (stored in the low
+    /// bits of a `u64`).
+    pub fn encode(data: u32) -> u64 {
+        let mut word: u64 = 0;
+        // Scatter data bits into non-power-of-two positions 1..=38.
+        for (i, pos) in data_positions().enumerate() {
+            if (data >> i) & 1 == 1 {
+                word |= 1 << pos;
+            }
+        }
+        // Hamming parity bits at powers of two: parity over every
+        // position whose index has that bit set.
+        for p in [1u32, 2, 4, 8, 16, 32] {
+            let mut parity = 0u64;
+            for pos in 1..39u32 {
+                if pos & p != 0 {
+                    parity ^= (word >> pos) & 1;
+                }
+            }
+            word |= parity << p;
+        }
+        // Overall parity at position 0 covers positions 1..=38.
+        let mut overall = 0u64;
+        for pos in 1..39u32 {
+            overall ^= (word >> pos) & 1;
+        }
+        word |= overall;
+        word
+    }
+
+    /// Decodes a 39-bit code word, correcting a single-bit error and
+    /// detecting (without correcting) double-bit errors.
+    ///
+    /// Errors of three or more bits are beyond the code's guarantees and
+    /// may alias to any outcome — the same silent-corruption hazard the
+    /// paper exploits to motivate plaintext-space correction.
+    pub fn decode(mut word: u64) -> DecodeOutcome {
+        word &= (1u64 << 39) - 1;
+        // Syndrome: XOR of parity checks.
+        let mut syndrome = 0u32;
+        for p in [1u32, 2, 4, 8, 16, 32] {
+            let mut parity = 0u64;
+            for pos in 1..39u32 {
+                if pos & p != 0 {
+                    parity ^= (word >> pos) & 1;
+                }
+            }
+            if parity != 0 {
+                syndrome |= p;
+            }
+        }
+        let mut overall = 0u64;
+        for pos in 0..39u32 {
+            overall ^= (word >> pos) & 1;
+        }
+        match (syndrome, overall) {
+            (0, 0) => DecodeOutcome::Clean {
+                data: Self::extract(word),
+            },
+            (0, _) => {
+                // Overall parity bit itself flipped.
+                DecodeOutcome::Corrected {
+                    data: Self::extract(word),
+                    bit: 0,
+                }
+            }
+            (s, 1) if s < 39 => {
+                word ^= 1 << s;
+                DecodeOutcome::Corrected {
+                    data: Self::extract(word),
+                    bit: s as u8,
+                }
+            }
+            // Syndrome nonzero with even overall parity => double error;
+            // syndrome pointing past the code word => uncorrectable.
+            _ => DecodeOutcome::DoubleError {
+                data: Self::extract(word),
+            },
+        }
+    }
+
+    fn extract(word: u64) -> u32 {
+        let mut data = 0u32;
+        for (i, pos) in data_positions().enumerate() {
+            if (word >> pos) & 1 == 1 {
+                data |= 1 << i;
+            }
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn code_geometry() {
+        assert_eq!(Secded::CODE_BITS, 39);
+        assert_eq!(Secded::DATA_BITS + Secded::CHECK_BITS, Secded::CODE_BITS);
+        assert_eq!(data_positions().count(), 32);
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        for data in [0u32, 1, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0001] {
+            let word = Secded::encode(data);
+            assert_eq!(Secded::decode(word), DecodeOutcome::Clean { data });
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_flip() {
+        let data = 0xA5A5_5A5A;
+        let word = Secded::encode(data);
+        for bit in 0..39 {
+            let outcome = Secded::decode(word ^ (1 << bit));
+            match outcome {
+                DecodeOutcome::Corrected { data: d, bit: b } => {
+                    assert_eq!(d, data, "bit {bit}");
+                    assert_eq!(b as u32, bit);
+                }
+                other => panic!("bit {bit}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_double_bit_flip() {
+        let data = 0x1234_5678;
+        let word = Secded::encode(data);
+        for a in 0..39u32 {
+            for b in (a + 1)..39 {
+                let outcome = Secded::decode(word ^ (1 << a) ^ (1 << b));
+                assert!(
+                    matches!(outcome, DecodeOutcome::DoubleError { .. }),
+                    "bits {a},{b}: got {outcome:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let clean = DecodeOutcome::Clean { data: 7 };
+        assert_eq!(clean.data(), 7);
+        assert!(clean.is_reliable());
+        let double = DecodeOutcome::DoubleError { data: 9 };
+        assert_eq!(double.data(), 9);
+        assert!(!double.is_reliable());
+    }
+
+    #[test]
+    fn whole_word_corruption_is_not_correctable_to_original() {
+        // The PSEC scenario: all 32 data bits flipped (a whole-weight
+        // error). SECDED must NOT return the original data — that is the
+        // paper's core argument for MILR.
+        let data = 0x0F0F_1234;
+        let word = Secded::encode(data);
+        let mut corrupted = word;
+        for pos in data_positions() {
+            corrupted ^= 1u64 << pos;
+        }
+        let outcome = Secded::decode(corrupted);
+        assert_ne!(outcome.data(), data);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_word(data in proptest::num::u32::ANY) {
+            prop_assert_eq!(
+                Secded::decode(Secded::encode(data)),
+                DecodeOutcome::Clean { data }
+            );
+        }
+
+        #[test]
+        fn single_flip_always_corrected(data in proptest::num::u32::ANY, bit in 0u32..39) {
+            let word = Secded::encode(data) ^ (1u64 << bit);
+            let outcome = Secded::decode(word);
+            prop_assert_eq!(outcome.data(), data);
+            prop_assert!(outcome.is_reliable());
+        }
+
+        #[test]
+        fn double_flip_always_detected(
+            data in proptest::num::u32::ANY,
+            a in 0u32..39,
+            b in 0u32..39,
+        ) {
+            prop_assume!(a != b);
+            let word = Secded::encode(data) ^ (1u64 << a) ^ (1u64 << b);
+            prop_assert!(!Secded::decode(word).is_reliable());
+        }
+    }
+}

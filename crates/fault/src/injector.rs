@@ -1,0 +1,310 @@
+use crate::FaultRng;
+use milr_ecc::{Secded, SecdedMemory};
+use milr_xts::EncryptedMemory;
+
+/// Summary of one injection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InjectionReport {
+    /// Total bits flipped.
+    pub flipped_bits: usize,
+    /// Distinct weights (or code words / ciphertext blocks) touched.
+    pub affected_words: usize,
+}
+
+/// Flips each bit of each weight independently with probability `rber`
+/// — experiment (1) of the paper: "injecting the network with random bit
+/// flips with varying Raw Bit Error Rate", uniform over all 32 bit
+/// positions of each `f32` (sign, exponent and mantissa alike).
+///
+/// Skip-sampling makes this O(expected flips), so paper-scale buffers
+/// (millions of weights) inject in microseconds even at high rates.
+///
+/// # Panics
+///
+/// Panics unless `0 <= rber <= 1`.
+pub fn inject_rber(weights: &mut [f32], rber: f64, rng: &mut FaultRng) -> InjectionReport {
+    assert!((0.0..=1.0).contains(&rber), "rber {rber} out of range");
+    let mut report = InjectionReport::default();
+    if rber == 0.0 || weights.is_empty() {
+        return report;
+    }
+    let total_bits = weights.len() * 32;
+    let mut pos = rng.geometric_gap(rber);
+    let mut last_word = usize::MAX;
+    while pos < total_bits {
+        let word = pos / 32;
+        let bit = pos % 32;
+        weights[word] = f32::from_bits(weights[word].to_bits() ^ (1u32 << bit));
+        report.flipped_bits += 1;
+        if word != last_word {
+            report.affected_words += 1;
+            last_word = word;
+        }
+        pos += 1 + rng.geometric_gap(rber);
+    }
+    report
+}
+
+/// Flips **every** bit of each weight independently selected with
+/// probability `q` — experiment (2): "whole-weights are injected by
+/// flipping every bit in a weight with a probability of q", modelling
+/// the plaintext signature of ciphertext-space corruption.
+///
+/// # Panics
+///
+/// Panics unless `0 <= q <= 1`.
+pub fn inject_whole_weight(weights: &mut [f32], q: f64, rng: &mut FaultRng) -> InjectionReport {
+    assert!((0.0..=1.0).contains(&q), "q {q} out of range");
+    let mut report = InjectionReport::default();
+    if q == 0.0 || weights.is_empty() {
+        return report;
+    }
+    let mut idx = rng.geometric_gap(q);
+    while idx < weights.len() {
+        weights[idx] = f32::from_bits(!weights[idx].to_bits());
+        report.flipped_bits += 32;
+        report.affected_words += 1;
+        idx += 1 + rng.geometric_gap(q);
+    }
+    report
+}
+
+/// Replaces every weight with a uniformly random value guaranteed to
+/// differ from the original — experiment (3): "each layer individually
+/// has all of its parameters replaced by random values, where none of
+/// the values were the same as the original value".
+///
+/// Replacement values are random finite `f32` bit patterns in the same
+/// broad magnitude range as trained weights (drawn from `[-1, 1)`), so
+/// the corrupted layer is maximally wrong yet numerically well-behaved.
+pub fn corrupt_layer(weights: &mut [f32], rng: &mut FaultRng) -> InjectionReport {
+    for w in weights.iter_mut() {
+        loop {
+            // 24 random bits -> uniform in [-1, 1), like the substrate's
+            // PRNG weights.
+            let candidate = (rng.bits32() >> 8) as f32 / (1u32 << 23) as f32 - 1.0;
+            if candidate != *w {
+                *w = candidate;
+                break;
+            }
+        }
+    }
+    InjectionReport {
+        flipped_bits: weights.len() * 32,
+        affected_words: weights.len(),
+    }
+}
+
+/// Flips bits at rate `rber` across the 39-bit SECDED code words of an
+/// ECC-protected buffer — the ciphertext-side error process for the ECC
+/// and ECC+MILR arms of Figures 5/7/9.
+///
+/// # Panics
+///
+/// Panics unless `0 <= rber <= 1`.
+pub fn inject_secded_rber(
+    memory: &mut SecdedMemory,
+    rber: f64,
+    rng: &mut FaultRng,
+) -> InjectionReport {
+    assert!((0.0..=1.0).contains(&rber), "rber {rber} out of range");
+    let mut report = InjectionReport::default();
+    if rber == 0.0 || memory.is_empty() {
+        return report;
+    }
+    let bits_per = Secded::CODE_BITS as usize;
+    let total_bits = memory.len() * bits_per;
+    let mut pos = rng.geometric_gap(rber);
+    let mut last_word = usize::MAX;
+    while pos < total_bits {
+        let word = pos / bits_per;
+        let bit = (pos % bits_per) as u32;
+        memory.flip_bit(word, bit);
+        report.flipped_bits += 1;
+        if word != last_word {
+            report.affected_words += 1;
+            last_word = word;
+        }
+        pos += 1 + rng.geometric_gap(rber);
+    }
+    report
+}
+
+/// Flips ciphertext bits at rate `rber` in an AES-XTS-encrypted weight
+/// buffer — the encrypted-VM scenario: each flipped ciphertext bit
+/// garbles a whole 16-byte block (4 weights) of plaintext.
+///
+/// Returns the report plus the indices of flipped ciphertext bits (so
+/// callers can compute blast radii).
+///
+/// # Panics
+///
+/// Panics unless `0 <= rber <= 1`.
+pub fn inject_ciphertext_rber(
+    memory: &mut EncryptedMemory,
+    rber: f64,
+    rng: &mut FaultRng,
+) -> (InjectionReport, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&rber), "rber {rber} out of range");
+    let mut report = InjectionReport::default();
+    let mut flipped = Vec::new();
+    if rber == 0.0 || memory.is_empty() {
+        return (report, flipped);
+    }
+    let total_bits = memory.ciphertext_bits();
+    let mut pos = rng.geometric_gap(rber);
+    let mut last_block = usize::MAX;
+    while pos < total_bits {
+        memory.flip_ciphertext_bit(pos);
+        flipped.push(pos);
+        report.flipped_bits += 1;
+        let block = pos / 8 / milr_xts::BLOCK_BYTES;
+        if block != last_block {
+            report.affected_words += 1;
+            last_block = block;
+        }
+        pos += 1 + rng.geometric_gap(rber);
+    }
+    (report, flipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milr_xts::XtsCipher;
+
+    fn weights(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32) * 0.01 - 1.0).collect()
+    }
+
+    #[test]
+    fn rber_zero_is_noop() {
+        let mut w = weights(100);
+        let orig = w.clone();
+        let report = inject_rber(&mut w, 0.0, &mut FaultRng::seed(1));
+        assert_eq!(report, InjectionReport::default());
+        assert_eq!(w, orig);
+    }
+
+    #[test]
+    fn rber_flip_count_tracks_rate() {
+        let mut w = weights(10_000); // 320k bits
+        let report = inject_rber(&mut w, 1e-3, &mut FaultRng::seed(2));
+        // Expect ~320 flips; accept a wide 3-sigma-ish band.
+        assert!(
+            report.flipped_bits > 200 && report.flipped_bits < 460,
+            "{report:?}"
+        );
+        assert!(report.affected_words <= report.flipped_bits);
+    }
+
+    #[test]
+    fn rber_one_flips_everything() {
+        let mut w = weights(4);
+        let orig = w.clone();
+        let report = inject_rber(&mut w, 1.0, &mut FaultRng::seed(3));
+        assert_eq!(report.flipped_bits, 4 * 32);
+        assert_eq!(report.affected_words, 4);
+        for (a, b) in w.iter().zip(orig.iter()) {
+            assert_eq!(a.to_bits(), !b.to_bits());
+        }
+    }
+
+    #[test]
+    fn rber_is_reproducible() {
+        let mut w1 = weights(1000);
+        let mut w2 = weights(1000);
+        inject_rber(&mut w1, 1e-2, &mut FaultRng::seed(9));
+        inject_rber(&mut w2, 1e-2, &mut FaultRng::seed(9));
+        // Compare bit patterns: flips can produce NaN, where `==` fails.
+        let b1: Vec<u32> = w1.iter().map(|x| x.to_bits()).collect();
+        let b2: Vec<u32> = w2.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn whole_weight_inverts_selected_words() {
+        let mut w = weights(5000);
+        let orig = w.clone();
+        let report = inject_whole_weight(&mut w, 0.01, &mut FaultRng::seed(4));
+        assert!(report.affected_words > 10, "{report:?}");
+        assert_eq!(report.flipped_bits, report.affected_words * 32);
+        let mut seen = 0;
+        for (a, b) in w.iter().zip(orig.iter()) {
+            if a.to_bits() != b.to_bits() {
+                assert_eq!(a.to_bits(), !b.to_bits(), "partial flip detected");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, report.affected_words);
+    }
+
+    #[test]
+    fn corrupt_layer_changes_every_weight() {
+        let mut w = weights(257);
+        let orig = w.clone();
+        let report = corrupt_layer(&mut w, &mut FaultRng::seed(5));
+        assert_eq!(report.affected_words, 257);
+        for (a, b) in w.iter().zip(orig.iter()) {
+            assert_ne!(a, b);
+            assert!(a.is_finite());
+            assert!((-1.0..1.0).contains(a));
+        }
+    }
+
+    #[test]
+    fn secded_injection_is_correctable_at_low_rate() {
+        let w = weights(2000);
+        let mut mem = SecdedMemory::protect(&w);
+        // Rate low enough that double errors in one 39-bit word are
+        // unlikely.
+        let report = inject_secded_rber(&mut mem, 1e-4, &mut FaultRng::seed(6));
+        assert!(report.flipped_bits > 0);
+        let (decoded, scrub) = mem.scrub();
+        assert_eq!(scrub.uncorrectable, 0);
+        assert_eq!(decoded, w);
+    }
+
+    #[test]
+    fn secded_injection_at_high_rate_defeats_ecc() {
+        let w = weights(2000);
+        let mut mem = SecdedMemory::protect(&w);
+        inject_secded_rber(&mut mem, 0.02, &mut FaultRng::seed(7));
+        let (decoded, scrub) = mem.scrub();
+        assert!(scrub.uncorrectable > 0, "{scrub:?}");
+        assert_ne!(decoded, w);
+    }
+
+    #[test]
+    fn ciphertext_injection_garbles_blocks() {
+        let w = weights(64);
+        let cipher = XtsCipher::new(&[1; 16], &[2; 16]);
+        let mut mem = EncryptedMemory::encrypt(&w, cipher).unwrap();
+        let (report, bits) = inject_ciphertext_rber(&mut mem, 5e-3, &mut FaultRng::seed(8));
+        assert!(report.flipped_bits > 0);
+        assert_eq!(report.flipped_bits, bits.len());
+        let seen = mem.decrypt_all().unwrap();
+        // Every flipped bit's blast radius contains changed weights.
+        for &bit in &bits {
+            let radius = mem.blast_radius(bit);
+            assert!(
+                radius.clone().any(|i| seen[i] != w[i]),
+                "bit {bit} radius {radius:?} unchanged"
+            );
+        }
+        // Weights outside all blast radii are intact.
+        let garbled: std::collections::HashSet<usize> =
+            bits.iter().flat_map(|&b| mem.blast_radius(b)).collect();
+        for (i, (a, b)) in seen.iter().zip(w.iter()).enumerate() {
+            if !garbled.contains(&i) {
+                assert_eq!(a, b, "weight {i} outside blast radius changed");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rber_validates_probability() {
+        inject_rber(&mut [0.0], 1.5, &mut FaultRng::seed(0));
+    }
+}

@@ -1,0 +1,47 @@
+//! # milr-fault
+//!
+//! Seeded fault-injection simulator reproducing the three experiment
+//! families of the MILR paper's evaluation (§V-A):
+//!
+//! 1. **Random bit flips** at a raw bit error rate (RBER) `p` — every bit
+//!    of every `f32` weight flips independently with probability `p`,
+//!    "regardless of bit position and role" ([`inject_rber`]).
+//! 2. **Whole-weight errors** with probability `q` — every bit of a
+//!    selected weight is flipped ([`inject_whole_weight`]), the plaintext
+//!    signature of a ciphertext-space error under AES-XTS.
+//! 3. **Whole-layer corruption** — every parameter of a layer replaced by
+//!    a random value, "where none of the values were the same as the
+//!    original value" ([`corrupt_layer`]).
+//!
+//! Plus the two memory models those errors flow through:
+//!
+//! * [`inject_secded_rber`] flips bits in (39,32) SECDED code words —
+//!   the ECC-protected-DRAM baseline;
+//! * [`inject_ciphertext_rber`] flips bits in AES-XTS ciphertext — the
+//!   encrypted-VM scenario where each flipped bit garbles a whole
+//!   16-byte block of weights after decryption.
+//!
+//! All injectors draw from a caller-provided seeded RNG, so every
+//! experiment run is reproducible.
+//!
+//! ```
+//! use milr_fault::{inject_rber, FaultRng};
+//!
+//! let mut weights = vec![1.0f32; 1000];
+//! let mut rng = FaultRng::seed(7);
+//! let report = inject_rber(&mut weights, 1e-3, &mut rng);
+//! // 32,000 bits at p = 1e-3 : tens of flips expected.
+//! assert!(report.flipped_bits > 0);
+//! assert!(weights.iter().any(|&w| w != 1.0));
+//! ```
+
+#![deny(missing_docs)]
+
+mod injector;
+mod rng;
+
+pub use injector::{
+    corrupt_layer, inject_ciphertext_rber, inject_rber, inject_secded_rber,
+    inject_whole_weight, InjectionReport,
+};
+pub use rng::FaultRng;

@@ -1,0 +1,121 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random source for fault injection.
+///
+/// Thin wrapper over [`rand::rngs::StdRng`] exposing exactly the
+/// primitives the injectors need. Unlike the PRNG tensors of
+/// `milr-tensor` (whose stream is part of MILR's *storage format* and
+/// must be stable forever), injection randomness only needs to be
+/// reproducible within a build, so the standard generator is fine here.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    inner: StdRng,
+}
+
+impl FaultRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        FaultRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `u32` over the full range (used to synthesize corrupted
+    /// weight bit patterns).
+    pub fn bits32(&mut self) -> u32 {
+        self.inner.gen()
+    }
+
+    /// Draws the gap to the next Bernoulli success in a stream of trials
+    /// with probability `p` (geometric distribution, zero-based).
+    ///
+    /// Used to skip-sample RBER injection over billions of bits without
+    /// testing each bit individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    pub fn geometric_gap(&mut self, p: f64) -> usize {
+        assert!(p > 0.0 && p <= 1.0, "probability {p} out of range");
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = self.unit().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - p).ln()).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = FaultRng::seed(1);
+        let mut b = FaultRng::seed(1);
+        for _ in 0..32 {
+            assert_eq!(a.bits32(), b.bits32());
+        }
+        let mut c = FaultRng::seed(2);
+        assert_ne!(a.bits32(), c.bits32());
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut rng = FaultRng::seed(3);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = FaultRng::seed(4);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn geometric_gap_mean_matches_distribution() {
+        let mut rng = FaultRng::seed(5);
+        let p = 0.01f64;
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| rng.geometric_gap(p) as f64).sum::<f64>() / n as f64;
+        // Expected gap = (1-p)/p ≈ 99.
+        let expect = (1.0 - p) / p;
+        assert!(
+            (mean - expect).abs() < expect * 0.1,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn geometric_gap_p_one_is_zero() {
+        let mut rng = FaultRng::seed(6);
+        assert_eq!(rng.geometric_gap(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn geometric_gap_rejects_zero() {
+        FaultRng::seed(7).geometric_gap(0.0);
+    }
+}

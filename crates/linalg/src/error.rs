@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions were incompatible with the requested operation.
+    ShapeMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Left/first operand shape `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Right/second operand shape; for vectors, `(len, 1)`.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) to working
+    /// precision; factorization or solving cannot proceed.
+    Singular {
+        /// Pivot column where breakdown was detected.
+        pivot: usize,
+    },
+    /// The operation requires `rows >= cols` (over-determined or square).
+    Underdetermined {
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix cols.
+        cols: usize,
+    },
+    /// Row data of uneven length was supplied to a constructor.
+    RaggedRows,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "incompatible shapes for {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::Underdetermined { rows, cols } => write!(
+                f,
+                "system with {rows} equations and {cols} unknowns is under-determined"
+            ),
+            LinalgError::RaggedRows => write!(f, "rows have unequal lengths"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LinalgError::Singular { pivot: 3 }.to_string().contains('3'));
+        assert!(LinalgError::RaggedRows.to_string().contains("unequal"));
+        let e = LinalgError::Underdetermined { rows: 2, cols: 5 };
+        assert!(e.to_string().contains("under-determined"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

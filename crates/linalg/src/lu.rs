@@ -1,0 +1,370 @@
+use crate::{LinalgError, Mat, Result};
+
+/// Minimum trailing-submatrix area before LU row updates are fanned out
+/// to worker threads. Below this, threading overhead dominates.
+const PAR_AREA_THRESHOLD: usize = 128 * 128;
+
+/// LU factorization with partial (row) pivoting: `P·A = L·U`.
+///
+/// MILR's dense parameter solving factors the (possibly dummy-padded)
+/// layer input once and reuses the factorization for every output column
+/// (paper §IV-A-b) — that reuse is why `Lu` is a first-class type here
+/// rather than a private helper of [`Mat::solve`].
+///
+/// ```
+/// use milr_linalg::{Lu, Mat};
+///
+/// let a = Mat::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?;
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&[2.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), milr_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper).
+    lu: Mat,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Smallest and largest absolute pivots, kept as a cheap conditioning
+    /// signal.
+    pivot_extremes: (f64, f64),
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] for non-square input and
+    /// [`LinalgError::Singular`] when no usable pivot exists in some
+    /// column.
+    pub fn factor(a: &Mat) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu",
+                lhs: (a.rows(), a.cols()),
+                rhs: (a.rows(), a.rows()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut min_piv = f64::INFINITY;
+        let mut max_piv = 0.0f64;
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        for k in 0..n {
+            // Partial pivot: largest |a[i][k]| for i >= k.
+            let mut best = k;
+            let mut best_abs = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > best_abs {
+                    best = i;
+                    best_abs = v;
+                }
+            }
+            if best_abs == 0.0 || !best_abs.is_finite() {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if best != k {
+                swap_rows(lu.data_mut(), n, k, best);
+                perm.swap(k, best);
+            }
+            min_piv = min_piv.min(best_abs);
+            max_piv = max_piv.max(best_abs);
+
+            let trailing_rows = n - k - 1;
+            let trailing_area = trailing_rows * (n - k);
+            let data = lu.data_mut();
+            let (head, tail) = data.split_at_mut((k + 1) * n);
+            let pivot_row = &head[k * n..(k + 1) * n];
+            let pivot = pivot_row[k];
+            let update = |row: &mut [f64]| {
+                let m = row[k] / pivot;
+                row[k] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        row[j] -= m * pivot_row[j];
+                    }
+                }
+            };
+            if trailing_area >= PAR_AREA_THRESHOLD && threads > 1 {
+                let mut rows: Vec<&mut [f64]> = tail.chunks_mut(n).collect();
+                let chunk = rows.len().div_ceil(threads);
+                crossbeam::scope(|s| {
+                    while !rows.is_empty() {
+                        let take = chunk.min(rows.len());
+                        let batch: Vec<&mut [f64]> = rows.drain(..take).collect();
+                        s.spawn(|_| {
+                            for row in batch {
+                                update(row);
+                            }
+                        });
+                    }
+                })
+                .expect("LU worker thread panicked");
+            } else {
+                for row in tail.chunks_mut(n) {
+                    update(row);
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            pivot_extremes: (min_piv, max_piv),
+        })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// `min |pivot| / max |pivot|` — a cheap conditioning signal in
+    /// `(0, 1]`; values near zero indicate an ill-conditioned system whose
+    /// recovered weights may not round back to the original `f32` bits.
+    pub fn recip_pivot_ratio(&self) -> f64 {
+        let (min, max) = self.pivot_extremes;
+        if max == 0.0 {
+            0.0
+        } else {
+            min / max
+        }
+    }
+
+    /// Solves for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, forward-substitute L, back-substitute U.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        let lu = &self.lu;
+        for i in 1..n {
+            let mut sum = x[i];
+            let row = lu.row(i);
+            for (j, xj) in x.iter().enumerate().take(i) {
+                sum -= row[j] * xj;
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            let row = lu.row(i);
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= row[j] * xj;
+            }
+            x[i] = sum / row[i];
+        }
+        Ok(x)
+    }
+
+    /// Solves for every column of `B`, in parallel for wide right-hand
+    /// sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `B.rows() != dim()`.
+    pub fn solve_multi(&self, b: &Mat) -> Result<Mat> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve_multi",
+                lhs: (n, n),
+                rhs: (b.rows(), b.cols()),
+            });
+        }
+        let p = b.cols();
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        let mut out = Mat::zeros(n, p);
+        if p >= 4 && threads > 1 && n * n * p >= PAR_AREA_THRESHOLD {
+            let cols: Vec<usize> = (0..p).collect();
+            let chunk = p.div_ceil(threads);
+            let results: Vec<(usize, Vec<f64>)> = crossbeam::scope(|s| {
+                let handles: Vec<_> = cols
+                    .chunks(chunk)
+                    .map(|batch| {
+                        let batch = batch.to_vec();
+                        s.spawn(move |_| {
+                            batch
+                                .into_iter()
+                                .map(|j| (j, self.solve(&b.col(j)).expect("shape checked")))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("solver thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed");
+            for (j, x) in results {
+                for (i, &v) in x.iter().enumerate() {
+                    out.set(i, j, v);
+                }
+            }
+        } else {
+            for j in 0..p {
+                let x = self.solve(&b.col(j))?;
+                for (i, &v) in x.iter().enumerate() {
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn swap_rows(data: &mut [f64], n: usize, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let (lo, hi) = (a.min(b), a.max(b));
+    let (head, tail) = data.split_at_mut(hi * n);
+    head[lo * n..(lo + 1) * n].swap_with_slice(&mut tail[..n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Lu::factor(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+        let z = Mat::zeros(3, 3);
+        assert!(Lu::factor(&z).is_err());
+    }
+
+    #[test]
+    fn solves_with_pivoting_required() {
+        // Leading zero forces a row swap.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = Lu::factor(&a).unwrap().solve(&[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_validates_rhs_length() {
+        let lu = Lu::factor(&Mat::eye(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+        assert!(lu.solve_multi(&Mat::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn solve_multi_matches_individual_solves() {
+        let a = Mat::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let b = Mat::from_fn(3, 5, |i, j| (i * 5 + j) as f64 - 7.0);
+        let x = lu.solve_multi(&b).unwrap();
+        for j in 0..5 {
+            let xj = lu.solve(&b.col(j)).unwrap();
+            for i in 0..3 {
+                assert!((x.get(i, j) - xj[i]).abs() < 1e-12);
+            }
+        }
+        // Residual check: A X ≈ B.
+        let back = a.matmul(&x).unwrap();
+        assert!(back.approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        assert!(a.matmul(&inv).unwrap().approx_eq(&Mat::eye(2), 1e-12));
+    }
+
+    #[test]
+    fn pivot_ratio_reflects_conditioning() {
+        let well = Mat::eye(4);
+        assert!((Lu::factor(&well).unwrap().recip_pivot_ratio() - 1.0).abs() < 1e-12);
+        let ill = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1e-12]]).unwrap();
+        assert!(Lu::factor(&ill).unwrap().recip_pivot_ratio() < 1e-10);
+    }
+
+    #[test]
+    fn large_system_triggers_parallel_path_and_stays_accurate() {
+        // 200x200 diagonally dominant system: area 40_000 > threshold.
+        let n = 200;
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                n as f64
+            } else {
+                ((i * 31 + j * 17) % 13) as f64 / 13.0
+            }
+        });
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64) - 0.5).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn solve_recovers_known_solution(
+            n in 1usize..8,
+            seed in proptest::collection::vec(-3.0f64..3.0, 64 + 8),
+        ) {
+            // Diagonally dominant => nonsingular and well conditioned.
+            let a = Mat::from_fn(n, n, |i, j| {
+                let v = seed[i * 8 + j];
+                if i == j { v.abs() + (n as f64) * 4.0 } else { v }
+            });
+            let x_true: Vec<f64> = (0..n).map(|i| seed[64 + i]).collect();
+            let b = a.matvec(&x_true).unwrap();
+            let x = a.solve(&b).unwrap();
+            for (xi, ti) in x.iter().zip(x_true.iter()) {
+                prop_assert!((xi - ti).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn permutation_invariance(perm_seed in 0u64..1000) {
+            // Shuffling rows of A and b identically must not change x.
+            let a = Mat::from_rows(&[
+                &[5.0, 1.0, 0.5],
+                &[0.25, 6.0, 1.0],
+                &[1.0, 0.5, 7.0],
+            ]).unwrap();
+            let b = vec![1.0, 2.0, 3.0];
+            let x0 = a.solve(&b).unwrap();
+            let k = (perm_seed % 3) as usize;
+            let order = [[0usize, 1, 2], [1, 2, 0], [2, 0, 1]][k];
+            let ap = Mat::from_rows(&[a.row(order[0]), a.row(order[1]), a.row(order[2])]).unwrap();
+            let bp: Vec<f64> = order.iter().map(|&i| b[i]).collect();
+            let x1 = ap.solve(&bp).unwrap();
+            for (u, v) in x0.iter().zip(x1.iter()) {
+                prop_assert!((u - v).abs() < 1e-10);
+            }
+        }
+    }
+}

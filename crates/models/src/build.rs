@@ -1,0 +1,276 @@
+use milr_nn::{data, Activation, Layer, Sequential, Trainer, TrainerConfig};
+use milr_tensor::{ConvSpec, Padding, PoolSpec, TensorRng};
+
+/// A constructed paper network plus its metadata.
+#[derive(Debug, Clone)]
+pub struct PaperNet {
+    /// Network name as used in the paper ("MNIST", "CIFAR-10 small",
+    /// "CIFAR-10 large").
+    pub name: &'static str,
+    /// The model, randomly initialized (train with
+    /// [`milr_nn::Trainer`] or [`trained_reduced`] for a quick fixture).
+    pub model: Sequential,
+}
+
+fn push_conv_block(
+    model: &mut Sequential,
+    rng: &mut TensorRng,
+    filter: usize,
+    out: usize,
+    padding: Padding,
+) {
+    let in_channels = model.output_shape()[2];
+    let spec = ConvSpec::new(filter, 1, padding).expect("static geometry");
+    model
+        .push(Layer::conv2d_random(filter, in_channels, out, spec, rng).expect("static config"))
+        .expect("table geometry is consistent");
+    model
+        .push(Layer::bias_zero(out))
+        .expect("bias after conv always fits");
+    model
+        .push(Layer::Activation(Activation::Relu))
+        .expect("activation always fits");
+}
+
+fn push_dense_block(model: &mut Sequential, rng: &mut TensorRng, out: usize, relu: bool) {
+    let inputs = model.output_shape()[0];
+    model
+        .push(Layer::dense_random(inputs, out, rng).expect("static config"))
+        .expect("table geometry is consistent");
+    model
+        .push(Layer::bias_zero(out))
+        .expect("bias after dense always fits");
+    if relu {
+        model
+            .push(Layer::Activation(Activation::Relu))
+            .expect("activation always fits");
+    }
+}
+
+fn push_pool(model: &mut Sequential) {
+    model
+        .push(Layer::MaxPool2D(PoolSpec::new(2, 2).expect("static")))
+        .expect("table geometry is consistent");
+}
+
+/// The MNIST network of Table I: three valid-padding 3×3 convolutions
+/// (32, 32, 64 filters) with one 2×2 max-pool, then dense 256 and dense
+/// 10. 1,669,290 trainable parameters.
+pub fn mnist(seed: u64) -> PaperNet {
+    let mut rng = TensorRng::new(seed);
+    let mut model = Sequential::new(vec![28, 28, 1]);
+    push_conv_block(&mut model, &mut rng, 3, 32, Padding::Valid); // (26,26,32)  320
+    push_conv_block(&mut model, &mut rng, 3, 32, Padding::Valid); // (24,24,32)  9,248
+    push_pool(&mut model); // (12,12,32)
+    push_conv_block(&mut model, &mut rng, 3, 64, Padding::Valid); // (10,10,64)  18,496
+    model.push(Layer::Flatten).expect("flatten always fits"); // 6400
+    push_dense_block(&mut model, &mut rng, 256, true); // 1,638,656
+    push_dense_block(&mut model, &mut rng, 10, false); // 2,570
+    model
+        .push(Layer::Activation(Activation::Softmax))
+        .expect("softmax head");
+    PaperNet {
+        name: "MNIST",
+        model,
+    }
+}
+
+/// The CIFAR-10 small network of Table II: VGG-style same-padding 3×3
+/// stacks (32·2, 64·2, 128·3) with three max-pools, dense 128, dense 10.
+/// 698,154 trainable parameters.
+pub fn cifar_small(seed: u64) -> PaperNet {
+    let mut rng = TensorRng::new(seed);
+    let mut model = Sequential::new(vec![32, 32, 3]);
+    push_conv_block(&mut model, &mut rng, 3, 32, Padding::Same); // (32,32,32)  896
+    push_conv_block(&mut model, &mut rng, 3, 32, Padding::Same); // (32,32,32)  9,248
+    push_pool(&mut model); // (16,16,32)
+    push_conv_block(&mut model, &mut rng, 3, 64, Padding::Same); // 18,496
+    push_conv_block(&mut model, &mut rng, 3, 64, Padding::Same); // 36,928
+    push_pool(&mut model); // (8,8,64)
+    push_conv_block(&mut model, &mut rng, 3, 128, Padding::Same); // 73,856
+    push_conv_block(&mut model, &mut rng, 3, 128, Padding::Same); // 147,584
+    push_conv_block(&mut model, &mut rng, 3, 128, Padding::Same); // 147,584
+    push_pool(&mut model); // (4,4,128)
+    model.push(Layer::Flatten).expect("flatten always fits"); // 2048
+    push_dense_block(&mut model, &mut rng, 128, true); // 262,272
+    push_dense_block(&mut model, &mut rng, 10, false); // 1,290
+    model
+        .push(Layer::Activation(Activation::Softmax))
+        .expect("softmax head");
+    PaperNet {
+        name: "CIFAR-10 small",
+        model,
+    }
+}
+
+/// The CIFAR-10 large network of Table III (after FAWCA): same-padding
+/// 5×5 convolutions (96, 96, 80, 64, 64, 96) with two max-pools, dense
+/// 256, dense 10. 2,389,786 trainable parameters.
+pub fn cifar_large(seed: u64) -> PaperNet {
+    let mut rng = TensorRng::new(seed);
+    let mut model = Sequential::new(vec![32, 32, 3]);
+    push_conv_block(&mut model, &mut rng, 5, 96, Padding::Same); // (32,32,96)  7,296
+    push_pool(&mut model); // (16,16,96)
+    push_conv_block(&mut model, &mut rng, 5, 96, Padding::Same); // 230,496
+    push_pool(&mut model); // (8,8,96)
+    push_conv_block(&mut model, &mut rng, 5, 80, Padding::Same); // 192,080
+    push_conv_block(&mut model, &mut rng, 5, 64, Padding::Same); // 128,064
+    push_conv_block(&mut model, &mut rng, 5, 64, Padding::Same); // 102,464
+    push_conv_block(&mut model, &mut rng, 5, 96, Padding::Same); // 153,696
+    model.push(Layer::Flatten).expect("flatten always fits"); // 6144
+    push_dense_block(&mut model, &mut rng, 256, true); // 1,573,120
+    push_dense_block(&mut model, &mut rng, 10, false); // 2,570
+    model
+        .push(Layer::Activation(Activation::Softmax))
+        .expect("softmax head");
+    PaperNet {
+        name: "CIFAR-10 large",
+        model,
+    }
+}
+
+/// Trains a reduced-scale network briefly on the matching synthetic
+/// dataset and returns it together with a held-out test set — the
+/// standard fixture for integration tests and examples.
+///
+/// `which` selects the twin: `"mnist"` (glyph digits) or anything else
+/// (color patches / CIFAR twin).
+pub fn trained_reduced(which: &str, seed: u64) -> (Sequential, data::Dataset) {
+    let (mut model, train, test) = if which == "mnist" {
+        let net = crate::reduced_mnist(seed);
+        let train = data::digits(300, 14, seed ^ 0xA5A5);
+        let test = data::digits(80, 14, seed ^ 0x5A5A);
+        (net.model, train, test)
+    } else {
+        let net = crate::reduced_cifar_small(seed);
+        let train = data::patches(300, 16, seed ^ 0xA5A5);
+        let test = data::patches(80, 16, seed ^ 0x5A5A);
+        (net.model, train, test)
+    };
+    let mut trainer = Trainer::new(TrainerConfig {
+        learning_rate: 0.03,
+        momentum: 0.9,
+        seed,
+    });
+    trainer
+        .fit(&mut model, &train, 10, 25)
+        .expect("training the reduced net is infallible by construction");
+    (model, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Layer-by-layer (layer, trainable) expectations from the paper's
+    /// tables, with conv/dense + bias split the way MILR treats them.
+    fn table_param_sum(pairs: &[(usize, usize)]) -> usize {
+        pairs.iter().map(|(w, b)| w + b).sum()
+    }
+
+    #[test]
+    fn mnist_matches_table_i() {
+        let net = mnist(1);
+        let m = &net.model;
+        assert_eq!(net.name, "MNIST");
+        // Output shapes along the stack (conv outputs, Table I rows).
+        assert_eq!(m.shape_at(1), &[26, 26, 32]);
+        assert_eq!(m.shape_at(4), &[24, 24, 32]);
+        assert_eq!(m.shape_at(7), &[12, 12, 32]); // after pool
+        assert_eq!(m.shape_at(8), &[10, 10, 64]);
+        assert_eq!(m.output_shape(), &[10]);
+        // Parameter totals per table row.
+        let rows = [(288, 32), (9_216, 32), (18_432, 64), (1_638_400, 256), (2_560, 10)];
+        assert_eq!(m.param_count(), table_param_sum(&rows));
+        assert_eq!(m.param_count(), 1_669_290);
+    }
+
+    #[test]
+    fn cifar_small_matches_table_ii() {
+        let net = cifar_small(2);
+        let m = &net.model;
+        assert_eq!(m.shape_at(1), &[32, 32, 32]);
+        assert_eq!(m.output_shape(), &[10]);
+        let rows = [
+            (864, 32),
+            (9_216, 32),
+            (18_432, 64),
+            (36_864, 64),
+            (73_728, 128),
+            (147_456, 128),
+            (147_456, 128),
+            (262_144, 128),
+            (1_280, 10),
+        ];
+        assert_eq!(m.param_count(), table_param_sum(&rows));
+        // Table II total: 896+9248+18496+36928+73856+147584+147584+262272+1290.
+        assert_eq!(m.param_count(), 698_154);
+    }
+
+    #[test]
+    fn cifar_large_matches_table_iii() {
+        let net = cifar_large(3);
+        let m = &net.model;
+        assert_eq!(m.shape_at(1), &[32, 32, 96]);
+        let rows = [
+            (7_200, 96),
+            (230_400, 96),
+            (192_000, 80),
+            (128_000, 64),
+            (102_400, 64),
+            (153_600, 96),
+            (1_572_864, 256),
+            (2_560, 10),
+        ];
+        assert_eq!(m.param_count(), table_param_sum(&rows));
+        // Table III total: 7296+230496+192080+128064+102464+153696+1573120+2570.
+        assert_eq!(m.param_count(), 2_389_786);
+    }
+
+    #[test]
+    fn bias_and_relu_follow_every_conv_and_dense() {
+        for net in [mnist(4), cifar_small(4), cifar_large(4)] {
+            let layers = net.model.layers();
+            for (i, l) in layers.iter().enumerate() {
+                match l.kind_name() {
+                    "Conv2D" => {
+                        assert_eq!(layers[i + 1].kind_name(), "Bias", "{}: layer {i}", net.name);
+                        assert_eq!(
+                            layers[i + 2].kind_name(),
+                            "Activation",
+                            "{}: layer {i}",
+                            net.name
+                        );
+                    }
+                    "Dense" => {
+                        assert_eq!(layers[i + 1].kind_name(), "Bias", "{}: layer {i}", net.name);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_nets_run_forward() {
+        // One tiny batch through each full-scale network.
+        let nets = [mnist(5)];
+        for net in nets {
+            let input_dims: Vec<usize> = std::iter::once(1)
+                .chain(net.model.input_shape().iter().copied())
+                .collect();
+            let batch = TensorRng::new(1).uniform_tensor(&input_dims);
+            let out = net.model.forward(&batch).unwrap();
+            assert_eq!(out.shape().dims(), &[1, 10]);
+            let sum: f32 = out.data().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "softmax head sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn trained_reduced_learns() {
+        let (model, test) = trained_reduced("mnist", 7);
+        let acc = model.accuracy(&test.images, &test.labels).unwrap();
+        assert!(acc > 0.5, "reduced mnist accuracy {acc}");
+    }
+}

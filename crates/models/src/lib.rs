@@ -1,0 +1,28 @@
+//! # milr-models
+//!
+//! The three CNN architectures evaluated in the MILR paper, built
+//! layer-for-layer from Tables I, II and III, plus reduced-scale twins
+//! that preserve the exact layer-type sequence for fast tests and
+//! default bench runs.
+//!
+//! Following the paper (§V-B/C/D), every convolution and dense layer is
+//! followed by its own **bias layer** and a **ReLU activation layer** —
+//! MILR treats bias as an independent layer with its own input/output/
+//! parameter algebra (§IV-E) — and the network head is a softmax.
+//!
+//! Parameter counts match the paper's tables exactly (conv/dense + bias
+//! pairs sum to the "Trainable" column); the unit tests in this crate
+//! pin them.
+//!
+//! ```
+//! let net = milr_models::mnist(42);
+//! assert_eq!(net.model.param_count(), 1_669_290); // Σ Table I
+//! ```
+
+#![deny(missing_docs)]
+
+mod build;
+mod reduced;
+
+pub use build::{cifar_large, cifar_small, mnist, trained_reduced, PaperNet};
+pub use reduced::{reduced_cifar_small, reduced_mnist, ReducedNet};

@@ -1,0 +1,169 @@
+use milr_nn::{Activation, Layer, Sequential};
+use milr_tensor::{ConvSpec, Padding, PoolSpec, TensorRng};
+
+/// A reduced-scale twin of a paper network.
+///
+/// Same layer-type sequence as the full-scale architecture (conv+bias+
+/// ReLU blocks, max-pools, flatten, dense+bias blocks, softmax head) but
+/// with smaller images and channel counts, so the O(N³) recovery solves
+/// finish in milliseconds. The benches run these twins by default and
+/// the full Tables I–III networks under `--paper-scale`; EXPERIMENTS.md
+/// records which scale produced each number.
+#[derive(Debug, Clone)]
+pub struct ReducedNet {
+    /// Twin name, e.g. `"MNIST (reduced)"`.
+    pub name: &'static str,
+    /// The model.
+    pub model: Sequential,
+}
+
+/// Reduced MNIST twin: 14×14×1 input, convolutions 8/8/16 (valid 3×3),
+/// one pool, dense 32, dense 10 — the Table I sequence at 1/4 scale.
+pub fn reduced_mnist(seed: u64) -> ReducedNet {
+    let mut rng = TensorRng::new(seed);
+    let mut model = Sequential::new(vec![14, 14, 1]);
+    let spec = ConvSpec::new(3, 1, Padding::Valid).expect("static");
+    for (inc, out) in [(1usize, 8usize), (8, 8)] {
+        model
+            .push(Layer::conv2d_random(3, inc, out, spec, &mut rng).expect("static"))
+            .expect("geometry");
+        model.push(Layer::bias_zero(out)).expect("geometry");
+        model
+            .push(Layer::Activation(Activation::Relu))
+            .expect("geometry");
+    }
+    model
+        .push(Layer::MaxPool2D(PoolSpec::new(2, 2).expect("static")))
+        .expect("geometry"); // (5,5,8)
+    model
+        .push(Layer::conv2d_random(3, 8, 16, spec, &mut rng).expect("static"))
+        .expect("geometry"); // (3,3,16)
+    model.push(Layer::bias_zero(16)).expect("geometry");
+    model
+        .push(Layer::Activation(Activation::Relu))
+        .expect("geometry");
+    model.push(Layer::Flatten).expect("geometry"); // 144
+    for (inc, out, relu) in [(144usize, 32usize, true), (32, 10, false)] {
+        let _ = inc;
+        let inputs = model.output_shape()[0];
+        model
+            .push(Layer::dense_random(inputs, out, &mut rng).expect("static"))
+            .expect("geometry");
+        model.push(Layer::bias_zero(out)).expect("geometry");
+        if relu {
+            model
+                .push(Layer::Activation(Activation::Relu))
+                .expect("geometry");
+        }
+    }
+    model
+        .push(Layer::Activation(Activation::Softmax))
+        .expect("geometry");
+    ReducedNet {
+        name: "MNIST (reduced)",
+        model,
+    }
+}
+
+/// Reduced CIFAR-10 small twin: 16×16×3 input, same-padding 3×3 stacks
+/// (8·2, 16·2 with pools, 24), dense 32, dense 10 — the Table II
+/// sequence at reduced width/depth.
+pub fn reduced_cifar_small(seed: u64) -> ReducedNet {
+    let mut rng = TensorRng::new(seed);
+    let mut model = Sequential::new(vec![16, 16, 3]);
+    let spec = ConvSpec::new(3, 1, Padding::Same).expect("static");
+    let blocks: [(usize, usize, bool); 5] = [
+        (3, 8, false),
+        (8, 8, true), // pool after
+        (8, 16, false),
+        (16, 16, true), // pool after
+        (16, 24, false),
+    ];
+    for (inc, out, pool_after) in blocks {
+        model
+            .push(Layer::conv2d_random(3, inc, out, spec, &mut rng).expect("static"))
+            .expect("geometry");
+        model.push(Layer::bias_zero(out)).expect("geometry");
+        model
+            .push(Layer::Activation(Activation::Relu))
+            .expect("geometry");
+        if pool_after {
+            model
+                .push(Layer::MaxPool2D(PoolSpec::new(2, 2).expect("static")))
+                .expect("geometry");
+        }
+    }
+    model.push(Layer::Flatten).expect("geometry"); // 4*4*24 = 384
+    for (out, relu) in [(32usize, true), (10, false)] {
+        let inputs = model.output_shape()[0];
+        model
+            .push(Layer::dense_random(inputs, out, &mut rng).expect("static"))
+            .expect("geometry");
+        model.push(Layer::bias_zero(out)).expect("geometry");
+        if relu {
+            model
+                .push(Layer::Activation(Activation::Relu))
+                .expect("geometry");
+        }
+    }
+    model
+        .push(Layer::Activation(Activation::Softmax))
+        .expect("geometry");
+    ReducedNet {
+        name: "CIFAR-10 small (reduced)",
+        model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_mnist_shape_chain() {
+        let net = reduced_mnist(1);
+        let m = &net.model;
+        assert_eq!(m.input_shape(), &[14, 14, 1]);
+        assert_eq!(m.output_shape(), &[10]);
+        // Still a genuine multi-thousand-parameter CNN.
+        assert!(m.param_count() > 4_000, "{}", m.param_count());
+    }
+
+    #[test]
+    fn reduced_cifar_shape_chain() {
+        let net = reduced_cifar_small(1);
+        assert_eq!(net.model.input_shape(), &[16, 16, 3]);
+        assert_eq!(net.model.output_shape(), &[10]);
+    }
+
+    #[test]
+    fn layer_type_sequence_matches_full_scale_mnist() {
+        // The reduced twin must preserve the layer-kind sequence of the
+        // paper network (that sequence is what MILR's planner sees).
+        let full: Vec<&str> = crate::mnist(0)
+            .model
+            .layers()
+            .iter()
+            .map(|l| l.kind_name())
+            .collect();
+        let reduced: Vec<&str> = reduced_mnist(0)
+            .model
+            .layers()
+            .iter()
+            .map(|l| l.kind_name())
+            .collect();
+        assert_eq!(full, reduced);
+    }
+
+    #[test]
+    fn reduced_nets_run_forward() {
+        for (net, dims) in [
+            (reduced_mnist(2).model, vec![2usize, 14, 14, 1]),
+            (reduced_cifar_small(2).model, vec![2, 16, 16, 3]),
+        ] {
+            let batch = TensorRng::new(3).uniform_tensor(&dims);
+            let out = net.forward(&batch).unwrap();
+            assert_eq!(out.shape().dims(), &[2, 10]);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Procedural datasets standing in for MNIST and CIFAR-10.
+//!
+//! The paper evaluates on MNIST (28×28×1) and CIFAR-10 (32×32×3). Those
+//! image files are not available offline, and nothing in MILR's
+//! fault-injection methodology depends on *which* images produced the
+//! trained weights — the evaluation metric is accuracy *normalized to the
+//! error-free network* on a fixed test set. These generators produce
+//! deterministic, seedable, 10-class datasets of the same shapes and
+//! enough visual structure for a small CNN to learn genuinely
+//! discriminative features (see DESIGN.md §3 for the substitution
+//! rationale).
+//!
+//! * [`digits`] renders parameterized glyph strokes on a 28×28 canvas
+//!   with position jitter and pixel noise — the MNIST stand-in.
+//! * [`patches`] renders oriented color textures on a 32×32×3 canvas —
+//!   the CIFAR-10 stand-in.
+
+use milr_tensor::{Tensor, TensorRng};
+
+/// A labeled image set: `images` is `(N, H, W, C)`, `labels[i]` is the
+/// class of image `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Batched images, shape `(N, H, W, C)`.
+    pub images: Tensor,
+    /// Class labels in `0..10`.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the set has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Copies examples `range` into a contiguous batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the dataset.
+    pub fn batch(&self, range: std::ops::Range<usize>) -> (Tensor, &[usize]) {
+        let dims = self.images.shape().dims();
+        let per: usize = dims[1..].iter().product();
+        let data = self.images.data()[range.start * per..range.end * per].to_vec();
+        let mut shape = dims.to_vec();
+        shape[0] = range.end - range.start;
+        (
+            Tensor::from_vec(data, &shape).expect("slice sized to shape"),
+            &self.labels[range.clone()],
+        )
+    }
+}
+
+/// Number of classes in both generated datasets.
+pub const CLASSES: usize = 10;
+
+/// Draws a line segment of the given thickness onto a single-channel
+/// canvas.
+fn draw_line(
+    canvas: &mut [f32],
+    side: usize,
+    (x0, y0): (f32, f32),
+    (x1, y1): (f32, f32),
+    thickness: f32,
+) {
+    let steps = (side * 2).max(8);
+    for s in 0..=steps {
+        let t = s as f32 / steps as f32;
+        let cx = x0 + (x1 - x0) * t;
+        let cy = y0 + (y1 - y0) * t;
+        let r = thickness.ceil() as isize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let px = cx as isize + dx;
+                let py = cy as isize + dy;
+                if px < 0 || py < 0 || px >= side as isize || py >= side as isize {
+                    continue;
+                }
+                let dist2 = (px as f32 - cx).powi(2) + (py as f32 - cy).powi(2);
+                if dist2 <= thickness * thickness {
+                    canvas[py as usize * side + px as usize] = 1.0;
+                }
+            }
+        }
+    }
+}
+
+/// Stroke endpoints (in unit coordinates) for each of the ten glyph
+/// classes. The glyphs are crude digit-like shapes: distinct stroke
+/// topologies that a small CNN separates easily but not trivially once
+/// jitter and noise are added.
+fn glyph_strokes(class: usize) -> Vec<((f32, f32), (f32, f32))> {
+    match class {
+        0 => vec![
+            ((0.3, 0.2), (0.7, 0.2)),
+            ((0.7, 0.2), (0.7, 0.8)),
+            ((0.7, 0.8), (0.3, 0.8)),
+            ((0.3, 0.8), (0.3, 0.2)),
+        ],
+        1 => vec![((0.5, 0.2), (0.5, 0.8))],
+        2 => vec![
+            ((0.3, 0.25), (0.7, 0.25)),
+            ((0.7, 0.25), (0.7, 0.5)),
+            ((0.7, 0.5), (0.3, 0.5)),
+            ((0.3, 0.5), (0.3, 0.8)),
+            ((0.3, 0.8), (0.7, 0.8)),
+        ],
+        3 => vec![
+            ((0.3, 0.2), (0.7, 0.2)),
+            ((0.7, 0.2), (0.7, 0.8)),
+            ((0.3, 0.5), (0.7, 0.5)),
+            ((0.3, 0.8), (0.7, 0.8)),
+        ],
+        4 => vec![
+            ((0.3, 0.2), (0.3, 0.5)),
+            ((0.3, 0.5), (0.7, 0.5)),
+            ((0.7, 0.2), (0.7, 0.8)),
+        ],
+        5 => vec![
+            ((0.7, 0.2), (0.3, 0.2)),
+            ((0.3, 0.2), (0.3, 0.5)),
+            ((0.3, 0.5), (0.7, 0.5)),
+            ((0.7, 0.5), (0.7, 0.8)),
+            ((0.7, 0.8), (0.3, 0.8)),
+        ],
+        6 => vec![
+            ((0.7, 0.2), (0.3, 0.35)),
+            ((0.3, 0.35), (0.3, 0.8)),
+            ((0.3, 0.8), (0.7, 0.8)),
+            ((0.7, 0.8), (0.7, 0.55)),
+            ((0.7, 0.55), (0.3, 0.55)),
+        ],
+        7 => vec![((0.3, 0.2), (0.7, 0.2)), ((0.7, 0.2), (0.4, 0.8))],
+        8 => vec![
+            ((0.3, 0.2), (0.7, 0.2)),
+            ((0.3, 0.2), (0.3, 0.8)),
+            ((0.7, 0.2), (0.7, 0.8)),
+            ((0.3, 0.5), (0.7, 0.5)),
+            ((0.3, 0.8), (0.7, 0.8)),
+        ],
+        9 => vec![
+            ((0.7, 0.45), (0.3, 0.45)),
+            ((0.3, 0.45), (0.3, 0.2)),
+            ((0.3, 0.2), (0.7, 0.2)),
+            ((0.7, 0.2), (0.7, 0.8)),
+        ],
+        _ => panic!("class {class} out of range"),
+    }
+}
+
+/// Generates `n` glyph images of side `side` (use 28 for the MNIST
+/// stand-in), with classes cycling `0..10`.
+///
+/// Every image gets per-example position jitter, scale jitter, stroke
+/// thickness variation and additive pixel noise drawn from `seed`, so two
+/// images of the same class are never identical.
+pub fn digits(n: usize, side: usize, seed: u64) -> Dataset {
+    let mut rng = TensorRng::new(seed);
+    let mut data = Vec::with_capacity(n * side * side);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % CLASSES;
+        labels.push(class);
+        let mut canvas = vec![0.0f32; side * side];
+        let jx = rng.uniform() * 0.08;
+        let jy = rng.uniform() * 0.08;
+        let scale = 1.0 + rng.uniform() * 0.15;
+        let thickness = side as f32 * (0.05 + 0.02 * (rng.uniform() + 1.0));
+        for ((x0, y0), (x1, y1)) in glyph_strokes(class) {
+            let m = |x: f32, j: f32| ((x - 0.5) * scale + 0.5 + j) * side as f32;
+            draw_line(
+                &mut canvas,
+                side,
+                (m(x0, jx), m(y0, jy)),
+                (m(x1, jx), m(y1, jy)),
+                thickness,
+            );
+        }
+        // Additive noise, clamped, then centered to [-0.5, 0.5]:
+        // zero-mean inputs keep the deeper twins trainable.
+        for p in &mut canvas {
+            *p = (*p + rng.uniform() * 0.1).clamp(0.0, 1.0) - 0.5;
+        }
+        data.extend_from_slice(&canvas);
+    }
+    Dataset {
+        images: Tensor::from_vec(data, &[n, side, side, 1]).expect("sized"),
+        labels,
+    }
+}
+
+/// Generates `n` textured color images of side `side` (use 32 for the
+/// CIFAR-10 stand-in), classes cycling `0..10`.
+///
+/// Each class is a distinct combination of stripe orientation, spatial
+/// frequency and color ramp; jitter in phase, frequency and hue plus
+/// additive noise keeps the task non-trivial.
+pub fn patches(n: usize, side: usize, seed: u64) -> Dataset {
+    let mut rng = TensorRng::new(seed);
+    let mut data = Vec::with_capacity(n * side * side * 3);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % CLASSES;
+        labels.push(class);
+        // Class-determined texture parameters.
+        let angle = (class % 5) as f32 * std::f32::consts::PI / 5.0;
+        let base_freq = 2.0 + (class / 5) as f32 * 3.0;
+        let freq = base_freq * (1.0 + rng.uniform() * 0.1);
+        let phase = rng.uniform() * std::f32::consts::PI;
+        let hue_shift = rng.uniform() * 0.15;
+        let (sin_a, cos_a) = angle.sin_cos();
+        for y in 0..side {
+            for x in 0..side {
+                let u = x as f32 / side as f32;
+                let v = y as f32 / side as f32;
+                let wave =
+                    ((u * cos_a + v * sin_a) * freq * std::f32::consts::TAU + phase).sin();
+                let t = 0.5 + 0.5 * wave;
+                // Class-specific color ramp endpoints.
+                let c0 = [
+                    0.1 + 0.08 * class as f32 / 10.0,
+                    0.9 - 0.07 * class as f32,
+                    0.2 + 0.06 * class as f32,
+                ];
+                let c1 = [
+                    0.9 - 0.05 * class as f32,
+                    0.15 + 0.07 * class as f32,
+                    0.8 - 0.04 * class as f32,
+                ];
+                for ch in 0..3 {
+                    let val = c0[ch] * (1.0 - t) + c1[ch] * t + hue_shift * (ch as f32 - 1.0)
+                        + rng.uniform() * 0.08;
+                    // Centered to [-0.5, 0.5] like `digits`.
+                    data.push(val.clamp(0.0, 1.0) - 0.5);
+                }
+            }
+        }
+    }
+    Dataset {
+        images: Tensor::from_vec(data, &[n, side, side, 3]).expect("sized"),
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_shape_and_labels() {
+        let ds = digits(25, 28, 1);
+        assert_eq!(ds.images.shape().dims(), &[25, 28, 28, 1]);
+        assert_eq!(ds.len(), 25);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.labels[0], 0);
+        assert_eq!(ds.labels[13], 3);
+        assert!(ds.images.data().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn digits_are_deterministic_per_seed() {
+        assert_eq!(digits(10, 14, 7), digits(10, 14, 7));
+        assert_ne!(
+            digits(10, 14, 7).images.data(),
+            digits(10, 14, 8).images.data()
+        );
+    }
+
+    #[test]
+    fn same_class_images_differ() {
+        let ds = digits(20, 28, 3);
+        // Examples 0 and 10 are both class 0 but jittered differently.
+        let per = 28 * 28;
+        assert_ne!(
+            &ds.images.data()[0..per],
+            &ds.images.data()[10 * per..11 * per]
+        );
+    }
+
+    #[test]
+    fn glyphs_have_ink() {
+        let ds = digits(10, 28, 2);
+        let per = 28 * 28;
+        for i in 0..10 {
+            let ink = ds.images.data()[i * per..(i + 1) * per]
+                .iter()
+                .filter(|&&x| x > 0.25)
+                .count();
+            assert!(ink > 10, "class {i} has almost no ink");
+        }
+    }
+
+    #[test]
+    fn patches_shape_and_range() {
+        let ds = patches(12, 32, 9);
+        assert_eq!(ds.images.shape().dims(), &[12, 32, 32, 3]);
+        assert!(ds.images.data().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn patch_classes_are_visually_distinct() {
+        // Mean per-channel difference between class 0 and class 5 images
+        // should be noticeable.
+        let ds = patches(10, 16, 4);
+        let per = 16 * 16 * 3;
+        let a = &ds.images.data()[0..per];
+        let b = &ds.images.data()[5 * per..6 * per];
+        let diff: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff / per as f32 > 0.05);
+    }
+
+    #[test]
+    fn batch_slices_correctly() {
+        let ds = digits(10, 8, 6);
+        let (images, labels) = ds.batch(2..5);
+        assert_eq!(images.shape().dims(), &[3, 8, 8, 1]);
+        assert_eq!(labels, &ds.labels[2..5]);
+        let per = 8 * 8;
+        assert_eq!(
+            images.data()[0..per],
+            ds.images.data()[2 * per..3 * per]
+        );
+    }
+
+    #[test]
+    fn all_classes_present() {
+        let ds = patches(30, 8, 11);
+        for c in 0..CLASSES {
+            assert!(ds.labels.contains(&c));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+use milr_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by network construction, inference and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A layer received an input whose shape it cannot process.
+    BadInput {
+        /// Layer description.
+        layer: String,
+        /// Per-image input shape received (batch dimension removed).
+        input: Vec<usize>,
+        /// Explanation.
+        reason: String,
+    },
+    /// A layer was configured inconsistently (e.g. dense weight rows not
+    /// matching the incoming feature count).
+    BadConfig(String),
+    /// Training data was inconsistent (e.g. label count != batch size).
+    BadData(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput {
+                layer,
+                input,
+                reason,
+            } => write!(f, "layer {layer} cannot accept input {input:?}: {reason}"),
+            NnError::BadConfig(msg) => write!(f, "bad layer configuration: {msg}"),
+            NnError::BadData(msg) => write!(f, "bad training data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: 2,
+        });
+        assert!(e.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let cfg = NnError::BadConfig("dense rows".into());
+        assert!(std::error::Error::source(&cfg).is_none());
+        assert!(cfg.to_string().contains("dense rows"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! # milr-nn
+//!
+//! Pure-Rust CNN inference and training substrate — the reproduction's
+//! stand-in for TensorFlow.
+//!
+//! The MILR paper implements its scheme "as a library that could be used
+//! with TensorFlow, taking a TensorFlow model as input" (§V-A). This
+//! crate provides the equivalent host framework, built from scratch on
+//! [`milr_tensor`]:
+//!
+//! * every layer type the paper handles (§IV): [convolution](Layer::Conv2D),
+//!   [dense](Layer::Dense), [bias](Layer::Bias) (split out as its own
+//!   layer exactly as the paper does), [activations](Activation),
+//!   [max/average pooling](Layer::MaxPool2D), [flatten](Layer::Flatten),
+//!   [dropout](Layer::Dropout) and [zero padding](Layer::ZeroPad2D);
+//! * a [`Sequential`] model with batched forward inference and parameter
+//!   introspection (what MILR checkpoints and recovers);
+//! * an SGD-with-momentum [`Trainer`] with full backpropagation, so the
+//!   evaluation networks are *trained*, not random;
+//! * procedural [`data`] sets standing in for MNIST/CIFAR-10 (offline
+//!   substitution documented in DESIGN.md §3).
+//!
+//! ## Example
+//!
+//! ```
+//! use milr_nn::{Activation, Layer, Sequential};
+//! use milr_tensor::{ConvSpec, Padding, Tensor, TensorRng};
+//!
+//! let mut rng = TensorRng::new(7);
+//! let mut model = Sequential::new(vec![28, 28, 1]);
+//! model.push(Layer::conv2d_random(3, 1, 8, ConvSpec::new(3, 1, Padding::Valid)?, &mut rng)?)?;
+//! model.push(Layer::Activation(Activation::Relu))?;
+//! model.push(Layer::Flatten)?;
+//! model.push(Layer::dense_random(26 * 26 * 8, 10, &mut rng)?)?;
+//! let batch = rng.uniform_tensor(&[2, 28, 28, 1]);
+//! let logits = model.forward(&batch)?;
+//! assert_eq!(logits.shape().dims(), &[2, 10]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod data;
+mod error;
+mod layer;
+mod model;
+mod train;
+
+pub use error::NnError;
+pub use layer::{Activation, Layer};
+pub use model::Sequential;
+pub use train::{Batch, Trainer, TrainerConfig};
+
+/// Result alias for network operations.
+pub type Result<T> = std::result::Result<T, NnError>;

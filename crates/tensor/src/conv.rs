@@ -1,0 +1,481 @@
+use crate::{matmul, Result, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Spatial padding policy for convolution and pooling, mirroring the two
+/// modes used by the paper's networks: *valid* (MNIST net, Table I) and
+/// *same* (both CIFAR-10 nets, Tables II-III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// No padding; output shrinks by `F - 1` per spatial dimension.
+    Valid,
+    /// Zero-padding chosen so that `G = ceil(H / S)` (TensorFlow
+    /// semantics, asymmetric when the total pad is odd).
+    Same,
+}
+
+/// Convolution geometry: square filter size, stride, and padding policy.
+///
+/// The paper's output-size relation `G = (M − F + 2P)/S + 1` (§IV-B) is
+/// implemented by [`ConvSpec::output_dim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Filter side length `F` (filters are `F × F × Z`).
+    pub filter: usize,
+    /// Stride `S` along both spatial axes.
+    pub stride: usize,
+    /// Padding policy.
+    pub padding: Padding,
+}
+
+impl ConvSpec {
+    /// Creates a spec, validating the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if `filter` or `stride`
+    /// is zero.
+    pub fn new(filter: usize, stride: usize, padding: Padding) -> Result<Self> {
+        if filter == 0 {
+            return Err(TensorError::InvalidGeometry(
+                "filter size must be positive".into(),
+            ));
+        }
+        if stride == 0 {
+            return Err(TensorError::InvalidGeometry(
+                "stride must be positive".into(),
+            ));
+        }
+        Ok(ConvSpec {
+            filter,
+            stride,
+            padding,
+        })
+    }
+
+    /// Output length `G` and leading pad amount for an input of spatial
+    /// length `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when a valid-padding
+    /// filter does not fit in the input.
+    pub fn output_dim(&self, input: usize) -> Result<(usize, usize)> {
+        match self.padding {
+            Padding::Valid => {
+                if input < self.filter {
+                    return Err(TensorError::InvalidGeometry(format!(
+                        "valid padding requires input {} >= filter {}",
+                        input, self.filter
+                    )));
+                }
+                Ok(((input - self.filter) / self.stride + 1, 0))
+            }
+            Padding::Same => {
+                let g = input.div_ceil(self.stride);
+                let needed = (g - 1) * self.stride + self.filter;
+                let total_pad = needed.saturating_sub(input);
+                Ok((g, total_pad / 2))
+            }
+        }
+    }
+}
+
+/// Extracts convolution patches from a single `(H, W, C)` image into a
+/// `(G_h·G_w, F·F·C)` matrix (`im2col`).
+///
+/// Row `i·G_w + j` holds the receptive field of output location `(i, j)`
+/// flattened in `(f1, f2, z)` order — exactly the order in which a
+/// row-major `(F, F, Z, Y)` filter tensor flattens to a `(F·F·C, Y)`
+/// matrix, so `conv = im2col(x) × filters`. This matrix *is* the
+/// coefficient matrix of the linear system MILR solves to recover filters
+/// (paper §IV-B-b): each row is one equation, each filter one unknown
+/// column vector.
+///
+/// # Errors
+///
+/// Returns an error unless `input` is rank 3 and the geometry fits.
+pub fn im2col(input: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
+    if input.ndim() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "im2col",
+            expected: 3,
+            actual: input.ndim(),
+        });
+    }
+    let (h, w, c) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+    );
+    let (gh, pad_h) = spec.output_dim(h)?;
+    let (gw, pad_w) = spec.output_dim(w)?;
+    let f = spec.filter;
+    let s = spec.stride;
+    let cols = f * f * c;
+    let mut out = vec![0.0f32; gh * gw * cols];
+    let data = input.data();
+    for i in 0..gh {
+        for j in 0..gw {
+            let row_base = (i * gw + j) * cols;
+            for f1 in 0..f {
+                // Signed arithmetic: padding can place the filter off the
+                // image edge, where the contribution is zero.
+                let y = (i * s + f1) as isize - pad_h as isize;
+                if y < 0 || y >= h as isize {
+                    continue;
+                }
+                for f2 in 0..f {
+                    let x = (j * s + f2) as isize - pad_w as isize;
+                    if x < 0 || x >= w as isize {
+                        continue;
+                    }
+                    let src = ((y as usize * w) + x as usize) * c;
+                    let dst = row_base + (f1 * f + f2) * c;
+                    out[dst..dst + c].copy_from_slice(&data[src..src + c]);
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[gh * gw, cols])
+}
+
+/// 2-D convolution over a batch: input `(B, H, W, C)`, filters
+/// `(F, F, C, Y)`, output `(B, G_h, G_w, Y)`.
+///
+/// Implements the paper's Equation 4 via `im2col` + matmul per image.
+///
+/// # Errors
+///
+/// Returns an error for rank/channel mismatches or impossible geometry.
+pub fn conv2d(input: &Tensor, filters: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
+    if input.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: input.ndim(),
+        });
+    }
+    if filters.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d filters",
+            expected: 4,
+            actual: filters.ndim(),
+        });
+    }
+    let (b, h, w, c) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let (f1, f2, z, y) = (
+        filters.shape().dim(0),
+        filters.shape().dim(1),
+        filters.shape().dim(2),
+        filters.shape().dim(3),
+    );
+    if f1 != spec.filter || f2 != spec.filter {
+        return Err(TensorError::InvalidGeometry(format!(
+            "filter tensor is {f1}x{f2} but spec says {0}x{0}",
+            spec.filter
+        )));
+    }
+    if z != c {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d channels",
+            lhs: input.shape().dims().to_vec(),
+            rhs: filters.shape().dims().to_vec(),
+        });
+    }
+    let (gh, _) = spec.output_dim(h)?;
+    let (gw, _) = spec.output_dim(w)?;
+    let filter_mat = filters.reshape(&[f1 * f2 * z, y])?;
+    let mut out = Vec::with_capacity(b * gh * gw * y);
+    for img in 0..b {
+        let image = slice_batch(input, img)?;
+        let cols = im2col(&image, spec)?;
+        let prod = matmul(&cols, &filter_mat)?;
+        out.extend_from_slice(prod.data());
+    }
+    Tensor::from_vec(out, &[b, gh, gw, y])
+}
+
+/// Reassembles per-patch values into an image, averaging overlapping
+/// contributions.
+///
+/// `patches` has the `im2col` layout `(G_h·G_w, F·F·C)`. This is the
+/// final step of MILR's convolution *backward pass* (paper §IV-B-a):
+/// after each receptive field is recovered by solving its `Y`-equation
+/// system, the overlapping solutions are combined into the layer input.
+/// Padded (off-image) positions are skipped.
+///
+/// # Errors
+///
+/// Returns an error when the patch matrix does not match the geometry.
+pub fn col2im_accumulate(
+    patches: &Tensor,
+    h: usize,
+    w: usize,
+    c: usize,
+    spec: &ConvSpec,
+) -> Result<Tensor> {
+    if patches.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "col2im",
+            expected: 2,
+            actual: patches.ndim(),
+        });
+    }
+    let (gh, pad_h) = spec.output_dim(h)?;
+    let (gw, pad_w) = spec.output_dim(w)?;
+    let f = spec.filter;
+    let s = spec.stride;
+    let cols = f * f * c;
+    if patches.shape().dim(0) != gh * gw || patches.shape().dim(1) != cols {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: patches.shape().dims().to_vec(),
+            rhs: vec![gh * gw, cols],
+        });
+    }
+    let mut acc = vec![0.0f64; h * w * c];
+    let mut count = vec![0u32; h * w * c];
+    let pd = patches.data();
+    for i in 0..gh {
+        for j in 0..gw {
+            let row_base = (i * gw + j) * cols;
+            for f1 in 0..f {
+                let yy = (i * s + f1) as isize - pad_h as isize;
+                if yy < 0 || yy >= h as isize {
+                    continue;
+                }
+                for f2 in 0..f {
+                    let xx = (j * s + f2) as isize - pad_w as isize;
+                    if xx < 0 || xx >= w as isize {
+                        continue;
+                    }
+                    for z in 0..c {
+                        let dst = ((yy as usize * w) + xx as usize) * c + z;
+                        let src = row_base + (f1 * f + f2) * c + z;
+                        acc[dst] += pd[src] as f64;
+                        count[dst] += 1;
+                    }
+                }
+            }
+        }
+    }
+    let data: Vec<f32> = acc
+        .iter()
+        .zip(count.iter())
+        .map(|(&a, &n)| if n == 0 { 0.0 } else { (a / n as f64) as f32 })
+        .collect();
+    Tensor::from_vec(data, &[h, w, c])
+}
+
+/// Extracts image `index` from a batched `(B, …)` tensor as a rank-(n−1)
+/// tensor.
+///
+/// # Errors
+///
+/// Returns an error for rank-0 tensors or out-of-range indices.
+pub(crate) fn slice_batch(batch: &Tensor, index: usize) -> Result<Tensor> {
+    if batch.ndim() == 0 {
+        return Err(TensorError::RankMismatch {
+            op: "slice_batch",
+            expected: 1,
+            actual: 0,
+        });
+    }
+    let b = batch.shape().dim(0);
+    if index >= b {
+        return Err(TensorError::IndexOutOfBounds {
+            index: vec![index],
+            shape: batch.shape().dims().to_vec(),
+        });
+    }
+    let rest: Vec<usize> = batch.shape().dims()[1..].to_vec();
+    let stride: usize = rest.iter().product();
+    let data = batch.data()[index * stride..(index + 1) * stride].to_vec();
+    Tensor::from_vec(data, &rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seq_tensor(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|x| x as f32).collect(), dims).unwrap()
+    }
+
+    #[test]
+    fn spec_validates() {
+        assert!(ConvSpec::new(0, 1, Padding::Valid).is_err());
+        assert!(ConvSpec::new(3, 0, Padding::Same).is_err());
+        assert!(ConvSpec::new(3, 1, Padding::Valid).is_ok());
+    }
+
+    #[test]
+    fn output_dims_match_paper_formula() {
+        // MNIST net: 28x28 valid 3x3 -> 26, CIFAR: 32x32 same 3x3 -> 32.
+        let valid = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+        assert_eq!(valid.output_dim(28).unwrap(), (26, 0));
+        let same = ConvSpec::new(3, 1, Padding::Same).unwrap();
+        assert_eq!(same.output_dim(32).unwrap(), (32, 1));
+        // Stride-2 same: ceil(32/2) = 16.
+        let stride2 = ConvSpec::new(3, 2, Padding::Same).unwrap();
+        assert_eq!(stride2.output_dim(32).unwrap().0, 16);
+        // Filter bigger than input under valid padding fails.
+        let big = ConvSpec::new(5, 1, Padding::Valid).unwrap();
+        assert!(big.output_dim(4).is_err());
+    }
+
+    #[test]
+    fn im2col_shape_and_content() {
+        let input = seq_tensor(&[3, 3, 1]);
+        let spec = ConvSpec::new(2, 1, Padding::Valid).unwrap();
+        let cols = im2col(&input, &spec).unwrap();
+        assert_eq!(cols.shape().dims(), &[4, 4]);
+        // First patch is the top-left 2x2 block.
+        assert_eq!(cols.row(0).unwrap(), vec![0.0, 1.0, 3.0, 4.0]);
+        // Last patch is the bottom-right block.
+        assert_eq!(cols.row(3).unwrap(), vec![4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_same_padding_zero_fills_border() {
+        let input = Tensor::ones(&[2, 2, 1]);
+        let spec = ConvSpec::new(3, 1, Padding::Same).unwrap();
+        let cols = im2col(&input, &spec).unwrap();
+        assert_eq!(cols.shape().dims(), &[4, 9]);
+        // Top-left output: pad row+col are zero; four ones in lower right.
+        let r0 = cols.row(0).unwrap();
+        assert_eq!(r0.iter().filter(|&&x| x == 1.0).count(), 4);
+        assert_eq!(r0.iter().filter(|&&x| x == 0.0).count(), 5);
+    }
+
+    #[test]
+    fn conv2d_identity_filter_is_passthrough() {
+        // A 1x1 filter with weight 1 reproduces the input.
+        let input = seq_tensor(&[1, 4, 4, 1]);
+        let filters = Tensor::ones(&[1, 1, 1, 1]);
+        let spec = ConvSpec::new(1, 1, Padding::Valid).unwrap();
+        let out = conv2d(&input, &filters, &spec).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv2d_matches_hand_computation() {
+        // 2x2 all-ones filter over a 3x3 ramp = sum of each 2x2 block.
+        let input = seq_tensor(&[1, 3, 3, 1]);
+        let filters = Tensor::ones(&[2, 2, 1, 1]);
+        let spec = ConvSpec::new(2, 1, Padding::Valid).unwrap();
+        let out = conv2d(&input, &filters, &spec).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2, 1]);
+        assert_eq!(out.data(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn conv2d_multi_channel_multi_filter() {
+        let input = Tensor::ones(&[1, 3, 3, 2]);
+        // Filter 0 sums channel 0 only; filter 1 sums both channels.
+        let mut filters = Tensor::zeros(&[2, 2, 2, 2]);
+        for f1 in 0..2 {
+            for f2 in 0..2 {
+                filters.set(&[f1, f2, 0, 0], 1.0).unwrap();
+                filters.set(&[f1, f2, 0, 1], 1.0).unwrap();
+                filters.set(&[f1, f2, 1, 1], 1.0).unwrap();
+            }
+        }
+        let spec = ConvSpec::new(2, 1, Padding::Valid).unwrap();
+        let out = conv2d(&input, &filters, &spec).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2, 2]);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(out.at(&[0, i, j, 0]).unwrap(), 4.0);
+                assert_eq!(out.at(&[0, i, j, 1]).unwrap(), 8.0);
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_rejects_channel_mismatch() {
+        let input = Tensor::zeros(&[1, 4, 4, 3]);
+        let filters = Tensor::zeros(&[3, 3, 2, 8]);
+        let spec = ConvSpec::new(3, 1, Padding::Same).unwrap();
+        assert!(conv2d(&input, &filters, &spec).is_err());
+    }
+
+    #[test]
+    fn col2im_inverts_im2col_exactly_for_full_coverage() {
+        let input = seq_tensor(&[4, 4, 2]);
+        let spec = ConvSpec::new(3, 1, Padding::Same).unwrap();
+        let cols = im2col(&input, &spec).unwrap();
+        let back = col2im_accumulate(&cols, 4, 4, 2, &spec).unwrap();
+        assert!(back.approx_eq(&input, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn col2im_valid_padding_roundtrip() {
+        let input = seq_tensor(&[5, 5, 1]);
+        let spec = ConvSpec::new(2, 1, Padding::Valid).unwrap();
+        let cols = im2col(&input, &spec).unwrap();
+        let back = col2im_accumulate(&cols, 5, 5, 1, &spec).unwrap();
+        assert!(back.approx_eq(&input, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn slice_batch_extracts_images() {
+        let batch = seq_tensor(&[2, 2, 2, 1]);
+        let img1 = slice_batch(&batch, 1).unwrap();
+        assert_eq!(img1.shape().dims(), &[2, 2, 1]);
+        assert_eq!(img1.data(), &[4.0, 5.0, 6.0, 7.0]);
+        assert!(slice_batch(&batch, 2).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn im2col_col2im_roundtrip(
+            h in 3usize..7, w in 3usize..7, c in 1usize..3,
+            f in 1usize..4,
+            same in proptest::bool::ANY,
+        ) {
+            prop_assume!(f <= h && f <= w);
+            let padding = if same { Padding::Same } else { Padding::Valid };
+            let spec = ConvSpec::new(f, 1, padding).unwrap();
+            let n = h * w * c;
+            let input = Tensor::from_vec((0..n).map(|x| (x as f32).sin()).collect(), &[h, w, c]).unwrap();
+            let cols = im2col(&input, &spec).unwrap();
+            let back = col2im_accumulate(&cols, h, w, c, &spec).unwrap();
+            // Valid padding with f > 1 does not cover the border, so only
+            // compare covered positions: same padding covers everything.
+            if same || f == 1 {
+                prop_assert!(back.approx_eq(&input, 1e-5, 1e-5));
+            } else {
+                // Interior must match.
+                for y in (f - 1)..(h - f + 1) {
+                    for x in (f - 1)..(w - f + 1) {
+                        for z in 0..c {
+                            let a = input.at(&[y, x, z]).unwrap();
+                            let b = back.at(&[y, x, z]).unwrap();
+                            prop_assert!((a - b).abs() < 1e-5);
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn conv2d_linear_in_input(
+            vals in proptest::collection::vec(-2.0f32..2.0, 32),
+        ) {
+            let input = Tensor::from_vec(vals[0..16].to_vec(), &[1, 4, 4, 1]).unwrap();
+            let filters = Tensor::from_vec(vals[16..20].to_vec(), &[2, 2, 1, 1]).unwrap();
+            let spec = ConvSpec::new(2, 1, Padding::Valid).unwrap();
+            let out1 = conv2d(&input, &filters, &spec).unwrap();
+            let out2 = conv2d(&input.scale(2.0), &filters, &spec).unwrap();
+            prop_assert!(out2.approx_eq(&out1.scale(2.0), 1e-4, 1e-4));
+        }
+    }
+}

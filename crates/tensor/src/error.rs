@@ -1,0 +1,111 @@
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// Every fallible operation in this crate returns this type; it is
+/// `Send + Sync + 'static` so it composes with downstream error handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied.
+    ShapeDataMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors had incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Human-readable operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: Vec<usize>,
+        /// Shape of the right/second operand.
+        rhs: Vec<usize>,
+    },
+    /// An operation required a tensor of a specific rank.
+    RankMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A convolution/pooling geometry was invalid (e.g. filter larger than
+    /// padded input, zero stride).
+    InvalidGeometry(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape requires {expected} elements but {actual} were provided"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "incompatible shapes for {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op} requires rank {expected}, got rank {actual}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::ShapeDataMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![2, 3],
+                rhs: vec![4, 5],
+            },
+            TensorError::RankMismatch {
+                op: "conv2d",
+                expected: 3,
+                actual: 2,
+            },
+            TensorError::IndexOutOfBounds {
+                index: vec![9],
+                shape: vec![3],
+            },
+            TensorError::InvalidGeometry("filter larger than input".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,176 @@
+use crate::Tensor;
+
+/// Deterministic pseudo-random tensor generator (xoshiro256\*\* seeded by
+/// SplitMix64).
+///
+/// MILR stores only 64-bit *seeds* in error-resistant memory and
+/// regenerates detection inputs, dummy parameters, dummy filters and
+/// dummy input rows on demand (paper §III: "By using pseudo-random number
+/// generator, we only need to memorize the initial seed"). Stability of
+/// the stream across processes and library versions is therefore part of
+/// the storage format, which is why this is a self-contained
+/// implementation rather than a wrapper over an external RNG whose
+/// algorithm may change between releases.
+///
+/// ```
+/// use milr_tensor::TensorRng;
+///
+/// let mut a = TensorRng::new(42);
+/// let mut b = TensorRng::new(42);
+/// assert_eq!(a.uniform_tensor(&[3, 3]), b.uniform_tensor(&[3, 3]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorRng {
+    state: [u64; 4],
+}
+
+impl TensorRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, per
+        // the reference implementation recommendation.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TensorRng {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256\*\*).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[-1, 1)`, derived from the top 24 bits.
+    pub fn uniform(&mut self) -> f32 {
+        let bits = (self.next_u64() >> 40) as u32; // 24 random bits
+        (bits as f32 / (1u32 << 23) as f32) - 1.0
+    }
+
+    /// A tensor of uniform `[-1, 1)` values with the given shape.
+    ///
+    /// This is the generator behind MILR's seeded detection inputs and
+    /// dummy data: the same `(seed, shape)` pair always yields the same
+    /// tensor.
+    pub fn uniform_tensor(&mut self, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| self.uniform()).collect();
+        Tensor::from_vec(data, dims).expect("length matches by construction")
+    }
+
+    /// Fills a slice with uniform values.
+    pub fn fill_uniform(&mut self, out: &mut [f32]) {
+        for x in out {
+            *x = self.uniform();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TensorRng::new(7);
+        let mut b = TensorRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = TensorRng::new(1);
+        let mut b = TensorRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_is_stable_forever() {
+        // Regression pin: these values are part of MILR's storage format
+        // (stored seeds must regenerate identical tensors in any build).
+        let mut rng = TensorRng::new(0xDEAD_BEEF);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                14219364052333592195,
+                7332719151195188792,
+                6122488799882574371,
+                4799409443904522999
+            ]
+        );
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = TensorRng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.uniform();
+            assert!((-1.0..1.0).contains(&x), "{x} out of range");
+        }
+    }
+
+    #[test]
+    fn uniform_covers_both_halves() {
+        let mut rng = TensorRng::new(5);
+        let n = 10_000;
+        let neg = (0..n).filter(|_| rng.uniform() < 0.0).count();
+        // Roughly half negative: loose 3-sigma bound.
+        assert!(neg > n * 4 / 10 && neg < n * 6 / 10, "neg={neg}");
+    }
+
+    #[test]
+    fn tensor_generation_consumes_stream() {
+        let mut rng = TensorRng::new(9);
+        let t1 = rng.uniform_tensor(&[2, 2]);
+        let t2 = rng.uniform_tensor(&[2, 2]);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn fill_matches_tensor_generation() {
+        let mut a = TensorRng::new(11);
+        let mut b = TensorRng::new(11);
+        let t = a.uniform_tensor(&[6]);
+        let mut buf = [0.0f32; 6];
+        b.fill_uniform(&mut buf);
+        assert_eq!(t.data(), &buf);
+    }
+
+    proptest! {
+        #[test]
+        fn reproducible_for_any_seed(seed in proptest::num::u64::ANY) {
+            let t1 = TensorRng::new(seed).uniform_tensor(&[8]);
+            let t2 = TensorRng::new(seed).uniform_tensor(&[8]);
+            prop_assert_eq!(t1, t2);
+        }
+
+        #[test]
+        fn mean_is_near_zero(seed in proptest::num::u64::ANY) {
+            let t = TensorRng::new(seed).uniform_tensor(&[4096]);
+            let mean = t.sum() / 4096.0;
+            prop_assert!(mean.abs() < 0.1, "mean {mean}");
+        }
+    }
+}

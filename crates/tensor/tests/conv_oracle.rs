@@ -1,0 +1,94 @@
+//! Oracle test: the im2col-based `conv2d` against a literal
+//! transcription of the paper's Equation 4,
+//! `Out[i,j,k] = Σ_f1 Σ_f2 Σ_z Filter[f1,f2,z,k] · In[f1+i, f2+j, z]`
+//! (extended with stride and padding).
+
+use milr_tensor::{conv2d, ConvSpec, Padding, Tensor, TensorRng};
+
+/// Direct nested-loop convolution, numerically independent of im2col.
+fn conv2d_reference(input: &Tensor, filters: &Tensor, spec: &ConvSpec) -> Tensor {
+    let (b, h, w, c) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let (f, _, _, y) = (
+        filters.shape().dim(0),
+        filters.shape().dim(1),
+        filters.shape().dim(2),
+        filters.shape().dim(3),
+    );
+    let (gh, pad_h) = spec.output_dim(h).unwrap();
+    let (gw, pad_w) = spec.output_dim(w).unwrap();
+    let mut out = Tensor::zeros(&[b, gh, gw, y]);
+    for img in 0..b {
+        for i in 0..gh {
+            for j in 0..gw {
+                for k in 0..y {
+                    let mut acc = 0.0f64;
+                    for f1 in 0..f {
+                        for f2 in 0..f {
+                            let yy = (i * spec.stride + f1) as isize - pad_h as isize;
+                            let xx = (j * spec.stride + f2) as isize - pad_w as isize;
+                            if yy < 0 || xx < 0 || yy >= h as isize || xx >= w as isize {
+                                continue;
+                            }
+                            for z in 0..c {
+                                let iv = input
+                                    .at(&[img, yy as usize, xx as usize, z])
+                                    .unwrap() as f64;
+                                let fv = filters.at(&[f1, f2, z, k]).unwrap() as f64;
+                                acc += iv * fv;
+                            }
+                        }
+                    }
+                    out.set(&[img, i, j, k], acc as f32).unwrap();
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn im2col_conv_matches_equation_4_reference() {
+    let mut rng = TensorRng::new(0xC0DE);
+    for (h, c, f, y, stride, padding) in [
+        (6usize, 1usize, 3usize, 4usize, 1usize, Padding::Valid),
+        (8, 3, 3, 2, 1, Padding::Same),
+        (9, 2, 2, 5, 2, Padding::Valid),
+        (7, 4, 5, 3, 1, Padding::Same),
+        (5, 1, 1, 1, 1, Padding::Valid),
+        (10, 2, 3, 6, 3, Padding::Same),
+    ] {
+        let spec = ConvSpec::new(f, stride, padding).unwrap();
+        let input = rng.uniform_tensor(&[2, h, h, c]);
+        let filters = rng.uniform_tensor(&[f, f, c, y]);
+        let fast = conv2d(&input, &filters, &spec).unwrap();
+        let slow = conv2d_reference(&input, &filters, &spec);
+        assert_eq!(fast.shape(), slow.shape(), "{h} {c} {f} {y} {stride} {padding:?}");
+        assert!(
+            fast.approx_eq(&slow, 1e-5, 1e-6),
+            "mismatch for h={h} c={c} f={f} y={y} s={stride} {padding:?}: {:?}",
+            fast.max_abs_diff(&slow)
+        );
+    }
+}
+
+#[test]
+fn conv_linearity_in_filters() {
+    // conv(x, A + B) == conv(x, A) + conv(x, B): the property MILR's
+    // dummy-filter augmentation relies on.
+    let mut rng = TensorRng::new(0xFEED);
+    let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+    let x = rng.uniform_tensor(&[1, 7, 7, 2]);
+    let a = rng.uniform_tensor(&[3, 3, 2, 4]);
+    let b = rng.uniform_tensor(&[3, 3, 2, 4]);
+    let lhs = conv2d(&x, &a.add(&b).unwrap(), &spec).unwrap();
+    let rhs = conv2d(&x, &a, &spec)
+        .unwrap()
+        .add(&conv2d(&x, &b, &spec).unwrap())
+        .unwrap();
+    assert!(lhs.approx_eq(&rhs, 1e-4, 1e-5));
+}

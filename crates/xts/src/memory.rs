@@ -1,0 +1,208 @@
+use crate::{XtsCipher, XtsError};
+use bytes::{BufMut, BytesMut};
+
+/// Bytes per AES block — the granularity at which a ciphertext error
+/// garbles plaintext.
+pub const BLOCK_BYTES: usize = 16;
+
+/// `f32` weights per encryption block (4).
+pub const WEIGHTS_PER_BLOCK: usize = BLOCK_BYTES / 4;
+
+/// A weight buffer held as AES-XTS ciphertext — the *plaintext space /
+/// ciphertext space* memory model of the paper's encrypted-VM scenario.
+///
+/// The weights live encrypted in (error-prone) main memory; inference
+/// reads decrypt them. Faults and attacks flip *ciphertext* bits; after
+/// decryption those become concentrated multi-bit plaintext errors
+/// spanning whole weights, which SECDED-per-word cannot correct but MILR
+/// can. Each 16-byte block is its own XTS data unit, indexed by its
+/// block number (standing in for the physical address tweak of MKTME).
+#[derive(Debug, Clone)]
+pub struct EncryptedMemory {
+    cipher: XtsCipher,
+    ciphertext: BytesMut,
+    /// Number of valid weights (the final block may be partially
+    /// padded).
+    len: usize,
+}
+
+impl EncryptedMemory {
+    /// Encrypts a weight buffer. The buffer is padded with zeros to a
+    /// whole number of 16-byte blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XtsError`] from the cipher (cannot occur for the
+    /// padded length produced here, but kept in the signature for
+    /// forward compatibility).
+    pub fn encrypt(weights: &[f32], cipher: XtsCipher) -> Result<Self, XtsError> {
+        let mut buf = BytesMut::with_capacity(weights.len().div_ceil(WEIGHTS_PER_BLOCK) * 16);
+        for w in weights {
+            buf.put_slice(&w.to_le_bytes());
+        }
+        while buf.len() % BLOCK_BYTES != 0 {
+            buf.put_u8(0);
+        }
+        for (unit, block) in buf.chunks_mut(BLOCK_BYTES).enumerate() {
+            cipher.encrypt_unit(block, unit as u64)?;
+        }
+        Ok(EncryptedMemory {
+            cipher,
+            ciphertext: buf,
+            len: weights.len(),
+        })
+    }
+
+    /// Number of stored weights.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no weights are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total ciphertext bits (the space over which RBER faults are
+    /// drawn in the ciphertext-space experiments).
+    pub fn ciphertext_bits(&self) -> usize {
+        self.ciphertext.len() * 8
+    }
+
+    /// Raw ciphertext bytes.
+    pub fn ciphertext(&self) -> &[u8] {
+        &self.ciphertext
+    }
+
+    /// Flips one ciphertext bit, simulating a soft memory error or a
+    /// memory-corruption attack on the encrypted VM's DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn flip_ciphertext_bit(&mut self, bit: usize) {
+        assert!(bit < self.ciphertext_bits(), "bit index out of range");
+        self.ciphertext[bit / 8] ^= 1 << (bit % 8);
+    }
+
+    /// The range of weight indices garbled by a fault in the given
+    /// ciphertext bit: all weights sharing its 16-byte block.
+    pub fn blast_radius(&self, bit: usize) -> std::ops::Range<usize> {
+        let block = bit / 8 / BLOCK_BYTES;
+        let start = block * WEIGHTS_PER_BLOCK;
+        start.min(self.len)..((block + 1) * WEIGHTS_PER_BLOCK).min(self.len)
+    }
+
+    /// Decrypts the entire buffer into plaintext weights, as an
+    /// inference pass (or MILR's detection pass) would observe them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XtsError`] from the cipher.
+    pub fn decrypt_all(&self) -> Result<Vec<f32>, XtsError> {
+        let mut buf = self.ciphertext.to_vec();
+        for (unit, block) in buf.chunks_mut(BLOCK_BYTES).enumerate() {
+            self.cipher.decrypt_unit(block, unit as u64)?;
+        }
+        Ok(buf
+            .chunks_exact(4)
+            .take(self.len)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("chunk of 4")))
+            .collect())
+    }
+
+    /// Re-encrypts a repaired weight buffer in place (MILR writing
+    /// recovered parameters back through the memory-encryption engine).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XtsError`]; also returned if `weights.len()` differs
+    /// from the stored length.
+    pub fn overwrite(&mut self, weights: &[f32]) -> Result<(), XtsError> {
+        if weights.len() != self.len {
+            return Err(XtsError::BadLength {
+                len: weights.len(),
+            });
+        }
+        *self = EncryptedMemory::encrypt(weights, self.cipher.clone())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cipher() -> XtsCipher {
+        XtsCipher::new(&[0x0F; 16], &[0xF0; 16])
+    }
+
+    fn weights(n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32 * 0.5 - 8.0).collect()
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        for n in [1usize, 3, 4, 17, 64] {
+            let w = weights(n);
+            let mem = EncryptedMemory::encrypt(&w, cipher()).unwrap();
+            assert_eq!(mem.len(), n);
+            assert_eq!(mem.decrypt_all().unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let w = weights(8);
+        let mem = EncryptedMemory::encrypt(&w, cipher()).unwrap();
+        let plain_bytes: Vec<u8> = w.iter().flat_map(|x| x.to_le_bytes()).collect();
+        assert_ne!(mem.ciphertext(), &plain_bytes[..]);
+    }
+
+    #[test]
+    fn one_ciphertext_bit_garbles_whole_block_of_weights() {
+        let w = weights(12);
+        let mut mem = EncryptedMemory::encrypt(&w, cipher()).unwrap();
+        // Flip a bit in block 1 (weights 4..8).
+        let bit = 17 * 8 + 3;
+        mem.flip_ciphertext_bit(bit);
+        assert_eq!(mem.blast_radius(bit), 4..8);
+        let out = mem.decrypt_all().unwrap();
+        // Outside the block: intact. Inside: garbled (whole-weight
+        // errors).
+        assert_eq!(&out[0..4], &w[0..4]);
+        assert_eq!(&out[8..12], &w[8..12]);
+        let changed = out[4..8]
+            .iter()
+            .zip(w[4..8].iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed >= 3, "only {changed} of 4 block weights changed");
+    }
+
+    #[test]
+    fn blast_radius_clamps_to_buffer_end() {
+        let w = weights(5); // pads to 2 blocks, weights 4..8 mostly pad
+        let mem = EncryptedMemory::encrypt(&w, cipher()).unwrap();
+        let last_bit = mem.ciphertext_bits() - 1;
+        assert_eq!(mem.blast_radius(last_bit), 4..5);
+    }
+
+    #[test]
+    fn overwrite_heals_corruption() {
+        let w = weights(8);
+        let mut mem = EncryptedMemory::encrypt(&w, cipher()).unwrap();
+        mem.flip_ciphertext_bit(0);
+        assert_ne!(mem.decrypt_all().unwrap(), w);
+        mem.overwrite(&w).unwrap();
+        assert_eq!(mem.decrypt_all().unwrap(), w);
+        assert!(mem.overwrite(&weights(9)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_bounds_checked() {
+        let mut mem = EncryptedMemory::encrypt(&weights(4), cipher()).unwrap();
+        mem.flip_ciphertext_bit(mem.ciphertext_bits());
+    }
+}

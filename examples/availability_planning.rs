@@ -1,0 +1,69 @@
+//! Mission planning with the availability–accuracy trade-off (paper
+//! §V-E, Equation 6, Figure 12): pick a detection schedule for a
+//! deployment by asking either "how available can I be at accuracy X?"
+//! (user A) or "how accurate can I stay at availability Y?" (user B).
+//!
+//! ```text
+//! cargo run --release --example availability_planning
+//! ```
+
+use milr_core::availability::AvailabilityModel;
+use milr_core::{Milr, MilrConfig};
+use milr_models::trained_reduced;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (model, test) = trained_reduced("mnist", 33);
+    let clean = model.accuracy(&test.images, &test.labels)?;
+    let milr = Milr::protect(&model, MilrConfig::default())?;
+
+    // Measure this deployment's detection and recovery times.
+    let start = Instant::now();
+    for _ in 0..5 {
+        milr.detect(&model)?;
+    }
+    let td = start.elapsed().as_secs_f64() / 5.0;
+    let mut scratch = model.clone();
+    let start = Instant::now();
+    milr.recover_layers(&mut scratch, &[0])?;
+    let tr = start.elapsed().as_secs_f64();
+    // Model a paper-scale deployment footprint (the Table I MNIST
+    // network, ~53 Mbit) with this machine's measured MILR timings; the
+    // reduced twin's own footprint is so small that errors arrive once
+    // per ~50 years and every curve is flat.
+    let mbits = milr_models::mnist(0).model.param_count() as f64 * 32.0 / 1e6;
+    println!("deployment: Td = {td:.5}s, Tr = {tr:.5}s, {mbits:.2} Mbit of weights");
+
+    let avail = AvailabilityModel::from_network(mbits, td, tr, clean, 1e-4);
+    println!(
+        "expected {:.2} errors/year at the paper's DRAM field rate",
+        avail.errors_per_year
+    );
+
+    // User A: mission-critical accuracy floor.
+    let floor = clean * 0.99999;
+    let a = avail.availability_for_accuracy(floor);
+    println!(
+        "user A wants ≥ {:.4}% of clean accuracy -> can afford availability {:.9} (downtime fraction {:.3e})",
+        99.999,
+        a,
+        1.0 - a
+    );
+
+    // User B: availability floor.
+    let acc = avail.min_accuracy(0.999);
+    println!(
+        "user B wants availability 99.9% -> sustains minimum accuracy {:.4} ({:.2}% of clean)",
+        acc,
+        100.0 * acc / clean
+    );
+
+    // The full Figure 12 curve for this deployment. MILR's measured
+    // overheads are so small on this machine that the downtime fraction
+    // is the readable axis.
+    println!("\ndowntime-fraction   min-accuracy");
+    for (av, ac) in avail.curve(10) {
+        println!("{:>17.3e} {ac:>14.6}", 1.0 - av);
+    }
+    Ok(())
+}

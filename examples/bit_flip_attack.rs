@@ -1,0 +1,58 @@
+//! Self-healing from a targeted attack: an adversary overwrites an
+//! entire layer's parameters (the paper's §V whole-layer corruption,
+//! motivated by bit-flip attacks like Rakin et al.). MILR detects the
+//! modified weights and restores them.
+//!
+//! ```text
+//! cargo run --release --example bit_flip_attack
+//! ```
+
+use milr_core::{Milr, MilrConfig, RecoveryOutcome};
+use milr_fault::{corrupt_layer, FaultRng};
+use milr_models::trained_reduced;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (mut model, test) = trained_reduced("mnist", 9);
+    let clean = model.accuracy(&test.images, &test.labels)?;
+    let milr = Milr::protect(&model, MilrConfig::default())?;
+
+    // Attack the first dense layer: overwrite every weight.
+    let dense_index = model
+        .layers()
+        .iter()
+        .position(|l| l.kind_name() == "Dense")
+        .expect("model has a dense layer");
+    println!(
+        "attacker overwrites all {} weights of layer {dense_index}",
+        model.layers()[dense_index].param_count()
+    );
+    corrupt_layer(
+        model.layers_mut()[dense_index]
+            .params_mut()
+            .expect("dense has params")
+            .data_mut(),
+        &mut FaultRng::seed(666),
+    );
+    let hurt = model.accuracy(&test.images, &test.labels)?;
+    println!(
+        "accuracy: clean {:.1}% -> attacked {:.1}%",
+        clean * 100.0,
+        hurt * 100.0
+    );
+
+    // MILR notices and heals — no retraining, no stored weight copy.
+    let report = milr.detect(&model)?;
+    assert!(report.flagged.contains(&dense_index), "attack undetected");
+    let recovery = milr.recover(&mut model, &report)?;
+    assert!(
+        recovery
+            .outcomes
+            .iter()
+            .any(|(l, o)| *l == dense_index && matches!(o, RecoveryOutcome::Full)),
+        "dense layer should fully recover"
+    );
+    let healed = model.accuracy(&test.images, &test.labels)?;
+    println!("after self-healing: {:.1}%", healed * 100.0);
+    assert!(healed >= clean - 1e-9, "recovery must restore accuracy");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: protect a small CNN with MILR, corrupt it, watch it heal.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use milr_core::{Milr, MilrConfig};
+use milr_fault::{inject_whole_weight, FaultRng};
+use milr_models::trained_reduced;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train a small CNN (a reduced twin of the paper's MNIST net) on
+    //    the synthetic digit dataset.
+    println!("training a small CNN on synthetic digits…");
+    let (mut model, test) = trained_reduced("mnist", 42);
+    let clean = model.accuracy(&test.images, &test.labels)?;
+    println!("clean accuracy: {:.1}%", clean * 100.0);
+
+    // 2. Initialization phase: plan checkpoints, compute artifacts.
+    //    `dense_self_recovery` is this library's extension that lets
+    //    dense layers heal independently of other corrupted layers in
+    //    the same checkpoint segment.
+    let config = MilrConfig {
+        dense_self_recovery: true,
+        ..MilrConfig::default()
+    };
+    let milr = Milr::protect(&model, config)?;
+    let plan = milr.plan();
+    println!(
+        "protected: {} layers, checkpoints at {:?}",
+        plan.layers.len(),
+        plan.checkpoints
+    );
+
+    // 3. A fault: whole-weight errors, the plaintext signature of
+    //    ciphertext-space corruption no per-word ECC can fix.
+    let mut rng = FaultRng::seed(7);
+    for layer in model.layers_mut() {
+        if let Some(p) = layer.params_mut() {
+            inject_whole_weight(p.data_mut(), 2e-3, &mut rng);
+        }
+    }
+    let hurt = model.accuracy(&test.images, &test.labels)?;
+    println!("after corruption: {:.1}%", hurt * 100.0);
+
+    // 4. Detection phase: seeded PRNG inputs vs partial checkpoints.
+    let report = milr.detect(&model)?;
+    println!(
+        "detection flagged layers {:?} in {:?}",
+        report.flagged, report.elapsed
+    );
+
+    // 5. Recovery phase: propagate checkpoints, solve the layer
+    //    algebra. Iterative refinement re-solves coupled layers.
+    let recovery = milr.recover_iterative(&mut model, &report.flagged, 3)?;
+    for (layer, outcome) in &recovery.outcomes {
+        println!("  layer {layer}: {outcome:?}");
+    }
+    let healed = model.accuracy(&test.images, &test.labels)?;
+    println!(
+        "after self-healing: {:.1}% (recovery took {:?})",
+        healed * 100.0,
+        recovery.elapsed
+    );
+    assert!(healed >= clean - 0.02, "healing fell short");
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Top-level reproduction package for **MILR: Mathematically Induced
+//! Layer Recovery** (DSN 2021).
+//!
+//! This crate exists to host the workspace-spanning integration tests in
+//! `tests/` and the runnable examples in `examples/`; the library code
+//! lives in the `crates/` members:
+//!
+//! * [`milr_core`] — MILR itself (protection, detection, recovery,
+//!   storage accounting, availability model);
+//! * [`milr_nn`] — the CNN inference/training substrate;
+//! * [`milr_tensor`], [`milr_linalg`] — tensor and solver substrates;
+//! * [`milr_ecc`], [`milr_xts`] — SECDED/CRC codes and the AES-XTS
+//!   encrypted-memory model;
+//! * [`milr_fault`] — seeded fault injection;
+//! * [`milr_models`] — the paper's evaluation networks (Tables I–III).
+//!
+//! See README.md for a tour and DESIGN.md for the reproduction map.
+
+pub use milr_core;
+pub use milr_ecc;
+pub use milr_fault;
+pub use milr_linalg;
+pub use milr_models;
+pub use milr_nn;
+pub use milr_tensor;
+pub use milr_xts;

@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the full protect → inject → detect →
+//! recover loop over trained networks, spanning every crate in the
+//! workspace.
+
+use milr_core::{Milr, MilrConfig, RecoveryOutcome};
+use milr_fault::{corrupt_layer, inject_rber, inject_whole_weight, FaultRng};
+use milr_models::trained_reduced;
+use milr_nn::Sequential;
+
+fn protect(model: &Sequential) -> Milr {
+    Milr::protect(model, MilrConfig::default()).expect("protect")
+}
+
+fn protect_decoupled(model: &Sequential) -> Milr {
+    Milr::protect(
+        model,
+        MilrConfig {
+            dense_self_recovery: true,
+            ..MilrConfig::default()
+        },
+    )
+    .expect("protect")
+}
+
+#[test]
+fn trained_network_clean_detection() {
+    let (model, _) = trained_reduced("mnist", 1);
+    let milr = protect(&model);
+    let report = milr.detect(&model).expect("detect");
+    assert!(report.is_clean(), "flagged {:?}", report.flagged);
+}
+
+#[test]
+fn whole_weight_errors_heal_to_full_accuracy() {
+    let (mut model, test) = trained_reduced("mnist", 2);
+    let clean = model.accuracy(&test.images, &test.labels).unwrap();
+    let milr = protect_decoupled(&model);
+    let mut rng = FaultRng::seed(13);
+    for layer in model.layers_mut() {
+        if let Some(p) = layer.params_mut() {
+            inject_whole_weight(p.data_mut(), 1e-3, &mut rng);
+        }
+    }
+    let report = milr.detect(&model).expect("detect");
+    assert!(!report.is_clean());
+    milr.recover_iterative(&mut model, &report.flagged, 3)
+        .expect("recover");
+    let healed = model.accuracy(&test.images, &test.labels).unwrap();
+    assert!(
+        healed >= clean - 0.01,
+        "healed {healed} vs clean {clean}"
+    );
+}
+
+#[test]
+fn dense_whole_layer_attack_recovers_exactly() {
+    let (mut model, test) = trained_reduced("mnist", 3);
+    let clean = model.accuracy(&test.images, &test.labels).unwrap();
+    let milr = protect(&model);
+    let dense = model
+        .layers()
+        .iter()
+        .position(|l| l.kind_name() == "Dense")
+        .expect("dense exists");
+    let golden = model.layers()[dense].params().unwrap().clone();
+    corrupt_layer(
+        model.layers_mut()[dense].params_mut().unwrap().data_mut(),
+        &mut FaultRng::seed(5),
+    );
+    let report = milr.detect(&model).expect("detect");
+    assert!(report.flagged.contains(&dense));
+    let rec = milr.recover(&mut model, &report).expect("recover");
+    assert!(rec
+        .outcomes
+        .iter()
+        .any(|(l, o)| *l == dense && matches!(o, RecoveryOutcome::Full)));
+    let healed_params = model.layers()[dense].params().unwrap();
+    assert!(
+        healed_params.approx_eq(&golden, 1e-3, 1e-4),
+        "weights differ by {:?}",
+        healed_params.max_abs_diff(&golden)
+    );
+    let healed = model.accuracy(&test.images, &test.labels).unwrap();
+    assert!(healed >= clean - 1e-9);
+}
+
+#[test]
+fn cifar_twin_full_loop() {
+    let (mut model, test) = trained_reduced("cifar", 4);
+    let clean = model.accuracy(&test.images, &test.labels).unwrap();
+    let milr = protect_decoupled(&model);
+    let mut rng = FaultRng::seed(31);
+    for layer in model.layers_mut() {
+        if let Some(p) = layer.params_mut() {
+            inject_rber(p.data_mut(), 5e-5, &mut rng);
+        }
+    }
+    let report = milr.detect(&model).expect("detect");
+    milr.recover_iterative(&mut model, &report.flagged, 3)
+        .expect("recover");
+    let healed = model.accuracy(&test.images, &test.labels).unwrap();
+    assert!(
+        healed >= clean - 0.05,
+        "healed {healed} vs clean {clean}"
+    );
+}
+
+#[test]
+fn storage_report_orders_like_paper_tables() {
+    // Backup > MILR-metadata-only components; ECC < backup; combined =
+    // sum (structure of Tables V/VII/IX).
+    let (model, _) = trained_reduced("mnist", 6);
+    let milr = protect(&model);
+    let report = milr.storage_report(&model);
+    assert!(report.ecc_bytes < report.backup_bytes);
+    assert_eq!(
+        report.ecc_and_milr_bytes(),
+        report.ecc_bytes + report.milr_bytes()
+    );
+    assert!(report.milr_bytes() > 0);
+}
+
+#[test]
+fn detection_is_cheap_relative_to_batch_inference() {
+    use std::time::Instant;
+    let (model, test) = trained_reduced("mnist", 7);
+    let milr = protect(&model);
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        milr.detect(&model).expect("detect");
+    }
+    let detect = t0.elapsed();
+    let t1 = Instant::now();
+    for _ in 0..3 {
+        model.forward(&test.images).expect("forward");
+    }
+    let infer = t1.elapsed();
+    // Detection runs one tiny input per layer; a full test-set batch
+    // must dominate it (Table X's relationship).
+    assert!(detect < infer, "detect {detect:?} vs batch {infer:?}");
+}

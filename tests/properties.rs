@@ -1,0 +1,79 @@
+//! Workspace-level property tests over the recovery invariants.
+
+use milr_core::{Milr, MilrConfig};
+use milr_nn::{Layer, Sequential};
+use milr_tensor::TensorRng;
+use proptest::prelude::*;
+
+/// Builds a random dense-stack model with `depth` dense+bias blocks.
+fn dense_stack(widths: &[usize], seed: u64) -> Sequential {
+    let mut rng = TensorRng::new(seed);
+    let mut m = Sequential::new(vec![widths[0]]);
+    for w in widths.windows(2) {
+        m.push(Layer::dense_random(w[0], w[1], &mut rng).unwrap())
+            .unwrap();
+        m.push(Layer::bias_zero(w[1])).unwrap();
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any single corrupted dense layer in a random stack heals back to
+    /// (approximately) its golden weights.
+    #[test]
+    fn single_dense_corruption_always_heals(
+        seed in 0u64..500,
+        w0 in 3usize..8,
+        w1 in 3usize..8,
+        w2 in 2usize..6,
+        which in 0usize..2,
+        magnitude in 1.0f32..50.0,
+    ) {
+        let widths = [w0, w1, w2];
+        let mut model = dense_stack(&widths, seed);
+        let golden = model.clone();
+        let milr = Milr::protect(&model, MilrConfig::default()).unwrap();
+        // Corrupt one weight of one dense layer (layer index 0 or 2).
+        let layer = which * 2;
+        let params = model.layers_mut()[layer].params_mut().unwrap();
+        let n = params.numel();
+        params.data_mut()[seed as usize % n] += magnitude;
+        let report = milr.detect(&model).unwrap();
+        prop_assert!(report.flagged.contains(&layer), "{:?}", report.flagged);
+        milr.recover(&mut model, &report).unwrap();
+        let healed = model.layers()[layer].params().unwrap();
+        let truth = golden.layers()[layer].params().unwrap();
+        prop_assert!(
+            healed.approx_eq(truth, 1e-3, 1e-4),
+            "diff {:?}", healed.max_abs_diff(truth)
+        );
+    }
+
+    /// Detection never flags a clean network, for any seed/shape.
+    #[test]
+    fn detection_has_no_false_positives(
+        seed in 0u64..1000,
+        w0 in 2usize..10,
+        w1 in 2usize..10,
+    ) {
+        let model = dense_stack(&[w0, w1], seed);
+        let milr = Milr::protect(&model, MilrConfig::default()).unwrap();
+        let report = milr.detect(&model).unwrap();
+        prop_assert!(report.is_clean());
+    }
+
+    /// Protection artifacts are deterministic: protecting the same model
+    /// twice yields identical plans and detection behaviour.
+    #[test]
+    fn protection_is_deterministic(seed in 0u64..200) {
+        let model = dense_stack(&[5, 4, 3], seed);
+        let a = Milr::protect(&model, MilrConfig::default()).unwrap();
+        let b = Milr::protect(&model, MilrConfig::default()).unwrap();
+        prop_assert_eq!(a.plan(), b.plan());
+        let ra = a.detect(&model).unwrap();
+        let rb = b.detect(&model).unwrap();
+        prop_assert_eq!(ra.flagged, rb.flagged);
+    }
+}
