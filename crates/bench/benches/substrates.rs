@@ -1,13 +1,20 @@
 //! Micro-benchmarks of the substrates MILR is built on: conv/matmul
-//! forward, LU/QR solving, SECDED and AES-XTS throughput.
+//! forward, LU/QR solving, plus — per [`WeightSubstrate`] — encode,
+//! scrub, and decode throughput, and serial-vs-parallel detection.
+//!
+//! The harness prints a JSON summary after the human-readable rows; set
+//! `CRITERION_JSON=BENCH_substrates.json` to also write it to a file.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use milr_ecc::{Secded, SecdedMemory};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milr_bench::{prepare, NetChoice, Scale};
+use milr_core::{Milr, MilrConfig};
+use milr_ecc::Secded;
+use milr_fault::{inject_rber, FaultRng};
 use milr_linalg::{lstsq, Mat};
+use milr_substrate::SubstrateKind;
 use milr_tensor::{conv2d, ConvSpec, Padding, TensorRng};
-use milr_xts::{EncryptedMemory, XtsCipher};
 
-fn bench_substrates(c: &mut Criterion) {
+fn bench_kernels(c: &mut Criterion) {
     let mut rng = TensorRng::new(3);
 
     let input = rng.uniform_tensor(&[1, 28, 28, 8]);
@@ -19,7 +26,9 @@ fn bench_substrates(c: &mut Criterion) {
 
     let a = rng.uniform_tensor(&[128, 128]);
     let bmat = rng.uniform_tensor(&[128, 128]);
-    c.bench_function("matmul_128", |b| b.iter(|| a.matmul(&bmat).expect("matmul")));
+    c.bench_function("matmul_128", |b| {
+        b.iter(|| a.matmul(&bmat).expect("matmul"))
+    });
 
     let sys = Mat::from_fn(96, 96, |i, j| {
         if i == j {
@@ -29,28 +38,73 @@ fn bench_substrates(c: &mut Criterion) {
         }
     });
     let rhs: Vec<f64> = (0..96).map(|i| i as f64 * 0.25).collect();
-    c.bench_function("lu_solve_96", |b| b.iter(|| sys.solve(&rhs).expect("solve")));
-    c.bench_function("qr_lstsq_96", |b| b.iter(|| lstsq(&sys, &rhs).expect("lstsq")));
-
-    let weights: Vec<f32> = (0..4096).map(|i| i as f32 * 0.01).collect();
-    c.bench_function("secded_protect_scrub_4096", |b| {
-        b.iter(|| {
-            let mut mem = SecdedMemory::protect(&weights);
-            mem.scrub()
-        })
+    c.bench_function("lu_solve_96", |b| {
+        b.iter(|| sys.solve(&rhs).expect("solve"))
     });
+    c.bench_function("qr_lstsq_96", |b| {
+        b.iter(|| lstsq(&sys, &rhs).expect("lstsq"))
+    });
+
     c.bench_function("secded_encode_word", |b| {
         b.iter(|| Secded::encode(0xDEAD_BEEF))
     });
-
-    let cipher = XtsCipher::new(&[7; 16], &[9; 16]);
-    c.bench_function("xts_encrypt_decrypt_4096_weights", |b| {
-        b.iter(|| {
-            let mem = EncryptedMemory::encrypt(&weights, cipher.clone()).expect("encrypt");
-            mem.decrypt_all().expect("decrypt")
-        })
-    });
 }
 
-criterion_group!(benches, bench_substrates);
+/// Per-substrate encode / scrub / decode throughput over a 4096-weight
+/// buffer — the substrate columns of the storage/latency story.
+fn bench_substrate_matrix(c: &mut Criterion) {
+    let weights: Vec<f32> = (0..4096).map(|i| i as f32 * 0.01).collect();
+    let mut group = c.benchmark_group("substrate_4096");
+    group.sample_size(10);
+    for kind in SubstrateKind::ALL {
+        group.bench_with_input(BenchmarkId::new("encode", kind), &weights, |b, w| {
+            b.iter(|| kind.store(w))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", kind), &weights, |b, w| {
+            let mem = kind.store(w);
+            b.iter(|| mem.read_weights())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("inject_scrub_rber_1e-4", kind),
+            &weights,
+            |b, w| {
+                b.iter(|| {
+                    let mut mem = kind.store(w);
+                    inject_rber(&mut *mem, 1e-4, &mut FaultRng::seed(7));
+                    mem.scrub()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Serial vs parallel detection over the reduced MNIST twin — the
+/// speedup the layer-parallel detection path buys.
+fn bench_detection_parallelism(c: &mut Criterion) {
+    let prep = prepare(NetChoice::Mnist, Scale::Reduced, 0xBE7C);
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(10);
+    for (label, parallel) in [("serial", false), ("parallel", true)] {
+        let milr = Milr::protect(
+            &prep.model,
+            MilrConfig {
+                parallel,
+                ..MilrConfig::default()
+            },
+        )
+        .expect("protect");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &milr, |b, m| {
+            b.iter(|| m.detect(&prep.model).expect("detect"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_substrate_matrix,
+    bench_detection_parallelism
+);
 criterion_main!(benches);

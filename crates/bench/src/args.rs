@@ -1,6 +1,28 @@
 //! Minimal command-line parsing shared by the experiment binaries.
 
-use crate::{NetChoice, Scale};
+use crate::{Arm, NetChoice, Scale};
+
+/// Which slice of the substrate × recovery arm matrix to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmSet {
+    /// The paper's four DRAM panels (default; reproduces the figures).
+    Paper,
+    /// The encrypted-VM arms only.
+    Encrypted,
+    /// The full matrix.
+    All,
+}
+
+impl ArmSet {
+    /// The arms this set selects, in presentation order.
+    pub fn arms(&self) -> &'static [Arm] {
+        match self {
+            ArmSet::Paper => &Arm::PAPER,
+            ArmSet::Encrypted => &Arm::ENCRYPTED,
+            ArmSet::All => &Arm::ALL,
+        }
+    }
+}
 
 /// Parsed experiment options.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +35,8 @@ pub struct Args {
     pub trials: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Which arms of the substrate × recovery matrix to run.
+    pub arms: ArmSet,
 }
 
 impl Default for Args {
@@ -22,6 +46,7 @@ impl Default for Args {
             scale: Scale::Reduced,
             trials: 10,
             seed: 0xBE7C,
+            arms: ArmSet::Paper,
         }
     }
 }
@@ -30,7 +55,8 @@ impl Args {
     /// Parses `std::env::args`-style arguments.
     ///
     /// Supported flags: `--net mnist|cifar-small|cifar-large`,
-    /// `--paper-scale`, `--trials N`, `--seed N`.
+    /// `--paper-scale`, `--trials N`, `--seed N`,
+    /// `--arms paper|encrypted|all`.
     ///
     /// # Errors
     ///
@@ -59,6 +85,15 @@ impl Args {
                     let v = iter.next().ok_or("--seed needs a value")?;
                     out.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
                 }
+                "--arms" => {
+                    let v = iter.next().ok_or("--arms needs a value")?;
+                    out.arms = match v.as_str() {
+                        "paper" => ArmSet::Paper,
+                        "encrypted" => ArmSet::Encrypted,
+                        "all" => ArmSet::All,
+                        other => return Err(format!("unknown arm set {other}")),
+                    };
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -72,7 +107,7 @@ impl Args {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--net mnist|cifar-small|cifar-large] [--paper-scale] [--trials N] [--seed N]"
+                    "usage: [--net mnist|cifar-small|cifar-large] [--paper-scale] [--trials N] [--seed N] [--arms paper|encrypted|all]"
                 );
                 std::process::exit(2);
             }
@@ -96,12 +131,33 @@ mod tests {
 
     #[test]
     fn full_flags() {
-        let a = parse(&["--net", "cifar-large", "--paper-scale", "--trials", "40", "--seed", "7"])
-            .unwrap();
+        let a = parse(&[
+            "--net",
+            "cifar-large",
+            "--paper-scale",
+            "--trials",
+            "40",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
         assert_eq!(a.net, NetChoice::CifarLarge);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.trials, 40);
         assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn arm_sets_parse() {
+        assert_eq!(parse(&["--arms", "paper"]).unwrap().arms, ArmSet::Paper);
+        assert_eq!(
+            parse(&["--arms", "encrypted"]).unwrap().arms,
+            ArmSet::Encrypted
+        );
+        assert_eq!(parse(&["--arms", "all"]).unwrap().arms, ArmSet::All);
+        assert_eq!(ArmSet::Paper.arms().len(), 4);
+        assert_eq!(ArmSet::Encrypted.arms().len(), 3);
+        assert_eq!(ArmSet::All.arms().len(), 8);
     }
 
     #[test]
@@ -110,5 +166,6 @@ mod tests {
         assert!(parse(&["--net", "alexnet"]).is_err());
         assert!(parse(&["--trials"]).is_err());
         assert!(parse(&["--trials", "many"]).is_err());
+        assert!(parse(&["--arms", "bogus"]).is_err());
     }
 }

@@ -34,10 +34,7 @@ fn main() {
                 }
             }
             let flagged = codes.locate_errors(&bad);
-            let false_pos = flagged
-                .iter()
-                .filter(|cell| !truth.contains(cell))
-                .count();
+            let false_pos = flagged.iter().filter(|cell| !truth.contains(cell)).count();
             println!(
                 "{:>6} {:>10} {:>10} {:>12} {:>12}",
                 group,

@@ -31,8 +31,7 @@ fn main() {
         for &rate in &[1e-5f64, 1e-4, 5e-4, 1e-3] {
             let samples: Vec<f64> = (0..args.trials)
                 .map(|t| {
-                    run_rber_trial(&prep, Arm::Milr, rate, args.seed ^ (t as u64) << 16)
-                        .normalized
+                    run_rber_trial(&prep, Arm::MILR, rate, args.seed ^ (t as u64) << 16).normalized
                 })
                 .collect();
             println!("rber {rate:7.0e}  {}", BoxStats::compute(&samples).row());

@@ -13,8 +13,15 @@ use std::time::Instant;
 fn main() {
     let args = Args::from_env();
     println!("# Figure 11 — recovery time vs error count");
-    println!("{:<22} {:>8} {:>10} {:>12}", "Network", "Errors", "Flagged", "Recovery(s)");
-    for net in [NetChoice::Mnist, NetChoice::CifarSmall, NetChoice::CifarLarge] {
+    println!(
+        "{:<22} {:>8} {:>10} {:>12}",
+        "Network", "Errors", "Flagged", "Recovery(s)"
+    );
+    for net in [
+        NetChoice::Mnist,
+        NetChoice::CifarSmall,
+        NetChoice::CifarLarge,
+    ] {
         let prep = prepare(net, args.scale, args.seed);
         let total_params: usize = prep.model.param_count();
         for &target_errors in &[1usize, 10, 50, 100, 500, 1000] {

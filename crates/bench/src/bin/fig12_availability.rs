@@ -17,7 +17,11 @@ use std::time::Instant;
 fn main() {
     let args = Args::from_env();
     println!("# Figure 12 — availability vs minimum accuracy (Eq. 6)");
-    for net in [NetChoice::Mnist, NetChoice::CifarSmall, NetChoice::CifarLarge] {
+    for net in [
+        NetChoice::Mnist,
+        NetChoice::CifarSmall,
+        NetChoice::CifarLarge,
+    ] {
         let prep = prepare(net, args.scale, args.seed);
         // Measure detection time live.
         let start = Instant::now();
@@ -51,7 +55,10 @@ fn main() {
             "\n## {} (Td {:.4}s, Tr {:.4}s, {:.1} Mbit, Tbe {:.0}s)",
             prep.label, td, tr, mbits, model.time_between_errors
         );
-        println!("{:>16} {:>16} {:>14}", "Availability", "Downtime", "MinAccuracy");
+        println!(
+            "{:>16} {:>16} {:>14}",
+            "Availability", "Downtime", "MinAccuracy"
+        );
         for (a, acc) in model.curve(12) {
             println!("{a:>16.12} {:>16.3e} {acc:>14.6}", 1.0 - a);
         }

@@ -1,12 +1,16 @@
 //! Figures 5 / 7 / 9: normalized accuracy after recovery from varying
-//! RBER, four panels (no recovery, ECC, MILR, ECC + MILR), box-plot
-//! statistics over repeated trials.
+//! RBER, box-plot statistics over repeated trials. Default panels are
+//! the paper's four DRAM arms (no recovery, ECC, MILR, ECC + MILR);
+//! `--arms encrypted` or `--arms all` adds the encrypted-VM arms (XTS,
+//! XTS + MILR, XTS + ECC + MILR), where RBER is drawn over the
+//! ciphertext.
 //!
 //! ```text
 //! cargo run --release -p milr-bench --bin fig5_rber -- --net mnist --trials 40
+//! cargo run --release -p milr-bench --bin fig5_rber -- --arms all
 //! ```
 
-use milr_bench::{prepare, run_rber_trial, Args, Arm, BoxStats, NetChoice};
+use milr_bench::{prepare, run_rber_trial, Args, BoxStats, NetChoice};
 
 fn rates(net: NetChoice) -> Vec<f64> {
     // Paper x-axes: MNIST sweeps to 1e-3; the CIFAR nets to 5e-4.
@@ -24,13 +28,18 @@ fn main() {
         "# Figure 5/7/9 — {} — normalized accuracy vs RBER ({} trials, clean accuracy {:.3})",
         prep.label, args.trials, prep.clean_accuracy
     );
-    for arm in [Arm::None, Arm::Ecc, Arm::Milr, Arm::EccMilr] {
-        println!("\n## panel: {}", arm.label());
+    for &arm in args.arms.arms() {
+        println!("\n## panel: {arm}");
         for &rate in &rates(args.net) {
             let samples: Vec<f64> = (0..args.trials)
                 .map(|t| {
-                    run_rber_trial(&prep, arm, rate, args.seed ^ (t as u64) << 20 ^ rate.to_bits())
-                        .normalized
+                    run_rber_trial(
+                        &prep,
+                        arm,
+                        rate,
+                        args.seed ^ (t as u64) << 20 ^ rate.to_bits(),
+                    )
+                    .normalized
                 })
                 .collect();
             let stats = BoxStats::compute(&samples);

@@ -2,7 +2,8 @@
 //! whole-weight errors (every bit of a selected weight flipped) at
 //! varying rates — the plaintext-space signature of ciphertext errors.
 //! Panels: no recovery and MILR (ECC is pointless against 32-bit
-//! errors, §V-B).
+//! errors, §V-B; whole-weight errors are substrate-independent by
+//! definition, so the encrypted arms would duplicate these panels).
 //!
 //! ```text
 //! cargo run --release -p milr-bench --bin fig6_whole_weight -- --net mnist
@@ -10,9 +11,7 @@
 
 use milr_bench::{prepare, run_whole_weight_trial, Args, Arm, BoxStats};
 
-const RATES: [f64; 10] = [
-    1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
-];
+const RATES: [f64; 10] = [1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3];
 
 fn main() {
     let args = Args::from_env();
@@ -21,8 +20,8 @@ fn main() {
         "# Figure 6/8/10 — {} — whole-weight errors ({} trials, clean accuracy {:.3})",
         prep.label, args.trials, prep.clean_accuracy
     );
-    for arm in [Arm::None, Arm::Milr] {
-        println!("\n## panel: {}", arm.label());
+    for arm in [Arm::NONE, Arm::MILR] {
+        println!("\n## panel: {arm}");
         for &rate in &RATES {
             let samples: Vec<f64> = (0..args.trials)
                 .map(|t| {

@@ -27,7 +27,11 @@ fn main() {
         "{:<22} {:>12} {:>14} {:>14}",
         "Network", "Single", "Batch(/img)", "Identification"
     );
-    for net in [NetChoice::Mnist, NetChoice::CifarSmall, NetChoice::CifarLarge] {
+    for net in [
+        NetChoice::Mnist,
+        NetChoice::CifarSmall,
+        NetChoice::CifarLarge,
+    ] {
         let prep = prepare(net, args.scale, args.seed);
         let mut single_dims = vec![1usize];
         single_dims.extend_from_slice(prep.model.input_shape());

@@ -18,8 +18,14 @@ fn main() {
     );
     println!("{}", report.table_row());
     println!("\nMILR breakdown (bytes):");
-    println!("  full checkpoints:    {:>12}", report.full_checkpoint_bytes);
-    println!("  partial checkpoints: {:>12}", report.partial_checkpoint_bytes);
+    println!(
+        "  full checkpoints:    {:>12}",
+        report.full_checkpoint_bytes
+    );
+    println!(
+        "  partial checkpoints: {:>12}",
+        report.partial_checkpoint_bytes
+    );
     println!("  dummy outputs:       {:>12}", report.dummy_output_bytes);
     println!("  2-D CRC codes:       {:>12}", report.crc_bytes);
     println!("  bias sums:           {:>12}", report.bias_sum_bytes);

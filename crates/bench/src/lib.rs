@@ -20,7 +20,10 @@ pub mod arms;
 pub mod nets;
 pub mod stats;
 
-pub use args::Args;
-pub use arms::{run_layer_corruption, run_rber_trial, run_whole_weight_trial, Arm, TrialResult};
+pub use args::{Args, ArmSet};
+pub use arms::{
+    run_layer_corruption, run_rber_trial, run_trial, run_whole_weight_trial, Arm, Injection,
+    Recovery, SubstrateKind, TrialResult,
+};
 pub use nets::{prepare, NetChoice, PreparedNet, Scale};
-pub use stats::BoxStats;
+pub use stats::{normalized_accuracy, BoxStats};

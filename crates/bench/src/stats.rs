@@ -1,7 +1,27 @@
 //! Box-plot statistics matching the paper's figure convention:
 //! "each plot is centered on the median values, with the box covering
 //! the 25th and 75th percentile … whiskers extended 1.5× the
-//! interquartile range … outliers are marked by dots" (§V-B).
+//! interquartile range … outliers are marked by dots" (§V-B) — plus the
+//! shared accuracy-normalization helper every trial path reports
+//! through.
+
+use crate::nets::PreparedNet;
+use milr_nn::Sequential;
+
+/// Measures `model` on the prepared network's held-out test set and
+/// returns `(accuracy, normalized)` where `normalized` is relative to
+/// the error-free network — the y-axis of every figure.
+pub fn normalized_accuracy(prep: &PreparedNet, model: &Sequential) -> (f64, f64) {
+    let accuracy = model
+        .accuracy(&prep.test.images, &prep.test.labels)
+        .unwrap_or(0.0);
+    let normalized = if prep.clean_accuracy > 0.0 {
+        accuracy / prep.clean_accuracy
+    } else {
+        0.0
+    };
+    (accuracy, normalized)
+}
 
 /// Five-number summary plus outliers over a set of trial outcomes.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,11 +73,7 @@ impl BoxStats {
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let lo = v
-            .iter()
-            .copied()
-            .find(|&x| x >= lo_fence)
-            .unwrap_or(v[0]);
+        let lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
         let hi = v
             .iter()
             .rev()

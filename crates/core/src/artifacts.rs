@@ -62,11 +62,7 @@ pub(crate) fn dense_dummy_rows(
 
 /// Regenerates the PRNG dummy parameters used for inversion: dense
 /// columns `(N, extra)` or conv filters `(F, F, Z, extra)`.
-pub(crate) fn inversion_dummy_params(
-    config: &MilrConfig,
-    layer: usize,
-    dims: &[usize],
-) -> Tensor {
+pub(crate) fn inversion_dummy_params(config: &MilrConfig, layer: usize, dims: &[usize]) -> Tensor {
     TensorRng::new(config.dummy_seed(2 * layer + 1)).uniform_tensor(dims)
 }
 
@@ -80,11 +76,7 @@ pub(crate) fn conv_probe_location(gh: usize, gw: usize) -> (usize, usize) {
 impl Artifacts {
     /// Runs the initialization phase: one golden flow plus one private
     /// detection pass per layer, computing every stored artifact.
-    pub fn build(
-        model: &Sequential,
-        plan: &ProtectionPlan,
-        config: &MilrConfig,
-    ) -> Result<Self> {
+    pub fn build(model: &Sequential, plan: &ProtectionPlan, config: &MilrConfig) -> Result<Self> {
         let mut artifacts = Artifacts {
             full_checkpoints: BTreeMap::new(),
             partial_checkpoints: BTreeMap::new(),
@@ -306,10 +298,7 @@ mod tests {
     fn regenerated_inputs_are_stable() {
         let (m, _, cfg, _) = build_all();
         assert_eq!(golden_input(&m, &cfg), golden_input(&m, &cfg));
-        assert_eq!(
-            detection_input(&m, &cfg, 3),
-            detection_input(&m, &cfg, 3)
-        );
+        assert_eq!(detection_input(&m, &cfg, 3), detection_input(&m, &cfg, 3));
         assert_ne!(
             detection_input(&m, &cfg, 0).data(),
             detection_input(&m, &cfg, 4).data()

@@ -61,12 +61,10 @@ impl AvailabilityModel {
         base_accuracy: f64,
         accuracy_drop_per_error: f64,
     ) -> Self {
-        let errors_per_hour =
-            ERRORS_PER_BILLION_DEVICE_HOURS_PER_MBIT / 1e9 * weight_mbits;
+        let errors_per_hour = ERRORS_PER_BILLION_DEVICE_HOURS_PER_MBIT / 1e9 * weight_mbits;
         let time_between_errors = 3600.0 / errors_per_hour;
         let errors_per_year = errors_per_hour * 24.0 * 365.0;
-        let year_accuracy =
-            (base_accuracy - accuracy_drop_per_error * errors_per_year).max(0.0);
+        let year_accuracy = (base_accuracy - accuracy_drop_per_error * errors_per_year).max(0.0);
         AvailabilityModel {
             detection_time,
             recovery_time,
@@ -151,8 +149,7 @@ impl AvailabilityModel {
         // Availability when healing every error interval / every 1e4
         // intervals.
         let a_lo = (1.0 - overhead / self.time_between_errors).clamp(1e-9, 1.0 - 1e-12);
-        let a_hi =
-            (1.0 - overhead / (1e4 * self.time_between_errors)).clamp(a_lo, 1.0 - 1e-12);
+        let a_hi = (1.0 - overhead / (1e4 * self.time_between_errors)).clamp(a_lo, 1.0 - 1e-12);
         (0..points)
             .map(|i| {
                 let t = i as f64 / (points.saturating_sub(1).max(1)) as f64;
@@ -172,10 +169,7 @@ mod tests {
     fn model() -> AvailabilityModel {
         AvailabilityModel::from_network(
             53.4, // MNIST network ≈ 1.67M params × 32 bits
-            0.010,
-            1.0,
-            0.992,
-            1e-6,
+            0.010, 1.0, 0.992, 1e-6,
         )
     }
 

@@ -27,6 +27,14 @@ pub struct MilrConfig {
     /// dense layer (`B = 1` by default) and removes the multi-error
     /// coupling for dense layers. Default `false` (paper-faithful).
     pub dense_self_recovery: bool,
+    /// Run detection checks and per-segment recovery in parallel across
+    /// layers. Per-layer checks are independent by construction (each
+    /// layer replays its own seeded input), and checkpoint segments are
+    /// independent given their anchors, so the parallel paths return
+    /// **bit-identical** results to the serial ones — `false` only
+    /// forces the serial reference path (used by the determinism tests
+    /// and single-core profiling).
+    pub parallel: bool,
 }
 
 impl Default for MilrConfig {
@@ -38,6 +46,7 @@ impl Default for MilrConfig {
             flow_batch: 1,
             crc_group: 4,
             dense_self_recovery: false,
+            parallel: true,
         }
     }
 }

@@ -15,6 +15,7 @@ use crate::artifacts::{conv_probe_location, detection_input, Artifacts};
 use crate::semantics::milr_forward;
 use crate::{MilrConfig, MilrError, Result};
 use milr_nn::{Layer, Sequential};
+use rayon::prelude::*;
 use std::time::Duration;
 
 /// Result of checking one layer.
@@ -49,71 +50,120 @@ impl DetectionReport {
     }
 }
 
+/// Checks one parameterized layer against its stored artifact.
+///
+/// Pure in the model: reads only layer `i`'s parameters, its private
+/// seeded detection input, and the stored artifacts — which is what
+/// makes per-layer checks freely parallelizable with bit-identical
+/// results.
+fn check_layer(
+    model: &Sequential,
+    artifacts: &Artifacts,
+    config: &MilrConfig,
+    i: usize,
+) -> Result<LayerCheck> {
+    let layer = &model.layers()[i];
+    match layer {
+        Layer::Conv2D { .. } => {
+            let stored = artifacts.partial_checkpoints.get(&i).ok_or_else(|| {
+                MilrError::CorruptArtifacts(format!("missing partial checkpoint {i}"))
+            })?;
+            let det = detection_input(model, config, i);
+            let out = milr_forward(layer, &det)?;
+            let (gh, gw) = (out.shape().dim(1), out.shape().dim(2));
+            let (ci, cj) = conv_probe_location(gh, gw);
+            let y = out.shape().dim(3);
+            if y != stored.len() {
+                return Err(MilrError::ModelMismatch(format!(
+                    "layer {i}: {y} filters but {} stored probes",
+                    stored.len()
+                )));
+            }
+            let mut dev = 0.0f32;
+            for (k, &golden) in stored.iter().enumerate() {
+                let now = out.at(&[0, ci, cj, k])?;
+                dev = dev.max(relative_deviation(now, golden));
+            }
+            Ok(make_check(i, layer, dev, config))
+        }
+        Layer::Dense { .. } => {
+            let stored = artifacts.partial_checkpoints.get(&i).ok_or_else(|| {
+                MilrError::CorruptArtifacts(format!("missing partial checkpoint {i}"))
+            })?;
+            let det = detection_input(model, config, i);
+            let out = milr_forward(layer, &det)?;
+            let row = out.row(0)?;
+            if row.len() != stored.len() {
+                return Err(MilrError::ModelMismatch(format!(
+                    "layer {i}: {} columns but {} stored probes",
+                    row.len(),
+                    stored.len()
+                )));
+            }
+            let mut dev = 0.0f32;
+            for (now, &golden) in row.iter().zip(stored.iter()) {
+                dev = dev.max(relative_deviation(*now, golden));
+            }
+            Ok(make_check(i, layer, dev, config))
+        }
+        Layer::Bias { bias } => {
+            let stored = artifacts
+                .bias_sums
+                .get(&i)
+                .ok_or_else(|| MilrError::CorruptArtifacts(format!("missing bias sum {i}")))?;
+            let now = bias.sum();
+            let dev = relative_deviation(now as f32, *stored as f32);
+            Ok(make_check(i, layer, dev, config))
+        }
+        other => Err(MilrError::ModelMismatch(format!(
+            "layer {i} ({}) has no detection check",
+            other.kind_name()
+        ))),
+    }
+}
+
 /// Runs the detection phase against the (possibly corrupted) model.
+///
+/// With `config.parallel` the per-layer checks run concurrently across
+/// layers; results (flags, deviations, ordering) are bit-identical to
+/// the serial path because every check only reads its own layer.
 pub(crate) fn run_detection(
     model: &Sequential,
     artifacts: &Artifacts,
     config: &MilrConfig,
 ) -> Result<DetectionReport> {
     let start = std::time::Instant::now();
-    let mut checks = Vec::new();
+    let checked: Vec<usize> = model
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            matches!(
+                l,
+                Layer::Conv2D { .. } | Layer::Dense { .. } | Layer::Bias { .. }
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let results: Vec<Result<LayerCheck>> = if config.parallel && checked.len() > 1 {
+        checked
+            .par_iter()
+            .map(|&i| check_layer(model, artifacts, config, i))
+            .collect()
+    } else {
+        checked
+            .iter()
+            .map(|&i| check_layer(model, artifacts, config, i))
+            .collect()
+    };
+    let mut checks = Vec::with_capacity(results.len());
     let mut flagged = Vec::new();
-    for (i, layer) in model.layers().iter().enumerate() {
-        let check = match layer {
-            Layer::Conv2D { .. } => {
-                let stored = artifacts.partial_checkpoints.get(&i).ok_or_else(|| {
-                    MilrError::CorruptArtifacts(format!("missing partial checkpoint {i}"))
-                })?;
-                let det = detection_input(model, config, i);
-                let out = milr_forward(layer, &det)?;
-                let (gh, gw) = (out.shape().dim(1), out.shape().dim(2));
-                let (ci, cj) = conv_probe_location(gh, gw);
-                let y = out.shape().dim(3);
-                if y != stored.len() {
-                    return Err(MilrError::ModelMismatch(format!(
-                        "layer {i}: {y} filters but {} stored probes",
-                        stored.len()
-                    )));
-                }
-                let mut dev = 0.0f32;
-                for (k, &golden) in stored.iter().enumerate() {
-                    let now = out.at(&[0, ci, cj, k])?;
-                    dev = dev.max(relative_deviation(now, golden));
-                }
-                make_check(i, layer, dev, config)
-            }
-            Layer::Dense { .. } => {
-                let stored = artifacts.partial_checkpoints.get(&i).ok_or_else(|| {
-                    MilrError::CorruptArtifacts(format!("missing partial checkpoint {i}"))
-                })?;
-                let det = detection_input(model, config, i);
-                let out = milr_forward(layer, &det)?;
-                let row = out.row(0)?;
-                if row.len() != stored.len() {
-                    return Err(MilrError::ModelMismatch(format!(
-                        "layer {i}: {} columns but {} stored probes",
-                        row.len(),
-                        stored.len()
-                    )));
-                }
-                let mut dev = 0.0f32;
-                for (now, &golden) in row.iter().zip(stored.iter()) {
-                    dev = dev.max(relative_deviation(*now, golden));
-                }
-                make_check(i, layer, dev, config)
-            }
-            Layer::Bias { bias } => {
-                let stored = artifacts.bias_sums.get(&i).ok_or_else(|| {
-                    MilrError::CorruptArtifacts(format!("missing bias sum {i}"))
-                })?;
-                let now = bias.sum();
-                let dev = relative_deviation(now as f32, *stored as f32);
-                make_check(i, layer, dev, config)
-            }
-            _ => continue,
-        };
+    // Errors surface in ascending layer order, matching the serial
+    // short-circuit behaviour.
+    for result in results {
+        let check = result?;
         if check.flagged {
-            flagged.push(i);
+            flagged.push(check.layer);
         }
         checks.push(check);
     }

@@ -109,9 +109,12 @@ fn invert_dense(
     let (w_aug, y_aug): (Tensor, Tensor) = match inversion {
         InversionPlan::DummyData { extra } => {
             let cols = inversion_dummy_params(config, index, &[n, extra]);
-            let stored = artifacts.dense_dummy_col_outputs.get(&index).ok_or_else(|| {
-                MilrError::CorruptArtifacts(format!("missing dense dummy outputs {index}"))
-            })?;
+            let stored = artifacts
+                .dense_dummy_col_outputs
+                .get(&index)
+                .ok_or_else(|| {
+                    MilrError::CorruptArtifacts(format!("missing dense dummy outputs {index}"))
+                })?;
             (
                 Tensor::hstack(&[weights, &cols])?,
                 Tensor::hstack(&[y, stored])?,
@@ -246,7 +249,17 @@ mod tests {
     fn bias_and_shape_layers_invert_exactly() {
         let (m, plan, art, cfg) = protected(
             |m, rng| {
-                m.push(Layer::conv2d_random(1, 1, 2, ConvSpec::new(1, 1, Padding::Valid).unwrap(), rng).unwrap()).unwrap();
+                m.push(
+                    Layer::conv2d_random(
+                        1,
+                        1,
+                        2,
+                        ConvSpec::new(1, 1, Padding::Valid).unwrap(),
+                        rng,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
                 m.push(Layer::Bias {
                     bias: Tensor::from_vec(vec![0.5, -1.5], &[2]).unwrap(),
                 })
@@ -304,10 +317,26 @@ mod tests {
         // 1-channel 2x2 filters (F²Z = 4) with 6 filters: Y >= F²Z.
         let (m, plan, art, cfg) = protected(
             |m, rng| {
-                m.push(Layer::conv2d_random(2, 1, 6, ConvSpec::new(2, 1, Padding::Valid).unwrap(), rng).unwrap()).unwrap();
                 m.push(
-                    Layer::conv2d_random(2, 6, 24, ConvSpec::new(2, 1, Padding::Valid).unwrap(), rng)
-                        .unwrap(),
+                    Layer::conv2d_random(
+                        2,
+                        1,
+                        6,
+                        ConvSpec::new(2, 1, Padding::Valid).unwrap(),
+                        rng,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+                m.push(
+                    Layer::conv2d_random(
+                        2,
+                        6,
+                        24,
+                        ConvSpec::new(2, 1, Padding::Valid).unwrap(),
+                        rng,
+                    )
+                    .unwrap(),
                 )
                 .unwrap();
             },
@@ -333,10 +362,26 @@ mod tests {
         // checkpointed instead; force dummy by making input bigger).
         let (m, plan, art, cfg) = protected(
             |m, rng| {
-                m.push(Layer::conv2d_random(2, 1, 4, ConvSpec::new(2, 1, Padding::Valid).unwrap(), rng).unwrap()).unwrap();
                 m.push(
-                    Layer::conv2d_random(2, 4, 14, ConvSpec::new(2, 1, Padding::Valid).unwrap(), rng)
-                        .unwrap(),
+                    Layer::conv2d_random(
+                        2,
+                        1,
+                        4,
+                        ConvSpec::new(2, 1, Padding::Valid).unwrap(),
+                        rng,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+                m.push(
+                    Layer::conv2d_random(
+                        2,
+                        4,
+                        14,
+                        ConvSpec::new(2, 1, Padding::Valid).unwrap(),
+                        rng,
+                    )
+                    .unwrap(),
                 )
                 .unwrap();
             },
@@ -362,7 +407,17 @@ mod tests {
     fn pooling_refuses_inversion() {
         let (m, plan, art, cfg) = protected(
             |m, rng| {
-                m.push(Layer::conv2d_random(1, 1, 1, ConvSpec::new(1, 1, Padding::Valid).unwrap(), rng).unwrap()).unwrap();
+                m.push(
+                    Layer::conv2d_random(
+                        1,
+                        1,
+                        1,
+                        ConvSpec::new(1, 1, Padding::Valid).unwrap(),
+                        rng,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
                 m.push(Layer::MaxPool2D(milr_tensor::PoolSpec::new(2, 2).unwrap()))
                     .unwrap();
             },
@@ -377,7 +432,17 @@ mod tests {
     fn zero_pad_inverts_by_cropping() {
         let (m, plan, art, cfg) = protected(
             |m, rng| {
-                m.push(Layer::conv2d_random(1, 1, 1, ConvSpec::new(1, 1, Padding::Valid).unwrap(), rng).unwrap()).unwrap();
+                m.push(
+                    Layer::conv2d_random(
+                        1,
+                        1,
+                        1,
+                        ConvSpec::new(1, 1, Padding::Valid).unwrap(),
+                        rng,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
                 m.push(Layer::ZeroPad2D { pad: 2 }).unwrap();
             },
             vec![3, 3, 1],

@@ -72,8 +72,8 @@
 
 #![deny(missing_docs)]
 
-pub mod availability;
 mod artifacts;
+pub mod availability;
 mod config;
 mod detect;
 mod error;

@@ -8,6 +8,7 @@ use crate::storage::StorageReport;
 use crate::{MilrConfig, MilrError, Result};
 use milr_nn::{Layer, Sequential};
 use milr_tensor::Tensor;
+use rayon::prelude::*;
 use std::time::Duration;
 
 /// How one flagged layer fared during recovery.
@@ -199,6 +200,16 @@ impl Milr {
     /// healing, e.g. the whole-layer-corruption experiment where the
     /// corrupted layer is known).
     ///
+    /// With `config.parallel`, independent checkpoint **segments** are
+    /// recovered concurrently: each worker heals its segment on a clone
+    /// of the model (propagation never reads outside the segment's
+    /// layer range, so clones see exactly what the serial pass would)
+    /// and the healed parameters are written back in segment order.
+    /// Within a segment the solve order stays serial, because
+    /// same-segment layers propagate through one another (§V-A). The
+    /// resulting outcomes and parameters are bit-identical to the
+    /// serial path.
+    ///
     /// # Errors
     ///
     /// See [`Milr::recover`].
@@ -209,52 +220,93 @@ impl Milr {
     ) -> Result<RecoveryReport> {
         self.check_structure(model)?;
         let start = std::time::Instant::now();
-        let mut outcomes = Vec::new();
         let mut flagged: Vec<usize> = flagged.to_vec();
         flagged.sort_unstable();
         flagged.dedup();
-        for (seg_start, seg_end) in self.plan.segments() {
-            let in_segment: Vec<usize> = flagged
-                .iter()
-                .copied()
-                .filter(|&i| i >= seg_start && i < seg_end)
+        let work: Vec<(usize, usize, Vec<usize>)> = self
+            .plan
+            .segments()
+            .into_iter()
+            .filter_map(|(seg_start, seg_end)| {
+                let in_segment: Vec<usize> = flagged
+                    .iter()
+                    .copied()
+                    .filter(|&i| i >= seg_start && i < seg_end)
+                    .collect();
+                (!in_segment.is_empty()).then_some((seg_start, seg_end, in_segment))
+            })
+            .collect();
+        let mut outcomes = Vec::new();
+        if self.config.parallel && work.len() > 1 {
+            let base: &Sequential = model;
+            type SegmentResult = Result<Vec<(usize, RecoveryOutcome, Option<Tensor>)>>;
+            let results: Vec<SegmentResult> = work
+                .par_iter()
+                .map(|(seg_start, seg_end, in_segment)| {
+                    let mut local = base.clone();
+                    let outs =
+                        self.recover_segment(&mut local, *seg_start, *seg_end, in_segment)?;
+                    Ok(outs
+                        .into_iter()
+                        .map(|(i, outcome)| {
+                            let params = local.layers()[i].params().cloned();
+                            (i, outcome, params)
+                        })
+                        .collect())
+                })
                 .collect();
-            if in_segment.is_empty() {
-                continue;
+            for result in results {
+                for (i, outcome, params) in result? {
+                    if let (Some(healed), Some(dst)) = (params, model.layers_mut()[i].params_mut())
+                    {
+                        *dst = healed;
+                    }
+                    outcomes.push((i, outcome));
+                }
             }
-            let input_anchor = self.anchor(model, seg_start)?;
-            let output_anchor = self
-                .artifacts
-                .full_checkpoints
-                .get(&seg_end)
-                .ok_or_else(|| {
-                    MilrError::CorruptArtifacts(format!("missing checkpoint {seg_end}"))
-                })?
-                .clone();
-            for &f in &in_segment {
-                let outcome = self.recover_one(
-                    model,
-                    f,
-                    &input_anchor,
-                    seg_start,
-                    &output_anchor,
-                    seg_end,
-                );
-                outcomes.push((
-                    f,
-                    match outcome {
-                        Ok(o) => o.into(),
-                        Err(e) => RecoveryOutcome::Failed {
-                            reason: e.to_string(),
-                        },
-                    },
-                ));
+        } else {
+            for (seg_start, seg_end, in_segment) in &work {
+                outcomes.extend(self.recover_segment(model, *seg_start, *seg_end, in_segment)?);
             }
         }
         Ok(RecoveryReport {
             outcomes,
             elapsed: start.elapsed(),
         })
+    }
+
+    /// Heals every flagged layer of one checkpoint segment, in
+    /// ascending order, in place. The shared serial core of both
+    /// recovery paths.
+    fn recover_segment(
+        &self,
+        model: &mut Sequential,
+        seg_start: usize,
+        seg_end: usize,
+        in_segment: &[usize],
+    ) -> Result<Vec<(usize, RecoveryOutcome)>> {
+        let input_anchor = self.anchor(model, seg_start)?;
+        let output_anchor = self
+            .artifacts
+            .full_checkpoints
+            .get(&seg_end)
+            .ok_or_else(|| MilrError::CorruptArtifacts(format!("missing checkpoint {seg_end}")))?
+            .clone();
+        let mut outcomes = Vec::new();
+        for &f in in_segment {
+            let outcome =
+                self.recover_one(model, f, &input_anchor, seg_start, &output_anchor, seg_end);
+            outcomes.push((
+                f,
+                match outcome {
+                    Ok(o) => o.into(),
+                    Err(e) => RecoveryOutcome::Failed {
+                        reason: e.to_string(),
+                    },
+                },
+            ));
+        }
+        Ok(outcomes)
     }
 
     fn anchor(&self, model: &Sequential, position: usize) -> Result<Tensor> {
@@ -307,10 +359,9 @@ impl Milr {
             // matters even for `ConvFull` geometry — a conv fed by
             // another conv has a rank-deficient im2col system, where a
             // blind full solve returns consistent-but-wrong weights.
-            (
-                Layer::Conv2D { filters, spec },
-                SolvingPlan::ConvFull | SolvingPlan::ConvPartial,
-            ) => solve_conv_partial(&x, &y, filters, spec, &self.artifacts, index)?,
+            (Layer::Conv2D { filters, spec }, SolvingPlan::ConvFull | SolvingPlan::ConvPartial) => {
+                solve_conv_partial(&x, &y, filters, spec, &self.artifacts, index)?
+            }
             (Layer::Bias { bias }, SolvingPlan::Bias) => solve_bias(&x, &y, bias.numel())?,
             (layer, plan) => {
                 return Err(MilrError::ModelMismatch(format!(
@@ -386,13 +437,14 @@ mod tests {
     }
 
     fn params_eq(a: &Sequential, b: &Sequential, rtol: f32, atol: f32) -> bool {
-        a.layers().iter().zip(b.layers().iter()).all(|(x, y)| {
-            match (x.params(), y.params()) {
+        a.layers()
+            .iter()
+            .zip(b.layers().iter())
+            .all(|(x, y)| match (x.params(), y.params()) {
                 (Some(p), Some(q)) => p.approx_eq(q, rtol, atol),
                 (None, None) => true,
                 _ => false,
-            }
-        })
+            })
     }
 
     #[test]
@@ -531,23 +583,24 @@ mod tests {
         let mut m = test_model(7);
         let golden = m.clone();
         let milr = protect(&m);
-        let mut rng = FaultRng::seed(11);
+        let mut rng = FaultRng::seed(18);
         for layer in m.layers_mut() {
             if let Some(p) = layer.params_mut() {
                 inject_rber(p.data_mut(), 1e-3, &mut rng);
             }
         }
         let report = milr.detect(&m).unwrap();
-        // Seed 11 flags conv 0 (alone among checkpoints 0..3) plus conv
+        // Seed 18 flags conv 0 (alone among checkpoints 0..3) plus conv
         // 4 and dense 8, which share segment 3..11.
         assert_eq!(report.flagged, vec![0, 4, 8]);
         let rec = milr.recover(&mut m, &report).unwrap();
         assert_eq!(rec.outcomes.len(), 3);
         // Singleton-segment layer healed exactly.
-        assert!(m.layers()[0]
-            .params()
-            .unwrap()
-            .approx_eq(golden.layers()[0].params().unwrap(), 1e-4, 1e-5));
+        assert!(m.layers()[0].params().unwrap().approx_eq(
+            golden.layers()[0].params().unwrap(),
+            1e-4,
+            1e-5
+        ));
         // Shared-segment layers were re-solved (parameters moved toward
         // reproducing the golden flow) — recovery reports them, and the
         // recovered network still reproduces the stored golden output
@@ -597,10 +650,7 @@ mod tests {
         // panic, other layers unaffected.
         let rec = milr.recover_layers(&mut m, &[2]).unwrap();
         assert_eq!(rec.outcomes.len(), 1);
-        assert!(matches!(
-            rec.outcomes[0].1,
-            RecoveryOutcome::Failed { .. }
-        ));
+        assert!(matches!(rec.outcomes[0].1, RecoveryOutcome::Failed { .. }));
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub enum SolveOutcome {
 /// Recovers a dense layer's weight matrix from golden input/output
 /// (§IV-A-b). `x` is `(B, N)`, `y` is `(B, P)`; PRNG dummy rows and
 /// their stored outputs complete the system when `B < N`.
+// The argument list is the full recovery context (anchors, plan,
+// artifacts, geometry); bundling it into a struct would be used once.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_dense(
     x: &Tensor,
     y: &Tensor,
@@ -191,6 +194,7 @@ pub(crate) fn solve_conv_partial(
         }
         // RHS: golden output minus the contribution of trusted weights.
         let mut rhs = y_mat.col(k);
+        #[allow(clippy::needless_range_loop)] // r indexes rhs and `a` rows together
         for r in 0..rows {
             let mut acc = 0.0f64;
             let arow = a.row(r);
@@ -279,7 +283,11 @@ pub(crate) fn solve_conv_partial(
 /// positions that share each bias element. The estimate is taken from
 /// the position with the smallest input magnitude, where the `f32`
 /// rounding of `x + b` preserved the most bits of `b`.
-pub(crate) fn solve_bias(x: &Tensor, y: &Tensor, channels: usize) -> Result<(Tensor, SolveOutcome)> {
+pub(crate) fn solve_bias(
+    x: &Tensor,
+    y: &Tensor,
+    channels: usize,
+) -> Result<(Tensor, SolveOutcome)> {
     if x.shape() != y.shape() {
         return Err(MilrError::ModelMismatch(format!(
             "bias recovery shapes differ: {} vs {}",
@@ -321,17 +329,8 @@ mod tests {
         let x = golden_input(&m, &cfg);
         let y = milr_forward(&m.layers()[0], &x).unwrap();
         let golden = m.layers()[0].params().unwrap().clone();
-        let (recovered, outcome) = solve_dense(
-            &x,
-            &y,
-            plan.layers[0].solving.unwrap(),
-            &art,
-            &cfg,
-            0,
-            8,
-            5,
-        )
-        .unwrap();
+        let (recovered, outcome) =
+            solve_dense(&x, &y, plan.layers[0].solving.unwrap(), &art, &cfg, 0, 8, 5).unwrap();
         assert_eq!(outcome, SolveOutcome::Full);
         assert!(
             recovered.approx_eq(&golden, 1e-5, 1e-6),
@@ -360,8 +359,7 @@ mod tests {
         for &i in &[3usize, 77, 150, 200] {
             corrupted.data_mut()[i] += 2.5;
         }
-        let (recovered, outcome) =
-            solve_conv_partial(&x, &y, &corrupted, &spec, &art, 0).unwrap();
+        let (recovered, outcome) = solve_conv_partial(&x, &y, &corrupted, &spec, &art, 0).unwrap();
         match outcome {
             SolveOutcome::Partial { solved } => assert!(solved >= 4, "solved {solved}"),
             other => panic!("expected partial, got {other:?}"),
@@ -391,8 +389,7 @@ mod tests {
         for v in corrupted.data_mut() {
             *v += 1.0;
         }
-        let (recovered, outcome) =
-            solve_conv_partial(&x, &y, &corrupted, &spec, &art, 0).unwrap();
+        let (recovered, outcome) = solve_conv_partial(&x, &y, &corrupted, &spec, &art, 0).unwrap();
         assert!(matches!(outcome, SolveOutcome::MinNorm { .. }));
         // Min-norm cannot be exact (under-determined) but must
         // reproduce the layer's golden outputs on the golden input.

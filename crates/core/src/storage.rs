@@ -138,10 +138,7 @@ mod tests {
         // Output checkpoint: (1, 4) tensor.
         assert_eq!(r.full_checkpoint_bytes, 16);
         assert!(r.milr_bytes() > 0);
-        assert_eq!(
-            r.ecc_and_milr_bytes(),
-            r.ecc_bytes + r.milr_bytes()
-        );
+        assert_eq!(r.ecc_and_milr_bytes(), r.ecc_bytes + r.milr_bytes());
     }
 
     #[test]

@@ -55,7 +55,10 @@ fn same_padding_conv_heals() {
     let milr = protect(&m);
     let outcome = corrupt_and_heal(&mut m, &milr, 0);
     assert!(
-        matches!(outcome, RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }),
+        matches!(
+            outcome,
+            RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }
+        ),
         "{outcome:?}"
     );
     assert!(params_close(&m, &golden, 0));
@@ -73,7 +76,10 @@ fn stride_two_conv_heals() {
     // G = (11-3)/2+1 = 5; G² = 25 >= F²Z = 9: determined system.
     let outcome = corrupt_and_heal(&mut m, &milr, 0);
     assert!(
-        matches!(outcome, RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }),
+        matches!(
+            outcome,
+            RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }
+        ),
         "{outcome:?}"
     );
     assert!(params_close(&m, &golden, 0));
@@ -101,7 +107,10 @@ fn avg_pool_gets_checkpoint_and_downstream_heals() {
     // The conv before the pool heals too.
     let outcome = corrupt_and_heal(&mut m, &milr, 0);
     assert!(
-        matches!(outcome, RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }),
+        matches!(
+            outcome,
+            RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }
+        ),
         "{outcome:?}"
     );
     assert!(params_close(&m, &golden, 0));
@@ -123,7 +132,10 @@ fn zero_pad_layer_is_transparent_to_recovery() {
     // through the second conv AND the zero-pad layer (crop).
     let outcome = corrupt_and_heal(&mut m, &milr, 0);
     assert!(
-        matches!(outcome, RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }),
+        matches!(
+            outcome,
+            RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }
+        ),
         "{outcome:?}"
     );
     assert!(params_close(&m, &golden, 0));
@@ -134,9 +146,11 @@ fn sigmoid_and_tanh_networks_protect_and_heal() {
     for activation in [Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
         let mut rng = TensorRng::new(45);
         let mut m = Sequential::new(vec![6]);
-        m.push(Layer::dense_random(6, 5, &mut rng).unwrap()).unwrap();
+        m.push(Layer::dense_random(6, 5, &mut rng).unwrap())
+            .unwrap();
         m.push(Layer::Activation(activation)).unwrap();
-        m.push(Layer::dense_random(5, 4, &mut rng).unwrap()).unwrap();
+        m.push(Layer::dense_random(5, 4, &mut rng).unwrap())
+            .unwrap();
         let golden = m.clone();
         let milr = protect(&m);
         let outcome = corrupt_and_heal(&mut m, &milr, 0);
@@ -149,9 +163,11 @@ fn sigmoid_and_tanh_networks_protect_and_heal() {
 fn dropout_layer_is_ignored_by_milr() {
     let mut rng = TensorRng::new(46);
     let mut m = Sequential::new(vec![8]);
-    m.push(Layer::dense_random(8, 6, &mut rng).unwrap()).unwrap();
+    m.push(Layer::dense_random(8, 6, &mut rng).unwrap())
+        .unwrap();
     m.push(Layer::Dropout { rate: 0.5 }).unwrap();
-    m.push(Layer::dense_random(6, 4, &mut rng).unwrap()).unwrap();
+    m.push(Layer::dense_random(6, 4, &mut rng).unwrap())
+        .unwrap();
     let golden = m.clone();
     let milr = protect(&m);
     // Corrupt the layer *behind* the dropout: backward pass crosses it.
@@ -188,7 +204,8 @@ fn deep_dense_chain_heals_each_layer_in_turn() {
 fn detection_survives_infinity_and_nan_weights() {
     let mut rng = TensorRng::new(48);
     let mut m = Sequential::new(vec![5]);
-    m.push(Layer::dense_random(5, 4, &mut rng).unwrap()).unwrap();
+    m.push(Layer::dense_random(5, 4, &mut rng).unwrap())
+        .unwrap();
     m.push(Layer::bias_zero(4)).unwrap();
     let golden = m.clone();
     let milr = protect(&m);
@@ -240,10 +257,11 @@ fn flow_batch_config_strengthens_conv_systems() {
     victim.layers_mut()[0].params_mut().unwrap().data_mut()[7] += 9.0;
     let report = milr4.detect(&victim).unwrap();
     milr4.recover(&mut victim, &report).unwrap();
-    assert!(victim.layers()[0]
-        .params()
-        .unwrap()
-        .approx_eq(m.layers()[0].params().unwrap(), 1e-3, 1e-4));
+    assert!(victim.layers()[0].params().unwrap().approx_eq(
+        m.layers()[0].params().unwrap(),
+        1e-3,
+        1e-4
+    ));
 }
 
 #[test]

@@ -173,7 +173,7 @@ mod tests {
     fn overhead_matches_paper_formula() {
         // MNIST network: 1,669,290 params -> ECC 1.46 MB (Table V).
         let n = 1_669_290usize;
-        let mem = SecdedMemory::protect(&vec![0.0f32; 4]);
+        let mem = SecdedMemory::protect(&[0.0f32; 4]);
         let _ = mem;
         let bytes = n * 7 / 8;
         let mb = bytes as f64 / 1_000_000.0;

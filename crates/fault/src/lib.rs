@@ -1,25 +1,29 @@
 //! # milr-fault
 //!
-//! Seeded fault-injection simulator reproducing the three experiment
-//! families of the MILR paper's evaluation (§V-A):
+//! Seeded, **substrate-generic** fault injection reproducing the three
+//! experiment families of the MILR paper's evaluation (§V-A):
 //!
-//! 1. **Random bit flips** at a raw bit error rate (RBER) `p` — every bit
-//!    of every `f32` weight flips independently with probability `p`,
-//!    "regardless of bit position and role" ([`inject_rber`]).
+//! 1. **Random bit flips** at a raw bit error rate (RBER) `p` — every
+//!    bit of the substrate's *raw representation* flips independently
+//!    with probability `p` ([`inject_rber`]). Over a plain buffer that
+//!    is every bit of every `f32` "regardless of bit position and
+//!    role"; over [`milr_ecc::SecdedMemory`] the 39-bit code words;
+//!    over [`milr_xts::EncryptedMemory`] or
+//!    [`milr_substrate::XtsSecdedMemory`] the ciphertext.
 //! 2. **Whole-weight errors** with probability `q` — every bit of a
-//!    selected weight is flipped ([`inject_whole_weight`]), the plaintext
-//!    signature of a ciphertext-space error under AES-XTS.
-//! 3. **Whole-layer corruption** — every parameter of a layer replaced by
-//!    a random value, "where none of the values were the same as the
+//!    selected weight is flipped in plaintext space
+//!    ([`inject_whole_weight`]), the plaintext signature of a
+//!    ciphertext-space error under AES-XTS.
+//! 3. **Whole-layer corruption** — every parameter of a layer replaced
+//!    by a random value, "where none of the values were the same as the
 //!    original value" ([`corrupt_layer`]).
 //!
-//! Plus the two memory models those errors flow through:
-//!
-//! * [`inject_secded_rber`] flips bits in (39,32) SECDED code words —
-//!   the ECC-protected-DRAM baseline;
-//! * [`inject_ciphertext_rber`] flips bits in AES-XTS ciphertext — the
-//!   encrypted-VM scenario where each flipped bit garbles a whole
-//!   16-byte block of weights after decryption.
+//! All injectors are generic over
+//! [`milr_substrate::WeightSubstrate`]; bare `&mut [f32]` / `&mut
+//! Vec<f32>` buffers implement the trait as plain memory, so existing
+//! call sites keep working unchanged. [`inject_secded_rber`] and
+//! [`inject_ciphertext_rber`] remain as named arm entry points and draw
+//! the same flip sequences as the generic path.
 //!
 //! All injectors draw from a caller-provided seeded RNG, so every
 //! experiment run is reproducible.
@@ -41,7 +45,7 @@ mod injector;
 mod rng;
 
 pub use injector::{
-    corrupt_layer, inject_ciphertext_rber, inject_rber, inject_secded_rber,
-    inject_whole_weight, InjectionReport,
+    corrupt_layer, inject_ciphertext_rber, inject_rber, inject_secded_rber, inject_whole_weight,
+    InjectionReport,
 };
 pub use rng::FaultRng;

@@ -97,8 +97,7 @@ mod tests {
         let mut rng = FaultRng::seed(5);
         let p = 0.01f64;
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| rng.geometric_gap(p) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| rng.geometric_gap(p) as f64).sum::<f64>() / n as f64;
         // Expected gap = (1-p)/p ≈ 99.
         let expect = (1.0 - p) / p;
         assert!(

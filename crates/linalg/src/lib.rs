@@ -21,8 +21,8 @@
 //! the overwhelming majority of cases (the paper's *Limitations* paragraph
 //! discusses exactly this float-rounding concern).
 //!
-//! Large factorizations parallelize row updates with `crossbeam` scoped
-//! threads.
+//! Large factorizations parallelize row updates with `std::thread`
+//! scoped threads.
 //!
 //! ## Example
 //!
@@ -38,6 +38,9 @@
 //! ```
 
 #![deny(missing_docs)]
+// Factorization kernels index into multiple matrices with shared matrix
+// coordinates; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 
 mod error;
 mod lu;

@@ -94,18 +94,18 @@ impl Lu {
             if trailing_area >= PAR_AREA_THRESHOLD && threads > 1 {
                 let mut rows: Vec<&mut [f64]> = tail.chunks_mut(n).collect();
                 let chunk = rows.len().div_ceil(threads);
-                crossbeam::scope(|s| {
+                std::thread::scope(|s| {
                     while !rows.is_empty() {
                         let take = chunk.min(rows.len());
                         let batch: Vec<&mut [f64]> = rows.drain(..take).collect();
-                        s.spawn(|_| {
+                        let update = &update;
+                        s.spawn(move || {
                             for row in batch {
                                 update(row);
                             }
                         });
                     }
-                })
-                .expect("LU worker thread panicked");
+                });
             } else {
                 for row in tail.chunks_mut(n) {
                     update(row);
@@ -195,12 +195,12 @@ impl Lu {
         if p >= 4 && threads > 1 && n * n * p >= PAR_AREA_THRESHOLD {
             let cols: Vec<usize> = (0..p).collect();
             let chunk = p.div_ceil(threads);
-            let results: Vec<(usize, Vec<f64>)> = crossbeam::scope(|s| {
+            let results: Vec<(usize, Vec<f64>)> = std::thread::scope(|s| {
                 let handles: Vec<_> = cols
                     .chunks(chunk)
                     .map(|batch| {
                         let batch = batch.to_vec();
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             batch
                                 .into_iter()
                                 .map(|j| (j, self.solve(&b.col(j)).expect("shape checked")))
@@ -212,8 +212,7 @@ impl Lu {
                     .into_iter()
                     .flat_map(|h| h.join().expect("solver thread panicked"))
                     .collect()
-            })
-            .expect("crossbeam scope failed");
+            });
             for (j, x) in results {
                 for (i, &v) in x.iter().enumerate() {
                     out.set(i, j, v);
@@ -253,10 +252,7 @@ mod tests {
     #[test]
     fn detects_singularity() {
         let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(
-            Lu::factor(&a),
-            Err(LinalgError::Singular { .. })
-        ));
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
         let z = Mat::zeros(3, 3);
         assert!(Lu::factor(&z).is_err());
     }

@@ -312,13 +312,7 @@ mod tests {
     #[test]
     fn overdetermined_consistent_system_is_exact() {
         // 4 equations, 2 unknowns, consistent.
-        let a = Mat::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ])
-        .unwrap();
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]).unwrap();
         let x_true = [2.0, -1.0];
         let b = a.matvec(&x_true).unwrap();
         let x = lstsq(&a, &b).unwrap();

@@ -180,7 +180,13 @@ mod tests {
         assert_eq!(m.shape_at(8), &[10, 10, 64]);
         assert_eq!(m.output_shape(), &[10]);
         // Parameter totals per table row.
-        let rows = [(288, 32), (9_216, 32), (18_432, 64), (1_638_400, 256), (2_560, 10)];
+        let rows = [
+            (288, 32),
+            (9_216, 32),
+            (18_432, 64),
+            (1_638_400, 256),
+            (2_560, 10),
+        ];
         assert_eq!(m.param_count(), table_param_sum(&rows));
         assert_eq!(m.param_count(), 1_669_290);
     }

@@ -218,8 +218,7 @@ pub fn patches(n: usize, side: usize, seed: u64) -> Dataset {
             for x in 0..side {
                 let u = x as f32 / side as f32;
                 let v = y as f32 / side as f32;
-                let wave =
-                    ((u * cos_a + v * sin_a) * freq * std::f32::consts::TAU + phase).sin();
+                let wave = ((u * cos_a + v * sin_a) * freq * std::f32::consts::TAU + phase).sin();
                 let t = 0.5 + 0.5 * wave;
                 // Class-specific color ramp endpoints.
                 let c0 = [
@@ -233,7 +232,9 @@ pub fn patches(n: usize, side: usize, seed: u64) -> Dataset {
                     0.8 - 0.04 * class as f32,
                 ];
                 for ch in 0..3 {
-                    let val = c0[ch] * (1.0 - t) + c1[ch] * t + hue_shift * (ch as f32 - 1.0)
+                    let val = c0[ch] * (1.0 - t)
+                        + c1[ch] * t
+                        + hue_shift * (ch as f32 - 1.0)
                         + rng.uniform() * 0.08;
                     // Centered to [-0.5, 0.5] like `digits`.
                     data.push(val.clamp(0.0, 1.0) - 0.5);
@@ -321,10 +322,7 @@ mod tests {
         assert_eq!(images.shape().dims(), &[3, 8, 8, 1]);
         assert_eq!(labels, &ds.labels[2..5]);
         let per = 8 * 8;
-        assert_eq!(
-            images.data()[0..per],
-            ds.images.data()[2 * per..3 * per]
-        );
+        assert_eq!(images.data()[0..per], ds.images.data()[2 * per..3 * per]);
     }
 
     #[test]

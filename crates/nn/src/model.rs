@@ -147,9 +147,7 @@ impl Sequential {
         }
         let classes = out.shape().dim(1);
         Ok((0..out.shape().dim(0))
-            .map(|r| {
-                argmax(&out.data()[r * classes..(r + 1) * classes]).expect("classes > 0")
-            })
+            .map(|r| argmax(&out.data()[r * classes..(r + 1) * classes]).expect("classes > 0"))
             .collect())
     }
 
@@ -185,7 +183,11 @@ impl Sequential {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "{:<14} {:<18} {:>12}", "Layer", "Output Shape", "Trainable");
+        let _ = writeln!(
+            s,
+            "{:<14} {:<18} {:>12}",
+            "Layer", "Output Shape", "Trainable"
+        );
         for (i, layer) in self.layers.iter().enumerate() {
             let shape = &self.shapes[i + 1];
             let shape_str = format!(

@@ -129,10 +129,7 @@ impl Trainer {
         let (probs, logits_index) = if fused_softmax {
             (acts[n_layers].clone(), n_layers - 1)
         } else {
-            (
-                Activation::Softmax.apply(&acts[n_layers]),
-                n_layers,
-            )
+            (Activation::Softmax.apply(&acts[n_layers]), n_layers)
         };
         if probs.ndim() != 2 {
             return Err(NnError::BadConfig(format!(
@@ -161,7 +158,11 @@ impl Trainer {
         let mut grad = Tensor::from_vec(grad_data, probs.shape().dims())?;
 
         let mut param_grads: Vec<Option<Vec<f32>>> = vec![None; n_layers];
-        let last_backward = if fused_softmax { n_layers - 1 } else { n_layers };
+        let last_backward = if fused_softmax {
+            n_layers - 1
+        } else {
+            n_layers
+        };
         let _ = logits_index;
         for i in (0..last_backward).rev() {
             let layer = &model.layers()[i];
@@ -191,9 +192,7 @@ impl Trainer {
             let Some(params) = layer.params_mut() else {
                 continue;
             };
-            let v = self
-                .velocities[i]
-                .get_or_insert_with(|| vec![0.0; grad.len()]);
+            let v = self.velocities[i].get_or_insert_with(|| vec![0.0; grad.len()]);
             if v.len() != grad.len() {
                 *v = vec![0.0; grad.len()];
             }
@@ -602,6 +601,7 @@ mod tests {
             .unwrap();
         // Spot-check several parameters in every parameterized layer.
         let eps = 1e-3f32;
+        #[allow(clippy::needless_range_loop)] // li indexes grads and model together
         for li in 0..model.len() {
             let Some(g) = &grads[li] else { continue };
             let count = g.len();
@@ -734,14 +734,32 @@ mod tests {
         let images = Tensor::ones(&[2, 4]);
         let mut trainer = Trainer::new(TrainerConfig::default());
         assert!(trainer
-            .gradients(&m, Batch { images: &images, labels: &[0] })
+            .gradients(
+                &m,
+                Batch {
+                    images: &images,
+                    labels: &[0]
+                }
+            )
             .is_err());
         assert!(trainer
-            .gradients(&m, Batch { images: &images, labels: &[0, 9] })
+            .gradients(
+                &m,
+                Batch {
+                    images: &images,
+                    labels: &[0, 9]
+                }
+            )
             .is_err());
         let empty = Tensor::zeros(&[0, 4]);
         assert!(trainer
-            .gradients(&m, Batch { images: &empty, labels: &[] })
+            .gradients(
+                &m,
+                Batch {
+                    images: &empty,
+                    labels: &[]
+                }
+            )
             .is_err());
         let ds = data::digits(4, 4, 1);
         let mut m2 = Sequential::new(vec![4, 4, 1]);

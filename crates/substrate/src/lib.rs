@@ -1,0 +1,194 @@
+//! # milr-substrate
+//!
+//! The unified **weight substrate** abstraction of the MILR
+//! reproduction: one trait, [`WeightSubstrate`], over every way the
+//! paper stores CNN parameters in (error-prone) memory —
+//!
+//! * [`PlainMemory`] — raw `f32` words in DRAM, no protection;
+//! * [`SecdedMemory`] — one (39,32) SECDED code word per parameter,
+//!   the ECC baseline (adapted from `milr_ecc::memory`);
+//! * [`EncryptedMemory`] — AES-XTS ciphertext, the encrypted-VM model
+//!   (adapted from `milr_xts::memory`);
+//! * [`XtsSecdedMemory`] — SECDED over the *ciphertext* words: ECC
+//!   DRAM under a memory-encryption engine, the paper's "ECC cannot
+//!   fix decrypted garble" configuration (a single corrected ciphertext
+//!   bit is harmless, but any uncorrectable codeword decrypts to a
+//!   whole garbled 16-byte block of weights).
+//!
+//! Fault injectors flip bits in each substrate's **raw representation**
+//! ([`WeightSubstrate::flip_raw_bit`] over [`WeightSubstrate::raw_bits`]),
+//! so one generic injection loop expresses plaintext-space DRAM errors,
+//! ECC-word errors, and ciphertext-space errors alike; the benchmark
+//! harness composes substrates with recovery arms through
+//! [`SubstrateKind`] without per-arm code paths.
+//!
+//! ```
+//! use milr_substrate::{SubstrateKind, WeightSubstrate};
+//!
+//! let weights = vec![0.5f32, -1.25, 3.0, 0.0];
+//! for kind in SubstrateKind::ALL {
+//!     let mut mem = kind.store(&weights);
+//!     assert_eq!(mem.read_weights(), weights);
+//!     mem.flip_raw_bit(7);
+//!     mem.scrub();
+//!     let seen = mem.read_weights();
+//!     assert_eq!(seen.len(), weights.len());
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+mod encrypted;
+mod kind;
+mod plain;
+mod secded;
+mod xts_secded;
+
+pub use kind::SubstrateKind;
+/// SECDED-per-word substrate, re-exported from `milr_ecc` with its
+/// [`WeightSubstrate`] adaptation defined in this crate.
+pub use milr_ecc::SecdedMemory;
+/// AES-XTS ciphertext substrate, re-exported from `milr_xts` with its
+/// [`WeightSubstrate`] adaptation defined in this crate.
+pub use milr_xts::EncryptedMemory;
+pub use plain::PlainMemory;
+pub use xts_secded::XtsSecdedMemory;
+
+/// Error from a substrate write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubstrateError {
+    /// The written buffer's length differs from the stored length.
+    LengthMismatch {
+        /// Stored weight count.
+        expected: usize,
+        /// Written weight count.
+        got: usize,
+    },
+    /// The backing cipher or code rejected the operation.
+    Backend(String),
+}
+
+impl std::fmt::Display for SubstrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubstrateError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "substrate holds {expected} weights, write of {got} rejected"
+                )
+            }
+            SubstrateError::Backend(msg) => write!(f, "substrate backend error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SubstrateError {}
+
+/// Statistics from one scrub pass over a substrate.
+///
+/// Substrates without a code layer (plain DRAM, bare ciphertext) report
+/// zeros: their scrub is a no-op by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubSummary {
+    /// Words whose single-bit error was corrected in place.
+    pub corrected: usize,
+    /// Words with a detected-but-uncorrectable (multi-bit) error.
+    pub uncorrectable: usize,
+}
+
+impl ScrubSummary {
+    /// True when the pass found nothing to fix or report.
+    pub fn is_clean(&self) -> bool {
+        self.corrected == 0 && self.uncorrectable == 0
+    }
+}
+
+/// A buffer of CNN weights held in some memory substrate.
+///
+/// The trait splits the world into **plaintext space** (what
+/// [`read_weights`](WeightSubstrate::read_weights) returns, what
+/// inference and MILR observe) and **raw space** (the substrate's
+/// physical bit image: data words, ECC code words, or ciphertext).
+/// Faults happen in raw space; protection and recovery reason about
+/// plaintext space. Implementations define the mapping.
+pub trait WeightSubstrate: Send + Sync {
+    /// Short human-readable substrate name (report headers).
+    fn label(&self) -> &'static str;
+
+    /// Number of weights stored.
+    fn len(&self) -> usize;
+
+    /// True when no weights are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bits of the raw representation — the space over which
+    /// RBER faults are drawn.
+    fn raw_bits(&self) -> usize;
+
+    /// Index of the raw word (data word, code word, or cipher block)
+    /// containing the given raw bit, for affected-word accounting.
+    ///
+    /// # Panics
+    ///
+    /// May panic when `bit >= self.raw_bits()`.
+    fn raw_word_of_bit(&self, bit: usize) -> usize;
+
+    /// Flips one bit of the raw representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bit >= self.raw_bits()`.
+    fn flip_raw_bit(&mut self, bit: usize);
+
+    /// Decodes the buffer to plaintext weights, best-effort, exactly as
+    /// an inference read would observe them. Does not modify storage.
+    fn read_weights(&self) -> Vec<f32>;
+
+    /// Replaces the stored weights (re-encoding / re-encrypting as the
+    /// substrate requires) — the write-back path of MILR recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::LengthMismatch`] when `weights.len()` differs
+    /// from [`len`](WeightSubstrate::len).
+    fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError>;
+
+    /// Runs one error-scrub pass, repairing whatever the substrate's
+    /// code layer can repair in place, and reports statistics. A no-op
+    /// returning [`ScrubSummary::default`] for code-free substrates.
+    fn scrub(&mut self) -> ScrubSummary;
+
+    /// Extra storage the substrate needs beyond the 4 bytes per weight
+    /// of the plaintext (check bits, padding) — the per-substrate
+    /// column of the paper's storage tables, in bytes.
+    fn storage_overhead(&self) -> usize;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn scrub_summary_clean() {
+        assert!(ScrubSummary::default().is_clean());
+        assert!(!ScrubSummary {
+            corrected: 1,
+            uncorrectable: 0
+        }
+        .is_clean());
+    }
+
+    #[test]
+    fn substrate_error_displays() {
+        let e = SubstrateError::LengthMismatch {
+            expected: 4,
+            got: 5,
+        };
+        assert!(e.to_string().contains("4"));
+        assert!(SubstrateError::Backend("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+}

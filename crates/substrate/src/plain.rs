@@ -1,0 +1,236 @@
+//! Unprotected plaintext storage: the "no recovery" baseline substrate
+//! and the blanket [`WeightSubstrate`] impls for bare `f32` buffers that
+//! let the fault injectors run directly on model parameter slices.
+
+use crate::{ScrubSummary, SubstrateError, WeightSubstrate};
+
+/// Weights stored as raw `f32` words in unprotected DRAM.
+///
+/// The raw representation *is* the plaintext: 32 raw bits per weight,
+/// no code layer, scrub is a no-op, zero storage overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlainMemory {
+    words: Vec<f32>,
+}
+
+impl PlainMemory {
+    /// Stores a copy of the weight buffer.
+    pub fn store(weights: &[f32]) -> Self {
+        PlainMemory {
+            words: weights.to_vec(),
+        }
+    }
+
+    /// Direct view of the stored words.
+    pub fn data(&self) -> &[f32] {
+        &self.words
+    }
+}
+
+/// Shared raw-bit flip for anything stored as bare `f32` words.
+fn flip_f32_bit(words: &mut [f32], bit: usize) {
+    let total = words.len() * 32;
+    assert!(bit < total, "raw bit {bit} out of range ({total} bits)");
+    let word = bit / 32;
+    words[word] = f32::from_bits(words[word].to_bits() ^ (1u32 << (bit % 32)));
+}
+
+impl WeightSubstrate for PlainMemory {
+    fn label(&self) -> &'static str {
+        "plain DRAM"
+    }
+
+    fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    fn raw_bits(&self) -> usize {
+        self.words.len() * 32
+    }
+
+    fn raw_word_of_bit(&self, bit: usize) -> usize {
+        bit / 32
+    }
+
+    fn flip_raw_bit(&mut self, bit: usize) {
+        flip_f32_bit(&mut self.words, bit);
+    }
+
+    fn read_weights(&self) -> Vec<f32> {
+        self.words.clone()
+    }
+
+    fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {
+        if weights.len() != self.words.len() {
+            return Err(SubstrateError::LengthMismatch {
+                expected: self.words.len(),
+                got: weights.len(),
+            });
+        }
+        self.words.copy_from_slice(weights);
+        Ok(())
+    }
+
+    fn scrub(&mut self) -> ScrubSummary {
+        ScrubSummary::default()
+    }
+
+    fn storage_overhead(&self) -> usize {
+        0
+    }
+}
+
+/// A bare weight slice is itself a plain substrate: this is what makes
+/// the substrate-generic injectors drop-in replacements for the old
+/// `&mut [f32]` signatures (`inject_rber(params.data_mut(), ..)`).
+impl WeightSubstrate for [f32] {
+    fn label(&self) -> &'static str {
+        "plain DRAM"
+    }
+
+    fn len(&self) -> usize {
+        <[f32]>::len(self)
+    }
+
+    fn raw_bits(&self) -> usize {
+        <[f32]>::len(self) * 32
+    }
+
+    fn raw_word_of_bit(&self, bit: usize) -> usize {
+        bit / 32
+    }
+
+    fn flip_raw_bit(&mut self, bit: usize) {
+        flip_f32_bit(self, bit);
+    }
+
+    fn read_weights(&self) -> Vec<f32> {
+        self.to_vec()
+    }
+
+    fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {
+        if weights.len() != <[f32]>::len(self) {
+            return Err(SubstrateError::LengthMismatch {
+                expected: <[f32]>::len(self),
+                got: weights.len(),
+            });
+        }
+        self.copy_from_slice(weights);
+        Ok(())
+    }
+
+    fn scrub(&mut self) -> ScrubSummary {
+        ScrubSummary::default()
+    }
+
+    fn storage_overhead(&self) -> usize {
+        0
+    }
+}
+
+/// Owned buffers delegate to the slice impl (keeps `&mut vec` call
+/// sites working with the generic injectors).
+impl WeightSubstrate for Vec<f32> {
+    fn label(&self) -> &'static str {
+        "plain DRAM"
+    }
+
+    fn len(&self) -> usize {
+        <[f32]>::len(self)
+    }
+
+    fn raw_bits(&self) -> usize {
+        <[f32]>::len(self) * 32
+    }
+
+    fn raw_word_of_bit(&self, bit: usize) -> usize {
+        bit / 32
+    }
+
+    fn flip_raw_bit(&mut self, bit: usize) {
+        flip_f32_bit(self, bit);
+    }
+
+    fn read_weights(&self) -> Vec<f32> {
+        self.clone()
+    }
+
+    fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {
+        self.as_mut_slice().write_weights(weights)
+    }
+
+    fn scrub(&mut self) -> ScrubSummary {
+        ScrubSummary::default()
+    }
+
+    fn storage_overhead(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights(n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32 * 0.25 - 2.0).collect()
+    }
+
+    #[test]
+    fn roundtrip_and_overhead() {
+        let w = weights(7);
+        let mut mem = PlainMemory::store(&w);
+        assert_eq!(mem.len(), 7);
+        assert_eq!(mem.raw_bits(), 7 * 32);
+        assert_eq!(mem.read_weights(), w);
+        assert_eq!(mem.storage_overhead(), 0);
+        assert!(mem.scrub().is_clean());
+        assert_eq!(mem.read_weights(), w, "scrub is a no-op");
+    }
+
+    #[test]
+    fn flip_changes_exactly_one_word() {
+        let w = weights(4);
+        let mut mem = PlainMemory::store(&w);
+        mem.flip_raw_bit(32 + 5); // word 1, bit 5
+        assert_eq!(mem.raw_word_of_bit(32 + 5), 1);
+        let seen = mem.read_weights();
+        assert_eq!(seen[1].to_bits(), w[1].to_bits() ^ (1 << 5));
+        for i in [0, 2, 3] {
+            assert_eq!(seen[i], w[i]);
+        }
+    }
+
+    #[test]
+    fn write_back_heals() {
+        let w = weights(3);
+        let mut mem = PlainMemory::store(&w);
+        mem.flip_raw_bit(0);
+        mem.write_weights(&w).unwrap();
+        assert_eq!(mem.read_weights(), w);
+        assert!(matches!(
+            mem.write_weights(&weights(4)),
+            Err(SubstrateError::LengthMismatch {
+                expected: 3,
+                got: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn slice_impl_matches_plain_memory() {
+        let mut v = weights(5);
+        let mut mem = PlainMemory::store(&v);
+        let slice: &mut [f32] = &mut v;
+        slice.flip_raw_bit(77);
+        mem.flip_raw_bit(77);
+        assert_eq!(slice.read_weights(), mem.read_weights());
+        assert_eq!(slice.raw_bits(), mem.raw_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bounds_checked() {
+        PlainMemory::store(&weights(1)).flip_raw_bit(32);
+    }
+}

@@ -1,0 +1,108 @@
+//! [`WeightSubstrate`] adaptation of the SECDED-per-word memory from
+//! `milr_ecc`: the paper's ECC-DRAM baseline, with 39 raw bits per
+//! stored weight and a scrub that behaves like an ECC memory-controller
+//! sweep.
+
+use crate::{ScrubSummary, SubstrateError, WeightSubstrate};
+use milr_ecc::{Secded, SecdedMemory};
+
+impl WeightSubstrate for SecdedMemory {
+    fn label(&self) -> &'static str {
+        "SECDED DRAM"
+    }
+
+    fn len(&self) -> usize {
+        SecdedMemory::len(self)
+    }
+
+    fn raw_bits(&self) -> usize {
+        SecdedMemory::len(self) * Secded::CODE_BITS as usize
+    }
+
+    fn raw_word_of_bit(&self, bit: usize) -> usize {
+        bit / Secded::CODE_BITS as usize
+    }
+
+    fn flip_raw_bit(&mut self, bit: usize) {
+        assert!(bit < self.raw_bits(), "raw bit {bit} out of range");
+        let per = Secded::CODE_BITS as usize;
+        self.flip_bit(bit / per, (bit % per) as u32);
+    }
+
+    fn read_weights(&self) -> Vec<f32> {
+        self.read_all()
+    }
+
+    fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {
+        if weights.len() != SecdedMemory::len(self) {
+            return Err(SubstrateError::LengthMismatch {
+                expected: SecdedMemory::len(self),
+                got: weights.len(),
+            });
+        }
+        *self = SecdedMemory::protect(weights);
+        Ok(())
+    }
+
+    fn scrub(&mut self) -> ScrubSummary {
+        let (_decoded, report) = SecdedMemory::scrub(self);
+        ScrubSummary {
+            corrected: report.corrected,
+            uncorrectable: report.uncorrectable,
+        }
+    }
+
+    fn storage_overhead(&self) -> usize {
+        self.overhead_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights(n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32 * 0.125 - 4.0).collect()
+    }
+
+    #[test]
+    fn single_flip_is_corrected_by_scrub() {
+        let w = weights(16);
+        let mut mem = SecdedMemory::protect(&w);
+        assert_eq!(mem.raw_bits(), 16 * 39);
+        mem.flip_raw_bit(3 * 39 + 11);
+        assert_eq!(mem.raw_word_of_bit(3 * 39 + 11), 3);
+        let summary = WeightSubstrate::scrub(&mut mem);
+        assert_eq!(summary.corrected, 1);
+        assert_eq!(summary.uncorrectable, 0);
+        assert_eq!(mem.read_weights(), w);
+    }
+
+    #[test]
+    fn double_flip_is_uncorrectable() {
+        let w = weights(8);
+        let mut mem = SecdedMemory::protect(&w);
+        mem.flip_raw_bit(5 * 39 + 1);
+        mem.flip_raw_bit(5 * 39 + 30);
+        let summary = WeightSubstrate::scrub(&mut mem);
+        assert_eq!(summary.uncorrectable, 1);
+        assert_ne!(mem.read_weights()[5], w[5]);
+    }
+
+    #[test]
+    fn write_back_reprotects() {
+        let w = weights(4);
+        let mut mem = SecdedMemory::protect(&w);
+        mem.flip_raw_bit(0);
+        mem.flip_raw_bit(1); // uncorrectable
+        WeightSubstrate::write_weights(&mut mem, &w).unwrap();
+        assert!(WeightSubstrate::scrub(&mut mem).is_clean());
+        assert_eq!(mem.read_weights(), w);
+    }
+
+    #[test]
+    fn overhead_is_seven_bits_per_word() {
+        let mem = SecdedMemory::protect(&weights(64));
+        assert_eq!(WeightSubstrate::storage_overhead(&mem), 64 * 7 / 8);
+    }
+}

@@ -1,0 +1,227 @@
+//! The composed substrate: SECDED ECC laid over AES-XTS **ciphertext**
+//! words — ECC DRAM inside an encrypted VM.
+//!
+//! This is the paper's ciphertext-space argument made executable. The
+//! ECC layer sees only ciphertext, so it happily corrects any single
+//! raw-bit error before decryption (harmless), but an uncorrectable
+//! codeword passes multi-bit-corrupted *ciphertext* through to the
+//! decryptor, which garbles the whole 16-byte block — four weights —
+//! in plaintext space. Per-word ECC therefore cannot bound plaintext
+//! damage under encryption; only a plaintext-space scheme (MILR) can.
+
+use crate::{ScrubSummary, SubstrateError, WeightSubstrate};
+use milr_ecc::{DecodeOutcome, Secded};
+use milr_xts::{EncryptedMemory, XtsCipher, BLOCK_BYTES, WEIGHTS_PER_BLOCK};
+
+/// Words of ciphertext per 16-byte cipher block.
+const WORDS_PER_BLOCK: usize = BLOCK_BYTES / 4;
+
+/// Weights stored as AES-XTS ciphertext with one (39,32) SECDED code
+/// word per 32-bit ciphertext word.
+#[derive(Debug, Clone)]
+pub struct XtsSecdedMemory {
+    cipher: XtsCipher,
+    /// SECDED code words over the ciphertext, 4 per cipher block.
+    words: Vec<u64>,
+    /// Number of valid weights (final block may be padding).
+    len: usize,
+}
+
+impl XtsSecdedMemory {
+    /// Encrypts a weight buffer and puts every ciphertext word under
+    /// SECDED protection.
+    pub fn protect(weights: &[f32], cipher: XtsCipher) -> Self {
+        let mem = EncryptedMemory::encrypt(weights, cipher.clone())
+            .expect("padded plaintext length is always block-aligned");
+        let words = mem
+            .ciphertext()
+            .chunks_exact(4)
+            .map(|b| Secded::encode(u32::from_le_bytes(b.try_into().expect("chunk of 4"))))
+            .collect();
+        XtsSecdedMemory {
+            cipher,
+            words,
+            len: weights.len(),
+        }
+    }
+
+    /// Number of SECDED code words (4 per cipher block).
+    pub fn code_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Decodes the code words best-effort into raw ciphertext bytes.
+    fn ciphertext_bytes(&self) -> Vec<u8> {
+        self.words
+            .iter()
+            .flat_map(|&w| Secded::decode(w).data().to_le_bytes())
+            .collect()
+    }
+
+    /// Decrypts a ciphertext image into the plaintext weight buffer.
+    fn decrypt(&self, mut bytes: Vec<u8>) -> Vec<f32> {
+        for (unit, block) in bytes.chunks_mut(BLOCK_BYTES).enumerate() {
+            self.cipher
+                .decrypt_unit(block, unit as u64)
+                .expect("whole blocks by construction");
+        }
+        bytes
+            .chunks_exact(4)
+            .take(self.len)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("chunk of 4")))
+            .collect()
+    }
+
+    /// The range of weight indices garbled when the code word holding
+    /// the given raw bit is uncorrectable: all weights of its block.
+    pub fn blast_radius(&self, bit: usize) -> std::ops::Range<usize> {
+        let block = self.raw_word_of_bit(bit) / WORDS_PER_BLOCK;
+        (block * WEIGHTS_PER_BLOCK).min(self.len)..((block + 1) * WEIGHTS_PER_BLOCK).min(self.len)
+    }
+}
+
+impl WeightSubstrate for XtsSecdedMemory {
+    fn label(&self) -> &'static str {
+        "AES-XTS + SECDED DRAM"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn raw_bits(&self) -> usize {
+        self.words.len() * Secded::CODE_BITS as usize
+    }
+
+    fn raw_word_of_bit(&self, bit: usize) -> usize {
+        bit / Secded::CODE_BITS as usize
+    }
+
+    fn flip_raw_bit(&mut self, bit: usize) {
+        assert!(bit < self.raw_bits(), "raw bit {bit} out of range");
+        let per = Secded::CODE_BITS as usize;
+        self.words[bit / per] ^= 1u64 << (bit % per);
+    }
+
+    fn read_weights(&self) -> Vec<f32> {
+        self.decrypt(self.ciphertext_bytes())
+    }
+
+    fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {
+        if weights.len() != self.len {
+            return Err(SubstrateError::LengthMismatch {
+                expected: self.len,
+                got: weights.len(),
+            });
+        }
+        *self = XtsSecdedMemory::protect(weights, self.cipher.clone());
+        Ok(())
+    }
+
+    fn scrub(&mut self) -> ScrubSummary {
+        let mut summary = ScrubSummary::default();
+        for w in &mut self.words {
+            match Secded::decode(*w) {
+                DecodeOutcome::Clean { .. } => {}
+                DecodeOutcome::Corrected { data, .. } => {
+                    summary.corrected += 1;
+                    *w = Secded::encode(data);
+                }
+                DecodeOutcome::DoubleError { .. } => summary.uncorrectable += 1,
+            }
+        }
+        summary
+    }
+
+    fn storage_overhead(&self) -> usize {
+        // Check bits over every ciphertext word, plus block padding.
+        let padding = self.words.len() * 4 - self.len * 4;
+        self.words.len() * Secded::CHECK_BITS as usize / 8 + padding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cipher() -> XtsCipher {
+        XtsCipher::new(&[0x13; 16], &[0x31; 16])
+    }
+
+    fn weights(n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32 * 0.3 - 5.0).collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        for n in [1usize, 4, 7, 64] {
+            let w = weights(n);
+            let mem = XtsSecdedMemory::protect(&w, cipher());
+            assert_eq!(mem.len(), n);
+            assert_eq!(mem.read_weights(), w);
+            assert_eq!(mem.code_words(), n.div_ceil(4) * 4);
+        }
+    }
+
+    #[test]
+    fn single_ciphertext_flip_is_fully_corrected() {
+        // The benign case: ECC repairs the ciphertext before decryption,
+        // so plaintext is intact — encryption does not defeat ECC for
+        // single-bit errors.
+        let w = weights(16);
+        let mut mem = XtsSecdedMemory::protect(&w, cipher());
+        mem.flip_raw_bit(2 * 39 + 7);
+        let summary = mem.scrub();
+        assert_eq!(summary.corrected, 1);
+        assert_eq!(summary.uncorrectable, 0);
+        assert_eq!(mem.read_weights(), w);
+    }
+
+    #[test]
+    fn double_flip_garbles_exactly_one_block() {
+        // The paper's scenario: two raw flips in one codeword defeat
+        // SECDED; the surviving ciphertext error decrypts to a whole
+        // garbled 16-byte block (4 weights) while every other block is
+        // untouched.
+        let w = weights(16);
+        let mut mem = XtsSecdedMemory::protect(&w, cipher());
+        let word = 5; // block 1
+        mem.flip_raw_bit(word * 39 + 2);
+        mem.flip_raw_bit(word * 39 + 20);
+        let summary = mem.scrub();
+        assert_eq!(summary.uncorrectable, 1);
+        let seen = mem.read_weights();
+        let radius = mem.blast_radius(word * 39);
+        assert_eq!(radius, 4..8);
+        let garbled: Vec<usize> = (0..16).filter(|&i| seen[i] != w[i]).collect();
+        assert!(!garbled.is_empty());
+        assert!(garbled.iter().all(|i| radius.contains(i)), "{garbled:?}");
+    }
+
+    #[test]
+    fn write_back_heals_everything() {
+        let w = weights(8);
+        let mut mem = XtsSecdedMemory::protect(&w, cipher());
+        mem.flip_raw_bit(0);
+        mem.flip_raw_bit(1);
+        mem.write_weights(&w).unwrap();
+        assert!(mem.scrub().is_clean());
+        assert_eq!(mem.read_weights(), w);
+        assert!(mem.write_weights(&weights(9)).is_err());
+    }
+
+    #[test]
+    fn overhead_combines_check_bits_and_padding() {
+        let mem = XtsSecdedMemory::protect(&weights(5), cipher());
+        // 5 weights -> 2 blocks -> 8 ciphertext words: 8*7/8 check bytes
+        // + 12 padding bytes.
+        assert_eq!(mem.storage_overhead(), 7 + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bounds_checked() {
+        let mut mem = XtsSecdedMemory::protect(&weights(4), cipher());
+        mem.flip_raw_bit(mem.raw_bits());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-style round-trip tests over every [`WeightSubstrate`]
+//! implementation: encode → flip raw bits → scrub/decrypt must behave
+//! per each substrate's contract (single-bit corrected under SECDED,
+//! multi-bit passes through, a ciphertext flip garbles exactly one
+//! 16-byte block under XTS, and the composed substrate corrects single
+//! flips but garbles one block on double flips).
+
+use milr_substrate::{SubstrateKind, WeightSubstrate, XtsSecdedMemory};
+use milr_xts::WEIGHTS_PER_BLOCK;
+use proptest::prelude::*;
+
+fn weights(n: usize, seed: u64) -> Vec<f32> {
+    // Cheap deterministic pattern; exact values are irrelevant, only
+    // bit-exact round-tripping is.
+    (0..n)
+        .map(|i| ((i as u64 + 1).wrapping_mul(seed | 1) % 1000) as f32 * 0.013 - 6.5)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Storing then reading returns the original weights bit-exactly,
+    /// for every substrate and buffer size (including non-block-aligned
+    /// sizes for the encrypted substrates).
+    #[test]
+    fn store_read_roundtrip(n in 1usize..70, seed in 1u64..1000) {
+        let w = weights(n, seed);
+        for kind in SubstrateKind::ALL {
+            let mem = kind.store(&w);
+            prop_assert_eq!(mem.read_weights(), w.clone(), "{}", kind);
+        }
+    }
+
+    /// Write-back after arbitrary raw corruption fully heals every
+    /// substrate (the MILR recovery write path).
+    #[test]
+    fn write_back_heals_any_corruption(
+        n in 4usize..40,
+        seed in 1u64..1000,
+        flips in proptest::collection::vec(0usize..128, 1..8),
+    ) {
+        let w = weights(n, seed);
+        for kind in SubstrateKind::ALL {
+            let mut mem = kind.store(&w);
+            for &f in &flips {
+                let bit = f % mem.raw_bits();
+                mem.flip_raw_bit(bit);
+            }
+            mem.write_weights(&w).unwrap();
+            mem.scrub();
+            prop_assert_eq!(mem.read_weights(), w.clone(), "{}", kind);
+        }
+    }
+
+    /// One raw flip under SECDED (plain or over ciphertext) is always
+    /// corrected by the scrub; plain/xts substrates report clean scrubs.
+    #[test]
+    fn single_flip_contract(n in 1usize..40, seed in 1u64..1000, flip in 0usize..4096) {
+        let w = weights(n, seed);
+        for kind in SubstrateKind::ALL {
+            let mut mem = kind.store(&w);
+            let bit = flip % mem.raw_bits();
+            mem.flip_raw_bit(bit);
+            let summary = mem.scrub();
+            match kind {
+                SubstrateKind::Secded | SubstrateKind::XtsSecded => {
+                    prop_assert_eq!(summary.corrected, 1, "{}", kind);
+                    prop_assert_eq!(summary.uncorrectable, 0, "{}", kind);
+                    prop_assert_eq!(mem.read_weights(), w.clone(), "{}", kind);
+                }
+                SubstrateKind::Plain | SubstrateKind::Xts => {
+                    prop_assert!(summary.is_clean(), "{}", kind);
+                    prop_assert_ne!(mem.read_weights(), w.clone(), "{}", kind);
+                }
+            }
+        }
+    }
+
+    /// Two flips in one SECDED code word defeat the code: the scrub
+    /// reports an uncorrectable word and the plaintext stays corrupt.
+    #[test]
+    fn double_flip_defeats_secded(n in 1usize..40, seed in 1u64..1000, word_sel in 0usize..4096) {
+        let w = weights(n, seed);
+        for kind in [SubstrateKind::Secded, SubstrateKind::XtsSecded] {
+            let mut mem = kind.store(&w);
+            let words = mem.raw_bits() / 39;
+            let word = word_sel % words;
+            mem.flip_raw_bit(word * 39 + 3);
+            mem.flip_raw_bit(word * 39 + 21);
+            let summary = mem.scrub();
+            prop_assert_eq!(summary.uncorrectable, 1, "{}", kind);
+            // Padding-only words (beyond the stored weights) can garble
+            // without touching any valid weight; everywhere else the
+            // plaintext must differ.
+            if kind == SubstrateKind::Secded {
+                prop_assert_ne!(mem.read_weights(), w.clone(), "{}", kind);
+            }
+        }
+    }
+
+    /// A plain-XTS ciphertext flip garbles weights in exactly one
+    /// 16-byte block (the blast radius) and nothing else.
+    #[test]
+    fn xts_flip_garbles_exactly_one_block(n in 1usize..70, seed in 1u64..1000, flip in 0usize..8192) {
+        let w = weights(n, seed);
+        let mut mem = SubstrateKind::Xts.store(&w);
+        let bit = flip % mem.raw_bits();
+        let block = mem.raw_word_of_bit(bit);
+        mem.flip_raw_bit(bit);
+        let seen = mem.read_weights();
+        for (i, (a, b)) in seen.iter().zip(w.iter()).enumerate() {
+            if i / WEIGHTS_PER_BLOCK != block {
+                prop_assert_eq!(a, b, "weight {} outside block {} changed", i, block);
+            }
+        }
+        // AES diffusion: if any stored weight shares the block, at
+        // least one of them changes.
+        if block * WEIGHTS_PER_BLOCK < n {
+            prop_assert!(
+                (block * WEIGHTS_PER_BLOCK..((block + 1) * WEIGHTS_PER_BLOCK).min(n))
+                    .any(|i| seen[i] != w[i]),
+                "block {} unchanged after ciphertext flip", block
+            );
+        }
+    }
+
+    /// Composed substrate: double flip garbles only the hit block after
+    /// scrubbing, exactly like bare XTS — ECC adds nothing against it.
+    #[test]
+    fn xts_secded_double_flip_blast_radius(n in 4usize..40, seed in 1u64..1000, word_sel in 0usize..256) {
+        let w = weights(n, seed);
+        let mut mem = XtsSecdedMemory::protect(&w, SubstrateKind::cipher());
+        let word = word_sel % mem.code_words();
+        let bit = word * 39;
+        mem.flip_raw_bit(bit + 1);
+        mem.flip_raw_bit(bit + 17);
+        mem.scrub();
+        let radius = mem.blast_radius(bit);
+        let seen = mem.read_weights();
+        for (i, (a, b)) in seen.iter().zip(w.iter()).enumerate() {
+            if !radius.contains(&i) {
+                prop_assert_eq!(a, b, "weight {} outside radius {:?} changed", i, radius);
+            }
+        }
+    }
+}

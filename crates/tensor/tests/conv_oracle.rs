@@ -35,9 +35,8 @@ fn conv2d_reference(input: &Tensor, filters: &Tensor, spec: &ConvSpec) -> Tensor
                                 continue;
                             }
                             for z in 0..c {
-                                let iv = input
-                                    .at(&[img, yy as usize, xx as usize, z])
-                                    .unwrap() as f64;
+                                let iv =
+                                    input.at(&[img, yy as usize, xx as usize, z]).unwrap() as f64;
                                 let fv = filters.at(&[f1, f2, z, k]).unwrap() as f64;
                                 acc += iv * fv;
                             }
@@ -67,7 +66,11 @@ fn im2col_conv_matches_equation_4_reference() {
         let filters = rng.uniform_tensor(&[f, f, c, y]);
         let fast = conv2d(&input, &filters, &spec).unwrap();
         let slow = conv2d_reference(&input, &filters, &spec);
-        assert_eq!(fast.shape(), slow.shape(), "{h} {c} {f} {y} {stride} {padding:?}");
+        assert_eq!(
+            fast.shape(),
+            slow.shape(),
+            "{h} {c} {f} {y} {stride} {padding:?}"
+        );
         assert!(
             fast.approx_eq(&slow, 1e-5, 1e-6),
             "mismatch for h={h} c={c} f={f} y={y} s={stride} {padding:?}: {:?}",

@@ -40,7 +40,7 @@ impl EncryptedMemory {
         for w in weights {
             buf.put_slice(&w.to_le_bytes());
         }
-        while buf.len() % BLOCK_BYTES != 0 {
+        while !buf.len().is_multiple_of(BLOCK_BYTES) {
             buf.put_u8(0);
         }
         for (unit, block) in buf.chunks_mut(BLOCK_BYTES).enumerate() {
@@ -120,9 +120,7 @@ impl EncryptedMemory {
     /// from the stored length.
     pub fn overwrite(&mut self, weights: &[f32]) -> Result<(), XtsError> {
         if weights.len() != self.len {
-            return Err(XtsError::BadLength {
-                len: weights.len(),
-            });
+            return Err(XtsError::BadLength { len: weights.len() });
         }
         *self = EncryptedMemory::encrypt(weights, self.cipher.clone())?;
         Ok(())

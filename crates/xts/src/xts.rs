@@ -92,7 +92,7 @@ impl XtsCipher {
     }
 
     fn process_unit(&self, data: &mut [u8], unit: u64, encrypt: bool) -> Result<(), XtsError> {
-        if data.is_empty() || data.len() % 16 != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(16) {
             return Err(XtsError::BadLength { len: data.len() });
         }
         let mut tweak = self.initial_tweak(unit);

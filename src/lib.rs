@@ -6,12 +6,16 @@
 //! lives in the `crates/` members:
 //!
 //! * [`milr_core`] — MILR itself (protection, detection, recovery,
-//!   storage accounting, availability model);
+//!   storage accounting, availability model), with layer-parallel
+//!   detection and segment-parallel recovery;
+//! * [`milr_substrate`] — the unified [`WeightSubstrate`
+//!   ](milr_substrate::WeightSubstrate) abstraction over plain, SECDED,
+//!   AES-XTS, and SECDED-over-ciphertext weight storage;
 //! * [`milr_nn`] — the CNN inference/training substrate;
 //! * [`milr_tensor`], [`milr_linalg`] — tensor and solver substrates;
 //! * [`milr_ecc`], [`milr_xts`] — SECDED/CRC codes and the AES-XTS
 //!   encrypted-memory model;
-//! * [`milr_fault`] — seeded fault injection;
+//! * [`milr_fault`] — seeded, substrate-generic fault injection;
 //! * [`milr_models`] — the paper's evaluation networks (Tables I–III).
 //!
 //! See README.md for a tour and DESIGN.md for the reproduction map.
@@ -22,5 +26,6 @@ pub use milr_fault;
 pub use milr_linalg;
 pub use milr_models;
 pub use milr_nn;
+pub use milr_substrate;
 pub use milr_tensor;
 pub use milr_xts;

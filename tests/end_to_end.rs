@@ -46,10 +46,7 @@ fn whole_weight_errors_heal_to_full_accuracy() {
     milr.recover_iterative(&mut model, &report.flagged, 3)
         .expect("recover");
     let healed = model.accuracy(&test.images, &test.labels).unwrap();
-    assert!(
-        healed >= clean - 0.01,
-        "healed {healed} vs clean {clean}"
-    );
+    assert!(healed >= clean - 0.01, "healed {healed} vs clean {clean}");
 }
 
 #[test]
@@ -99,10 +96,7 @@ fn cifar_twin_full_loop() {
     milr.recover_iterative(&mut model, &report.flagged, 3)
         .expect("recover");
     let healed = model.accuracy(&test.images, &test.labels).unwrap();
-    assert!(
-        healed >= clean - 0.05,
-        "healed {healed} vs clean {clean}"
-    );
+    assert!(healed >= clean - 0.05, "healed {healed} vs clean {clean}");
 }
 
 #[test]

@@ -1,0 +1,112 @@
+//! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the *small* subset of the `bytes` API it actually uses: a growable
+//! byte buffer ([`BytesMut`]) and the [`BufMut`] write trait. The
+//! implementations are straightforward wrappers over `Vec<u8>`; swap
+//! this path dependency for the real crate when a registry is
+//! available — no call sites need to change.
+
+#![deny(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, uniquely-owned byte buffer (subset of `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data }
+    }
+}
+
+/// Buffer write trait (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, b: u8);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_read_back() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_slice(&[1, 2, 3]);
+        buf.put_u8(4);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(&buf[..], &[1, 2, 3, 4]);
+        assert_eq!(buf.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chunks_mut_via_deref() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[0u8; 32]);
+        for (i, chunk) in buf.chunks_mut(16).enumerate() {
+            chunk[0] = i as u8 + 1;
+        }
+        assert_eq!(buf[0], 1);
+        assert_eq!(buf[16], 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset the workspace's benches use — `bench_function`,
+//! `benchmark_group`/`bench_with_input`, `iter`, `iter_batched`,
+//! `criterion_group!`/`criterion_main!` — with a simple median-of-samples
+//! timer instead of criterion's full statistical machinery.
+//!
+//! Every completed benchmark is recorded in a process-wide registry;
+//! `criterion_main!` prints a JSON summary line per benchmark after the
+//! human-readable rows, and honors `CRITERION_JSON=<path>` to also write
+//! the whole summary to a file (the `BENCH_substrates.json` flow).
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+fn registry() -> &'static Mutex<Vec<(String, u128, usize)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(String, u128, usize)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Wall-clock budget per benchmark; sampling stops early once exceeded.
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// Measurement context passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<u128>,
+}
+
+/// Batch sizing hint (accepted for API compatibility; sampling here is
+/// always one-invocation-per-measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Per-iteration state of unknown size.
+    PerIteration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Times `routine` once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let budget = Instant::now();
+        for i in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.recorded.push(t0.elapsed().as_nanos());
+            if i > 0 && budget.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup is untimed.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let budget = Instant::now();
+        for i in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(t0.elapsed().as_nanos());
+            if i > 0 && budget.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn median_ns(&self) -> u128 {
+        let mut v = self.recorded.clone();
+        if v.is_empty() {
+            return 0;
+        }
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+}
+
+/// Benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+const DEFAULT_SAMPLES: usize = 20;
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher::new(samples.max(1));
+    f(&mut bencher);
+    let median = bencher.median_ns();
+    let n = bencher.recorded.len();
+    println!("bench: {name:<48} median {:>12} ns  ({n} samples)", median);
+    registry()
+        .lock()
+        .unwrap()
+        .push((name.to_string(), median, n));
+}
+
+impl Criterion {
+    /// Runs one benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLES, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Prints the JSON summary of every benchmark run so far and, when
+    /// `CRITERION_JSON=<path>` is set, writes it to that file too.
+    pub fn emit_summary() {
+        let rows = registry().lock().unwrap();
+        let mut json = String::from("{\"benchmarks\":[");
+        for (i, (name, median, n)) in rows.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"name\":\"{name}\",\"median_ns\":{median},\"samples\":{n}}}"
+            ));
+        }
+        json.push_str("]}");
+        println!("{json}");
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("criterion: failed to write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        run_one(&name, self.samples, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        run_one(&name, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (--bench, filters); the
+            // stub runs everything unconditionally.
+            $( $group(); )+
+            $crate::Criterion::emit_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3)
+            .bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        let rows = registry().lock().unwrap();
+        assert!(rows.iter().any(|(n, _, _)| n == "noop"));
+        assert!(rows.iter().any(|(n, _, _)| n == "grp/f/7"));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(5);
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, b.recorded.len());
+        assert!(setups >= 1);
+    }
+}

@@ -1,0 +1,422 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest)
+//! property-testing crate.
+//!
+//! Implements the subset the MILR workspace's property tests use: the
+//! [`proptest!`] macro over `ident in strategy` argument lists, numeric
+//! range strategies, `num::*::ANY` / `bool::ANY`, tuple strategies,
+//! [`collection::vec`], [`array::uniform16`], and the `prop_assert*`
+//! macros. Inputs are drawn from a deterministic per-test generator
+//! (seeded from the test's module path and case index), so runs are
+//! reproducible; there is no shrinking — a failing case panics with the
+//! generated values visible in the assertion message.
+
+#![deny(missing_docs)]
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic input generator (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test identifier and case index.
+    pub fn deterministic(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<i32> {
+    type Value = i32;
+    fn sample(&self, rng: &mut TestRng) -> i32 {
+        assert!(self.start < self.end, "empty strategy range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + rng.below(span) as i64) as i32
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit() as f32 * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Full-range strategies for primitive numeric types.
+pub mod num {
+    /// Strategies over `u8`.
+    pub mod u8 {
+        /// Any `u8`.
+        pub const ANY: Any = Any;
+        /// Full-range `u8` strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+        impl crate::Strategy for Any {
+            type Value = u8;
+            fn sample(&self, rng: &mut crate::TestRng) -> u8 {
+                rng.next_u64() as u8
+            }
+        }
+    }
+
+    /// Strategies over `u16`.
+    pub mod u16 {
+        /// Any `u16`.
+        pub const ANY: Any = Any;
+        /// Full-range `u16` strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+        impl crate::Strategy for Any {
+            type Value = u16;
+            fn sample(&self, rng: &mut crate::TestRng) -> u16 {
+                rng.next_u64() as u16
+            }
+        }
+    }
+
+    /// Strategies over `u32`.
+    pub mod u32 {
+        /// Any `u32`.
+        pub const ANY: Any = Any;
+        /// Full-range `u32` strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+        impl crate::Strategy for Any {
+            type Value = u32;
+            fn sample(&self, rng: &mut crate::TestRng) -> u32 {
+                (rng.next_u64() >> 32) as u32
+            }
+        }
+    }
+
+    /// Strategies over `u64`.
+    pub mod u64 {
+        /// Any `u64`.
+        pub const ANY: Any = Any;
+        /// Full-range `u64` strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+        impl crate::Strategy for Any {
+            type Value = u64;
+            fn sample(&self, rng: &mut crate::TestRng) -> u64 {
+                rng.next_u64()
+            }
+        }
+    }
+}
+
+/// Strategies over `bool`.
+pub mod bool {
+    /// Any `bool`.
+    pub const ANY: Any = Any;
+    /// Fair-coin strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+    impl crate::Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut crate::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: a fixed length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy over an element strategy and a length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Array strategies.
+pub mod array {
+    use crate::{Strategy, TestRng};
+
+    /// Strategy producing `[T; 16]` from an element strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform16<S>(S);
+
+    /// 16-element array strategy (the only width the workspace uses).
+    pub fn uniform16<S: Strategy>(element: S) -> Uniform16<S> {
+        Uniform16(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform16<S> {
+        type Value = [S::Value; 16];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+}
+
+/// Skips the current generated case when its precondition fails.
+///
+/// Expands to `continue` on the case loop, so it may only appear at the
+/// top level of a property body (which is how the workspace uses it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Asserts a property holds (plain `assert!` without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality (plain `assert_eq!` without shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality (plain `assert_ne!` without shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// expands to a `#[test]`-able function looping over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("bounds", 0);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3usize..8), &mut rng);
+            assert!((3..8).contains(&v));
+            let f = Strategy::sample(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_array_strategies() {
+        let mut rng = TestRng::deterministic("vecs", 1);
+        let v = Strategy::sample(&crate::collection::vec(0u32..10, 1..6), &mut rng);
+        assert!((1..6).contains(&v.len()));
+        assert!(v.iter().all(|&x| x < 10));
+        let fixed = Strategy::sample(&crate::collection::vec(0u32..10, 4), &mut rng);
+        assert_eq!(fixed.len(), 4);
+        let arr = Strategy::sample(&crate::array::uniform16(crate::num::u8::ANY), &mut rng);
+        assert_eq!(arr.len(), 16);
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a = Strategy::sample(&(0u64..1000), &mut TestRng::deterministic("x", 3));
+        let b = Strategy::sample(&(0u64..1000), &mut TestRng::deterministic("x", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_expands_and_runs(
+            n in 1usize..5,
+            v in crate::collection::vec(-1.0f64..1.0, 2..9),
+            pair in (0u32..4, 0u32..4),
+        ) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert_ne!(v.len(), 0);
+            prop_assert_eq!(pair.0 < 4, true);
+        }
+    }
+}

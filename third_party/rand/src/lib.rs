@@ -1,0 +1,149 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate.
+//!
+//! Vendors only what `milr-fault` uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], plus [`Rng::gen`] / [`Rng::gen_range`].
+//! The generator is SplitMix64 rather than the upstream ChaCha12 — the
+//! fault-injection RNG is documented as "reproducible within a build"
+//! only, so stream compatibility with upstream `rand` is not required,
+//! just determinism and decent uniformity.
+
+#![deny(missing_docs)]
+
+/// Concrete generators.
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        /// Advances the state and returns the next 64 random bits.
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types a generator can produce via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Seeding constructor trait (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // One scramble round so nearby seeds diverge immediately.
+        let mut rng = rngs::StdRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        };
+        rng.next_u64();
+        rng
+    }
+}
+
+/// Value-drawing trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// Draws one value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Uniform draw from `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift bounded draw (Lemire); bias is negligible for
+        // the test-scale spans used here.
+        let x = self.next_u64();
+        range.start + ((x as u128 * span as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        StdRng::seed_from_u64(3).gen_range(5..5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate.
+//!
+//! Implements the slice-parallelism subset the MILR workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — on top of
+//! `std::thread::scope`. Work is split into contiguous chunks, one per
+//! worker thread, and results are written into pre-allocated slots, so
+//! output order always matches input order (the property the
+//! bit-identical detection/recovery contract relies on).
+//!
+//! Unlike real rayon there is no work-stealing pool; threads are spawned
+//! per call. That is the right trade-off here: the parallel sections are
+//! coarse (one item = one CNN layer check or one recovery segment), so
+//! spawn overhead is noise next to the work, and the workspace can swap
+//! in the real crate later without touching call sites.
+
+#![deny(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// The glob-importable API surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParMap, ParallelIterator};
+}
+
+/// Number of worker threads for a parallel call over `items` items.
+///
+/// Honors `RAYON_NUM_THREADS` like the real crate (0 or unset means
+/// "use all cores"); never exceeds the item count; uses at least two
+/// threads when there is more than one item so the threaded path is
+/// exercised even on single-core CI runners.
+fn thread_count(items: usize) -> usize {
+    if items <= 1 {
+        return 1;
+    }
+    let configured = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    configured.unwrap_or_else(|| cores.max(2)).min(items)
+}
+
+/// Order-preserving parallel map over a slice.
+pub fn parallel_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled by its worker"))
+        .collect()
+}
+
+/// Entry point: `&[T] -> ParIter`, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+
+    /// Borrowing parallel iterator over the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// The adapter surface shared by this stub's parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item;
+
+    /// Maps each element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+}
+
+/// A mapped parallel iterator (the only adapter the workspace needs).
+#[derive(Debug, Clone, Copy)]
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<ParIter<'a, T>, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the map in parallel and gathers results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        parallel_map(self.inner.items, |item| (self.f)(item)).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41usize];
+        let out: Vec<usize> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn matches_serial_map_for_results() {
+        let input: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let par: Vec<f64> = input.par_iter().map(|&x| x.sin() * x).collect();
+        let ser: Vec<f64> = input.iter().map(|&x| x.sin() * x).collect();
+        // Bit-identical: same operations per element, no reductions.
+        assert_eq!(
+            par.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            ser.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let input: Vec<usize> = (0..64).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        assert!(
+            ids.lock().unwrap().len() >= 2,
+            "expected >= 2 worker threads"
+        );
+    }
+}

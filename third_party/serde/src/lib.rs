@@ -1,0 +1,21 @@
+//! Offline stand-in for the [`serde`](https://docs.rs/serde) crate.
+//!
+//! The workspace marks storage-format types (`Tensor`, `Layer`, CRC
+//! grids, …) with `#[derive(Serialize, Deserialize)]` to keep the
+//! serialization seam explicit, but no in-tree code performs actual
+//! (de)serialization yet. This stub supplies the trait names and no-op
+//! derive macros so those annotations compile in the offline build
+//! container; swapping the path dependency for real `serde` later
+//! requires no source changes.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name and role.
+///
+/// The stub derive does not emit impls; bound-free call sites only.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name and role.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` expansions
+//! for the offline `serde` stub (see `third_party/serde`).
+//!
+//! The workspace annotates storage-format types with serde derives to
+//! keep the (de)serialization seam visible, but nothing in-tree consumes
+//! the generated impls yet — no `serde_json`, no `bincode`. Until a real
+//! registry is available these derives therefore expand to nothing,
+//! which keeps `#[derive(...)]` attributes and `#[serde(...)]` helper
+//! attributes compiling without pulling in `syn`/`quote`.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits no impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits no impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
