@@ -37,6 +37,9 @@ pub struct Args {
     pub seed: u64,
     /// Which arms of the substrate × recovery matrix to run.
     pub arms: ArmSet,
+    /// Also measure (not just model) availability by driving the
+    /// `milr-serve` simulation — consumed by `fig12_availability`.
+    pub measured: bool,
 }
 
 impl Default for Args {
@@ -47,6 +50,7 @@ impl Default for Args {
             trials: 10,
             seed: 0xBE7C,
             arms: ArmSet::Paper,
+            measured: false,
         }
     }
 }
@@ -56,7 +60,7 @@ impl Args {
     ///
     /// Supported flags: `--net mnist|cifar-small|cifar-large`,
     /// `--paper-scale`, `--trials N`, `--seed N`,
-    /// `--arms paper|encrypted|all`.
+    /// `--arms paper|encrypted|all`, `--measured`.
     ///
     /// # Errors
     ///
@@ -77,6 +81,7 @@ impl Args {
                     };
                 }
                 "--paper-scale" => out.scale = Scale::Paper,
+                "--measured" => out.measured = true,
                 "--trials" => {
                     let v = iter.next().ok_or("--trials needs a value")?;
                     out.trials = v.parse().map_err(|e| format!("bad --trials: {e}"))?;
@@ -107,7 +112,7 @@ impl Args {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--net mnist|cifar-small|cifar-large] [--paper-scale] [--trials N] [--seed N] [--arms paper|encrypted|all]"
+                    "usage: [--net mnist|cifar-small|cifar-large] [--paper-scale] [--trials N] [--seed N] [--arms paper|encrypted|all] [--measured]"
                 );
                 std::process::exit(2);
             }
@@ -158,6 +163,12 @@ mod tests {
         assert_eq!(ArmSet::Paper.arms().len(), 4);
         assert_eq!(ArmSet::Encrypted.arms().len(), 3);
         assert_eq!(ArmSet::All.arms().len(), 8);
+    }
+
+    #[test]
+    fn measured_flag_parses() {
+        assert!(!parse(&[]).unwrap().measured);
+        assert!(parse(&["--measured"]).unwrap().measured);
     }
 
     #[test]

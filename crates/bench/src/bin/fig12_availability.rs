@@ -6,12 +6,21 @@
 //! the error-rate assumption is the paper's 75,000 errors per 10⁹
 //! device-hours per Mbit.
 //!
+//! With `--measured`, each network additionally drives the
+//! `milr-serve` virtual-clock simulation — live serving under seeded
+//! fault injection — and reports the *empirical* availability next to
+//! the Eq. 6 prediction for the same `T_d`/`T_r`/`T_be` constants.
+//!
 //! ```text
 //! cargo run --release -p milr-bench --bin fig12_availability
+//! cargo run --release -p milr-bench --bin fig12_availability -- --measured
 //! ```
 
+use milr_bench::serve::run_measured;
 use milr_bench::{prepare, Args, NetChoice};
 use milr_core::availability::AvailabilityModel;
+use milr_core::MilrConfig;
+use milr_serve::sim::SimConfig;
 use std::time::Instant;
 
 fn main() {
@@ -70,5 +79,44 @@ fn main() {
         );
         let user_b = model.min_accuracy(0.999);
         println!("user B (availability 99.9%): min accuracy {user_b:.6}");
+
+        if args.measured {
+            // Measured counterpart: serve the reduced twin live under
+            // seeded fault injection and compare the empirical
+            // availability against Eq. 6 built from the same virtual
+            // constants.
+            let sim = SimConfig {
+                seed: args.seed,
+                requests: 200,
+                faults: 2,
+                ..SimConfig::default()
+            };
+            let (result, cmp) = run_measured(&prep.model, MilrConfig::default(), &sim)
+                .expect("serving simulation cannot fail structurally");
+            println!("modeled vs measured (serving simulation, reduced twin):");
+            println!(
+                "  {:<28} {:>14}",
+                "Eq.6 @ scrub cadence",
+                format!("{:.9}", cmp.modeled_eq6_availability)
+            );
+            println!(
+                "  {:<28} {:>14}",
+                "modeled per fault",
+                format!("{:.9}", cmp.modeled_per_fault_availability)
+            );
+            println!(
+                "  {:<28} {:>14}",
+                "measured (empirical)",
+                format!("{:.9}", cmp.measured_availability)
+            );
+            println!(
+                "  ({} requests, {} faults, {} quarantines, {} re-executions, digest {:#x})",
+                result.report.submitted,
+                result.report.faults_injected,
+                result.report.quarantines,
+                result.report.reexecuted,
+                result.report.digest
+            );
+        }
     }
 }

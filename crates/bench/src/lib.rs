@@ -18,6 +18,7 @@
 pub mod args;
 pub mod arms;
 pub mod nets;
+pub mod serve;
 pub mod stats;
 
 pub use args::{Args, ArmSet};

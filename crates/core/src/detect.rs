@@ -132,7 +132,6 @@ pub(crate) fn run_detection(
     artifacts: &Artifacts,
     config: &MilrConfig,
 ) -> Result<DetectionReport> {
-    let start = std::time::Instant::now();
     let checked: Vec<usize> = model
         .layers()
         .iter()
@@ -145,6 +144,29 @@ pub(crate) fn run_detection(
         })
         .map(|(i, _)| i)
         .collect();
+    run_detection_subset(model, artifacts, config, &checked)
+}
+
+/// Detection over an explicit layer subset — the incremental/online
+/// entry point behind [`Milr::detect_layers`](crate::Milr::detect_layers).
+/// Per-layer checks are independent, so any chunking of the checkable
+/// layers flags the union of what one full pass would.
+pub(crate) fn run_detection_subset(
+    model: &Sequential,
+    artifacts: &Artifacts,
+    config: &MilrConfig,
+    layers: &[usize],
+) -> Result<DetectionReport> {
+    let start = std::time::Instant::now();
+    let mut checked: Vec<usize> = layers.to_vec();
+    checked.sort_unstable();
+    checked.dedup();
+    if let Some(&out_of_range) = checked.iter().find(|&&i| i >= model.len()) {
+        return Err(MilrError::ModelMismatch(format!(
+            "detection subset index {out_of_range} out of range for {} layers",
+            model.len()
+        )));
+    }
     let results: Vec<Result<LayerCheck>> = if config.parallel && checked.len() > 1 {
         checked
             .par_iter()
@@ -279,6 +301,39 @@ mod tests {
         w[0] = f32::from_bits(w[0].to_bits() ^ 1);
         let report = run_detection(&m, &art, &cfg).unwrap();
         assert!(report.is_clean());
+    }
+
+    #[test]
+    fn subset_detection_matches_full_pass_chunkwise() {
+        let (mut m, art, cfg) = setup();
+        m.layers_mut()[0].params_mut().unwrap().data_mut()[7] += 3.0;
+        m.layers_mut()[3].params_mut().unwrap().data_mut()[0] = 42.0;
+        let full = run_detection(&m, &art, &cfg).unwrap();
+        // Sweep the checkable layers in chunks of one; the union of
+        // flags must equal the full pass, with bit-identical checks.
+        let mut flagged = Vec::new();
+        let mut checks = Vec::new();
+        for &i in &[0usize, 1, 3] {
+            let part = run_detection_subset(&m, &art, &cfg, &[i]).unwrap();
+            flagged.extend(part.flagged);
+            checks.extend(part.checks);
+        }
+        assert_eq!(flagged, full.flagged);
+        for (a, b) in checks.iter().zip(full.checks.iter()) {
+            assert_eq!(a.layer, b.layer);
+            assert_eq!(a.flagged, b.flagged);
+            assert_eq!(a.max_deviation.to_bits(), b.max_deviation.to_bits());
+        }
+    }
+
+    #[test]
+    fn subset_detection_dedups_and_validates_indices() {
+        let (m, art, cfg) = setup();
+        let rep = run_detection_subset(&m, &art, &cfg, &[3, 0, 3, 0]).unwrap();
+        assert_eq!(rep.checks.len(), 2);
+        assert!(run_detection_subset(&m, &art, &cfg, &[99]).is_err());
+        // Parameterless layers carry no check.
+        assert!(run_detection_subset(&m, &art, &cfg, &[2]).is_err());
     }
 
     #[test]

@@ -7,9 +7,10 @@
 
 use crate::artifacts::{inversion_dummy_params, Artifacts};
 use crate::plan::{InversionPlan, ProtectionPlan};
+use crate::semantics::SegmentView;
 use crate::{MilrConfig, MilrError, Result};
 use milr_linalg::{Mat, Qr};
-use milr_nn::{Layer, Sequential};
+use milr_nn::Layer;
 use milr_tensor::{col2im_accumulate, Tensor};
 
 /// Inverts layer `index`: given its output `y` (from backward
@@ -21,14 +22,14 @@ use milr_tensor::{col2im_accumulate, Tensor};
 /// never routes backward passes through them) and solver errors when the
 /// augmented system is singular.
 pub(crate) fn invert_layer(
-    model: &Sequential,
+    view: &SegmentView,
     plan: &ProtectionPlan,
     artifacts: &Artifacts,
     config: &MilrConfig,
     index: usize,
     y: &Tensor,
 ) -> Result<Tensor> {
-    let layer = &model.layers()[index];
+    let layer = view.layer(index);
     match layer {
         Layer::Activation(_) | Layer::Dropout { .. } => Ok(y.clone()),
         Layer::Bias { bias } => {
@@ -45,11 +46,11 @@ pub(crate) fn invert_layer(
         }
         Layer::Flatten => {
             let mut dims = vec![y.shape().dim(0)];
-            dims.extend_from_slice(model.shape_at(index));
+            dims.extend_from_slice(view.shape_at(index));
             Ok(y.reshape(&dims)?)
         }
         Layer::ZeroPad2D { pad } => {
-            let input = model.shape_at(index);
+            let input = view.shape_at(index);
             crop(y, *pad, input)
         }
         Layer::Dense { weights } => invert_dense(
@@ -61,7 +62,7 @@ pub(crate) fn invert_layer(
             y,
         ),
         Layer::Conv2D { filters, spec } => invert_conv(
-            model,
+            view,
             filters,
             spec,
             plan.layers[index].inversion,
@@ -141,7 +142,7 @@ fn invert_dense(
 /// solutions are merged by averaging overlaps.
 #[allow(clippy::too_many_arguments)]
 fn invert_conv(
-    model: &Sequential,
+    view: &SegmentView,
     filters: &Tensor,
     spec: &milr_tensor::ConvSpec,
     inversion: InversionPlan,
@@ -150,7 +151,7 @@ fn invert_conv(
     index: usize,
     y: &Tensor,
 ) -> Result<Tensor> {
-    let input = model.shape_at(index);
+    let input = view.shape_at(index);
     let (h, w, c) = (input[0], input[1], input[2]);
     let f = filters.shape().dim(0);
     let ny = filters.shape().dim(3);
@@ -209,7 +210,7 @@ fn invert_conv(
 /// Backward-propagates `y` from checkpoint position `to` down to become
 /// the output of layer `target`, inverting layers `to-1 .. target+1`.
 pub(crate) fn backward_to(
-    model: &Sequential,
+    view: &SegmentView,
     plan: &ProtectionPlan,
     artifacts: &Artifacts,
     config: &MilrConfig,
@@ -219,7 +220,7 @@ pub(crate) fn backward_to(
 ) -> Result<Tensor> {
     let mut cur = y.clone();
     for j in ((target + 1)..to).rev() {
-        cur = invert_layer(model, plan, artifacts, config, j, &cur)?;
+        cur = invert_layer(view, plan, artifacts, config, j, &cur)?;
     }
     Ok(cur)
 }
@@ -229,8 +230,12 @@ mod tests {
     use super::*;
     use crate::artifacts::{golden_input, Artifacts};
     use crate::semantics::{milr_forward, milr_forward_range};
-    use milr_nn::Activation;
+    use milr_nn::{Activation, Sequential};
     use milr_tensor::{ConvSpec, Padding, TensorRng};
+
+    fn view(m: &Sequential) -> SegmentView {
+        SegmentView::from_model(m, 0, m.len())
+    }
 
     fn protected(
         build: impl FnOnce(&mut Sequential, &mut TensorRng),
@@ -271,8 +276,8 @@ mod tests {
         );
         let x0 = golden_input(&m, &cfg);
         // Forward to the end, then invert back to the conv output.
-        let out = milr_forward_range(&m, &x0, 0, 4).unwrap();
-        let back = backward_to(&m, &plan, &art, &cfg, &out, 4, 0).unwrap();
+        let out = milr_forward_range(&view(&m), &x0, 0, 4).unwrap();
+        let back = backward_to(&view(&m), &plan, &art, &cfg, &out, 4, 0).unwrap();
         let conv_out = milr_forward(&m.layers()[0], &x0).unwrap();
         assert!(back.approx_eq(&conv_out, 1e-6, 1e-6));
     }
@@ -287,7 +292,7 @@ mod tests {
         );
         let x0 = golden_input(&m, &cfg);
         let y = milr_forward(&m.layers()[0], &x0).unwrap();
-        let back = invert_layer(&m, &plan, &art, &cfg, 0, &y).unwrap();
+        let back = invert_layer(&view(&m), &plan, &art, &cfg, 0, &y).unwrap();
         assert!(back.approx_eq(&x0, 1e-5, 1e-6), "{back} vs {x0}");
     }
 
@@ -308,7 +313,7 @@ mod tests {
         let x0 = golden_input(&m, &cfg);
         let mid = milr_forward(&m.layers()[0], &x0).unwrap();
         let y = milr_forward(&m.layers()[1], &mid).unwrap();
-        let back = invert_layer(&m, &plan, &art, &cfg, 1, &y).unwrap();
+        let back = invert_layer(&view(&m), &plan, &art, &cfg, 1, &y).unwrap();
         assert!(back.approx_eq(&mid, 1e-4, 1e-5));
     }
 
@@ -347,7 +352,7 @@ mod tests {
         let x0 = golden_input(&m, &cfg);
         let mid = milr_forward(&m.layers()[0], &x0).unwrap();
         let y = milr_forward(&m.layers()[1], &mid).unwrap();
-        let back = invert_layer(&m, &plan, &art, &cfg, 1, &y).unwrap();
+        let back = invert_layer(&view(&m), &plan, &art, &cfg, 1, &y).unwrap();
         assert!(
             back.approx_eq(&mid, 1e-3, 1e-4),
             "max diff {:?}",
@@ -395,7 +400,7 @@ mod tests {
         let x0 = golden_input(&m, &cfg);
         let mid = milr_forward(&m.layers()[0], &x0).unwrap();
         let y = milr_forward(&m.layers()[1], &mid).unwrap();
-        let back = invert_layer(&m, &plan, &art, &cfg, 1, &y).unwrap();
+        let back = invert_layer(&view(&m), &plan, &art, &cfg, 1, &y).unwrap();
         assert!(
             back.approx_eq(&mid, 1e-3, 1e-4),
             "max diff {:?}",
@@ -424,7 +429,7 @@ mod tests {
             vec![4, 4, 1],
         );
         let y = Tensor::zeros(&[1, 2, 2, 1]);
-        let err = invert_layer(&m, &plan, &art, &cfg, 1, &y).unwrap_err();
+        let err = invert_layer(&view(&m), &plan, &art, &cfg, 1, &y).unwrap_err();
         assert!(matches!(err, MilrError::NotInvertible { layer: 1, .. }));
     }
 
@@ -450,7 +455,7 @@ mod tests {
         let x0 = golden_input(&m, &cfg);
         let mid = milr_forward(&m.layers()[0], &x0).unwrap();
         let y = milr_forward(&m.layers()[1], &mid).unwrap();
-        let back = invert_layer(&m, &plan, &art, &cfg, 1, &y).unwrap();
+        let back = invert_layer(&view(&m), &plan, &art, &cfg, 1, &y).unwrap();
         assert_eq!(back, mid);
     }
 }

@@ -1,8 +1,8 @@
 use crate::artifacts::{golden_input, Artifacts};
-use crate::detect::{run_detection, DetectionReport};
+use crate::detect::{run_detection, run_detection_subset, DetectionReport};
 use crate::invert::backward_to;
 use crate::plan::{ProtectionPlan, SolvingPlan};
-use crate::semantics::milr_forward_range;
+use crate::semantics::{milr_forward_range, SegmentView};
 use crate::solve::{solve_bias, solve_conv_partial, solve_dense, SolveOutcome};
 use crate::storage::StorageReport;
 use crate::{MilrConfig, MilrError, Result};
@@ -126,6 +126,35 @@ impl Milr {
         run_detection(model, &self.artifacts, &self.config)
     }
 
+    /// Indices of the layers that carry a detection check (convolution,
+    /// dense and bias layers), ascending — the index space
+    /// [`Milr::detect_layers`] accepts.
+    pub fn checkable_layers(&self) -> Vec<usize> {
+        self.plan
+            .layers
+            .iter()
+            .filter(|l| l.solving.is_some())
+            .map(|l| l.index)
+            .collect()
+    }
+
+    /// Runs the error-detection phase on a subset of layers — the
+    /// online-scrubbing entry point: a background scrubber can sweep
+    /// the model incrementally, checking a few layers per tick instead
+    /// of the whole model, because every layer's check is independent
+    /// (private seeded input vs stored probes). A full pass over
+    /// [`Milr::checkable_layers`] in any chunking flags exactly what
+    /// one [`Milr::detect`] call would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilrError::ModelMismatch`] for structural mismatches
+    /// or when `layers` contains an index without a detection check.
+    pub fn detect_layers(&self, model: &Sequential, layers: &[usize]) -> Result<DetectionReport> {
+        self.check_structure(model)?;
+        run_detection_subset(model, &self.artifacts, &self.config, layers)
+    }
+
     /// Runs the recovery phase: heals every layer flagged in `report`,
     /// writing recovered parameters into `model` in place.
     ///
@@ -201,14 +230,18 @@ impl Milr {
     /// corrupted layer is known).
     ///
     /// With `config.parallel`, independent checkpoint **segments** are
-    /// recovered concurrently: each worker heals its segment on a clone
-    /// of the model (propagation never reads outside the segment's
-    /// layer range, so clones see exactly what the serial pass would)
-    /// and the healed parameters are written back in segment order.
-    /// Within a segment the solve order stays serial, because
-    /// same-segment layers propagate through one another (§V-A). The
-    /// resulting outcomes and parameters are bit-identical to the
-    /// serial path.
+    /// recovered concurrently: each worker clones only its segment's
+    /// `[seg_start, seg_end)` layer window (propagation never reads
+    /// outside that range, so the window sees exactly what the serial
+    /// pass would — transient memory is `O(largest segment)` per
+    /// worker, not `O(model)`) and the healed parameters are written
+    /// back in segment order. Nested LU fan-out inside each worker is
+    /// capped at `cores / active_segments` via
+    /// [`milr_linalg::with_thread_budget`], so segment parallelism
+    /// cannot oversubscribe the machine. Within a segment the solve
+    /// order stays serial, because same-segment layers propagate
+    /// through one another (§V-A). The resulting outcomes and
+    /// parameters are bit-identical to the serial path.
     ///
     /// # Errors
     ///
@@ -239,20 +272,25 @@ impl Milr {
         let mut outcomes = Vec::new();
         if self.config.parallel && work.len() > 1 {
             let base: &Sequential = model;
+            let cores = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            let lu_budget = (cores / work.len()).max(1);
             type SegmentResult = Result<Vec<(usize, RecoveryOutcome, Option<Tensor>)>>;
             let results: Vec<SegmentResult> = work
                 .par_iter()
                 .map(|(seg_start, seg_end, in_segment)| {
-                    let mut local = base.clone();
-                    let outs =
-                        self.recover_segment(&mut local, *seg_start, *seg_end, in_segment)?;
-                    Ok(outs
-                        .into_iter()
-                        .map(|(i, outcome)| {
-                            let params = local.layers()[i].params().cloned();
-                            (i, outcome, params)
-                        })
-                        .collect())
+                    milr_linalg::with_thread_budget(lu_budget, || {
+                        let mut view = SegmentView::from_model(base, *seg_start, *seg_end);
+                        let outs = self
+                            .recover_segment(base, &mut view, *seg_start, *seg_end, in_segment)?;
+                        let indices: Vec<usize> = outs.iter().map(|(i, _)| *i).collect();
+                        Ok(outs
+                            .into_iter()
+                            .zip(view.extract_params(&indices))
+                            .map(|((i, outcome), (_, params))| (i, outcome, params))
+                            .collect())
+                    })
                 })
                 .collect();
             for result in results {
@@ -266,7 +304,19 @@ impl Milr {
             }
         } else {
             for (seg_start, seg_end, in_segment) in &work {
-                outcomes.extend(self.recover_segment(model, *seg_start, *seg_end, in_segment)?);
+                let mut view = SegmentView::from_model(model, *seg_start, *seg_end);
+                let outs =
+                    self.recover_segment(model, &mut view, *seg_start, *seg_end, in_segment)?;
+                let indices: Vec<usize> = outs.iter().map(|(i, _)| *i).collect();
+                for ((i, outcome), (_, params)) in
+                    outs.into_iter().zip(view.extract_params(&indices))
+                {
+                    if let (Some(healed), Some(dst)) = (params, model.layers_mut()[i].params_mut())
+                    {
+                        *dst = healed;
+                    }
+                    outcomes.push((i, outcome));
+                }
             }
         }
         Ok(RecoveryReport {
@@ -276,11 +326,14 @@ impl Milr {
     }
 
     /// Heals every flagged layer of one checkpoint segment, in
-    /// ascending order, in place. The shared serial core of both
-    /// recovery paths.
+    /// ascending order, inside the segment's layer window. The shared
+    /// serial core of both recovery paths; `model` is only consulted
+    /// for the segment-start anchor (the golden input when the segment
+    /// opens the network).
     fn recover_segment(
         &self,
-        model: &mut Sequential,
+        model: &Sequential,
+        view: &mut SegmentView,
         seg_start: usize,
         seg_end: usize,
         in_segment: &[usize],
@@ -295,7 +348,7 @@ impl Milr {
         let mut outcomes = Vec::new();
         for &f in in_segment {
             let outcome =
-                self.recover_one(model, f, &input_anchor, seg_start, &output_anchor, seg_end);
+                self.recover_one(view, f, &input_anchor, seg_start, &output_anchor, seg_end);
             outcomes.push((
                 f,
                 match outcome {
@@ -325,7 +378,7 @@ impl Milr {
 
     fn recover_one(
         &self,
-        model: &mut Sequential,
+        view: &mut SegmentView,
         index: usize,
         input_anchor: &Tensor,
         seg_start: usize,
@@ -333,10 +386,10 @@ impl Milr {
         seg_end: usize,
     ) -> Result<SolveOutcome> {
         // Golden input: forward from the segment-start anchor.
-        let x = milr_forward_range(model, input_anchor, seg_start, index)?;
+        let x = milr_forward_range(view, input_anchor, seg_start, index)?;
         // Golden output: inverse passes from the segment-end anchor.
         let y = backward_to(
-            model,
+            view,
             &self.plan,
             &self.artifacts,
             &self.config,
@@ -347,7 +400,7 @@ impl Milr {
         let solving = self.plan.layers[index].solving.ok_or_else(|| {
             MilrError::ModelMismatch(format!("layer {index} has no parameters to recover"))
         })?;
-        let (recovered, outcome) = match (&model.layers()[index], solving) {
+        let (recovered, outcome) = match (view.layer(index), solving) {
             (Layer::Dense { weights }, plan @ SolvingPlan::DenseFull { .. }) => {
                 let n = weights.shape().dim(0);
                 let p = weights.shape().dim(1);
@@ -370,7 +423,8 @@ impl Milr {
                 )))
             }
         };
-        let params = model.layers_mut()[index]
+        let params = view
+            .layer_mut(index)
             .params_mut()
             .ok_or_else(|| MilrError::ModelMismatch(format!("layer {index} lost its params")))?;
         *params = recovered;
@@ -651,6 +705,24 @@ mod tests {
         let rec = milr.recover_layers(&mut m, &[2]).unwrap();
         assert_eq!(rec.outcomes.len(), 1);
         assert!(matches!(rec.outcomes[0].1, RecoveryOutcome::Failed { .. }));
+    }
+
+    #[test]
+    fn incremental_detection_covers_the_model() {
+        let mut m = test_model(13);
+        let milr = protect(&m);
+        let checkable = milr.checkable_layers();
+        // Conv 0/4, bias 1/5/9, dense 8.
+        assert_eq!(checkable, vec![0, 1, 4, 5, 8, 9]);
+        m.layers_mut()[4].params_mut().unwrap().data_mut()[2] = 31.0;
+        // Sweep two layers per tick, as an online scrubber would.
+        let mut flagged = Vec::new();
+        for chunk in checkable.chunks(2) {
+            flagged.extend(milr.detect_layers(&m, chunk).unwrap().flagged);
+        }
+        flagged.sort_unstable();
+        assert_eq!(flagged, milr.detect(&m).unwrap().flagged);
+        assert_eq!(flagged, vec![4]);
     }
 
     #[test]

@@ -188,6 +188,10 @@ pub(crate) fn solve_conv_partial(
     let mut filters = current.clone();
     let mut solved = 0usize;
     let mut approximate = false;
+    // Which filters took an approximate (min-norm/ridge) route: their
+    // weights sit far from any ulp neighbourhood, so the CRC snap below
+    // skips them while still snapping exactly-solved filters.
+    let mut approx_filters = vec![false; ny];
     for (k, coords) in suspects.iter().enumerate() {
         if coords.is_empty() {
             continue;
@@ -219,34 +223,40 @@ pub(crate) fn solve_conv_partial(
         }
         let (solution, approx) = robust_solve(&sub, &rhs)?;
         approximate |= approx;
+        approx_filters[k] = approx;
         for (j, &pos) in coords.iter().enumerate() {
             filters.data_mut()[pos * ny + k] = solution[j] as f32;
         }
         solved += coords.len();
     }
-    // Snap each re-solved weight to the golden bits: the f64 solution
-    // rounds to within one ulp of the original f32; trying the float
-    // neighbours against the stored CRC recovers exact bit patterns.
+    // Snap each re-solved weight to the golden bits: a well-conditioned
+    // f64 solve rounds to within a few ulps of the original f32;
+    // walking the float neighbourhood outward until the stored 2-D CRC
+    // matches recovers the exact bit pattern. The search radius covers
+    // the rounding the checkpoint propagation can introduce (inverse
+    // passes re-round to f32 at every layer crossing); a wrong value
+    // would have to collide with both the row and the column CRC of its
+    // cell to be accepted.
+    const SNAP_ULPS: u32 = 4096;
     for (k, coords) in suspects.iter().enumerate() {
+        if approx_filters[k] {
+            continue;
+        }
         for &pos in coords {
             let (g, zz) = (pos / z, pos % z);
             let mut slice = filter_zy_slice(&filters, g / f, g % f);
             if grids[g].cell_consistent(&slice, zz, k) {
                 continue;
             }
-            let solved = filters.data()[pos * ny + k];
-            let cands = [
-                solved,
-                f32::from_bits(solved.to_bits().wrapping_add(1)),
-                f32::from_bits(solved.to_bits().wrapping_sub(1)),
-                f32::from_bits(solved.to_bits().wrapping_add(2)),
-                f32::from_bits(solved.to_bits().wrapping_sub(2)),
-            ];
-            for cand in cands {
-                slice[zz * ny + k] = cand;
-                if grids[g].cell_consistent(&slice, zz, k) {
-                    filters.data_mut()[pos * ny + k] = cand;
-                    break;
+            let base = filters.data()[pos * ny + k].to_bits();
+            'search: for delta in 0..=SNAP_ULPS {
+                for bits in [base.wrapping_add(delta), base.wrapping_sub(delta)] {
+                    let cand = f32::from_bits(bits);
+                    slice[zz * ny + k] = cand;
+                    if grids[g].cell_consistent(&slice, zz, k) {
+                        filters.data_mut()[pos * ny + k] = cand;
+                        break 'search;
+                    }
                 }
             }
         }

@@ -1,0 +1,97 @@
+//! Per-thread worker budgets for the threaded factorization kernels.
+//!
+//! The LU kernels historically sized their scoped-thread fan-out from
+//! `available_parallelism()` alone. That oversubscribes cores when the
+//! caller is itself one of several parallel workers — e.g. MILR's
+//! segment-parallel recovery, where each segment worker runs LU solves
+//! of its own (`segments × cores` threads; DESIGN.md §4). Callers that
+//! know how many siblings they have cap the fan-out with
+//! [`with_thread_budget`]; the kernels read the cap through
+//! [`effective_threads`].
+//!
+//! The budget is thread-local, so it composes with scoped-thread
+//! parallelism without any signature changes through intermediate
+//! layers: a segment worker sets its budget once and every solve it
+//! performs on that thread honors it. Thread counts only partition
+//! work; they never change the arithmetic, so results are bit-identical
+//! under any budget.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// 0 means "no cap": fall back to `available_parallelism()`.
+    static THREAD_BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` with the calling thread's solver fan-out capped at
+/// `threads` worker threads (values below 1 are treated as 1). The
+/// previous cap is restored afterwards, even on panic.
+pub fn with_thread_budget<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let previous = THREAD_BUDGET.with(|b| b.replace(threads.max(1)));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The worker-thread count the factorization kernels may fan out to on
+/// the calling thread: the innermost [`with_thread_budget`] cap, or
+/// `available_parallelism()` when uncapped.
+pub fn effective_threads() -> usize {
+    let budget = THREAD_BUDGET.with(Cell::get);
+    if budget > 0 {
+        budget
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncapped_matches_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(effective_threads(), cores);
+    }
+
+    #[test]
+    fn budget_caps_and_restores() {
+        let inner = with_thread_budget(2, effective_threads);
+        assert_eq!(inner, 2);
+        let nested = with_thread_budget(4, || with_thread_budget(1, effective_threads));
+        assert_eq!(nested, 1);
+        // Restored after the scope ends.
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(effective_threads(), cores);
+    }
+
+    #[test]
+    fn zero_budget_clamps_to_one() {
+        assert_eq!(with_thread_budget(0, effective_threads), 1);
+    }
+
+    #[test]
+    fn budget_is_per_thread() {
+        with_thread_budget(1, || {
+            let seen = std::thread::scope(|s| s.spawn(effective_threads).join().unwrap());
+            // A freshly spawned thread has no cap.
+            let cores = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            assert_eq!(seen, cores);
+            assert_eq!(effective_threads(), 1);
+        });
+    }
+}

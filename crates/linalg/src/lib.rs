@@ -22,7 +22,9 @@
 //! discusses exactly this float-rounding concern).
 //!
 //! Large factorizations parallelize row updates with `std::thread`
-//! scoped threads.
+//! scoped threads; callers that are themselves parallel workers cap the
+//! fan-out with [`with_thread_budget`] so nested parallelism cannot
+//! oversubscribe the machine.
 //!
 //! ## Example
 //!
@@ -42,11 +44,13 @@
 // coordinates; iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+mod budget;
 mod error;
 mod lu;
 mod matrix;
 mod qr;
 
+pub use budget::{effective_threads, with_thread_budget};
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Mat;

@@ -52,9 +52,7 @@ impl Lu {
         let mut perm: Vec<usize> = (0..n).collect();
         let mut min_piv = f64::INFINITY;
         let mut max_piv = 0.0f64;
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
+        let threads = crate::effective_threads();
         for k in 0..n {
             // Partial pivot: largest |a[i][k]| for i >= k.
             let mut best = k;
@@ -188,9 +186,7 @@ impl Lu {
             });
         }
         let p = b.cols();
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1);
+        let threads = crate::effective_threads();
         let mut out = Mat::zeros(n, p);
         if p >= 4 && threads > 1 && n * n * p >= PAR_AREA_THRESHOLD {
             let cols: Vec<usize> = (0..p).collect();
@@ -320,6 +316,29 @@ mod tests {
         let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
         for (xi, ti) in x.iter().zip(x_true.iter()) {
             assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn thread_budget_does_not_change_results() {
+        // Same 200x200 system as the parallel-path test, factored with
+        // the fan-out capped at one worker: identical bits out.
+        let n = 200;
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                n as f64
+            } else {
+                ((i * 31 + j * 17) % 13) as f64 / 13.0
+            }
+        });
+        let b = Mat::from_fn(n, 3, |i, j| (i + j) as f64 / n as f64);
+        let free = Lu::factor(&a).unwrap().solve_multi(&b).unwrap();
+        let capped =
+            crate::with_thread_budget(1, || Lu::factor(&a).unwrap().solve_multi(&b).unwrap());
+        for i in 0..n {
+            for j in 0..3 {
+                assert_eq!(free.get(i, j).to_bits(), capped.get(i, j).to_bits());
+            }
         }
     }
 

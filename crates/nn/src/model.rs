@@ -132,6 +132,64 @@ impl Sequential {
         Ok(x)
     }
 
+    /// Stacks independent per-image examples (each shaped like
+    /// [`input_shape`](Sequential::input_shape)) into one `(B, …)`
+    /// batch tensor — the request-coalescing step of batched serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadData`] for an empty list or an example
+    /// whose shape differs from the model input shape.
+    pub fn stack_batch(&self, examples: &[Tensor]) -> Result<Tensor> {
+        if examples.is_empty() {
+            return Err(NnError::BadData("cannot stack an empty batch".into()));
+        }
+        let per_image: usize = self.input_shape.iter().product();
+        let mut data = Vec::with_capacity(examples.len() * per_image);
+        for (i, ex) in examples.iter().enumerate() {
+            if ex.shape().dims() != self.input_shape.as_slice() {
+                return Err(NnError::BadData(format!(
+                    "example {i} has shape {} but the model takes ({})",
+                    ex.shape(),
+                    self.input_shape
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )));
+            }
+            data.extend_from_slice(ex.data());
+        }
+        let mut dims = vec![examples.len()];
+        dims.extend_from_slice(&self.input_shape);
+        Ok(Tensor::from_vec(data, &dims)?)
+    }
+
+    /// Runs a batch of independent per-image examples through the
+    /// network and returns one output tensor per example (batch
+    /// dimension stripped). Results are identical to running each
+    /// example alone: every layer treats the batch dimension as
+    /// independent rows/images.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`stack_batch`](Sequential::stack_batch) and forward
+    /// errors.
+    pub fn forward_batch(&self, examples: &[Tensor]) -> Result<Vec<Tensor>> {
+        let out = self.forward(&self.stack_batch(examples)?)?;
+        let per_example: usize = out.shape().dims()[1..].iter().product();
+        let out_dims = out.shape().dims()[1..].to_vec();
+        let data = out.data();
+        (0..examples.len())
+            .map(|r| {
+                Ok(Tensor::from_vec(
+                    data[r * per_example..(r + 1) * per_example].to_vec(),
+                    &out_dims,
+                )?)
+            })
+            .collect()
+    }
+
     /// Class predictions (argmax over the last axis) for a batch.
     ///
     /// # Errors
@@ -284,6 +342,33 @@ mod tests {
         assert_eq!(out, full);
         assert!(m.forward_range(&batch, 3, 2).is_err());
         assert!(m.forward_range(&batch, 0, 99).is_err());
+    }
+
+    #[test]
+    fn forward_batch_matches_single_example_runs_bitwise() {
+        let m = tiny_model();
+        let mut rng = TensorRng::new(11);
+        let examples: Vec<Tensor> = (0..5).map(|_| rng.uniform_tensor(&[8, 8, 1])).collect();
+        let batched = m.forward_batch(&examples).unwrap();
+        assert_eq!(batched.len(), 5);
+        for (ex, out) in examples.iter().zip(batched.iter()) {
+            assert_eq!(out.shape().dims(), &[10]);
+            let alone = m.forward_batch(std::slice::from_ref(ex)).unwrap();
+            let bits: Vec<u32> = out.data().iter().map(|v| v.to_bits()).collect();
+            let alone_bits: Vec<u32> = alone[0].data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, alone_bits);
+        }
+    }
+
+    #[test]
+    fn stack_batch_validates_shapes() {
+        let m = tiny_model();
+        assert!(m.stack_batch(&[]).is_err());
+        let bad = Tensor::zeros(&[7, 8, 1]);
+        assert!(m.stack_batch(&[bad]).is_err());
+        let good = Tensor::zeros(&[8, 8, 1]);
+        let stacked = m.stack_batch(&[good.clone(), good]).unwrap();
+        assert_eq!(stacked.shape().dims(), &[2, 8, 8, 1]);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! The substrate-backed model host: the single owner of the served
+//! weights.
+//!
+//! Weights live **only** in a [`SharedSubstrate`] — one shard per
+//! parameterized layer, so the scrubber can sweep (and recovery can
+//! rewrite) one layer while inference materializes another. The
+//! architecture skeleton kept alongside has its parameters zeroed at
+//! construction: every forward pass must go through
+//! [`ModelHost::materialize`], which decodes the substrate.
+
+use milr_nn::Sequential;
+use milr_substrate::{ScrubSummary, SharedSubstrate, WeightSubstrate};
+use milr_tensor::Tensor;
+
+/// The data plane of the service: a weightless architecture skeleton
+/// plus the sharded substrate actually holding the parameters. The
+/// control plane (a [`milr_core::Milr`] protection instance, owned by
+/// the scrubber) detects against and heals what lives here — and can
+/// be re-anchored to the healed state without touching the host.
+#[derive(Debug, Clone)]
+pub struct ModelHost {
+    /// Architecture skeleton; parameter tensors are zeroed.
+    template: Sequential,
+    store: SharedSubstrate,
+    /// Layer index of each shard, ascending.
+    param_layers: Vec<usize>,
+    /// Parameter tensor dims of each shard.
+    param_dims: Vec<Vec<usize>>,
+}
+
+impl ModelHost {
+    /// Moves every parameterized layer's weights of `golden` into a
+    /// fresh substrate shard built by `build`, and zeroes the
+    /// in-memory copies.
+    pub fn new(golden: &Sequential, build: &dyn Fn(&[f32]) -> Box<dyn WeightSubstrate>) -> Self {
+        let mut template = golden.clone();
+        let mut param_layers = Vec::new();
+        let mut param_dims = Vec::new();
+        let mut parts: Vec<Box<dyn WeightSubstrate>> = Vec::new();
+        for (i, layer) in template.layers_mut().iter_mut().enumerate() {
+            if let Some(params) = layer.params_mut() {
+                param_layers.push(i);
+                param_dims.push(params.shape().dims().to_vec());
+                parts.push(build(params.data()));
+                params.map_in_place(|_| 0.0);
+            }
+        }
+        ModelHost {
+            template,
+            store: SharedSubstrate::from_parts(parts),
+            param_layers,
+            param_dims,
+        }
+    }
+
+    /// The underlying sharded store (one shard per parameterized
+    /// layer).
+    pub fn store(&self) -> &SharedSubstrate {
+        &self.store
+    }
+
+    /// Layer indices backed by substrate shards, ascending (shard `k`
+    /// holds layer `param_layers()[k]`).
+    pub fn param_layers(&self) -> &[usize] {
+        &self.param_layers
+    }
+
+    /// Decodes every shard into a runnable model. Each layer's read is
+    /// atomic against scrubs/writes of that layer; cross-layer
+    /// consistency is the certification protocol's job.
+    pub fn materialize(&self) -> Sequential {
+        self.materialize_layers(&self.param_layers)
+    }
+
+    /// Decodes only the given layers' shards into the (otherwise
+    /// zero-weight) skeleton — the scrubber's per-tick path: an
+    /// incremental detection chunk only reads its own layers'
+    /// parameters, so the other shards are neither locked nor decoded
+    /// (on an encrypted substrate that skips the whole-model decrypt
+    /// every tick). Layers without a shard are ignored.
+    pub fn materialize_layers(&self, layers: &[usize]) -> Sequential {
+        let mut model = self.template.clone();
+        for &layer in layers {
+            if let Ok(shard) = self.param_layers.binary_search(&layer) {
+                let data = self.store.read_shard(shard);
+                let tensor = Tensor::from_vec(data, &self.param_dims[shard])
+                    .expect("shard length fixed at construction");
+                *model.layers_mut()[layer]
+                    .params_mut()
+                    .expect("param layer cannot lose its params") = tensor;
+            }
+        }
+        model
+    }
+
+    /// Writes the given layers' parameters from `healed` back into
+    /// their shards (the recovery write-back path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a given layer is not substrate-backed or `healed`
+    /// has mismatched geometry.
+    pub fn write_back(&self, healed: &Sequential, layers: &[usize]) {
+        for &layer in layers {
+            let shard = self
+                .param_layers
+                .binary_search(&layer)
+                .expect("layer is substrate-backed");
+            let params = healed.layers()[layer]
+                .params()
+                .expect("healed layer has params");
+            self.store
+                .write_shard(shard, params.data())
+                .expect("healed geometry matches the shard");
+        }
+    }
+
+    /// Runs the substrate's own repair pass (e.g. SECDED correction)
+    /// over the given layers' shards.
+    pub fn scrub_layers(&self, layers: &[usize]) -> ScrubSummary {
+        let mut total = ScrubSummary::default();
+        for &layer in layers {
+            if let Ok(shard) = self.param_layers.binary_search(&layer) {
+                let s = self.store.scrub_shard(shard);
+                total.corrected += s.corrected;
+                total.uncorrectable += s.uncorrectable;
+            }
+        }
+        total
+    }
+
+    /// Corrupts one stored weight by flipping its entire raw word
+    /// (every raw bit the substrate devotes to that weight) — the
+    /// whole-weight error family of the paper's evaluation, injected
+    /// under the shard lock like any other storage access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is not substrate-backed or `weight` is out
+    /// of range for it.
+    pub fn corrupt_weight(&self, layer: usize, weight: usize) {
+        let shard = self
+            .param_layers
+            .binary_search(&layer)
+            .expect("layer is substrate-backed");
+        let (w_lo, w_hi) = self.store.shard_weight_range(shard);
+        assert!(weight < w_hi - w_lo, "weight {weight} out of range");
+        let (r_lo, r_hi) = self.store.shard_raw_range(shard);
+        let stride = (r_hi - r_lo) / (w_hi - w_lo);
+        for bit in 0..stride.min(32) {
+            self.store.flip_raw_bit(r_lo + weight * stride + bit);
+        }
+    }
+
+    /// Number of stored weights across all shards.
+    pub fn weight_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Parameter count of substrate-backed layer `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is not substrate-backed.
+    pub fn layer_weight_count(&self, layer: usize) -> usize {
+        let shard = self
+            .param_layers
+            .binary_search(&layer)
+            .expect("layer is substrate-backed");
+        let (lo, hi) = self.store.shard_weight_range(shard);
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milr_core::{Milr, MilrConfig};
+    use milr_nn::Layer;
+    use milr_substrate::SubstrateKind;
+    use milr_tensor::{ConvSpec, Padding, TensorRng};
+
+    fn model() -> Sequential {
+        let mut rng = TensorRng::new(5);
+        let mut m = Sequential::new(vec![8, 8, 1]);
+        let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+        m.push(Layer::conv2d_random(3, 1, 4, spec, &mut rng).unwrap())
+            .unwrap();
+        m.push(Layer::bias_zero(4)).unwrap();
+        m.push(Layer::Flatten).unwrap();
+        m.push(Layer::dense_random(6 * 6 * 4, 5, &mut rng).unwrap())
+            .unwrap();
+        m
+    }
+
+    fn host(m: &Sequential) -> ModelHost {
+        ModelHost::new(m, &|c| SubstrateKind::Plain.store(c))
+    }
+
+    #[test]
+    fn materialize_reproduces_golden_bits() {
+        let golden = model();
+        let h = host(&golden);
+        assert_eq!(h.param_layers(), &[0, 1, 3]);
+        let seen = h.materialize();
+        for (a, b) in golden.layers().iter().zip(seen.layers().iter()) {
+            match (a.params(), b.params()) {
+                (Some(p), Some(q)) => {
+                    let pa: Vec<u32> = p.data().iter().map(|v| v.to_bits()).collect();
+                    let pb: Vec<u32> = q.data().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(pa, pb);
+                }
+                (None, None) => {}
+                _ => panic!("param structure diverged"),
+            }
+        }
+        // The template really is weightless: a host whose store is
+        // bypassed would serve zeros, not golden weights.
+        assert!(h.template.layers()[0]
+            .params()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn corrupt_detect_recover_roundtrip() {
+        let golden = model();
+        let milr = Milr::protect(&golden, MilrConfig::default()).unwrap();
+        let h = host(&golden);
+        h.corrupt_weight(0, 7);
+        let mut live = h.materialize();
+        assert_ne!(
+            live.layers()[0].params().unwrap().data()[7],
+            golden.layers()[0].params().unwrap().data()[7]
+        );
+        let report = milr.detect(&live).unwrap();
+        assert_eq!(report.flagged, vec![0]);
+        milr.recover_layers(&mut live, &report.flagged).unwrap();
+        h.write_back(&live, &report.flagged);
+        let healed = h.materialize();
+        assert!(milr.detect(&healed).unwrap().is_clean());
+    }
+
+    #[test]
+    fn scrub_heals_secded_hosted_weights() {
+        let golden = model();
+        let milr = Milr::protect(&golden, MilrConfig::default()).unwrap();
+        let h = ModelHost::new(&golden, &|c| SubstrateKind::Secded.store(c));
+        // One raw bit in layer 3's shard: ECC corrects it in place.
+        let (r_lo, _) = h.store().shard_raw_range(2);
+        h.store().flip_raw_bit(r_lo + 11);
+        let summary = h.scrub_layers(&[3]);
+        assert_eq!(summary.corrected, 1);
+        assert!(milr.detect(&h.materialize()).unwrap().is_clean());
+    }
+
+    #[test]
+    fn layer_weight_counts_match_model() {
+        let golden = model();
+        let h = host(&golden);
+        assert_eq!(h.layer_weight_count(0), 3 * 3 * 4);
+        assert_eq!(h.layer_weight_count(1), 4);
+        assert_eq!(h.weight_count(), golden.param_count());
+    }
+}

@@ -1,0 +1,75 @@
+//! # milr-serve
+//!
+//! An **online inference service** over MILR-protected weights: the
+//! paper's offline detect→recover loop (DSN 2021) turned into a living
+//! system that serves batched requests *while* faults land in the
+//! weight substrate — and whose availability is **measured**, not just
+//! modeled by Equation 6.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──submit──▶ bounded queue ──batches──▶ worker pool
+//!                                                    │ forward on
+//!                                                    ▼ materialized weights
+//!  ┌──────────────────────────────┐        certification ledger
+//!  │ ModelHost                    │        (released after a clean
+//!  │  weights in SharedSubstrate  │         bracketing scrub cycle)
+//!  │  one locked shard per layer  │
+//!  └──────────────────────────────┘
+//!        ▲            ▲
+//!   scrub/detect    recovery write-back
+//!        │            │
+//!   scrubber daemon ──┴── quarantine (drain | reject) on flagged layer
+//! ```
+//!
+//! * [`ModelHost`] owns the weights inside a
+//!   [`milr_substrate::SharedSubstrate`] — one lock-protected shard per
+//!   parameterized layer, so scrubbing one layer never blocks reading
+//!   another. The in-memory skeleton is weightless; every forward pass
+//!   decodes the substrate.
+//! * The **scrubber daemon** sweeps the checkable layers in chunks
+//!   ([`ScrubCursor`]), each tick running the substrate's own scrub
+//!   (ECC) and an incremental MILR detection
+//!   ([`milr_core::Milr::detect_layers`]).
+//! * Outputs are **certified before release**
+//!   ([`CertificationLedger`]): a batch is held until a full clean
+//!   scrub cycle *starts after* it finished. Faults are monotone, so
+//!   the clean cycle proves the batch ran on clean weights; a flagged
+//!   scrub quarantines the service ([`QuarantinePolicy`]), voids
+//!   everything uncertified, recovers with MILR, verifies, resumes,
+//!   and re-executes the voided work. Certified outputs therefore
+//!   match the fault-free model bit-for-bit whenever recovery is
+//!   bit-exact (CRC-verified convolution recovery is; see the
+//!   end-to-end test).
+//! * Per-request latency, downtime windows, and **empirical
+//!   availability** land in a [`ServeReport`], directly comparable to
+//!   the closed-form `milr_core::availability` model.
+//!
+//! Two drivers share this control plane: [`sim::simulate`] — a
+//! single-threaded discrete-event simulation on a **virtual clock**,
+//! bit-reproducible under a seed (the benchmark and test path) — and
+//! [`Server`] — real worker threads plus a scrubber daemon on the wall
+//! clock.
+
+#![deny(missing_docs)]
+
+mod host;
+mod ledger;
+mod metrics;
+mod report;
+mod request;
+mod scrubber;
+mod server;
+pub mod sim;
+#[cfg(test)]
+mod testutil;
+
+pub use host::ModelHost;
+pub use ledger::CertificationLedger;
+pub use metrics::{DowntimeLog, LatencyStats};
+pub use report::{outcome_digest, ServeReport};
+pub use request::{QuarantinePolicy, RejectReason, RequestId, RequestOutcome, RequestStatus};
+pub use scrubber::ScrubCursor;
+pub use server::{ResponseHandle, ServeError, Server, ServerConfig};
+pub use sim::{simulate, SimConfig, SimResult, VirtualCosts};

@@ -1,0 +1,117 @@
+//! Service metrics: latency distributions and downtime accounting.
+
+/// Latency distribution summary over resolved requests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Samples summarized.
+    pub count: usize,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// Maximum latency, microseconds.
+    pub max_us: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes latency samples (nanoseconds). Percentiles use the
+    /// nearest-rank convention on the sorted samples, so the summary is
+    /// deterministic for a deterministic sample set.
+    pub fn from_ns(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: f64| -> f64 {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx] as f64 / 1e3
+        };
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        LatencyStats {
+            count: sorted.len(),
+            mean_us: sum as f64 / sorted.len() as f64 / 1e3,
+            p50_us: rank(0.50),
+            p95_us: rank(0.95),
+            max_us: *sorted.last().unwrap() as f64 / 1e3,
+        }
+    }
+}
+
+/// Closed and in-progress unavailability windows on the service clock.
+#[derive(Debug, Clone, Default)]
+pub struct DowntimeLog {
+    windows: Vec<(u64, u64)>,
+    open: Option<u64>,
+}
+
+impl DowntimeLog {
+    /// Opens a downtime window (quarantine entry). No-op when one is
+    /// already open.
+    pub fn open_at(&mut self, now: u64) {
+        if self.open.is_none() {
+            self.open = Some(now);
+        }
+    }
+
+    /// Closes the open window (service resume). No-op when none is
+    /// open.
+    pub fn close_at(&mut self, now: u64) {
+        if let Some(start) = self.open.take() {
+            self.windows.push((start, now.max(start)));
+        }
+    }
+
+    /// The closed windows, in order.
+    pub fn windows(&self) -> &[(u64, u64)] {
+        &self.windows
+    }
+
+    /// Total downtime up to `end` (an open window counts up to `end`).
+    pub fn total_ns(&self, end: u64) -> u64 {
+        let closed: u64 = self.windows.iter().map(|(s, e)| e - s).sum();
+        closed + self.open.map(|s| end.saturating_sub(s)).unwrap_or(0)
+    }
+
+    /// Empirical availability over `[0, end]`: uptime fraction.
+    pub fn availability(&self, end: u64) -> f64 {
+        if end == 0 {
+            return 1.0;
+        }
+        1.0 - self.total_ns(end) as f64 / end as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        let s = LatencyStats::from_ns(&ns);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.p95_us, 95.0);
+        assert_eq!(s.max_us, 100.0);
+        assert_eq!(LatencyStats::from_ns(&[]).count, 0);
+    }
+
+    #[test]
+    fn downtime_windows_accumulate() {
+        let mut d = DowntimeLog::default();
+        assert_eq!(d.availability(1000), 1.0);
+        d.open_at(100);
+        d.open_at(150); // ignored: already open
+        d.close_at(300);
+        d.open_at(600);
+        assert_eq!(d.total_ns(1000), 200 + 400);
+        assert!((d.availability(1000) - 0.4).abs() < 1e-12);
+        d.close_at(700);
+        assert_eq!(d.windows(), &[(100, 300), (600, 700)]);
+        assert_eq!(d.total_ns(1000), 300);
+    }
+}

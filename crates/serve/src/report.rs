@@ -1,0 +1,166 @@
+//! The end-of-run service report: counters, empirical availability,
+//! latency distribution, and the modeled-vs-measured comparison hook.
+
+use crate::metrics::LatencyStats;
+use crate::request::{RequestOutcome, RequestStatus};
+
+/// Summary of one serving run (simulated or live).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Seed the run was driven by (0 for live runs without one).
+    pub seed: u64,
+    /// Quarantine policy name (`drain` / `reject`).
+    pub policy: String,
+    /// Requests submitted.
+    pub submitted: usize,
+    /// Requests completed with certified outputs.
+    pub completed: usize,
+    /// Requests rejected (queue-full, quarantine shedding, shutdown).
+    pub rejected: usize,
+    /// Request executions discarded and re-run because a scrub flagged
+    /// the weights they may have been computed on.
+    pub reexecuted: usize,
+    /// Whole-weight faults injected into the substrate during the run.
+    pub faults_injected: usize,
+    /// Raw words corrected by the substrate's own scrub (ECC).
+    pub scrub_corrected: usize,
+    /// Scrub ticks performed.
+    pub scrub_ticks: usize,
+    /// Quarantine episodes.
+    pub quarantines: usize,
+    /// Layer recoveries performed across all quarantines.
+    pub layers_recovered: usize,
+    /// Total run length on the service clock, nanoseconds.
+    pub total_ns: u64,
+    /// Time spent quarantined (unavailable), nanoseconds.
+    pub downtime_ns: u64,
+    /// Empirical availability: `1 − downtime / total`.
+    pub availability: f64,
+    /// Latency distribution of completed requests.
+    pub latency: LatencyStats,
+    /// Order-insensitive digest over `(id, status, output bits)` of
+    /// every outcome — two runs with the same seed must agree on it.
+    pub digest: u64,
+}
+
+/// FNV-1a over the resolved outcomes, for cheap reproducibility
+/// assertions across runs.
+pub fn outcome_digest(outcomes: &[RequestOutcome]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut sorted: Vec<&RequestOutcome> = outcomes.iter().collect();
+    sorted.sort_by_key(|o| o.id);
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for o in sorted {
+        eat(o.id);
+        match &o.status {
+            RequestStatus::Completed(out) => {
+                eat(0);
+                for v in out.data() {
+                    eat(v.to_bits() as u64);
+                }
+            }
+            RequestStatus::Rejected(reason) => {
+                eat(1 + *reason as u64);
+            }
+        }
+    }
+    h
+}
+
+impl ServeReport {
+    /// Renders the report as a flat JSON object (hand-rolled: the
+    /// workspace's serde stub has no serializer).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"seed\":{},\"policy\":\"{}\",\"submitted\":{},\"completed\":{},",
+                "\"rejected\":{},\"reexecuted\":{},\"faults_injected\":{},",
+                "\"scrub_corrected\":{},\"scrub_ticks\":{},\"quarantines\":{},",
+                "\"layers_recovered\":{},\"total_ns\":{},\"downtime_ns\":{},",
+                "\"availability\":{:.9},\"latency_mean_us\":{:.3},\"latency_p50_us\":{:.3},",
+                "\"latency_p95_us\":{:.3},\"latency_max_us\":{:.3},\"digest\":{}}}"
+            ),
+            self.seed,
+            self.policy,
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.reexecuted,
+            self.faults_injected,
+            self.scrub_corrected,
+            self.scrub_ticks,
+            self.quarantines,
+            self.layers_recovered,
+            self.total_ns,
+            self.downtime_ns,
+            self.availability,
+            self.latency.mean_us,
+            self.latency.p50_us,
+            self.latency.p95_us,
+            self.latency.max_us,
+            self.digest,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RejectReason;
+    use milr_tensor::Tensor;
+
+    fn outcome(id: u64, status: RequestStatus) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            input: Tensor::zeros(&[1]),
+            status,
+            arrival_ns: 0,
+            resolved_ns: 1,
+        }
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_and_content_sensitive() {
+        let a = outcome(0, RequestStatus::Completed(Tensor::ones(&[2])));
+        let b = outcome(1, RequestStatus::Rejected(RejectReason::QueueFull));
+        let fwd = outcome_digest(&[a.clone(), b.clone()]);
+        let rev = outcome_digest(&[b.clone(), a]);
+        assert_eq!(fwd, rev);
+        let changed = outcome(0, RequestStatus::Completed(Tensor::zeros(&[2])));
+        assert_ne!(fwd, outcome_digest(&[changed, b]));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = ServeReport {
+            seed: 7,
+            policy: "drain".into(),
+            submitted: 10,
+            completed: 9,
+            rejected: 1,
+            reexecuted: 2,
+            faults_injected: 1,
+            scrub_corrected: 0,
+            scrub_ticks: 5,
+            quarantines: 1,
+            layers_recovered: 1,
+            total_ns: 1000,
+            downtime_ns: 100,
+            availability: 0.9,
+            latency: LatencyStats::default(),
+            digest: 42,
+        };
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"availability\":0.900000000"));
+        assert!(json.contains("\"policy\":\"drain\""));
+        assert_eq!(json.matches('{').count(), 1);
+    }
+}

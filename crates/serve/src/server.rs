@@ -1,0 +1,749 @@
+//! The live multi-threaded inference server: the same control plane as
+//! the deterministic simulation ([`crate::sim`]), run on real worker
+//! threads and the wall clock.
+//!
+//! A [`Server`] owns a [`ModelHost`] (weights in substrate shards), a
+//! bounded admission queue drained by a worker pool, and a **scrubber
+//! daemon** that each tick runs the substrate's own scrub plus an
+//! incremental MILR detection chunk. Outputs are released through the
+//! certification ledger exactly as in the simulation: only after a
+//! full clean scrub cycle brackets them. On a flagged layer the
+//! scrubber quarantines the service (drain or reject per policy), runs
+//! MILR recovery against the substrate, verifies, and resumes.
+
+use crate::host::ModelHost;
+use crate::ledger::CertificationLedger;
+use crate::metrics::{DowntimeLog, LatencyStats};
+use crate::report::{outcome_digest, ServeReport};
+use crate::request::{QuarantinePolicy, RejectReason, RequestOutcome, RequestStatus};
+use crate::scrubber::ScrubCursor;
+use milr_core::{Milr, MilrConfig};
+use milr_nn::Sequential;
+use milr_substrate::{SubstrateKind, WeightSubstrate};
+use milr_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Live-server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker pool size.
+    pub workers: usize,
+    /// Bounded admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one batch.
+    pub batch_max: usize,
+    /// Scrubber cadence.
+    pub scrub_interval: Duration,
+    /// Checkable layers examined per scrub tick.
+    pub layers_per_tick: usize,
+    /// Quarantine policy.
+    pub policy: QuarantinePolicy,
+    /// Substrate kind backing each layer shard.
+    pub substrate: SubstrateKind,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 256,
+            batch_max: 8,
+            scrub_interval: Duration::from_millis(2),
+            layers_per_tick: 2,
+            policy: QuarantinePolicy::Drain,
+            substrate: SubstrateKind::Plain,
+        }
+    }
+}
+
+/// Why a submission or wait failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request was completed without an output.
+    Rejected(RejectReason),
+    /// The server was already shut down at submission.
+    Stopped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(reason) => write!(f, "request rejected: {}", reason.name()),
+            ServeError::Stopped => write!(f, "server stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Client-side handle to one submitted request.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    id: u64,
+    rx: Receiver<Result<Tensor, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// The request's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request is certified (or rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection reason, or [`ServeError::Stopped`] when
+    /// the server dropped the request without resolving it.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Stopped))
+    }
+}
+
+struct PendingRequest {
+    id: u64,
+    input: Tensor,
+    arrival_ns: u64,
+    tx: Sender<Result<Tensor, ServeError>>,
+}
+
+struct CompletedBatch {
+    requests: Vec<PendingRequest>,
+    outputs: Vec<Tensor>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Serving,
+    Quarantined,
+}
+
+struct Inner {
+    queue: VecDeque<PendingRequest>,
+    status: Status,
+    epoch: u64,
+    next_id: u64,
+    in_flight: usize,
+    ledger: CertificationLedger<CompletedBatch>,
+    cursor: ScrubCursor,
+    downtime: DowntimeLog,
+    latencies: Vec<u64>,
+    outcomes: Vec<RequestOutcome>,
+    submitted: usize,
+    completed: usize,
+    rejected: usize,
+    reexecuted: usize,
+    faults_injected: usize,
+    scrub_corrected: usize,
+    scrub_ticks: usize,
+    quarantines: usize,
+    layers_recovered: usize,
+}
+
+struct Shared {
+    host: ModelHost,
+    /// The protection instance. Mutable because recovery re-anchors it
+    /// to the healed state; only the scrubber and shutdown touch it.
+    milr: Mutex<Milr>,
+    milr_config: MilrConfig,
+    config: ServerConfig,
+    start: Instant,
+    inner: Mutex<Inner>,
+    work_cv: Condvar,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn resolve(inner: &mut Inner, now: u64, req: PendingRequest, status: RequestStatus) {
+        match &status {
+            RequestStatus::Completed(out) => {
+                inner.completed += 1;
+                inner.latencies.push(now.saturating_sub(req.arrival_ns));
+                let _ = req.tx.send(Ok(out.clone()));
+            }
+            RequestStatus::Rejected(reason) => {
+                inner.rejected += 1;
+                let _ = req.tx.send(Err(ServeError::Rejected(*reason)));
+            }
+        }
+        inner.outcomes.push(RequestOutcome {
+            id: req.id,
+            input: req.input,
+            status,
+            arrival_ns: req.arrival_ns,
+            resolved_ns: now,
+        });
+    }
+}
+
+/// A running inference server. Dropping it without
+/// [`Server::shutdown`] aborts outstanding requests with
+/// [`ServeError::Stopped`].
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    scrubber: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Protects `golden`, moves its weights into substrate shards, and
+    /// starts the worker pool plus the scrubber daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MILR protection failures.
+    pub fn start(
+        golden: &Sequential,
+        milr_config: MilrConfig,
+        config: ServerConfig,
+    ) -> milr_core::Result<Self> {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "need a non-empty queue");
+        assert!(config.batch_max > 0, "need a non-empty batch");
+        let substrate = config.substrate;
+        let build = move |c: &[f32]| -> Box<dyn WeightSubstrate> { substrate.store(c) };
+        let milr = Milr::protect(golden, milr_config)?;
+        let host = ModelHost::new(golden, &build);
+        let cursor = ScrubCursor::new(milr.checkable_layers(), config.layers_per_tick);
+        let shared = Arc::new(Shared {
+            host,
+            milr: Mutex::new(milr),
+            milr_config,
+            config,
+            start: Instant::now(),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                status: Status::Serving,
+                epoch: 0,
+                next_id: 0,
+                in_flight: 0,
+                ledger: CertificationLedger::default(),
+                cursor,
+                downtime: DowntimeLog::default(),
+                latencies: Vec::new(),
+                outcomes: Vec::new(),
+                submitted: 0,
+                completed: 0,
+                rejected: 0,
+                reexecuted: 0,
+                faults_injected: 0,
+                scrub_corrected: 0,
+                scrub_ticks: 0,
+                quarantines: 0,
+                layers_recovered: 0,
+            }),
+            work_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let scrubber = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || scrubber_loop(&shared))
+        };
+        Ok(Server {
+            shared,
+            workers,
+            scrubber: Some(scrubber),
+        })
+    }
+
+    /// Submits one request (input in the model's per-image shape).
+    /// Resolution is asynchronous: outputs are released only once
+    /// certified.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when the queue is full or a
+    /// reject-policy quarantine is shedding; [`ServeError::Stopped`]
+    /// after shutdown.
+    pub fn submit(&self, input: Tensor) -> Result<ResponseHandle, ServeError> {
+        if self.shared.stop.load(Ordering::Acquire) {
+            return Err(ServeError::Stopped);
+        }
+        let now = self.shared.now_ns();
+        let (tx, rx) = channel();
+        let mut inner = self.shared.inner.lock().expect("lock poisoned");
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.submitted += 1;
+        if inner.status == Status::Quarantined
+            && self.shared.config.policy == QuarantinePolicy::Reject
+        {
+            let req = PendingRequest {
+                id,
+                input,
+                arrival_ns: now,
+                tx,
+            };
+            Shared::resolve(
+                &mut inner,
+                now,
+                req,
+                RequestStatus::Rejected(RejectReason::Quarantined),
+            );
+            return Err(ServeError::Rejected(RejectReason::Quarantined));
+        }
+        if inner.queue.len() >= self.shared.config.queue_capacity {
+            let req = PendingRequest {
+                id,
+                input,
+                arrival_ns: now,
+                tx,
+            };
+            Shared::resolve(
+                &mut inner,
+                now,
+                req,
+                RequestStatus::Rejected(RejectReason::QueueFull),
+            );
+            return Err(ServeError::Rejected(RejectReason::QueueFull));
+        }
+        inner.queue.push_back(PendingRequest {
+            id,
+            input,
+            arrival_ns: now,
+            tx,
+        });
+        drop(inner);
+        self.shared.work_cv.notify_one();
+        Ok(ResponseHandle { id, rx })
+    }
+
+    /// Injects a whole-weight fault into the live substrate (testing /
+    /// demonstration hook; the scrubber must find and heal it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is not substrate-backed or `weight` is out
+    /// of range.
+    pub fn inject_weight_fault(&self, layer: usize, weight: usize) {
+        self.shared.host.corrupt_weight(layer, weight);
+        self.shared
+            .inner
+            .lock()
+            .expect("lock poisoned")
+            .faults_injected += 1;
+    }
+
+    /// True while a quarantine is in progress.
+    pub fn is_quarantined(&self) -> bool {
+        self.shared.inner.lock().expect("lock poisoned").status == Status::Quarantined
+    }
+
+    /// Quarantine episodes so far.
+    pub fn quarantines(&self) -> usize {
+        self.shared.inner.lock().expect("lock poisoned").quarantines
+    }
+
+    /// Stops accepting work, drains certification, joins all threads,
+    /// and returns the run report. Requests still unresolved after the
+    /// final certification flush are rejected with
+    /// [`RejectReason::Shutdown`].
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(s) = self.scrubber.take() {
+            let _ = s.join();
+        }
+        let now = self.shared.now_ns();
+        let mut inner = self.shared.inner.lock().expect("lock poisoned");
+        // Final certification flush: one full detection pass at `now`
+        // brackets everything that already finished.
+        let live = self.shared.host.materialize();
+        let clean = self
+            .shared
+            .milr
+            .lock()
+            .expect("lock poisoned")
+            .detect(&live)
+            .map(|r| r.is_clean())
+            .unwrap_or(false);
+        if clean {
+            for batch in inner.ledger.certify_before(now) {
+                for (req, out) in batch.requests.into_iter().zip(batch.outputs) {
+                    Shared::resolve(&mut inner, now, req, RequestStatus::Completed(out));
+                }
+            }
+        }
+        for batch in inner.ledger.invalidate() {
+            for req in batch.requests {
+                Shared::resolve(
+                    &mut inner,
+                    now,
+                    req,
+                    RequestStatus::Rejected(RejectReason::Shutdown),
+                );
+            }
+        }
+        while let Some(req) = inner.queue.pop_front() {
+            Shared::resolve(
+                &mut inner,
+                now,
+                req,
+                RequestStatus::Rejected(RejectReason::Shutdown),
+            );
+        }
+        inner.downtime.close_at(now);
+        ServeReport {
+            seed: 0,
+            policy: self.shared.config.policy.name().to_string(),
+            submitted: inner.submitted,
+            completed: inner.completed,
+            rejected: inner.rejected,
+            reexecuted: inner.reexecuted,
+            faults_injected: inner.faults_injected,
+            scrub_corrected: inner.scrub_corrected,
+            scrub_ticks: inner.scrub_ticks,
+            quarantines: inner.quarantines,
+            layers_recovered: inner.layers_recovered,
+            total_ns: now,
+            downtime_ns: inner.downtime.total_ns(now),
+            availability: inner.downtime.availability(now),
+            latency: LatencyStats::from_ns(&inner.latencies),
+            digest: outcome_digest(&inner.outcomes),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let mut inner = shared.inner.lock().expect("lock poisoned");
+        loop {
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if inner.status == Status::Serving && !inner.queue.is_empty() {
+                break;
+            }
+            inner = shared.work_cv.wait(inner).expect("lock poisoned");
+        }
+        let n = inner.queue.len().min(shared.config.batch_max);
+        let requests: Vec<PendingRequest> = inner.queue.drain(..n).collect();
+        let epoch = inner.epoch;
+        inner.in_flight += 1;
+        drop(inner);
+
+        // Compute outside the lock: materialization is per-shard
+        // atomic, certification handles cross-shard races.
+        let model = shared.host.materialize();
+        let inputs: Vec<Tensor> = requests.iter().map(|r| r.input.clone()).collect();
+        let outputs = model
+            .forward_batch(&inputs)
+            .expect("inputs validated against the model shape at submission");
+
+        let mut inner = shared.inner.lock().expect("lock poisoned");
+        // Stamp under the lock: acquisition order keeps ledger stamps
+        // monotone across workers.
+        let now = shared.now_ns();
+        inner.in_flight -= 1;
+        if inner.epoch != epoch {
+            // A quarantine started while we computed: outputs suspect.
+            match shared.config.policy {
+                QuarantinePolicy::Drain => {
+                    inner.reexecuted += requests.len();
+                    for req in requests.into_iter().rev() {
+                        inner.queue.push_front(req);
+                    }
+                }
+                QuarantinePolicy::Reject => {
+                    for req in requests {
+                        Shared::resolve(
+                            &mut inner,
+                            now,
+                            req,
+                            RequestStatus::Rejected(RejectReason::Quarantined),
+                        );
+                    }
+                }
+            }
+        } else {
+            inner
+                .ledger
+                .record(now, CompletedBatch { requests, outputs });
+        }
+        drop(inner);
+        shared.work_cv.notify_all();
+    }
+}
+
+fn scrubber_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::Acquire) {
+        // Sleep in short slices so shutdown never waits a full tick.
+        let mut slept = Duration::ZERO;
+        while slept < shared.config.scrub_interval {
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let step = (shared.config.scrub_interval - slept).min(Duration::from_millis(1));
+            std::thread::sleep(step);
+            slept += step;
+        }
+        let now = shared.now_ns();
+        let chunk = {
+            let mut inner = shared.inner.lock().expect("lock poisoned");
+            inner.scrub_ticks += 1;
+            inner.cursor.begin_tick(now)
+        };
+        let corrected = shared.host.scrub_layers(&chunk).corrected;
+        let live = shared.host.materialize_layers(&chunk);
+        let report = shared
+            .milr
+            .lock()
+            .expect("lock poisoned")
+            .detect_layers(&live, &chunk)
+            .expect("materialized model matches the protected structure");
+        let flagged = !report.is_clean();
+
+        let mut inner = shared.inner.lock().expect("lock poisoned");
+        inner.scrub_corrected += corrected;
+        if let Some(watermark) = inner.cursor.finish_tick(flagged, now) {
+            for batch in inner.ledger.certify_before(watermark) {
+                for (req, out) in batch.requests.into_iter().zip(batch.outputs) {
+                    Shared::resolve(&mut inner, now, req, RequestStatus::Completed(out));
+                }
+            }
+        }
+        if !flagged {
+            continue;
+        }
+
+        // Quarantine: void uncertified work and stop dispatch.
+        inner.status = Status::Quarantined;
+        inner.epoch += 1;
+        inner.quarantines += 1;
+        inner.downtime.open_at(now);
+        let voided = inner.ledger.invalidate();
+        match shared.config.policy {
+            QuarantinePolicy::Drain => {
+                let mut reqs: Vec<PendingRequest> =
+                    voided.into_iter().flat_map(|b| b.requests).collect();
+                reqs.sort_by_key(|r| r.id);
+                inner.reexecuted += reqs.len();
+                for req in reqs.into_iter().rev() {
+                    inner.queue.push_front(req);
+                }
+            }
+            QuarantinePolicy::Reject => {
+                for batch in voided {
+                    for req in batch.requests {
+                        Shared::resolve(
+                            &mut inner,
+                            now,
+                            req,
+                            RequestStatus::Rejected(RejectReason::Quarantined),
+                        );
+                    }
+                }
+                while let Some(req) = inner.queue.pop_front() {
+                    Shared::resolve(
+                        &mut inner,
+                        now,
+                        req,
+                        RequestStatus::Rejected(RejectReason::Quarantined),
+                    );
+                }
+            }
+        }
+        drop(inner);
+
+        // Recover outside the state lock (workers are paused by
+        // status); the scrubber is the only milr user while serving.
+        let mut milr = shared.milr.lock().expect("lock poisoned");
+        let mut attempts = 0;
+        loop {
+            let mut live = shared.host.materialize();
+            let report = milr
+                .detect(&live)
+                .expect("materialized model matches the protected structure");
+            if report.is_clean() {
+                // Re-anchor protection to the healed state so an
+                // approximate heal cannot leave the stored CRC grids
+                // out of sync with storage (see crate::sim docs).
+                *milr = Milr::protect(&live, shared.milr_config)
+                    .expect("healed model keeps the protected structure");
+                break;
+            }
+            let flagged = report.flagged.clone();
+            milr.recover_layers(&mut live, &flagged)
+                .expect("recovery propagates only solver errors");
+            shared.host.write_back(&live, &flagged);
+            let mut inner = shared.inner.lock().expect("lock poisoned");
+            inner.layers_recovered += flagged.len();
+            drop(inner);
+            attempts += 1;
+            if attempts >= 8 {
+                break; // resume; the next tick re-quarantines if needed
+            }
+        }
+        drop(milr);
+
+        let now = shared.now_ns();
+        let mut inner = shared.inner.lock().expect("lock poisoned");
+        inner.status = Status::Serving;
+        inner.downtime.close_at(now);
+        inner.cursor.reset();
+        drop(inner);
+        shared.work_cv.notify_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(s) = self.scrubber.take() {
+            let _ = s.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::serving_model;
+    use milr_tensor::TensorRng;
+
+    #[test]
+    fn serves_certified_golden_outputs() {
+        let golden = serving_model(21);
+        let server = Server::start(
+            &golden,
+            MilrConfig::default(),
+            ServerConfig {
+                workers: 2,
+                scrub_interval: Duration::from_millis(1),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut rng = TensorRng::new(77);
+        let inputs: Vec<Tensor> = (0..20).map(|_| rng.uniform_tensor(&[10, 10, 1])).collect();
+        let handles: Vec<ResponseHandle> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        for (input, handle) in inputs.iter().zip(handles) {
+            let out = handle.wait().unwrap();
+            let expect = &golden.forward_batch(std::slice::from_ref(input)).unwrap()[0];
+            assert_eq!(
+                out.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expect
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>()
+            );
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.quarantines, 0);
+    }
+
+    #[test]
+    fn heals_a_live_fault_and_keeps_outputs_golden() {
+        let golden = serving_model(22);
+        let server = Server::start(
+            &golden,
+            MilrConfig::default(),
+            ServerConfig {
+                workers: 2,
+                scrub_interval: Duration::from_millis(1),
+                policy: QuarantinePolicy::Drain,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut rng = TensorRng::new(78);
+        // Warm traffic, then a fault, then more traffic.
+        let first: Vec<Tensor> = (0..6).map(|_| rng.uniform_tensor(&[10, 10, 1])).collect();
+        let h1: Vec<_> = first
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        server.inject_weight_fault(0, 13);
+        // Wait for the scrubber to notice and heal.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while server.quarantines() == 0 || server.is_quarantined() {
+            assert!(Instant::now() < deadline, "scrubber never healed the fault");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let second: Vec<Tensor> = (0..6).map(|_| rng.uniform_tensor(&[10, 10, 1])).collect();
+        let h2: Vec<_> = second
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        for (input, handle) in first
+            .iter()
+            .chain(second.iter())
+            .zip(h1.into_iter().chain(h2))
+        {
+            let out = handle.wait().unwrap();
+            let expect = &golden.forward_batch(std::slice::from_ref(input)).unwrap()[0];
+            assert_eq!(
+                out.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expect
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "served output diverged from the fault-free model"
+            );
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 12);
+        assert!(report.quarantines >= 1);
+        assert!(report.downtime_ns > 0);
+        assert!(report.availability < 1.0);
+    }
+
+    #[test]
+    fn shutdown_rejects_unresolved_work() {
+        let golden = serving_model(23);
+        let server = Server::start(
+            &golden,
+            MilrConfig::default(),
+            ServerConfig {
+                workers: 1,
+                // Slow scrubber: nothing certifies before shutdown.
+                scrub_interval: Duration::from_secs(60),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let x = TensorRng::new(5).uniform_tensor(&[10, 10, 1]);
+        let h = server.submit(x).unwrap();
+        // Give the worker a moment to compute the batch.
+        std::thread::sleep(Duration::from_millis(50));
+        let report = server.shutdown();
+        // The final flush certifies it (weights are clean), or rejects
+        // it with Shutdown — either way the handle resolves.
+        match h.wait() {
+            Ok(_) => assert_eq!(report.completed, 1),
+            Err(ServeError::Rejected(RejectReason::Shutdown)) => {
+                assert_eq!(report.rejected, 1)
+            }
+            other => panic!("unexpected resolution: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,654 @@
+//! Deterministic serving simulation on a virtual clock.
+//!
+//! The simulation drives the full serving control plane — bounded
+//! admission queue, worker pool, incremental scrubber, quarantine and
+//! recovery, certification — as a single-threaded discrete-event loop
+//! over virtual nanoseconds. Every source of nondeterminism is seeded
+//! (arrivals, fault times and locations) or fixed ([`VirtualCosts`]),
+//! so a run is a pure function of `(model, MilrConfig, SimConfig)`:
+//! two runs with the same seed produce bit-identical outcomes and the
+//! same [`ServeReport::digest`]. This is the path the end-to-end test
+//! and `serve_load`/`fig12 --measured` benchmarks use; the thread-pool
+//! server in [`crate::server`] runs the same control plane on the wall
+//! clock.
+//!
+//! ## Correctness protocol (why completed outputs are trustworthy)
+//!
+//! Outputs are *certified before release*: a batch computed at time `t`
+//! is held in the [`CertificationLedger`] until a full scrub cycle
+//! that **started after** `t` checks every layer clean. Faults are
+//! monotone (corruption persists until recovery), so the clean cycle
+//! proves the weights were clean at `t`. A flagged scrub instead
+//! quarantines the service, voids everything uncertified (those
+//! requests re-execute after recovery), and reopens only after a full
+//! detection pass over the recovered weights comes back clean.
+
+use crate::host::ModelHost;
+use crate::ledger::CertificationLedger;
+use crate::metrics::{DowntimeLog, LatencyStats};
+use crate::report::{outcome_digest, ServeReport};
+use crate::request::{QuarantinePolicy, RejectReason, RequestOutcome, RequestStatus};
+use crate::scrubber::ScrubCursor;
+use milr_core::{Milr, MilrConfig, SolvingPlan};
+use milr_fault::FaultRng;
+use milr_nn::{Layer, Sequential};
+use milr_substrate::SubstrateKind;
+use milr_tensor::{Tensor, TensorRng};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Virtual durations of the service's operations, in nanoseconds.
+///
+/// Fixed constants keep the simulation a pure function of the seed;
+/// calibrate them from real measurements when comparing against a
+/// particular machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualCosts {
+    /// Fixed dispatch overhead per batch.
+    pub batch_base_ns: u64,
+    /// Marginal cost per request inside a batch.
+    pub per_request_ns: u64,
+    /// Detection replay of one layer.
+    pub detect_layer_ns: u64,
+    /// MILR recovery of one quarantine episode (propagate + solve).
+    pub recover_ns: u64,
+}
+
+impl Default for VirtualCosts {
+    fn default() -> Self {
+        VirtualCosts {
+            batch_base_ns: 1_000_000, // 1 ms
+            per_request_ns: 500_000,  // 0.5 ms
+            detect_layer_ns: 300_000, // 0.3 ms
+            recover_ns: 10_000_000,   // 10 ms
+        }
+    }
+}
+
+impl VirtualCosts {
+    /// Service time of a batch of `n` requests.
+    pub fn batch_ns(&self, n: usize) -> u64 {
+        self.batch_base_ns + self.per_request_ns * n as u64
+    }
+
+    /// One full detection pass over `layers` checkable layers.
+    pub fn full_detect_ns(&self, layers: usize) -> u64 {
+        self.detect_layer_ns * layers as u64
+    }
+}
+
+/// Configuration of one simulated serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Master seed for arrivals, inputs and fault schedule.
+    pub seed: u64,
+    /// Requests in the workload.
+    pub requests: usize,
+    /// Mean inter-arrival gap, nanoseconds (exponential arrivals).
+    pub mean_arrival_ns: u64,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Bounded admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one batch.
+    pub batch_max: usize,
+    /// Scrubber cadence, nanoseconds between ticks.
+    pub scrub_interval_ns: u64,
+    /// Checkable layers examined per scrub tick.
+    pub layers_per_tick: usize,
+    /// What happens to queued/in-flight work during quarantine.
+    pub policy: QuarantinePolicy,
+    /// Whole-weight faults injected over the run.
+    pub faults: usize,
+    /// Candidate layers for fault injection; empty means every
+    /// *fully recoverable* convolution layer (solving plan `ConvFull`),
+    /// whose CRC-certified recovery restores exact golden bits — the
+    /// regime where certified outputs stay bit-for-bit faithful to the
+    /// original model. Partial-recoverability layers may be listed
+    /// explicitly: they heal within detection tolerance and the healed
+    /// state becomes the new protected baseline (re-protection), but
+    /// outputs computed after such a heal can differ from the original
+    /// model by float rounding.
+    pub fault_layers: Vec<usize>,
+    /// Virtual operation costs.
+    pub costs: VirtualCosts,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x5E12FE,
+            requests: 200,
+            mean_arrival_ns: 400_000,
+            workers: 4,
+            queue_capacity: 256,
+            batch_max: 8,
+            scrub_interval_ns: 4_000_000,
+            layers_per_tick: 2,
+            policy: QuarantinePolicy::Drain,
+            faults: 2,
+            fault_layers: Vec::new(),
+            costs: VirtualCosts::default(),
+        }
+    }
+}
+
+/// Everything a simulated run produced.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Aggregate counters and distributions.
+    pub report: ServeReport,
+    /// Every request's terminal state, by submission order.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(usize),
+    WorkerDone { worker: usize },
+    ScrubTick { epoch: u64 },
+    Fault { layer: usize, weight: usize },
+    RecoveryDone { epoch: u64 },
+}
+
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, with the
+        // schedule sequence as the deterministic tie-break.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Req {
+    input: Tensor,
+    arrival: u64,
+    resolved: Option<(u64, RequestStatus)>,
+}
+
+struct Batch {
+    reqs: Vec<usize>,
+    outputs: Vec<Tensor>,
+    epoch: u64,
+}
+
+fn schedule(heap: &mut BinaryHeap<Scheduled>, seq: &mut u64, time: u64, event: Event) {
+    *seq += 1;
+    heap.push(Scheduled {
+        time,
+        seq: *seq,
+        event,
+    });
+}
+
+/// Runs one deterministic serving simulation.
+///
+/// # Errors
+///
+/// Propagates MILR protection/detection/recovery failures.
+///
+/// # Panics
+///
+/// Panics on zero-sized pools/queues/batches, when the model has no
+/// layers eligible for fault injection, or if the event budget (a
+/// runaway-loop backstop) is exhausted.
+pub fn simulate(
+    golden: &Sequential,
+    milr_config: MilrConfig,
+    cfg: &SimConfig,
+) -> milr_core::Result<SimResult> {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.queue_capacity > 0, "need a non-empty queue");
+    assert!(cfg.batch_max > 0, "need a non-empty batch");
+    assert!(cfg.requests > 0, "need a workload");
+
+    let mut milr = Milr::protect(golden, milr_config)?;
+    let host = ModelHost::new(golden, &|c| SubstrateKind::Plain.store(c));
+    let checkable = milr.checkable_layers();
+    let mut cursor = ScrubCursor::new(checkable.clone(), cfg.layers_per_tick);
+
+    // Seeded workload: inputs and exponential arrivals.
+    let mut input_rng = TensorRng::new(cfg.seed ^ 0x1A7E57);
+    let mut arrival_rng = FaultRng::seed(cfg.seed ^ 0xA441);
+    let mut reqs: Vec<Req> = Vec::with_capacity(cfg.requests);
+    let mut t = 0u64;
+    for _ in 0..cfg.requests {
+        let gap = -arrival_rng.unit().max(f64::MIN_POSITIVE).ln() * cfg.mean_arrival_ns as f64;
+        t += (gap as u64).max(1);
+        reqs.push(Req {
+            input: input_rng.uniform_tensor(golden.input_shape()),
+            arrival: t,
+            resolved: None,
+        });
+    }
+    let horizon = t;
+
+    // Seeded fault schedule over the bulk of the workload window.
+    let fault_layers: Vec<usize> = if cfg.fault_layers.is_empty() {
+        host.param_layers()
+            .iter()
+            .copied()
+            .filter(|&i| {
+                matches!(golden.layers()[i], Layer::Conv2D { .. })
+                    && milr.plan().layers[i].solving == Some(SolvingPlan::ConvFull)
+            })
+            .collect()
+    } else {
+        cfg.fault_layers.clone()
+    };
+    assert!(
+        cfg.faults == 0 || !fault_layers.is_empty(),
+        "no layers eligible for fault injection"
+    );
+    let mut fault_rng = FaultRng::seed(cfg.seed ^ 0xFA117);
+    let mut fault_sched: Vec<(u64, usize, usize)> = (0..cfg.faults)
+        .map(|_| {
+            let time = horizon / 10 + (fault_rng.unit() * 0.8 * horizon as f64) as u64;
+            let layer = fault_layers[fault_rng.below(fault_layers.len())];
+            let weight = fault_rng.below(host.layer_weight_count(layer));
+            (time, layer, weight)
+        })
+        .collect();
+    fault_sched.sort_unstable();
+
+    // Event heap.
+    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (i, r) in reqs.iter().enumerate() {
+        schedule(&mut heap, &mut seq, r.arrival, Event::Arrival(i));
+    }
+    for &(time, layer, weight) in &fault_sched {
+        schedule(&mut heap, &mut seq, time, Event::Fault { layer, weight });
+    }
+    schedule(
+        &mut heap,
+        &mut seq,
+        cfg.scrub_interval_ns,
+        Event::ScrubTick { epoch: 0 },
+    );
+
+    // Service state.
+    let mut clock = 0u64;
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut workers: Vec<Option<Batch>> = (0..cfg.workers).map(|_| None).collect();
+    let mut ledger: CertificationLedger<Batch> = CertificationLedger::default();
+    let mut quarantined = false;
+    let mut epoch = 0u64;
+    let mut recovery_attempts = 0u32;
+    let mut downtime = DowntimeLog::default();
+    let mut resolved = 0usize;
+    let mut last_fault_time = 0u64;
+    let mut last_clean_cycle_start: Option<u64> = None;
+
+    // Counters.
+    let mut rejected = 0usize;
+    let mut completed = 0usize;
+    let mut reexecuted = 0usize;
+    let mut faults_injected = 0usize;
+    let mut scrub_corrected = 0usize;
+    let mut scrub_ticks = 0usize;
+    let mut quarantines = 0usize;
+    let mut layers_recovered = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+
+    macro_rules! resolve {
+        ($idx:expr, $status:expr) => {{
+            let idx: usize = $idx;
+            debug_assert!(reqs[idx].resolved.is_none());
+            let status = $status;
+            match &status {
+                RequestStatus::Completed(_) => {
+                    completed += 1;
+                    latencies.push(clock.saturating_sub(reqs[idx].arrival));
+                }
+                RequestStatus::Rejected(_) => rejected += 1,
+            }
+            reqs[idx].resolved = Some((clock, status));
+            resolved += 1;
+        }};
+    }
+
+    macro_rules! try_dispatch {
+        () => {
+            while !quarantined && !queue.is_empty() {
+                let Some(worker) = workers.iter().position(Option::is_none) else {
+                    break;
+                };
+                let n = queue.len().min(cfg.batch_max);
+                let batch_reqs: Vec<usize> = queue.drain(..n).collect();
+                let model = host.materialize();
+                let inputs: Vec<Tensor> =
+                    batch_reqs.iter().map(|&i| reqs[i].input.clone()).collect();
+                let outputs = model
+                    .forward_batch(&inputs)
+                    .expect("batch inputs validated at submission");
+                workers[worker] = Some(Batch {
+                    reqs: batch_reqs,
+                    outputs,
+                    epoch,
+                });
+                let done = clock + cfg.costs.batch_ns(n);
+                schedule(&mut heap, &mut seq, done, Event::WorkerDone { worker });
+            }
+        };
+    }
+
+    /// Requests going back to the head of the queue after invalidation,
+    /// ahead of everything that arrived later.
+    macro_rules! requeue {
+        ($ids:expr) => {{
+            let mut ids: Vec<usize> = $ids;
+            ids.sort_unstable();
+            reexecuted += ids.len();
+            for idx in ids.into_iter().rev() {
+                queue.push_front(idx);
+            }
+        }};
+    }
+
+    let mut events = 0u64;
+    let done = |resolved: usize,
+                quarantined: bool,
+                last_clean: Option<u64>,
+                last_fault: u64,
+                faults_injected: usize| {
+        resolved == cfg.requests
+            && !quarantined
+            && (faults_injected == 0 || last_clean.map(|c| c > last_fault).unwrap_or(false))
+    };
+
+    while let Some(Scheduled { time, event, .. }) = heap.pop() {
+        events += 1;
+        assert!(events < 50_000_000, "simulation event budget exhausted");
+        debug_assert!(time >= clock, "virtual time must be monotone");
+        clock = time;
+        match event {
+            Event::Arrival(idx) => {
+                if quarantined && cfg.policy == QuarantinePolicy::Reject {
+                    resolve!(idx, RequestStatus::Rejected(RejectReason::Quarantined));
+                } else if queue.len() >= cfg.queue_capacity {
+                    resolve!(idx, RequestStatus::Rejected(RejectReason::QueueFull));
+                } else {
+                    queue.push_back(idx);
+                    try_dispatch!();
+                }
+            }
+            Event::WorkerDone { worker } => {
+                let batch = workers[worker].take().expect("worker was busy");
+                if batch.epoch != epoch {
+                    // Dispatched before a quarantine: outputs suspect.
+                    match cfg.policy {
+                        QuarantinePolicy::Drain => requeue!(batch.reqs),
+                        QuarantinePolicy::Reject => {
+                            for idx in batch.reqs {
+                                resolve!(idx, RequestStatus::Rejected(RejectReason::Quarantined));
+                            }
+                        }
+                    }
+                } else {
+                    ledger.record(clock, batch);
+                }
+                try_dispatch!();
+            }
+            Event::Fault { layer, weight } => {
+                host.corrupt_weight(layer, weight);
+                faults_injected += 1;
+                last_fault_time = clock;
+            }
+            Event::ScrubTick { epoch: tick_epoch } => {
+                if quarantined || tick_epoch != epoch {
+                    continue; // stale tick from before a quarantine
+                }
+                scrub_ticks += 1;
+                let chunk = cursor.begin_tick(clock);
+                scrub_corrected += host.scrub_layers(&chunk).corrected;
+                let live = host.materialize_layers(&chunk);
+                let report = milr.detect_layers(&live, &chunk)?;
+                let flagged = !report.is_clean();
+                if let Some(cycle_start) = cursor.finish_tick(flagged, clock) {
+                    last_clean_cycle_start = Some(cycle_start);
+                    for batch in ledger.certify_before(cycle_start) {
+                        for (idx, out) in batch.reqs.into_iter().zip(batch.outputs) {
+                            resolve!(idx, RequestStatus::Completed(out));
+                        }
+                    }
+                }
+                if flagged {
+                    // Quarantine: void uncertified work, stop dispatch,
+                    // schedule recovery.
+                    quarantines += 1;
+                    quarantined = true;
+                    epoch += 1;
+                    recovery_attempts = 0;
+                    downtime.open_at(clock);
+                    let voided = ledger.invalidate();
+                    match cfg.policy {
+                        QuarantinePolicy::Drain => {
+                            requeue!(voided.into_iter().flat_map(|b| b.reqs).collect());
+                        }
+                        QuarantinePolicy::Reject => {
+                            for batch in voided {
+                                for idx in batch.reqs {
+                                    resolve!(
+                                        idx,
+                                        RequestStatus::Rejected(RejectReason::Quarantined)
+                                    );
+                                }
+                            }
+                            for idx in queue.drain(..).collect::<Vec<_>>() {
+                                resolve!(idx, RequestStatus::Rejected(RejectReason::Quarantined));
+                            }
+                        }
+                    }
+                    let recovery_cost =
+                        cfg.costs.full_detect_ns(checkable.len()) + cfg.costs.recover_ns;
+                    schedule(
+                        &mut heap,
+                        &mut seq,
+                        clock + recovery_cost,
+                        Event::RecoveryDone { epoch },
+                    );
+                } else {
+                    schedule(
+                        &mut heap,
+                        &mut seq,
+                        clock + cfg.scrub_interval_ns,
+                        Event::ScrubTick { epoch },
+                    );
+                }
+            }
+            Event::RecoveryDone { epoch: rec_epoch } => {
+                if rec_epoch != epoch {
+                    continue;
+                }
+                let mut live = host.materialize();
+                let report = milr.detect(&live)?;
+                if !report.is_clean() {
+                    milr.recover_layers(&mut live, &report.flagged)?;
+                    host.write_back(&live, &report.flagged);
+                    layers_recovered += report.flagged.len();
+                }
+                let verify = milr.detect(&host.materialize())?;
+                if verify.is_clean() {
+                    // Re-anchor protection to the healed state: exact
+                    // recoveries reproduce the identical artifact set,
+                    // while an approximate heal (partial-recoverability
+                    // geometry, §V-B) would otherwise leave stored CRC
+                    // grids permanently out of sync with storage and
+                    // poison every future localization.
+                    milr = Milr::protect(&host.materialize(), milr_config)?;
+                    // Resume serving.
+                    quarantined = false;
+                    downtime.close_at(clock);
+                    cursor.reset();
+                    schedule(
+                        &mut heap,
+                        &mut seq,
+                        clock + cfg.scrub_interval_ns,
+                        Event::ScrubTick { epoch },
+                    );
+                    try_dispatch!();
+                } else {
+                    recovery_attempts += 1;
+                    assert!(
+                        recovery_attempts < 8,
+                        "recovery failed to converge: {:?}",
+                        verify.flagged
+                    );
+                    schedule(
+                        &mut heap,
+                        &mut seq,
+                        clock + cfg.costs.recover_ns,
+                        Event::RecoveryDone { epoch },
+                    );
+                }
+            }
+        }
+        if done(
+            resolved,
+            quarantined,
+            last_clean_cycle_start,
+            last_fault_time,
+            faults_injected,
+        ) {
+            break;
+        }
+    }
+    assert_eq!(resolved, cfg.requests, "workload did not drain");
+
+    let total_ns = clock;
+    let outcomes: Vec<RequestOutcome> = reqs
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let (resolved_ns, status) = r.resolved.expect("all requests resolved");
+            RequestOutcome {
+                id: i as u64,
+                input: r.input,
+                status,
+                arrival_ns: r.arrival,
+                resolved_ns,
+            }
+        })
+        .collect();
+    let report = ServeReport {
+        seed: cfg.seed,
+        policy: cfg.policy.name().to_string(),
+        submitted: cfg.requests,
+        completed,
+        rejected,
+        reexecuted,
+        faults_injected,
+        scrub_corrected,
+        scrub_ticks,
+        quarantines,
+        layers_recovered,
+        total_ns,
+        downtime_ns: downtime.total_ns(total_ns),
+        availability: downtime.availability(total_ns),
+        latency: LatencyStats::from_ns(&latencies),
+        digest: outcome_digest(&outcomes),
+    };
+    Ok(SimResult { report, outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::serving_model;
+
+    #[test]
+    fn fault_free_run_completes_everything() {
+        let model = serving_model(3);
+        let cfg = SimConfig {
+            requests: 60,
+            faults: 0,
+            ..SimConfig::default()
+        };
+        let result = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        assert_eq!(result.report.completed, 60);
+        assert_eq!(result.report.rejected, 0);
+        assert_eq!(result.report.quarantines, 0);
+        assert_eq!(result.report.availability, 1.0);
+        // Every output equals the golden model's forward pass, bitwise.
+        for o in &result.outcomes {
+            let RequestStatus::Completed(out) = &o.status else {
+                panic!("unexpected rejection")
+            };
+            let golden_out = &model.forward_batch(std::slice::from_ref(&o.input)).unwrap()[0];
+            assert_eq!(
+                out.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                golden_out
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn reject_policy_sheds_load_during_quarantine() {
+        let model = serving_model(4);
+        let cfg = SimConfig {
+            requests: 150,
+            faults: 2,
+            policy: QuarantinePolicy::Reject,
+            ..SimConfig::default()
+        };
+        let result = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        assert!(result.report.quarantines >= 1);
+        assert!(result.report.rejected > 0, "reject policy must shed");
+        assert!(result.report.availability < 1.0);
+        // Whatever completed is still bit-exact golden.
+        for o in &result.outcomes {
+            if let RequestStatus::Completed(out) = &o.status {
+                let golden_out = &model.forward_batch(std::slice::from_ref(&o.input)).unwrap()[0];
+                assert_eq!(out.data(), golden_out.data());
+            }
+        }
+    }
+
+    #[test]
+    fn queue_overflow_rejects_at_admission() {
+        let model = serving_model(5);
+        let cfg = SimConfig {
+            requests: 80,
+            faults: 0,
+            workers: 1,
+            batch_max: 1,
+            queue_capacity: 2,
+            mean_arrival_ns: 10_000, // far faster than service
+            ..SimConfig::default()
+        };
+        let result = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        let queue_full = result
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.status, RequestStatus::Rejected(RejectReason::QueueFull)))
+            .count();
+        assert!(queue_full > 0, "tiny queue must overflow");
+        assert_eq!(
+            result.report.completed + result.report.rejected,
+            result.report.submitted
+        );
+    }
+}

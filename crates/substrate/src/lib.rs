@@ -15,6 +15,12 @@
 //!   bit is harmless, but any uncorrectable codeword decrypts to a
 //!   whole garbled 16-byte block of weights).
 //!
+//! Concurrent access — an inference plane reading weights while a
+//! scrubber daemon repairs them in place — goes through
+//! [`SharedSubstrate`], a sharded `Arc`/`RwLock` wrapper over any
+//! substrate whose per-shard reads are atomic with respect to writes
+//! and scrubs.
+//!
 //! Fault injectors flip bits in each substrate's **raw representation**
 //! ([`WeightSubstrate::flip_raw_bit`] over [`WeightSubstrate::raw_bits`]),
 //! so one generic injection loop expresses plaintext-space DRAM errors,
@@ -42,6 +48,7 @@ mod encrypted;
 mod kind;
 mod plain;
 mod secded;
+mod shared;
 mod xts_secded;
 
 pub use kind::SubstrateKind;
@@ -52,6 +59,7 @@ pub use milr_ecc::SecdedMemory;
 /// [`WeightSubstrate`] adaptation defined in this crate.
 pub use milr_xts::EncryptedMemory;
 pub use plain::PlainMemory;
+pub use shared::SharedSubstrate;
 pub use xts_secded::XtsSecdedMemory;
 
 /// Error from a substrate write.

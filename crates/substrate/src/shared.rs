@@ -1,0 +1,295 @@
+//! Shared, sharded substrate access — the concurrency seam between an
+//! online serving plane (many reader threads materializing weights for
+//! inference) and a maintenance plane (a scrubber daemon repairing and
+//! healing the same storage in place).
+//!
+//! [`SharedSubstrate`] wraps any [`WeightSubstrate`] behind per-shard
+//! `RwLock`s inside an `Arc`, so clones are cheap handles onto the same
+//! storage. Reads of one shard are atomic with respect to writes and
+//! scrubs of that shard — a reader can never observe a half-applied
+//! write-back or a mid-flight scrub (no *torn* plaintext), and lock
+//! acquisition orders every access into some serial schedule, so each
+//! read equals what that serial schedule would produce (no *stale*
+//! plaintext). Cross-shard consistency is deliberately **not**
+//! provided: shards exist precisely so the scrubber can sweep one
+//! while inference reads another; callers that need a consistent
+//! multi-shard snapshot sequence their own quiesce point (the serving
+//! layer's certification protocol does exactly that).
+
+use crate::{ScrubSummary, SubstrateError, WeightSubstrate};
+use std::sync::{Arc, RwLock};
+
+/// A substrate split into independently locked shards, shareable across
+/// threads by cloning the handle.
+#[derive(Clone)]
+pub struct SharedSubstrate {
+    shards: Arc<Vec<RwLock<Box<dyn WeightSubstrate>>>>,
+    /// Prefix sums of per-shard weight counts (`len = shards + 1`).
+    weight_offsets: Vec<usize>,
+    /// Prefix sums of per-shard raw-bit counts (`len = shards + 1`).
+    raw_offsets: Vec<usize>,
+}
+
+impl std::fmt::Debug for SharedSubstrate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSubstrate")
+            .field("shards", &self.shard_count())
+            .field("weights", &self.len())
+            .field("raw_bits", &self.raw_bits())
+            .finish()
+    }
+}
+
+impl SharedSubstrate {
+    /// Wraps pre-built substrates, one per shard, in shard order.
+    ///
+    /// Weight and raw-bit index spaces are the concatenation of the
+    /// shards' spaces.
+    pub fn from_parts(parts: Vec<Box<dyn WeightSubstrate>>) -> Self {
+        let mut weight_offsets = Vec::with_capacity(parts.len() + 1);
+        let mut raw_offsets = Vec::with_capacity(parts.len() + 1);
+        weight_offsets.push(0);
+        raw_offsets.push(0);
+        for part in &parts {
+            weight_offsets.push(weight_offsets.last().unwrap() + part.len());
+            raw_offsets.push(raw_offsets.last().unwrap() + part.raw_bits());
+        }
+        SharedSubstrate {
+            shards: Arc::new(parts.into_iter().map(RwLock::new).collect()),
+            weight_offsets,
+            raw_offsets,
+        }
+    }
+
+    /// Splits `weights` into `shards` contiguous, nearly equal chunks
+    /// and stores each in a fresh substrate built by `build` (e.g.
+    /// `|chunk| SubstrateKind::Secded.store(chunk)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0`.
+    pub fn store_with(
+        weights: &[f32],
+        shards: usize,
+        build: impl Fn(&[f32]) -> Box<dyn WeightSubstrate>,
+    ) -> Self {
+        assert!(shards > 0, "at least one shard required");
+        let shards = shards.min(weights.len()).max(1);
+        let chunk = weights.len().div_ceil(shards);
+        let parts: Vec<Box<dyn WeightSubstrate>> = if weights.is_empty() {
+            vec![build(weights)]
+        } else {
+            weights.chunks(chunk).map(build).collect()
+        };
+        Self::from_parts(parts)
+    }
+
+    /// Total stored weights across shards.
+    pub fn len(&self) -> usize {
+        *self.weight_offsets.last().unwrap()
+    }
+
+    /// True when no weights are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total raw (fault-surface) bits across shards.
+    pub fn raw_bits(&self) -> usize {
+        *self.raw_offsets.last().unwrap()
+    }
+
+    /// The global weight-index range `[start, end)` stored by `shard`.
+    pub fn shard_weight_range(&self, shard: usize) -> (usize, usize) {
+        (self.weight_offsets[shard], self.weight_offsets[shard + 1])
+    }
+
+    /// The global raw-bit range `[start, end)` owned by `shard`.
+    pub fn shard_raw_range(&self, shard: usize) -> (usize, usize) {
+        (self.raw_offsets[shard], self.raw_offsets[shard + 1])
+    }
+
+    /// The shard holding global weight index `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight >= len()`.
+    pub fn shard_of_weight(&self, weight: usize) -> usize {
+        assert!(weight < self.len(), "weight {weight} out of range");
+        self.weight_offsets.partition_point(|&o| o <= weight) - 1
+    }
+
+    /// Decodes one shard's plaintext weights (atomic per shard).
+    pub fn read_shard(&self, shard: usize) -> Vec<f32> {
+        self.shards[shard]
+            .read()
+            .expect("lock poisoned")
+            .read_weights()
+    }
+
+    /// Decodes all shards in shard order. Each shard read is atomic;
+    /// the concatenation is *per-shard* consistent, not a global
+    /// snapshot.
+    pub fn read_weights(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            out.extend(shard.read().expect("lock poisoned").read_weights());
+        }
+        out
+    }
+
+    /// Replaces one shard's weights under its write lock.
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::LengthMismatch`] when the length differs from
+    /// the shard's stored count.
+    pub fn write_shard(&self, shard: usize, weights: &[f32]) -> Result<(), SubstrateError> {
+        self.shards[shard]
+            .write()
+            .expect("lock poisoned")
+            .write_weights(weights)
+    }
+
+    /// Replaces every shard's weights from one contiguous buffer
+    /// (shard-by-shard; concurrent readers see old or new weights per
+    /// shard, never a torn shard).
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::LengthMismatch`] when `weights.len()` differs
+    /// from [`len`](SharedSubstrate::len); no shard is modified then.
+    pub fn write_weights(&self, weights: &[f32]) -> Result<(), SubstrateError> {
+        if weights.len() != self.len() {
+            return Err(SubstrateError::LengthMismatch {
+                expected: self.len(),
+                got: weights.len(),
+            });
+        }
+        for (i, _) in self.shards.iter().enumerate() {
+            let (lo, hi) = (self.weight_offsets[i], self.weight_offsets[i + 1]);
+            self.write_shard(i, &weights[lo..hi])?;
+        }
+        Ok(())
+    }
+
+    /// Scrubs one shard in place under its write lock.
+    pub fn scrub_shard(&self, shard: usize) -> ScrubSummary {
+        self.shards[shard].write().expect("lock poisoned").scrub()
+    }
+
+    /// Scrubs every shard (shard-by-shard, never blocking readers of
+    /// other shards) and sums the statistics.
+    pub fn scrub(&self) -> ScrubSummary {
+        let mut total = ScrubSummary::default();
+        for i in 0..self.shards.len() {
+            let s = self.scrub_shard(i);
+            total.corrected += s.corrected;
+            total.uncorrectable += s.uncorrectable;
+        }
+        total
+    }
+
+    /// Flips one bit of the global raw representation (fault
+    /// injection), serialized with reads/scrubs of the owning shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bit >= raw_bits()`.
+    pub fn flip_raw_bit(&self, bit: usize) {
+        assert!(bit < self.raw_bits(), "raw bit {bit} out of range");
+        let shard = self.raw_offsets.partition_point(|&o| o <= bit) - 1;
+        self.shards[shard]
+            .write()
+            .expect("lock poisoned")
+            .flip_raw_bit(bit - self.raw_offsets[shard]);
+    }
+
+    /// Total storage overhead beyond 4 bytes per weight, in bytes.
+    pub fn storage_overhead(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("lock poisoned").storage_overhead())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SubstrateKind;
+
+    fn weights(n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32 * 0.5 - 8.0).collect()
+    }
+
+    #[test]
+    fn sharded_roundtrip_matches_flat() {
+        let w = weights(37);
+        for kind in SubstrateKind::ALL {
+            let shared = SharedSubstrate::store_with(&w, 4, |c| kind.store(c));
+            assert_eq!(shared.shard_count(), 4, "{kind}");
+            assert_eq!(shared.len(), 37, "{kind}");
+            assert_eq!(shared.read_weights(), w, "{kind}");
+        }
+    }
+
+    #[test]
+    fn shard_indexing_is_contiguous() {
+        let w = weights(10);
+        let shared = SharedSubstrate::store_with(&w, 3, |c| SubstrateKind::Plain.store(c));
+        // Chunks of ceil(10/3) = 4: [0..4), [4..8), [8..10).
+        assert_eq!(shared.shard_of_weight(0), 0);
+        assert_eq!(shared.shard_of_weight(3), 0);
+        assert_eq!(shared.shard_of_weight(4), 1);
+        assert_eq!(shared.shard_of_weight(9), 2);
+        assert_eq!(shared.read_shard(2), w[8..].to_vec());
+    }
+
+    #[test]
+    fn writes_and_scrubs_are_per_shard() {
+        let w = weights(16);
+        let shared = SharedSubstrate::store_with(&w, 4, |c| SubstrateKind::Secded.store(c));
+        // Corrupt one raw bit of shard 0's space; scrub repairs it.
+        shared.flip_raw_bit(5);
+        let summary = shared.scrub_shard(0);
+        assert_eq!(summary.corrected, 1);
+        assert_eq!(shared.read_weights(), w);
+        // Whole-buffer write-back round-trips.
+        let w2 = weights(16).iter().map(|v| v + 1.0).collect::<Vec<_>>();
+        shared.write_weights(&w2).unwrap();
+        assert_eq!(shared.read_weights(), w2);
+        assert!(shared.write_weights(&w2[..3]).is_err());
+        assert!(shared.write_shard(1, &w2[..1]).is_err());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let w = weights(8);
+        let a = SharedSubstrate::store_with(&w, 2, |c| SubstrateKind::Plain.store(c));
+        let b = a.clone();
+        let patched: Vec<f32> = w.iter().map(|v| v * 2.0).collect();
+        a.write_shard(0, &patched[..4]).unwrap();
+        assert_eq!(b.read_shard(0), patched[..4].to_vec());
+        assert_eq!(b.read_shard(1), w[4..].to_vec());
+    }
+
+    #[test]
+    fn overhead_sums_shards() {
+        let w = weights(64);
+        let shared = SharedSubstrate::store_with(&w, 8, |c| SubstrateKind::Secded.store(c));
+        assert_eq!(shared.storage_overhead(), 64 * 7 / 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bounds_checked() {
+        let shared = SharedSubstrate::store_with(&weights(2), 1, |c| SubstrateKind::Plain.store(c));
+        shared.flip_raw_bit(64);
+    }
+}
