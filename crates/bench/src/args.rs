@@ -40,6 +40,9 @@ pub struct Args {
     /// Also measure (not just model) availability by driving the
     /// `milr-serve` simulation — consumed by `fig12_availability`.
     pub measured: bool,
+    /// Write the machine-readable summary (storage report, measured
+    /// numbers) to this file as JSON.
+    pub json: Option<String>,
 }
 
 impl Default for Args {
@@ -51,6 +54,7 @@ impl Default for Args {
             seed: 0xBE7C,
             arms: ArmSet::Paper,
             measured: false,
+            json: None,
         }
     }
 }
@@ -60,7 +64,7 @@ impl Args {
     ///
     /// Supported flags: `--net mnist|cifar-small|cifar-large`,
     /// `--paper-scale`, `--trials N`, `--seed N`,
-    /// `--arms paper|encrypted|all`, `--measured`.
+    /// `--arms paper|encrypted|all`, `--measured`, `--json FILE`.
     ///
     /// # Errors
     ///
@@ -81,6 +85,7 @@ impl Args {
                     };
                 }
                 "--paper-scale" => out.scale = Scale::Paper,
+                "--json" => out.json = Some(iter.next().ok_or("--json needs a value")?),
                 "--measured" => out.measured = true,
                 "--trials" => {
                     let v = iter.next().ok_or("--trials needs a value")?;
@@ -112,7 +117,7 @@ impl Args {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--net mnist|cifar-small|cifar-large] [--paper-scale] [--trials N] [--seed N] [--arms paper|encrypted|all] [--measured]"
+                    "usage: [--net mnist|cifar-small|cifar-large] [--paper-scale] [--trials N] [--seed N] [--arms paper|encrypted|all] [--measured] [--json FILE]"
                 );
                 std::process::exit(2);
             }
@@ -169,6 +174,16 @@ mod tests {
     fn measured_flag_parses() {
         assert!(!parse(&[]).unwrap().measured);
         assert!(parse(&["--measured"]).unwrap().measured);
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().json, None);
+        assert_eq!(
+            parse(&["--json", "out.json"]).unwrap().json.as_deref(),
+            Some("out.json")
+        );
+        assert!(parse(&["--json"]).is_err());
     }
 
     #[test]

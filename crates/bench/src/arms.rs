@@ -109,6 +109,9 @@ impl std::fmt::Display for Arm {
             (SubstrateKind::Xts, Recovery::Milr) => "XTS + MILR",
             (SubstrateKind::XtsSecded, Recovery::None) => "XTS + ECC",
             (SubstrateKind::XtsSecded, Recovery::Milr) => "XTS + ECC + MILR",
+            // The experiment matrix never uses file-backed arms: the
+            // store benchmarks (`store_cold_start`) cover those.
+            _ => "file-backed",
         };
         f.write_str(label)
     }

@@ -91,7 +91,7 @@ fn main() {
                 faults: 2,
                 ..SimConfig::default()
             };
-            let (result, cmp) = run_measured(&prep.model, MilrConfig::default(), &sim)
+            let (result, cmp, _storage) = run_measured(&prep.model, MilrConfig::default(), &sim)
                 .expect("serving simulation cannot fail structurally");
             println!("modeled vs measured (serving simulation, reduced twin):");
             println!(

@@ -99,7 +99,7 @@ fn main() {
         }
     };
     let net = milr_models::reduced_mnist(cli.model_seed);
-    let (result, cmp) = run_measured(&net.model, MilrConfig::default(), &cli.sim)
+    let (result, cmp, storage) = run_measured(&net.model, MilrConfig::default(), &cli.sim)
         .expect("serving simulation cannot fail structurally");
     let r = &result.report;
 
@@ -140,9 +140,10 @@ fn main() {
     println!("digest:   {:#x} (seed-reproducible)", r.digest);
 
     let json = format!(
-        "{{\"report\":{},\"comparison\":{}}}",
+        "{{\"report\":{},\"comparison\":{},\"storage\":{}}}",
         r.to_json(),
-        cmp.to_json()
+        cmp.to_json(),
+        storage.to_json()
     );
     println!("{json}");
     if let Some(path) = cli.json {

@@ -1,0 +1,143 @@
+//! `store_cold_start`: persistence benchmarks for the `.milr` weight
+//! store — per-substrate cold-start latency and scrub-on-load
+//! throughput, with and without disk faults, as a JSON summary
+//! (`BENCH_store.json` in CI).
+//!
+//! ```text
+//! cargo run --release -p milr-bench --bin store_cold_start
+//! cargo run --release -p milr-bench --bin store_cold_start -- \
+//!     --net mnist --seed 42 --json BENCH_store.json
+//! ```
+//!
+//! Per substrate kind the run measures:
+//!
+//! * `save_ms` — protect + container write (shadow + rename);
+//! * `open_ms` — crash recovery + checksummed section parse;
+//! * `cold_clean_ms` — scrub-on-load over a clean container
+//!   (substrate scrub + full MILR detection);
+//! * `cold_faulty_ms` — the same with a whole-weight disk fault to
+//!   scrub, heal, and durably re-anchor;
+//! * `scrub_mw_s` — clean scrub-on-load throughput in million
+//!   weights/second.
+
+use milr_bench::{prepare, Args};
+use milr_serve::cold_start;
+use milr_store::{ContainerFootprint, Store, StoreOptions};
+use milr_substrate::SubstrateKind;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let prep = prepare(args.net, args.scale, args.seed);
+    let params = prep.model.param_count();
+    println!(
+        "# store_cold_start — persistent weight store [{}]",
+        prep.label
+    );
+    println!("params: {params}");
+    println!(
+        "{:>12} {:>12} {:>9} {:>9} {:>15} {:>15} {:>10}",
+        "substrate",
+        "container_kb",
+        "save_ms",
+        "open_ms",
+        "cold_clean_ms",
+        "cold_faulty_ms",
+        "scrub_mw/s"
+    );
+
+    let mut arms = Vec::new();
+    for kind in SubstrateKind::ALL {
+        let path = std::env::temp_dir().join(format!(
+            "milr-bench-store-{}-{kind:?}.milr",
+            std::process::id()
+        ));
+        let opts = StoreOptions {
+            kind,
+            page_weights: 1024,
+        };
+        let t = Instant::now();
+        let store =
+            Store::create_protected(&path, &prep.model, &prep.milr, opts).expect("create store");
+        let save_ms = t.elapsed().as_secs_f64() * 1e3;
+        let footprint = ContainerFootprint::measure(&store).expect("measure");
+        drop(store);
+
+        let t = Instant::now();
+        let store = Store::open(&path).expect("open store");
+        let open_ms = t.elapsed().as_secs_f64() * 1e3;
+        drop(store);
+
+        // Clean cold start: scrub + full detection, no healing.
+        let mut store = Store::open(&path).expect("open store");
+        let t = Instant::now();
+        let (_, _, report) = cold_start(&mut store, 64).expect("clean cold start");
+        let cold_clean_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(report.was_clean(), "{kind}: fresh store must be clean");
+        drop(store);
+
+        // Faulty cold start: a whole stored weight corrupted on disk.
+        {
+            let store = Store::open(&path).expect("open store");
+            let stride = store.layer_raw_bits(0)
+                / prep.model.layers()[store.layers()[0].layer]
+                    .params()
+                    .expect("first table entry is a param layer")
+                    .numel();
+            for bit in 5 * stride..6 * stride {
+                store.flip_raw_bit(0, bit).expect("inject disk fault");
+            }
+        }
+        let mut store = Store::open(&path).expect("open store");
+        let t = Instant::now();
+        let (_, _, report) = cold_start(&mut store, 64).expect("faulty cold start");
+        let cold_faulty_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            !report.was_clean(),
+            "{kind}: the injected disk fault must be visible"
+        );
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+
+        let scrub_mw_s = params as f64 / (cold_clean_ms / 1e3) / 1e6;
+        println!(
+            "{:>12} {:>12.1} {:>9.2} {:>9.2} {:>15.2} {:>15.2} {:>10.2}",
+            kind.name(),
+            (footprint.weight_bytes + footprint.resistant_bytes) as f64 / 1e3,
+            save_ms,
+            open_ms,
+            cold_clean_ms,
+            cold_faulty_ms,
+            scrub_mw_s
+        );
+        arms.push(format!(
+            concat!(
+                "{{\"substrate\":\"{}\",\"weight_bytes\":{},\"resistant_bytes\":{},",
+                "\"save_ms\":{:.3},\"open_ms\":{:.3},\"cold_clean_ms\":{:.3},",
+                "\"cold_faulty_ms\":{:.3},\"scrub_mw_s\":{:.3}}}"
+            ),
+            kind.name(),
+            footprint.weight_bytes,
+            footprint.resistant_bytes,
+            save_ms,
+            open_ms,
+            cold_clean_ms,
+            cold_faulty_ms,
+            scrub_mw_s
+        ));
+    }
+
+    let storage = prep.milr.storage_report(&prep.model);
+    let json = format!(
+        "{{\"net\":\"{}\",\"params\":{},\"storage\":{},\"arms\":[{}]}}",
+        prep.label,
+        params,
+        storage.to_json(),
+        arms.join(",")
+    );
+    println!("{json}");
+    if let Some(path) = &args.json {
+        std::fs::write(path, format!("{json}\n")).expect("writing the JSON summary");
+        eprintln!("wrote {path}");
+    }
+}

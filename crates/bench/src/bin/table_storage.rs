@@ -34,4 +34,15 @@ fn main() {
         "  MILR / backup ratio: {:>12.3}",
         report.fraction_of_backup()
     );
+    // Machine-readable twin of the table row.
+    let json = format!(
+        "{{\"net\":\"{}\",\"storage\":{}}}",
+        prep.label,
+        report.to_json()
+    );
+    println!("{json}");
+    if let Some(path) = &args.json {
+        std::fs::write(path, format!("{json}\n")).expect("writing the JSON summary");
+        eprintln!("wrote {path}");
+    }
 }

@@ -13,7 +13,7 @@
 //!   the gap to Eq. 6 is the overlap dividend of the scrubber-daemon
 //!   design.
 
-use milr_core::{Milr, MilrConfig};
+use milr_core::{Milr, MilrConfig, StorageReport};
 use milr_nn::Sequential;
 use milr_serve::sim::{simulate, SimConfig, SimResult};
 
@@ -64,7 +64,9 @@ impl ServeComparison {
 
 /// Runs the deterministic serving simulation and derives the
 /// modeled-vs-measured availability comparison from the same virtual
-/// constants the run used.
+/// constants the run used, plus the storage-overhead report of the
+/// protection instance the comparison was sized from (so callers
+/// don't re-protect the model just for Table-style numbers).
 ///
 /// # Errors
 ///
@@ -73,8 +75,10 @@ pub fn run_measured(
     model: &Sequential,
     milr_config: MilrConfig,
     sim_config: &SimConfig,
-) -> milr_core::Result<(SimResult, ServeComparison)> {
-    let checkable = Milr::protect(model, milr_config)?.checkable_layers().len();
+) -> milr_core::Result<(SimResult, ServeComparison, StorageReport)> {
+    let milr = Milr::protect(model, milr_config)?;
+    let storage = milr.storage_report(model);
+    let checkable = milr.checkable_layers().len();
     let result = simulate(model, milr_config, sim_config)?;
     let td_s = sim_config.costs.full_detect_ns(checkable) as f64 / 1e9;
     let tr_s = sim_config.costs.recover_ns as f64 / 1e9;
@@ -101,7 +105,7 @@ pub fn run_measured(
         },
         measured_availability: result.report.availability,
     };
-    Ok((result, comparison))
+    Ok((result, comparison, storage))
 }
 
 #[cfg(test)]
@@ -131,8 +135,9 @@ mod tests {
             faults: 1,
             ..SimConfig::default()
         };
-        let (result, cmp) = run_measured(&m, MilrConfig::default(), &cfg).unwrap();
+        let (result, cmp, storage) = run_measured(&m, MilrConfig::default(), &cfg).unwrap();
         assert_eq!(result.report.submitted, 80);
+        assert!(storage.milr_bytes() > 0);
         assert!(cmp.modeled_eq6_availability <= cmp.modeled_per_fault_availability);
         assert!(cmp.measured_availability > 0.0 && cmp.measured_availability <= 1.0);
         let json = cmp.to_json();
@@ -148,7 +153,7 @@ mod tests {
             faults: 0,
             ..SimConfig::default()
         };
-        let (result, cmp) = run_measured(&m, MilrConfig::default(), &cfg).unwrap();
+        let (result, cmp, _) = run_measured(&m, MilrConfig::default(), &cfg).unwrap();
         assert_eq!(cmp.modeled_per_fault_availability, 1.0);
         assert_eq!(result.report.availability, 1.0);
         assert!(cmp.tbe_s.is_infinite());

@@ -80,6 +80,7 @@ mod error;
 mod invert;
 mod milr;
 mod plan;
+mod serialize;
 mod solve;
 mod storage;
 

@@ -100,6 +100,32 @@ impl Milr {
         })
     }
 
+    /// Reassembles an instance from deserialized parts (the
+    /// persistence path; see `serialize.rs`).
+    pub(crate) fn from_parts(
+        config: MilrConfig,
+        plan: ProtectionPlan,
+        artifacts: Artifacts,
+        fingerprint: Vec<(String, usize)>,
+    ) -> Self {
+        Milr {
+            config,
+            plan,
+            artifacts,
+            fingerprint,
+        }
+    }
+
+    /// The stored artifacts (serialization access).
+    pub(crate) fn artifacts(&self) -> &Artifacts {
+        &self.artifacts
+    }
+
+    /// The structural fingerprint (serialization access).
+    pub(crate) fn fingerprint_data(&self) -> &[(String, usize)] {
+        &self.fingerprint
+    }
+
     /// The protection plan.
     pub fn plan(&self) -> &ProtectionPlan {
         &self.plan

@@ -234,31 +234,75 @@ pub(crate) fn solve_conv_partial(
     // walking the float neighbourhood outward until the stored 2-D CRC
     // matches recovers the exact bit pattern. The search radius covers
     // the rounding the checkpoint propagation can introduce (inverse
-    // passes re-round to f32 at every layer crossing); a wrong value
-    // would have to collide with both the row and the column CRC of its
-    // cell to be accepted.
+    // passes re-round to f32 at every layer crossing).
+    //
+    // Several flagged cells can share one CRC chunk — a single garbled
+    // cipher block flags a whole row chunk — and then no cell can
+    // satisfy *both* its codes while its chunk-mates are still
+    // approximate. The snap therefore runs to a fixpoint, accepting a
+    // candidate on any axis whose chunk holds no other unresolved cell
+    // (one CRC-32 match is already a 2⁻³² certificate); each snapped
+    // cell unblocks its chunk-mates for the next round, and the final
+    // whole-grid verification below still checks every code.
     const SNAP_ULPS: u32 = 4096;
+    let mut unresolved: Vec<(usize, usize, usize)> = Vec::new(); // (g, zz, k)
     for (k, coords) in suspects.iter().enumerate() {
         if approx_filters[k] {
             continue;
         }
         for &pos in coords {
-            let (g, zz) = (pos / z, pos % z);
-            let mut slice = filter_zy_slice(&filters, g / f, g % f);
-            if grids[g].cell_consistent(&slice, zz, k) {
+            unresolved.push((pos / z, pos % z, k));
+        }
+    }
+    let group = grids.first().map_or(4, |g| g.config().group());
+    loop {
+        let mut next = Vec::with_capacity(unresolved.len());
+        let mut progressed = false;
+        for idx in 0..unresolved.len() {
+            let (g, zz, k) = unresolved[idx];
+            let row_free = !unresolved.iter().enumerate().any(|(j, &(g2, z2, k2))| {
+                j != idx && g2 == g && z2 == zz && k2 / group == k / group
+            });
+            let col_free = !unresolved.iter().enumerate().any(|(j, &(g2, z2, k2))| {
+                j != idx && g2 == g && k2 == k && z2 / group == zz / group
+            });
+            let consistent = |slice: &[f32]| match (row_free, col_free) {
+                (true, true) => grids[g].cell_consistent(slice, zz, k),
+                (true, false) => grids[g].row_consistent(slice, zz, k),
+                (false, true) => grids[g].col_consistent(slice, zz, k),
+                (false, false) => false,
+            };
+            if !row_free && !col_free {
+                next.push((g, zz, k));
                 continue;
             }
+            let mut slice = filter_zy_slice(&filters, g / f, g % f);
+            if consistent(&slice) {
+                progressed = true;
+                continue;
+            }
+            let pos = g * z + zz;
             let base = filters.data()[pos * ny + k].to_bits();
+            let mut snapped = false;
             'search: for delta in 0..=SNAP_ULPS {
                 for bits in [base.wrapping_add(delta), base.wrapping_sub(delta)] {
                     let cand = f32::from_bits(bits);
                     slice[zz * ny + k] = cand;
-                    if grids[g].cell_consistent(&slice, zz, k) {
+                    if consistent(&slice) {
                         filters.data_mut()[pos * ny + k] = cand;
+                        snapped = true;
                         break 'search;
                     }
                 }
             }
+            progressed |= snapped;
+            if !snapped {
+                next.push((g, zz, k));
+            }
+        }
+        unresolved = next;
+        if unresolved.is_empty() || !progressed {
+            break;
         }
     }
     // Verify the healed bank against the golden CRC fingerprint: an

@@ -7,9 +7,10 @@
 use crate::artifacts::Artifacts;
 use crate::plan::ProtectionPlan;
 use milr_nn::Sequential;
+use serde::{Deserialize, Serialize};
 
 /// Byte-level breakdown of one protection instance's storage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StorageReport {
     /// A redundant copy of all weights (the "Backup Weights" column):
     /// `params × 4`.
@@ -94,6 +95,32 @@ impl StorageReport {
         self.milr_bytes() as f64 / self.backup_bytes.max(1) as f64
     }
 
+    /// Renders the report as a flat JSON object — the machine-readable
+    /// twin of [`table_row`](StorageReport::table_row), emitted into
+    /// the fig-binary JSON artifacts next to the availability numbers
+    /// (hand-rolled: the workspace's serde stub has no serializer).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"backup_bytes\":{},\"ecc_bytes\":{},\"full_checkpoint_bytes\":{},",
+                "\"partial_checkpoint_bytes\":{},\"dummy_output_bytes\":{},",
+                "\"crc_bytes\":{},\"bias_sum_bytes\":{},\"seed_bytes\":{},",
+                "\"milr_bytes\":{},\"ecc_and_milr_bytes\":{},\"fraction_of_backup\":{:.6}}}"
+            ),
+            self.backup_bytes,
+            self.ecc_bytes,
+            self.full_checkpoint_bytes,
+            self.partial_checkpoint_bytes,
+            self.dummy_output_bytes,
+            self.crc_bytes,
+            self.bias_sum_bytes,
+            self.seed_bytes,
+            self.milr_bytes(),
+            self.ecc_and_milr_bytes(),
+            self.fraction_of_backup(),
+        )
+    }
+
     /// Formats the paper's storage-table row (values in MB).
     pub fn table_row(&self) -> String {
         let mb = |b: usize| b as f64 / 1_000_000.0;
@@ -156,5 +183,16 @@ mod tests {
         let r = report_for(8, 2);
         let row = r.table_row();
         assert_eq!(row.split_whitespace().count(), 4);
+    }
+
+    #[test]
+    fn json_carries_totals() {
+        let r = report_for(8, 2);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(&format!("\"milr_bytes\":{}", r.milr_bytes())));
+        assert!(json.contains(&format!("\"backup_bytes\":{}", r.backup_bytes)));
+        assert!(json.contains("\"fraction_of_backup\":"));
+        assert_eq!(json.matches('{').count(), 1);
     }
 }

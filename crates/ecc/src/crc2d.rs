@@ -122,6 +122,48 @@ impl Crc2dCodes {
         &self.config
     }
 
+    /// Stored horizontal codes, row-major (`rows × ceil(cols/group)`).
+    pub fn row_codes(&self) -> &[u32] {
+        &self.row_codes
+    }
+
+    /// Stored vertical codes, column-major (`cols × ceil(rows/group)`).
+    pub fn col_codes(&self) -> &[u32] {
+        &self.col_codes
+    }
+
+    /// Reassembles codes from their stored parts (the persistence path).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a description when the code counts do not
+    /// match the configuration's geometry.
+    pub fn from_parts(
+        config: Crc2d,
+        row_codes: Vec<u32>,
+        col_codes: Vec<u32>,
+    ) -> Result<Self, String> {
+        if row_codes.len() != config.rows * config.row_chunks() {
+            return Err(format!(
+                "expected {} row codes, got {}",
+                config.rows * config.row_chunks(),
+                row_codes.len()
+            ));
+        }
+        if col_codes.len() != config.cols * config.col_chunks() {
+            return Err(format!(
+                "expected {} col codes, got {}",
+                config.cols * config.col_chunks(),
+                col_codes.len()
+            ));
+        }
+        Ok(Crc2dCodes {
+            config,
+            row_codes,
+            col_codes,
+        })
+    }
+
     /// Bytes of error-resistant storage these codes occupy (4 bytes per
     /// CRC-32), for the storage-overhead accounting of Tables V/VII/IX.
     pub fn storage_bytes(&self) -> usize {
@@ -137,15 +179,17 @@ impl Crc2dCodes {
         self.config.encode(grid) == *self
     }
 
-    /// True when the row chunk and column chunk containing `(r, c)` both
-    /// match their stored codes — used by MILR to snap re-solved weights
-    /// to the exact golden bits (a recovered value one ulp off flips
-    /// both codes).
+    /// True when the **row** chunk containing `(r, c)` matches its
+    /// stored code. One matching axis is already a strong (CRC-32)
+    /// certificate for a candidate weight; MILR's snap uses a single
+    /// axis when the other axis's chunk still contains unresolved
+    /// cells (e.g. a garbled cipher block flags several cells of one
+    /// row chunk at once).
     ///
     /// # Panics
     ///
     /// Panics if the grid or the coordinates are out of range.
-    pub fn cell_consistent(&self, grid: &[f32], r: usize, c: usize) -> bool {
+    pub fn row_consistent(&self, grid: &[f32], r: usize, c: usize) -> bool {
         let cfg = &self.config;
         assert_eq!(grid.len(), cfg.rows * cfg.cols, "grid size mismatch");
         assert!(r < cfg.rows && c < cfg.cols, "cell out of range");
@@ -156,9 +200,19 @@ impl Crc2dCodes {
         for cc in start..end {
             bytes.extend_from_slice(&grid[r * cfg.cols + cc].to_le_bytes());
         }
-        if crc32(&bytes) != self.row_codes[r * cfg.row_chunks() + row_chunk] {
-            return false;
-        }
+        crc32(&bytes) == self.row_codes[r * cfg.row_chunks() + row_chunk]
+    }
+
+    /// True when the **column** chunk containing `(r, c)` matches its
+    /// stored code (see [`row_consistent`](Crc2dCodes::row_consistent)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid or the coordinates are out of range.
+    pub fn col_consistent(&self, grid: &[f32], r: usize, c: usize) -> bool {
+        let cfg = &self.config;
+        assert_eq!(grid.len(), cfg.rows * cfg.cols, "grid size mismatch");
+        assert!(r < cfg.rows && c < cfg.cols, "cell out of range");
         let col_chunk = r / cfg.group;
         let start = col_chunk * cfg.group;
         let end = (start + cfg.group).min(cfg.rows);
@@ -167,6 +221,18 @@ impl Crc2dCodes {
             bytes.extend_from_slice(&grid[rr * cfg.cols + c].to_le_bytes());
         }
         crc32(&bytes) == self.col_codes[c * cfg.col_chunks() + col_chunk]
+    }
+
+    /// True when the row chunk and column chunk containing `(r, c)` both
+    /// match their stored codes — used by MILR to snap re-solved weights
+    /// to the exact golden bits (a recovered value one ulp off flips
+    /// both codes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid or the coordinates are out of range.
+    pub fn cell_consistent(&self, grid: &[f32], r: usize, c: usize) -> bool {
+        self.row_consistent(grid, r, c) && self.col_consistent(grid, r, c)
     }
 
     /// Returns the `(row, col)` cells suspected of corruption, by

@@ -47,6 +47,14 @@ impl SecdedMemory {
         self.words.is_empty()
     }
 
+    /// Reconstructs a memory from raw code words (the persistence path:
+    /// the words are the substrate's raw image, so a store can round-trip
+    /// them through disk *without* decoding — preserving any in-flight
+    /// error state bit-for-bit).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        SecdedMemory { words }
+    }
+
     /// Raw code words (39 valid bits each).
     pub fn words(&self) -> &[u64] {
         &self.words

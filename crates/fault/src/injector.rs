@@ -457,4 +457,49 @@ mod tests {
     fn rber_validates_probability() {
         inject_rber(&mut [0.0f32][..], 1.5, &mut FaultRng::seed(0));
     }
+
+    #[test]
+    fn rber_over_file_backed_substrates_matches_in_memory() {
+        // The injectors are substrate-generic, so the same seed draws
+        // the same flip sequence whether the raw image lives in RAM or
+        // in paged file storage — file-backed raw space is just
+        // another fault surface.
+        let w = weights(300);
+        for (mem_kind, file_kind) in SubstrateKind::ALL
+            .into_iter()
+            .zip(SubstrateKind::FILE_BACKED)
+        {
+            let mut mem = mem_kind.store(&w);
+            let mut file = file_kind.store(&w);
+            assert_eq!(mem.raw_bits(), file.raw_bits(), "{file_kind}");
+            let a = inject_rber(&mut *mem, 3e-3, &mut FaultRng::seed(17));
+            let b = inject_rber(&mut *file, 3e-3, &mut FaultRng::seed(17));
+            assert_eq!(a, b, "{file_kind}");
+            let ma: Vec<u32> = mem.read_weights().iter().map(|x| x.to_bits()).collect();
+            let fa: Vec<u32> = file.read_weights().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(ma, fa, "{file_kind}: plaintext view diverged");
+        }
+    }
+
+    #[test]
+    fn whole_weight_and_layer_corruption_reach_file_pages() {
+        let w = weights(120);
+        for kind in SubstrateKind::FILE_BACKED {
+            let mut mem = kind.store(&w);
+            let report = inject_whole_weight(&mut *mem, 0.1, &mut FaultRng::seed(23));
+            assert!(report.affected_words > 0, "{kind}");
+            let seen = mem.read_weights();
+            let changed = seen
+                .iter()
+                .zip(w.iter())
+                .filter(|(a, b)| a.to_bits() != b.to_bits())
+                .count();
+            assert_eq!(changed, report.affected_words, "{kind}");
+            let mut mem = kind.store(&w);
+            corrupt_layer(&mut *mem, &mut FaultRng::seed(24));
+            for (a, b) in mem.read_weights().iter().zip(w.iter()) {
+                assert_ne!(a, b, "{kind}");
+            }
+        }
+    }
 }

@@ -1,0 +1,191 @@
+//! Cold start from a persistent store: open the container, **scrub on
+//! load**, heal whatever the disk did to the raw weight pages, and
+//! durably re-anchor protection — all *before* the first request is
+//! admitted.
+//!
+//! The sequence mirrors the online scrubber's quarantine protocol, run
+//! once at boot:
+//!
+//! 1. substrate scrub over every file-backed shard (ECC corrections
+//!    are flushed through the store's journal);
+//! 2. a full `Milr::detect` pass on the materialized model;
+//! 3. if flagged: MILR recovery, write-back, journaled flush — looped
+//!    until detection is clean;
+//! 4. if anything was healed: re-protect against the healed state and
+//!    commit the new artifacts + weights atomically
+//!    ([`Store::commit_reanchor`]), so the next cold start begins from
+//!    a certified container.
+
+use crate::host::ModelHost;
+use milr_core::Milr;
+use milr_store::{Store, StoreError};
+use milr_substrate::ScrubSummary;
+
+/// What scrub-on-load found and did.
+#[derive(Debug, Clone, Default)]
+pub struct ColdStartReport {
+    /// Substrate-level scrub results over all shards.
+    pub scrub: ScrubSummary,
+    /// Layers MILR flagged on the initial detection pass.
+    pub flagged: Vec<usize>,
+    /// Recovery rounds run until detection came back clean.
+    pub heal_rounds: usize,
+    /// Whether protection was re-anchored and committed durably.
+    pub reanchored: bool,
+}
+
+impl ColdStartReport {
+    /// True when the stored weights were already clean.
+    pub fn was_clean(&self) -> bool {
+        self.scrub.is_clean() && self.flagged.is_empty()
+    }
+}
+
+/// Maximum heal rounds before giving up (mirrors the online
+/// scrubber's bound).
+const MAX_HEAL_ROUNDS: usize = 8;
+
+/// Opens the store's substrates, scrubs and heals on load, and returns
+/// a ready-to-serve host plus the (possibly re-anchored) protection
+/// instance. Traffic must not be admitted before this returns.
+///
+/// # Errors
+///
+/// Propagates store I/O, detection, and recovery failures, and reports
+/// [`StoreError::Corrupt`] when healing cannot reach a clean state
+/// within the round budget (e.g. faults exceeding MILR's per-segment
+/// recovery capacity).
+pub fn cold_start(
+    store: &mut Store,
+    cache_pages: usize,
+) -> Result<(ModelHost, Milr, ColdStartReport), StoreError> {
+    let host = ModelHost::from_parts(store.template().clone(), store.open_substrates(cache_pages));
+    let mut milr = store.milr().clone();
+    let mut report = ColdStartReport {
+        scrub: host.store().scrub(),
+        ..ColdStartReport::default()
+    };
+    if report.scrub.corrected > 0 {
+        // ECC corrections are heals: persist them through the journal.
+        host.store().flush()?;
+    }
+    let mut healed = report.scrub.corrected > 0;
+    let mut first_pass = true;
+    loop {
+        let mut live = host.materialize();
+        let check = milr.detect(&live)?;
+        if first_pass {
+            report.flagged = check.flagged.clone();
+            first_pass = false;
+        }
+        if check.is_clean() {
+            break;
+        }
+        healed = true;
+        if report.heal_rounds >= MAX_HEAL_ROUNDS {
+            return Err(StoreError::Corrupt(format!(
+                "scrub-on-load could not heal layers {:?} within {MAX_HEAL_ROUNDS} rounds",
+                check.flagged
+            )));
+        }
+        report.heal_rounds += 1;
+        milr.recover_layers(&mut live, &check.flagged)?;
+        host.write_back(&live, &check.flagged);
+        host.store().flush()?;
+    }
+    if healed {
+        // Re-anchor protection to the healed state and make the pair
+        // (weights, artifacts) durable in one atomic commit.
+        let live = host.materialize();
+        milr = Milr::protect(&live, *milr.config())?;
+        store.commit_reanchor(&milr, &live, host.store())?;
+        report.reanchored = true;
+    }
+    Ok((host, milr, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::serving_model;
+    use milr_core::MilrConfig;
+    use milr_store::StoreOptions;
+    use milr_substrate::SubstrateKind;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("milr-coldstart-{}-{name}.milr", std::process::id()))
+    }
+
+    #[test]
+    fn clean_store_cold_starts_without_reanchor() {
+        let golden = serving_model(31);
+        let path = temp("clean");
+        Store::create(
+            &path,
+            &golden,
+            MilrConfig::default(),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let mut store = Store::open(&path).unwrap();
+        let (host, milr, report) = cold_start(&mut store, 16).unwrap();
+        assert!(report.was_clean());
+        assert!(!report.reanchored);
+        assert_eq!(report.heal_rounds, 0);
+        let live = host.materialize();
+        assert!(milr.detect(&live).unwrap().is_clean());
+        // Materialized weights are bit-identical to the golden model.
+        for (a, b) in golden.layers().iter().zip(live.layers().iter()) {
+            if let (Some(p), Some(q)) = (a.params(), b.params()) {
+                let pa: Vec<u32> = p.data().iter().map(|v| v.to_bits()).collect();
+                let pb: Vec<u32> = q.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(pa, pb);
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disk_faults_are_healed_and_committed() {
+        let golden = serving_model(32);
+        let path = temp("heal");
+        let store = Store::create(
+            &path,
+            &golden,
+            MilrConfig::default(),
+            StoreOptions {
+                kind: SubstrateKind::Plain,
+                page_weights: 32,
+            },
+        )
+        .unwrap();
+        // Whole-weight disk corruption in conv layer 0: flip all 32
+        // raw bits of weight 13 directly in the file.
+        for bit in 13 * 32..14 * 32 {
+            store.flip_raw_bit(0, bit).unwrap();
+        }
+        drop(store);
+        let mut store = Store::open(&path).unwrap();
+        let (host, milr, report) = cold_start(&mut store, 16).unwrap();
+        assert_eq!(report.flagged, vec![0]);
+        assert!(report.heal_rounds >= 1);
+        assert!(report.reanchored);
+        let live = host.materialize();
+        assert!(milr.detect(&live).unwrap().is_clean());
+        // Outputs match the fault-free model bit-for-bit.
+        let x = milr_tensor::TensorRng::new(3).uniform_tensor(&[2, 10, 10, 1]);
+        let a = golden.forward(&x).unwrap();
+        let b = live.forward(&x).unwrap();
+        let ab: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb);
+        drop(host);
+        drop(store);
+        // Third open: the heal was durable — no faults left.
+        let mut store = Store::open(&path).unwrap();
+        let (_, _, report) = cold_start(&mut store, 16).unwrap();
+        assert!(report.was_clean(), "{report:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

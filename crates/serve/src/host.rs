@@ -53,6 +53,57 @@ impl ModelHost {
         }
     }
 
+    /// Assembles a host from pre-built substrate shards — the
+    /// cold-start path: `parts` maps layer indices of `template` to
+    /// substrates already holding those layers' weights (e.g.
+    /// file-backed pages opened from a `milr_store::Store`). The
+    /// in-memory skeleton is zeroed exactly like
+    /// [`ModelHost::new`] — the substrates are the only weight
+    /// source.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` does not list exactly the parameterized
+    /// layers of `template` (ascending), or a substrate's length
+    /// differs from its layer's parameter count.
+    pub fn from_parts(
+        mut template: Sequential,
+        parts: Vec<(usize, Box<dyn WeightSubstrate>)>,
+    ) -> Self {
+        let mut param_layers = Vec::with_capacity(parts.len());
+        let mut param_dims = Vec::with_capacity(parts.len());
+        let mut substrates = Vec::with_capacity(parts.len());
+        let expected: Vec<usize> = template
+            .layers()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.param_count() > 0)
+            .map(|(i, _)| i)
+            .collect();
+        let got: Vec<usize> = parts.iter().map(|(i, _)| *i).collect();
+        assert_eq!(got, expected, "parts must cover the parameterized layers");
+        for (layer, sub) in parts {
+            let params = template.layers_mut()[layer]
+                .params_mut()
+                .expect("parts list parameterized layers");
+            assert_eq!(
+                sub.len(),
+                params.numel(),
+                "substrate for layer {layer} holds the wrong weight count"
+            );
+            param_layers.push(layer);
+            param_dims.push(params.shape().dims().to_vec());
+            params.map_in_place(|_| 0.0);
+            substrates.push(sub);
+        }
+        ModelHost {
+            template,
+            store: SharedSubstrate::from_parts(substrates),
+            param_layers,
+            param_dims,
+        }
+    }
+
     /// The underlying sharded store (one shard per parameterized
     /// layer).
     pub fn store(&self) -> &SharedSubstrate {

@@ -54,6 +54,7 @@
 
 #![deny(missing_docs)]
 
+mod coldstart;
 mod host;
 mod ledger;
 mod metrics;
@@ -65,6 +66,7 @@ pub mod sim;
 #[cfg(test)]
 mod testutil;
 
+pub use coldstart::{cold_start, ColdStartReport};
 pub use host::ModelHost;
 pub use ledger::CertificationLedger;
 pub use metrics::{DowntimeLog, LatencyStats};

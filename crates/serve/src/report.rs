@@ -30,6 +30,14 @@ pub struct ServeReport {
     pub quarantines: usize,
     /// Layer recoveries performed across all quarantines.
     pub layers_recovered: usize,
+    /// Failed durability commits on a store-backed server (journal
+    /// flushes or re-anchor commits that errored). Served outputs stay
+    /// correct — the in-memory heal succeeded — but the container on
+    /// disk may lag the served state until a later commit succeeds, so
+    /// a non-zero count means the crash-restart guarantee is degraded
+    /// and the operator should look at the storage. Always 0 for
+    /// in-memory servers and simulations.
+    pub durability_errors: usize,
     /// Total run length on the service clock, nanoseconds.
     pub total_ns: u64,
     /// Time spent quarantined (unavailable), nanoseconds.
@@ -83,7 +91,8 @@ impl ServeReport {
                 "{{\"seed\":{},\"policy\":\"{}\",\"submitted\":{},\"completed\":{},",
                 "\"rejected\":{},\"reexecuted\":{},\"faults_injected\":{},",
                 "\"scrub_corrected\":{},\"scrub_ticks\":{},\"quarantines\":{},",
-                "\"layers_recovered\":{},\"total_ns\":{},\"downtime_ns\":{},",
+                "\"layers_recovered\":{},\"durability_errors\":{},",
+                "\"total_ns\":{},\"downtime_ns\":{},",
                 "\"availability\":{:.9},\"latency_mean_us\":{:.3},\"latency_p50_us\":{:.3},",
                 "\"latency_p95_us\":{:.3},\"latency_max_us\":{:.3},\"digest\":{}}}"
             ),
@@ -98,6 +107,7 @@ impl ServeReport {
             self.scrub_ticks,
             self.quarantines,
             self.layers_recovered,
+            self.durability_errors,
             self.total_ns,
             self.downtime_ns,
             self.availability,
@@ -151,6 +161,7 @@ mod tests {
             scrub_ticks: 5,
             quarantines: 1,
             layers_recovered: 1,
+            durability_errors: 0,
             total_ns: 1000,
             downtime_ns: 100,
             availability: 0.9,

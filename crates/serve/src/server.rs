@@ -143,6 +143,7 @@ struct Inner {
     scrub_ticks: usize,
     quarantines: usize,
     layers_recovered: usize,
+    durability_errors: usize,
 }
 
 struct Shared {
@@ -151,6 +152,9 @@ struct Shared {
     /// to the healed state; only the scrubber and shutdown touch it.
     milr: Mutex<Milr>,
     milr_config: MilrConfig,
+    /// Present for store-backed servers: heals are flushed through its
+    /// journal and re-anchors committed atomically to its container.
+    store: Option<Mutex<milr_store::Store>>,
     config: ServerConfig,
     start: Instant,
     inner: Mutex<Inner>,
@@ -206,18 +210,58 @@ impl Server {
         milr_config: MilrConfig,
         config: ServerConfig,
     ) -> milr_core::Result<Self> {
-        assert!(config.workers > 0, "need at least one worker");
-        assert!(config.queue_capacity > 0, "need a non-empty queue");
-        assert!(config.batch_max > 0, "need a non-empty batch");
         let substrate = config.substrate;
         let build = move |c: &[f32]| -> Box<dyn WeightSubstrate> { substrate.store(c) };
         let milr = Milr::protect(golden, milr_config)?;
         let host = ModelHost::new(golden, &build);
+        Ok(Self::start_with(host, milr, milr_config, None, config))
+    }
+
+    /// Cold-starts from a persistent `.milr` container: opens the
+    /// store (running its crash recovery), scrubs on load, heals any
+    /// disk faults and durably re-anchors protection
+    /// ([`crate::cold_start`]) — only then starts the worker pool and
+    /// admits traffic. The scrubber daemon flushes subsequent heals
+    /// through the store's journal and commits every re-anchor
+    /// atomically. `config.substrate` is ignored — the substrate kind
+    /// comes from the container.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store open/commit and MILR failures; refuses to
+    /// serve a container whose faults cannot be healed.
+    pub fn start_from_store(
+        path: &std::path::Path,
+        cache_pages: usize,
+        config: ServerConfig,
+    ) -> Result<(Self, crate::ColdStartReport), milr_store::StoreError> {
+        let mut store = milr_store::Store::open(path)?;
+        let (host, milr, report) = crate::cold_start(&mut store, cache_pages)?;
+        let milr_config = *milr.config();
+        Ok((
+            Self::start_with(host, milr, milr_config, Some(store), config),
+            report,
+        ))
+    }
+
+    /// Shared tail of both constructors: assembles the control plane
+    /// and spawns the worker pool plus the scrubber daemon.
+    fn start_with(
+        host: ModelHost,
+        milr: Milr,
+        milr_config: MilrConfig,
+        store: Option<milr_store::Store>,
+        config: ServerConfig,
+    ) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "need a non-empty queue");
+        assert!(config.batch_max > 0, "need a non-empty batch");
         let cursor = ScrubCursor::new(milr.checkable_layers(), config.layers_per_tick);
         let shared = Arc::new(Shared {
             host,
             milr: Mutex::new(milr),
             milr_config,
+            store: store.map(Mutex::new),
             config,
             start: Instant::now(),
             inner: Mutex::new(Inner {
@@ -240,6 +284,7 @@ impl Server {
                 scrub_ticks: 0,
                 quarantines: 0,
                 layers_recovered: 0,
+                durability_errors: 0,
             }),
             work_cv: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -254,11 +299,11 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || scrubber_loop(&shared))
         };
-        Ok(Server {
+        Server {
             shared,
             workers,
             scrubber: Some(scrubber),
-        })
+        }
     }
 
     /// Submits one request (input in the model's per-image shape).
@@ -413,6 +458,7 @@ impl Server {
             scrub_ticks: inner.scrub_ticks,
             quarantines: inner.quarantines,
             layers_recovered: inner.layers_recovered,
+            durability_errors: inner.durability_errors,
             total_ns: now,
             downtime_ns: inner.downtime.total_ns(now),
             availability: inner.downtime.availability(now),
@@ -502,6 +548,18 @@ fn scrubber_loop(shared: &Shared) {
             inner.cursor.begin_tick(now)
         };
         let corrected = shared.host.scrub_layers(&chunk).corrected;
+        if corrected > 0 && shared.store.is_some() {
+            // ECC corrections are heals: make them durable through the
+            // store's journal before certifying anything on top.
+            if let Err(e) = shared.host.store().flush() {
+                eprintln!("milr-serve: journal flush after scrub failed: {e}");
+                shared
+                    .inner
+                    .lock()
+                    .expect("lock poisoned")
+                    .durability_errors += 1;
+            }
+        }
         let live = shared.host.materialize_layers(&chunk);
         let report = shared
             .milr
@@ -578,12 +636,38 @@ fn scrubber_loop(shared: &Shared) {
                 // out of sync with storage (see crate::sim docs).
                 *milr = Milr::protect(&live, shared.milr_config)
                     .expect("healed model keeps the protected structure");
+                if let Some(store) = &shared.store {
+                    // Durable re-anchor: healed weights + fresh
+                    // artifacts swap in atomically; a kill leaves the
+                    // previous certified container.
+                    let mut store = store.lock().expect("store lock poisoned");
+                    if let Err(e) = store.commit_reanchor(&milr, &live, shared.host.store()) {
+                        eprintln!("milr-serve: durable re-anchor failed: {e}");
+                        shared
+                            .inner
+                            .lock()
+                            .expect("lock poisoned")
+                            .durability_errors += 1;
+                    }
+                }
                 break;
             }
             let flagged = report.flagged.clone();
             milr.recover_layers(&mut live, &flagged)
                 .expect("recovery propagates only solver errors");
             shared.host.write_back(&live, &flagged);
+            if shared.store.is_some() {
+                // Healed pages reach disk through the journal, never a
+                // torn in-place write.
+                if let Err(e) = shared.host.store().flush() {
+                    eprintln!("milr-serve: journal flush after heal failed: {e}");
+                    shared
+                        .inner
+                        .lock()
+                        .expect("lock poisoned")
+                        .durability_errors += 1;
+                }
+            }
             let mut inner = shared.inner.lock().expect("lock poisoned");
             inner.layers_recovered += flagged.len();
             drop(inner);

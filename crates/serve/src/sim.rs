@@ -561,6 +561,7 @@ pub fn simulate(
         scrub_ticks,
         quarantines,
         layers_recovered,
+        durability_errors: 0,
         total_ns,
         downtime_ns: downtime.total_ns(total_ns),
         availability: downtime.availability(total_ns),

@@ -1,0 +1,190 @@
+//! End-to-end persistence: a store written by one process, bit-flipped
+//! **on disk** in raw (substrate) space, is reopened by a second
+//! process which scrubs on load, heals via MILR, durably re-anchors
+//! protection, and serves outputs bit-identical to the fault-free
+//! model.
+//!
+//! "Two processes" is modeled by dropping every handle of phase 1
+//! before phase 2 opens the path fresh — nothing but the file carries
+//! state across the boundary (the same boundary
+//! `examples/persistence.rs` walks through narratively).
+
+use milr_core::MilrConfig;
+use milr_nn::{Activation, Layer, Sequential};
+use milr_serve::{ResponseHandle, Server, ServerConfig};
+use milr_store::{Store, StoreOptions};
+use milr_substrate::SubstrateKind;
+use milr_tensor::{ConvSpec, Padding, PoolSpec, Tensor, TensorRng};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn serving_model(seed: u64) -> Sequential {
+    let mut rng = TensorRng::new(seed);
+    let mut m = Sequential::new(vec![10, 10, 1]);
+    let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+    m.push(Layer::conv2d_random(3, 1, 6, spec, &mut rng).unwrap())
+        .unwrap();
+    m.push(Layer::bias_zero(6)).unwrap();
+    m.push(Layer::Activation(Activation::Relu)).unwrap();
+    m.push(Layer::MaxPool2D(PoolSpec::new(2, 2).unwrap()))
+        .unwrap();
+    m.push(Layer::conv2d_random(3, 6, 4, spec, &mut rng).unwrap())
+        .unwrap();
+    m.push(Layer::bias_zero(4)).unwrap();
+    m.push(Layer::Flatten).unwrap();
+    m.push(Layer::dense_random(2 * 2 * 4, 5, &mut rng).unwrap())
+        .unwrap();
+    m.push(Layer::Activation(Activation::Softmax)).unwrap();
+    m
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("milr-e2e-{}-{name}.milr", std::process::id()))
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn store_survives_disk_faults_and_serves_golden_outputs() {
+    for kind in SubstrateKind::ALL {
+        let path = temp(&format!("survive-{kind:?}"));
+        let golden = serving_model(91);
+
+        // ---- Process 1: build → protect → save, then exit. ----------
+        {
+            Store::create(
+                &path,
+                &golden,
+                MilrConfig::default(),
+                StoreOptions {
+                    kind,
+                    page_weights: 64,
+                },
+            )
+            .unwrap();
+        }
+
+        // ---- Disk corruption while no process runs. -----------------
+        // Whole-weight damage in conv layer 0 (all raw bits of one
+        // weight) plus a stray single bit in conv layer 4 — both in
+        // substrate raw space, directly in the file. Conv layers heal
+        // to exact golden bits (CRC-snapped recovery), which is what
+        // lets the served outputs stay bit-identical.
+        {
+            let store = Store::open(&path).unwrap();
+            let stride = store.layer_raw_bits(0) / golden.layers()[0].params().unwrap().numel();
+            for bit in 17 * stride..18 * stride {
+                store.flip_raw_bit(0, bit).unwrap();
+            }
+            // Bit 30 (an exponent bit on the plain substrate) so the
+            // damage is large enough for tolerance-based detection;
+            // low-order mantissa flips are the paper's documented
+            // detection blind spot.
+            store.flip_raw_bit(4, 30).unwrap();
+        }
+
+        // ---- Process 2: cold-start serving. -------------------------
+        let (server, cold) = Server::start_from_store(
+            &path,
+            16,
+            ServerConfig {
+                workers: 2,
+                scrub_interval: Duration::from_millis(1),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            !cold.was_clean(),
+            "{kind}: injected faults must be visible at load"
+        );
+        let mut rng = TensorRng::new(5);
+        let inputs: Vec<Tensor> = (0..10).map(|_| rng.uniform_tensor(&[10, 10, 1])).collect();
+        let handles: Vec<ResponseHandle> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        for (input, handle) in inputs.iter().zip(handles) {
+            let out = handle.wait().unwrap();
+            let expect = &golden.forward_batch(std::slice::from_ref(input)).unwrap()[0];
+            assert_eq!(
+                bits(&out),
+                bits(expect),
+                "{kind}: served output diverged from the fault-free model"
+            );
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 10, "{kind}");
+
+        // ---- Process 3: the heal was durable. -----------------------
+        let (server, cold) = Server::start_from_store(&path, 16, ServerConfig::default()).unwrap();
+        assert!(
+            cold.was_clean(),
+            "{kind}: process 2's re-anchor was not durable: {cold:?}"
+        );
+        drop(server.shutdown());
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn live_heal_is_durable_across_restart() {
+    // A fault lands while the server runs; the scrubber quarantines,
+    // heals, and commits. A later cold start must find a certified
+    // container — no faults, artifacts anchored to the served state.
+    let path = temp("live-heal");
+    let golden = serving_model(92);
+    Store::create(
+        &path,
+        &golden,
+        MilrConfig::default(),
+        StoreOptions {
+            kind: SubstrateKind::Secded,
+            page_weights: 64,
+        },
+    )
+    .unwrap();
+
+    let (server, cold) = Server::start_from_store(
+        &path,
+        16,
+        ServerConfig {
+            workers: 2,
+            scrub_interval: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(cold.was_clean());
+    let mut rng = TensorRng::new(9);
+    let inputs: Vec<Tensor> = (0..6).map(|_| rng.uniform_tensor(&[10, 10, 1])).collect();
+    let handles: Vec<ResponseHandle> = inputs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect();
+    server.inject_weight_fault(0, 11);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while server.quarantines() == 0 || server.is_quarantined() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "scrubber never healed the live fault"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for (input, handle) in inputs.iter().zip(handles) {
+        let out = handle.wait().unwrap();
+        let expect = &golden.forward_batch(std::slice::from_ref(input)).unwrap()[0];
+        assert_eq!(bits(&out), bits(expect));
+    }
+    drop(server.shutdown());
+
+    let (server, cold) = Server::start_from_store(&path, 16, ServerConfig::default()).unwrap();
+    assert!(
+        cold.was_clean(),
+        "live heal was not committed durably: {cold:?}"
+    );
+    drop(server.shutdown());
+    let _ = std::fs::remove_file(&path);
+}

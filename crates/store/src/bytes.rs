@@ -1,0 +1,99 @@
+//! Tiny little-endian byte codec shared by the container sections:
+//! fixed-width scalars and length-prefixed sequences, with a fully
+//! bounds-checked reader (corrupt input errors, never panics).
+
+use crate::StoreError;
+
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+}
+
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn corrupt(what: &str) -> StoreError {
+    StoreError::Corrupt(format!("container truncated reading {what}"))
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(corrupt(what));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self, what: &str) -> Result<u8, StoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub fn usize(&mut self, what: &str) -> Result<usize, StoreError> {
+        Ok(self.u64(what)? as usize)
+    }
+
+    /// A length prefix, sanity-bounded by the bytes remaining so a
+    /// corrupt prefix cannot drive a huge allocation.
+    pub fn len(&mut self, min_elem_bytes: usize, what: &str) -> Result<usize, StoreError> {
+        let n = self.u64(what)?;
+        if n > (self.remaining() / min_elem_bytes.max(1)) as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "implausible length {n} reading {what}"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    pub fn f32(&mut self, what: &str) -> Result<f32, StoreError> {
+        Ok(f32::from_bits(self.u32(what)?))
+    }
+}

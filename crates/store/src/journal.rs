@@ -1,0 +1,369 @@
+//! Crash-consistent commits for the `.milr` container.
+//!
+//! Two commit shapes, each atomic under kill-anywhere:
+//!
+//! * **Page commit** (weight mutations: healed layers, scrub
+//!   corrections) — a redo **journal**: the new page images are written
+//!   to `<store>.journal` *first* (single file write ending in a CRC +
+//!   commit marker, then fsync), only then applied in place to the
+//!   container and the journal removed. Recovery on open replays a
+//!   complete journal (idempotent) and discards an incomplete one, so
+//!   every kill point resolves to all-of-the-batch or none-of-it —
+//!   never a torn page.
+//! * **Full commit** (protection re-anchoring: new artifacts + current
+//!   weights) — a **shadow file**: the entire new container is written
+//!   to `<store>.shadow`, fsynced, and atomically renamed over the
+//!   store; the rename is the commit point. Recovery removes orphaned
+//!   shadows.
+//!
+//! Both protocols expose an *observer* hook that fires between
+//! protocol steps; the crash-consistency suite uses it to snapshot the
+//! directory at every kill point and prove each snapshot reloads.
+
+use crate::StoreError;
+use milr_ecc::crc32;
+use milr_substrate::{PageCommitter, PageFile, PagePatch, StdFile};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Leading magic of a journal file.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"MILRJRNL";
+/// Trailing commit marker; absent ⇒ the journal never committed.
+pub const COMMIT_MARKER: u64 = 0x4D49_4C52_434F_4D54; // "MILRCOMT"
+
+/// Path of the journal beside a store file.
+pub fn journal_path(store: &Path) -> PathBuf {
+    let mut os = store.as_os_str().to_os_string();
+    os.push(".journal");
+    PathBuf::from(os)
+}
+
+/// Path of the shadow file beside a store file.
+pub fn shadow_path(store: &Path) -> PathBuf {
+    let mut os = store.as_os_str().to_os_string();
+    os.push(".shadow");
+    PathBuf::from(os)
+}
+
+/// Fsyncs the directory containing `path`, making a rename or unlink
+/// in it durable (best-effort on platforms without directory handles).
+pub(crate) fn sync_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        }) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// Serializes a batch of patches into journal bytes.
+fn encode_journal(patches: &[PagePatch]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(patches.len() as u64).to_le_bytes());
+    for p in patches {
+        body.extend_from_slice(&p.offset.to_le_bytes());
+        body.extend_from_slice(&(p.bytes.len() as u64).to_le_bytes());
+        body.extend_from_slice(&p.bytes);
+    }
+    let mut out = Vec::with_capacity(body.len() + 24);
+    out.extend_from_slice(&JOURNAL_MAGIC);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&COMMIT_MARKER.to_le_bytes());
+    out
+}
+
+/// Parses journal bytes. `Ok(Some(patches))` for a complete committed
+/// journal, `Ok(None)` for a recognizably incomplete one (no marker /
+/// bad checksum / truncated), `Err` only for I/O-free logic bugs —
+/// i.e. never.
+fn decode_journal(bytes: &[u8]) -> Option<Vec<PagePatch>> {
+    if bytes.len() < 8 + 8 + 4 + 8 || bytes[..8] != JOURNAL_MAGIC {
+        return None;
+    }
+    let marker = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if marker != COMMIT_MARKER {
+        return None;
+    }
+    let body = &bytes[8..bytes.len() - 12];
+    let stored = u32::from_le_bytes(
+        bytes[bytes.len() - 12..bytes.len() - 8]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    if crc32(body) != stored {
+        return None;
+    }
+    let mut pos = 0usize;
+    let u64_at = |p: &mut usize| -> Option<u64> {
+        let v = body.get(*p..*p + 8)?;
+        *p += 8;
+        Some(u64::from_le_bytes(v.try_into().expect("8 bytes")))
+    };
+    let count = u64_at(&mut pos)? as usize;
+    let mut patches = Vec::new();
+    for _ in 0..count {
+        let offset = u64_at(&mut pos)?;
+        let len = u64_at(&mut pos)? as usize;
+        let bytes = body.get(pos..pos + len)?;
+        pos += len;
+        patches.push(PagePatch {
+            offset,
+            bytes: bytes.to_vec(),
+        });
+    }
+    if pos != body.len() {
+        return None;
+    }
+    Some(patches)
+}
+
+/// The page-commit engine: owns the journal path and serializes
+/// concurrent committers (several file substrates share one store).
+pub struct Journal {
+    io: Arc<StdFile>,
+    path: PathBuf,
+    lock: Mutex<()>,
+}
+
+impl Journal {
+    /// A journal writing `<store>.journal` and applying to `io`.
+    pub fn new(store_path: &Path, io: Arc<StdFile>) -> Self {
+        Journal {
+            io,
+            path: journal_path(store_path),
+            lock: Mutex::new(()),
+        }
+    }
+
+    /// Commits a batch of page writes atomically (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; after an error the batch is either fully
+    /// applied, or will be re-applied / discarded by recovery.
+    pub fn commit(&self, patches: &[PagePatch]) -> std::io::Result<()> {
+        self.commit_with_observer(patches, &mut |_| {})
+    }
+
+    /// [`Journal::commit`] with a kill-point observer: `observe` fires
+    /// after each durable protocol step (`"journal-written"`,
+    /// `"patches-applied"`, `"journal-removed"`) so a test harness can
+    /// snapshot the store directory between steps.
+    ///
+    /// # Errors
+    ///
+    /// See [`Journal::commit`].
+    pub fn commit_with_observer(
+        &self,
+        patches: &[PagePatch],
+        observe: &mut dyn FnMut(&str),
+    ) -> std::io::Result<()> {
+        if patches.is_empty() {
+            return Ok(());
+        }
+        let _guard = self.lock.lock().expect("journal lock poisoned");
+        observe("begin");
+        // 1. Make the intent durable: journal first.
+        let bytes = encode_journal(patches);
+        let mut file = File::create(&self.path)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        sync_dir(&self.path);
+        observe("journal-written");
+        // 2. Apply in place.
+        for p in patches {
+            self.io.write_all_at(p.offset, &p.bytes)?;
+        }
+        self.io.sync()?;
+        observe("patches-applied");
+        // 3. Retire the journal.
+        std::fs::remove_file(&self.path)?;
+        sync_dir(&self.path);
+        observe("journal-removed");
+        Ok(())
+    }
+}
+
+impl PageCommitter for Journal {
+    fn commit(&self, patches: &[PagePatch]) -> std::io::Result<()> {
+        Journal::commit(self, patches)
+    }
+}
+
+/// Crash recovery, run before a store file is parsed:
+///
+/// 1. A complete journal is replayed into the store file (idempotent)
+///    and removed; an incomplete journal is discarded.
+/// 2. An orphaned shadow file is removed (the rename that would have
+///    committed it never happened).
+///
+/// Returns `true` when a journal was replayed.
+///
+/// # Errors
+///
+/// Propagates I/O errors (not container corruption — parsing happens
+/// later).
+pub fn recover(store_path: &Path) -> Result<bool, StoreError> {
+    let jpath = journal_path(store_path);
+    let mut replayed = false;
+    if jpath.exists() {
+        let bytes = std::fs::read(&jpath)?;
+        match decode_journal(&bytes) {
+            Some(patches) => {
+                let io = StdFile::open(store_path)?;
+                for p in &patches {
+                    io.write_all_at(p.offset, &p.bytes)?;
+                }
+                io.sync()?;
+                replayed = true;
+            }
+            None => {
+                // Never committed: the old state is the valid one.
+            }
+        }
+        std::fs::remove_file(&jpath)?;
+        sync_dir(&jpath);
+    }
+    let spath = shadow_path(store_path);
+    if spath.exists() {
+        std::fs::remove_file(&spath)?;
+        sync_dir(&spath);
+    }
+    Ok(replayed)
+}
+
+/// Atomically replaces the container with `bytes` via a shadow file +
+/// rename, firing `observe` after each durable step
+/// (`"shadow-written"`, `"renamed"`).
+///
+/// # Errors
+///
+/// Propagates I/O errors; the container is the old or the new bytes,
+/// never a mixture.
+pub(crate) fn replace_container(
+    store_path: &Path,
+    bytes: &[u8],
+    observe: &mut dyn FnMut(&str),
+) -> Result<(), StoreError> {
+    observe("begin");
+    let spath = shadow_path(store_path);
+    let mut shadow = File::create(&spath)?;
+    shadow.write_all(bytes)?;
+    shadow.sync_all()?;
+    drop(shadow);
+    sync_dir(&spath);
+    observe("shadow-written");
+    std::fs::rename(&spath, store_path)?;
+    sync_dir(store_path);
+    observe("renamed");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("milr-journal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn journal_roundtrip_and_tamper_rejection() {
+        let patches = vec![
+            PagePatch {
+                offset: 10,
+                bytes: vec![1, 2, 3],
+            },
+            PagePatch {
+                offset: 99,
+                bytes: vec![9; 40],
+            },
+        ];
+        let bytes = encode_journal(&patches);
+        assert_eq!(decode_journal(&bytes).unwrap(), patches);
+        // Any truncation invalidates it.
+        for cut in 0..bytes.len() {
+            assert!(decode_journal(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        // A flipped body byte invalidates the checksum.
+        let mut bad = bytes.clone();
+        bad[10] ^= 1;
+        assert!(decode_journal(&bad).is_none());
+    }
+
+    #[test]
+    fn commit_applies_and_retires() {
+        let store = temp("commit.milr");
+        std::fs::write(&store, vec![0u8; 64]).unwrap();
+        let io = Arc::new(StdFile::open(&store).unwrap());
+        let journal = Journal::new(&store, Arc::clone(&io));
+        let mut steps = Vec::new();
+        journal
+            .commit_with_observer(
+                &[PagePatch {
+                    offset: 8,
+                    bytes: vec![0xAB; 4],
+                }],
+                &mut |s| steps.push(s.to_string()),
+            )
+            .unwrap();
+        assert_eq!(
+            steps,
+            [
+                "begin",
+                "journal-written",
+                "patches-applied",
+                "journal-removed"
+            ]
+        );
+        assert!(!journal_path(&store).exists());
+        let data = std::fs::read(&store).unwrap();
+        assert_eq!(&data[8..12], &[0xAB; 4]);
+        let _ = std::fs::remove_file(&store);
+    }
+
+    #[test]
+    fn recovery_replays_complete_journals_and_discards_partial_ones() {
+        let store = temp("recover.milr");
+        std::fs::write(&store, vec![0u8; 32]).unwrap();
+        let patches = vec![PagePatch {
+            offset: 4,
+            bytes: vec![7; 8],
+        }];
+        // Complete journal left behind (kill between apply and retire —
+        // or before apply; same bytes either way).
+        std::fs::write(journal_path(&store), encode_journal(&patches)).unwrap();
+        assert!(recover(&store).unwrap());
+        assert!(!journal_path(&store).exists());
+        assert_eq!(&std::fs::read(&store).unwrap()[4..12], &[7; 8]);
+        // Partial journal (kill mid-write): discarded, file untouched.
+        std::fs::write(&store, vec![0u8; 32]).unwrap();
+        let bytes = encode_journal(&patches);
+        std::fs::write(journal_path(&store), &bytes[..bytes.len() - 3]).unwrap();
+        assert!(!recover(&store).unwrap());
+        assert!(!journal_path(&store).exists());
+        assert_eq!(std::fs::read(&store).unwrap(), vec![0u8; 32]);
+        // Orphan shadow: removed.
+        std::fs::write(shadow_path(&store), b"half a container").unwrap();
+        assert!(!recover(&store).unwrap());
+        assert!(!shadow_path(&store).exists());
+        let _ = std::fs::remove_file(&store);
+    }
+
+    #[test]
+    fn replace_container_is_old_or_new() {
+        let store = temp("replace.milr");
+        std::fs::write(&store, b"old contents").unwrap();
+        replace_container(&store, b"new contents!", &mut |_| {}).unwrap();
+        assert_eq!(std::fs::read(&store).unwrap(), b"new contents!");
+        assert!(!shadow_path(&store).exists());
+        let _ = std::fs::remove_file(&store);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests: the container round-trips model + artifacts through
+//! the format, and **degrades loudly** — under random truncation and
+//! random byte corruption a load either heals (weight-region damage is
+//! the paper's fault model) or errors (error-resistant sections are
+//! checksummed). It never silently serves corrupt state.
+
+use milr_core::MilrConfig;
+use milr_nn::{Layer, Sequential};
+use milr_store::{Store, StoreError, StoreOptions};
+use milr_substrate::{SharedSubstrate, SubstrateKind};
+use milr_tensor::{ConvSpec, Padding, TensorRng};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn model(seed: u64) -> Sequential {
+    let mut rng = TensorRng::new(seed);
+    let mut m = Sequential::new(vec![8, 8, 1]);
+    let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+    m.push(Layer::conv2d_random(3, 1, 4, spec, &mut rng).unwrap())
+        .unwrap();
+    m.push(Layer::bias_zero(4)).unwrap();
+    m.push(Layer::Flatten).unwrap();
+    m.push(Layer::dense_random(6 * 6 * 4, 5, &mut rng).unwrap())
+        .unwrap();
+    m
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("milr-robust-{}-{name}.milr", std::process::id()))
+}
+
+fn open_shared(store: &Store) -> SharedSubstrate {
+    SharedSubstrate::from_parts(
+        store
+            .open_substrates(4)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect(),
+    )
+}
+
+fn materialize(store: &Store, shared: &SharedSubstrate) -> Sequential {
+    let mut m = store.template().clone();
+    for (shard, entry) in store.layers().iter().enumerate() {
+        let data = shared.read_shard(shard);
+        let dims = m.layers()[entry.layer]
+            .params()
+            .unwrap()
+            .shape()
+            .dims()
+            .to_vec();
+        *m.layers_mut()[entry.layer].params_mut().unwrap() =
+            milr_tensor::Tensor::from_vec(data, &dims).unwrap();
+    }
+    m
+}
+
+/// The "heal or error" verdict for one damaged container.
+fn load_and_heal(path: &std::path::Path, golden: &Sequential) -> Result<(), String> {
+    let store = match Store::open(path) {
+        Ok(s) => s,
+        // A refused load is a loud failure: acceptable.
+        Err(StoreError::Corrupt(_)) => return Ok(()),
+        Err(e) => return Err(format!("unexpected error class: {e}")),
+    };
+    let shared = open_shared(&store);
+    shared.scrub();
+    let mut live = materialize(&store, &shared);
+    let milr = store.milr().clone();
+    for _ in 0..4 {
+        let report = match milr.detect(&live) {
+            Ok(r) => r,
+            Err(e) => return Err(format!("detection crashed on loaded state: {e}")),
+        };
+        if report.is_clean() {
+            break;
+        }
+        if milr.recover_layers(&mut live, &report.flagged).is_err() {
+            return Err("recovery crashed on loaded state".into());
+        }
+    }
+    // Healed (or never damaged): parameters must approximate the
+    // golden model. Ulp-level leftovers below the detection tolerance
+    // are the paper's documented blind spot, not silent corruption.
+    for (i, (a, b)) in golden.layers().iter().zip(live.layers().iter()).enumerate() {
+        if let (Some(p), Some(q)) = (a.params(), b.params()) {
+            if !p.approx_eq(q, 1e-2, 1e-3) {
+                return Err(format!("layer {i} silently corrupt after load+heal"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random truncation: load must heal or error — never crash, never
+    /// serve garbage.
+    #[test]
+    fn truncation_heals_or_errors(seed in 1u64..500, cut_frac in 0.0f64..1.0) {
+        let golden = model(seed);
+        let kind = SubstrateKind::ALL[(seed % 4) as usize];
+        let path = temp(&format!("trunc-{seed}"));
+        Store::create(&path, &golden, MilrConfig::default(), StoreOptions { kind, page_weights: 16 }).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let verdict = load_and_heal(&path, &golden);
+        // A strict truncation must in fact refuse to load (the weight
+        // region is length-checked even though it is not checksummed).
+        let refused = Store::open(&path).is_err();
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(verdict.is_ok(), "{:?}", verdict);
+        prop_assert!(refused, "a truncated container loaded");
+    }
+
+    /// Random byte corruption anywhere in the container: checksummed
+    /// sections refuse the load, weight-region damage is healed.
+    #[test]
+    fn byte_flips_heal_or_error(
+        seed in 1u64..500,
+        offset_frac in 0.0f64..1.0,
+        mask in 1u32..256,
+    ) {
+        let golden = model(seed);
+        let kind = SubstrateKind::ALL[(seed % 4) as usize];
+        let path = temp(&format!("flip-{seed}"));
+        Store::create(&path, &golden, MilrConfig::default(), StoreOptions { kind, page_weights: 16 }).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = ((bytes.len() - 1) as f64 * offset_frac) as usize;
+        bytes[offset] ^= mask as u8;
+        std::fs::write(&path, &bytes).unwrap();
+        let verdict = load_and_heal(&path, &golden);
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(verdict.is_ok(), "offset {} of {}: {:?}", offset, bytes.len(), verdict);
+    }
+}
+
+#[test]
+fn weight_region_damage_specifically_heals() {
+    // Deterministic companion to the properties above: corrupt a byte
+    // squarely inside layer 0's page run and require a *successful*
+    // heal (not an error) for every substrate kind.
+    for kind in SubstrateKind::ALL {
+        let golden = model(9);
+        let path = temp(&format!("region-{kind:?}"));
+        Store::create(
+            &path,
+            &golden,
+            MilrConfig::default(),
+            StoreOptions {
+                kind,
+                page_weights: 16,
+            },
+        )
+        .unwrap();
+        let offset = {
+            let store = Store::open(&path).unwrap();
+            store.layers()[0].offset
+        };
+        let mut bytes = std::fs::read(&path).unwrap();
+        // A high byte of the first stored word: large, detectable
+        // damage.
+        bytes[offset as usize + 3] ^= 0xC0;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = Store::open(&path).unwrap_or_else(|e| {
+            panic!("{kind}: weight-region damage must not refuse the load: {e}")
+        });
+        let shared = open_shared(&store);
+        shared.scrub();
+        let mut live = materialize(&store, &shared);
+        let milr = store.milr().clone();
+        let report = milr.detect(&live).unwrap();
+        if !report.is_clean() {
+            milr.recover_layers(&mut live, &report.flagged).unwrap();
+            assert!(milr.detect(&live).unwrap().is_clean(), "{kind}");
+        }
+        for (a, b) in golden.layers().iter().zip(live.layers().iter()) {
+            if let (Some(p), Some(q)) = (a.params(), b.params()) {
+                assert!(p.approx_eq(q, 1e-3, 1e-4), "{kind}: heal missed");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

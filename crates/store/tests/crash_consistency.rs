@@ -1,0 +1,294 @@
+//! Crash consistency of the `.milr` commit protocols.
+//!
+//! The kill-point harness snapshots the store's on-disk state at every
+//! step of a commit — including artificially truncated journals (a
+//! kill mid-`write`) — and asserts each snapshot **reloads to a
+//! certified old-or-new state**: `Store::open` succeeds, the decoded
+//! weights are exactly the pre-commit or the post-commit bits (never a
+//! mixture), and MILR detection against the stored artifacts reaches a
+//! clean verdict (directly, or after the scrub-on-load heal the old
+//! state was awaiting).
+
+use milr_core::{Milr, MilrConfig};
+use milr_nn::{Layer, Sequential};
+use milr_store::{journal_path, shadow_path, Store, StoreOptions};
+use milr_substrate::{PagePatch, SharedSubstrate, SubstrateKind};
+use milr_tensor::{ConvSpec, Padding, TensorRng};
+use std::path::{Path, PathBuf};
+
+fn model() -> Sequential {
+    let mut rng = TensorRng::new(77);
+    let mut m = Sequential::new(vec![8, 8, 1]);
+    let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+    m.push(Layer::conv2d_random(3, 1, 4, spec, &mut rng).unwrap())
+        .unwrap();
+    m.push(Layer::bias_zero(4)).unwrap();
+    m.push(Layer::Flatten).unwrap();
+    m.push(Layer::dense_random(6 * 6 * 4, 5, &mut rng).unwrap())
+        .unwrap();
+    m
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("milr-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Copies the store file plus any journal/shadow droppings.
+fn snapshot(store: &Path, dest_dir: &Path, tag: &str) -> PathBuf {
+    let dest = dest_dir.join(format!("{tag}.milr"));
+    std::fs::copy(store, &dest).unwrap();
+    for (src, suffix) in [
+        (journal_path(store), ".journal"),
+        (shadow_path(store), ".shadow"),
+    ] {
+        if src.exists() {
+            let mut os = dest.as_os_str().to_os_string();
+            os.push(suffix);
+            std::fs::copy(&src, PathBuf::from(os)).unwrap();
+        }
+    }
+    dest
+}
+
+fn open_shared(store: &Store) -> SharedSubstrate {
+    SharedSubstrate::from_parts(
+        store
+            .open_substrates(4)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect(),
+    )
+}
+
+fn weight_bits(shared: &SharedSubstrate) -> Vec<u32> {
+    shared.read_weights().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Builds the live model a snapshot serves: template + decoded shards.
+fn materialize(store: &Store, shared: &SharedSubstrate) -> Sequential {
+    let mut m = store.template().clone();
+    for (shard, entry) in store.layers().iter().enumerate() {
+        let data = shared.read_shard(shard);
+        let dims = m.layers()[entry.layer]
+            .params()
+            .unwrap()
+            .shape()
+            .dims()
+            .to_vec();
+        *m.layers_mut()[entry.layer].params_mut().unwrap() =
+            milr_tensor::Tensor::from_vec(data, &dims).unwrap();
+    }
+    m
+}
+
+/// The certified-reload check: the snapshot opens, its weights are
+/// bit-exactly `old` or `new`, and scrub + detect + recover reaches a
+/// clean state.
+fn assert_reloads_old_or_new(snap: &Path, old: &[u32], new: &[u32], what: &str) {
+    let store = Store::open(snap).unwrap_or_else(|e| panic!("{what}: failed to reload: {e}"));
+    let shared = open_shared(&store);
+    let bits = weight_bits(&shared);
+    assert!(
+        bits == old || bits == new,
+        "{what}: snapshot weights are neither old nor new (torn state)"
+    );
+    shared.scrub();
+    let mut live = materialize(&store, &shared);
+    let milr = store.milr().clone();
+    let report = milr.detect(&live).unwrap();
+    if !report.is_clean() {
+        milr.recover_layers(&mut live, &report.flagged).unwrap();
+        let verify = milr.detect(&live).unwrap();
+        assert!(
+            verify.is_clean(),
+            "{what}: snapshot could not heal to a certified state"
+        );
+    }
+}
+
+#[test]
+fn every_journal_kill_point_reloads_to_old_or_new() {
+    let golden = model();
+    let dir = temp_dir("journal");
+    let path = dir.join("store.milr");
+    Store::create(
+        &path,
+        &golden,
+        MilrConfig::default(),
+        StoreOptions {
+            kind: SubstrateKind::Secded,
+            page_weights: 16,
+        },
+    )
+    .unwrap();
+
+    // Old state: a disk fault corrupted conv layer 0 (still certified:
+    // it reloads and heals). New state: the healed pages.
+    let store = Store::open(&path).unwrap();
+    let stride = store.layer_raw_bits(0) / 36;
+    for bit in 7 * stride..8 * stride {
+        store.flip_raw_bit(0, bit).unwrap();
+    }
+    drop(store);
+
+    let store = Store::open(&path).unwrap();
+    let shared = open_shared(&store);
+    let old_bits = weight_bits(&shared);
+    // Heal in memory (substrate scrub + MILR recovery + write-back),
+    // then flush through the journal with the kill-point observer.
+    shared.scrub();
+    let mut live = materialize(&store, &shared);
+    let milr = store.milr().clone();
+    let report = milr.detect(&live).unwrap();
+    assert_eq!(report.flagged, vec![0]);
+    milr.recover_layers(&mut live, &report.flagged).unwrap();
+    let healed: Vec<f32> = store
+        .layers()
+        .iter()
+        .flat_map(|e| live.layers()[e.layer].params().unwrap().data().to_vec())
+        .collect();
+    shared.write_weights(&healed).unwrap();
+    let new_bits = weight_bits(&shared);
+    assert_ne!(old_bits, new_bits);
+
+    // Drive the flush through the journal, snapshotting at every step.
+    let mut snaps: Vec<(String, PathBuf)> = vec![];
+    let mut patches: Vec<PagePatch> = Vec::new();
+    for (shard, entry) in store.layers().iter().enumerate() {
+        patches.push(PagePatch {
+            offset: entry.offset,
+            bytes: shared.export_shard_raw(shard),
+        });
+    }
+    {
+        let journal = store.journal().clone();
+        let mut step_no = 0;
+        journal
+            .commit_with_observer(&patches, &mut |step| {
+                snaps.push((
+                    format!("step{step_no}-{step}"),
+                    snapshot(&path, &dir, &format!("step{step_no}-{step}")),
+                ));
+                step_no += 1;
+            })
+            .unwrap();
+    }
+    assert_eq!(snaps.len(), 4, "journal protocol has 4 observable steps");
+
+    // A kill mid-journal-write leaves a partial journal: synthesize
+    // those from the fully-written journal snapshot.
+    let journal_snap = {
+        let mut os = snaps[1].1.as_os_str().to_os_string();
+        os.push(".journal");
+        PathBuf::from(os)
+    };
+    let journal_bytes = std::fs::read(&journal_snap).unwrap();
+    for frac in [1usize, journal_bytes.len() / 3, journal_bytes.len() - 1] {
+        let tag = format!("partial-journal-{frac}");
+        let snap = snapshot(&snaps[0].1, &dir, &tag); // store file pre-apply
+        let mut os = snap.as_os_str().to_os_string();
+        os.push(".journal");
+        std::fs::write(PathBuf::from(os), &journal_bytes[..frac]).unwrap();
+        snaps.push((tag.clone(), snap));
+    }
+
+    for (tag, snap) in &snaps {
+        assert_reloads_old_or_new(snap, &old_bits, &new_bits, tag);
+    }
+    // The completed-journal kill points must specifically land on NEW.
+    for idx in [1usize, 2] {
+        let store = Store::open(&snaps[idx].1).unwrap();
+        let shared = open_shared(&store);
+        assert_eq!(
+            weight_bits(&shared),
+            new_bits,
+            "{}: a committed journal must replay to the new state",
+            snaps[idx].0
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_reanchor_kill_point_reloads_to_a_certified_pair() {
+    let golden = model();
+    let dir = temp_dir("reanchor");
+    let path = dir.join("store.milr");
+    Store::create(
+        &path,
+        &golden,
+        MilrConfig::default(),
+        StoreOptions {
+            kind: SubstrateKind::Plain,
+            page_weights: 16,
+        },
+    )
+    .unwrap();
+    let mut store = Store::open(&path).unwrap();
+    let shared = open_shared(&store);
+    let old_bits = weight_bits(&shared);
+
+    // New state: mutated weights + re-protected artifacts, committed
+    // together. (A min-norm heal would look exactly like this: weights
+    // that differ from the old artifacts' golden flow.)
+    let mut live = materialize(&store, &shared);
+    live.layers_mut()[0].params_mut().unwrap().data_mut()[5] += 0.75;
+    let healed: Vec<f32> = store
+        .layers()
+        .iter()
+        .flat_map(|e| live.layers()[e.layer].params().unwrap().data().to_vec())
+        .collect();
+    shared.write_weights(&healed).unwrap();
+    let new_bits = weight_bits(&shared);
+    let milr2 = Milr::protect(&live, MilrConfig::default()).unwrap();
+
+    let mut snaps: Vec<(String, PathBuf)> = vec![];
+    store
+        .commit_reanchor_with_observer(&milr2, &live, &shared, &mut |step| {
+            snaps.push((step.to_string(), snapshot(&path, &dir, step)));
+        })
+        .unwrap();
+    assert_eq!(snaps.len(), 3, "re-anchor protocol has 3 observable steps");
+
+    // A kill mid-shadow-write leaves a partial shadow: synthesize it.
+    let shadow_snap = {
+        let mut os = snaps[1].1.as_os_str().to_os_string();
+        os.push(".shadow");
+        PathBuf::from(os)
+    };
+    let shadow_bytes = std::fs::read(&shadow_snap).unwrap();
+    {
+        let snap = snapshot(&snaps[0].1, &dir, "partial-shadow");
+        let mut os = snap.as_os_str().to_os_string();
+        os.push(".shadow");
+        std::fs::write(PathBuf::from(os), &shadow_bytes[..shadow_bytes.len() / 2]).unwrap();
+        snaps.push(("partial-shadow".into(), snap));
+    }
+
+    for (tag, snap) in &snaps {
+        // Old-or-new *pair*: the weights and the artifacts swap
+        // together — every snapshot detects clean against its own
+        // artifacts without any healing.
+        let store = Store::open(snap).unwrap_or_else(|e| panic!("{tag}: failed to reload: {e}"));
+        let shared = open_shared(&store);
+        let bits = weight_bits(&shared);
+        assert!(
+            bits == old_bits || bits == new_bits,
+            "{tag}: torn weight state"
+        );
+        let live = materialize(&store, &shared);
+        assert!(
+            store.milr().detect(&live).unwrap().is_clean(),
+            "{tag}: artifacts and weights are from different commits (torn pair)"
+        );
+    }
+    // Before the rename the old pair must be served, after it the new.
+    let pre = Store::open(&snaps[1].1).unwrap();
+    assert_eq!(weight_bits(&open_shared(&pre)), old_bits, "shadow-written");
+    let post = Store::open(&snaps[2].1).unwrap();
+    assert_eq!(weight_bits(&open_shared(&post)), new_bits, "renamed");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -52,6 +52,10 @@ impl WeightSubstrate for EncryptedMemory {
         ScrubSummary::default()
     }
 
+    fn export_raw(&self) -> Vec<u8> {
+        self.ciphertext().to_vec()
+    }
+
     fn storage_overhead(&self) -> usize {
         // Padding to a whole number of cipher blocks.
         self.ciphertext().len() - EncryptedMemory::len(self) * 4

@@ -1,10 +1,15 @@
 //! Substrate selector: the value-level handle the benchmark harness
 //! composes with recovery arms, so every substrate × recovery
-//! combination runs through one generic trial path.
+//! combination runs through one generic trial path — and, since the
+//! persistence work, the codec that maps each substrate's **raw image**
+//! to and from bytes so weight pages can live in a file.
 
-use crate::{PlainMemory, WeightSubstrate, XtsSecdedMemory};
+use crate::file::{DirectCommitter, FileSubstrate, StdFile};
+use crate::{PlainMemory, SubstrateError, WeightSubstrate, XtsSecdedMemory};
 use milr_ecc::SecdedMemory;
-use milr_xts::{EncryptedMemory, XtsCipher};
+use milr_xts::{EncryptedMemory, XtsCipher, BLOCK_BYTES};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Default XTS data key for experiment substrates. Experiments model a
 /// fixed memory-encryption engine; the key value itself is irrelevant
@@ -13,7 +18,17 @@ const DATA_KEY: [u8; 16] = *b"MILR-data-key-01";
 /// Default XTS tweak key for experiment substrates.
 const TWEAK_KEY: [u8; 16] = *b"MILR-tweak-key-1";
 
-/// The memory substrates of the paper's evaluation matrix.
+/// Weights per page of the convenience `File*` arms.
+const FILE_ARM_PAGE_WEIGHTS: usize = 1024;
+/// Cached pages of the convenience `File*` arms.
+const FILE_ARM_CACHE_PAGES: usize = 8;
+
+/// Monotonic counter distinguishing the temp files of `File*` arms.
+static FILE_ARM_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The memory substrates of the paper's evaluation matrix, plus their
+/// file-backed twins (the same raw encoding paged onto disk through
+/// [`FileSubstrate`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SubstrateKind {
     /// Plain `f32` words in unprotected DRAM.
@@ -24,10 +39,18 @@ pub enum SubstrateKind {
     Xts,
     /// SECDED over the ciphertext words (ECC DRAM under encryption).
     XtsSecded,
+    /// Plain raw image paged onto a file.
+    FilePlain,
+    /// SECDED code words paged onto a file.
+    FileSecded,
+    /// AES-XTS ciphertext paged onto a file.
+    FileXts,
+    /// SECDED-over-ciphertext words paged onto a file.
+    FileXtsSecded,
 }
 
 impl SubstrateKind {
-    /// Every substrate, in the paper's presentation order.
+    /// Every in-memory substrate, in the paper's presentation order.
     pub const ALL: [SubstrateKind; 4] = [
         SubstrateKind::Plain,
         SubstrateKind::Secded,
@@ -35,12 +58,46 @@ impl SubstrateKind {
         SubstrateKind::XtsSecded,
     ];
 
+    /// The file-backed twins, in the same order.
+    pub const FILE_BACKED: [SubstrateKind; 4] = [
+        SubstrateKind::FilePlain,
+        SubstrateKind::FileSecded,
+        SubstrateKind::FileXts,
+        SubstrateKind::FileXtsSecded,
+    ];
+
     /// The cipher used by the encrypted substrates this kind builds.
     pub fn cipher() -> XtsCipher {
         XtsCipher::new(&DATA_KEY, &TWEAK_KEY)
     }
 
+    /// The in-memory encoding behind this kind (identity for the
+    /// in-memory kinds, the paged encoding for the `File*` kinds).
+    pub fn base(&self) -> SubstrateKind {
+        match self {
+            SubstrateKind::FilePlain => SubstrateKind::Plain,
+            SubstrateKind::FileSecded => SubstrateKind::Secded,
+            SubstrateKind::FileXts => SubstrateKind::Xts,
+            SubstrateKind::FileXtsSecded => SubstrateKind::XtsSecded,
+            base => *base,
+        }
+    }
+
+    /// True for the file-backed kinds.
+    pub fn is_file_backed(&self) -> bool {
+        self.base() != *self
+    }
+
     /// Encodes a weight buffer into a fresh substrate of this kind.
+    ///
+    /// `File*` kinds page the raw image onto a fresh temporary file
+    /// (removed when the substrate drops) with a default cache budget —
+    /// the convenience path for benchmarks and injector tests; stores
+    /// build their [`FileSubstrate`]s over their own container files.
+    ///
+    /// # Panics
+    ///
+    /// `File*` kinds panic when the temporary file cannot be created.
     pub fn store(&self, weights: &[f32]) -> Box<dyn WeightSubstrate> {
         match self {
             SubstrateKind::Plain => Box::new(PlainMemory::store(weights)),
@@ -50,6 +107,117 @@ impl SubstrateKind {
                     .expect("padded plaintext length is always block-aligned"),
             ),
             SubstrateKind::XtsSecded => Box::new(XtsSecdedMemory::protect(weights, Self::cipher())),
+            file => {
+                let seq = FILE_ARM_SEQ.fetch_add(1, Ordering::Relaxed);
+                let path = std::env::temp_dir()
+                    .join(format!("milr-substrate-{}-{seq}.raw", std::process::id()));
+                let io = Arc::new(StdFile::create(&path).expect("creating substrate temp file"));
+                let committer = Arc::new(DirectCommitter::new(Arc::clone(&io) as _));
+                let sub = FileSubstrate::create(
+                    file.base(),
+                    Arc::clone(&io) as _,
+                    committer,
+                    0,
+                    weights,
+                    FILE_ARM_PAGE_WEIGHTS,
+                    FILE_ARM_CACHE_PAGES,
+                )
+                .expect("encoding into a fresh temp file cannot fail")
+                .with_temp_path(path);
+                Box::new(sub)
+            }
+        }
+    }
+
+    /// Reconstructs a substrate of this kind from its raw image (the
+    /// inverse of [`WeightSubstrate::export_raw`]), preserving any
+    /// error state the image carries bit-for-bit.
+    ///
+    /// Only defined for the in-memory kinds — a file-backed kind's
+    /// image *is* its file, so restoring one goes through
+    /// [`FileSubstrate::open`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::Backend`] when the image length does not match
+    /// [`raw_image_bytes`](SubstrateKind::raw_image_bytes) for `len`,
+    /// or this kind is file-backed.
+    pub fn restore(
+        &self,
+        raw: &[u8],
+        len: usize,
+    ) -> Result<Box<dyn WeightSubstrate>, SubstrateError> {
+        if raw.len() != self.raw_image_bytes(len) {
+            return Err(SubstrateError::Backend(format!(
+                "{self}: raw image of {} bytes cannot hold {len} weights (expected {})",
+                raw.len(),
+                self.raw_image_bytes(len)
+            )));
+        }
+        let words_u64 = || -> Vec<u64> {
+            raw.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+                .collect()
+        };
+        match self {
+            SubstrateKind::Plain => Ok(Box::new(PlainMemory::store(
+                &raw.chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+                    .collect::<Vec<f32>>(),
+            ))),
+            SubstrateKind::Secded => Ok(Box::new(SecdedMemory::from_words(words_u64()))),
+            SubstrateKind::Xts => Ok(Box::new(
+                EncryptedMemory::from_ciphertext(raw.to_vec(), len, Self::cipher())
+                    .map_err(|e| SubstrateError::Backend(e.to_string()))?,
+            )),
+            SubstrateKind::XtsSecded => Ok(Box::new(XtsSecdedMemory::from_words(
+                words_u64(),
+                len,
+                Self::cipher(),
+            ))),
+            file => Err(SubstrateError::Backend(format!(
+                "{file}: restore a file-backed substrate with FileSubstrate::open"
+            ))),
+        }
+    }
+
+    /// Exact byte length of the raw image this kind produces for `len`
+    /// weights — the on-disk page-sizing formula, kept in lock-step
+    /// with the substrates by test.
+    pub fn raw_image_bytes(&self, len: usize) -> usize {
+        match self.base() {
+            SubstrateKind::Plain => len * 4,
+            // One u64-stored (39,32) code word per weight.
+            SubstrateKind::Secded => len * 8,
+            // Whole 16-byte cipher blocks.
+            SubstrateKind::Xts => len.div_ceil(4) * BLOCK_BYTES,
+            // One u64-stored code word per ciphertext word, 4 per block.
+            SubstrateKind::XtsSecded => len.div_ceil(4) * 4 * 8,
+            _ => unreachable!("base() never returns a file kind"),
+        }
+    }
+
+    /// Raw (fault-surface) bits of a substrate of this kind holding
+    /// `len` weights, without building one.
+    pub fn raw_bits_for(&self, len: usize) -> usize {
+        match self.base() {
+            SubstrateKind::Plain => len * 32,
+            SubstrateKind::Secded => len * 39,
+            SubstrateKind::Xts => len.div_ceil(4) * BLOCK_BYTES * 8,
+            SubstrateKind::XtsSecded => len.div_ceil(4) * 4 * 39,
+            _ => unreachable!("base() never returns a file kind"),
+        }
+    }
+
+    /// Raw words (data words, code words, or cipher blocks — the
+    /// granularity of [`WeightSubstrate::raw_word_of_bit`]) of a
+    /// substrate of this kind holding `len` weights.
+    pub fn raw_words_for(&self, len: usize) -> usize {
+        match self.base() {
+            SubstrateKind::Plain | SubstrateKind::Secded => len,
+            SubstrateKind::Xts => len.div_ceil(4),
+            SubstrateKind::XtsSecded => len.div_ceil(4) * 4,
+            _ => unreachable!("base() never returns a file kind"),
         }
     }
 
@@ -60,6 +228,10 @@ impl SubstrateKind {
             SubstrateKind::Secded => "secded",
             SubstrateKind::Xts => "xts",
             SubstrateKind::XtsSecded => "xts+secded",
+            SubstrateKind::FilePlain => "file:plain",
+            SubstrateKind::FileSecded => "file:secded",
+            SubstrateKind::FileXts => "file:xts",
+            SubstrateKind::FileXtsSecded => "file:xts+secded",
         }
     }
 }
@@ -77,7 +249,10 @@ mod tests {
     #[test]
     fn every_kind_roundtrips() {
         let w: Vec<f32> = (0..10).map(|i| i as f32 * 0.7 - 3.0).collect();
-        for kind in SubstrateKind::ALL {
+        for kind in SubstrateKind::ALL
+            .into_iter()
+            .chain(SubstrateKind::FILE_BACKED)
+        {
             let mem = kind.store(&w);
             assert_eq!(mem.len(), w.len(), "{kind}");
             assert_eq!(mem.read_weights(), w, "{kind}");
@@ -102,5 +277,80 @@ mod tests {
     fn display_names_are_stable() {
         let names: Vec<&str> = SubstrateKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names, ["plain", "secded", "xts", "xts+secded"]);
+        let file_names: Vec<&str> = SubstrateKind::FILE_BACKED
+            .iter()
+            .map(|k| k.name())
+            .collect();
+        assert_eq!(
+            file_names,
+            ["file:plain", "file:secded", "file:xts", "file:xts+secded"]
+        );
+    }
+
+    #[test]
+    fn file_kinds_map_to_bases() {
+        for (file, base) in SubstrateKind::FILE_BACKED
+            .into_iter()
+            .zip(SubstrateKind::ALL)
+        {
+            assert_eq!(file.base(), base);
+            assert!(file.is_file_backed());
+            assert!(!base.is_file_backed());
+            assert_eq!(base.base(), base);
+        }
+    }
+
+    #[test]
+    fn raw_image_formulas_match_substrates() {
+        for len in [1usize, 3, 4, 5, 37, 64] {
+            let w: Vec<f32> = (0..len).map(|i| i as f32 * 0.3 - 1.0).collect();
+            for kind in SubstrateKind::ALL {
+                let mem = kind.store(&w);
+                assert_eq!(
+                    mem.export_raw().len(),
+                    kind.raw_image_bytes(len),
+                    "{kind} image bytes for {len}"
+                );
+                assert_eq!(
+                    mem.raw_bits(),
+                    kind.raw_bits_for(len),
+                    "{kind} raw bits for {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn export_restore_roundtrips_error_state() {
+        let w: Vec<f32> = (0..21).map(|i| i as f32 * 0.11 - 1.0).collect();
+        for kind in SubstrateKind::ALL {
+            let mut mem = kind.store(&w);
+            // Leave raw-space error state in the image.
+            mem.flip_raw_bit(7);
+            mem.flip_raw_bit(8);
+            let image = mem.export_raw();
+            let restored = kind.restore(&image, w.len()).unwrap();
+            assert_eq!(restored.len(), mem.len(), "{kind}");
+            assert_eq!(restored.raw_bits(), mem.raw_bits(), "{kind}");
+            let a: Vec<u32> = mem.read_weights().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = restored
+                .read_weights()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(a, b, "{kind}: restored plaintext diverged");
+            assert_eq!(restored.export_raw(), image, "{kind}: image not stable");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_bad_lengths() {
+        for kind in SubstrateKind::ALL {
+            let image = kind.store(&[1.0, 2.0]).export_raw();
+            // 9 weights need more blocks/words than 2 under every kind.
+            assert!(kind.restore(&image, 9).is_err(), "{kind}");
+            assert!(kind.restore(&image[1..], 2).is_err(), "{kind}");
+        }
+        assert!(SubstrateKind::FilePlain.restore(&[0; 8], 2).is_err());
     }
 }

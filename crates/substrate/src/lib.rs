@@ -45,12 +45,14 @@
 #![deny(missing_docs)]
 
 mod encrypted;
+mod file;
 mod kind;
 mod plain;
 mod secded;
 mod shared;
 mod xts_secded;
 
+pub use file::{DirectCommitter, FileSubstrate, PageCommitter, PageFile, PagePatch, StdFile};
 pub use kind::SubstrateKind;
 /// SECDED-per-word substrate, re-exported from `milr_ecc` with its
 /// [`WeightSubstrate`] adaptation defined in this crate.
@@ -172,6 +174,28 @@ pub trait WeightSubstrate: Send + Sync {
     /// of the plaintext (check bits, padding) — the per-substrate
     /// column of the paper's storage tables, in bytes.
     fn storage_overhead(&self) -> usize;
+
+    /// Serializes the substrate's **raw representation** to bytes — the
+    /// persistence image. Raw state round-trips verbatim (including any
+    /// in-flight error state), so a store can snapshot and restore a
+    /// substrate without decoding it; see
+    /// [`SubstrateKind::restore`](crate::SubstrateKind::restore) for the
+    /// inverse. The image length for a given kind and weight count is
+    /// fixed ([`SubstrateKind::raw_image_bytes`](crate::SubstrateKind::raw_image_bytes)).
+    fn export_raw(&self) -> Vec<u8>;
+
+    /// Forces any buffered state down to the substrate's backing store.
+    /// A no-op for purely in-memory substrates; the file-backed
+    /// substrate commits its dirty pages through its
+    /// [`PageCommitter`](crate::PageCommitter).
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::Backend`] when the backing store rejects the
+    /// write.
+    fn flush(&mut self) -> Result<(), SubstrateError> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

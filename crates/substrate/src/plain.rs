@@ -27,6 +27,12 @@ impl PlainMemory {
     }
 }
 
+/// Shared raw-image export for anything stored as bare `f32` words:
+/// the little-endian word bytes.
+fn export_f32_raw(words: &[f32]) -> Vec<u8> {
+    words.iter().flat_map(|w| w.to_le_bytes()).collect()
+}
+
 /// Shared raw-bit flip for anything stored as bare `f32` words.
 fn flip_f32_bit(words: &mut [f32], bit: usize) {
     let total = words.len() * 32;
@@ -73,6 +79,10 @@ impl WeightSubstrate for PlainMemory {
 
     fn scrub(&mut self) -> ScrubSummary {
         ScrubSummary::default()
+    }
+
+    fn export_raw(&self) -> Vec<u8> {
+        export_f32_raw(self.read_weights().as_slice())
     }
 
     fn storage_overhead(&self) -> usize {
@@ -123,6 +133,10 @@ impl WeightSubstrate for [f32] {
         ScrubSummary::default()
     }
 
+    fn export_raw(&self) -> Vec<u8> {
+        export_f32_raw(self.read_weights().as_slice())
+    }
+
     fn storage_overhead(&self) -> usize {
         0
     }
@@ -161,6 +175,10 @@ impl WeightSubstrate for Vec<f32> {
 
     fn scrub(&mut self) -> ScrubSummary {
         ScrubSummary::default()
+    }
+
+    fn export_raw(&self) -> Vec<u8> {
+        export_f32_raw(self.read_weights().as_slice())
     }
 
     fn storage_overhead(&self) -> usize {

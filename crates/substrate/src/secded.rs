@@ -52,6 +52,10 @@ impl WeightSubstrate for SecdedMemory {
         }
     }
 
+    fn export_raw(&self) -> Vec<u8> {
+        self.words().iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
     fn storage_overhead(&self) -> usize {
         self.overhead_bytes()
     }

@@ -210,6 +210,38 @@ impl SharedSubstrate {
             .flip_raw_bit(bit - self.raw_offsets[shard]);
     }
 
+    /// Serializes one shard's raw image under its read lock — the
+    /// persistence snapshot path (see [`WeightSubstrate::export_raw`]).
+    pub fn export_shard_raw(&self, shard: usize) -> Vec<u8> {
+        self.shards[shard]
+            .read()
+            .expect("lock poisoned")
+            .export_raw()
+    }
+
+    /// Flushes one shard's buffered state to its backing store (a
+    /// no-op for in-memory shards).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's [`SubstrateError`].
+    pub fn flush_shard(&self, shard: usize) -> Result<(), SubstrateError> {
+        self.shards[shard].write().expect("lock poisoned").flush()
+    }
+
+    /// Flushes every shard (shard-by-shard, like
+    /// [`scrub`](SharedSubstrate::scrub)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's [`SubstrateError`].
+    pub fn flush(&self) -> Result<(), SubstrateError> {
+        for i in 0..self.shards.len() {
+            self.flush_shard(i)?;
+        }
+        Ok(())
+    }
+
     /// Total storage overhead beyond 4 bytes per weight, in bytes.
     pub fn storage_overhead(&self) -> usize {
         self.shards

@@ -45,6 +45,22 @@ impl XtsSecdedMemory {
         }
     }
 
+    /// Reconstructs a memory from raw code words (the persistence path;
+    /// preserves any in-flight error state bit-for-bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the word count is not a whole number of blocks or
+    /// cannot hold `len` weights.
+    pub fn from_words(words: Vec<u64>, len: usize, cipher: XtsCipher) -> Self {
+        assert!(
+            words.len().is_multiple_of(WORDS_PER_BLOCK) && words.len() * 4 >= len * 4,
+            "raw image of {} words cannot hold {len} weights",
+            words.len()
+        );
+        XtsSecdedMemory { cipher, words, len }
+    }
+
     /// Number of SECDED code words (4 per cipher block).
     pub fn code_words(&self) -> usize {
         self.words.len()
@@ -131,6 +147,10 @@ impl WeightSubstrate for XtsSecdedMemory {
             }
         }
         summary
+    }
+
+    fn export_raw(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_le_bytes()).collect()
     }
 
     fn storage_overhead(&self) -> usize {

@@ -73,6 +73,7 @@ proptest! {
                     prop_assert!(summary.is_clean(), "{}", kind);
                     prop_assert_ne!(mem.read_weights(), w.clone(), "{}", kind);
                 }
+                _ => unreachable!("ALL holds only in-memory kinds"),
             }
         }
     }

@@ -53,6 +53,33 @@ impl EncryptedMemory {
         })
     }
 
+    /// Reconstructs a memory from a raw ciphertext image (the
+    /// persistence path: ciphertext round-trips through disk without a
+    /// decrypt, preserving any in-flight error state bit-for-bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XtsError::BadLength`] when the image is not a whole
+    /// number of blocks or cannot hold `len` weights.
+    pub fn from_ciphertext(
+        ciphertext: Vec<u8>,
+        len: usize,
+        cipher: XtsCipher,
+    ) -> Result<Self, XtsError> {
+        if !ciphertext.len().is_multiple_of(BLOCK_BYTES) || ciphertext.len() < len * 4 {
+            return Err(XtsError::BadLength {
+                len: ciphertext.len(),
+            });
+        }
+        let mut buf = BytesMut::with_capacity(ciphertext.len());
+        buf.put_slice(&ciphertext);
+        Ok(EncryptedMemory {
+            cipher,
+            ciphertext: buf,
+            len,
+        })
+    }
+
     /// Number of stored weights.
     pub fn len(&self) -> usize {
         self.len
