@@ -13,6 +13,7 @@
 //! The run is deterministic under `--seed`: re-running prints the same
 //! digest and availability bit-for-bit.
 
+use milr_bench::json::{write_summary, JsonObject};
 use milr_bench::serve::run_measured;
 use milr_core::MilrConfig;
 use milr_serve::sim::SimConfig;
@@ -139,15 +140,10 @@ fn main() {
     );
     println!("digest:   {:#x} (seed-reproducible)", r.digest);
 
-    let json = format!(
-        "{{\"report\":{},\"comparison\":{},\"storage\":{}}}",
-        r.to_json(),
-        cmp.to_json(),
-        storage.to_json()
-    );
-    println!("{json}");
-    if let Some(path) = cli.json {
-        std::fs::write(&path, format!("{json}\n")).expect("writing the JSON summary");
-        eprintln!("wrote {path}");
-    }
+    let json = JsonObject::new()
+        .raw("report", &r.to_json())
+        .raw("comparison", &cmp.to_json())
+        .raw("storage", &storage.to_json())
+        .finish();
+    write_summary(&json, cli.json.as_deref());
 }

@@ -20,6 +20,7 @@
 //! * `scrub_mw_s` — clean scrub-on-load throughput in million
 //!   weights/second.
 
+use milr_bench::json::{array, write_summary, JsonObject};
 use milr_bench::{prepare, Args};
 use milr_serve::cold_start;
 use milr_store::{ContainerFootprint, Store, StoreOptions};
@@ -110,34 +111,26 @@ fn main() {
             cold_faulty_ms,
             scrub_mw_s
         );
-        arms.push(format!(
-            concat!(
-                "{{\"substrate\":\"{}\",\"weight_bytes\":{},\"resistant_bytes\":{},",
-                "\"save_ms\":{:.3},\"open_ms\":{:.3},\"cold_clean_ms\":{:.3},",
-                "\"cold_faulty_ms\":{:.3},\"scrub_mw_s\":{:.3}}}"
-            ),
-            kind.name(),
-            footprint.weight_bytes,
-            footprint.resistant_bytes,
-            save_ms,
-            open_ms,
-            cold_clean_ms,
-            cold_faulty_ms,
-            scrub_mw_s
-        ));
+        arms.push(
+            JsonObject::new()
+                .string("substrate", kind.name())
+                .uint("weight_bytes", footprint.weight_bytes)
+                .uint("resistant_bytes", footprint.resistant_bytes)
+                .float("save_ms", save_ms, 3)
+                .float("open_ms", open_ms, 3)
+                .float("cold_clean_ms", cold_clean_ms, 3)
+                .float("cold_faulty_ms", cold_faulty_ms, 3)
+                .float("scrub_mw_s", scrub_mw_s, 3)
+                .finish(),
+        );
     }
 
     let storage = prep.milr.storage_report(&prep.model);
-    let json = format!(
-        "{{\"net\":\"{}\",\"params\":{},\"storage\":{},\"arms\":[{}]}}",
-        prep.label,
-        params,
-        storage.to_json(),
-        arms.join(",")
-    );
-    println!("{json}");
-    if let Some(path) = &args.json {
-        std::fs::write(path, format!("{json}\n")).expect("writing the JSON summary");
-        eprintln!("wrote {path}");
-    }
+    let json = JsonObject::new()
+        .string("net", &prep.label)
+        .uint("params", params as u64)
+        .raw("storage", &storage.to_json())
+        .raw("arms", &array(arms))
+        .finish();
+    write_summary(&json, args.json.as_deref());
 }

@@ -5,6 +5,7 @@
 //! cargo run --release -p milr-bench --bin table_storage -- --net mnist --paper-scale
 //! ```
 
+use milr_bench::json::{write_summary, JsonObject};
 use milr_bench::{prepare, Args};
 
 fn main() {
@@ -35,14 +36,9 @@ fn main() {
         report.fraction_of_backup()
     );
     // Machine-readable twin of the table row.
-    let json = format!(
-        "{{\"net\":\"{}\",\"storage\":{}}}",
-        prep.label,
-        report.to_json()
-    );
-    println!("{json}");
-    if let Some(path) = &args.json {
-        std::fs::write(path, format!("{json}\n")).expect("writing the JSON summary");
-        eprintln!("wrote {path}");
-    }
+    let json = JsonObject::new()
+        .string("net", &prep.label)
+        .raw("storage", &report.to_json())
+        .finish();
+    write_summary(&json, args.json.as_deref());
 }

@@ -17,6 +17,8 @@
 
 pub mod args;
 pub mod arms;
+pub mod fleet;
+pub mod json;
 pub mod nets;
 pub mod serve;
 pub mod stats;

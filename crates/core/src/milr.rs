@@ -37,6 +37,22 @@ pub enum RecoveryOutcome {
     },
 }
 
+impl RecoveryOutcome {
+    /// True when the heal re-solved the layer's parameters themselves —
+    /// fully or CRC-guided partially — rather than approximating them.
+    /// [`RecoveryOutcome::MinNorm`] and [`RecoveryOutcome::Failed`] are
+    /// *not* exact: the layer is beyond MILR's recoverable set (the
+    /// paper's partial-recoverability limit, §V-B), and a replicated
+    /// deployment should restore it from a peer's certified store
+    /// instead of accepting the approximation.
+    pub fn is_exact(&self) -> bool {
+        matches!(
+            self,
+            RecoveryOutcome::Full | RecoveryOutcome::Partial { .. }
+        )
+    }
+}
+
 impl From<SolveOutcome> for RecoveryOutcome {
     fn from(o: SolveOutcome) -> Self {
         match o {
@@ -62,6 +78,22 @@ impl RecoveryReport {
         self.outcomes
             .iter()
             .all(|(_, o)| matches!(o, RecoveryOutcome::Full))
+    }
+
+    /// True when every flagged layer's heal was exact
+    /// ([`RecoveryOutcome::is_exact`]).
+    pub fn all_exact(&self) -> bool {
+        self.outcomes.iter().all(|(_, o)| o.is_exact())
+    }
+
+    /// Indices of the layers whose heal was **not** exact — the
+    /// irrecoverable set a replicated deployment hands to peer repair.
+    pub fn irrecoverable(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| !o.is_exact())
+            .map(|(i, _)| *i)
+            .collect()
     }
 }
 

@@ -1,0 +1,240 @@
+//! One fleet member: a substrate-backed serving host over its own
+//! persistent store, with an explicit health state.
+//!
+//! A [`Replica`] owns the full single-instance stack — the
+//! [`ModelHost`] whose weights live only in substrate shards, the
+//! [`Milr`] protection instance anchored to the certified weights, and
+//! the [`Store`] those shards page against. The fleet layers health on
+//! top: a [`ReplicaState`] the router keys dispatch on, a MILR heal
+//! attempt that *classifies* its outcome (exact vs irrecoverable)
+//! instead of accepting approximations, and a durable re-anchor for
+//! rejoining after repair.
+
+use crate::FleetError;
+use milr_core::{DetectionReport, Milr};
+use milr_nn::Sequential;
+use milr_serve::{cold_start, ColdStartReport, ModelHost};
+use milr_store::Store;
+use std::path::Path;
+
+/// Health of one replica, as the router sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Opened but not yet admitted to traffic (scrub-on-load pending).
+    Cold,
+    /// Healthy: eligible for dispatch and as a peer-repair donor.
+    Serving,
+    /// A flagged scrub pulled it from rotation; MILR heal in progress.
+    Quarantined,
+    /// MILR heal reported irrecoverable layers; fetching certified
+    /// pages from a peer.
+    Repairing,
+}
+
+impl ReplicaState {
+    /// Stable lowercase name (reports, logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicaState::Cold => "cold",
+            ReplicaState::Serving => "serving",
+            ReplicaState::Quarantined => "quarantined",
+            ReplicaState::Repairing => "repairing",
+        }
+    }
+
+    /// True when the router may dispatch to (and peers may fetch
+    /// certified pages from) this replica.
+    pub fn is_serving(&self) -> bool {
+        matches!(self, ReplicaState::Serving)
+    }
+}
+
+/// Outcome classification of one MILR heal attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealAttempt {
+    /// Layers detection flagged going in.
+    pub flagged: Vec<usize>,
+    /// Flagged layers healed exactly (written back to the substrate).
+    pub healed_exact: Vec<usize>,
+    /// Flagged layers beyond MILR's recoverable set (min-norm or
+    /// failed outcomes) — the set handed to peer repair. Their
+    /// substrate shards are left untouched.
+    pub irrecoverable: Vec<usize>,
+}
+
+impl HealAttempt {
+    /// True when nothing was flagged.
+    pub fn was_clean(&self) -> bool {
+        self.flagged.is_empty()
+    }
+}
+
+/// One fleet member: host + protection + store + health state.
+pub struct Replica {
+    id: usize,
+    host: ModelHost,
+    milr: Milr,
+    store: Store,
+    state: ReplicaState,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("state", &self.state.name())
+            .field("store", &self.store.path())
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Opens the replica's container without healing: the host pages
+    /// against the store's substrates, protection is the stored
+    /// instance, and the state is [`ReplicaState::Cold`] — not yet
+    /// eligible for traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store open failures.
+    pub fn open(id: usize, path: &Path, cache_pages: usize) -> Result<Self, FleetError> {
+        let store = Store::open(path)?;
+        let host =
+            ModelHost::from_parts(store.template().clone(), store.open_substrates(cache_pages));
+        let milr = store.milr().clone();
+        Ok(Replica {
+            id,
+            host,
+            milr,
+            store,
+            state: ReplicaState::Cold,
+        })
+    }
+
+    /// Opens the replica through the full scrub-on-load cold start
+    /// (substrate scrub, detection, heal rounds, durable re-anchor) and
+    /// admits it to traffic ([`ReplicaState::Serving`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store and healing failures.
+    pub fn cold_start(
+        id: usize,
+        path: &Path,
+        cache_pages: usize,
+    ) -> Result<(Self, ColdStartReport), FleetError> {
+        let mut store = Store::open(path)?;
+        let (host, milr, report) = cold_start(&mut store, cache_pages)?;
+        Ok((
+            Replica {
+                id,
+                host,
+                milr,
+                store,
+                state: ReplicaState::Serving,
+            },
+            report,
+        ))
+    }
+
+    /// The replica's fleet index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current health state.
+    pub fn state(&self) -> ReplicaState {
+        self.state
+    }
+
+    /// Transitions the health state (the fleet control plane's job; the
+    /// replica itself never changes state behind the router's back).
+    pub fn set_state(&mut self, state: ReplicaState) {
+        self.state = state;
+    }
+
+    /// The serving host (substrate-backed weights).
+    pub fn host(&self) -> &ModelHost {
+        &self.host
+    }
+
+    /// The protection instance currently anchored to the certified
+    /// weights.
+    pub fn milr(&self) -> &Milr {
+        &self.milr
+    }
+
+    /// The persistent store backing the host's substrates.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Decodes the substrates into a runnable model.
+    pub fn materialize(&self) -> Sequential {
+        self.host.materialize()
+    }
+
+    /// Runs a full detection pass over the live weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detection failures.
+    pub fn detect(&self) -> Result<DetectionReport, FleetError> {
+        Ok(self.milr.detect(&self.host.materialize())?)
+    }
+
+    /// Attempts a MILR heal of the currently flagged layers and
+    /// **classifies** the outcome: layers whose recovery was exact
+    /// (full or CRC-guided partial) are written back to the substrate
+    /// and flushed; layers whose recovery came back min-norm or failed
+    /// are reported irrecoverable and their shards left untouched —
+    /// the caller hands them to [`peer_repair`](crate::peer_repair)
+    /// rather than serving an approximation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detection/recovery/store failures.
+    pub fn try_heal(&mut self) -> Result<HealAttempt, FleetError> {
+        let mut live = self.host.materialize();
+        let check = self.milr.detect(&live)?;
+        if check.is_clean() {
+            return Ok(HealAttempt {
+                flagged: Vec::new(),
+                healed_exact: Vec::new(),
+                irrecoverable: Vec::new(),
+            });
+        }
+        let recovery = self.milr.recover_layers(&mut live, &check.flagged)?;
+        let irrecoverable = recovery.irrecoverable();
+        let healed_exact: Vec<usize> = recovery
+            .outcomes
+            .iter()
+            .filter(|(_, o)| o.is_exact())
+            .map(|(i, _)| *i)
+            .collect();
+        if !healed_exact.is_empty() {
+            self.host.write_back(&live, &healed_exact);
+            self.host.store().flush().map_err(FleetError::Substrate)?;
+        }
+        Ok(HealAttempt {
+            flagged: check.flagged,
+            healed_exact,
+            irrecoverable,
+        })
+    }
+
+    /// Re-protects against the current live weights and commits the
+    /// new (artifacts, weights) pair atomically to the store — the
+    /// durable re-anchor that ends every successful heal or repair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protection and store-commit failures.
+    pub fn reanchor(&mut self) -> Result<(), FleetError> {
+        let live = self.host.materialize();
+        self.milr = Milr::protect(&live, *self.milr.config())?;
+        self.store
+            .commit_reanchor(&self.milr, &live, self.host.store())?;
+        Ok(())
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic request routing across replicas.
+//!
+//! The router is intentionally tiny and stateful-but-deterministic: a
+//! round-robin pointer over the replicas, advanced only when a batch is
+//! actually placed. Unhealthy replicas (anything not
+//! [`Serving`](crate::ReplicaState::Serving), or with no free worker)
+//! are skipped, which *is* failover: the moment a replica quarantines,
+//! the next dispatch lands on its neighbour, and the pointer's position
+//! is a pure function of the dispatch history — a seeded simulation
+//! replays it bit-for-bit.
+
+/// Round-robin routing over replicas, skipping the unhealthy.
+#[derive(Debug, Clone)]
+pub struct Router {
+    replicas: usize,
+    next: usize,
+}
+
+impl Router {
+    /// A router over `replicas` replicas, starting at replica 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replicas == 0`.
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas > 0, "a fleet needs at least one replica");
+        Router { replicas, next: 0 }
+    }
+
+    /// Picks the next eligible replica (`eligible[i]` = healthy *and*
+    /// has dispatch capacity), advancing the round-robin pointer past
+    /// it. Returns `None` — and leaves the pointer untouched — when no
+    /// replica is eligible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `eligible.len()` differs from the fleet size.
+    pub fn route(&mut self, eligible: &[bool]) -> Option<usize> {
+        assert_eq!(eligible.len(), self.replicas, "one flag per replica");
+        for step in 0..self.replicas {
+            let candidate = (self.next + step) % self.replicas;
+            if eligible[candidate] {
+                self.next = (candidate + 1) % self.replicas;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Number of replicas routed over.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_over_healthy_replicas() {
+        let mut r = Router::new(3);
+        assert_eq!(r.route(&[true, true, true]), Some(0));
+        assert_eq!(r.route(&[true, true, true]), Some(1));
+        assert_eq!(r.route(&[true, true, true]), Some(2));
+        assert_eq!(r.route(&[true, true, true]), Some(0));
+    }
+
+    #[test]
+    fn failover_skips_unhealthy_and_recovers() {
+        let mut r = Router::new(3);
+        assert_eq!(r.route(&[true, true, true]), Some(0));
+        // Replica 1 quarantines: traffic fails over to 2, then 0.
+        assert_eq!(r.route(&[true, false, true]), Some(2));
+        assert_eq!(r.route(&[true, false, true]), Some(0));
+        assert_eq!(r.route(&[true, false, true]), Some(2));
+        // Replica 1 rejoins and takes its turn again.
+        assert_eq!(r.route(&[true, true, true]), Some(0));
+        assert_eq!(r.route(&[true, true, true]), Some(1));
+    }
+
+    #[test]
+    fn no_eligible_replica_leaves_pointer_untouched() {
+        let mut r = Router::new(2);
+        assert_eq!(r.route(&[false, false]), None);
+        assert_eq!(r.route(&[true, true]), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn rejects_empty_fleet() {
+        Router::new(0);
+    }
+}

@@ -1,0 +1,1000 @@
+//! Deterministic multi-replica fault-campaign simulation.
+//!
+//! One single-threaded discrete-event loop drives N full replicas —
+//! each a substrate-backed host paging against its own on-disk `.milr`
+//! store — behind the fleet [`Router`], on a virtual clock. Every
+//! source of nondeterminism is seeded (arrivals, inputs, the
+//! per-replica fault campaign) or fixed ([`VirtualCosts`], the
+//! peer-fetch cost), so a run is a pure function of
+//! `(model, MilrConfig, FleetConfig)`: two runs with the same seed
+//! produce byte-identical [`FleetReport`]s, outcome for outcome.
+//!
+//! ## The failure ladder
+//!
+//! * A **recoverable** fault (whole-weight corruption of a fully
+//!   recoverable conv layer) rides the `milr-serve` path: flagged
+//!   scrub → quarantine → failover → exact MILR heal → durable
+//!   re-anchor → rejoin.
+//! * A **beyond-capacity** fault (`heavy_faults`: a whole
+//!   partial-recoverability conv layer corrupted at once) makes MILR's
+//!   recovery come back min-norm — on a single instance that is the
+//!   paper's accept-an-approximation cliff. Here the replica instead
+//!   enters `Repairing`, fetches the affected layers' certified pages
+//!   from a healthy peer, imports them bit-for-bit, re-verifies,
+//!   re-protects, re-anchors, and rejoins serving the **exact** golden
+//!   weights.
+//!
+//! Throughout both, the drain policy re-queues voided work onto the
+//! fleet queue where healthy peers absorb it: no request is lost during
+//! failover.
+
+use crate::repair::{apply_repair, fetch_certified};
+use crate::replica::{Replica, ReplicaState};
+use crate::report::{FleetReport, ReplicaReport};
+use crate::router::Router;
+use crate::FleetError;
+use milr_core::{Milr, MilrConfig, SolvingPlan};
+use milr_fault::FaultRng;
+use milr_nn::{Layer, Sequential};
+use milr_serve::sim::{EventQueue, VirtualCosts};
+use milr_serve::{
+    outcome_digest, CertificationLedger, DowntimeLog, LatencyStats, QuarantinePolicy, RejectReason,
+    RequestOutcome, RequestStatus, ScrubCursor, ServeReport,
+};
+use milr_store::{Store, StoreOptions};
+use milr_substrate::SubstrateKind;
+use milr_tensor::{Tensor, TensorRng};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration of one simulated fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Master seed for arrivals, inputs, and the fault campaign.
+    pub seed: u64,
+    /// Replicas in the fleet.
+    pub replicas: usize,
+    /// Substrate kind encoding every replica's weight pages.
+    pub kind: SubstrateKind,
+    /// Requests in the workload.
+    pub requests: usize,
+    /// Mean inter-arrival gap, nanoseconds (exponential arrivals).
+    pub mean_arrival_ns: u64,
+    /// Worker pool size per replica.
+    pub workers_per_replica: usize,
+    /// Fleet-level bounded admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one batch.
+    pub batch_max: usize,
+    /// Per-replica scrubber cadence, nanoseconds between ticks.
+    pub scrub_interval_ns: u64,
+    /// Checkable layers examined per scrub tick.
+    pub layers_per_tick: usize,
+    /// What happens to a quarantined replica's queued/in-flight work.
+    /// `Drain` re-queues it onto the fleet queue (peers absorb it);
+    /// `Reject` completes it with errors. Arrivals are only rejected
+    /// under `Reject` while **zero** replicas are serving.
+    pub policy: QuarantinePolicy,
+    /// Recoverable whole-weight faults, spread over the replicas.
+    pub faults: usize,
+    /// Beyond-MILR-capacity faults: each corrupts **every** weight of
+    /// one partial-recoverability conv layer of one replica, forcing
+    /// the peer-repair path.
+    pub heavy_faults: usize,
+    /// Virtual operation costs (shared with the single-instance sim).
+    pub costs: VirtualCosts,
+    /// Virtual cost of fetching + certifying one page from a peer.
+    pub peer_page_ns: u64,
+    /// Weights per on-disk page of every replica's store.
+    pub page_weights: usize,
+    /// Page-cache budget of each replica's file substrates.
+    pub cache_pages: usize,
+    /// Directory for the replica containers. `None` uses a private
+    /// temp directory that is removed when the run finishes (the
+    /// returned store paths then point at removed files); give a
+    /// directory to inspect the containers afterwards.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 0xF1EE7,
+            replicas: 3,
+            kind: SubstrateKind::Secded,
+            requests: 150,
+            mean_arrival_ns: 400_000,
+            workers_per_replica: 2,
+            queue_capacity: 512,
+            batch_max: 8,
+            scrub_interval_ns: 4_000_000,
+            layers_per_tick: 2,
+            policy: QuarantinePolicy::Drain,
+            faults: 2,
+            heavy_faults: 0,
+            costs: VirtualCosts::default(),
+            peer_page_ns: 2_000_000,
+            page_weights: 64,
+            cache_pages: 16,
+            dir: None,
+        }
+    }
+}
+
+/// Everything a simulated fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetSimResult {
+    /// Aggregated counters, three ways (fleet / capacity / per-replica).
+    pub report: FleetReport,
+    /// Every request's terminal state, by submission order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// The replica container paths, by replica index (still on disk
+    /// only when [`FleetConfig::dir`] was given).
+    pub store_paths: Vec<PathBuf>,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(usize),
+    WorkerDone {
+        replica: usize,
+        worker: usize,
+    },
+    ScrubTick {
+        replica: usize,
+        epoch: u64,
+    },
+    Fault {
+        replica: usize,
+        layer: usize,
+        weight: usize,
+    },
+    HeavyFault {
+        replica: usize,
+        layer: usize,
+    },
+    RecoveryDone {
+        replica: usize,
+        epoch: u64,
+    },
+    RepairDone {
+        replica: usize,
+        epoch: u64,
+    },
+}
+
+struct Req {
+    input: Tensor,
+    arrival: u64,
+    resolved: Option<(u64, RequestStatus)>,
+}
+
+struct Batch {
+    reqs: Vec<usize>,
+    outputs: Vec<Tensor>,
+    epoch: u64,
+}
+
+/// Removes the run's private temp directory on every exit path (the
+/// replica containers are multi-megabyte; error returns must not
+/// strand them). Declared before the replicas so their store handles
+/// close first.
+struct DirCleanup {
+    dir: PathBuf,
+    enabled: bool,
+}
+
+impl Drop for DirCleanup {
+    fn drop(&mut self) {
+        if self.enabled {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+/// Per-replica simulation state around the [`Replica`] itself.
+struct Rep {
+    replica: Replica,
+    cursor: ScrubCursor,
+    ledger: CertificationLedger<Batch>,
+    /// Materialized model serving dispatches, rebuilt lazily. Decoding
+    /// every shard (an AES-XTS decrypt of the whole model on the
+    /// encrypted substrates) per batch dominates a run's cost, and the
+    /// weights only change at simulator-visible events — the cache is
+    /// dropped on fault injection, on scrub corrections, and on rejoin
+    /// (heal write-backs, peer imports), so it always equals what
+    /// `materialize()` would return at dispatch time.
+    model_cache: Option<Sequential>,
+    workers: Vec<Option<Batch>>,
+    epoch: u64,
+    recovery_attempts: u32,
+    repair_attempts: u32,
+    /// Irrecoverable layers awaiting peer repair.
+    pending_repair: Vec<usize>,
+    /// Whether the current episode healed or imported anything (gates
+    /// the durable re-anchor on rejoin).
+    episode_healed: bool,
+    downtime: DowntimeLog,
+    last_fault_time: u64,
+    last_clean_cycle: Option<u64>,
+    // Counters.
+    dispatched: usize,
+    completed: usize,
+    rejected: usize,
+    reexecuted: usize,
+    faults_injected: usize,
+    scrub_corrected: usize,
+    scrub_ticks: usize,
+    quarantines: usize,
+    layers_recovered: usize,
+    peer_repairs: usize,
+    repair_pages: usize,
+    repair_bytes: usize,
+    repairs_donated: usize,
+    latencies: Vec<u64>,
+}
+
+/// Distinguishes concurrently running simulations' temp directories.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Runs one deterministic fleet simulation.
+///
+/// # Errors
+///
+/// Propagates MILR protection/detection/recovery failures and replica
+/// store I/O errors, and returns [`FleetError::NoHealthyPeer`] when a
+/// repairing replica exhausts its donor retries — a campaign that takes
+/// every replica's copy of a layer beyond repair at once, which
+/// replication cannot fix.
+///
+/// # Panics
+///
+/// Panics on zero-sized pools/queues/batches/fleets, when the model
+/// lacks layers eligible for the requested fault kinds, when MILR
+/// recovery fails to converge within its retry budget, or if the event
+/// budget is exhausted.
+pub fn simulate(
+    golden: &Sequential,
+    milr_config: MilrConfig,
+    cfg: &FleetConfig,
+) -> Result<FleetSimResult, FleetError> {
+    assert!(cfg.replicas > 0, "need at least one replica");
+    assert!(cfg.workers_per_replica > 0, "need at least one worker");
+    assert!(cfg.queue_capacity > 0, "need a non-empty queue");
+    assert!(cfg.batch_max > 0, "need a non-empty batch");
+    assert!(cfg.requests > 0, "need a workload");
+
+    // ---------------------------------------------------------- fleet
+    let milr = Milr::protect(golden, milr_config)?;
+    let checkable = milr.checkable_layers();
+    let (dir, private_dir) = match &cfg.dir {
+        Some(dir) => (dir.clone(), false),
+        None => {
+            let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("milr-fleet-sim-{}-{seq}", std::process::id()));
+            (dir, true)
+        }
+    };
+    std::fs::create_dir_all(&dir).map_err(milr_store::StoreError::Io)?;
+    let _cleanup = DirCleanup {
+        dir: dir.clone(),
+        enabled: private_dir,
+    };
+    let mut store_paths = Vec::with_capacity(cfg.replicas);
+    let mut reps: Vec<Rep> = Vec::with_capacity(cfg.replicas);
+    for r in 0..cfg.replicas {
+        let path = dir.join(format!("replica-{r}.milr"));
+        Store::create_protected(
+            &path,
+            golden,
+            &milr,
+            StoreOptions {
+                kind: cfg.kind,
+                page_weights: cfg.page_weights,
+            },
+        )?;
+        // Cold → Serving through the full scrub-on-load admission path.
+        let (replica, _) = Replica::cold_start(r, &path, cfg.cache_pages)?;
+        store_paths.push(path);
+        reps.push(Rep {
+            replica,
+            cursor: ScrubCursor::new(checkable.clone(), cfg.layers_per_tick),
+            ledger: CertificationLedger::default(),
+            model_cache: None,
+            workers: (0..cfg.workers_per_replica).map(|_| None).collect(),
+            epoch: 0,
+            recovery_attempts: 0,
+            repair_attempts: 0,
+            pending_repair: Vec::new(),
+            episode_healed: false,
+            downtime: DowntimeLog::default(),
+            last_fault_time: 0,
+            last_clean_cycle: None,
+            dispatched: 0,
+            completed: 0,
+            rejected: 0,
+            reexecuted: 0,
+            faults_injected: 0,
+            scrub_corrected: 0,
+            scrub_ticks: 0,
+            quarantines: 0,
+            layers_recovered: 0,
+            peer_repairs: 0,
+            repair_pages: 0,
+            repair_bytes: 0,
+            repairs_donated: 0,
+            latencies: Vec::new(),
+        });
+    }
+
+    // ------------------------------------------------------- workload
+    let mut input_rng = TensorRng::new(cfg.seed ^ 0x1A7E57);
+    let mut arrival_rng = FaultRng::seed(cfg.seed ^ 0xA441);
+    let mut reqs: Vec<Req> = Vec::with_capacity(cfg.requests);
+    let mut t = 0u64;
+    for _ in 0..cfg.requests {
+        let gap = -arrival_rng.unit().max(f64::MIN_POSITIVE).ln() * cfg.mean_arrival_ns as f64;
+        t += (gap as u64).max(1);
+        reqs.push(Req {
+            input: input_rng.uniform_tensor(golden.input_shape()),
+            arrival: t,
+            resolved: None,
+        });
+    }
+    let horizon = t;
+
+    // -------------------------------------------------- fault campaign
+    let full_layers: Vec<usize> = golden
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| {
+            matches!(l, Layer::Conv2D { .. })
+                && milr.plan().layers[*i].solving == Some(SolvingPlan::ConvFull)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let partial_layers: Vec<usize> = golden
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| {
+            matches!(l, Layer::Conv2D { .. })
+                && milr.plan().layers[*i].solving == Some(SolvingPlan::ConvPartial)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        cfg.faults == 0 || !full_layers.is_empty(),
+        "no fully recoverable conv layer to fault"
+    );
+    assert!(
+        cfg.heavy_faults == 0 || !partial_layers.is_empty(),
+        "no partial-recoverability conv layer for heavy faults"
+    );
+    let mut fault_rng = FaultRng::seed(cfg.seed ^ 0xFA117);
+    let mut timeline: EventQueue<Event> = EventQueue::new();
+    for (i, r) in reqs.iter().enumerate() {
+        timeline.schedule(r.arrival, Event::Arrival(i));
+    }
+    for _ in 0..cfg.faults {
+        let time = horizon / 10 + (fault_rng.unit() * 0.8 * horizon as f64) as u64;
+        let replica = fault_rng.below(cfg.replicas);
+        let layer = full_layers[fault_rng.below(full_layers.len())];
+        let weight = fault_rng.below(reps[replica].replica.host().layer_weight_count(layer));
+        timeline.schedule(
+            time,
+            Event::Fault {
+                replica,
+                layer,
+                weight,
+            },
+        );
+    }
+    for _ in 0..cfg.heavy_faults {
+        let time = horizon / 10 + (fault_rng.unit() * 0.8 * horizon as f64) as u64;
+        let replica = fault_rng.below(cfg.replicas);
+        let layer = partial_layers[fault_rng.below(partial_layers.len())];
+        timeline.schedule(time, Event::HeavyFault { replica, layer });
+    }
+    for r in 0..cfg.replicas {
+        timeline.schedule(
+            cfg.scrub_interval_ns,
+            Event::ScrubTick {
+                replica: r,
+                epoch: 0,
+            },
+        );
+    }
+
+    // ---------------------------------------------------- event loop
+    let mut clock = 0u64;
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut router = Router::new(cfg.replicas);
+    let mut fleet_down = DowntimeLog::default();
+    let mut resolved = 0usize;
+    let mut resolved_by: Vec<Option<usize>> = vec![None; cfg.requests];
+    let mut fleet_rejected = 0usize;
+    let mut fleet_completed = 0usize;
+    let mut fleet_latencies: Vec<u64> = Vec::new();
+
+    macro_rules! resolve {
+        ($idx:expr, $status:expr, $by:expr) => {{
+            let idx: usize = $idx;
+            debug_assert!(reqs[idx].resolved.is_none());
+            let status = $status;
+            let by: Option<usize> = $by;
+            match &status {
+                RequestStatus::Completed(_) => {
+                    fleet_completed += 1;
+                    let lat = clock.saturating_sub(reqs[idx].arrival);
+                    fleet_latencies.push(lat);
+                    if let Some(r) = by {
+                        reps[r].completed += 1;
+                        reps[r].latencies.push(lat);
+                    }
+                }
+                RequestStatus::Rejected(_) => {
+                    fleet_rejected += 1;
+                    if let Some(r) = by {
+                        reps[r].rejected += 1;
+                    }
+                }
+            }
+            resolved_by[idx] = by;
+            reqs[idx].resolved = Some((clock, status));
+            resolved += 1;
+        }};
+    }
+
+    macro_rules! try_dispatch {
+        () => {
+            while !queue.is_empty() {
+                let eligible: Vec<bool> = reps
+                    .iter()
+                    .map(|rep| {
+                        rep.replica.state().is_serving() && rep.workers.iter().any(Option::is_none)
+                    })
+                    .collect();
+                let Some(r) = router.route(&eligible) else {
+                    break;
+                };
+                let worker = reps[r]
+                    .workers
+                    .iter()
+                    .position(Option::is_none)
+                    .expect("eligibility implies a free worker");
+                let n = queue.len().min(cfg.batch_max);
+                let batch_reqs: Vec<usize> = queue.drain(..n).collect();
+                if reps[r].model_cache.is_none() {
+                    reps[r].model_cache = Some(reps[r].replica.host().materialize());
+                }
+                let inputs: Vec<Tensor> =
+                    batch_reqs.iter().map(|&i| reqs[i].input.clone()).collect();
+                let outputs = reps[r]
+                    .model_cache
+                    .as_ref()
+                    .expect("cache just filled")
+                    .forward_batch(&inputs)
+                    .expect("batch inputs validated at submission");
+                reps[r].dispatched += batch_reqs.len();
+                reps[r].workers[worker] = Some(Batch {
+                    reqs: batch_reqs,
+                    outputs,
+                    epoch: reps[r].epoch,
+                });
+                let done = clock + cfg.costs.batch_ns(n);
+                timeline.schedule(done, Event::WorkerDone { replica: r, worker });
+            }
+        };
+    }
+
+    /// Requests going back to the head of the fleet queue after
+    /// invalidation, ahead of everything that arrived later — this is
+    /// the failover hand-off: peers pick them up on the next dispatch.
+    macro_rules! requeue {
+        ($r:expr, $ids:expr) => {{
+            let mut ids: Vec<usize> = $ids;
+            ids.sort_unstable();
+            reps[$r].reexecuted += ids.len();
+            for idx in ids.into_iter().rev() {
+                queue.push_front(idx);
+            }
+        }};
+    }
+
+    macro_rules! update_fleet_gate {
+        () => {{
+            if reps.iter().any(|rep| rep.replica.state().is_serving()) {
+                fleet_down.close_at(clock);
+            } else {
+                fleet_down.open_at(clock);
+            }
+        }};
+    }
+
+    macro_rules! rejoin {
+        ($r:expr) => {{
+            let r: usize = $r;
+            if reps[r].episode_healed {
+                reps[r].replica.reanchor()?;
+                reps[r].episode_healed = false;
+            }
+            reps[r].replica.set_state(ReplicaState::Serving);
+            reps[r].model_cache = None;
+            reps[r].downtime.close_at(clock);
+            update_fleet_gate!();
+            reps[r].cursor.reset();
+            reps[r].pending_repair.clear();
+            let epoch = reps[r].epoch;
+            timeline.schedule(
+                clock + cfg.scrub_interval_ns,
+                Event::ScrubTick { replica: r, epoch },
+            );
+            try_dispatch!();
+        }};
+    }
+
+    let mut events = 0u64;
+    while let Some((time, event)) = timeline.pop() {
+        events += 1;
+        assert!(events < 50_000_000, "fleet event budget exhausted");
+        debug_assert!(time >= clock, "virtual time must be monotone");
+        clock = time;
+        match event {
+            Event::Arrival(idx) => {
+                let any_serving = reps.iter().any(|rep| rep.replica.state().is_serving());
+                if cfg.policy == QuarantinePolicy::Reject && !any_serving {
+                    resolve!(
+                        idx,
+                        RequestStatus::Rejected(RejectReason::Quarantined),
+                        None
+                    );
+                } else if queue.len() >= cfg.queue_capacity {
+                    resolve!(idx, RequestStatus::Rejected(RejectReason::QueueFull), None);
+                } else {
+                    queue.push_back(idx);
+                    try_dispatch!();
+                }
+            }
+            Event::WorkerDone { replica: r, worker } => {
+                let batch = reps[r].workers[worker].take().expect("worker was busy");
+                if batch.epoch != reps[r].epoch {
+                    // Dispatched before a quarantine: outputs suspect.
+                    match cfg.policy {
+                        QuarantinePolicy::Drain => requeue!(r, batch.reqs),
+                        QuarantinePolicy::Reject => {
+                            for idx in batch.reqs {
+                                resolve!(
+                                    idx,
+                                    RequestStatus::Rejected(RejectReason::Quarantined),
+                                    Some(r)
+                                );
+                            }
+                        }
+                    }
+                } else {
+                    reps[r].ledger.record(clock, batch);
+                }
+                try_dispatch!();
+            }
+            Event::Fault {
+                replica: r,
+                layer,
+                weight,
+            } => {
+                reps[r].replica.host().corrupt_weight(layer, weight);
+                reps[r].model_cache = None;
+                reps[r].faults_injected += 1;
+                reps[r].last_fault_time = clock;
+            }
+            Event::HeavyFault { replica: r, layer } => {
+                reps[r].replica.host().corrupt_layer(layer);
+                reps[r].model_cache = None;
+                reps[r].faults_injected += 1;
+                reps[r].last_fault_time = clock;
+            }
+            Event::ScrubTick { replica: r, epoch } => {
+                if epoch != reps[r].epoch || !reps[r].replica.state().is_serving() {
+                    continue; // stale tick from before a quarantine
+                }
+                reps[r].scrub_ticks += 1;
+                let chunk = reps[r].cursor.begin_tick(clock);
+                let corrected = reps[r].replica.host().scrub_layers(&chunk).corrected;
+                if corrected > 0 {
+                    reps[r].model_cache = None;
+                }
+                reps[r].scrub_corrected += corrected;
+                let live = reps[r].replica.host().materialize_layers(&chunk);
+                let report = reps[r].replica.milr().detect_layers(&live, &chunk)?;
+                let flagged = !report.is_clean();
+                if let Some(cycle_start) = reps[r].cursor.finish_tick(flagged, clock) {
+                    reps[r].last_clean_cycle = Some(cycle_start);
+                    for batch in reps[r].ledger.certify_before(cycle_start) {
+                        for (idx, out) in batch.reqs.into_iter().zip(batch.outputs) {
+                            resolve!(idx, RequestStatus::Completed(out), Some(r));
+                        }
+                    }
+                }
+                if flagged {
+                    // Quarantine: void uncertified work, fail traffic
+                    // over to the peers, schedule recovery.
+                    reps[r].quarantines += 1;
+                    reps[r].replica.set_state(ReplicaState::Quarantined);
+                    reps[r].epoch += 1;
+                    reps[r].recovery_attempts = 0;
+                    reps[r].downtime.open_at(clock);
+                    update_fleet_gate!();
+                    let voided = reps[r].ledger.invalidate();
+                    match cfg.policy {
+                        QuarantinePolicy::Drain => {
+                            requeue!(r, voided.into_iter().flat_map(|b| b.reqs).collect());
+                        }
+                        QuarantinePolicy::Reject => {
+                            for batch in voided {
+                                for idx in batch.reqs {
+                                    resolve!(
+                                        idx,
+                                        RequestStatus::Rejected(RejectReason::Quarantined),
+                                        Some(r)
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    let recovery_cost =
+                        cfg.costs.full_detect_ns(checkable.len()) + cfg.costs.recover_ns;
+                    let next_epoch = reps[r].epoch;
+                    timeline.schedule(
+                        clock + recovery_cost,
+                        Event::RecoveryDone {
+                            replica: r,
+                            epoch: next_epoch,
+                        },
+                    );
+                    try_dispatch!();
+                } else {
+                    timeline.schedule(
+                        clock + cfg.scrub_interval_ns,
+                        Event::ScrubTick { replica: r, epoch },
+                    );
+                }
+            }
+            Event::RecoveryDone { replica: r, epoch } => {
+                if epoch != reps[r].epoch || reps[r].replica.state() != ReplicaState::Quarantined {
+                    continue;
+                }
+                let heal = reps[r].replica.try_heal()?;
+                reps[r].layers_recovered += heal.healed_exact.len();
+                reps[r].episode_healed |= !heal.healed_exact.is_empty();
+                if !heal.irrecoverable.is_empty() {
+                    // Beyond MILR's recoverable set: fetch the layers
+                    // from a healthy peer instead of serving the
+                    // min-norm approximation.
+                    reps[r].replica.set_state(ReplicaState::Repairing);
+                    reps[r].repair_attempts = 0;
+                    let pages: usize = heal
+                        .irrecoverable
+                        .iter()
+                        .map(|&l| reps[r].replica.store().layer_page_count(l))
+                        .sum();
+                    reps[r].pending_repair = heal.irrecoverable;
+                    timeline.schedule(
+                        clock + pages as u64 * cfg.peer_page_ns + cfg.costs.recover_ns,
+                        Event::RepairDone { replica: r, epoch },
+                    );
+                    continue;
+                }
+                let verify = reps[r].replica.detect()?;
+                if verify.is_clean() {
+                    rejoin!(r);
+                } else {
+                    reps[r].recovery_attempts += 1;
+                    assert!(
+                        reps[r].recovery_attempts < 8,
+                        "replica {r} recovery failed to converge: {:?}",
+                        verify.flagged
+                    );
+                    timeline.schedule(
+                        clock + cfg.costs.recover_ns,
+                        Event::RecoveryDone { replica: r, epoch },
+                    );
+                }
+            }
+            Event::RepairDone { replica: r, epoch } => {
+                if epoch != reps[r].epoch || reps[r].replica.state() != ReplicaState::Repairing {
+                    continue;
+                }
+                // Deterministic donor choice: the lowest-index serving
+                // peer whose pages certify.
+                let layers = reps[r].pending_repair.clone();
+                let mut fetched = None;
+                for (p, rep) in reps.iter().enumerate() {
+                    if p == r || !rep.replica.state().is_serving() {
+                        continue;
+                    }
+                    if let Ok(images) = fetch_certified(rep.replica.store(), &layers) {
+                        fetched = Some((p, images));
+                        break;
+                    }
+                }
+                let Some((donor, images)) = fetched else {
+                    // No healthy donor right now (peers quarantined or
+                    // their disks dirty): wait a scrub interval and
+                    // retry. A campaign that takes every replica's copy
+                    // of a layer beyond repair exhausts the budget —
+                    // replication cannot help then, and the run reports
+                    // it rather than serving an approximation.
+                    reps[r].repair_attempts += 1;
+                    if reps[r].repair_attempts >= 32 {
+                        return Err(FleetError::NoHealthyPeer { replica: r, layers });
+                    }
+                    timeline.schedule(
+                        clock + cfg.scrub_interval_ns,
+                        Event::RepairDone { replica: r, epoch },
+                    );
+                    continue;
+                };
+                // The fetch itself is repair traffic, whether or not
+                // this episode's verification succeeds (a rejected
+                // import still moved — and applied — the donor's
+                // pages), so account it here.
+                reps[donor].repairs_donated += 1;
+                reps[r].repair_pages += images.len();
+                reps[r].repair_bytes += images.iter().map(|i| i.bytes.len()).sum::<usize>();
+                match apply_repair(&mut reps[r].replica, &images) {
+                    Ok(_stats) => {
+                        reps[r].peer_repairs += 1;
+                        // apply_repair already re-anchored durably.
+                        reps[r].episode_healed = false;
+                        rejoin!(r);
+                    }
+                    Err(FleetError::RepairRejected { .. }) => {
+                        // New damage landed mid-repair (the peer's
+                        // pages were imported, but verification caught
+                        // the fresh fault): go back through the
+                        // heal-classify-repair ladder.
+                        reps[r].replica.set_state(ReplicaState::Quarantined);
+                        reps[r].recovery_attempts = 0;
+                        timeline.schedule(
+                            clock + cfg.costs.recover_ns,
+                            Event::RecoveryDone { replica: r, epoch },
+                        );
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+        let all_serving = reps.iter().all(|rep| rep.replica.state().is_serving());
+        let all_certified = reps.iter().all(|rep| {
+            rep.faults_injected == 0
+                || rep
+                    .last_clean_cycle
+                    .map(|c| c > rep.last_fault_time)
+                    .unwrap_or(false)
+        });
+        if resolved == cfg.requests && all_serving && all_certified {
+            break;
+        }
+    }
+    assert_eq!(resolved, cfg.requests, "workload did not drain");
+
+    // ---------------------------------------------------- reporting
+    let total_ns = clock;
+    let outcomes: Vec<RequestOutcome> = reqs
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let (resolved_ns, status) = r.resolved.expect("all requests resolved");
+            RequestOutcome {
+                id: i as u64,
+                input: r.input,
+                status,
+                arrival_ns: r.arrival,
+                resolved_ns,
+            }
+        })
+        .collect();
+    let per_replica: Vec<ReplicaReport> = reps
+        .iter()
+        .enumerate()
+        .map(|(r, rep)| {
+            let mine: Vec<RequestOutcome> = outcomes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| resolved_by[*i] == Some(r))
+                .map(|(_, o)| o.clone())
+                .collect();
+            ReplicaReport {
+                replica: r,
+                peer_repairs: rep.peer_repairs,
+                repair_pages: rep.repair_pages,
+                repair_bytes: rep.repair_bytes,
+                repairs_donated: rep.repairs_donated,
+                report: ServeReport {
+                    seed: cfg.seed,
+                    policy: cfg.policy.name().to_string(),
+                    submitted: rep.dispatched,
+                    completed: rep.completed,
+                    rejected: rep.rejected,
+                    reexecuted: rep.reexecuted,
+                    faults_injected: rep.faults_injected,
+                    scrub_corrected: rep.scrub_corrected,
+                    scrub_ticks: rep.scrub_ticks,
+                    quarantines: rep.quarantines,
+                    layers_recovered: rep.layers_recovered,
+                    durability_errors: 0,
+                    total_ns,
+                    downtime_ns: rep.downtime.total_ns(total_ns),
+                    availability: rep.downtime.availability(total_ns),
+                    latency: LatencyStats::from_ns(&rep.latencies),
+                    digest: outcome_digest(&mine),
+                },
+            }
+        })
+        .collect();
+    let fleet = ServeReport {
+        seed: cfg.seed,
+        policy: cfg.policy.name().to_string(),
+        submitted: cfg.requests,
+        completed: fleet_completed,
+        rejected: fleet_rejected,
+        reexecuted: reps.iter().map(|r| r.reexecuted).sum(),
+        faults_injected: reps.iter().map(|r| r.faults_injected).sum(),
+        scrub_corrected: reps.iter().map(|r| r.scrub_corrected).sum(),
+        scrub_ticks: reps.iter().map(|r| r.scrub_ticks).sum(),
+        quarantines: reps.iter().map(|r| r.quarantines).sum(),
+        layers_recovered: reps.iter().map(|r| r.layers_recovered).sum(),
+        durability_errors: 0,
+        total_ns,
+        downtime_ns: fleet_down.total_ns(total_ns),
+        availability: fleet_down.availability(total_ns),
+        latency: LatencyStats::from_ns(&fleet_latencies),
+        digest: outcome_digest(&outcomes),
+    };
+    let capacity = ServeReport::aggregate(
+        &per_replica
+            .iter()
+            .map(|r| r.report.clone())
+            .collect::<Vec<_>>(),
+    );
+    let report = FleetReport {
+        replicas: cfg.replicas,
+        fleet,
+        capacity,
+        per_replica,
+    };
+    // `reps` (the stores' file handles) drops before `_cleanup`
+    // removes a private temp directory — reverse declaration order.
+    Ok(FleetSimResult {
+        report,
+        outcomes,
+        store_paths,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // Conv-heavy fleet model: conv 0 is fully recoverable, conv 4 is
+    // partial-recoverability (F²Z = 54 > G² = 4) — the heavy-fault
+    // target.
+    use milr_models::serving_probe as fleet_model;
+
+    #[test]
+    fn fault_free_fleet_completes_everything() {
+        let model = fleet_model(3);
+        let cfg = FleetConfig {
+            requests: 60,
+            faults: 0,
+            kind: SubstrateKind::Plain,
+            ..FleetConfig::default()
+        };
+        let result = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        let r = &result.report;
+        assert_eq!(r.fleet.completed, 60);
+        assert_eq!(r.fleet.rejected, 0);
+        assert_eq!(r.fleet.quarantines, 0);
+        assert_eq!(r.fleet.availability, 1.0);
+        assert_eq!(r.peer_repairs(), 0);
+        // All three replicas took traffic (round-robin routing).
+        for rep in &r.per_replica {
+            assert!(rep.report.submitted > 0, "replica {} idle", rep.replica);
+        }
+        assert_eq!(
+            r.per_replica
+                .iter()
+                .map(|p| p.report.completed)
+                .sum::<usize>(),
+            60
+        );
+    }
+
+    #[test]
+    fn recoverable_faults_fail_over_and_heal_in_place() {
+        let model = fleet_model(4);
+        let cfg = FleetConfig {
+            requests: 120,
+            faults: 2,
+            kind: SubstrateKind::Plain,
+            ..FleetConfig::default()
+        };
+        let result = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        let r = &result.report;
+        assert_eq!(r.fleet.faults_injected, 2);
+        assert!(r.fleet.quarantines >= 1, "no quarantine triggered");
+        assert!(r.fleet.layers_recovered >= 1, "nothing recovered");
+        assert_eq!(r.peer_repairs(), 0, "recoverable faults need no peer");
+        // Drain: every request completes despite the quarantines.
+        assert_eq!(r.fleet.completed, 120);
+        // The fleet stayed up: some replica was always serving.
+        assert_eq!(r.fleet.downtime_ns, 0);
+        // The quarantined replicas individually lost capacity.
+        assert!(r.capacity.availability < 1.0);
+    }
+
+    #[test]
+    fn heavy_fault_forces_peer_repair() {
+        let model = fleet_model(5);
+        let cfg = FleetConfig {
+            requests: 100,
+            faults: 0,
+            heavy_faults: 1,
+            kind: SubstrateKind::Plain,
+            ..FleetConfig::default()
+        };
+        let result = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        let r = &result.report;
+        assert_eq!(r.peer_repairs(), 1, "heavy fault must be peer-repaired");
+        assert!(r.repair_pages() > 0 && r.repair_bytes() > 0);
+        assert_eq!(
+            r.per_replica
+                .iter()
+                .map(|p| p.repairs_donated)
+                .sum::<usize>(),
+            1
+        );
+        assert_eq!(r.fleet.completed, 100);
+        // Certified outputs are bit-exact golden even though one
+        // replica's layer was beyond MILR's recoverable set.
+        for o in &result.outcomes {
+            let RequestStatus::Completed(out) = &o.status else {
+                panic!("request {} not completed under drain", o.id)
+            };
+            let expect = &model.forward_batch(std::slice::from_ref(&o.input)).unwrap()[0];
+            let ob: Vec<u32> = out.data().iter().map(|v| v.to_bits()).collect();
+            let eb: Vec<u32> = expect.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ob, eb, "request {}", o.id);
+        }
+    }
+
+    #[test]
+    fn reject_policy_sheds_only_the_quarantined_replicas_work() {
+        let model = fleet_model(6);
+        let cfg = FleetConfig {
+            requests: 120,
+            faults: 2,
+            policy: QuarantinePolicy::Reject,
+            kind: SubstrateKind::Plain,
+            ..FleetConfig::default()
+        };
+        let result = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        let r = &result.report;
+        assert!(r.fleet.quarantines >= 1);
+        assert_eq!(r.fleet.reexecuted, 0, "reject never re-queues");
+        assert_eq!(
+            r.fleet.completed + r.fleet.rejected,
+            r.fleet.submitted,
+            "every request resolves exactly once"
+        );
+        // Completed outputs still bit-exact golden.
+        for o in &result.outcomes {
+            if let RequestStatus::Completed(out) = &o.status {
+                let expect = &model.forward_batch(std::slice::from_ref(&o.input)).unwrap()[0];
+                assert_eq!(out.data(), expect.data());
+            }
+        }
+    }
+}

@@ -25,4 +25,4 @@ mod build;
 mod reduced;
 
 pub use build::{cifar_large, cifar_small, mnist, trained_reduced, PaperNet};
-pub use reduced::{reduced_cifar_small, reduced_mnist, ReducedNet};
+pub use reduced::{reduced_cifar_small, reduced_mnist, serving_probe, ReducedNet};

@@ -65,6 +65,41 @@ pub fn reduced_mnist(seed: u64) -> ReducedNet {
     }
 }
 
+/// Tiny conv-heavy **serving fixture** shared by the serving and fleet
+/// test suites: 10×10×1 input, conv(3×3, 1→6) + bias + ReLU, 2×2
+/// max-pool, conv(3×3, 6→4) + bias, flatten, dense(16→5), softmax.
+///
+/// The geometry is load-bearing and pinned by test: the two
+/// convolutions land in different checkpoint segments; conv layer **0**
+/// is fully recoverable (G² = 64 ≥ F²Z = 9, CRC-guided heals restore
+/// exact golden bits — the regime where certified serving outputs stay
+/// bit-faithful through fault/recovery episodes), while conv layer
+/// **4** has partial-recoverability geometry (F²Z = 54 > G² = 4) —
+/// whole-layer corruption of it exceeds MILR's recoverable set
+/// (min-norm heal), which is what the fleet suites use to force peer
+/// repair.
+pub fn serving_probe(seed: u64) -> Sequential {
+    let mut rng = TensorRng::new(seed);
+    let mut m = Sequential::new(vec![10, 10, 1]);
+    let spec = ConvSpec::new(3, 1, Padding::Valid).expect("static");
+    m.push(Layer::conv2d_random(3, 1, 6, spec, &mut rng).expect("static"))
+        .expect("geometry");
+    m.push(Layer::bias_zero(6)).expect("geometry");
+    m.push(Layer::Activation(Activation::Relu))
+        .expect("geometry");
+    m.push(Layer::MaxPool2D(PoolSpec::new(2, 2).expect("static")))
+        .expect("geometry");
+    m.push(Layer::conv2d_random(3, 6, 4, spec, &mut rng).expect("static"))
+        .expect("geometry");
+    m.push(Layer::bias_zero(4)).expect("geometry");
+    m.push(Layer::Flatten).expect("geometry");
+    m.push(Layer::dense_random(2 * 2 * 4, 5, &mut rng).expect("static"))
+        .expect("geometry");
+    m.push(Layer::Activation(Activation::Softmax))
+        .expect("geometry");
+    m
+}
+
 /// Reduced CIFAR-10 small twin: 16×16×3 input, same-padding 3×3 stacks
 /// (8·2, 16·2 with pools, 24), dense 32, dense 10 — the Table II
 /// sequence at reduced width/depth.
@@ -153,6 +188,24 @@ mod tests {
             .map(|l| l.kind_name())
             .collect();
         assert_eq!(full, reduced);
+    }
+
+    #[test]
+    fn serving_probe_shape_chain() {
+        let m = serving_probe(7);
+        assert_eq!(m.input_shape(), &[10, 10, 1]);
+        assert_eq!(m.output_shape(), &[5]);
+        // The load-bearing geometry: conv 0 at 8×8 output (fully
+        // recoverable, 64 ≥ 9) and conv 4 at 2×2 (partial, 4 < 54).
+        assert_eq!(m.layers()[0].kind_name(), "Conv2D");
+        // 3×3 kernel, 1 input channel, 6 filters.
+        assert_eq!(m.layers()[0].param_count(), 3 * 3 * 6);
+        assert_eq!(m.layers()[4].kind_name(), "Conv2D");
+        assert_eq!(m.layers()[4].param_count(), 3 * 3 * 6 * 4);
+        let out = m
+            .forward(&TensorRng::new(1).uniform_tensor(&[1, 10, 10, 1]))
+            .unwrap();
+        assert_eq!(out.shape().dims(), &[1, 5]);
     }
 
     #[test]

@@ -203,6 +203,47 @@ impl ModelHost {
         }
     }
 
+    /// Corrupts **every** stored weight of one layer — beyond-capacity
+    /// damage for the replication experiments: whole-layer corruption
+    /// of a partial-recoverability layer exceeds what MILR can re-solve
+    /// exactly, forcing the irrecoverable path (refuse, approximate, or
+    /// — in a fleet — repair from a peer).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is not substrate-backed.
+    pub fn corrupt_layer(&self, layer: usize) {
+        for weight in 0..self.layer_weight_count(layer) {
+            self.corrupt_weight(layer, weight);
+        }
+    }
+
+    /// Replaces one substrate-backed layer's **raw image** with `raw` —
+    /// the peer-repair write path: a healthy peer's certified page
+    /// bytes overwrite this layer's shard bit-for-bit, superseding any
+    /// corrupt or cached state (see
+    /// [`SharedSubstrate::import_shard_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's [`SubstrateError`] (wrong image length,
+    /// backing-store failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is not substrate-backed.
+    pub fn import_layer_raw(
+        &self,
+        layer: usize,
+        raw: &[u8],
+    ) -> Result<(), milr_substrate::SubstrateError> {
+        let shard = self
+            .param_layers
+            .binary_search(&layer)
+            .expect("layer is substrate-backed");
+        self.store.import_shard_raw(shard, raw)
+    }
+
     /// Number of stored weights across all shards.
     pub fn weight_count(&self) -> usize {
         self.store.len()
@@ -305,6 +346,51 @@ mod tests {
         let summary = h.scrub_layers(&[3]);
         assert_eq!(summary.corrected, 1);
         assert!(milr.detect(&h.materialize()).unwrap().is_clean());
+    }
+
+    #[test]
+    fn whole_layer_corruption_and_peer_image_import_roundtrip() {
+        let golden = model();
+        for kind in SubstrateKind::ALL {
+            let healthy = ModelHost::new(&golden, &|c| kind.store(c));
+            let damaged = ModelHost::new(&golden, &|c| kind.store(c));
+            damaged.corrupt_layer(0);
+            let seen = damaged.materialize_layers(&[0]);
+            let diverged = seen.layers()[0]
+                .params()
+                .unwrap()
+                .data()
+                .iter()
+                .zip(golden.layers()[0].params().unwrap().data())
+                .filter(|(a, b)| a.to_bits() != b.to_bits())
+                .count();
+            assert!(diverged >= 30, "{kind}: only {diverged}/36 corrupted");
+            // Import the healthy twin's raw image: bits restored.
+            damaged
+                .import_layer_raw(0, &healthy.store().export_shard_raw(0))
+                .unwrap();
+            assert_eq!(
+                damaged.store().export_shard_raw(0),
+                healthy.store().export_shard_raw(0),
+                "{kind}"
+            );
+            let healed = damaged.materialize();
+            let pa: Vec<u32> = golden.layers()[0]
+                .params()
+                .unwrap()
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let pb: Vec<u32> = healed.layers()[0]
+                .params()
+                .unwrap()
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(pa, pb, "{kind}");
+        }
     }
 
     #[test]

@@ -83,6 +83,84 @@ pub fn outcome_digest(outcomes: &[RequestOutcome]) -> u64 {
 }
 
 impl ServeReport {
+    /// Aggregates per-replica reports into one fleet **capacity** view.
+    ///
+    /// Counters sum; `total_ns` is the longest replica clock;
+    /// `downtime_ns` is the **mean replica downtime** (Σ downtime / n,
+    /// truncated to whole nanoseconds), so the record stays internally
+    /// consistent — `1 − downtime_ns / total_ns` reproduces
+    /// `availability` up to that truncation, and `downtime_ns` can
+    /// never exceed `total_ns`. `availability` itself is computed from
+    /// the untruncated sum: the *mean replica* availability
+    /// `1 − Σ downtime / (n · total)`, the fraction of fleet capacity
+    /// that was serving. This is deliberately not the client-facing
+    /// fleet availability (the fleet is only *down* when every replica
+    /// is, which needs the overlap of the downtime windows — the fleet
+    /// simulation measures that directly). Latency percentiles are
+    /// merged as count-weighted means of the replicas' percentiles (an
+    /// approximation; the exact fleet distribution is computed from the
+    /// raw samples by the driver that has them), and the digest chains
+    /// the replicas' digests in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn aggregate(reports: &[ServeReport]) -> ServeReport {
+        assert!(!reports.is_empty(), "nothing to aggregate");
+        let total_ns = reports.iter().map(|r| r.total_ns).max().unwrap();
+        let downtime_sum: u64 = reports.iter().map(|r| r.downtime_ns).sum();
+        let downtime_ns = downtime_sum / reports.len() as u64;
+        let capacity_ns = total_ns.saturating_mul(reports.len() as u64);
+        let samples: usize = reports.iter().map(|r| r.latency.count).sum();
+        let weighted = |f: fn(&LatencyStats) -> f64| -> f64 {
+            if samples == 0 {
+                return 0.0;
+            }
+            reports
+                .iter()
+                .map(|r| f(&r.latency) * r.latency.count as f64)
+                .sum::<f64>()
+                / samples as f64
+        };
+        const PRIME: u64 = 0x100000001b3;
+        let mut digest = 0xcbf29ce484222325u64;
+        for r in reports {
+            for byte in r.digest.to_le_bytes() {
+                digest ^= byte as u64;
+                digest = digest.wrapping_mul(PRIME);
+            }
+        }
+        ServeReport {
+            seed: reports[0].seed,
+            policy: reports[0].policy.clone(),
+            submitted: reports.iter().map(|r| r.submitted).sum(),
+            completed: reports.iter().map(|r| r.completed).sum(),
+            rejected: reports.iter().map(|r| r.rejected).sum(),
+            reexecuted: reports.iter().map(|r| r.reexecuted).sum(),
+            faults_injected: reports.iter().map(|r| r.faults_injected).sum(),
+            scrub_corrected: reports.iter().map(|r| r.scrub_corrected).sum(),
+            scrub_ticks: reports.iter().map(|r| r.scrub_ticks).sum(),
+            quarantines: reports.iter().map(|r| r.quarantines).sum(),
+            layers_recovered: reports.iter().map(|r| r.layers_recovered).sum(),
+            durability_errors: reports.iter().map(|r| r.durability_errors).sum(),
+            total_ns,
+            downtime_ns,
+            availability: if capacity_ns == 0 {
+                1.0
+            } else {
+                1.0 - downtime_sum as f64 / capacity_ns as f64
+            },
+            latency: LatencyStats {
+                count: samples,
+                mean_us: weighted(|l| l.mean_us),
+                p50_us: weighted(|l| l.p50_us),
+                p95_us: weighted(|l| l.p95_us),
+                max_us: reports.iter().map(|r| r.latency.max_us).fold(0.0, f64::max),
+            },
+            digest,
+        }
+    }
+
     /// Renders the report as a flat JSON object (hand-rolled: the
     /// workspace's serde stub has no serializer).
     pub fn to_json(&self) -> String {
@@ -145,6 +223,73 @@ mod tests {
         assert_eq!(fwd, rev);
         let changed = outcome(0, RequestStatus::Completed(Tensor::zeros(&[2])));
         assert_ne!(fwd, outcome_digest(&[changed, b]));
+    }
+
+    #[test]
+    fn aggregate_sums_counters_and_weights_capacity() {
+        let base = ServeReport {
+            seed: 3,
+            policy: "drain".into(),
+            submitted: 10,
+            completed: 8,
+            rejected: 2,
+            reexecuted: 1,
+            faults_injected: 1,
+            scrub_corrected: 4,
+            scrub_ticks: 6,
+            quarantines: 1,
+            layers_recovered: 1,
+            durability_errors: 0,
+            total_ns: 1_000,
+            downtime_ns: 100,
+            availability: 0.9,
+            latency: LatencyStats {
+                count: 8,
+                mean_us: 2.0,
+                p50_us: 2.0,
+                p95_us: 3.0,
+                max_us: 4.0,
+            },
+            digest: 11,
+        };
+        let other = ServeReport {
+            submitted: 30,
+            completed: 24,
+            total_ns: 2_000,
+            downtime_ns: 500,
+            latency: LatencyStats {
+                count: 24,
+                mean_us: 4.0,
+                p50_us: 4.0,
+                p95_us: 6.0,
+                max_us: 9.0,
+            },
+            digest: 12,
+            ..base.clone()
+        };
+        let agg = ServeReport::aggregate(&[base.clone(), other]);
+        assert_eq!(agg.submitted, 40);
+        assert_eq!(agg.completed, 32);
+        assert_eq!(agg.total_ns, 2_000);
+        // Mean replica downtime: (100 + 500) / 2 — self-consistent with
+        // total_ns (1 − 300/2000 ≈ availability).
+        assert_eq!(agg.downtime_ns, 300);
+        // Capacity availability: 1 − 600 / (2 · 2000).
+        assert!((agg.availability - (1.0 - 600.0 / 4000.0)).abs() < 1e-12);
+        // Count-weighted latency merge.
+        assert_eq!(agg.latency.count, 32);
+        assert!((agg.latency.mean_us - (2.0 * 8.0 + 4.0 * 24.0) / 32.0).abs() < 1e-12);
+        assert_eq!(agg.latency.max_us, 9.0);
+        // Digest is order-sensitive over replica digests (a stable
+        // replica ordering is part of the determinism contract).
+        let swapped = ServeReport::aggregate(&[
+            ServeReport {
+                digest: 12,
+                ..base.clone()
+            },
+            ServeReport { digest: 11, ..base },
+        ]);
+        assert_ne!(agg.digest, swapped.digest);
     }
 
     #[test]

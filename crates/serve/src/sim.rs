@@ -150,24 +150,39 @@ enum Event {
     RecoveryDone { epoch: u64 },
 }
 
-struct Scheduled {
-    time: u64,
+/// A deterministic discrete-event queue over virtual time.
+///
+/// Events pop earliest-first; equal timestamps break ties by schedule
+/// order (a monotone sequence number), so the pop order is a pure
+/// function of the schedule history — the property every seeded
+/// simulation's bit-reproducibility contract rests on. Shared by this
+/// crate's single-instance simulation and `milr-fleet`'s multi-replica
+/// one.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
-    event: Event,
 }
 
-impl PartialEq for Scheduled {
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Scheduled {
+impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first, with the
         // schedule sequence as the deterministic tie-break.
@@ -175,6 +190,37 @@ impl Ord for Scheduled {
             .time
             .cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at virtual time `time`.
+    pub fn schedule(&mut self, time: u64, event: E) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Pops the earliest event (schedule order breaking ties).
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
     }
 }
 
@@ -188,15 +234,6 @@ struct Batch {
     reqs: Vec<usize>,
     outputs: Vec<Tensor>,
     epoch: u64,
-}
-
-fn schedule(heap: &mut BinaryHeap<Scheduled>, seq: &mut u64, time: u64, event: Event) {
-    *seq += 1;
-    heap.push(Scheduled {
-        time,
-        seq: *seq,
-        event,
-    });
 }
 
 /// Runs one deterministic serving simulation.
@@ -269,21 +306,15 @@ pub fn simulate(
         .collect();
     fault_sched.sort_unstable();
 
-    // Event heap.
-    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
-    let mut seq = 0u64;
+    // Event timeline.
+    let mut timeline: EventQueue<Event> = EventQueue::new();
     for (i, r) in reqs.iter().enumerate() {
-        schedule(&mut heap, &mut seq, r.arrival, Event::Arrival(i));
+        timeline.schedule(r.arrival, Event::Arrival(i));
     }
     for &(time, layer, weight) in &fault_sched {
-        schedule(&mut heap, &mut seq, time, Event::Fault { layer, weight });
+        timeline.schedule(time, Event::Fault { layer, weight });
     }
-    schedule(
-        &mut heap,
-        &mut seq,
-        cfg.scrub_interval_ns,
-        Event::ScrubTick { epoch: 0 },
-    );
+    timeline.schedule(cfg.scrub_interval_ns, Event::ScrubTick { epoch: 0 });
 
     // Service state.
     let mut clock = 0u64;
@@ -346,7 +377,7 @@ pub fn simulate(
                     epoch,
                 });
                 let done = clock + cfg.costs.batch_ns(n);
-                schedule(&mut heap, &mut seq, done, Event::WorkerDone { worker });
+                timeline.schedule(done, Event::WorkerDone { worker });
             }
         };
     }
@@ -375,7 +406,7 @@ pub fn simulate(
             && (faults_injected == 0 || last_clean.map(|c| c > last_fault).unwrap_or(false))
     };
 
-    while let Some(Scheduled { time, event, .. }) = heap.pop() {
+    while let Some((time, event)) = timeline.pop() {
         events += 1;
         assert!(events < 50_000_000, "simulation event budget exhausted");
         debug_assert!(time >= clock, "virtual time must be monotone");
@@ -460,19 +491,9 @@ pub fn simulate(
                     }
                     let recovery_cost =
                         cfg.costs.full_detect_ns(checkable.len()) + cfg.costs.recover_ns;
-                    schedule(
-                        &mut heap,
-                        &mut seq,
-                        clock + recovery_cost,
-                        Event::RecoveryDone { epoch },
-                    );
+                    timeline.schedule(clock + recovery_cost, Event::RecoveryDone { epoch });
                 } else {
-                    schedule(
-                        &mut heap,
-                        &mut seq,
-                        clock + cfg.scrub_interval_ns,
-                        Event::ScrubTick { epoch },
-                    );
+                    timeline.schedule(clock + cfg.scrub_interval_ns, Event::ScrubTick { epoch });
                 }
             }
             Event::RecoveryDone { epoch: rec_epoch } => {
@@ -499,12 +520,7 @@ pub fn simulate(
                     quarantined = false;
                     downtime.close_at(clock);
                     cursor.reset();
-                    schedule(
-                        &mut heap,
-                        &mut seq,
-                        clock + cfg.scrub_interval_ns,
-                        Event::ScrubTick { epoch },
-                    );
+                    timeline.schedule(clock + cfg.scrub_interval_ns, Event::ScrubTick { epoch });
                     try_dispatch!();
                 } else {
                     recovery_attempts += 1;
@@ -513,12 +529,7 @@ pub fn simulate(
                         "recovery failed to converge: {:?}",
                         verify.flagged
                     );
-                    schedule(
-                        &mut heap,
-                        &mut seq,
-                        clock + cfg.costs.recover_ns,
-                        Event::RecoveryDone { epoch },
-                    );
+                    timeline.schedule(clock + cfg.costs.recover_ns, Event::RecoveryDone { epoch });
                 }
             }
         }

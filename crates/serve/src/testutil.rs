@@ -1,28 +1,12 @@
 //! Shared fixtures for the crate's unit tests.
 
-use milr_nn::{Activation, Layer, Sequential};
-use milr_tensor::{ConvSpec, Padding, PoolSpec, TensorRng};
+use milr_nn::Sequential;
 
-/// Conv-heavy serving model: the two convolution layers sit in
-/// different checkpoint segments, and CRC-guided conv recovery restores
-/// exact golden bits — the regime where certified outputs stay
-/// bit-for-bit faithful through fault/recovery episodes.
+/// Conv-heavy serving model (see [`milr_models::serving_probe`]): the
+/// two convolution layers sit in different checkpoint segments, and
+/// CRC-guided conv recovery restores exact golden bits — the regime
+/// where certified outputs stay bit-for-bit faithful through
+/// fault/recovery episodes.
 pub(crate) fn serving_model(seed: u64) -> Sequential {
-    let mut rng = TensorRng::new(seed);
-    let mut m = Sequential::new(vec![10, 10, 1]);
-    let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
-    m.push(Layer::conv2d_random(3, 1, 6, spec, &mut rng).unwrap())
-        .unwrap();
-    m.push(Layer::bias_zero(6)).unwrap();
-    m.push(Layer::Activation(Activation::Relu)).unwrap();
-    m.push(Layer::MaxPool2D(PoolSpec::new(2, 2).unwrap()))
-        .unwrap();
-    m.push(Layer::conv2d_random(3, 6, 4, spec, &mut rng).unwrap())
-        .unwrap();
-    m.push(Layer::bias_zero(4)).unwrap();
-    m.push(Layer::Flatten).unwrap();
-    m.push(Layer::dense_random(2 * 2 * 4, 5, &mut rng).unwrap())
-        .unwrap();
-    m.push(Layer::Activation(Activation::Softmax)).unwrap();
-    m
+    milr_models::serving_probe(seed)
 }

@@ -1,0 +1,97 @@
+//! `ScrubCursor` parity: a chunked incremental `detect_layers` sweep
+//! over one full cursor cycle flags **exactly** the layer set a
+//! one-shot full detection reports — for every substrate kind and
+//! every chunk size. This is the property the certification protocol
+//! stands on: if incremental sweeping could miss (or invent) a flag,
+//! a clean cycle would certify batches computed on dirty weights.
+
+use milr_core::{Milr, MilrConfig};
+use milr_models::serving_probe as model;
+use milr_serve::{ModelHost, ScrubCursor};
+use milr_substrate::SubstrateKind;
+
+/// Drives the cursor through exactly one full cycle, detecting each
+/// tick's chunk against the host's decoded weights, and returns the
+/// union of flags plus the certification watermark (if the cycle came
+/// back clean).
+fn sweep_once(
+    host: &ModelHost,
+    milr: &Milr,
+    cursor: &mut ScrubCursor,
+    start: u64,
+) -> (Vec<usize>, Option<u64>) {
+    let mut flagged = Vec::new();
+    let mut watermark = None;
+    for tick in 0..cursor.ticks_per_cycle() {
+        let now = start + tick as u64;
+        let chunk = cursor.begin_tick(now);
+        let live = host.materialize_layers(&chunk);
+        let report = milr.detect_layers(&live, &chunk).unwrap();
+        flagged.extend(report.flagged.iter().copied());
+        if let Some(cycle_start) = cursor.finish_tick(!report.is_clean(), now) {
+            watermark = Some(cycle_start);
+        }
+    }
+    flagged.sort_unstable();
+    flagged.dedup();
+    (flagged, watermark)
+}
+
+#[test]
+fn chunked_sweep_flags_exactly_the_full_detection_set_per_kind() {
+    let golden = model(0xC0C0);
+    let milr = Milr::protect(&golden, MilrConfig::default()).unwrap();
+    let checkable = milr.checkable_layers();
+    assert_eq!(checkable, vec![0, 1, 4, 5, 7]);
+    for kind in SubstrateKind::ALL {
+        let host = ModelHost::new(&golden, &|c| kind.store(c));
+        // Clean host: every chunking certifies with no flags.
+        for chunk in 1..=checkable.len() {
+            let mut cursor = ScrubCursor::new(checkable.clone(), chunk);
+            let (flags, watermark) = sweep_once(&host, &milr, &mut cursor, 100);
+            assert!(flags.is_empty(), "{kind} chunk {chunk}: phantom flags");
+            assert_eq!(watermark, Some(100), "{kind} chunk {chunk}");
+        }
+        // Corrupt two layers in different segments plus a bias word.
+        host.corrupt_weight(0, 7);
+        host.corrupt_weight(7, 3);
+        host.corrupt_weight(5, 1);
+        let full = milr.detect(&host.materialize()).unwrap();
+        assert!(!full.is_clean(), "{kind}: corruption must be visible");
+        for chunk in 1..=checkable.len() {
+            let mut cursor = ScrubCursor::new(checkable.clone(), chunk);
+            let (flags, watermark) = sweep_once(&host, &milr, &mut cursor, 200);
+            assert_eq!(
+                flags, full.flagged,
+                "{kind} chunk {chunk}: incremental sweep diverged from one-shot detection"
+            );
+            assert_eq!(
+                watermark, None,
+                "{kind} chunk {chunk}: a flagged cycle must not certify"
+            );
+        }
+    }
+}
+
+#[test]
+fn parity_survives_mid_cycle_reset() {
+    // A quarantine abandons the in-progress sweep; the next full cycle
+    // must still match one-shot detection exactly.
+    let golden = model(0xC1C1);
+    let milr = Milr::protect(&golden, MilrConfig::default()).unwrap();
+    let checkable = milr.checkable_layers();
+    for kind in SubstrateKind::ALL {
+        let host = ModelHost::new(&golden, &|c| kind.store(c));
+        host.corrupt_weight(4, 11);
+        let full = milr.detect(&host.materialize()).unwrap();
+        let mut cursor = ScrubCursor::new(checkable.clone(), 2);
+        // Partial sweep, then reset (as the quarantine path does).
+        let chunk = cursor.begin_tick(10);
+        let live = host.materialize_layers(&chunk);
+        let _ = milr.detect_layers(&live, &chunk).unwrap();
+        cursor.finish_tick(false, 10);
+        cursor.reset();
+        let (flags, _) = sweep_once(&host, &milr, &mut cursor, 20);
+        assert_eq!(flags, full.flagged, "{kind}: reset broke sweep parity");
+    }
+}

@@ -12,33 +12,12 @@
 //!    a different seed produces a different trace.
 
 use milr_core::MilrConfig;
-use milr_nn::{Activation, Layer, Sequential};
+// Conv-heavy model (two conv layers in different checkpoint segments):
+// CRC-guided conv recovery restores exact golden bits, so certified
+// outputs stay bit-faithful through fault/recovery episodes.
+use milr_models::serving_probe as serving_model;
 use milr_serve::sim::{simulate, SimConfig};
 use milr_serve::{QuarantinePolicy, RequestStatus};
-use milr_tensor::{ConvSpec, Padding, PoolSpec, TensorRng};
-
-/// Conv-heavy model (two conv layers in different checkpoint segments):
-/// CRC-guided conv recovery restores exact golden bits, so certified
-/// outputs stay bit-faithful through fault/recovery episodes.
-fn serving_model(seed: u64) -> Sequential {
-    let mut rng = TensorRng::new(seed);
-    let mut m = Sequential::new(vec![10, 10, 1]);
-    let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
-    m.push(Layer::conv2d_random(3, 1, 6, spec, &mut rng).unwrap())
-        .unwrap();
-    m.push(Layer::bias_zero(6)).unwrap();
-    m.push(Layer::Activation(Activation::Relu)).unwrap();
-    m.push(Layer::MaxPool2D(PoolSpec::new(2, 2).unwrap()))
-        .unwrap();
-    m.push(Layer::conv2d_random(3, 6, 4, spec, &mut rng).unwrap())
-        .unwrap();
-    m.push(Layer::bias_zero(4)).unwrap();
-    m.push(Layer::Flatten).unwrap();
-    m.push(Layer::dense_random(2 * 2 * 4, 5, &mut rng).unwrap())
-        .unwrap();
-    m.push(Layer::Activation(Activation::Softmax)).unwrap();
-    m
-}
 
 fn config(seed: u64, policy: QuarantinePolicy) -> SimConfig {
     SimConfig {

@@ -8,7 +8,9 @@ use crate::journal::{recover, replace_container, Journal};
 use crate::StoreError;
 use milr_core::{Milr, MilrConfig, StorageReport};
 use milr_nn::Sequential;
-use milr_substrate::{FileSubstrate, SharedSubstrate, StdFile, SubstrateKind, WeightSubstrate};
+use milr_substrate::{
+    FileSubstrate, PageFile, SharedSubstrate, StdFile, SubstrateKind, WeightSubstrate,
+};
 use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -335,6 +337,98 @@ impl Store {
             .collect()
     }
 
+    /// Number of pages in one stored layer's run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is not in the table.
+    pub fn layer_page_count(&self, layer: usize) -> usize {
+        self.entry(layer).weights.div_ceil(self.meta.page_weights)
+    }
+
+    /// Reads the raw (substrate-encoded) bytes of one page of a
+    /// layer's run straight from the container — the page-granular
+    /// read peer repair is built on. No decode, no verification: pair
+    /// with [`Store::certified_layer_pages`] when the bytes must be
+    /// proven clean before use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is not in the table or `page` is out of
+    /// range for its run.
+    pub fn read_layer_page_raw(&self, layer: usize, page: usize) -> Result<Vec<u8>, StoreError> {
+        let e = self.entry(layer);
+        let pages = e.weights.div_ceil(self.meta.page_weights);
+        assert!(page < pages, "page {page} out of range ({pages} pages)");
+        let full = self.meta.kind.raw_image_bytes(self.meta.page_weights);
+        let weights = self
+            .meta
+            .page_weights
+            .min(e.weights - page * self.meta.page_weights);
+        let mut buf = vec![0u8; self.meta.kind.raw_image_bytes(weights)];
+        self.io
+            .read_exact_at(e.offset + (page * full) as u64, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// **Certified** page read of one layer's run: reads every page,
+    /// decodes them, and replays the layer's MILR detection check
+    /// against the stored artifacts. Only when the check passes are the
+    /// raw page images returned — this is what lets a damaged replica
+    /// trust a peer's pages: the peer proves, against its own
+    /// error-resistant artifacts, that the bytes it ships decode to the
+    /// protected weights.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when the decoded pages fail the layer's
+    /// detection check (the store's own weight region is damaged — pick
+    /// another peer); I/O and detection errors otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is not in the table.
+    pub fn certified_layer_pages(&self, layer: usize) -> Result<Vec<Vec<u8>>, StoreError> {
+        let e = self.entry(layer);
+        let pages = e.weights.div_ceil(self.meta.page_weights);
+        let mut images = Vec::with_capacity(pages);
+        let mut weights = Vec::with_capacity(e.weights);
+        for page in 0..pages {
+            let image = self.read_layer_page_raw(layer, page)?;
+            let page_weights = self
+                .meta
+                .page_weights
+                .min(e.weights - page * self.meta.page_weights);
+            let sub = self
+                .meta
+                .kind
+                .restore(&image, page_weights)
+                .map_err(|err| {
+                    StoreError::Corrupt(format!("page {page} of layer {layer}: {err}"))
+                })?;
+            weights.extend(sub.read_weights());
+            images.push(image);
+        }
+        let mut model = self.meta.template.clone();
+        let params = model.layers_mut()[layer]
+            .params_mut()
+            .expect("table lists param layers");
+        let dims = params.shape().dims().to_vec();
+        *params = milr_tensor::Tensor::from_vec(weights, &dims)
+            .map_err(|err| StoreError::Corrupt(format!("layer {layer} page run: {err}")))?;
+        let check = self.milr.detect_layers(&model, &[layer])?;
+        if !check.is_clean() {
+            return Err(StoreError::Corrupt(format!(
+                "layer {layer} failed its detection check — pages are not certified"
+            )));
+        }
+        Ok(images)
+    }
+
     /// Raw (fault-surface) bits of one layer's on-disk pages — the
     /// index space [`Store::flip_raw_bit`] accepts.
     ///
@@ -649,6 +743,49 @@ mod tests {
         assert_eq!(expect, got, "stale journal leaked into the new container");
         assert!(store.milr().detect(&fresh).unwrap().is_clean());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn page_reads_cover_layer_runs_and_certify() {
+        let m = model();
+        for kind in SubstrateKind::ALL {
+            let path = temp(&format!("pages-{kind:?}"));
+            let store = Store::create(
+                &path,
+                &m,
+                MilrConfig::default(),
+                StoreOptions {
+                    kind,
+                    page_weights: 16,
+                },
+            )
+            .unwrap();
+            // Conv layer 0 holds 36 weights: 3 pages of 16/16/4.
+            assert_eq!(store.layer_page_count(0), 3);
+            assert_eq!(store.layer_page_count(1), 1);
+            let certified = store.certified_layer_pages(0).unwrap();
+            assert_eq!(certified.len(), 3);
+            // The certified pages are exactly the on-disk page bytes,
+            // and concatenate to the layer's full region.
+            let mut concat = Vec::new();
+            for (i, page) in certified.iter().enumerate() {
+                assert_eq!(page, &store.read_layer_page_raw(0, i).unwrap(), "{kind}");
+                concat.extend_from_slice(page);
+            }
+            assert_eq!(concat.len() as u64, store.layers()[0].bytes, "{kind}");
+            // Damage the layer on disk: certification must refuse.
+            let stride = store.layer_raw_bits(0) / 36;
+            for bit in 7 * stride..8 * stride {
+                store.flip_raw_bit(0, bit).unwrap();
+            }
+            assert!(
+                matches!(store.certified_layer_pages(0), Err(StoreError::Corrupt(_))),
+                "{kind}: damaged pages must not certify"
+            );
+            // Other layers still certify.
+            assert!(store.certified_layer_pages(3).is_ok(), "{kind}");
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     #[test]

@@ -56,6 +56,11 @@ impl WeightSubstrate for EncryptedMemory {
         self.ciphertext().to_vec()
     }
 
+    fn import_raw(&mut self, raw: &[u8]) -> Result<(), SubstrateError> {
+        self.set_ciphertext(raw)
+            .map_err(|e| SubstrateError::Backend(e.to_string()))
+    }
+
     fn storage_overhead(&self) -> usize {
         // Padding to a whole number of cipher blocks.
         self.ciphertext().len() - EncryptedMemory::len(self) * 4

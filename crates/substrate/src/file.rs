@@ -508,6 +508,37 @@ impl WeightSubstrate for FileSubstrate {
         out
     }
 
+    fn import_raw(&mut self, raw: &[u8]) -> Result<(), SubstrateError> {
+        let total: usize = self.pages.iter().map(|p| p.raw_bytes).sum();
+        if raw.len() != total {
+            return Err(SubstrateError::Backend(format!(
+                "raw image of {} bytes does not match the {total}-byte page region",
+                raw.len()
+            )));
+        }
+        let mut patches = Vec::with_capacity(self.pages.len());
+        let mut done = 0usize;
+        for page in &self.pages {
+            patches.push(PagePatch {
+                offset: page.offset,
+                bytes: raw[done..done + page.raw_bytes].to_vec(),
+            });
+            done += page.raw_bytes;
+        }
+        self.committer
+            .commit(&patches)
+            .map_err(|e| SubstrateError::Backend(format!("importing pages: {e}")))?;
+        // The imported image supersedes every cached page, dirty ones
+        // included — but only drop them once the commit landed: on a
+        // failed commit the cache (including unflushed dirty writes)
+        // must survive, or the error would silently revert
+        // previously-acknowledged state.
+        let mut cache = self.cache.lock().expect("page cache poisoned");
+        cache.map.clear();
+        cache.lru.clear();
+        Ok(())
+    }
+
     fn flush(&mut self) -> Result<(), SubstrateError> {
         let mut cache = self.cache.lock().expect("page cache poisoned");
         let mut patches = Vec::new();

@@ -344,6 +344,29 @@ mod tests {
     }
 
     #[test]
+    fn import_raw_overwrites_in_place_for_every_kind() {
+        let a: Vec<f32> = (0..21).map(|i| i as f32 * 0.4 - 2.0).collect();
+        let b: Vec<f32> = (0..21).map(|i| i as f32 * -0.7 + 1.0).collect();
+        for kind in SubstrateKind::ALL
+            .into_iter()
+            .chain(SubstrateKind::FILE_BACKED)
+        {
+            let donor = kind.store(&b);
+            let mut mem = kind.store(&a);
+            // Leave corrupt raw state behind: import must supersede it.
+            mem.flip_raw_bit(3);
+            mem.import_raw(&donor.export_raw()).unwrap();
+            let got: Vec<u32> = mem.read_weights().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "{kind}: import did not restore donor bits");
+            assert_eq!(mem.export_raw(), donor.export_raw(), "{kind}: raw image");
+            // Wrong-length images are rejected without touching state.
+            assert!(mem.import_raw(&donor.export_raw()[1..]).is_err(), "{kind}");
+            assert_eq!(mem.export_raw(), donor.export_raw(), "{kind}: unchanged");
+        }
+    }
+
+    #[test]
     fn restore_rejects_bad_lengths() {
         for kind in SubstrateKind::ALL {
             let image = kind.store(&[1.0, 2.0]).export_raw();

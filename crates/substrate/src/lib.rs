@@ -184,6 +184,22 @@ pub trait WeightSubstrate: Send + Sync {
     /// fixed ([`SubstrateKind::raw_image_bytes`](crate::SubstrateKind::raw_image_bytes)).
     fn export_raw(&self) -> Vec<u8>;
 
+    /// Replaces the substrate's **raw representation** from an image —
+    /// the inverse of [`export_raw`](WeightSubstrate::export_raw), in
+    /// place, without decoding to plaintext. This is the peer-repair
+    /// write path: a damaged replica overwrites its raw pages with a
+    /// healthy peer's certified image, bit for bit, superseding
+    /// whatever (possibly corrupt, possibly dirty-cached) state the
+    /// substrate held. File-backed substrates commit the imported pages
+    /// through their [`PageCommitter`](crate::PageCommitter).
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::Backend`] when `raw` is not a valid image for
+    /// this substrate's kind and weight count (wrong length), or the
+    /// backing store rejects the write.
+    fn import_raw(&mut self, raw: &[u8]) -> Result<(), SubstrateError>;
+
     /// Forces any buffered state down to the substrate's backing store.
     /// A no-op for purely in-memory substrates; the file-backed
     /// substrate commits its dirty pages through its

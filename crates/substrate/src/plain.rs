@@ -33,6 +33,20 @@ fn export_f32_raw(words: &[f32]) -> Vec<u8> {
     words.iter().flat_map(|w| w.to_le_bytes()).collect()
 }
 
+/// Shared raw-image decode for anything stored as bare `f32` words.
+fn import_f32_raw(expected: usize, raw: &[u8]) -> Result<Vec<f32>, SubstrateError> {
+    if raw.len() != expected * 4 {
+        return Err(SubstrateError::Backend(format!(
+            "raw image of {} bytes cannot hold {expected} plain weights",
+            raw.len()
+        )));
+    }
+    Ok(raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect())
+}
+
 /// Shared raw-bit flip for anything stored as bare `f32` words.
 fn flip_f32_bit(words: &mut [f32], bit: usize) {
     let total = words.len() * 32;
@@ -83,6 +97,11 @@ impl WeightSubstrate for PlainMemory {
 
     fn export_raw(&self) -> Vec<u8> {
         export_f32_raw(self.read_weights().as_slice())
+    }
+
+    fn import_raw(&mut self, raw: &[u8]) -> Result<(), SubstrateError> {
+        self.words = import_f32_raw(self.words.len(), raw)?;
+        Ok(())
     }
 
     fn storage_overhead(&self) -> usize {
@@ -137,6 +156,12 @@ impl WeightSubstrate for [f32] {
         export_f32_raw(self.read_weights().as_slice())
     }
 
+    fn import_raw(&mut self, raw: &[u8]) -> Result<(), SubstrateError> {
+        let words = import_f32_raw(<[f32]>::len(self), raw)?;
+        self.copy_from_slice(&words);
+        Ok(())
+    }
+
     fn storage_overhead(&self) -> usize {
         0
     }
@@ -179,6 +204,10 @@ impl WeightSubstrate for Vec<f32> {
 
     fn export_raw(&self) -> Vec<u8> {
         export_f32_raw(self.read_weights().as_slice())
+    }
+
+    fn import_raw(&mut self, raw: &[u8]) -> Result<(), SubstrateError> {
+        self.as_mut_slice().import_raw(raw)
     }
 
     fn storage_overhead(&self) -> usize {

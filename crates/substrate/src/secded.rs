@@ -56,6 +56,22 @@ impl WeightSubstrate for SecdedMemory {
         self.words().iter().flat_map(|w| w.to_le_bytes()).collect()
     }
 
+    fn import_raw(&mut self, raw: &[u8]) -> Result<(), SubstrateError> {
+        if raw.len() != SecdedMemory::len(self) * 8 {
+            return Err(SubstrateError::Backend(format!(
+                "raw image of {} bytes cannot hold {} SECDED words",
+                raw.len(),
+                SecdedMemory::len(self)
+            )));
+        }
+        let words = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        *self = SecdedMemory::from_words(words);
+        Ok(())
+    }
+
     fn storage_overhead(&self) -> usize {
         self.overhead_bytes()
     }

@@ -219,6 +219,23 @@ impl SharedSubstrate {
             .export_raw()
     }
 
+    /// Replaces one shard's raw image under its write lock — the
+    /// peer-repair path: a healthy replica's certified page bytes
+    /// overwrite this shard bit-for-bit, atomically with respect to
+    /// readers and scrubs of the shard (see
+    /// [`WeightSubstrate::import_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's [`SubstrateError`] (wrong image length,
+    /// backing-store failure).
+    pub fn import_shard_raw(&self, shard: usize, raw: &[u8]) -> Result<(), SubstrateError> {
+        self.shards[shard]
+            .write()
+            .expect("lock poisoned")
+            .import_raw(raw)
+    }
+
     /// Flushes one shard's buffered state to its backing store (a
     /// no-op for in-memory shards).
     ///
@@ -309,6 +326,25 @@ mod tests {
         a.write_shard(0, &patched[..4]).unwrap();
         assert_eq!(b.read_shard(0), patched[..4].to_vec());
         assert_eq!(b.read_shard(1), w[4..].to_vec());
+    }
+
+    #[test]
+    fn shard_import_restores_donor_bits() {
+        let w = weights(24);
+        for kind in SubstrateKind::ALL {
+            let donor = SharedSubstrate::store_with(&w, 3, |c| kind.store(c));
+            let damaged = SharedSubstrate::store_with(&w, 3, |c| kind.store(c));
+            let (lo, _) = damaged.shard_raw_range(1);
+            damaged.flip_raw_bit(lo + 2);
+            damaged.flip_raw_bit(lo + 9);
+            assert_ne!(damaged.export_shard_raw(1), donor.export_shard_raw(1));
+            damaged
+                .import_shard_raw(1, &donor.export_shard_raw(1))
+                .unwrap();
+            assert_eq!(damaged.export_shard_raw(1), donor.export_shard_raw(1));
+            assert_eq!(damaged.read_weights(), w, "{kind}");
+            assert!(damaged.import_shard_raw(0, &[1, 2, 3]).is_err(), "{kind}");
+        }
     }
 
     #[test]

@@ -153,6 +153,21 @@ impl WeightSubstrate for XtsSecdedMemory {
         self.words.iter().flat_map(|w| w.to_le_bytes()).collect()
     }
 
+    fn import_raw(&mut self, raw: &[u8]) -> Result<(), SubstrateError> {
+        if raw.len() != self.words.len() * 8 {
+            return Err(SubstrateError::Backend(format!(
+                "raw image of {} bytes cannot hold {} code words",
+                raw.len(),
+                self.words.len()
+            )));
+        }
+        self.words = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        Ok(())
+    }
+
     fn storage_overhead(&self) -> usize {
         // Check bits over every ciphertext word, plus block padding.
         let padding = self.words.len() * 4 - self.len * 4;

@@ -80,6 +80,25 @@ impl EncryptedMemory {
         })
     }
 
+    /// Replaces the stored ciphertext in place from a raw image of the
+    /// same geometry (the peer-repair path: another replica's certified
+    /// ciphertext overwrites this one's, bit for bit, without a
+    /// decrypt).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XtsError::BadLength`] when the image length differs
+    /// from the stored ciphertext length.
+    pub fn set_ciphertext(&mut self, ciphertext: &[u8]) -> Result<(), XtsError> {
+        if ciphertext.len() != self.ciphertext.len() {
+            return Err(XtsError::BadLength {
+                len: ciphertext.len(),
+            });
+        }
+        self.ciphertext.copy_from_slice(ciphertext);
+        Ok(())
+    }
+
     /// Number of stored weights.
     pub fn len(&self) -> usize {
         self.len

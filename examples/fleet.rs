@@ -1,0 +1,152 @@
+//! Fleet: three replicas of one protected CNN, each with its own
+//! `.milr` store — kill one replica's disk **beyond MILR's recoverable
+//! set**, watch peer repair restore it bit-for-bit from a healthy
+//! peer's certified store, and verify bitwise.
+//!
+//! ```text
+//! cargo run --release --example fleet
+//! ```
+//!
+//! Three acts:
+//!
+//! 1. **Deploy**: the same protected model is saved into three replica
+//!    containers — the fleet's deployment unit.
+//! 2. **Disk kill + triage**: every weight of replica 0's
+//!    partial-recoverability conv layer is wiped on disk. A MILR heal
+//!    is attempted first and comes back *min-norm* — the paper's
+//!    irrecoverable regime, where a single instance would have to
+//!    refuse or approximate. The replica instead fetches the layer's
+//!    certified pages from replica 1, imports them, re-verifies,
+//!    re-protects, and durably re-anchors.
+//! 3. **Verify bitwise**: the repaired container's weight pages equal
+//!    the donors' byte-for-byte, outputs equal the fault-free model
+//!    bit-for-bit, and a restart finds a certified-clean store.
+
+use milr_core::{MilrConfig, SolvingPlan};
+use milr_fleet::{peer_repair, Replica, ReplicaState};
+use milr_models::reduced_mnist;
+use milr_store::{Store, StoreOptions};
+use milr_substrate::SubstrateKind;
+use milr_tensor::TensorRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let golden = reduced_mnist(42).model;
+    let dir = std::env::temp_dir().join(format!("milr-example-fleet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let paths: Vec<_> = (0..3)
+        .map(|r| dir.join(format!("replica-{r}.milr")))
+        .collect();
+
+    // ---- Act 1: deploy three replicas ---------------------------------
+    for path in &paths {
+        Store::create(
+            path,
+            &golden,
+            MilrConfig::default(),
+            StoreOptions {
+                kind: SubstrateKind::Secded,
+                page_weights: 256,
+            },
+        )?;
+    }
+    println!(
+        "[deploy] {} parameters x 3 replicas under {}",
+        golden.param_count(),
+        dir.display()
+    );
+
+    // ---- Act 2: kill replica 0's disk, triage, peer-repair ------------
+    // The victim: a partial-recoverability conv layer (F²Z > G²), whose
+    // whole-layer corruption MILR can only approximate from one
+    // instance's checkpoints.
+    let probe = Store::open(&paths[0])?;
+    let victim = probe
+        .milr()
+        .plan()
+        .layers
+        .iter()
+        .find(|l| l.solving == Some(SolvingPlan::ConvPartial))
+        .map(|l| l.index)
+        .expect("reduced MNIST has a partial-recoverability conv layer");
+    let bits = probe.layer_raw_bits(victim);
+    let weights = probe
+        .layers()
+        .iter()
+        .find(|e| e.layer == victim)
+        .unwrap()
+        .weights;
+    // Wipe the whole layer: every other raw bit, which garbles every
+    // code word (and therefore every weight) of the layer's pages.
+    for bit in (0..bits).step_by(2) {
+        probe.flip_raw_bit(victim, bit)?;
+    }
+    drop(probe);
+    println!(
+        "\n[kill] wiped layer {victim} of replica 0 on disk ({weights} weights, {} raw bits flipped)",
+        bits / 2
+    );
+
+    let mut damaged = Replica::open(0, &paths[0], 64)?;
+    let heal = damaged.try_heal()?;
+    println!(
+        "[triage] detection flagged layers {:?}; MILR healed {:?} exactly; irrecoverable: {:?}",
+        heal.flagged, heal.healed_exact, heal.irrecoverable
+    );
+    assert_eq!(
+        heal.irrecoverable,
+        vec![victim],
+        "the kill must exceed MILR"
+    );
+    damaged.set_state(ReplicaState::Repairing);
+
+    let donor = Store::open(&paths[1])?;
+    let stats = peer_repair(&mut damaged, &donor, &heal.irrecoverable)?;
+    damaged.set_state(ReplicaState::Serving);
+    println!(
+        "[repair] fetched {} certified page(s) ({} bytes) from replica 1, imported, verified, re-anchored",
+        stats.pages, stats.bytes
+    );
+
+    // ---- Act 3: verify bitwise ----------------------------------------
+    assert!(damaged.detect()?.is_clean());
+    for layer in donor.layers().iter().map(|e| e.layer) {
+        for page in 0..donor.layer_page_count(layer) {
+            let mine = damaged.store().read_layer_page_raw(layer, page)?;
+            let donors = donor.read_layer_page_raw(layer, page)?;
+            assert_eq!(
+                mine, donors,
+                "layer {layer} page {page} diverged from the donor"
+            );
+        }
+    }
+    println!("\n[verify] every weight page of replica 0 is bit-identical to the donor's");
+
+    let served = damaged.materialize();
+    let mut rng = TensorRng::new(99);
+    for _ in 0..8 {
+        let x = rng.uniform_tensor(golden.input_shape());
+        let a = golden.forward_batch(std::slice::from_ref(&x))?;
+        let b = served.forward_batch(std::slice::from_ref(&x))?;
+        assert_eq!(
+            a[0].data(),
+            b[0].data(),
+            "output diverged from fault-free model"
+        );
+    }
+    println!("[verify] served outputs are bit-identical to the fault-free model");
+    drop(damaged);
+
+    // A restart finds a certified container: the repair was durable.
+    let (restarted, cold) = Replica::cold_start(0, &paths[0], 64)?;
+    assert!(
+        cold.was_clean(),
+        "the re-anchor must leave a certified container"
+    );
+    assert!(restarted.state().is_serving());
+    println!("[restart] replica 0 cold-starts certified clean — the repair was durable");
+
+    drop(restarted);
+    drop(donor);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

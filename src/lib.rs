@@ -16,16 +16,26 @@
 //! * [`milr_ecc`], [`milr_xts`] — SECDED/CRC codes and the AES-XTS
 //!   encrypted-memory model;
 //! * [`milr_fault`] — seeded, substrate-generic fault injection;
-//! * [`milr_models`] — the paper's evaluation networks (Tables I–III).
+//! * [`milr_models`] — the paper's evaluation networks (Tables I–III);
+//! * [`milr_serve`] — the online inference service (scrubber daemon,
+//!   quarantine-and-recover, certified outputs);
+//! * [`milr_store`] — the crash-consistent persistent weight store
+//!   (`.milr` containers, certified page reads);
+//! * [`milr_fleet`] — replicated sharded serving with peer repair and
+//!   failover, plus the deterministic multi-replica fault-campaign
+//!   simulator.
 //!
 //! See README.md for a tour and DESIGN.md for the reproduction map.
 
 pub use milr_core;
 pub use milr_ecc;
 pub use milr_fault;
+pub use milr_fleet;
 pub use milr_linalg;
 pub use milr_models;
 pub use milr_nn;
+pub use milr_serve;
+pub use milr_store;
 pub use milr_substrate;
 pub use milr_tensor;
 pub use milr_xts;
