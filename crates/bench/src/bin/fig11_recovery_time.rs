@@ -1,11 +1,13 @@
 //! Figure 11: recovery time as a function of the number of injected
 //! (whole-weight) errors — grows superlinearly as more layers need
-//! solving and partial-recovery systems grow.
+//! solving and partial-recovery systems grow. `--json FILE` writes the
+//! per-network rows as a machine-readable summary.
 //!
 //! ```text
 //! cargo run --release -p milr-bench --bin fig11_recovery_time [-- --net mnist]
 //! ```
 
+use milr_bench::json::{array, write_summary, JsonObject};
 use milr_bench::{prepare, Args, NetChoice};
 use milr_fault::{inject_whole_weight, FaultRng};
 use std::time::Instant;
@@ -17,6 +19,7 @@ fn main() {
         "{:<22} {:>8} {:>10} {:>12}",
         "Network", "Errors", "Flagged", "Recovery(s)"
     );
+    let mut nets = Vec::new();
     for net in [
         NetChoice::Mnist,
         NetChoice::CifarSmall,
@@ -24,6 +27,7 @@ fn main() {
     ] {
         let prep = prepare(net, args.scale, args.seed);
         let total_params: usize = prep.model.param_count();
+        let mut rows = Vec::new();
         for &target_errors in &[1usize, 10, 50, 100, 500, 1000] {
             let q = (target_errors as f64 / total_params as f64).min(1.0);
             let mut model = prep.model.clone();
@@ -45,6 +49,25 @@ fn main() {
                 report.flagged.len(),
                 secs
             );
+            rows.push(
+                JsonObject::new()
+                    .uint("errors", injected as u64)
+                    .uint("flagged_layers", report.flagged.len() as u64)
+                    .float("recovery_s", secs, 6)
+                    .finish(),
+            );
         }
+        nets.push(
+            JsonObject::new()
+                .string("net", &prep.label)
+                .uint("params", total_params as u64)
+                .raw("rows", &array(rows))
+                .finish(),
+        );
     }
+    let json = JsonObject::new()
+        .string("figure", "fig11_recovery_time")
+        .raw("nets", &array(nets))
+        .finish();
+    write_summary(&json, args.json.as_deref());
 }

@@ -11,11 +11,15 @@
 //! fault injection — and reports the *empirical* availability next to
 //! the Eq. 6 prediction for the same `T_d`/`T_r`/`T_be` constants.
 //!
+//! `--json FILE` writes the modeled curves (and, with `--measured`,
+//! the measured comparison) as a machine-readable summary.
+//!
 //! ```text
 //! cargo run --release -p milr-bench --bin fig12_availability
 //! cargo run --release -p milr-bench --bin fig12_availability -- --measured
 //! ```
 
+use milr_bench::json::{array, write_summary, JsonObject};
 use milr_bench::serve::run_measured;
 use milr_bench::{prepare, Args, NetChoice};
 use milr_core::availability::AvailabilityModel;
@@ -26,6 +30,7 @@ use std::time::Instant;
 fn main() {
     let args = Args::from_env();
     println!("# Figure 12 — availability vs minimum accuracy (Eq. 6)");
+    let mut nets = Vec::new();
     for net in [
         NetChoice::Mnist,
         NetChoice::CifarSmall,
@@ -68,8 +73,15 @@ fn main() {
             "{:>16} {:>16} {:>14}",
             "Availability", "Downtime", "MinAccuracy"
         );
+        let mut curve = Vec::new();
         for (a, acc) in model.curve(12) {
             println!("{a:>16.12} {:>16.3e} {acc:>14.6}", 1.0 - a);
+            curve.push(
+                JsonObject::new()
+                    .float("availability", a, 12)
+                    .float("min_accuracy", acc, 6)
+                    .finish(),
+            );
         }
         // The paper's example users.
         let user_a = model.availability_for_accuracy(0.99999 * prep.clean_accuracy);
@@ -79,6 +91,16 @@ fn main() {
         );
         let user_b = model.min_accuracy(0.999);
         println!("user B (availability 99.9%): min accuracy {user_b:.6}");
+
+        let mut net_json = JsonObject::new()
+            .string("net", &prep.label)
+            .float("td_s", td, 6)
+            .float("tr_s", tr, 6)
+            .float("mbits", mbits, 3)
+            .float("tbe_s", model.time_between_errors, 3)
+            .float("user_a_availability", user_a, 12)
+            .float("user_b_min_accuracy", user_b, 6)
+            .raw("curve", &array(curve));
 
         if args.measured {
             // Measured counterpart: serve the reduced twin live under
@@ -117,6 +139,15 @@ fn main() {
                 result.report.reexecuted,
                 result.report.digest
             );
+            net_json = net_json
+                .raw("measured", &cmp.to_json())
+                .raw("measured_report", &result.report.to_json());
         }
+        nets.push(net_json.finish());
     }
+    let json = JsonObject::new()
+        .string("figure", "fig12_availability")
+        .raw("nets", &array(nets))
+        .finish();
+    write_summary(&json, args.json.as_deref());
 }

@@ -3,13 +3,15 @@
 //! the paper's four DRAM arms (no recovery, ECC, MILR, ECC + MILR);
 //! `--arms encrypted` or `--arms all` adds the encrypted-VM arms (XTS,
 //! XTS + MILR, XTS + ECC + MILR), where RBER is drawn over the
-//! ciphertext.
+//! ciphertext. `--json FILE` writes the full panel × rate matrix as a
+//! machine-readable summary.
 //!
 //! ```text
 //! cargo run --release -p milr-bench --bin fig5_rber -- --net mnist --trials 40
-//! cargo run --release -p milr-bench --bin fig5_rber -- --arms all
+//! cargo run --release -p milr-bench --bin fig5_rber -- --arms all --json fig5.json
 //! ```
 
+use milr_bench::json::{array, write_summary, JsonObject};
 use milr_bench::{prepare, run_rber_trial, Args, BoxStats, NetChoice};
 
 fn rates(net: NetChoice) -> Vec<f64> {
@@ -28,8 +30,10 @@ fn main() {
         "# Figure 5/7/9 — {} — normalized accuracy vs RBER ({} trials, clean accuracy {:.3})",
         prep.label, args.trials, prep.clean_accuracy
     );
+    let mut panels = Vec::new();
     for &arm in args.arms.arms() {
         println!("\n## panel: {arm}");
+        let mut points = Vec::new();
         for &rate in &rates(args.net) {
             let samples: Vec<f64> = (0..args.trials)
                 .map(|t| {
@@ -44,6 +48,26 @@ fn main() {
                 .collect();
             let stats = BoxStats::compute(&samples);
             println!("rber {rate:7.0e}  {}", stats.row());
+            points.push(
+                JsonObject::new()
+                    .raw("rber", &format!("{rate:e}"))
+                    .raw("normalized_accuracy", &stats.to_json())
+                    .finish(),
+            );
         }
+        panels.push(
+            JsonObject::new()
+                .string("arm", &arm.to_string())
+                .raw("points", &array(points))
+                .finish(),
+        );
     }
+    let json = JsonObject::new()
+        .string("figure", "fig5_rber")
+        .string("net", &prep.label)
+        .uint("trials", args.trials as u64)
+        .float("clean_accuracy", prep.clean_accuracy, 6)
+        .raw("panels", &array(panels))
+        .finish();
+    write_summary(&json, args.json.as_deref());
 }

@@ -97,6 +97,7 @@ fn main() {
             !report.was_clean(),
             "{kind}: the injected disk fault must be visible"
         );
+        let faulty_pipeline = report.pipeline.to_json();
         drop(store);
         let _ = std::fs::remove_file(&path);
 
@@ -121,6 +122,7 @@ fn main() {
                 .float("cold_clean_ms", cold_clean_ms, 3)
                 .float("cold_faulty_ms", cold_faulty_ms, 3)
                 .float("scrub_mw_s", scrub_mw_s, 3)
+                .raw("faulty_pipeline", &faulty_pipeline)
                 .finish(),
         );
     }

@@ -109,6 +109,24 @@ impl BoxStats {
             self.outliers.len()
         )
     }
+
+    /// The summary as a flat JSON object — the figure binaries' `--json`
+    /// artifacts carry full box-plot statistics per point.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"median\":{:.6},\"q1\":{:.6},\"q3\":{:.6},",
+                "\"lo\":{:.6},\"hi\":{:.6},\"mean\":{:.6},\"outliers\":{}}}"
+            ),
+            self.median,
+            self.q1,
+            self.q3,
+            self.lo,
+            self.hi,
+            self.mean,
+            self.outliers.len()
+        )
+    }
 }
 
 #[cfg(test)]

@@ -196,6 +196,18 @@ impl Milr {
             .collect()
     }
 
+    /// Number of layers carrying a detection check, without
+    /// materializing the index list — the denominator of the integrity
+    /// engine's fast-path accounting (how many layers a subset verify
+    /// skipped relative to a full re-detect).
+    pub fn checkable_count(&self) -> usize {
+        self.plan
+            .layers
+            .iter()
+            .filter(|l| l.solving.is_some())
+            .count()
+    }
+
     /// Runs the error-detection phase on a subset of layers — the
     /// online-scrubbing entry point: a background scrubber can sweep
     /// the model incrementally, checking a few layers per tick instead

@@ -57,12 +57,16 @@ mod router;
 pub mod sim;
 
 pub use repair::{peer_repair, PageImage, PeerRepair, RepairStats};
-pub use replica::{HealAttempt, Replica, ReplicaState};
+pub use replica::{Replica, ReplicaState};
 pub use report::{FleetReport, ReplicaReport};
 pub use router::Router;
 pub use sim::{simulate, FleetConfig, FleetSimResult};
+// The heal ladder itself lives in the shared integrity engine;
+// re-export the pieces fleet drivers and callers see.
+pub use milr_integrity::{Budget, PipelineReport, RoundOutcome};
 
 use milr_core::MilrError;
+use milr_integrity::IntegrityError;
 use milr_store::StoreError;
 use milr_substrate::SubstrateError;
 
@@ -75,6 +79,14 @@ pub enum FleetError {
     Milr(MilrError),
     /// A substrate rejected an operation.
     Substrate(SubstrateError),
+    /// A replica's heal episode exhausted its round budget with layers
+    /// still flagged (the engine refused to keep spinning).
+    BudgetExhausted {
+        /// Heal rounds spent.
+        rounds: usize,
+        /// The layers still flagged.
+        layers: Vec<usize>,
+    },
     /// Peer repair found no healthy peer able to certify the needed
     /// pages.
     NoHealthyPeer {
@@ -99,6 +111,10 @@ impl std::fmt::Display for FleetError {
             FleetError::Store(e) => write!(f, "replica store error: {e}"),
             FleetError::Milr(e) => write!(f, "protection error: {e}"),
             FleetError::Substrate(e) => write!(f, "substrate error: {e}"),
+            FleetError::BudgetExhausted { rounds, layers } => write!(
+                f,
+                "heal budget exhausted after {rounds} rounds with layers {layers:?} still flagged"
+            ),
             FleetError::NoHealthyPeer { replica, layers } => write!(
                 f,
                 "no healthy peer could certify pages for replica {replica} layers {layers:?}"
@@ -137,5 +153,19 @@ impl From<MilrError> for FleetError {
 impl From<SubstrateError> for FleetError {
     fn from(e: SubstrateError) -> Self {
         FleetError::Substrate(e)
+    }
+}
+
+impl From<IntegrityError> for FleetError {
+    fn from(e: IntegrityError) -> Self {
+        match e {
+            IntegrityError::Milr(e) => FleetError::Milr(e),
+            IntegrityError::Store(e) => FleetError::Store(e),
+            IntegrityError::Substrate(e) => FleetError::Substrate(e),
+            IntegrityError::BudgetExhausted { rounds, flagged } => FleetError::BudgetExhausted {
+                rounds,
+                layers: flagged,
+            },
+        }
     }
 }

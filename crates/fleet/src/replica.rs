@@ -3,17 +3,24 @@
 //!
 //! A [`Replica`] owns the full single-instance stack — the
 //! [`ModelHost`] whose weights live only in substrate shards, the
-//! [`Milr`] protection instance anchored to the certified weights, and
-//! the [`Store`] those shards page against. The fleet layers health on
-//! top: a [`ReplicaState`] the router keys dispatch on, a MILR heal
-//! attempt that *classifies* its outcome (exact vs irrecoverable)
-//! instead of accepting approximations, and a durable re-anchor for
-//! rejoining after repair.
+//! [`Milr`] protection instance anchored to the certified weights, the
+//! [`Store`] those shards page against — plus its own
+//! [`IntegrityPipeline`] under the
+//! [`PeerRepair`](milr_integrity::EscalationPolicy::PeerRepair)
+//! policy: MILR heals are *classified* (only bit-exact outcomes are
+//! written back; min-norm/failed layers escalate to a peer fetch) and
+//! every rejoin re-anchors durably. The replica methods are thin
+//! drivers over that shared engine; the fleet layers health on top
+//! through [`ReplicaState`].
 
 use crate::FleetError;
 use milr_core::{DetectionReport, Milr};
+use milr_integrity::{
+    Budget, EscalationPolicy, IntegrityPipeline, Journaled, ModelHost, PipelineReport,
+    RoundOutcome, TickOutcome,
+};
 use milr_nn::Sequential;
-use milr_serve::{cold_start, ColdStartReport, ModelHost};
+use milr_serve::{cold_start, ColdStartReport};
 use milr_store::Store;
 use std::path::Path;
 
@@ -49,32 +56,14 @@ impl ReplicaState {
     }
 }
 
-/// Outcome classification of one MILR heal attempt.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HealAttempt {
-    /// Layers detection flagged going in.
-    pub flagged: Vec<usize>,
-    /// Flagged layers healed exactly (written back to the substrate).
-    pub healed_exact: Vec<usize>,
-    /// Flagged layers beyond MILR's recoverable set (min-norm or
-    /// failed outcomes) — the set handed to peer repair. Their
-    /// substrate shards are left untouched.
-    pub irrecoverable: Vec<usize>,
-}
-
-impl HealAttempt {
-    /// True when nothing was flagged.
-    pub fn was_clean(&self) -> bool {
-        self.flagged.is_empty()
-    }
-}
-
-/// One fleet member: host + protection + store + health state.
+/// One fleet member: host + protection + store + engine + health
+/// state.
 pub struct Replica {
     id: usize,
     host: ModelHost,
     milr: Milr,
     store: Store,
+    pipeline: IntegrityPipeline,
     state: ReplicaState,
 }
 
@@ -86,6 +75,12 @@ impl std::fmt::Debug for Replica {
             .field("store", &self.store.path())
             .finish()
     }
+}
+
+/// The policy every replica's engine runs under: never serve an
+/// approximation (escalate to peer repair instead), default budget.
+fn replica_pipeline() -> IntegrityPipeline {
+    IntegrityPipeline::new(EscalationPolicy::PeerRepair, Budget::default())
 }
 
 impl Replica {
@@ -107,6 +102,7 @@ impl Replica {
             host,
             milr,
             store,
+            pipeline: replica_pipeline(),
             state: ReplicaState::Cold,
         })
     }
@@ -131,6 +127,7 @@ impl Replica {
                 host,
                 milr,
                 store,
+                pipeline: replica_pipeline(),
                 state: ReplicaState::Serving,
             },
             report,
@@ -169,12 +166,40 @@ impl Replica {
         &self.store
     }
 
+    /// The replica's integrity-engine report so far.
+    pub fn pipeline_report(&self) -> &PipelineReport {
+        self.pipeline.report()
+    }
+
+    /// The flag set of the current heal episode's opening detection.
+    pub fn last_flagged(&self) -> &[usize] {
+        self.pipeline.last_flagged()
+    }
+
     /// Decodes the substrates into a runnable model.
     pub fn materialize(&self) -> Sequential {
         self.host.materialize()
     }
 
-    /// Runs a full detection pass over the live weights.
+    /// One scrub tick: the engine's Scrub + Detect stages over a
+    /// cursor chunk, with ECC corrections journal-flushed like every
+    /// other write-back on this store-backed replica. A flagged
+    /// detection is the fleet's cue to quarantine this replica and
+    /// start [`Replica::try_heal`] rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detection and journal-flush failures.
+    pub fn tick(&mut self, chunk: &[usize]) -> Result<TickOutcome, FleetError> {
+        let mut durability = Journaled::strict(&mut self.store);
+        Ok(self
+            .pipeline
+            .tick(&self.host, &self.milr, chunk, &mut durability)?)
+    }
+
+    /// Runs a full detection pass over the live weights (the
+    /// re-admission gate after a peer import, and the donor's
+    /// certification check).
     ///
     /// # Errors
     ///
@@ -183,58 +208,53 @@ impl Replica {
         Ok(self.milr.detect(&self.host.materialize())?)
     }
 
-    /// Attempts a MILR heal of the currently flagged layers and
-    /// **classifies** the outcome: layers whose recovery was exact
-    /// (full or CRC-guided partial) are written back to the substrate
-    /// and flushed; layers whose recovery came back min-norm or failed
-    /// are reported irrecoverable and their shards left untouched —
-    /// the caller hands them to [`peer_repair`](crate::peer_repair)
-    /// rather than serving an approximation.
+    /// One heal round of the shared engine under the peer-repair
+    /// policy: flagged layers whose recovery is exact (full or
+    /// CRC-guided partial) are written back and journal-flushed;
+    /// min-norm/failed layers come back as
+    /// [`RoundOutcome::Escalate`] for
+    /// [`peer_repair`](crate::peer_repair), their shards untouched. A
+    /// clean verify re-protects and re-anchors durably.
     ///
     /// # Errors
     ///
     /// Propagates detection/recovery/store failures.
-    pub fn try_heal(&mut self) -> Result<HealAttempt, FleetError> {
-        let mut live = self.host.materialize();
-        let check = self.milr.detect(&live)?;
-        if check.is_clean() {
-            return Ok(HealAttempt {
-                flagged: Vec::new(),
-                healed_exact: Vec::new(),
-                irrecoverable: Vec::new(),
-            });
-        }
-        let recovery = self.milr.recover_layers(&mut live, &check.flagged)?;
-        let irrecoverable = recovery.irrecoverable();
-        let healed_exact: Vec<usize> = recovery
-            .outcomes
-            .iter()
-            .filter(|(_, o)| o.is_exact())
-            .map(|(i, _)| *i)
-            .collect();
-        if !healed_exact.is_empty() {
-            self.host.write_back(&live, &healed_exact);
-            self.host.store().flush().map_err(FleetError::Substrate)?;
-        }
-        Ok(HealAttempt {
-            flagged: check.flagged,
-            healed_exact,
-            irrecoverable,
-        })
+    pub fn try_heal(&mut self) -> Result<RoundOutcome, FleetError> {
+        let mut durability = Journaled::strict(&mut self.store);
+        Ok(self
+            .pipeline
+            .heal_round(&self.host, &mut self.milr, &mut durability)?)
+    }
+
+    /// True when the current heal episode has spent its round budget.
+    pub fn heal_budget_exhausted(&self) -> bool {
+        self.pipeline.budget_exhausted()
+    }
+
+    /// The budget policy this replica's engine runs under (the fleet
+    /// driver also reads its donor-retry cap from here).
+    pub fn budget(&self) -> Budget {
+        self.pipeline.budget()
+    }
+
+    /// Grants a fresh heal-round budget mid-episode (re-entering the
+    /// heal ladder after a rejected peer import caught fresh damage).
+    pub fn reset_heal_budget(&mut self) {
+        self.pipeline.reset_budget()
     }
 
     /// Re-protects against the current live weights and commits the
     /// new (artifacts, weights) pair atomically to the store — the
-    /// durable re-anchor that ends every successful heal or repair.
+    /// engine's Reprotect + Anchor tail, ending every successful
+    /// repair.
     ///
     /// # Errors
     ///
     /// Propagates protection and store-commit failures.
     pub fn reanchor(&mut self) -> Result<(), FleetError> {
-        let live = self.host.materialize();
-        self.milr = Milr::protect(&live, *self.milr.config())?;
-        self.store
-            .commit_reanchor(&self.milr, &live, self.host.store())?;
+        let mut durability = Journaled::strict(&mut self.store);
+        self.pipeline
+            .reprotect_and_anchor(&self.host, &mut self.milr, &mut durability)?;
         Ok(())
     }
 }

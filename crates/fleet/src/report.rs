@@ -129,6 +129,7 @@ mod tests {
             availability: 1.0,
             latency: LatencyStats::default(),
             digest,
+            pipeline: crate::PipelineReport::default(),
         }
     }
 

@@ -35,6 +35,7 @@ use crate::router::Router;
 use crate::FleetError;
 use milr_core::{Milr, MilrConfig, SolvingPlan};
 use milr_fault::FaultRng;
+use milr_integrity::{PipelineReport, RoundOutcome};
 use milr_nn::{Layer, Sequential};
 use milr_serve::sim::{EventQueue, VirtualCosts};
 use milr_serve::{
@@ -208,26 +209,20 @@ struct Rep {
     model_cache: Option<Sequential>,
     workers: Vec<Option<Batch>>,
     epoch: u64,
-    recovery_attempts: u32,
     repair_attempts: u32,
     /// Irrecoverable layers awaiting peer repair.
     pending_repair: Vec<usize>,
-    /// Whether the current episode healed or imported anything (gates
-    /// the durable re-anchor on rejoin).
-    episode_healed: bool,
     downtime: DowntimeLog,
     last_fault_time: u64,
     last_clean_cycle: Option<u64>,
-    // Counters.
+    // Counters (healing/scrub counters live in the replica's engine).
     dispatched: usize,
     completed: usize,
     rejected: usize,
     reexecuted: usize,
     faults_injected: usize,
-    scrub_corrected: usize,
     scrub_ticks: usize,
     quarantines: usize,
-    layers_recovered: usize,
     peer_repairs: usize,
     repair_pages: usize,
     repair_bytes: usize,
@@ -305,10 +300,8 @@ pub fn simulate(
             model_cache: None,
             workers: (0..cfg.workers_per_replica).map(|_| None).collect(),
             epoch: 0,
-            recovery_attempts: 0,
             repair_attempts: 0,
             pending_repair: Vec::new(),
-            episode_healed: false,
             downtime: DowntimeLog::default(),
             last_fault_time: 0,
             last_clean_cycle: None,
@@ -317,10 +310,8 @@ pub fn simulate(
             rejected: 0,
             reexecuted: 0,
             faults_injected: 0,
-            scrub_corrected: 0,
             scrub_ticks: 0,
             quarantines: 0,
-            layers_recovered: 0,
             peer_repairs: 0,
             repair_pages: 0,
             repair_bytes: 0,
@@ -518,10 +509,6 @@ pub fn simulate(
     macro_rules! rejoin {
         ($r:expr) => {{
             let r: usize = $r;
-            if reps[r].episode_healed {
-                reps[r].replica.reanchor()?;
-                reps[r].episode_healed = false;
-            }
             reps[r].replica.set_state(ReplicaState::Serving);
             reps[r].model_cache = None;
             reps[r].downtime.close_at(clock);
@@ -602,14 +589,11 @@ pub fn simulate(
                 }
                 reps[r].scrub_ticks += 1;
                 let chunk = reps[r].cursor.begin_tick(clock);
-                let corrected = reps[r].replica.host().scrub_layers(&chunk).corrected;
-                if corrected > 0 {
+                let tick = reps[r].replica.tick(&chunk)?;
+                if tick.scrub.corrected > 0 {
                     reps[r].model_cache = None;
                 }
-                reps[r].scrub_corrected += corrected;
-                let live = reps[r].replica.host().materialize_layers(&chunk);
-                let report = reps[r].replica.milr().detect_layers(&live, &chunk)?;
-                let flagged = !report.is_clean();
+                let flagged = !tick.detection.is_clean();
                 if let Some(cycle_start) = reps[r].cursor.finish_tick(flagged, clock) {
                     reps[r].last_clean_cycle = Some(cycle_start);
                     for batch in reps[r].ledger.certify_before(cycle_start) {
@@ -624,7 +608,6 @@ pub fn simulate(
                     reps[r].quarantines += 1;
                     reps[r].replica.set_state(ReplicaState::Quarantined);
                     reps[r].epoch += 1;
-                    reps[r].recovery_attempts = 0;
                     reps[r].downtime.open_at(clock);
                     update_fleet_gate!();
                     let voided = reps[r].ledger.invalidate();
@@ -666,41 +649,41 @@ pub fn simulate(
                 if epoch != reps[r].epoch || reps[r].replica.state() != ReplicaState::Quarantined {
                     continue;
                 }
-                let heal = reps[r].replica.try_heal()?;
-                reps[r].layers_recovered += heal.healed_exact.len();
-                reps[r].episode_healed |= !heal.healed_exact.is_empty();
-                if !heal.irrecoverable.is_empty() {
-                    // Beyond MILR's recoverable set: fetch the layers
-                    // from a healthy peer instead of serving the
-                    // min-norm approximation.
-                    reps[r].replica.set_state(ReplicaState::Repairing);
-                    reps[r].repair_attempts = 0;
-                    let pages: usize = heal
-                        .irrecoverable
-                        .iter()
-                        .map(|&l| reps[r].replica.store().layer_page_count(l))
-                        .sum();
-                    reps[r].pending_repair = heal.irrecoverable;
-                    timeline.schedule(
-                        clock + pages as u64 * cfg.peer_page_ns + cfg.costs.recover_ns,
-                        Event::RepairDone { replica: r, epoch },
-                    );
-                    continue;
-                }
-                let verify = reps[r].replica.detect()?;
-                if verify.is_clean() {
-                    rejoin!(r);
-                } else {
-                    reps[r].recovery_attempts += 1;
-                    assert!(
-                        reps[r].recovery_attempts < 8,
-                        "replica {r} recovery failed to converge: {:?}",
-                        verify.flagged
-                    );
-                    timeline.schedule(
-                        clock + cfg.costs.recover_ns,
-                        Event::RecoveryDone { replica: r, epoch },
-                    );
+                // One heal round of the replica's engine: exact heals
+                // are written back and journal-flushed, min-norm /
+                // failed layers escalate to peer repair, and a clean
+                // verify re-protects + re-anchors durably.
+                match reps[r].replica.try_heal()? {
+                    RoundOutcome::Clean { .. } => rejoin!(r),
+                    RoundOutcome::Escalate { escalated, .. } => {
+                        // Beyond MILR's recoverable set: fetch the
+                        // layers from a healthy peer instead of serving
+                        // the min-norm approximation.
+                        reps[r].replica.set_state(ReplicaState::Repairing);
+                        reps[r].repair_attempts = 0;
+                        let pages: usize = escalated
+                            .iter()
+                            .map(|&l| reps[r].replica.store().layer_page_count(l))
+                            .sum();
+                        reps[r].pending_repair = escalated;
+                        timeline.schedule(
+                            clock + pages as u64 * cfg.peer_page_ns + cfg.costs.recover_ns,
+                            Event::RepairDone { replica: r, epoch },
+                        );
+                    }
+                    RoundOutcome::Retry { flagged } => {
+                        assert!(
+                            !reps[r].replica.heal_budget_exhausted(),
+                            "replica {r} recovery failed to converge: {flagged:?}"
+                        );
+                        timeline.schedule(
+                            clock + cfg.costs.recover_ns,
+                            Event::RecoveryDone { replica: r, epoch },
+                        );
+                    }
+                    outcome @ RoundOutcome::GaveUp { .. } => {
+                        unreachable!("peer-repair policy never gives up: {outcome:?}")
+                    }
                 }
             }
             Event::RepairDone { replica: r, epoch } => {
@@ -728,7 +711,9 @@ pub fn simulate(
                     // replication cannot help then, and the run reports
                     // it rather than serving an approximation.
                     reps[r].repair_attempts += 1;
-                    if reps[r].repair_attempts >= 32 {
+                    if reps[r].repair_attempts as usize
+                        >= reps[r].replica.budget().max_donor_retries
+                    {
                         return Err(FleetError::NoHealthyPeer { replica: r, layers });
                     }
                     timeline.schedule(
@@ -748,16 +733,16 @@ pub fn simulate(
                     Ok(_stats) => {
                         reps[r].peer_repairs += 1;
                         // apply_repair already re-anchored durably.
-                        reps[r].episode_healed = false;
                         rejoin!(r);
                     }
                     Err(FleetError::RepairRejected { .. }) => {
                         // New damage landed mid-repair (the peer's
                         // pages were imported, but verification caught
                         // the fresh fault): go back through the
-                        // heal-classify-repair ladder.
+                        // heal-classify-repair ladder with a fresh
+                        // round budget.
                         reps[r].replica.set_state(ReplicaState::Quarantined);
-                        reps[r].recovery_attempts = 0;
+                        reps[r].replica.reset_heal_budget();
                         timeline.schedule(
                             clock + cfg.costs.recover_ns,
                             Event::RecoveryDone { replica: r, epoch },
@@ -807,6 +792,7 @@ pub fn simulate(
                 .filter(|(i, _)| resolved_by[*i] == Some(r))
                 .map(|(_, o)| o.clone())
                 .collect();
+            let pipeline = rep.replica.pipeline_report().clone();
             ReplicaReport {
                 replica: r,
                 peer_repairs: rep.peer_repairs,
@@ -821,20 +807,25 @@ pub fn simulate(
                     rejected: rep.rejected,
                     reexecuted: rep.reexecuted,
                     faults_injected: rep.faults_injected,
-                    scrub_corrected: rep.scrub_corrected,
+                    scrub_corrected: pipeline.scrub_corrected,
                     scrub_ticks: rep.scrub_ticks,
                     quarantines: rep.quarantines,
-                    layers_recovered: rep.layers_recovered,
-                    durability_errors: 0,
+                    layers_recovered: pipeline.layers_healed,
+                    durability_errors: pipeline.durability_errors,
                     total_ns,
                     downtime_ns: rep.downtime.total_ns(total_ns),
                     availability: rep.downtime.availability(total_ns),
                     latency: LatencyStats::from_ns(&rep.latencies),
                     digest: outcome_digest(&mine),
+                    pipeline,
                 },
             }
         })
         .collect();
+    let mut fleet_pipeline = PipelineReport::default();
+    for rep in &per_replica {
+        fleet_pipeline.merge(&rep.report.pipeline);
+    }
     let fleet = ServeReport {
         seed: cfg.seed,
         policy: cfg.policy.name().to_string(),
@@ -843,16 +834,17 @@ pub fn simulate(
         rejected: fleet_rejected,
         reexecuted: reps.iter().map(|r| r.reexecuted).sum(),
         faults_injected: reps.iter().map(|r| r.faults_injected).sum(),
-        scrub_corrected: reps.iter().map(|r| r.scrub_corrected).sum(),
+        scrub_corrected: fleet_pipeline.scrub_corrected,
         scrub_ticks: reps.iter().map(|r| r.scrub_ticks).sum(),
         quarantines: reps.iter().map(|r| r.quarantines).sum(),
-        layers_recovered: reps.iter().map(|r| r.layers_recovered).sum(),
-        durability_errors: 0,
+        layers_recovered: fleet_pipeline.layers_healed,
+        durability_errors: fleet_pipeline.durability_errors,
         total_ns,
         downtime_ns: fleet_down.total_ns(total_ns),
         availability: fleet_down.availability(total_ns),
         latency: LatencyStats::from_ns(&fleet_latencies),
         digest: outcome_digest(&outcomes),
+        pipeline: fleet_pipeline,
     };
     let capacity = ServeReport::aggregate(
         &per_replica

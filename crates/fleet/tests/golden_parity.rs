@@ -1,0 +1,138 @@
+//! Golden-seed parity: the unified integrity engine must be an exact
+//! behavioural refactor of the five loops it replaced. These fixed-seed
+//! runs were captured **before** the `crates/integrity` extraction;
+//! every legacy report field (and the outcome digest, which hashes
+//! every request's output bits) must stay byte-identical forever.
+//!
+//! The only additive change is the `pipeline` block appended to the
+//! report JSON — asserted here by prefix-matching the pre-refactor
+//! byte string.
+
+use milr_core::MilrConfig;
+use milr_fleet::FleetConfig;
+use milr_serve::sim::SimConfig;
+use milr_serve::{QuarantinePolicy, ServeReport};
+use milr_substrate::SubstrateKind;
+
+/// `serving_probe(11)`, `SimConfig::default()` — captured at PR 4.
+const SERVE_DEFAULT: &str = "{\"seed\":6165246,\"policy\":\"drain\",\"submitted\":200,\
+\"completed\":200,\"rejected\":0,\"reexecuted\":76,\"faults_injected\":2,\
+\"scrub_corrected\":0,\"scrub_ticks\":23,\"quarantines\":2,\"layers_recovered\":2,\
+\"durability_errors\":0,\"total_ns\":115000000,\"downtime_ns\":23000000,\
+\"availability\":0.800000000,\"latency_mean_us\":30162.986,\"latency_p50_us\":31513.914,\
+\"latency_p95_us\":48861.030,\"latency_max_us\":52346.619,\"digest\":12855914172184449660}";
+
+/// `serving_probe(11)`, seed `0xD00D`, 120 requests, 1 fault, reject
+/// policy — captured at PR 4.
+const SERVE_REJECT: &str = "{\"seed\":53261,\"policy\":\"reject\",\"submitted\":120,\
+\"completed\":67,\"rejected\":53,\"reexecuted\":0,\"faults_injected\":1,\
+\"scrub_corrected\":0,\"scrub_ticks\":16,\"quarantines\":1,\"layers_recovered\":1,\
+\"durability_errors\":0,\"total_ns\":75500000,\"downtime_ns\":11500000,\
+\"availability\":0.847682119,\"latency_mean_us\":15038.921,\"latency_p50_us\":14738.177,\
+\"latency_p95_us\":20425.638,\"latency_max_us\":21648.882,\"digest\":6611031403539652287}";
+
+/// The fleet view of `serving_probe(11)`, `FleetConfig::default()` with
+/// 100 requests, 2 faults + 1 heavy fault, plain substrate — captured
+/// at PR 4.
+const FLEET_HEAVY_FLEET: &str = "{\"seed\":990951,\"policy\":\"drain\",\"submitted\":100,\
+\"completed\":100,\"rejected\":0,\"reexecuted\":18,\"faults_injected\":3,\
+\"scrub_corrected\":0,\"scrub_ticks\":34,\"quarantines\":2,\"layers_recovered\":2,\
+\"durability_errors\":0,\"total_ns\":60000000,\"downtime_ns\":0,\
+\"availability\":1.000000000,\"latency_mean_us\":20202.411,\"latency_p50_us\":20355.248,\
+\"latency_p95_us\":28576.373,\"latency_max_us\":31472.190,\"digest\":260079948217714707}";
+
+/// Same run, the capacity aggregate — captured at PR 4.
+const FLEET_HEAVY_CAPACITY: &str = "{\"seed\":990951,\"policy\":\"drain\",\"submitted\":118,\
+\"completed\":100,\"rejected\":0,\"reexecuted\":18,\"faults_injected\":3,\
+\"scrub_corrected\":0,\"scrub_ticks\":34,\"quarantines\":2,\"layers_recovered\":2,\
+\"durability_errors\":0,\"total_ns\":60000000,\"downtime_ns\":13666666,\
+\"availability\":0.772222222,\"latency_mean_us\":20202.411,\"latency_p50_us\":20508.728,\
+\"latency_p95_us\":27902.114,\"latency_max_us\":31472.190,\"digest\":14796408015967164088}";
+
+/// Same run, the three per-replica digests in replica order.
+const FLEET_HEAVY_REPLICA_DIGESTS: [u64; 3] = [
+    17718110661062355280,
+    7640538247473438064,
+    1737466879885898915,
+];
+
+/// Asserts `report`'s legacy fields serialize byte-identically to the
+/// pre-refactor `golden` JSON, with only the pipeline block appended.
+fn assert_legacy_prefix(report: &ServeReport, golden: &str, what: &str) {
+    let json = report.to_json();
+    let prefix = &golden[..golden.len() - 1]; // drop the closing brace
+    assert!(
+        json.starts_with(prefix),
+        "{what}: legacy report fields diverged from the pre-refactor capture\n  got: {json}\n  want prefix: {prefix}"
+    );
+    assert!(
+        json[prefix.len()..].starts_with(",\"pipeline\":{"),
+        "{what}: expected only the pipeline block appended, got: {}",
+        &json[prefix.len()..]
+    );
+}
+
+#[test]
+fn serve_sim_default_seed_is_byte_identical_to_pre_refactor() {
+    let model = milr_models::serving_probe(11);
+    let result = milr_serve::simulate(&model, MilrConfig::default(), &SimConfig::default())
+        .expect("seeded simulation is deterministic");
+    assert_legacy_prefix(&result.report, SERVE_DEFAULT, "serve default");
+    assert_eq!(result.report.digest, 12855914172184449660);
+    // The engine's own accounting is deterministic too: two
+    // quarantines, each healing one layer in one round, each verify
+    // re-checking only the flagged layer.
+    assert_eq!(result.report.pipeline.heal_rounds, 2);
+    assert_eq!(result.report.pipeline.layers_healed, 2);
+    assert_eq!(result.report.pipeline.fast_verifies, 2);
+    assert!(result.report.pipeline.layers_skipped > 0);
+    assert_eq!(result.report.pipeline.stage_ns.heal, 0, "virtual clock");
+}
+
+#[test]
+fn serve_sim_reject_seed_is_byte_identical_to_pre_refactor() {
+    let model = milr_models::serving_probe(11);
+    let cfg = SimConfig {
+        seed: 0xD00D,
+        requests: 120,
+        faults: 1,
+        policy: QuarantinePolicy::Reject,
+        ..SimConfig::default()
+    };
+    let result = milr_serve::simulate(&model, MilrConfig::default(), &cfg)
+        .expect("seeded simulation is deterministic");
+    assert_legacy_prefix(&result.report, SERVE_REJECT, "serve reject");
+    assert_eq!(result.report.digest, 6611031403539652287);
+}
+
+#[test]
+fn fleet_sim_heavy_seed_is_byte_identical_to_pre_refactor() {
+    let model = milr_models::serving_probe(11);
+    let cfg = FleetConfig {
+        requests: 100,
+        faults: 2,
+        heavy_faults: 1,
+        kind: SubstrateKind::Plain,
+        ..FleetConfig::default()
+    };
+    let result = milr_fleet::simulate(&model, MilrConfig::default(), &cfg)
+        .expect("seeded fleet simulation is deterministic");
+    let r = &result.report;
+    assert_legacy_prefix(&r.fleet, FLEET_HEAVY_FLEET, "fleet aggregate");
+    assert_legacy_prefix(&r.capacity, FLEET_HEAVY_CAPACITY, "capacity aggregate");
+    assert_eq!(r.peer_repairs(), 1);
+    assert_eq!(r.repair_pages(), 4);
+    assert_eq!(r.repair_bytes(), 864);
+    for (rep, &digest) in r.per_replica.iter().zip(&FLEET_HEAVY_REPLICA_DIGESTS) {
+        assert_eq!(
+            rep.report.digest, digest,
+            "replica {} digest diverged",
+            rep.replica
+        );
+    }
+    // The heavy fault escalated exactly one layer to peer repair.
+    assert_eq!(r.fleet.pipeline.layers_escalated, 1);
+    // Exact heals were re-anchored durably on the replicas; the peer
+    // repair added one more anchor through its re-admission.
+    assert_eq!(r.fleet.pipeline.anchors, r.fleet.pipeline.reprotects);
+}

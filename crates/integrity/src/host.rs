@@ -172,9 +172,7 @@ impl ModelHost {
         let mut total = ScrubSummary::default();
         for &layer in layers {
             if let Ok(shard) = self.param_layers.binary_search(&layer) {
-                let s = self.store.scrub_shard(shard);
-                total.corrected += s.corrected;
-                total.uncorrectable += s.uncorrectable;
+                total.absorb(&self.store.scrub_shard(shard));
             }
         }
         total

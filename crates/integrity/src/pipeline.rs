@@ -1,0 +1,576 @@
+//! The integrity state machine: one explicit
+//! `Scrub → Detect → Heal → Classify → Escalate → Verify → Reprotect →
+//! Anchor` loop, shared by every driver that used to hand-roll it.
+//!
+//! A pipeline lives as long as its host: recurring **ticks**
+//! ([`IntegrityPipeline::tick`]) run the Scrub and Detect stages over a
+//! cursor chunk, and a flagged detection starts a **heal episode** —
+//! one or more [`IntegrityPipeline::heal_round`] calls, each running
+//! Heal → Classify → Escalate → Verify, ending in Reprotect → Anchor
+//! once verification comes back clean. Drivers that own the clock
+//! (the discrete-event simulators) call `heal_round` once per
+//! scheduled event; wall-clock drivers loop with
+//! [`IntegrityPipeline::run`].
+//!
+//! ## The steady-state fast path
+//!
+//! The engine tracks which layers each episode actually touched (the
+//! *suspect set*: layers flagged by detection or rewritten by a heal).
+//! Post-heal verification replays only those layers through
+//! [`Milr::detect_layers`] instead of re-detecting the whole model.
+//! On an `N`-layer model with one flagged layer this turns the hot
+//! recovery path's verification from `O(N)` layer replays into `O(1)`;
+//! the `integrity_bench` binary measures the win per substrate.
+//!
+//! The subset check is sound exactly when nothing outside the suspect
+//! set can change during the engine call — true for **atomic**
+//! drivers: a single-threaded boot (cold start) or a discrete-event
+//! simulator whose faults land only between events. A threaded host
+//! is different: a fault can land in an unverified layer between the
+//! subset verify and the re-protect, and re-protection would bake it
+//! into the new CRC baseline where no future scrub could ever see it.
+//! Such drivers construct the pipeline
+//! [`with_reprotect_gate`](IntegrityPipeline::with_reprotect_gate):
+//! before re-protecting, the engine re-detects the **whole** snapshot
+//! it is about to protect and loops back into healing if anything new
+//! is flagged — restoring the old loops' protect-only-a-fully-verified-
+//! snapshot contract while intermediate rounds keep the fast path.
+
+use crate::host::ModelHost;
+use crate::policy::{Anchored, Budget, DurabilityPolicy, EscalationPolicy, Flushed};
+use crate::report::PipelineReport;
+use crate::IntegrityError;
+use milr_core::{DetectionReport, Milr};
+use milr_substrate::ScrubSummary;
+use std::time::Instant;
+
+/// The explicit stages of the integrity loop, in order. Carried on
+/// timing counters and useful for logging; the pipeline itself
+/// advances through them structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Substrate-level repair pass (ECC scrub).
+    Scrub,
+    /// MILR detection (full pass or cursor chunk).
+    Detect,
+    /// MILR recovery of the flagged layers.
+    Heal,
+    /// Partition recovery outcomes into accepted and escalated.
+    Classify,
+    /// Hand irrecoverable layers to the escalation policy.
+    Escalate,
+    /// Fast-path re-check of the suspect layers.
+    Verify,
+    /// Re-protect against the healed state.
+    Reprotect,
+    /// Durably commit the new (weights, artifacts) pair.
+    Anchor,
+}
+
+/// What one tick's Scrub + Detect stages found.
+#[derive(Debug, Clone)]
+pub struct TickOutcome {
+    /// Substrate scrub counts over the chunk.
+    pub scrub: ScrubSummary,
+    /// Detection over the chunk.
+    pub detection: DetectionReport,
+}
+
+/// How one heal round ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// Verification came back clean. If the episode healed anything,
+    /// protection was re-anchored to the healed state;
+    /// `reanchored` is true when that re-anchor was committed durably.
+    Clean {
+        /// True when a durable anchor commit succeeded this episode.
+        reanchored: bool,
+    },
+    /// Verification still flags layers and budget remains: call
+    /// [`IntegrityPipeline::heal_round`] again (simulators charge
+    /// virtual time in between).
+    Retry {
+        /// The layers still flagged.
+        flagged: Vec<usize>,
+    },
+    /// The round budget is exhausted under
+    /// [`EscalationPolicy::Quarantine`]: resume serving; the next
+    /// scrub cycle re-quarantines.
+    GaveUp {
+        /// The layers still flagged.
+        flagged: Vec<usize>,
+    },
+    /// Recovery classified layers beyond exact healing under
+    /// [`EscalationPolicy::PeerRepair`]: exact heals (if any) are
+    /// written back, the rest await certified pages from a peer.
+    Escalate {
+        /// Layers healed exactly and written back this round.
+        healed: Vec<usize>,
+        /// Layers whose recovery came back min-norm or failed; their
+        /// substrate shards are left untouched.
+        escalated: Vec<usize>,
+    },
+}
+
+/// The shared integrity engine. See the module docs for the stage
+/// walk; construct one per host (policies fixed at construction) and
+/// drive it with [`tick`](IntegrityPipeline::tick),
+/// [`heal_round`](IntegrityPipeline::heal_round) /
+/// [`run`](IntegrityPipeline::run), and — after a peer repair import —
+/// [`reprotect_and_anchor`](IntegrityPipeline::reprotect_and_anchor).
+#[derive(Debug, Clone)]
+pub struct IntegrityPipeline {
+    escalation: EscalationPolicy,
+    budget: Budget,
+    timed: bool,
+    /// Concurrent-host mode: re-detect the whole snapshot immediately
+    /// before every Reprotect (see the module docs).
+    gated: bool,
+    /// Heal rounds spent in the current episode.
+    rounds: usize,
+    /// Layers flagged or rewritten this episode — the fast-path verify
+    /// set. Everything outside it kept its clean epoch.
+    suspect: Vec<usize>,
+    /// Whether this episode changed stored state (gates Reprotect +
+    /// Anchor; scrub corrections count as heals).
+    healed: bool,
+    /// The flag set of the episode's opening full detection.
+    last_flagged: Vec<usize>,
+    report: PipelineReport,
+}
+
+/// Ascending, deduplicated union of two layer sets.
+fn union(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl IntegrityPipeline {
+    /// A pipeline with the given escalation policy and budget, without
+    /// stage timing (virtual-clock drivers: keeps embedded reports
+    /// seed-deterministic).
+    pub fn new(escalation: EscalationPolicy, budget: Budget) -> Self {
+        IntegrityPipeline {
+            escalation,
+            budget,
+            timed: false,
+            gated: false,
+            rounds: 0,
+            suspect: Vec::new(),
+            healed: false,
+            last_flagged: Vec::new(),
+            report: PipelineReport::default(),
+        }
+    }
+
+    /// Enables wall-clock stage timing (live servers, cold starts,
+    /// benches).
+    pub fn with_wall_timing(mut self) -> Self {
+        self.timed = true;
+        self
+    }
+
+    /// Enables the Reprotect gate for hosts where faults can land
+    /// concurrently with the engine call (the threaded server): the
+    /// engine re-detects the **whole** snapshot it is about to
+    /// re-protect and loops back into healing if anything new is
+    /// flagged. Atomic drivers (boot-time cold starts, discrete-event
+    /// simulators) omit this and keep the pure fast path.
+    pub fn with_reprotect_gate(mut self) -> Self {
+        self.gated = true;
+        self
+    }
+
+    /// The accumulated per-stage report.
+    pub fn report(&self) -> &PipelineReport {
+        &self.report
+    }
+
+    /// Consumes the pipeline, yielding its report.
+    pub fn into_report(self) -> PipelineReport {
+        self.report
+    }
+
+    /// The flag set of the current (or most recent) episode's opening
+    /// detection pass.
+    pub fn last_flagged(&self) -> &[usize] {
+        &self.last_flagged
+    }
+
+    /// True when the episode has spent its whole heal-round budget.
+    pub fn budget_exhausted(&self) -> bool {
+        self.rounds >= self.budget.max_heal_rounds
+    }
+
+    /// The budget policy this pipeline runs under.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Whether the current episode has changed stored state.
+    pub fn healed(&self) -> bool {
+        self.healed
+    }
+
+    /// Grants a fresh heal-round budget mid-episode (a fleet replica
+    /// re-enters the heal ladder after a rejected peer import). The
+    /// next round re-detects from scratch; anything already healed
+    /// still gates the eventual re-anchor.
+    pub fn reset_budget(&mut self) {
+        self.rounds = 0;
+        self.suspect.clear();
+    }
+
+    fn stamp(&self) -> Option<Instant> {
+        self.timed.then(Instant::now)
+    }
+
+    fn lap(&mut self, t0: Option<Instant>, stage: Stage) {
+        let Some(t0) = t0 else { return };
+        let ns = t0.elapsed().as_nanos() as u64;
+        let s = &mut self.report.stage_ns;
+        match stage {
+            Stage::Scrub => s.scrub += ns,
+            Stage::Detect => s.detect += ns,
+            Stage::Heal | Stage::Classify | Stage::Escalate => s.heal += ns,
+            Stage::Verify => s.verify += ns,
+            Stage::Reprotect => s.reprotect += ns,
+            Stage::Anchor => s.anchor += ns,
+        }
+    }
+
+    /// Scrub-stage bookkeeping shared by full and chunk scrubs: ECC
+    /// corrections are heals — they are flushed through the journal and
+    /// make the episode's eventual re-anchor mandatory.
+    fn note_scrub(
+        &mut self,
+        summary: &ScrubSummary,
+        host: &ModelHost,
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<(), IntegrityError> {
+        self.report.scrub_corrected += summary.corrected;
+        self.report.scrub_uncorrectable += summary.uncorrectable;
+        if summary.corrected > 0 {
+            self.healed = true;
+            if durability.flush(host)? == Flushed::Failed {
+                self.report.durability_errors += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The Scrub stage over **every** shard — the cold-start entry:
+    /// run the substrate's own repair pass and persist its corrections
+    /// before the first detection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates strict durability failures.
+    pub fn scrub_full(
+        &mut self,
+        host: &ModelHost,
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<ScrubSummary, IntegrityError> {
+        let t = self.stamp();
+        let summary = host.store().scrub();
+        self.lap(t, Stage::Scrub);
+        self.note_scrub(&summary, host, durability)?;
+        Ok(summary)
+    }
+
+    /// One recurring tick: the Scrub and Detect stages over a cursor
+    /// chunk. A flagged [`TickOutcome::detection`] is the driver's cue
+    /// to quarantine and start calling
+    /// [`heal_round`](IntegrityPipeline::heal_round).
+    ///
+    /// # Errors
+    ///
+    /// Propagates detection and strict durability failures.
+    pub fn tick(
+        &mut self,
+        host: &ModelHost,
+        milr: &Milr,
+        chunk: &[usize],
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<TickOutcome, IntegrityError> {
+        let t = self.stamp();
+        let scrub = host.scrub_layers(chunk);
+        self.lap(t, Stage::Scrub);
+        self.note_scrub(&scrub, host, durability)?;
+        let t = self.stamp();
+        let live = host.materialize_layers(chunk);
+        let detection = milr.detect_layers(&live, chunk)?;
+        self.lap(t, Stage::Detect);
+        self.report.chunk_detects += 1;
+        self.report.layers_checked += detection.checks.len();
+        Ok(TickOutcome { scrub, detection })
+    }
+
+    /// One heal round: a full Detect pass, then Heal → Classify →
+    /// Escalate → Verify, closing with Reprotect → Anchor when
+    /// verification is clean. Each call re-detects from scratch, so
+    /// event-driven drivers that let virtual time pass between rounds
+    /// (the simulators) start every round from the host's current
+    /// state — exactly like the loops this engine replaced.
+    ///
+    /// Running this on an already-clean host is a strict no-op: no
+    /// write-back, no re-protect, no anchor, and a report whose
+    /// mutation counters stay zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detection/recovery/protection failures and strict
+    /// durability failures; returns
+    /// [`IntegrityError::BudgetExhausted`] when the round budget runs
+    /// out under [`EscalationPolicy::Fail`] or
+    /// [`EscalationPolicy::PeerRepair`].
+    pub fn heal_round(
+        &mut self,
+        host: &ModelHost,
+        milr: &mut Milr,
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<RoundOutcome, IntegrityError> {
+        // ---- Detect ----------------------------------------------
+        let t = self.stamp();
+        let live = host.materialize();
+        let detection = milr.detect(&live)?;
+        self.lap(t, Stage::Detect);
+        self.report.full_detects += 1;
+        self.report.layers_checked += detection.checks.len();
+        if self.rounds == 0 {
+            self.last_flagged = detection.flagged.clone();
+        }
+        self.round_with(detection.flagged, Some(live), host, milr, durability)
+    }
+
+    /// The round body past Detect: `flagged` is this round's flag set,
+    /// `live` the snapshot it was observed on (when available — the
+    /// fast path inside [`run`](IntegrityPipeline::run) carries a
+    /// verify's flags without re-materializing).
+    fn round_with(
+        &mut self,
+        flagged: Vec<usize>,
+        live: Option<milr_nn::Sequential>,
+        host: &ModelHost,
+        milr: &mut Milr,
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<RoundOutcome, IntegrityError> {
+        if flagged.is_empty() {
+            return self.finish_clean(host, milr, durability);
+        }
+        if self.budget_exhausted() {
+            return match self.escalation {
+                EscalationPolicy::Fail | EscalationPolicy::PeerRepair => {
+                    Err(IntegrityError::BudgetExhausted {
+                        rounds: self.rounds,
+                        flagged,
+                    })
+                }
+                EscalationPolicy::Quarantine => {
+                    // Give the damage back to the scrubber with a fresh
+                    // budget: the next quarantine episode must get its
+                    // full complement of rounds (layers already healed
+                    // this episode still gate the eventual re-anchor).
+                    self.rounds = 0;
+                    Ok(RoundOutcome::GaveUp { flagged })
+                }
+            };
+        }
+        self.rounds += 1;
+        self.report.heal_rounds += 1;
+
+        // ---- Heal ------------------------------------------------
+        let t = self.stamp();
+        let mut live = match live {
+            Some(live) => live,
+            None => host.materialize(),
+        };
+        let recovery = milr.recover_layers(&mut live, &flagged)?;
+        self.lap(t, Stage::Heal);
+
+        // ---- Classify --------------------------------------------
+        let (accepted, escalated): (Vec<usize>, Vec<usize>) = match self.escalation {
+            // Never serve an approximation: only bit-exact outcomes
+            // are written back, the rest go to a peer.
+            EscalationPolicy::PeerRepair => (
+                recovery
+                    .outcomes
+                    .iter()
+                    .filter(|(_, o)| o.is_exact())
+                    .map(|(i, _)| *i)
+                    .collect(),
+                recovery.irrecoverable(),
+            ),
+            // Single-instance policies accept whatever recovery
+            // produced; verification (and re-protection) decides.
+            _ => (flagged.clone(), Vec::new()),
+        };
+        if !accepted.is_empty() {
+            host.write_back(&live, &accepted);
+            self.healed = true;
+            self.report.layers_healed += accepted.len();
+            if durability.flush(host)? == Flushed::Failed {
+                self.report.durability_errors += 1;
+            }
+        }
+
+        // ---- Escalate --------------------------------------------
+        if !escalated.is_empty() {
+            self.report.layers_escalated += escalated.len();
+            self.suspect = union(&self.suspect, &accepted);
+            return Ok(RoundOutcome::Escalate {
+                healed: accepted,
+                escalated,
+            });
+        }
+
+        // ---- Verify (fast path) ----------------------------------
+        self.suspect = union(&self.suspect, &flagged);
+        let t = self.stamp();
+        let live = host.materialize_layers(&self.suspect);
+        let verify = milr.detect_layers(&live, &self.suspect)?;
+        self.lap(t, Stage::Verify);
+        self.report.fast_verifies += 1;
+        self.report.layers_checked += verify.checks.len();
+        self.report.layers_skipped += milr.checkable_count().saturating_sub(self.suspect.len());
+        if verify.is_clean() {
+            self.finish_clean(host, milr, durability)
+        } else {
+            Ok(RoundOutcome::Retry {
+                flagged: verify.flagged,
+            })
+        }
+    }
+
+    /// Runs heal rounds back to back until the episode resolves — the
+    /// wall-clock drivers' loop (cold start, the online server's
+    /// recovery thread). Never returns [`RoundOutcome::Retry`]. Inside
+    /// the loop a failed verify's flags feed the next round directly
+    /// (no redundant re-detect); the rounds are back to back, so
+    /// nothing the opening detect certified can have changed meanwhile
+    /// that the closing verification (or, on gated pipelines, the
+    /// Reprotect gate) would not catch.
+    ///
+    /// # Errors
+    ///
+    /// See [`heal_round`](IntegrityPipeline::heal_round).
+    pub fn run(
+        &mut self,
+        host: &ModelHost,
+        milr: &mut Milr,
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<RoundOutcome, IntegrityError> {
+        let mut carried: Option<Vec<usize>> = None;
+        loop {
+            let outcome = match carried.take() {
+                Some(flagged) => self.round_with(flagged, None, host, milr, durability)?,
+                None => self.heal_round(host, milr, durability)?,
+            };
+            match outcome {
+                RoundOutcome::Retry { flagged } => carried = Some(flagged),
+                outcome => return Ok(outcome),
+            }
+        }
+    }
+
+    /// The Reprotect and Anchor stages, unconditionally: re-protects
+    /// against the current live weights and durably commits the new
+    /// (weights, artifacts) pair — the re-admission step after a
+    /// peer-repair import, whose caller just ran its own full
+    /// verification. Ends the episode.
+    ///
+    /// Returns true when the anchor was committed durably.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protection failures and strict durability failures.
+    pub fn reprotect_and_anchor(
+        &mut self,
+        host: &ModelHost,
+        milr: &mut Milr,
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<bool, IntegrityError> {
+        let live = host.materialize();
+        self.reprotect_snapshot(live, host, milr, durability)
+    }
+
+    /// Re-protects and anchors exactly `live` — the snapshot the
+    /// caller has verified. Ends the episode.
+    fn reprotect_snapshot(
+        &mut self,
+        live: milr_nn::Sequential,
+        host: &ModelHost,
+        milr: &mut Milr,
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<bool, IntegrityError> {
+        let t = self.stamp();
+        *milr = Milr::protect(&live, *milr.config())?;
+        self.lap(t, Stage::Reprotect);
+        self.report.reprotects += 1;
+        let t = self.stamp();
+        let anchored = match durability.anchor(milr, &live, host)? {
+            Anchored::Durable => {
+                self.report.anchors += 1;
+                true
+            }
+            Anchored::VolatileOnly => false,
+            Anchored::Failed => {
+                self.report.durability_errors += 1;
+                false
+            }
+        };
+        self.lap(t, Stage::Anchor);
+        self.end_episode();
+        Ok(anchored)
+    }
+
+    fn finish_clean(
+        &mut self,
+        host: &ModelHost,
+        milr: &mut Milr,
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<RoundOutcome, IntegrityError> {
+        if !self.healed {
+            // Strict no-op: an already-clean episode neither
+            // re-protects nor re-anchors.
+            self.end_episode();
+            return Ok(RoundOutcome::Clean { reanchored: false });
+        }
+        let live = host.materialize();
+        if self.gated {
+            // Reprotect gate (concurrent hosts): only a snapshot that
+            // passed a *full* detection may become the new baseline —
+            // a fault that landed outside the suspect set during this
+            // episode must heal now, not get certified forever.
+            let t = self.stamp();
+            let detection = milr.detect(&live)?;
+            self.lap(t, Stage::Verify);
+            self.report.full_detects += 1;
+            self.report.layers_checked += detection.checks.len();
+            if !detection.is_clean() {
+                return self.round_with(detection.flagged, Some(live), host, milr, durability);
+            }
+        }
+        let reanchored = self.reprotect_snapshot(live, host, milr, durability)?;
+        Ok(RoundOutcome::Clean { reanchored })
+    }
+
+    fn end_episode(&mut self) {
+        self.rounds = 0;
+        self.suspect.clear();
+        self.healed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_sorts_and_dedups() {
+        assert_eq!(union(&[4, 0], &[0, 2]), vec![0, 2, 4]);
+        assert_eq!(union(&[], &[]), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,213 @@
+//! The three pluggable policies parameterizing the pipeline: how heals
+//! become durable ([`DurabilityPolicy`]), what happens to damage the
+//! engine cannot heal exactly ([`EscalationPolicy`]), and how many
+//! heal rounds an episode may spend ([`Budget`]).
+
+use crate::host::ModelHost;
+use crate::IntegrityError;
+use milr_core::Milr;
+use milr_nn::Sequential;
+use milr_store::Store;
+
+/// Heal rounds one episode may spend before the engine declares the
+/// damage unconvergent. This is **the** workspace-wide default: the
+/// cold-start loop, the online server's recovery thread, and both
+/// simulators used to carry their own copies of this constant.
+pub const DEFAULT_HEAL_ROUNDS: usize = 8;
+
+/// Donor attempts a fleet repair may spend waiting for a healthy peer
+/// before concluding replication cannot help.
+pub const DEFAULT_DONOR_RETRIES: usize = 32;
+
+/// The heal-round budget of one quarantine episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Heal rounds (detect → recover → verify) before giving up.
+    pub max_heal_rounds: usize,
+    /// Peer-repair donor retries before reporting
+    /// "no healthy peer" (only consulted by fleet drivers).
+    pub max_donor_retries: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_heal_rounds: DEFAULT_HEAL_ROUNDS,
+            max_donor_retries: DEFAULT_DONOR_RETRIES,
+        }
+    }
+}
+
+/// What the pipeline does with damage beyond an exact heal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscalationPolicy {
+    /// Refuse to serve: budget exhaustion is an error
+    /// ([`IntegrityError::BudgetExhausted`]). Approximate heals that
+    /// pass detection are accepted and re-protected (the paper's
+    /// single-instance behaviour). Used by scrub-on-load cold starts.
+    Fail,
+    /// Give up and resume: budget exhaustion returns
+    /// [`RoundOutcome::GaveUp`](crate::RoundOutcome::GaveUp) so the
+    /// service keeps serving and the next scrub cycle re-quarantines.
+    /// Approximate heals are accepted like [`EscalationPolicy::Fail`].
+    /// Used by the online server and the serving simulator.
+    Quarantine,
+    /// Never serve an approximation: only bit-exact recovery outcomes
+    /// are written back; min-norm/failed layers are reported via
+    /// [`RoundOutcome::Escalate`](crate::RoundOutcome::Escalate) for a
+    /// peer repair. Used by fleet replicas.
+    PeerRepair,
+}
+
+impl EscalationPolicy {
+    /// Stable lowercase name (reports, logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EscalationPolicy::Fail => "fail",
+            EscalationPolicy::Quarantine => "quarantine",
+            EscalationPolicy::PeerRepair => "peer-repair",
+        }
+    }
+}
+
+/// Result of persisting heal write-backs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flushed {
+    /// The journal flush committed.
+    Committed,
+    /// Nothing to persist (volatile substrate).
+    Skipped,
+    /// A best-effort flush failed; the error was logged and swallowed.
+    /// Served outputs stay correct, but the container on disk lags the
+    /// served state until a later commit succeeds.
+    Failed,
+}
+
+/// Result of durably committing a re-anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchored {
+    /// The (weights, artifacts) pair swapped in atomically on disk.
+    Durable,
+    /// No backing store: the re-anchor lives in memory only.
+    VolatileOnly,
+    /// A best-effort commit failed; logged and swallowed.
+    Failed,
+}
+
+/// How the pipeline's write-backs and re-anchors reach stable storage.
+///
+/// The engine calls [`DurabilityPolicy::flush`] after every batch of
+/// heal (or ECC-scrub) write-backs and [`DurabilityPolicy::anchor`]
+/// when a healed episode re-protects — the policy decides whether that
+/// means a journaled flush plus an atomic container swap
+/// ([`Journaled`]) or nothing at all ([`Volatile`]).
+pub trait DurabilityPolicy {
+    /// Persists substrate write-backs (journal flush).
+    ///
+    /// # Errors
+    ///
+    /// Strict policies propagate I/O failures; best-effort policies
+    /// swallow them into [`Flushed::Failed`].
+    fn flush(&mut self, host: &ModelHost) -> Result<Flushed, IntegrityError>;
+
+    /// Durably commits a re-anchor: the freshly re-protected instance
+    /// plus the current weight images swap in atomically.
+    ///
+    /// # Errors
+    ///
+    /// Strict policies propagate commit failures; best-effort policies
+    /// swallow them into [`Anchored::Failed`].
+    fn anchor(
+        &mut self,
+        milr: &Milr,
+        live: &Sequential,
+        host: &ModelHost,
+    ) -> Result<Anchored, IntegrityError>;
+}
+
+/// No persistence: heals live only in the substrate's memory. The
+/// simulators' policy (and the in-memory server's).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Volatile;
+
+impl DurabilityPolicy for Volatile {
+    fn flush(&mut self, _host: &ModelHost) -> Result<Flushed, IntegrityError> {
+        Ok(Flushed::Skipped)
+    }
+
+    fn anchor(
+        &mut self,
+        _milr: &Milr,
+        _live: &Sequential,
+        _host: &ModelHost,
+    ) -> Result<Anchored, IntegrityError> {
+        Ok(Anchored::VolatileOnly)
+    }
+}
+
+/// Store-journaled write-back: flushes go through the container's redo
+/// journal, re-anchors through its shadow-file + atomic-rename commit
+/// ([`Store::commit_reanchor`]).
+pub struct Journaled<'a> {
+    store: &'a mut Store,
+    strict: bool,
+}
+
+impl<'a> Journaled<'a> {
+    /// Every durability failure is an error (cold start, fleet
+    /// replicas: never admit a host whose container may be stale).
+    pub fn strict(store: &'a mut Store) -> Self {
+        Journaled {
+            store,
+            strict: true,
+        }
+    }
+
+    /// Durability failures are logged and counted but never interrupt
+    /// serving (the online server: the in-memory heal succeeded, the
+    /// operator is told the crash-restart guarantee is degraded).
+    pub fn best_effort(store: &'a mut Store) -> Self {
+        Journaled {
+            store,
+            strict: false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Journaled<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journaled")
+            .field("store", &self.store.path())
+            .field("strict", &self.strict)
+            .finish()
+    }
+}
+
+impl DurabilityPolicy for Journaled<'_> {
+    fn flush(&mut self, host: &ModelHost) -> Result<Flushed, IntegrityError> {
+        match host.store().flush() {
+            Ok(()) => Ok(Flushed::Committed),
+            Err(e) if self.strict => Err(IntegrityError::Substrate(e)),
+            Err(e) => {
+                eprintln!("milr-integrity: journal flush failed: {e}");
+                Ok(Flushed::Failed)
+            }
+        }
+    }
+
+    fn anchor(
+        &mut self,
+        milr: &Milr,
+        live: &Sequential,
+        host: &ModelHost,
+    ) -> Result<Anchored, IntegrityError> {
+        match self.store.commit_reanchor(milr, live, host.store()) {
+            Ok(()) => Ok(Anchored::Durable),
+            Err(e) if self.strict => Err(IntegrityError::Store(e)),
+            Err(e) => {
+                eprintln!("milr-integrity: durable re-anchor failed: {e}");
+                Ok(Anchored::Failed)
+            }
+        }
+    }
+}

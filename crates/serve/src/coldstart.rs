@@ -3,21 +3,18 @@
 //! durably re-anchor protection — all *before* the first request is
 //! admitted.
 //!
-//! The sequence mirrors the online scrubber's quarantine protocol, run
-//! once at boot:
-//!
-//! 1. substrate scrub over every file-backed shard (ECC corrections
-//!    are flushed through the store's journal);
-//! 2. a full `Milr::detect` pass on the materialized model;
-//! 3. if flagged: MILR recovery, write-back, journaled flush — looped
-//!    until detection is clean;
-//! 4. if anything was healed: re-protect against the healed state and
-//!    commit the new artifacts + weights atomically
-//!    ([`Store::commit_reanchor`]), so the next cold start begins from
-//!    a certified container.
+//! This is the thinnest driver over the shared
+//! [`IntegrityPipeline`]: one full Scrub stage, then heal rounds to
+//! completion under the [`EscalationPolicy::Fail`] policy (a container
+//! that cannot be healed must not serve) with strict
+//! [`Journaled`] durability, so every correction reaches the journal
+//! and a healed episode's re-anchor commits atomically
+//! ([`milr_store::Store::commit_reanchor`]) before traffic starts.
 
-use crate::host::ModelHost;
 use milr_core::Milr;
+use milr_integrity::{
+    Budget, EscalationPolicy, IntegrityPipeline, Journaled, ModelHost, PipelineReport, RoundOutcome,
+};
 use milr_store::{Store, StoreError};
 use milr_substrate::ScrubSummary;
 
@@ -32,6 +29,8 @@ pub struct ColdStartReport {
     pub heal_rounds: usize,
     /// Whether protection was re-anchored and committed durably.
     pub reanchored: bool,
+    /// Per-stage timing and outcome counters of the boot pipeline.
+    pub pipeline: PipelineReport,
 }
 
 impl ColdStartReport {
@@ -41,10 +40,6 @@ impl ColdStartReport {
     }
 }
 
-/// Maximum heal rounds before giving up (mirrors the online
-/// scrubber's bound).
-const MAX_HEAL_ROUNDS: usize = 8;
-
 /// Opens the store's substrates, scrubs and heals on load, and returns
 /// a ready-to-serve host plus the (possibly re-anchored) protection
 /// instance. Traffic must not be admitted before this returns.
@@ -53,54 +48,29 @@ const MAX_HEAL_ROUNDS: usize = 8;
 ///
 /// Propagates store I/O, detection, and recovery failures, and reports
 /// [`StoreError::Corrupt`] when healing cannot reach a clean state
-/// within the round budget (e.g. faults exceeding MILR's per-segment
-/// recovery capacity).
+/// within the shared [`Budget`] (e.g. faults exceeding MILR's
+/// per-segment recovery capacity).
 pub fn cold_start(
     store: &mut Store,
     cache_pages: usize,
 ) -> Result<(ModelHost, Milr, ColdStartReport), StoreError> {
     let host = ModelHost::from_parts(store.template().clone(), store.open_substrates(cache_pages));
     let mut milr = store.milr().clone();
-    let mut report = ColdStartReport {
-        scrub: host.store().scrub(),
-        ..ColdStartReport::default()
+    let mut pipeline =
+        IntegrityPipeline::new(EscalationPolicy::Fail, Budget::default()).with_wall_timing();
+    let (scrub, outcome) = {
+        let mut durability = Journaled::strict(store);
+        let scrub = pipeline.scrub_full(&host, &mut durability)?;
+        let outcome = pipeline.run(&host, &mut milr, &mut durability)?;
+        (scrub, outcome)
     };
-    if report.scrub.corrected > 0 {
-        // ECC corrections are heals: persist them through the journal.
-        host.store().flush()?;
-    }
-    let mut healed = report.scrub.corrected > 0;
-    let mut first_pass = true;
-    loop {
-        let mut live = host.materialize();
-        let check = milr.detect(&live)?;
-        if first_pass {
-            report.flagged = check.flagged.clone();
-            first_pass = false;
-        }
-        if check.is_clean() {
-            break;
-        }
-        healed = true;
-        if report.heal_rounds >= MAX_HEAL_ROUNDS {
-            return Err(StoreError::Corrupt(format!(
-                "scrub-on-load could not heal layers {:?} within {MAX_HEAL_ROUNDS} rounds",
-                check.flagged
-            )));
-        }
-        report.heal_rounds += 1;
-        milr.recover_layers(&mut live, &check.flagged)?;
-        host.write_back(&live, &check.flagged);
-        host.store().flush()?;
-    }
-    if healed {
-        // Re-anchor protection to the healed state and make the pair
-        // (weights, artifacts) durable in one atomic commit.
-        let live = host.materialize();
-        milr = Milr::protect(&live, *milr.config())?;
-        store.commit_reanchor(&milr, &live, host.store())?;
-        report.reanchored = true;
-    }
+    let report = ColdStartReport {
+        scrub,
+        flagged: pipeline.last_flagged().to_vec(),
+        heal_rounds: pipeline.report().heal_rounds,
+        reanchored: matches!(outcome, RoundOutcome::Clean { reanchored: true }),
+        pipeline: pipeline.into_report(),
+    };
     Ok((host, milr, report))
 }
 
@@ -133,6 +103,9 @@ mod tests {
         assert!(report.was_clean());
         assert!(!report.reanchored);
         assert_eq!(report.heal_rounds, 0);
+        // The strict no-op contract: a clean boot changes nothing.
+        assert!(report.pipeline.is_noop(), "{:?}", report.pipeline);
+        assert_eq!(report.pipeline.full_detects, 1);
         let live = host.materialize();
         assert!(milr.detect(&live).unwrap().is_clean());
         // Materialized weights are bit-identical to the golden model.
@@ -171,6 +144,11 @@ mod tests {
         assert_eq!(report.flagged, vec![0]);
         assert!(report.heal_rounds >= 1);
         assert!(report.reanchored);
+        assert_eq!(report.pipeline.layers_healed, 1);
+        assert_eq!(report.pipeline.anchors, 1);
+        // Fast-path verification re-checked only the flagged layer.
+        assert_eq!(report.pipeline.fast_verifies, report.heal_rounds);
+        assert!(report.pipeline.layers_skipped > 0);
         let live = host.materialize();
         assert!(milr.detect(&live).unwrap().is_clean());
         // Outputs match the fault-free model bit-for-bit.

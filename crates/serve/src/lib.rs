@@ -55,7 +55,6 @@
 #![deny(missing_docs)]
 
 mod coldstart;
-mod host;
 mod ledger;
 mod metrics;
 mod report;
@@ -67,9 +66,14 @@ pub mod sim;
 mod testutil;
 
 pub use coldstart::{cold_start, ColdStartReport};
-pub use host::ModelHost;
 pub use ledger::CertificationLedger;
+// The substrate-backed weight host and the shared integrity engine
+// moved to `milr-integrity` (the serve/store/fleet drivers all ride
+// it); re-exported here so serving callers keep one import path.
 pub use metrics::{DowntimeLog, LatencyStats};
+pub use milr_integrity::{
+    Budget, EscalationPolicy, IntegrityPipeline, ModelHost, PipelineReport, RoundOutcome,
+};
 pub use report::{outcome_digest, ServeReport};
 pub use request::{QuarantinePolicy, RejectReason, RequestId, RequestOutcome, RequestStatus};
 pub use scrubber::ScrubCursor;

@@ -3,6 +3,7 @@
 
 use crate::metrics::LatencyStats;
 use crate::request::{RequestOutcome, RequestStatus};
+use milr_integrity::PipelineReport;
 
 /// Summary of one serving run (simulated or live).
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +50,10 @@ pub struct ServeReport {
     /// Order-insensitive digest over `(id, status, output bits)` of
     /// every outcome — two runs with the same seed must agree on it.
     pub digest: u64,
+    /// Per-stage counters (and, on wall-clock drivers, timings) of the
+    /// shared integrity pipeline behind the run's scrubbing and
+    /// recovery. Deterministic under a seed on virtual-clock drivers.
+    pub pipeline: PipelineReport,
 }
 
 /// FNV-1a over the resolved outcomes, for cheap reproducibility
@@ -130,6 +135,10 @@ impl ServeReport {
                 digest = digest.wrapping_mul(PRIME);
             }
         }
+        let mut pipeline = PipelineReport::default();
+        for r in reports {
+            pipeline.merge(&r.pipeline);
+        }
         ServeReport {
             seed: reports[0].seed,
             policy: reports[0].policy.clone(),
@@ -158,11 +167,15 @@ impl ServeReport {
                 max_us: reports.iter().map(|r| r.latency.max_us).fold(0.0, f64::max),
             },
             digest,
+            pipeline,
         }
     }
 
     /// Renders the report as a flat JSON object (hand-rolled: the
-    /// workspace's serde stub has no serializer).
+    /// workspace's serde stub has no serializer). The legacy fields
+    /// keep their exact order and formatting — the golden-seed parity
+    /// suite byte-compares this prefix across refactors — with the
+    /// pipeline block appended last.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
@@ -172,7 +185,8 @@ impl ServeReport {
                 "\"layers_recovered\":{},\"durability_errors\":{},",
                 "\"total_ns\":{},\"downtime_ns\":{},",
                 "\"availability\":{:.9},\"latency_mean_us\":{:.3},\"latency_p50_us\":{:.3},",
-                "\"latency_p95_us\":{:.3},\"latency_max_us\":{:.3},\"digest\":{}}}"
+                "\"latency_p95_us\":{:.3},\"latency_max_us\":{:.3},\"digest\":{},",
+                "\"pipeline\":{}}}"
             ),
             self.seed,
             self.policy,
@@ -194,6 +208,7 @@ impl ServeReport {
             self.latency.p95_us,
             self.latency.max_us,
             self.digest,
+            self.pipeline.to_json(),
         )
     }
 }
@@ -251,6 +266,10 @@ mod tests {
                 max_us: 4.0,
             },
             digest: 11,
+            pipeline: PipelineReport {
+                layers_healed: 1,
+                ..PipelineReport::default()
+            },
         };
         let other = ServeReport {
             submitted: 30,
@@ -270,6 +289,8 @@ mod tests {
         let agg = ServeReport::aggregate(&[base.clone(), other]);
         assert_eq!(agg.submitted, 40);
         assert_eq!(agg.completed, 32);
+        // Pipeline counters merge across replicas.
+        assert_eq!(agg.pipeline.layers_healed, 2);
         assert_eq!(agg.total_ns, 2_000);
         // Mean replica downtime: (100 + 500) / 2 — self-consistent with
         // total_ns (1 − 300/2000 ≈ availability).
@@ -312,11 +333,15 @@ mod tests {
             availability: 0.9,
             latency: LatencyStats::default(),
             digest: 42,
+            pipeline: PipelineReport::default(),
         };
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"availability\":0.900000000"));
         assert!(json.contains("\"policy\":\"drain\""));
-        assert_eq!(json.matches('{').count(), 1);
+        // One top-level object plus the nested pipeline and stage_ns.
+        assert_eq!(json.matches('{').count(), 3);
+        assert!(json.contains("\"digest\":42,\"pipeline\":{"));
+        assert!(json.ends_with("}}}"));
     }
 }

@@ -11,13 +11,16 @@
 //! scrubber quarantines the service (drain or reject per policy), runs
 //! MILR recovery against the substrate, verifies, and resumes.
 
-use crate::host::ModelHost;
 use crate::ledger::CertificationLedger;
 use crate::metrics::{DowntimeLog, LatencyStats};
 use crate::report::{outcome_digest, ServeReport};
 use crate::request::{QuarantinePolicy, RejectReason, RequestOutcome, RequestStatus};
 use crate::scrubber::ScrubCursor;
 use milr_core::{Milr, MilrConfig};
+use milr_integrity::{
+    Budget, DurabilityPolicy, EscalationPolicy, IntegrityPipeline, Journaled, ModelHost,
+    RoundOutcome, TickOutcome, Volatile,
+};
 use milr_nn::Sequential;
 use milr_substrate::{SubstrateKind, WeightSubstrate};
 use milr_tensor::Tensor;
@@ -139,11 +142,8 @@ struct Inner {
     rejected: usize,
     reexecuted: usize,
     faults_injected: usize,
-    scrub_corrected: usize,
     scrub_ticks: usize,
     quarantines: usize,
-    layers_recovered: usize,
-    durability_errors: usize,
 }
 
 struct Shared {
@@ -151,7 +151,10 @@ struct Shared {
     /// The protection instance. Mutable because recovery re-anchors it
     /// to the healed state; only the scrubber and shutdown touch it.
     milr: Mutex<Milr>,
-    milr_config: MilrConfig,
+    /// The shared integrity engine (scrub/detect ticks and heal
+    /// episodes); only the scrubber drives it, shutdown reads its
+    /// report. Lock order: `milr` before `pipeline` before `store`.
+    pipeline: Mutex<IntegrityPipeline>,
     /// Present for store-backed servers: heals are flushed through its
     /// journal and re-anchors committed atomically to its container.
     store: Option<Mutex<milr_store::Store>>,
@@ -214,7 +217,7 @@ impl Server {
         let build = move |c: &[f32]| -> Box<dyn WeightSubstrate> { substrate.store(c) };
         let milr = Milr::protect(golden, milr_config)?;
         let host = ModelHost::new(golden, &build);
-        Ok(Self::start_with(host, milr, milr_config, None, config))
+        Ok(Self::start_with(host, milr, None, config))
     }
 
     /// Cold-starts from a persistent `.milr` container: opens the
@@ -237,11 +240,7 @@ impl Server {
     ) -> Result<(Self, crate::ColdStartReport), milr_store::StoreError> {
         let mut store = milr_store::Store::open(path)?;
         let (host, milr, report) = crate::cold_start(&mut store, cache_pages)?;
-        let milr_config = *milr.config();
-        Ok((
-            Self::start_with(host, milr, milr_config, Some(store), config),
-            report,
-        ))
+        Ok((Self::start_with(host, milr, Some(store), config), report))
     }
 
     /// Shared tail of both constructors: assembles the control plane
@@ -249,7 +248,6 @@ impl Server {
     fn start_with(
         host: ModelHost,
         milr: Milr,
-        milr_config: MilrConfig,
         store: Option<milr_store::Store>,
         config: ServerConfig,
     ) -> Self {
@@ -257,10 +255,18 @@ impl Server {
         assert!(config.queue_capacity > 0, "need a non-empty queue");
         assert!(config.batch_max > 0, "need a non-empty batch");
         let cursor = ScrubCursor::new(milr.checkable_layers(), config.layers_per_tick);
+        // Give-up-and-resume on budget exhaustion (the next scrub
+        // cycle re-quarantines); durability is best-effort per episode.
+        // The Reprotect gate is mandatory here: faults can land
+        // concurrently with recovery, so only a snapshot that passed a
+        // full detection may become the new protection baseline.
+        let pipeline = IntegrityPipeline::new(EscalationPolicy::Quarantine, Budget::default())
+            .with_wall_timing()
+            .with_reprotect_gate();
         let shared = Arc::new(Shared {
             host,
             milr: Mutex::new(milr),
-            milr_config,
+            pipeline: Mutex::new(pipeline),
             store: store.map(Mutex::new),
             config,
             start: Instant::now(),
@@ -280,11 +286,8 @@ impl Server {
                 rejected: 0,
                 reexecuted: 0,
                 faults_injected: 0,
-                scrub_corrected: 0,
                 scrub_ticks: 0,
                 quarantines: 0,
-                layers_recovered: 0,
-                durability_errors: 0,
             }),
             work_cv: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -446,6 +449,13 @@ impl Server {
             );
         }
         inner.downtime.close_at(now);
+        let pipeline = self
+            .shared
+            .pipeline
+            .lock()
+            .expect("pipeline lock poisoned")
+            .report()
+            .clone();
         ServeReport {
             seed: 0,
             policy: self.shared.config.policy.name().to_string(),
@@ -454,16 +464,17 @@ impl Server {
             rejected: inner.rejected,
             reexecuted: inner.reexecuted,
             faults_injected: inner.faults_injected,
-            scrub_corrected: inner.scrub_corrected,
+            scrub_corrected: pipeline.scrub_corrected,
             scrub_ticks: inner.scrub_ticks,
             quarantines: inner.quarantines,
-            layers_recovered: inner.layers_recovered,
-            durability_errors: inner.durability_errors,
+            layers_recovered: pipeline.layers_healed,
+            durability_errors: pipeline.durability_errors,
             total_ns: now,
             downtime_ns: inner.downtime.total_ns(now),
             availability: inner.downtime.availability(now),
             latency: LatencyStats::from_ns(&inner.latencies),
             digest: outcome_digest(&inner.outcomes),
+            pipeline,
         }
     }
 }
@@ -529,6 +540,21 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Runs one engine call with the server's durability policy: journaled
+/// best-effort when a store backs the host (failed flushes/commits are
+/// logged and counted, serving continues), volatile otherwise.
+/// Lock order: `milr` (held by the caller where needed) → `pipeline`
+/// (held by the caller) → `store` (taken here).
+fn with_durability<T>(shared: &Shared, f: impl FnOnce(&mut dyn DurabilityPolicy) -> T) -> T {
+    match &shared.store {
+        Some(store) => {
+            let mut store = store.lock().expect("store lock poisoned");
+            f(&mut Journaled::best_effort(&mut store))
+        }
+        None => f(&mut Volatile),
+    }
+}
+
 fn scrubber_loop(shared: &Shared) {
     while !shared.stop.load(Ordering::Acquire) {
         // Sleep in short slices so shutdown never waits a full tick.
@@ -547,30 +573,19 @@ fn scrubber_loop(shared: &Shared) {
             inner.scrub_ticks += 1;
             inner.cursor.begin_tick(now)
         };
-        let corrected = shared.host.scrub_layers(&chunk).corrected;
-        if corrected > 0 && shared.store.is_some() {
-            // ECC corrections are heals: make them durable through the
-            // store's journal before certifying anything on top.
-            if let Err(e) = shared.host.store().flush() {
-                eprintln!("milr-serve: journal flush after scrub failed: {e}");
-                shared
-                    .inner
-                    .lock()
-                    .expect("lock poisoned")
-                    .durability_errors += 1;
-            }
-        }
-        let live = shared.host.materialize_layers(&chunk);
-        let report = shared
-            .milr
-            .lock()
-            .expect("lock poisoned")
-            .detect_layers(&live, &chunk)
-            .expect("materialized model matches the protected structure");
-        let flagged = !report.is_clean();
+        // Scrub + Detect stages of the shared engine: ECC corrections
+        // are heals — journaled before anything certifies on top.
+        let TickOutcome { detection, .. } = {
+            let milr = shared.milr.lock().expect("lock poisoned");
+            let mut pipeline = shared.pipeline.lock().expect("pipeline lock poisoned");
+            with_durability(shared, |dur| {
+                pipeline.tick(&shared.host, &milr, &chunk, dur)
+            })
+            .expect("materialized model matches the protected structure")
+        };
+        let flagged = !detection.is_clean();
 
         let mut inner = shared.inner.lock().expect("lock poisoned");
-        inner.scrub_corrected += corrected;
         if let Some(watermark) = inner.cursor.finish_tick(flagged, now) {
             for batch in inner.ledger.certify_before(watermark) {
                 for (req, out) in batch.requests.into_iter().zip(batch.outputs) {
@@ -623,60 +638,22 @@ fn scrubber_loop(shared: &Shared) {
 
         // Recover outside the state lock (workers are paused by
         // status); the scrubber is the only milr user while serving.
-        let mut milr = shared.milr.lock().expect("lock poisoned");
-        let mut attempts = 0;
-        loop {
-            let mut live = shared.host.materialize();
-            let report = milr
-                .detect(&live)
-                .expect("materialized model matches the protected structure");
-            if report.is_clean() {
-                // Re-anchor protection to the healed state so an
-                // approximate heal cannot leave the stored CRC grids
-                // out of sync with storage (see crate::sim docs).
-                *milr = Milr::protect(&live, shared.milr_config)
-                    .expect("healed model keeps the protected structure");
-                if let Some(store) = &shared.store {
-                    // Durable re-anchor: healed weights + fresh
-                    // artifacts swap in atomically; a kill leaves the
-                    // previous certified container.
-                    let mut store = store.lock().expect("store lock poisoned");
-                    if let Err(e) = store.commit_reanchor(&milr, &live, shared.host.store()) {
-                        eprintln!("milr-serve: durable re-anchor failed: {e}");
-                        shared
-                            .inner
-                            .lock()
-                            .expect("lock poisoned")
-                            .durability_errors += 1;
-                    }
-                }
-                break;
-            }
-            let flagged = report.flagged.clone();
-            milr.recover_layers(&mut live, &flagged)
+        // The engine runs heal rounds to completion: write-backs reach
+        // disk through the journal, a clean verify re-protects so an
+        // approximate heal cannot leave the stored CRC grids out of
+        // sync with storage, and the re-anchor commits atomically. On
+        // budget exhaustion it gives up (Quarantine policy) and the
+        // next tick re-quarantines.
+        {
+            let mut milr = shared.milr.lock().expect("lock poisoned");
+            let mut pipeline = shared.pipeline.lock().expect("pipeline lock poisoned");
+            let outcome = with_durability(shared, |dur| pipeline.run(&shared.host, &mut milr, dur))
                 .expect("recovery propagates only solver errors");
-            shared.host.write_back(&live, &flagged);
-            if shared.store.is_some() {
-                // Healed pages reach disk through the journal, never a
-                // torn in-place write.
-                if let Err(e) = shared.host.store().flush() {
-                    eprintln!("milr-serve: journal flush after heal failed: {e}");
-                    shared
-                        .inner
-                        .lock()
-                        .expect("lock poisoned")
-                        .durability_errors += 1;
-                }
-            }
-            let mut inner = shared.inner.lock().expect("lock poisoned");
-            inner.layers_recovered += flagged.len();
-            drop(inner);
-            attempts += 1;
-            if attempts >= 8 {
-                break; // resume; the next tick re-quarantines if needed
-            }
+            debug_assert!(matches!(
+                outcome,
+                RoundOutcome::Clean { .. } | RoundOutcome::GaveUp { .. }
+            ));
         }
-        drop(milr);
 
         let now = shared.now_ns();
         let mut inner = shared.inner.lock().expect("lock poisoned");

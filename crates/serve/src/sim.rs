@@ -23,7 +23,6 @@
 //! requests re-execute after recovery), and reopens only after a full
 //! detection pass over the recovered weights comes back clean.
 
-use crate::host::ModelHost;
 use crate::ledger::CertificationLedger;
 use crate::metrics::{DowntimeLog, LatencyStats};
 use crate::report::{outcome_digest, ServeReport};
@@ -31,6 +30,9 @@ use crate::request::{QuarantinePolicy, RejectReason, RequestOutcome, RequestStat
 use crate::scrubber::ScrubCursor;
 use milr_core::{Milr, MilrConfig, SolvingPlan};
 use milr_fault::FaultRng;
+use milr_integrity::{
+    Budget, EscalationPolicy, IntegrityPipeline, ModelHost, RoundOutcome, Volatile,
+};
 use milr_nn::{Layer, Sequential};
 use milr_substrate::SubstrateKind;
 use milr_tensor::{Tensor, TensorRng};
@@ -261,6 +263,11 @@ pub fn simulate(
     let host = ModelHost::new(golden, &|c| SubstrateKind::Plain.store(c));
     let checkable = milr.checkable_layers();
     let mut cursor = ScrubCursor::new(checkable.clone(), cfg.layers_per_tick);
+    // The shared integrity engine, untimed (virtual clock) and
+    // volatile: the simulation's weights live only in memory, and the
+    // Quarantine policy matches the online server's give-up-and-resume
+    // contract (the round budget itself is asserted below).
+    let mut pipeline = IntegrityPipeline::new(EscalationPolicy::Quarantine, Budget::default());
 
     // Seeded workload: inputs and exponential arrivals.
     let mut input_rng = TensorRng::new(cfg.seed ^ 0x1A7E57);
@@ -323,21 +330,18 @@ pub fn simulate(
     let mut ledger: CertificationLedger<Batch> = CertificationLedger::default();
     let mut quarantined = false;
     let mut epoch = 0u64;
-    let mut recovery_attempts = 0u32;
     let mut downtime = DowntimeLog::default();
     let mut resolved = 0usize;
     let mut last_fault_time = 0u64;
     let mut last_clean_cycle_start: Option<u64> = None;
 
-    // Counters.
+    // Counters (healing/scrub counters live in the pipeline's report).
     let mut rejected = 0usize;
     let mut completed = 0usize;
     let mut reexecuted = 0usize;
     let mut faults_injected = 0usize;
-    let mut scrub_corrected = 0usize;
     let mut scrub_ticks = 0usize;
     let mut quarantines = 0usize;
-    let mut layers_recovered = 0usize;
     let mut latencies: Vec<u64> = Vec::new();
 
     macro_rules! resolve {
@@ -450,10 +454,10 @@ pub fn simulate(
                 }
                 scrub_ticks += 1;
                 let chunk = cursor.begin_tick(clock);
-                scrub_corrected += host.scrub_layers(&chunk).corrected;
-                let live = host.materialize_layers(&chunk);
-                let report = milr.detect_layers(&live, &chunk)?;
-                let flagged = !report.is_clean();
+                let tick = pipeline
+                    .tick(&host, &milr, &chunk, &mut Volatile)
+                    .map_err(into_milr_err)?;
+                let flagged = !tick.detection.is_clean();
                 if let Some(cycle_start) = cursor.finish_tick(flagged, clock) {
                     last_clean_cycle_start = Some(cycle_start);
                     for batch in ledger.certify_before(cycle_start) {
@@ -468,7 +472,6 @@ pub fn simulate(
                     quarantines += 1;
                     quarantined = true;
                     epoch += 1;
-                    recovery_attempts = 0;
                     downtime.open_at(clock);
                     let voided = ledger.invalidate();
                     match cfg.policy {
@@ -500,36 +503,36 @@ pub fn simulate(
                 if rec_epoch != epoch {
                     continue;
                 }
-                let mut live = host.materialize();
-                let report = milr.detect(&live)?;
-                if !report.is_clean() {
-                    milr.recover_layers(&mut live, &report.flagged)?;
-                    host.write_back(&live, &report.flagged);
-                    layers_recovered += report.flagged.len();
-                }
-                let verify = milr.detect(&host.materialize())?;
-                if verify.is_clean() {
-                    // Re-anchor protection to the healed state: exact
-                    // recoveries reproduce the identical artifact set,
-                    // while an approximate heal (partial-recoverability
-                    // geometry, §V-B) would otherwise leave stored CRC
-                    // grids permanently out of sync with storage and
-                    // poison every future localization.
-                    milr = Milr::protect(&host.materialize(), milr_config)?;
-                    // Resume serving.
-                    quarantined = false;
-                    downtime.close_at(clock);
-                    cursor.reset();
-                    timeline.schedule(clock + cfg.scrub_interval_ns, Event::ScrubTick { epoch });
-                    try_dispatch!();
-                } else {
-                    recovery_attempts += 1;
-                    assert!(
-                        recovery_attempts < 8,
-                        "recovery failed to converge: {:?}",
-                        verify.flagged
-                    );
-                    timeline.schedule(clock + cfg.costs.recover_ns, Event::RecoveryDone { epoch });
+                // One heal round of the shared engine: detect → heal →
+                // fast-path verify, and — once clean — the re-protect
+                // that keeps an approximate heal (partial-
+                // recoverability geometry, §V-B) from leaving stored
+                // CRC grids out of sync with storage.
+                match pipeline
+                    .heal_round(&host, &mut milr, &mut Volatile)
+                    .map_err(into_milr_err)?
+                {
+                    RoundOutcome::Clean { .. } => {
+                        // Resume serving.
+                        quarantined = false;
+                        downtime.close_at(clock);
+                        cursor.reset();
+                        timeline
+                            .schedule(clock + cfg.scrub_interval_ns, Event::ScrubTick { epoch });
+                        try_dispatch!();
+                    }
+                    RoundOutcome::Retry { flagged } => {
+                        assert!(
+                            !pipeline.budget_exhausted(),
+                            "recovery failed to converge: {flagged:?}"
+                        );
+                        timeline
+                            .schedule(clock + cfg.costs.recover_ns, Event::RecoveryDone { epoch });
+                    }
+                    outcome => unreachable!(
+                        "volatile quarantine serving neither escalates nor gives up before \
+                         the budget assert: {outcome:?}"
+                    ),
                 }
             }
         }
@@ -560,6 +563,7 @@ pub fn simulate(
             }
         })
         .collect();
+    let pipeline = pipeline.into_report();
     let report = ServeReport {
         seed: cfg.seed,
         policy: cfg.policy.name().to_string(),
@@ -568,18 +572,29 @@ pub fn simulate(
         rejected,
         reexecuted,
         faults_injected,
-        scrub_corrected,
+        scrub_corrected: pipeline.scrub_corrected,
         scrub_ticks,
         quarantines,
-        layers_recovered,
-        durability_errors: 0,
+        layers_recovered: pipeline.layers_healed,
+        durability_errors: pipeline.durability_errors,
         total_ns,
         downtime_ns: downtime.total_ns(total_ns),
         availability: downtime.availability(total_ns),
         latency: LatencyStats::from_ns(&latencies),
         digest: outcome_digest(&outcomes),
+        pipeline,
     };
     Ok(SimResult { report, outcomes })
+}
+
+/// The volatile simulation can only fail inside MILR itself — its
+/// durability policy never touches storage — so the engine's error
+/// narrows back to the crate's `milr_core::Result` contract.
+fn into_milr_err(e: milr_integrity::IntegrityError) -> milr_core::MilrError {
+    match e {
+        milr_integrity::IntegrityError::Milr(e) => e,
+        other => unreachable!("volatile pipeline cannot fail on durability: {other}"),
+    }
 }
 
 #[cfg(test)]

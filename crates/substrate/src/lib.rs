@@ -111,6 +111,13 @@ impl ScrubSummary {
     pub fn is_clean(&self) -> bool {
         self.corrected == 0 && self.uncorrectable == 0
     }
+
+    /// Folds another pass's counts into this summary (shard-by-shard
+    /// and layer-by-layer sweeps accumulate through this).
+    pub fn absorb(&mut self, other: &ScrubSummary) {
+        self.corrected += other.corrected;
+        self.uncorrectable += other.uncorrectable;
+    }
 }
 
 /// A buffer of CNN weights held in some memory substrate.

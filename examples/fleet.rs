@@ -87,20 +87,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut damaged = Replica::open(0, &paths[0], 64)?;
-    let heal = damaged.try_heal()?;
+    let milr_fleet::RoundOutcome::Escalate { healed, escalated } = damaged.try_heal()? else {
+        panic!("the kill must exceed MILR's recoverable set");
+    };
     println!(
-        "[triage] detection flagged layers {:?}; MILR healed {:?} exactly; irrecoverable: {:?}",
-        heal.flagged, heal.healed_exact, heal.irrecoverable
+        "[triage] detection flagged layers {:?}; MILR healed {healed:?} exactly; irrecoverable: {escalated:?}",
+        damaged.last_flagged()
     );
-    assert_eq!(
-        heal.irrecoverable,
-        vec![victim],
-        "the kill must exceed MILR"
-    );
+    assert_eq!(escalated, vec![victim], "the kill must exceed MILR");
     damaged.set_state(ReplicaState::Repairing);
 
     let donor = Store::open(&paths[1])?;
-    let stats = peer_repair(&mut damaged, &donor, &heal.irrecoverable)?;
+    let stats = peer_repair(&mut damaged, &donor, &escalated)?;
     damaged.set_state(ReplicaState::Serving);
     println!(
         "[repair] fetched {} certified page(s) ({} bytes) from replica 1, imported, verified, re-anchored",

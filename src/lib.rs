@@ -17,6 +17,9 @@
 //!   encrypted-memory model;
 //! * [`milr_fault`] — seeded, substrate-generic fault injection;
 //! * [`milr_models`] — the paper's evaluation networks (Tables I–III);
+//! * [`milr_integrity`] — the unified integrity engine: the one
+//!   scrub→detect→heal→escalate→re-protect→re-anchor pipeline (and the
+//!   substrate-backed `ModelHost`) behind serving, storage, and fleet;
 //! * [`milr_serve`] — the online inference service (scrubber daemon,
 //!   quarantine-and-recover, certified outputs);
 //! * [`milr_store`] — the crash-consistent persistent weight store
@@ -31,6 +34,7 @@ pub use milr_core;
 pub use milr_ecc;
 pub use milr_fault;
 pub use milr_fleet;
+pub use milr_integrity;
 pub use milr_linalg;
 pub use milr_models;
 pub use milr_nn;
