@@ -12,23 +12,43 @@
 //!
 //! The run is deterministic under `--seed`: re-running prints the same
 //! digest and availability bit-for-bit.
+//!
+//! `--live` instead runs the real multi-threaded server twice under a
+//! wall-clock fault campaign — once on the legacy materialize-per-batch
+//! read path and once on the fused epoch-cached path — and reports the
+//! sustained-QPS speedup on identical hardware and seed.
+//!
+//! `--check-p99-against FILE` compares this run's p99 latency against a
+//! previously recorded summary and exits non-zero when it regressed
+//! more than 2x — the CI latency gate.
 
 use milr_bench::json::{write_summary, JsonObject};
+use milr_bench::live::{run_live, LiveConfig};
 use milr_bench::serve::run_measured;
 use milr_core::MilrConfig;
 use milr_serve::sim::SimConfig;
-use milr_serve::QuarantinePolicy;
+use milr_serve::{QuarantinePolicy, ReadPath};
+use milr_substrate::SubstrateKind;
+use std::time::Duration;
 
 struct Cli {
     sim: SimConfig,
     json: Option<String>,
     model_seed: u64,
+    live: bool,
+    substrate: SubstrateKind,
+    fault_every_ms: u64,
+    check_p99_against: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
     let mut sim = SimConfig::default();
     let mut json = None;
     let mut model_seed = 42u64;
+    let mut live = false;
+    let mut substrate = SubstrateKind::XtsSecded;
+    let mut fault_every_ms = 40u64;
+    let mut check_p99_against = None;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
@@ -76,6 +96,28 @@ fn parse_cli() -> Result<Cli, String> {
                     other => return Err(format!("unknown policy {other}")),
                 }
             }
+            "--batch-wait-us" => {
+                let us: u64 = value("--batch-wait-us")?
+                    .parse()
+                    .map_err(|e| format!("bad --batch-wait-us: {e}"))?;
+                sim.batch_wait_ns = us * 1_000;
+            }
+            "--live" => live = true,
+            "--substrate" => {
+                substrate = match value("--substrate")?.as_str() {
+                    "plain" => SubstrateKind::Plain,
+                    "secded" => SubstrateKind::Secded,
+                    "xts" => SubstrateKind::Xts,
+                    "xts-secded" => SubstrateKind::XtsSecded,
+                    other => return Err(format!("unknown substrate {other}")),
+                }
+            }
+            "--fault-every-ms" => {
+                fault_every_ms = value("--fault-every-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-every-ms: {e}"))?
+            }
+            "--check-p99-against" => check_p99_against = Some(value("--check-p99-against")?),
             "--json" => json = Some(value("--json")?),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -84,7 +126,48 @@ fn parse_cli() -> Result<Cli, String> {
         sim,
         json,
         model_seed,
+        live,
+        substrate,
+        fault_every_ms,
+        check_p99_against,
     })
+}
+
+/// Pulls `"latency_p99_us":<float>` out of a previously written summary
+/// (our own serializer, so a string scan is exact) — the first
+/// occurrence, which belongs to the headline report.
+fn baseline_p99_us(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let key = "\"latency_p99_us\":";
+    let at = text.find(key).ok_or(format!("{path}: no latency_p99_us"))?;
+    let rest = &text[at + key.len()..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .map_err(|e| format!("{path}: bad latency_p99_us: {e}"))
+}
+
+/// The CI latency gate: fail when p99 regressed more than 2x over the
+/// recorded baseline. A sub-baseline p99 always passes.
+fn enforce_p99_gate(current_us: f64, baseline_path: &str) {
+    match baseline_p99_us(baseline_path) {
+        Ok(baseline_us) => {
+            println!("p99 gate: current {current_us:.1} us vs baseline {baseline_us:.1} us");
+            if baseline_us > 0.0 && current_us > 2.0 * baseline_us {
+                eprintln!(
+                    "error: p99 regressed more than 2x over the recorded baseline \
+                     ({current_us:.1} us > 2 * {baseline_us:.1} us)"
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: p99 gate could not read the baseline: {msg}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -94,12 +177,18 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: [--requests N] [--seed N] [--model-seed N] [--workers N] [--faults N] \
-                 [--batch-max N] [--scrub-interval-us N] [--policy drain|reject] [--json FILE]"
+                 [--batch-max N] [--batch-wait-us N] [--scrub-interval-us N] \
+                 [--policy drain|reject] [--live] [--substrate plain|secded|xts|xts-secded] \
+                 [--fault-every-ms N] [--check-p99-against FILE] [--json FILE]"
             );
             std::process::exit(2);
         }
     };
     let net = milr_models::reduced_mnist(cli.model_seed);
+    if cli.live {
+        run_live_comparison(&cli, &net.model);
+        return;
+    }
     let (result, cmp, storage) = run_measured(&net.model, MilrConfig::default(), &cli.sim)
         .expect("serving simulation cannot fail structurally");
     let r = &result.report;
@@ -118,8 +207,12 @@ fn main() {
         r.faults_injected, r.quarantines, r.layers_recovered, r.scrub_ticks
     );
     println!(
-        "latency:  mean {:.1} us, p50 {:.1} us, p95 {:.1} us, max {:.1} us",
-        r.latency.mean_us, r.latency.p50_us, r.latency.p95_us, r.latency.max_us
+        "latency:  mean {:.1} us, p50 {:.1} us, p95 {:.1} us, p99 {:.1} us, max {:.1} us",
+        r.latency.mean_us, r.latency.p50_us, r.latency.p95_us, r.latency.p99_us, r.latency.max_us
+    );
+    println!(
+        "batching: {} batches ({} full), mean occupancy {:.2} of {} max",
+        r.batches, r.full_batches, r.batch_occupancy, cli.sim.batch_max
     );
     println!(
         "clock:    {:.3} ms total, {:.3} ms quarantined",
@@ -146,4 +239,69 @@ fn main() {
         .raw("storage", &storage.to_json())
         .finish();
     write_summary(&json, cli.json.as_deref());
+    if let Some(baseline) = &cli.check_p99_against {
+        enforce_p99_gate(r.latency.p99_us, baseline);
+    }
+}
+
+/// The `--live` mode: one wall-clock campaign per read path, same seed
+/// and hardware, reporting the fused-over-legacy sustained-QPS speedup.
+fn run_live_comparison(cli: &Cli, model: &milr_nn::Sequential) {
+    let live_cfg = LiveConfig {
+        requests: cli.sim.requests,
+        seed: cli.sim.seed,
+        workers: cli.sim.workers,
+        batch_max: cli.sim.batch_max,
+        batch_wait: Duration::from_nanos(cli.sim.batch_wait_ns),
+        substrate: cli.substrate,
+        fault_every: (cli.fault_every_ms > 0).then(|| Duration::from_millis(cli.fault_every_ms)),
+        // Termination guarantee on starved machines: a fault-free tail
+        // always exists, so certification cannot livelock.
+        max_faults: Some(cli.sim.requests),
+        ..LiveConfig::default()
+    };
+    println!("# serve_load --live — real server under a fault campaign [reduced MNIST twin]");
+    println!(
+        "workload: {} requests, {} workers, batch <= {} (wait {} us), {:?} substrate, \
+         fault every {} ms",
+        live_cfg.requests,
+        live_cfg.workers,
+        live_cfg.batch_max,
+        live_cfg.batch_wait.as_micros(),
+        live_cfg.substrate,
+        cli.fault_every_ms
+    );
+    let legacy = run_live(
+        model,
+        MilrConfig::default(),
+        ReadPath::LegacyMaterialize,
+        &live_cfg,
+    )
+    .expect("live server cannot fail structurally");
+    let fused = run_live(model, MilrConfig::default(), ReadPath::Fused, &live_cfg)
+        .expect("live server cannot fail structurally");
+    for (name, out) in [("legacy", &legacy), ("fused", &fused)] {
+        println!(
+            "{name:>7}: {:.1} qps ({} completed in {:.3} s), p50 {:.1} us, p99 {:.1} us, \
+             {} faults -> {} quarantines",
+            out.qps,
+            out.report.completed,
+            out.elapsed.as_secs_f64(),
+            out.report.latency.p50_us,
+            out.report.latency.p99_us,
+            out.faults_injected,
+            out.report.quarantines
+        );
+    }
+    let speedup = fused.qps / legacy.qps.max(f64::MIN_POSITIVE);
+    println!("speedup: fused is {speedup:.2}x legacy sustained QPS");
+    let json = JsonObject::new()
+        .raw("legacy", &legacy.to_json())
+        .raw("fused", &fused.to_json())
+        .raw("speedup", &format!("{speedup:.3}"))
+        .finish();
+    write_summary(&json, cli.json.as_deref());
+    if let Some(baseline) = &cli.check_p99_against {
+        enforce_p99_gate(fused.report.latency.p99_us, baseline);
+    }
 }

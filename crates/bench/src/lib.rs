@@ -19,6 +19,7 @@ pub mod args;
 pub mod arms;
 pub mod fleet;
 pub mod json;
+pub mod live;
 pub mod nets;
 pub mod serve;
 pub mod stats;

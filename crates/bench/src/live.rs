@@ -1,0 +1,231 @@
+//! Live-server load driver: the real multi-threaded [`Server`] under a
+//! wall-clock fault campaign, measured for sustained throughput.
+//!
+//! Where [`crate::serve`] runs the deterministic virtual-clock twin,
+//! this module actually spins up the worker pool and scrubber daemon,
+//! pushes a seeded workload through it while a campaign thread keeps
+//! injecting weight faults, and reports end-to-end QPS. Running it once
+//! per [`ReadPath`] quantifies the fused decode-forward path against
+//! the legacy materialize-per-batch server on identical hardware, the
+//! same seed, and the same campaign cadence.
+
+use milr_core::MilrConfig;
+use milr_nn::Sequential;
+use milr_serve::{ReadPath, ServeError, ServeReport, Server, ServerConfig};
+use milr_substrate::SubstrateKind;
+use milr_tensor::{Tensor, TensorRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// One live load run's knobs.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Requests pushed through the server.
+    pub requests: usize,
+    /// Input-generation seed (shared across compared runs).
+    pub seed: u64,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Maximum requests coalesced into one batch.
+    pub batch_max: usize,
+    /// Continuous-batching admission deadline (`ZERO` = legacy
+    /// immediate dispatch).
+    pub batch_wait: Duration,
+    /// Scrubber cadence.
+    pub scrub_interval: Duration,
+    /// Substrate kind backing the weight shards. The encrypted kinds
+    /// make the legacy path's per-batch whole-model decode visible.
+    pub substrate: SubstrateKind,
+    /// Fault-campaign cadence; `None` disables injection.
+    pub fault_every: Option<Duration>,
+    /// Campaign injection cap; `None` keeps injecting until the
+    /// workload drains. A cap guarantees a fault-free tail, so every
+    /// request eventually certifies even when a scrub cycle is slower
+    /// than the fault cadence (debug builds, starved boxes).
+    pub max_faults: Option<usize>,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            requests: 200,
+            seed: 0x11FE,
+            workers: 2,
+            batch_max: 8,
+            batch_wait: Duration::ZERO,
+            scrub_interval: Duration::from_millis(2),
+            substrate: SubstrateKind::XtsSecded,
+            fault_every: Some(Duration::from_millis(40)),
+            max_faults: None,
+        }
+    }
+}
+
+/// What one live run measured.
+#[derive(Debug, Clone)]
+pub struct LiveOutcome {
+    /// The server's own shutdown report.
+    pub report: ServeReport,
+    /// Wall time from first submission to last certified response.
+    pub elapsed: Duration,
+    /// Sustained completed-requests-per-second over `elapsed`.
+    pub qps: f64,
+    /// Weight faults the campaign injected.
+    pub faults_injected: usize,
+}
+
+impl LiveOutcome {
+    /// Renders the outcome as a JSON object embedding the full report.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"qps\":{:.3},\"elapsed_s\":{:.6},\"faults_injected\":{},\"report\":{}}}",
+            self.qps,
+            self.elapsed.as_secs_f64(),
+            self.faults_injected,
+            self.report.to_json()
+        )
+    }
+}
+
+/// Runs the live server once with the given read path. The submitter
+/// retries on queue-full backpressure, so every request eventually
+/// resolves; the campaign thread keeps flipping one weight of the first
+/// parameterized layer until the workload drains.
+///
+/// # Errors
+///
+/// Propagates MILR protection failures from server start-up.
+///
+/// # Panics
+///
+/// Panics when `model` has no parameterized layer to inject into while
+/// a campaign cadence is configured.
+pub fn run_live(
+    model: &Sequential,
+    milr_config: MilrConfig,
+    read_path: ReadPath,
+    cfg: &LiveConfig,
+) -> milr_core::Result<LiveOutcome> {
+    let server = Server::start(
+        model,
+        milr_config,
+        ServerConfig {
+            workers: cfg.workers,
+            batch_max: cfg.batch_max,
+            batch_wait: cfg.batch_wait,
+            scrub_interval: cfg.scrub_interval,
+            substrate: cfg.substrate,
+            read_path,
+            ..ServerConfig::default()
+        },
+    )?;
+    let (fault_layer, fault_weights) = model
+        .layers()
+        .iter()
+        .enumerate()
+        .find_map(|(i, l)| l.params().map(|p| (i, p.numel())))
+        .expect("model has a parameterized layer");
+
+    let mut rng = TensorRng::new(cfg.seed);
+    let inputs: Vec<Tensor> = (0..cfg.requests)
+        .map(|_| rng.uniform_tensor(model.input_shape()))
+        .collect();
+
+    let done = AtomicBool::new(false);
+    let start = Instant::now();
+    let (completed, faults, elapsed) = std::thread::scope(|s| {
+        let campaign = cfg.fault_every.map(|every| {
+            let server = &server;
+            let done = &done;
+            let cap = cfg.max_faults.unwrap_or(usize::MAX);
+            s.spawn(move || {
+                let mut injected = 0usize;
+                let mut weight = 0usize;
+                while injected < cap && !done.load(Ordering::Acquire) {
+                    std::thread::sleep(every);
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    server.inject_weight_fault(fault_layer, weight % fault_weights);
+                    weight = weight.wrapping_add(97);
+                    injected += 1;
+                }
+                injected
+            })
+        });
+        let mut handles = Vec::with_capacity(inputs.len());
+        for input in &inputs {
+            loop {
+                match server.submit(input.clone()) {
+                    Ok(h) => {
+                        handles.push(h);
+                        break;
+                    }
+                    // Backpressure (queue full) or reject-policy
+                    // shedding: retry until admitted.
+                    Err(ServeError::Rejected(_)) => std::thread::sleep(Duration::from_micros(200)),
+                    Err(ServeError::Stopped) => unreachable!("server is still running"),
+                }
+            }
+        }
+        let mut completed = 0usize;
+        for h in handles {
+            completed += usize::from(h.wait().is_ok());
+        }
+        let elapsed = start.elapsed();
+        done.store(true, Ordering::Release);
+        let faults = campaign.map(|c| c.join().expect("campaign panicked"));
+        (completed, faults.unwrap_or(0), elapsed)
+    });
+    let report = server.shutdown();
+    Ok(LiveOutcome {
+        qps: completed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        elapsed,
+        faults_injected: faults,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milr_nn::Layer;
+    use milr_tensor::{ConvSpec, Padding};
+
+    fn model() -> Sequential {
+        let mut rng = TensorRng::new(31);
+        let mut m = Sequential::new(vec![8, 8, 1]);
+        let spec = ConvSpec::new(3, 1, Padding::Valid).unwrap();
+        m.push(Layer::conv2d_random(3, 1, 4, spec, &mut rng).unwrap())
+            .unwrap();
+        m.push(Layer::bias_zero(4)).unwrap();
+        m.push(Layer::Flatten).unwrap();
+        m.push(Layer::dense_random(6 * 6 * 4, 5, &mut rng).unwrap())
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn live_run_completes_the_workload_on_both_read_paths() {
+        let m = model();
+        let cfg = LiveConfig {
+            requests: 24,
+            scrub_interval: Duration::from_millis(1),
+            substrate: SubstrateKind::Secded,
+            fault_every: Some(Duration::from_millis(10)),
+            // Bounded campaign: without a cap, a debug-mode scrub cycle
+            // can outlast the 10 ms fault gap and no request ever
+            // certifies (livelock).
+            max_faults: Some(2),
+            ..LiveConfig::default()
+        };
+        for path in [ReadPath::Fused, ReadPath::LegacyMaterialize] {
+            let out = run_live(&m, MilrConfig::default(), path, &cfg).unwrap();
+            assert_eq!(out.report.completed, 24, "{path:?} lost requests");
+            assert!(out.qps > 0.0);
+            let json = out.to_json();
+            assert!(json.starts_with("{\"qps\":"));
+            assert!(json.contains("\"report\":{\"seed\":"));
+        }
+    }
+}

@@ -128,6 +128,9 @@ mod tests {
             downtime_ns: 0,
             availability: 1.0,
             latency: LatencyStats::default(),
+            batches: 1,
+            full_batches: 1,
+            batch_occupancy: 4.0,
             digest,
             pipeline: crate::PipelineReport::default(),
         }

@@ -199,14 +199,6 @@ struct Rep {
     replica: Replica,
     cursor: ScrubCursor,
     ledger: CertificationLedger<Batch>,
-    /// Materialized model serving dispatches, rebuilt lazily. Decoding
-    /// every shard (an AES-XTS decrypt of the whole model on the
-    /// encrypted substrates) per batch dominates a run's cost, and the
-    /// weights only change at simulator-visible events — the cache is
-    /// dropped on fault injection, on scrub corrections, and on rejoin
-    /// (heal write-backs, peer imports), so it always equals what
-    /// `materialize()` would return at dispatch time.
-    model_cache: Option<Sequential>,
     workers: Vec<Option<Batch>>,
     epoch: u64,
     repair_attempts: u32,
@@ -223,6 +215,9 @@ struct Rep {
     faults_injected: usize,
     scrub_ticks: usize,
     quarantines: usize,
+    batches: usize,
+    full_batches: usize,
+    batched_requests: usize,
     peer_repairs: usize,
     repair_pages: usize,
     repair_bytes: usize,
@@ -297,7 +292,6 @@ pub fn simulate(
             replica,
             cursor: ScrubCursor::new(checkable.clone(), cfg.layers_per_tick),
             ledger: CertificationLedger::default(),
-            model_cache: None,
             workers: (0..cfg.workers_per_replica).map(|_| None).collect(),
             epoch: 0,
             repair_attempts: 0,
@@ -312,6 +306,9 @@ pub fn simulate(
             faults_injected: 0,
             scrub_ticks: 0,
             quarantines: 0,
+            batches: 0,
+            full_batches: 0,
+            batched_requests: 0,
             peer_repairs: 0,
             repair_pages: 0,
             repair_bytes: 0,
@@ -459,18 +456,26 @@ pub fn simulate(
                     .expect("eligibility implies a free worker");
                 let n = queue.len().min(cfg.batch_max);
                 let batch_reqs: Vec<usize> = queue.drain(..n).collect();
-                if reps[r].model_cache.is_none() {
-                    reps[r].model_cache = Some(reps[r].replica.host().materialize());
-                }
                 let inputs: Vec<Tensor> =
                     batch_reqs.iter().map(|&i| reqs[i].input.clone()).collect();
+                // Fused decode-forward: each shard decodes through the
+                // host's epoch-tagged cache, so the expensive per-batch
+                // whole-model decode (an AES-XTS decrypt of every shard
+                // on the encrypted substrates) happens only after a
+                // simulator-visible data change — fault injection, scrub
+                // correction, heal write-back, or peer import — bumps
+                // the affected shard's epoch.
                 let outputs = reps[r]
-                    .model_cache
-                    .as_ref()
-                    .expect("cache just filled")
+                    .replica
+                    .host()
                     .forward_batch(&inputs)
                     .expect("batch inputs validated at submission");
                 reps[r].dispatched += batch_reqs.len();
+                reps[r].batches += 1;
+                reps[r].batched_requests += n;
+                if n == cfg.batch_max {
+                    reps[r].full_batches += 1;
+                }
                 reps[r].workers[worker] = Some(Batch {
                     reqs: batch_reqs,
                     outputs,
@@ -510,7 +515,6 @@ pub fn simulate(
         ($r:expr) => {{
             let r: usize = $r;
             reps[r].replica.set_state(ReplicaState::Serving);
-            reps[r].model_cache = None;
             reps[r].downtime.close_at(clock);
             update_fleet_gate!();
             reps[r].cursor.reset();
@@ -573,13 +577,11 @@ pub fn simulate(
                 weight,
             } => {
                 reps[r].replica.host().corrupt_weight(layer, weight);
-                reps[r].model_cache = None;
                 reps[r].faults_injected += 1;
                 reps[r].last_fault_time = clock;
             }
             Event::HeavyFault { replica: r, layer } => {
                 reps[r].replica.host().corrupt_layer(layer);
-                reps[r].model_cache = None;
                 reps[r].faults_injected += 1;
                 reps[r].last_fault_time = clock;
             }
@@ -590,9 +592,6 @@ pub fn simulate(
                 reps[r].scrub_ticks += 1;
                 let chunk = reps[r].cursor.begin_tick(clock);
                 let tick = reps[r].replica.tick(&chunk)?;
-                if tick.scrub.corrected > 0 {
-                    reps[r].model_cache = None;
-                }
                 let flagged = !tick.detection.is_clean();
                 if let Some(cycle_start) = reps[r].cursor.finish_tick(flagged, clock) {
                     reps[r].last_clean_cycle = Some(cycle_start);
@@ -816,6 +815,13 @@ pub fn simulate(
                     downtime_ns: rep.downtime.total_ns(total_ns),
                     availability: rep.downtime.availability(total_ns),
                     latency: LatencyStats::from_ns(&rep.latencies),
+                    batches: rep.batches,
+                    full_batches: rep.full_batches,
+                    batch_occupancy: if rep.batches == 0 {
+                        0.0
+                    } else {
+                        rep.batched_requests as f64 / rep.batches as f64
+                    },
                     digest: outcome_digest(&mine),
                     pipeline,
                 },
@@ -843,6 +849,17 @@ pub fn simulate(
         downtime_ns: fleet_down.total_ns(total_ns),
         availability: fleet_down.availability(total_ns),
         latency: LatencyStats::from_ns(&fleet_latencies),
+        batches: reps.iter().map(|r| r.batches).sum(),
+        full_batches: reps.iter().map(|r| r.full_batches).sum(),
+        batch_occupancy: {
+            let batches: usize = reps.iter().map(|r| r.batches).sum();
+            let batched: usize = reps.iter().map(|r| r.batched_requests).sum();
+            if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            }
+        },
         digest: outcome_digest(&outcomes),
         pipeline: fleet_pipeline,
     };

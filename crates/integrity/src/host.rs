@@ -6,11 +6,63 @@
 //! rewrite) one layer while inference materializes another. The
 //! architecture skeleton kept alongside has its parameters zeroed at
 //! construction: every forward pass must go through
-//! [`ModelHost::materialize`], which decodes the substrate.
+//! [`ModelHost::materialize`], which decodes the substrate — or, on
+//! the serving hot path, through the fused
+//! [`ModelHost::forward_batch`], which decodes each layer's shard at
+//! most once and caches the plaintext tagged with the shard's epoch.
+//!
+//! ## The epoch-tagged plaintext cache
+//!
+//! Detection and healing must always observe real storage, so
+//! [`ModelHost::materialize`] decodes the substrate directly every
+//! time. Inference does not: steady-state forwards on an untouched
+//! layer revalidate a cached decode with one atomic epoch load
+//! ([`SharedSubstrate::shard_epoch`]) — no shard `RwLock`, no decrypt,
+//! no ECC decode, no allocation. Any write that changes a shard's bits
+//! (heal write-back, re-protection, raw import, correcting scrub, and
+//! injected faults alike) bumps the shard epoch, so the next forward
+//! re-decodes exactly the layers that changed. Fault injection bumping
+//! the epoch is what keeps the cache honest: a corrupted shard is
+//! re-decoded and served corrupted — as the paper's threat model
+//! demands — never served from a stale-clean copy.
 
-use milr_nn::Sequential;
+use milr_nn::{Result as NnResult, Sequential};
 use milr_substrate::{ScrubSummary, SharedSubstrate, WeightSubstrate};
 use milr_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One cached shard decode: plaintext parameters tagged with the shard
+/// epoch they were decoded at.
+#[derive(Debug, Clone)]
+struct LayerCache {
+    epoch: u64,
+    params: Arc<Tensor>,
+}
+
+/// Cumulative counters for the host's plaintext cache (shared by all
+/// clones of a host, like the store itself).
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// Snapshot of the host cache counters; see
+/// [`ModelHost::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostCacheStats {
+    /// Forwards of a parameterized layer served from the cache (one
+    /// atomic epoch compare, no substrate decode, no shard lock).
+    pub hits: u64,
+    /// Forwards that had to decode the shard (cold cache or epoch
+    /// moved).
+    pub misses: u64,
+    /// Layer forwards re-run because the shard epoch moved while the
+    /// layer was computing (a writer landed mid-forward).
+    pub retries: u64,
+}
 
 /// The data plane of the service: a weightless architecture skeleton
 /// plus the sharded substrate actually holding the parameters. The
@@ -26,6 +78,14 @@ pub struct ModelHost {
     param_layers: Vec<usize>,
     /// Parameter tensor dims of each shard.
     param_dims: Vec<Vec<usize>>,
+    /// Per-shard epoch-tagged plaintext decodes; `RwLock` so concurrent
+    /// clean-path readers validate-and-clone without serializing.
+    cache: Arc<Vec<RwLock<Option<LayerCache>>>>,
+    counters: Arc<CacheCounters>,
+}
+
+fn fresh_cache(shards: usize) -> Arc<Vec<RwLock<Option<LayerCache>>>> {
+    Arc::new((0..shards).map(|_| RwLock::new(None)).collect())
 }
 
 impl ModelHost {
@@ -45,11 +105,14 @@ impl ModelHost {
                 params.map_in_place(|_| 0.0);
             }
         }
+        let cache = fresh_cache(parts.len());
         ModelHost {
             template,
             store: SharedSubstrate::from_parts(parts),
             param_layers,
             param_dims,
+            cache,
+            counters: Arc::new(CacheCounters::default()),
         }
     }
 
@@ -96,11 +159,14 @@ impl ModelHost {
             params.map_in_place(|_| 0.0);
             substrates.push(sub);
         }
+        let cache = fresh_cache(substrates.len());
         ModelHost {
             template,
             store: SharedSubstrate::from_parts(substrates),
             param_layers,
             param_dims,
+            cache,
+            counters: Arc::new(CacheCounters::default()),
         }
     }
 
@@ -142,6 +208,114 @@ impl ModelHost {
             }
         }
         model
+    }
+
+    /// Decoded plaintext parameters of `shard`, served from the
+    /// epoch-tagged cache when the shard has not changed since the last
+    /// decode. The hit path costs one atomic epoch load plus an
+    /// uncontended cache-slot read lock — the shard's own `RwLock` is
+    /// never touched. The miss path decodes under the shard read lock
+    /// (through [`SharedSubstrate::read_shard_into_versioned`], no
+    /// intermediate `Vec`) and installs the result.
+    pub fn shard_params(&self, shard: usize) -> (Arc<Tensor>, u64) {
+        let current = self.store.shard_epoch(shard);
+        if let Some(cached) = self.cache[shard]
+            .read()
+            .expect("cache poisoned")
+            .as_ref()
+            .filter(|c| c.epoch == current)
+        {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return (cached.params.clone(), cached.epoch);
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let (w_lo, w_hi) = self.store.shard_weight_range(shard);
+        let mut data = vec![0.0f32; w_hi - w_lo];
+        let epoch = self.store.read_shard_into_versioned(shard, &mut data);
+        let params = Arc::new(
+            Tensor::from_vec(data, &self.param_dims[shard])
+                .expect("shard length fixed at construction"),
+        );
+        let mut slot = self.cache[shard].write().expect("cache poisoned");
+        // Keep whichever decode is newer; epochs only grow.
+        if slot.as_ref().is_none_or(|c| c.epoch <= epoch) {
+            *slot = Some(LayerCache {
+                epoch,
+                params: params.clone(),
+            });
+        }
+        (params, epoch)
+    }
+
+    /// Runs a stacked `(B, …)` batch through the model with the fused
+    /// decode-forward path: each parameterized layer's plaintext comes
+    /// from [`shard_params`](ModelHost::shard_params) (cache or direct
+    /// shard decode — never a whole-model materialization), and the
+    /// layer's epoch is revalidated after its forward. If a writer
+    /// landed mid-layer, that layer alone is re-fetched and re-run
+    /// (bounded retries; residual cross-layer staleness is exactly the
+    /// cross-shard gap the certification ledger already closes).
+    /// Parameterless layers run in place on the batch scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_stacked(&self, mut batch: Tensor) -> NnResult<Tensor> {
+        const MAX_LAYER_RETRIES: u32 = 4;
+        for (i, layer) in self.template.layers().iter().enumerate() {
+            match self.param_layers.binary_search(&i) {
+                Ok(shard) => {
+                    let mut attempts = 0;
+                    batch = loop {
+                        let (params, epoch) = self.shard_params(shard);
+                        let out = layer.forward_with_params(&batch, Some(&params))?;
+                        if attempts >= MAX_LAYER_RETRIES || self.store.shard_epoch(shard) == epoch {
+                            break out;
+                        }
+                        attempts += 1;
+                        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    };
+                }
+                Err(_) => batch = layer.forward_owned(batch)?,
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Fused batched inference: stacks `examples`, runs
+    /// [`forward_stacked`](ModelHost::forward_stacked), splits the
+    /// result back into per-example outputs. Bit-identical to
+    /// `materialize().forward_batch(examples)` — same arithmetic on
+    /// the same decoded weights — without cloning the template or
+    /// decoding untouched shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stacking and layer shape errors.
+    pub fn forward_batch(&self, examples: &[Tensor]) -> NnResult<Vec<Tensor>> {
+        let stacked = self.template.stack_batch(examples)?;
+        let out = self.forward_stacked(stacked)?;
+        Sequential::split_batch(&out, examples.len())
+    }
+
+    /// Drops every cached decode. Epoch validation makes staleness
+    /// impossible without this, so it exists for lifecycle seams that
+    /// want a cold cache by construction (a fleet replica rejoining
+    /// after repair, tests).
+    pub fn invalidate_cache(&self) {
+        for slot in self.cache.iter() {
+            *slot.write().expect("cache poisoned") = None;
+        }
+    }
+
+    /// Snapshot of the cache's cumulative hit/miss/retry counters
+    /// (shared across host clones).
+    pub fn cache_stats(&self) -> HostCacheStats {
+        HostCacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+        }
     }
 
     /// Writes the given layers' parameters from `healed` back into
@@ -398,5 +572,74 @@ mod tests {
         assert_eq!(h.layer_weight_count(0), 3 * 3 * 4);
         assert_eq!(h.layer_weight_count(1), 4);
         assert_eq!(h.weight_count(), golden.param_count());
+    }
+
+    #[test]
+    fn fused_forward_matches_materialized_forward_bitwise() {
+        let golden = model();
+        for kind in SubstrateKind::ALL {
+            let h = ModelHost::new(&golden, &|c| kind.store(c));
+            let mut rng = TensorRng::new(31);
+            let examples: Vec<Tensor> = (0..3).map(|_| rng.uniform_tensor(&[8, 8, 1])).collect();
+            let fused = h.forward_batch(&examples).unwrap();
+            let materialized = h.materialize().forward_batch(&examples).unwrap();
+            for (a, b) in fused.iter().zip(materialized.iter()) {
+                let ba: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ba, bb, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_clean_path_and_invalidates_on_change() {
+        let golden = model();
+        let h = ModelHost::new(&golden, &|c| SubstrateKind::Secded.store(c));
+        let input = TensorRng::new(7).uniform_tensor(&[8, 8, 1]);
+        let examples = vec![input];
+
+        h.forward_batch(&examples).unwrap();
+        let cold = h.cache_stats();
+        assert_eq!(cold.misses, 3, "one decode per parameterized layer");
+        assert_eq!(cold.hits, 0);
+
+        h.forward_batch(&examples).unwrap();
+        let warm = h.cache_stats();
+        assert_eq!(warm.misses, 3, "steady state decodes nothing");
+        assert_eq!(warm.hits, 3);
+
+        // A fault bumps the epoch: the corrupted layer re-decodes (and
+        // the corruption is observed — no stale-clean serving).
+        h.corrupt_weight(0, 2);
+        let seen = h.forward_batch(&examples).unwrap();
+        let after_fault = h.cache_stats();
+        assert_eq!(after_fault.misses, 4, "only the faulted shard re-decodes");
+        assert_eq!(after_fault.hits, 5);
+        let clean = h.materialize();
+        let _ = seen;
+        assert!(clean.layers()[0].params().unwrap().data()[2]
+            .to_bits()
+            .ne(&golden.layers()[0].params().unwrap().data()[2].to_bits()));
+
+        // Heal write-back bumps again; explicit invalidation still works.
+        h.write_back(&golden, &[0]);
+        h.forward_batch(&examples).unwrap();
+        assert_eq!(h.cache_stats().misses, 5);
+        h.invalidate_cache();
+        h.forward_batch(&examples).unwrap();
+        assert_eq!(h.cache_stats().misses, 8, "cold again after invalidate");
+    }
+
+    #[test]
+    fn cache_is_shared_across_host_clones() {
+        let golden = model();
+        let h = host(&golden);
+        let clone = h.clone();
+        let examples = vec![TensorRng::new(3).uniform_tensor(&[8, 8, 1])];
+        h.forward_batch(&examples).unwrap();
+        clone.forward_batch(&examples).unwrap();
+        let stats = clone.cache_stats();
+        assert_eq!(stats.misses, 3, "clone reuses the original's decodes");
+        assert_eq!(stats.hits, 3);
     }
 }

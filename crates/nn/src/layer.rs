@@ -296,6 +296,85 @@ impl Layer {
             Layer::ZeroPad2D { pad } => zero_pad(batch, *pad),
         }
     }
+
+    /// [`forward`](Layer::forward) with `params` substituted for the
+    /// layer's own parameter tensor — the fused decode-forward entry
+    /// point: a serving host keeps a zeroed structural template and
+    /// supplies freshly decoded (or cached) plaintext per call, so no
+    /// mutable model copy is ever materialized. `None` (and any value
+    /// for a parameterless layer) falls back to the layer's own params.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/geometry errors for incompatible inputs or a
+    /// `params` tensor whose shape does not fit the layer.
+    pub fn forward_with_params(&self, batch: &Tensor, params: Option<&Tensor>) -> Result<Tensor> {
+        match (self, params) {
+            (Layer::Conv2D { spec, .. }, Some(p)) => Ok(conv2d(batch, p, spec)?),
+            (Layer::Dense { .. }, Some(p)) => Ok(batch.matmul(p)?),
+            (Layer::Bias { .. }, Some(p)) => add_bias(batch, p),
+            _ => self.forward(batch),
+        }
+    }
+
+    /// [`forward_with_params`](Layer::forward_with_params) taking the
+    /// batch by value: shape-preserving layers (bias, element-wise
+    /// activations, flatten, dropout) mutate the buffer in place with
+    /// bit-identical arithmetic, so a stacked forward reuses one
+    /// scratch allocation across those layers instead of allocating an
+    /// output tensor per layer. Layers that genuinely change the
+    /// element count (conv, dense, pools, padding) still allocate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward_with_params`](Layer::forward_with_params).
+    pub fn forward_owned_with_params(
+        &self,
+        mut batch: Tensor,
+        params: Option<&Tensor>,
+    ) -> Result<Tensor> {
+        match self {
+            Layer::Bias { bias } => {
+                add_bias_in_place(&mut batch, params.unwrap_or(bias))?;
+                Ok(batch)
+            }
+            Layer::Activation(a) => match a {
+                // Softmax needs row scratch anyway; reuse the allocating path.
+                Activation::Softmax => Ok(softmax_last_axis(&batch)),
+                Activation::Relu => {
+                    batch.map_in_place(|x| x.max(0.0));
+                    Ok(batch)
+                }
+                Activation::Sigmoid => {
+                    batch.map_in_place(|x| 1.0 / (1.0 + (-x).exp()));
+                    Ok(batch)
+                }
+                Activation::Tanh => {
+                    batch.map_in_place(|x| x.tanh());
+                    Ok(batch)
+                }
+                Activation::Identity => Ok(batch),
+            },
+            Layer::Flatten => {
+                let b = batch.shape().dim(0);
+                let rest: usize = batch.shape().dims()[1..].iter().product();
+                batch.reshape_in_place(&[b, rest])?;
+                Ok(batch)
+            }
+            Layer::Dropout { .. } => Ok(batch),
+            _ => self.forward_with_params(&batch, params),
+        }
+    }
+
+    /// [`forward`](Layer::forward) taking the batch by value; see
+    /// [`forward_owned_with_params`](Layer::forward_owned_with_params).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward`](Layer::forward).
+    pub fn forward_owned(&self, batch: Tensor) -> Result<Tensor> {
+        self.forward_owned_with_params(batch, None)
+    }
 }
 
 /// Adds `bias[c]` to every element whose last-axis coordinate is `c`.
@@ -315,6 +394,24 @@ pub(crate) fn add_bias(batch: &Tensor, bias: &Tensor) -> Result<Tensor> {
         *o += b[i % c];
     }
     Ok(Tensor::from_vec(out, dims)?)
+}
+
+/// [`add_bias`] without the output allocation: the exact same `+=` per
+/// element, applied to the batch buffer directly.
+pub(crate) fn add_bias_in_place(batch: &mut Tensor, bias: &Tensor) -> Result<()> {
+    if batch.shape().dims().last().copied() != Some(bias.numel()) {
+        return Err(NnError::BadInput {
+            layer: "Bias".into(),
+            input: batch.shape().dims().to_vec(),
+            reason: format!("last axis must equal bias length {}", bias.numel()),
+        });
+    }
+    let c = bias.numel();
+    let b = bias.data();
+    for (i, o) in batch.data_mut().iter_mut().enumerate() {
+        *o += b[i % c];
+    }
+    Ok(())
 }
 
 fn zero_pad(batch: &Tensor, pad: usize) -> Result<Tensor> {

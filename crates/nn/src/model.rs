@@ -176,11 +176,28 @@ impl Sequential {
     /// Propagates [`stack_batch`](Sequential::stack_batch) and forward
     /// errors.
     pub fn forward_batch(&self, examples: &[Tensor]) -> Result<Vec<Tensor>> {
-        let out = self.forward(&self.stack_batch(examples)?)?;
+        // The stacked batch is owned scratch: shape-preserving layers
+        // (bias, activations, flatten, dropout) mutate it in place, so
+        // the chain reuses one allocation instead of one per layer.
+        let mut x = self.stack_batch(examples)?;
+        for layer in &self.layers {
+            x = layer.forward_owned(x)?;
+        }
+        Self::split_batch(&x, examples.len())
+    }
+
+    /// Splits a `(B, …)` batch output into one tensor per example
+    /// (batch dimension stripped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (cannot occur for well-formed
+    /// batch outputs).
+    pub fn split_batch(out: &Tensor, batch: usize) -> Result<Vec<Tensor>> {
         let per_example: usize = out.shape().dims()[1..].iter().product();
         let out_dims = out.shape().dims()[1..].to_vec();
         let data = out.data();
-        (0..examples.len())
+        (0..batch)
             .map(|r| {
                 Ok(Tensor::from_vec(
                     data[r * per_example..(r + 1) * per_example].to_vec(),

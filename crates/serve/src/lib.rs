@@ -77,5 +77,5 @@ pub use milr_integrity::{
 pub use report::{outcome_digest, ServeReport};
 pub use request::{QuarantinePolicy, RejectReason, RequestId, RequestOutcome, RequestStatus};
 pub use scrubber::ScrubCursor;
-pub use server::{ResponseHandle, ServeError, Server, ServerConfig};
+pub use server::{ReadPath, ResponseHandle, ServeError, Server, ServerConfig};
 pub use sim::{simulate, SimConfig, SimResult, VirtualCosts};

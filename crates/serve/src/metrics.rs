@@ -11,6 +11,9 @@ pub struct LatencyStats {
     pub p50_us: f64,
     /// 95th-percentile latency, microseconds.
     pub p95_us: f64,
+    /// 99th-percentile latency, microseconds (the serve-load gate: CI
+    /// fails a run whose p99 regresses past the recorded baseline).
+    pub p99_us: f64,
     /// Maximum latency, microseconds.
     pub max_us: f64,
 }
@@ -35,6 +38,7 @@ impl LatencyStats {
             mean_us: sum as f64 / sorted.len() as f64 / 1e3,
             p50_us: rank(0.50),
             p95_us: rank(0.95),
+            p99_us: rank(0.99),
             max_us: *sorted.last().unwrap() as f64 / 1e3,
         }
     }
@@ -96,6 +100,7 @@ mod tests {
         assert!((s.mean_us - 50.5).abs() < 1e-9);
         assert_eq!(s.p50_us, 50.0);
         assert_eq!(s.p95_us, 95.0);
+        assert_eq!(s.p99_us, 99.0);
         assert_eq!(s.max_us, 100.0);
         assert_eq!(LatencyStats::from_ns(&[]).count, 0);
     }

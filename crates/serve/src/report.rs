@@ -47,6 +47,15 @@ pub struct ServeReport {
     pub availability: f64,
     /// Latency distribution of completed requests.
     pub latency: LatencyStats,
+    /// Batches dispatched by the admission loop.
+    pub batches: usize,
+    /// Batches dispatched at the full configured `batch_max`.
+    pub full_batches: usize,
+    /// Mean requests per dispatched batch — the continuous-batching
+    /// occupancy (1.0 means no coalescing happened; `batch_max` means
+    /// every dispatch shared one decode + GEMM pass across a full
+    /// batch).
+    pub batch_occupancy: f64,
     /// Order-insensitive digest over `(id, status, output bits)` of
     /// every outcome — two runs with the same seed must agree on it.
     pub digest: u64,
@@ -127,6 +136,13 @@ impl ServeReport {
                 .sum::<f64>()
                 / samples as f64
         };
+        let batches: usize = reports.iter().map(|r| r.batches).sum();
+        // Recover per-replica request totals from occupancy × batches
+        // so the merged occupancy is batch-weighted, not replica-mean.
+        let batched_requests: f64 = reports
+            .iter()
+            .map(|r| r.batch_occupancy * r.batches as f64)
+            .sum();
         const PRIME: u64 = 0x100000001b3;
         let mut digest = 0xcbf29ce484222325u64;
         for r in reports {
@@ -164,7 +180,15 @@ impl ServeReport {
                 mean_us: weighted(|l| l.mean_us),
                 p50_us: weighted(|l| l.p50_us),
                 p95_us: weighted(|l| l.p95_us),
+                p99_us: weighted(|l| l.p99_us),
                 max_us: reports.iter().map(|r| r.latency.max_us).fold(0.0, f64::max),
+            },
+            batches,
+            full_batches: reports.iter().map(|r| r.full_batches).sum(),
+            batch_occupancy: if batches == 0 {
+                0.0
+            } else {
+                batched_requests / batches as f64
             },
             digest,
             pipeline,
@@ -175,7 +199,8 @@ impl ServeReport {
     /// workspace's serde stub has no serializer). The legacy fields
     /// keep their exact order and formatting — the golden-seed parity
     /// suite byte-compares this prefix across refactors — with the
-    /// pipeline block appended last.
+    /// pipeline block and the newer fields (p99, batch-occupancy
+    /// stats) appended after it.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
@@ -186,7 +211,9 @@ impl ServeReport {
                 "\"total_ns\":{},\"downtime_ns\":{},",
                 "\"availability\":{:.9},\"latency_mean_us\":{:.3},\"latency_p50_us\":{:.3},",
                 "\"latency_p95_us\":{:.3},\"latency_max_us\":{:.3},\"digest\":{},",
-                "\"pipeline\":{}}}"
+                "\"pipeline\":{},",
+                "\"latency_p99_us\":{:.3},\"batches\":{},\"full_batches\":{},",
+                "\"batch_occupancy\":{:.3}}}"
             ),
             self.seed,
             self.policy,
@@ -209,6 +236,10 @@ impl ServeReport {
             self.latency.max_us,
             self.digest,
             self.pipeline.to_json(),
+            self.latency.p99_us,
+            self.batches,
+            self.full_batches,
+            self.batch_occupancy,
         )
     }
 }
@@ -263,8 +294,12 @@ mod tests {
                 mean_us: 2.0,
                 p50_us: 2.0,
                 p95_us: 3.0,
+                p99_us: 3.5,
                 max_us: 4.0,
             },
+            batches: 4,
+            full_batches: 1,
+            batch_occupancy: 2.0,
             digest: 11,
             pipeline: PipelineReport {
                 layers_healed: 1,
@@ -281,8 +316,12 @@ mod tests {
                 mean_us: 4.0,
                 p50_us: 4.0,
                 p95_us: 6.0,
+                p99_us: 8.0,
                 max_us: 9.0,
             },
+            batches: 6,
+            full_batches: 3,
+            batch_occupancy: 4.0,
             digest: 12,
             ..base.clone()
         };
@@ -301,6 +340,10 @@ mod tests {
         assert_eq!(agg.latency.count, 32);
         assert!((agg.latency.mean_us - (2.0 * 8.0 + 4.0 * 24.0) / 32.0).abs() < 1e-12);
         assert_eq!(agg.latency.max_us, 9.0);
+        // Batch stats: counts sum, occupancy is batch-weighted.
+        assert_eq!(agg.batches, 10);
+        assert_eq!(agg.full_batches, 4);
+        assert!((agg.batch_occupancy - (2.0 * 4.0 + 4.0 * 6.0) / 10.0).abs() < 1e-12);
         // Digest is order-sensitive over replica digests (a stable
         // replica ordering is part of the determinism contract).
         let swapped = ServeReport::aggregate(&[
@@ -332,6 +375,9 @@ mod tests {
             downtime_ns: 100,
             availability: 0.9,
             latency: LatencyStats::default(),
+            batches: 3,
+            full_batches: 2,
+            batch_occupancy: 2.5,
             digest: 42,
             pipeline: PipelineReport::default(),
         };
@@ -342,6 +388,9 @@ mod tests {
         // One top-level object plus the nested pipeline and stage_ns.
         assert_eq!(json.matches('{').count(), 3);
         assert!(json.contains("\"digest\":42,\"pipeline\":{"));
-        assert!(json.ends_with("}}}"));
+        // Newer fields append after the pipeline block so the legacy
+        // prefix the parity suite byte-compares never moves.
+        assert!(json.contains("},\"latency_p99_us\":0.000"));
+        assert!(json.ends_with("\"batches\":3,\"full_batches\":2,\"batch_occupancy\":2.500}"));
     }
 }

@@ -31,6 +31,20 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Which decode path workers use to run a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// Fused decode-forward: each parameterized layer pulls its shard
+    /// through the host's epoch-tagged plaintext cache, so steady-state
+    /// batches never take a shard lock or decode the substrate.
+    #[default]
+    Fused,
+    /// Decode the whole model into a fresh [`Sequential`] per batch —
+    /// the pre-cache behavior, kept so benchmarks can measure the
+    /// fused path against it.
+    LegacyMaterialize,
+}
+
 /// Live-server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -40,6 +54,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Maximum requests coalesced into one batch.
     pub batch_max: usize,
+    /// Continuous-batching admission deadline: a worker holds a partial
+    /// batch for up to this long waiting for more arrivals before
+    /// dispatching (full batches always go out at once). `ZERO`
+    /// disables coalescing — workers dispatch whatever is queued the
+    /// moment they wake, the legacy behavior.
+    pub batch_wait: Duration,
     /// Scrubber cadence.
     pub scrub_interval: Duration,
     /// Checkable layers examined per scrub tick.
@@ -48,6 +68,8 @@ pub struct ServerConfig {
     pub policy: QuarantinePolicy,
     /// Substrate kind backing each layer shard.
     pub substrate: SubstrateKind,
+    /// Decode path used by workers.
+    pub read_path: ReadPath,
 }
 
 impl Default for ServerConfig {
@@ -56,10 +78,12 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 256,
             batch_max: 8,
+            batch_wait: Duration::ZERO,
             scrub_interval: Duration::from_millis(2),
             layers_per_tick: 2,
             policy: QuarantinePolicy::Drain,
             substrate: SubstrateKind::Plain,
+            read_path: ReadPath::Fused,
         }
     }
 }
@@ -144,6 +168,9 @@ struct Inner {
     faults_injected: usize,
     scrub_ticks: usize,
     quarantines: usize,
+    batches: usize,
+    full_batches: usize,
+    batched_requests: usize,
 }
 
 struct Shared {
@@ -288,6 +315,9 @@ impl Server {
                 faults_injected: 0,
                 scrub_ticks: 0,
                 quarantines: 0,
+                batches: 0,
+                full_batches: 0,
+                batched_requests: 0,
             }),
             work_cv: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -473,6 +503,13 @@ impl Server {
             downtime_ns: inner.downtime.total_ns(now),
             availability: inner.downtime.availability(now),
             latency: LatencyStats::from_ns(&inner.latencies),
+            batches: inner.batches,
+            full_batches: inner.full_batches,
+            batch_occupancy: if inner.batches == 0 {
+                0.0
+            } else {
+                inner.batched_requests as f64 / inner.batches as f64
+            },
             digest: outcome_digest(&inner.outcomes),
             pipeline,
         }
@@ -491,19 +528,56 @@ fn worker_loop(shared: &Shared) {
             }
             inner = shared.work_cv.wait(inner).expect("lock poisoned");
         }
+        // Continuous-batching admission: hold a partial batch until the
+        // deadline lapses or the queue fills, so later arrivals coalesce
+        // into it instead of dispatching a fragment per wake-up.
+        let wait = shared.config.batch_wait;
+        if !wait.is_zero() && inner.queue.len() < shared.config.batch_max {
+            let deadline = Instant::now() + wait;
+            while inner.status == Status::Serving
+                && !inner.queue.is_empty()
+                && inner.queue.len() < shared.config.batch_max
+                && !shared.stop.load(Ordering::Acquire)
+            {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                inner = shared
+                    .work_cv
+                    .wait_timeout(inner, deadline - now)
+                    .expect("lock poisoned")
+                    .0;
+            }
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if inner.status != Status::Serving || inner.queue.is_empty() {
+                continue; // quarantined or drained while waiting
+            }
+        }
         let n = inner.queue.len().min(shared.config.batch_max);
         let requests: Vec<PendingRequest> = inner.queue.drain(..n).collect();
         let epoch = inner.epoch;
         inner.in_flight += 1;
+        inner.batches += 1;
+        inner.batched_requests += n;
+        if n == shared.config.batch_max {
+            inner.full_batches += 1;
+        }
         drop(inner);
 
-        // Compute outside the lock: materialization is per-shard
-        // atomic, certification handles cross-shard races.
-        let model = shared.host.materialize();
+        // Compute outside the state lock. The fused path decodes each
+        // layer's shard through the host's epoch-tagged cache (a clean
+        // steady-state batch takes no shard lock at all); shard reads
+        // are per-shard atomic either way, and certification handles
+        // cross-shard races.
         let inputs: Vec<Tensor> = requests.iter().map(|r| r.input.clone()).collect();
-        let outputs = model
-            .forward_batch(&inputs)
-            .expect("inputs validated against the model shape at submission");
+        let outputs = match shared.config.read_path {
+            ReadPath::Fused => shared.host.forward_batch(&inputs),
+            ReadPath::LegacyMaterialize => shared.host.materialize().forward_batch(&inputs),
+        }
+        .expect("inputs validated against the model shape at submission");
 
         let mut inner = shared.inner.lock().expect("lock poisoned");
         // Stamp under the lock: acquisition order keeps ledger stamps

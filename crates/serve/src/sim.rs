@@ -93,6 +93,13 @@ pub struct SimConfig {
     pub queue_capacity: usize,
     /// Maximum requests coalesced into one batch.
     pub batch_max: usize,
+    /// Continuous-batching admission deadline, nanoseconds: a partial
+    /// batch holds for up to this long waiting for more arrivals before
+    /// dispatching (full batches always dispatch immediately). `0`
+    /// disables coalescing — every dispatch takes whatever is queued
+    /// the moment a worker frees up, the legacy immediate-dispatch
+    /// behavior the golden-seed parity suite locks.
+    pub batch_wait_ns: u64,
     /// Scrubber cadence, nanoseconds between ticks.
     pub scrub_interval_ns: u64,
     /// Checkable layers examined per scrub tick.
@@ -124,6 +131,7 @@ impl Default for SimConfig {
             workers: 4,
             queue_capacity: 256,
             batch_max: 8,
+            batch_wait_ns: 0,
             scrub_interval_ns: 4_000_000,
             layers_per_tick: 2,
             policy: QuarantinePolicy::Drain,
@@ -146,10 +154,25 @@ pub struct SimResult {
 #[derive(Debug)]
 enum Event {
     Arrival(usize),
-    WorkerDone { worker: usize },
-    ScrubTick { epoch: u64 },
-    Fault { layer: usize, weight: usize },
-    RecoveryDone { epoch: u64 },
+    WorkerDone {
+        worker: usize,
+    },
+    /// A partial batch's admission deadline lapsed: dispatch whatever
+    /// is queued. Stale (pre-quarantine) deadlines carry an old epoch
+    /// and are ignored.
+    BatchDeadline {
+        epoch: u64,
+    },
+    ScrubTick {
+        epoch: u64,
+    },
+    Fault {
+        layer: usize,
+        weight: usize,
+    },
+    RecoveryDone {
+        epoch: u64,
+    },
 }
 
 /// A deterministic discrete-event queue over virtual time.
@@ -343,6 +366,10 @@ pub fn simulate(
     let mut scrub_ticks = 0usize;
     let mut quarantines = 0usize;
     let mut latencies: Vec<u64> = Vec::new();
+    let mut batches = 0usize;
+    let mut full_batches = 0usize;
+    let mut batched_requests = 0usize;
+    let mut deadline_pending = false;
 
     macro_rules! resolve {
         ($idx:expr, $status:expr) => {{
@@ -361,6 +388,33 @@ pub fn simulate(
         }};
     }
 
+    macro_rules! dispatch_to {
+        ($worker:expr, $n:expr) => {{
+            let n: usize = $n;
+            let worker: usize = $worker;
+            let batch_reqs: Vec<usize> = queue.drain(..n).collect();
+            let inputs: Vec<Tensor> = batch_reqs.iter().map(|&i| reqs[i].input.clone()).collect();
+            // Fused decode-forward: parameterized layers pull their
+            // shard through the host's epoch-tagged cache, so no
+            // whole-model materialization per batch.
+            let outputs = host
+                .forward_batch(&inputs)
+                .expect("batch inputs validated at submission");
+            batches += 1;
+            batched_requests += n;
+            if n == cfg.batch_max {
+                full_batches += 1;
+            }
+            workers[worker] = Some(Batch {
+                reqs: batch_reqs,
+                outputs,
+                epoch,
+            });
+            let done = clock + cfg.costs.batch_ns(n);
+            timeline.schedule(done, Event::WorkerDone { worker });
+        }};
+    }
+
     macro_rules! try_dispatch {
         () => {
             while !quarantined && !queue.is_empty() {
@@ -368,20 +422,34 @@ pub fn simulate(
                     break;
                 };
                 let n = queue.len().min(cfg.batch_max);
-                let batch_reqs: Vec<usize> = queue.drain(..n).collect();
-                let model = host.materialize();
-                let inputs: Vec<Tensor> =
-                    batch_reqs.iter().map(|&i| reqs[i].input.clone()).collect();
-                let outputs = model
-                    .forward_batch(&inputs)
-                    .expect("batch inputs validated at submission");
-                workers[worker] = Some(Batch {
-                    reqs: batch_reqs,
-                    outputs,
-                    epoch,
-                });
-                let done = clock + cfg.costs.batch_ns(n);
-                timeline.schedule(done, Event::WorkerDone { worker });
+                dispatch_to!(worker, n);
+            }
+        };
+    }
+
+    /// Continuous-batching admission. With `batch_wait_ns == 0` this is
+    /// exactly the legacy immediate dispatch. Otherwise full batches go
+    /// out at once, and a partial batch holds behind a scheduled
+    /// deadline so later arrivals can coalesce into it.
+    macro_rules! admit {
+        () => {
+            if cfg.batch_wait_ns == 0 {
+                try_dispatch!();
+            } else {
+                while !quarantined && queue.len() >= cfg.batch_max {
+                    let Some(worker) = workers.iter().position(Option::is_none) else {
+                        break;
+                    };
+                    dispatch_to!(worker, cfg.batch_max);
+                }
+                if !quarantined
+                    && !queue.is_empty()
+                    && !deadline_pending
+                    && workers.iter().any(Option::is_none)
+                {
+                    deadline_pending = true;
+                    timeline.schedule(clock + cfg.batch_wait_ns, Event::BatchDeadline { epoch });
+                }
             }
         };
     }
@@ -423,7 +491,7 @@ pub fn simulate(
                     resolve!(idx, RequestStatus::Rejected(RejectReason::QueueFull));
                 } else {
                     queue.push_back(idx);
-                    try_dispatch!();
+                    admit!();
                 }
             }
             Event::WorkerDone { worker } => {
@@ -441,6 +509,13 @@ pub fn simulate(
                 } else {
                     ledger.record(clock, batch);
                 }
+                admit!();
+            }
+            Event::BatchDeadline { epoch: dl_epoch } => {
+                if dl_epoch != epoch {
+                    continue; // canceled by a quarantine
+                }
+                deadline_pending = false;
                 try_dispatch!();
             }
             Event::Fault { layer, weight } => {
@@ -472,6 +547,7 @@ pub fn simulate(
                     quarantines += 1;
                     quarantined = true;
                     epoch += 1;
+                    deadline_pending = false; // pending deadline now stale
                     downtime.open_at(clock);
                     let voided = ledger.invalidate();
                     match cfg.policy {
@@ -519,7 +595,7 @@ pub fn simulate(
                         cursor.reset();
                         timeline
                             .schedule(clock + cfg.scrub_interval_ns, Event::ScrubTick { epoch });
-                        try_dispatch!();
+                        admit!();
                     }
                     RoundOutcome::Retry { flagged } => {
                         assert!(
@@ -581,6 +657,13 @@ pub fn simulate(
         downtime_ns: downtime.total_ns(total_ns),
         availability: downtime.availability(total_ns),
         latency: LatencyStats::from_ns(&latencies),
+        batches,
+        full_batches,
+        batch_occupancy: if batches == 0 {
+            0.0
+        } else {
+            batched_requests as f64 / batches as f64
+        },
         digest: outcome_digest(&outcomes),
         pipeline,
     };

@@ -1,0 +1,78 @@
+//! Determinism of the continuous-batching admission loop on the
+//! virtual clock, and its golden-parity contract: coalescing changes
+//! *when* requests dispatch, never *what* they compute — outputs (and
+//! therefore the outcome digest) are invariant to the admission
+//! deadline, and every fixed-seed report serializes byte-identically
+//! across runs. (The `batch_wait_ns == 0` schedule itself is locked
+//! against the pre-refactor captures by the fleet golden-parity suite.)
+
+use milr_core::MilrConfig;
+use milr_serve::sim::SimConfig;
+use milr_serve::simulate;
+
+/// Fixed seeds must reproduce byte-for-byte — with the legacy
+/// immediate dispatch and with a live admission deadline, under the
+/// default fault campaign (which exercises the quarantine path that
+/// cancels a pending deadline).
+#[test]
+fn sim_reports_are_byte_identical_across_runs() {
+    let model = milr_models::serving_probe(11);
+    for wait in [0u64, 600_000] {
+        let cfg = SimConfig {
+            batch_wait_ns: wait,
+            ..SimConfig::default()
+        };
+        let a = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        let b = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        assert_eq!(
+            a.report.to_json(),
+            b.report.to_json(),
+            "wait {wait}: same seed must reproduce the same report bytes"
+        );
+        assert_eq!(a.report.completed + a.report.rejected, a.report.submitted);
+    }
+}
+
+/// Holding partial batches behind the deadline coalesces arrivals into
+/// fewer, fuller batches — without changing a single output bit.
+#[test]
+fn coalescing_raises_occupancy_without_changing_outputs() {
+    let model = milr_models::serving_probe(11);
+    let base = SimConfig {
+        requests: 120,
+        faults: 0,
+        workers: 2,
+        // Arrivals land faster than one batch's base cost, so eager
+        // dispatch ships fragments while a short wait fills batches.
+        mean_arrival_ns: 700_000,
+        ..SimConfig::default()
+    };
+    let eager = simulate(&model, MilrConfig::default(), &base).unwrap();
+    let waited = simulate(
+        &model,
+        MilrConfig::default(),
+        &SimConfig {
+            batch_wait_ns: 2_000_000,
+            ..base
+        },
+    )
+    .unwrap();
+    assert_eq!(eager.report.completed, 120);
+    assert_eq!(waited.report.completed, 120);
+    assert!(
+        waited.report.batch_occupancy > eager.report.batch_occupancy,
+        "coalescing must raise occupancy: eager {:.3} vs waited {:.3}",
+        eager.report.batch_occupancy,
+        waited.report.batch_occupancy
+    );
+    assert!(
+        waited.report.batches < eager.report.batches,
+        "coalescing must cut batch count: eager {} vs waited {}",
+        eager.report.batches,
+        waited.report.batches
+    );
+    assert_eq!(
+        waited.report.digest, eager.report.digest,
+        "outputs must be invariant to admission batching"
+    );
+}

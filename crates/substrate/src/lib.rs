@@ -163,6 +163,28 @@ pub trait WeightSubstrate: Send + Sync {
     /// an inference read would observe them. Does not modify storage.
     fn read_weights(&self) -> Vec<f32>;
 
+    /// Decodes the buffer to plaintext weights directly into `out`,
+    /// avoiding the intermediate `Vec` of
+    /// [`read_weights`](WeightSubstrate::read_weights) where the
+    /// substrate can (plain storage is a straight `copy_from_slice`).
+    /// The default falls back to decoding into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len()` differs from
+    /// [`len`](WeightSubstrate::len).
+    fn read_weights_into(&self, out: &mut [f32]) {
+        let decoded = self.read_weights();
+        assert_eq!(
+            out.len(),
+            decoded.len(),
+            "read_weights_into buffer of {} cannot hold {} weights",
+            out.len(),
+            decoded.len()
+        );
+        out.copy_from_slice(&decoded);
+    }
+
     /// Replaces the stored weights (re-encoding / re-encrypting as the
     /// substrate requires) — the write-back path of MILR recovery.
     ///

@@ -80,6 +80,11 @@ impl WeightSubstrate for PlainMemory {
         self.words.clone()
     }
 
+    fn read_weights_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.words.len(), "read_weights_into length");
+        out.copy_from_slice(&self.words);
+    }
+
     fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {
         if weights.len() != self.words.len() {
             return Err(SubstrateError::LengthMismatch {
@@ -137,6 +142,11 @@ impl WeightSubstrate for [f32] {
         self.to_vec()
     }
 
+    fn read_weights_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), <[f32]>::len(self), "read_weights_into length");
+        out.copy_from_slice(self);
+    }
+
     fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {
         if weights.len() != <[f32]>::len(self) {
             return Err(SubstrateError::LengthMismatch {
@@ -192,6 +202,10 @@ impl WeightSubstrate for Vec<f32> {
 
     fn read_weights(&self) -> Vec<f32> {
         self.clone()
+    }
+
+    fn read_weights_into(&self, out: &mut [f32]) {
+        self.as_slice().read_weights_into(out);
     }
 
     fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {

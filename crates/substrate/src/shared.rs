@@ -15,8 +15,25 @@
 //! while inference reads another; callers that need a consistent
 //! multi-shard snapshot sequence their own quiesce point (the serving
 //! layer's certification protocol does exactly that).
+//!
+//! ## Shard epochs
+//!
+//! Every shard additionally carries a seqlock-style **epoch counter**:
+//! a monotonically increasing version bumped by each operation that can
+//! change the shard's raw bits (write-back, raw-bit fault injection,
+//! raw-image import, and any scrub pass that corrected words in place).
+//! The invariant is: *two reads of the same shard that observe the same
+//! epoch observed identical bits*. Readers use
+//! [`SharedSubstrate::read_shard_versioned`] to obtain a decode tagged
+//! with the exact epoch it was decoded at (the epoch is sampled while
+//! the shard read lock is held, so it cannot race a writer), cache the
+//! plaintext keyed by that epoch, and revalidate later with a single
+//! relaxed atomic load through [`SharedSubstrate::shard_epoch`] — no
+//! lock is taken on the revalidation fast path, which is what lets a
+//! steady-state inference plane run with zero shard-lock traffic.
 
 use crate::{ScrubSummary, SubstrateError, WeightSubstrate};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// A substrate split into independently locked shards, shareable across
@@ -24,6 +41,9 @@ use std::sync::{Arc, RwLock};
 #[derive(Clone)]
 pub struct SharedSubstrate {
     shards: Arc<Vec<RwLock<Box<dyn WeightSubstrate>>>>,
+    /// Per-shard data-version counters; bumped (under the shard write
+    /// lock) by every operation that may change the shard's raw bits.
+    epochs: Arc<Vec<AtomicU64>>,
     /// Prefix sums of per-shard weight counts (`len = shards + 1`).
     weight_offsets: Vec<usize>,
     /// Prefix sums of per-shard raw-bit counts (`len = shards + 1`).
@@ -54,8 +74,10 @@ impl SharedSubstrate {
             weight_offsets.push(weight_offsets.last().unwrap() + part.len());
             raw_offsets.push(raw_offsets.last().unwrap() + part.raw_bits());
         }
+        let epochs = (0..parts.len()).map(|_| AtomicU64::new(0)).collect();
         SharedSubstrate {
             shards: Arc::new(parts.into_iter().map(RwLock::new).collect()),
+            epochs: Arc::new(epochs),
             weight_offsets,
             raw_offsets,
         }
@@ -124,12 +146,67 @@ impl SharedSubstrate {
         self.weight_offsets.partition_point(|&o| o <= weight) - 1
     }
 
+    /// Current epoch of `shard`: a single relaxed-cost atomic load, no
+    /// lock taken. Equal epochs across two observations guarantee the
+    /// shard's raw bits were identical at both (writers bump under the
+    /// shard's write lock). This is the cache-revalidation fast path.
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.epochs[shard].load(Ordering::Acquire)
+    }
+
+    /// Bumps `shard`'s epoch. Must be called with the shard's write
+    /// lock held (all internal callers do); the bump-before-unlock
+    /// discipline is what makes "same epoch ⇒ same bits" hold.
+    fn bump_epoch(&self, shard: usize) {
+        self.epochs[shard].fetch_add(1, Ordering::Release);
+    }
+
     /// Decodes one shard's plaintext weights (atomic per shard).
     pub fn read_shard(&self, shard: usize) -> Vec<f32> {
         self.shards[shard]
             .read()
             .expect("lock poisoned")
             .read_weights()
+    }
+
+    /// Decodes one shard's plaintext weights together with the epoch
+    /// the decode observed. The epoch is sampled while the shard read
+    /// lock is held, so the pair is exact: the returned plaintext is
+    /// precisely the decode of the shard's bits at that epoch — never
+    /// torn, never tagged with a neighbouring version.
+    pub fn read_shard_versioned(&self, shard: usize) -> (Vec<f32>, u64) {
+        let guard = self.shards[shard].read().expect("lock poisoned");
+        let epoch = self.epochs[shard].load(Ordering::Acquire);
+        (guard.read_weights(), epoch)
+    }
+
+    /// Decodes one shard's plaintext weights directly into `out`,
+    /// avoiding the per-call `Vec` of
+    /// [`read_shard`](SharedSubstrate::read_shard) where the shard's
+    /// substrate supports it (plain storage is a straight copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len()` differs from the shard's weight count.
+    pub fn read_shard_into(&self, shard: usize, out: &mut [f32]) {
+        self.shards[shard]
+            .read()
+            .expect("lock poisoned")
+            .read_weights_into(out);
+    }
+
+    /// [`read_shard_into`](SharedSubstrate::read_shard_into), returning
+    /// the epoch the decode observed (sampled under the read lock, like
+    /// [`read_shard_versioned`](SharedSubstrate::read_shard_versioned)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len()` differs from the shard's weight count.
+    pub fn read_shard_into_versioned(&self, shard: usize, out: &mut [f32]) -> u64 {
+        let guard = self.shards[shard].read().expect("lock poisoned");
+        let epoch = self.epochs[shard].load(Ordering::Acquire);
+        guard.read_weights_into(out);
+        epoch
     }
 
     /// Decodes all shards in shard order. Each shard read is atomic;
@@ -150,10 +227,12 @@ impl SharedSubstrate {
     /// [`SubstrateError::LengthMismatch`] when the length differs from
     /// the shard's stored count.
     pub fn write_shard(&self, shard: usize, weights: &[f32]) -> Result<(), SubstrateError> {
-        self.shards[shard]
-            .write()
-            .expect("lock poisoned")
-            .write_weights(weights)
+        let mut guard = self.shards[shard].write().expect("lock poisoned");
+        let result = guard.write_weights(weights);
+        if result.is_ok() {
+            self.bump_epoch(shard);
+        }
+        result
     }
 
     /// Replaces every shard's weights from one contiguous buffer
@@ -178,9 +257,17 @@ impl SharedSubstrate {
         Ok(())
     }
 
-    /// Scrubs one shard in place under its write lock.
+    /// Scrubs one shard in place under its write lock. The shard epoch
+    /// is bumped only when the pass corrected words (a clean sweep
+    /// leaves the bits — and hence any epoch-tagged plaintext cache —
+    /// untouched, so periodic scrubbing costs readers nothing).
     pub fn scrub_shard(&self, shard: usize) -> ScrubSummary {
-        self.shards[shard].write().expect("lock poisoned").scrub()
+        let mut guard = self.shards[shard].write().expect("lock poisoned");
+        let summary = guard.scrub();
+        if summary.corrected > 0 {
+            self.bump_epoch(shard);
+        }
+        summary
     }
 
     /// Scrubs every shard (shard-by-shard, never blocking readers of
@@ -204,10 +291,12 @@ impl SharedSubstrate {
     pub fn flip_raw_bit(&self, bit: usize) {
         assert!(bit < self.raw_bits(), "raw bit {bit} out of range");
         let shard = self.raw_offsets.partition_point(|&o| o <= bit) - 1;
-        self.shards[shard]
-            .write()
-            .expect("lock poisoned")
-            .flip_raw_bit(bit - self.raw_offsets[shard]);
+        let mut guard = self.shards[shard].write().expect("lock poisoned");
+        guard.flip_raw_bit(bit - self.raw_offsets[shard]);
+        // Faults change bits like any other writer: the bump is what
+        // keeps epoch-tagged caches honest about corrupted storage
+        // (serving must observe the corruption, not a stale-clean copy).
+        self.bump_epoch(shard);
     }
 
     /// Serializes one shard's raw image under its read lock — the
@@ -230,10 +319,12 @@ impl SharedSubstrate {
     /// Propagates the shard's [`SubstrateError`] (wrong image length,
     /// backing-store failure).
     pub fn import_shard_raw(&self, shard: usize, raw: &[u8]) -> Result<(), SubstrateError> {
-        self.shards[shard]
-            .write()
-            .expect("lock poisoned")
-            .import_raw(raw)
+        let mut guard = self.shards[shard].write().expect("lock poisoned");
+        let result = guard.import_raw(raw);
+        if result.is_ok() {
+            self.bump_epoch(shard);
+        }
+        result
     }
 
     /// Flushes one shard's buffered state to its backing store (a
@@ -359,5 +450,60 @@ mod tests {
     fn flip_bounds_checked() {
         let shared = SharedSubstrate::store_with(&weights(2), 1, |c| SubstrateKind::Plain.store(c));
         shared.flip_raw_bit(64);
+    }
+
+    #[test]
+    fn epochs_track_data_changes() {
+        let w = weights(16);
+        let shared = SharedSubstrate::store_with(&w, 2, |c| SubstrateKind::Secded.store(c));
+        assert_eq!(shared.shard_epoch(0), 0);
+        assert_eq!(shared.shard_epoch(1), 0);
+
+        // A fault bumps the owning shard only.
+        shared.flip_raw_bit(3);
+        assert_eq!(shared.shard_epoch(0), 1);
+        assert_eq!(shared.shard_epoch(1), 0);
+
+        // A correcting scrub bumps; a clean scrub does not.
+        assert_eq!(shared.scrub_shard(0).corrected, 1);
+        assert_eq!(shared.shard_epoch(0), 2);
+        assert!(shared.scrub_shard(0).is_clean());
+        assert_eq!(shared.shard_epoch(0), 2);
+
+        // Write-back and raw import bump; failed writes do not.
+        shared.write_shard(1, &w[8..]).unwrap();
+        assert_eq!(shared.shard_epoch(1), 1);
+        assert!(shared.write_shard(1, &w[..3]).is_err());
+        assert_eq!(shared.shard_epoch(1), 1);
+        let image = shared.export_shard_raw(1);
+        shared.import_shard_raw(1, &image).unwrap();
+        assert_eq!(shared.shard_epoch(1), 2);
+        assert!(shared.import_shard_raw(1, &[0u8; 3]).is_err());
+        assert_eq!(shared.shard_epoch(1), 2);
+    }
+
+    #[test]
+    fn versioned_reads_report_the_observed_epoch() {
+        let w = weights(12);
+        for kind in SubstrateKind::ALL {
+            let shared = SharedSubstrate::store_with(&w, 3, |c| kind.store(c));
+            let (seen, epoch) = shared.read_shard_versioned(1);
+            assert_eq!(epoch, 0, "{kind}");
+            assert_eq!(seen, shared.read_shard(1), "{kind}");
+
+            let (lo, hi) = shared.shard_weight_range(1);
+            let mut buf = vec![0.0f32; hi - lo];
+            let epoch = shared.read_shard_into_versioned(1, &mut buf);
+            assert_eq!(epoch, 0, "{kind}");
+            assert_eq!(buf, seen, "{kind}");
+
+            let (raw_lo, _) = shared.shard_raw_range(1);
+            shared.flip_raw_bit(raw_lo);
+            let (_, epoch) = shared.read_shard_versioned(1);
+            assert_eq!(epoch, 1, "{kind}");
+
+            shared.read_shard_into(1, &mut buf);
+            assert_eq!(buf, shared.read_shard(1), "{kind}");
+        }
     }
 }
