@@ -43,6 +43,11 @@ pub struct Args {
     /// Write the machine-readable summary (storage report, measured
     /// numbers) to this file as JSON.
     pub json: Option<String>,
+    /// Write a JSONL structured-event trace of the run to this file.
+    pub trace_out: Option<String>,
+    /// Write a Prometheus text-exposition metrics snapshot to this
+    /// file.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for Args {
@@ -55,6 +60,8 @@ impl Default for Args {
             arms: ArmSet::Paper,
             measured: false,
             json: None,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -64,7 +71,8 @@ impl Args {
     ///
     /// Supported flags: `--net mnist|cifar-small|cifar-large`,
     /// `--paper-scale`, `--trials N`, `--seed N`,
-    /// `--arms paper|encrypted|all`, `--measured`, `--json FILE`.
+    /// `--arms paper|encrypted|all`, `--measured`, `--json FILE`,
+    /// `--trace-out FILE`, `--metrics-out FILE`.
     ///
     /// # Errors
     ///
@@ -86,6 +94,12 @@ impl Args {
                 }
                 "--paper-scale" => out.scale = Scale::Paper,
                 "--json" => out.json = Some(iter.next().ok_or("--json needs a value")?),
+                "--trace-out" => {
+                    out.trace_out = Some(iter.next().ok_or("--trace-out needs a value")?)
+                }
+                "--metrics-out" => {
+                    out.metrics_out = Some(iter.next().ok_or("--metrics-out needs a value")?)
+                }
                 "--measured" => out.measured = true,
                 "--trials" => {
                     let v = iter.next().ok_or("--trials needs a value")?;
@@ -117,7 +131,7 @@ impl Args {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--net mnist|cifar-small|cifar-large] [--paper-scale] [--trials N] [--seed N] [--arms paper|encrypted|all] [--measured] [--json FILE]"
+                    "usage: [--net mnist|cifar-small|cifar-large] [--paper-scale] [--trials N] [--seed N] [--arms paper|encrypted|all] [--measured] [--json FILE] [--trace-out FILE] [--metrics-out FILE]"
                 );
                 std::process::exit(2);
             }
@@ -184,6 +198,15 @@ mod tests {
             Some("out.json")
         );
         assert!(parse(&["--json"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let a = parse(&["--trace-out", "t.jsonl", "--metrics-out", "m.prom"]).unwrap();
+        assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.metrics_out.as_deref(), Some("m.prom"));
+        assert!(parse(&["--trace-out"]).is_err());
+        assert!(parse(&["--metrics-out"]).is_err());
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! The run is deterministic under `--seed`: re-running prints the same
 //! digest and availability bit-for-bit.
 
-use milr_bench::fleet::run_fleet_measured;
+use milr_bench::fleet::run_fleet_measured_observed;
 use milr_bench::json::{write_summary, JsonObject};
+use milr_bench::obs::ObsOutputs;
 use milr_core::MilrConfig;
 use milr_fleet::FleetConfig;
 use milr_serve::QuarantinePolicy;
@@ -27,6 +28,8 @@ struct Cli {
     fleet: FleetConfig,
     json: Option<String>,
     model_seed: u64,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -38,6 +41,8 @@ fn parse_cli() -> Result<Cli, String> {
     };
     let mut json = None;
     let mut model_seed = 42u64;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
@@ -93,6 +98,8 @@ fn parse_cli() -> Result<Cli, String> {
                     other => return Err(format!("unknown policy {other}")),
                 }
             }
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
             "--json" => json = Some(value("--json")?),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -101,6 +108,8 @@ fn parse_cli() -> Result<Cli, String> {
         fleet,
         json,
         model_seed,
+        trace_out,
+        metrics_out,
     })
 }
 
@@ -112,14 +121,20 @@ fn main() {
             eprintln!(
                 "usage: [--replicas N] [--requests N] [--seed N] [--model-seed N] [--workers N] \
                  [--faults N] [--heavy-faults N] [--substrate plain|secded|xts|xts+secded] \
-                 [--policy drain|reject] [--json FILE]"
+                 [--policy drain|reject] [--trace-out FILE] [--metrics-out FILE] [--json FILE]"
             );
             std::process::exit(2);
         }
     };
     let net = milr_models::reduced_mnist(cli.model_seed);
-    let (result, cmp, storage) = run_fleet_measured(&net.model, MilrConfig::default(), &cli.fleet)
-        .expect("fleet simulation cannot fail structurally");
+    let obs_out = ObsOutputs::from_flags(cli.trace_out.clone(), cli.metrics_out.clone());
+    let (result, cmp, storage) = run_fleet_measured_observed(
+        &net.model,
+        MilrConfig::default(),
+        &cli.fleet,
+        &obs_out.observer(),
+    )
+    .expect("fleet simulation cannot fail structurally");
     let r = &result.report;
 
     println!("# fleet_load — replicated serving with peer repair [reduced MNIST twin]");
@@ -187,6 +202,7 @@ fn main() {
     );
     println!("digest:   {:#x} (seed-reproducible)", r.fleet.digest);
 
+    obs_out.flush();
     let json = JsonObject::new()
         .raw("fleet", &r.to_json())
         .raw("comparison", &cmp.to_json())

@@ -24,7 +24,8 @@
 
 use milr_bench::json::{write_summary, JsonObject};
 use milr_bench::live::{run_live, LiveConfig};
-use milr_bench::serve::run_measured;
+use milr_bench::obs::ObsOutputs;
+use milr_bench::serve::run_measured_observed;
 use milr_core::MilrConfig;
 use milr_serve::sim::SimConfig;
 use milr_serve::{QuarantinePolicy, ReadPath};
@@ -39,6 +40,8 @@ struct Cli {
     substrate: SubstrateKind,
     fault_every_ms: u64,
     check_p99_against: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -49,6 +52,8 @@ fn parse_cli() -> Result<Cli, String> {
     let mut substrate = SubstrateKind::XtsSecded;
     let mut fault_every_ms = 40u64;
     let mut check_p99_against = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
@@ -118,6 +123,8 @@ fn parse_cli() -> Result<Cli, String> {
                     .map_err(|e| format!("bad --fault-every-ms: {e}"))?
             }
             "--check-p99-against" => check_p99_against = Some(value("--check-p99-against")?),
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
             "--json" => json = Some(value("--json")?),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -130,6 +137,8 @@ fn parse_cli() -> Result<Cli, String> {
         substrate,
         fault_every_ms,
         check_p99_against,
+        trace_out,
+        metrics_out,
     })
 }
 
@@ -179,7 +188,8 @@ fn main() {
                 "usage: [--requests N] [--seed N] [--model-seed N] [--workers N] [--faults N] \
                  [--batch-max N] [--batch-wait-us N] [--scrub-interval-us N] \
                  [--policy drain|reject] [--live] [--substrate plain|secded|xts|xts-secded] \
-                 [--fault-every-ms N] [--check-p99-against FILE] [--json FILE]"
+                 [--fault-every-ms N] [--check-p99-against FILE] [--trace-out FILE] \
+                 [--metrics-out FILE] [--json FILE]"
             );
             std::process::exit(2);
         }
@@ -189,8 +199,14 @@ fn main() {
         run_live_comparison(&cli, &net.model);
         return;
     }
-    let (result, cmp, storage) = run_measured(&net.model, MilrConfig::default(), &cli.sim)
-        .expect("serving simulation cannot fail structurally");
+    let obs_out = ObsOutputs::from_flags(cli.trace_out.clone(), cli.metrics_out.clone());
+    let (result, cmp, storage) = run_measured_observed(
+        &net.model,
+        MilrConfig::default(),
+        &cli.sim,
+        &obs_out.observer(),
+    )
+    .expect("serving simulation cannot fail structurally");
     let r = &result.report;
 
     println!("# serve_load — online serving with live fault scrubbing [reduced MNIST twin]");
@@ -233,6 +249,7 @@ fn main() {
     );
     println!("digest:   {:#x} (seed-reproducible)", r.digest);
 
+    obs_out.flush();
     let json = JsonObject::new()
         .raw("report", &r.to_json())
         .raw("comparison", &cmp.to_json())
@@ -247,6 +264,9 @@ fn main() {
 /// The `--live` mode: one wall-clock campaign per read path, same seed
 /// and hardware, reporting the fused-over-legacy sustained-QPS speedup.
 fn run_live_comparison(cli: &Cli, model: &milr_nn::Sequential) {
+    // The live server keeps its own metrics registry (snapshotted at
+    // shutdown), so only the trace rides through ObsOutputs here.
+    let obs_out = ObsOutputs::from_flags(cli.trace_out.clone(), None);
     let live_cfg = LiveConfig {
         requests: cli.sim.requests,
         seed: cli.sim.seed,
@@ -278,7 +298,13 @@ fn run_live_comparison(cli: &Cli, model: &milr_nn::Sequential) {
         &live_cfg,
     )
     .expect("live server cannot fail structurally");
-    let fused = run_live(model, MilrConfig::default(), ReadPath::Fused, &live_cfg)
+    // Only the fused (headline) run is traced: the comparison trace
+    // would interleave two servers' wall clocks in one stream.
+    let fused_cfg = LiveConfig {
+        trace: obs_out.observer().trace,
+        ..live_cfg
+    };
+    let fused = run_live(model, MilrConfig::default(), ReadPath::Fused, &fused_cfg)
         .expect("live server cannot fail structurally");
     for (name, out) in [("legacy", &legacy), ("fused", &fused)] {
         println!(
@@ -295,6 +321,14 @@ fn run_live_comparison(cli: &Cli, model: &milr_nn::Sequential) {
     }
     let speedup = fused.qps / legacy.qps.max(f64::MIN_POSITIVE);
     println!("speedup: fused is {speedup:.2}x legacy sustained QPS");
+    obs_out.flush();
+    if let Some(path) = &cli.metrics_out {
+        if let Err(e) = std::fs::write(path, fused.metrics.to_prometheus()) {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("metrics:  {path} (fused run)");
+    }
     let json = JsonObject::new()
         .raw("legacy", &legacy.to_json())
         .raw("fused", &fused.to_json())

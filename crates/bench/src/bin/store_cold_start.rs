@@ -21,14 +21,17 @@
 //!   weights/second.
 
 use milr_bench::json::{array, write_summary, JsonObject};
+use milr_bench::obs::ObsOutputs;
 use milr_bench::{prepare, Args};
-use milr_serve::cold_start;
+use milr_serve::cold_start_observed;
 use milr_store::{ContainerFootprint, Store, StoreOptions};
 use milr_substrate::SubstrateKind;
 use std::time::Instant;
 
 fn main() {
     let args = Args::from_env();
+    let obs_out = ObsOutputs::from_flags(args.trace_out.clone(), args.metrics_out.clone());
+    let obs = obs_out.observer();
     let prep = prepare(args.net, args.scale, args.seed);
     let params = prep.model.param_count();
     println!(
@@ -72,7 +75,7 @@ fn main() {
         // Clean cold start: scrub + full detection, no healing.
         let mut store = Store::open(&path).expect("open store");
         let t = Instant::now();
-        let (_, _, report) = cold_start(&mut store, 64).expect("clean cold start");
+        let (_, _, report) = cold_start_observed(&mut store, 64, &obs).expect("clean cold start");
         let cold_clean_ms = t.elapsed().as_secs_f64() * 1e3;
         assert!(report.was_clean(), "{kind}: fresh store must be clean");
         drop(store);
@@ -91,7 +94,7 @@ fn main() {
         }
         let mut store = Store::open(&path).expect("open store");
         let t = Instant::now();
-        let (_, _, report) = cold_start(&mut store, 64).expect("faulty cold start");
+        let (_, _, report) = cold_start_observed(&mut store, 64, &obs).expect("faulty cold start");
         let cold_faulty_ms = t.elapsed().as_secs_f64() * 1e3;
         assert!(
             !report.was_clean(),
@@ -101,6 +104,13 @@ fn main() {
         drop(store);
         let _ = std::fs::remove_file(&path);
 
+        if let Some(m) = obs_out.metrics() {
+            m.histogram("store_cold_clean_ns")
+                .record((cold_clean_ms * 1e6) as u64);
+            m.histogram("store_cold_faulty_ns")
+                .record((cold_faulty_ms * 1e6) as u64);
+            m.counter("store_cold_starts_total").add(2);
+        }
         let scrub_mw_s = params as f64 / (cold_clean_ms / 1e3) / 1e6;
         println!(
             "{:>12} {:>12.1} {:>9.2} {:>9.2} {:>15.2} {:>15.2} {:>10.2}",
@@ -127,6 +137,7 @@ fn main() {
         );
     }
 
+    obs_out.flush();
     let storage = prep.milr.storage_report(&prep.model);
     let json = JsonObject::new()
         .string("net", &prep.label)

@@ -18,8 +18,9 @@
 
 use crate::json::JsonObject;
 use milr_core::{Milr, MilrConfig, StorageReport};
-use milr_fleet::sim::{simulate, FleetConfig, FleetSimResult};
+use milr_fleet::sim::{simulate_observed, FleetConfig, FleetSimResult};
 use milr_nn::Sequential;
+use milr_obs::Observer;
 
 /// Modeled-vs-measured availability for one simulated fleet run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,10 +84,26 @@ pub fn run_fleet_measured(
     milr_config: MilrConfig,
     fleet_config: &FleetConfig,
 ) -> Result<(FleetSimResult, FleetComparison, StorageReport), milr_fleet::FleetError> {
+    run_fleet_measured_observed(model, milr_config, fleet_config, &Observer::default())
+}
+
+/// [`run_fleet_measured`] with an [`Observer`] threaded through the
+/// fleet simulation: per-replica events carry the replica index as
+/// their trace source. The observer never changes the run.
+///
+/// # Errors
+///
+/// As [`run_fleet_measured`].
+pub fn run_fleet_measured_observed(
+    model: &Sequential,
+    milr_config: MilrConfig,
+    fleet_config: &FleetConfig,
+    obs: &Observer,
+) -> Result<(FleetSimResult, FleetComparison, StorageReport), milr_fleet::FleetError> {
     let milr = Milr::protect(model, milr_config)?;
     let storage = milr.storage_report(model);
     let checkable = milr.checkable_layers().len();
-    let result = simulate(model, milr_config, fleet_config)?;
+    let result = simulate_observed(model, milr_config, fleet_config, obs)?;
     let td_s = fleet_config.costs.full_detect_ns(checkable) as f64 / 1e9;
     let tr_s = fleet_config.costs.recover_ns as f64 / 1e9;
     let ticks_per_cycle = checkable.div_ceil(fleet_config.layers_per_tick);

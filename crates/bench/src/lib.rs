@@ -21,6 +21,7 @@ pub mod fleet;
 pub mod json;
 pub mod live;
 pub mod nets;
+pub mod obs;
 pub mod serve;
 pub mod stats;
 

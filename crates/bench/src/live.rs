@@ -43,6 +43,9 @@ pub struct LiveConfig {
     /// request eventually certifies even when a scrub cycle is slower
     /// than the fault cadence (debug builds, starved boxes).
     pub max_faults: Option<usize>,
+    /// Optional structured trace sink handed to the server. Live
+    /// events stamp wall time since server start.
+    pub trace: Option<milr_obs::TraceHandle>,
 }
 
 impl Default for LiveConfig {
@@ -57,6 +60,7 @@ impl Default for LiveConfig {
             substrate: SubstrateKind::XtsSecded,
             fault_every: Some(Duration::from_millis(40)),
             max_faults: None,
+            trace: None,
         }
     }
 }
@@ -72,6 +76,8 @@ pub struct LiveOutcome {
     pub qps: f64,
     /// Weight faults the campaign injected.
     pub faults_injected: usize,
+    /// The server's metrics snapshot, taken just before shutdown.
+    pub metrics: milr_obs::MetricsSnapshot,
 }
 
 impl LiveOutcome {
@@ -116,6 +122,7 @@ pub fn run_live(
             scrub_interval: cfg.scrub_interval,
             substrate: cfg.substrate,
             read_path,
+            trace: cfg.trace.clone(),
             ..ServerConfig::default()
         },
     )?;
@@ -177,12 +184,14 @@ pub fn run_live(
         let faults = campaign.map(|c| c.join().expect("campaign panicked"));
         (completed, faults.unwrap_or(0), elapsed)
     });
+    let metrics = server.metrics_snapshot();
     let report = server.shutdown();
     Ok(LiveOutcome {
         qps: completed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
         elapsed,
         faults_injected: faults,
         report,
+        metrics,
     })
 }
 

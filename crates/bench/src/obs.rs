@@ -1,0 +1,86 @@
+//! Shared `--trace-out` / `--metrics-out` plumbing for the load
+//! benches: builds an [`Observer`] from the CLI flags and flushes its
+//! outputs — a JSONL event trace and a Prometheus text-exposition
+//! metrics snapshot — to the requested files after the run.
+
+use milr_obs::{MetricsRegistry, Observer, RingRecorder};
+use std::sync::Arc;
+
+/// Events the ring recorder retains (oldest overwritten past this).
+/// Sized for the load benches: a default run emits a few thousand
+/// events, so nothing is dropped unless the workload is scaled far up.
+const TRACE_CAPACITY: usize = 262_144;
+
+/// The observability outputs one bench run was asked to produce.
+#[derive(Debug, Default)]
+pub struct ObsOutputs {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    recorder: Option<Arc<RingRecorder>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl ObsOutputs {
+    /// Builds the outputs from the parsed flag values. With neither
+    /// flag set the observer is inert and the run is exactly the
+    /// unobserved run.
+    pub fn from_flags(trace_out: Option<String>, metrics_out: Option<String>) -> Self {
+        ObsOutputs {
+            recorder: trace_out
+                .as_ref()
+                .map(|_| Arc::new(RingRecorder::new(TRACE_CAPACITY))),
+            metrics: metrics_out
+                .as_ref()
+                .map(|_| Arc::new(MetricsRegistry::new())),
+            trace_out,
+            metrics_out,
+        }
+    }
+
+    /// The observer to thread through the run.
+    pub fn observer(&self) -> Observer {
+        Observer {
+            trace: self
+                .recorder
+                .clone()
+                .map(|r| milr_obs::TraceHandle::new(r as Arc<dyn milr_obs::TraceSink>)),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// The shared metrics registry, when `--metrics-out` was given
+    /// (so a bench can pre-set gauges before flushing).
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Writes the requested files. Exits the process on I/O failure —
+    /// a bench asked to produce an artifact must not silently not.
+    pub fn flush(&self) {
+        if let (Some(path), Some(recorder)) = (&self.trace_out, &self.recorder) {
+            if recorder.dropped() > 0 {
+                eprintln!(
+                    "warning: trace ring overflowed, {} oldest events dropped",
+                    recorder.dropped()
+                );
+            }
+            if let Err(e) = std::fs::write(path, recorder.to_jsonl()) {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("trace:    {} ({} events)", path, recorder.events().len());
+            let episodes = milr_obs::fold_episodes(&recorder.events());
+            if !episodes.is_empty() {
+                println!("forensics ({} episode(s)):", episodes.len());
+                print!("{}", milr_obs::render_timeline(&episodes));
+            }
+        }
+        if let (Some(path), Some(metrics)) = (&self.metrics_out, &self.metrics) {
+            if let Err(e) = std::fs::write(path, metrics.snapshot().to_prometheus()) {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("metrics:  {path}");
+        }
+    }
+}

@@ -15,7 +15,8 @@
 
 use milr_core::{Milr, MilrConfig, StorageReport};
 use milr_nn::Sequential;
-use milr_serve::sim::{simulate, SimConfig, SimResult};
+use milr_obs::Observer;
+use milr_serve::sim::{simulate_observed, SimConfig, SimResult};
 
 /// Modeled-vs-measured availability for one simulated serving run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,10 +77,26 @@ pub fn run_measured(
     milr_config: MilrConfig,
     sim_config: &SimConfig,
 ) -> milr_core::Result<(SimResult, ServeComparison, StorageReport)> {
+    run_measured_observed(model, milr_config, sim_config, &Observer::default())
+}
+
+/// [`run_measured`] with an [`Observer`] threaded through the
+/// simulation: trace events stamp the virtual clock and metrics land
+/// in the observer's registry. The observer never changes the run.
+///
+/// # Errors
+///
+/// As [`run_measured`].
+pub fn run_measured_observed(
+    model: &Sequential,
+    milr_config: MilrConfig,
+    sim_config: &SimConfig,
+    obs: &Observer,
+) -> milr_core::Result<(SimResult, ServeComparison, StorageReport)> {
     let milr = Milr::protect(model, milr_config)?;
     let storage = milr.storage_report(model);
     let checkable = milr.checkable_layers().len();
-    let result = simulate(model, milr_config, sim_config)?;
+    let result = simulate_observed(model, milr_config, sim_config, obs)?;
     let td_s = sim_config.costs.full_detect_ns(checkable) as f64 / 1e9;
     let tr_s = sim_config.costs.recover_ns as f64 / 1e9;
     let ticks_per_cycle = checkable.div_ceil(sim_config.layers_per_tick);

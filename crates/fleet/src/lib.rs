@@ -60,7 +60,7 @@ pub use repair::{peer_repair, PageImage, PeerRepair, RepairStats};
 pub use replica::{Replica, ReplicaState};
 pub use report::{FleetReport, ReplicaReport};
 pub use router::Router;
-pub use sim::{simulate, FleetConfig, FleetSimResult};
+pub use sim::{simulate, simulate_observed, FleetConfig, FleetSimResult};
 // The heal ladder itself lives in the shared integrity engine;
 // re-export the pieces fleet drivers and callers see.
 pub use milr_integrity::{Budget, PipelineReport, RoundOutcome};

@@ -171,6 +171,21 @@ impl Replica {
         self.pipeline.report()
     }
 
+    /// Attaches a structured trace sink to the replica's integrity
+    /// engine; events it emits carry this replica's fleet index as
+    /// their source.
+    pub fn attach_trace(&mut self, trace: milr_obs::TraceHandle) {
+        let src = self.id as u32;
+        self.pipeline.attach_trace(trace, src);
+    }
+
+    /// Sets the driver clock the replica's engine stamps trace events
+    /// with (the fleet sim forwards its virtual clock here before each
+    /// tick/heal call).
+    pub fn set_now(&mut self, ns: u64) {
+        self.pipeline.set_now(ns);
+    }
+
     /// The flag set of the current heal episode's opening detection.
     pub fn last_flagged(&self) -> &[usize] {
         self.pipeline.last_flagged()

@@ -37,6 +37,7 @@ use milr_core::{Milr, MilrConfig, SolvingPlan};
 use milr_fault::FaultRng;
 use milr_integrity::{PipelineReport, RoundOutcome};
 use milr_nn::{Layer, Sequential};
+use milr_obs::{EventKind, Observer};
 use milr_serve::sim::{EventQueue, VirtualCosts};
 use milr_serve::{
     outcome_digest, CertificationLedger, DowntimeLog, LatencyStats, QuarantinePolicy, RejectReason,
@@ -249,6 +250,29 @@ pub fn simulate(
     milr_config: MilrConfig,
     cfg: &FleetConfig,
 ) -> Result<FleetSimResult, FleetError> {
+    simulate_observed(golden, milr_config, cfg, &Observer::default())
+}
+
+/// [`simulate`] with an [`Observer`] attached: trace events are
+/// stamped with the virtual clock (so a fixed seed reproduces the
+/// stream byte-for-byte) and sourced by replica index
+/// ([`milr_obs::FLEET_SRC`] is reserved for future router-level
+/// events). The observer changes nothing about the run: reports and
+/// digests are identical with or without it.
+///
+/// # Errors
+///
+/// As [`simulate`].
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_observed(
+    golden: &Sequential,
+    milr_config: MilrConfig,
+    cfg: &FleetConfig,
+    obs: &Observer,
+) -> Result<FleetSimResult, FleetError> {
     assert!(cfg.replicas > 0, "need at least one replica");
     assert!(cfg.workers_per_replica > 0, "need at least one worker");
     assert!(cfg.queue_capacity > 0, "need a non-empty queue");
@@ -286,7 +310,10 @@ pub fn simulate(
             },
         )?;
         // Cold → Serving through the full scrub-on-load admission path.
-        let (replica, _) = Replica::cold_start(r, &path, cfg.cache_pages)?;
+        let (mut replica, _) = Replica::cold_start(r, &path, cfg.cache_pages)?;
+        if let Some(trace) = &obs.trace {
+            replica.attach_trace(trace.clone());
+        }
         store_paths.push(path);
         reps.push(Rep {
             replica,
@@ -408,6 +435,26 @@ pub fn simulate(
     let mut fleet_completed = 0usize;
     let mut fleet_latencies: Vec<u64> = Vec::new();
 
+    // Pre-registered observability handles: recording below is atomic
+    // ops on these, never a registry lookup inside the event loop.
+    let m = obs.metrics.as_deref();
+    let lat_hist = m.map(|m| m.histogram("serve_latency_ns"));
+    let wait_hist = m.map(|m| m.histogram("serve_batch_wait_ns"));
+    let occ_hist = m.map(|m| m.histogram("serve_batch_occupancy"));
+    let queue_gauge = m.map(|m| m.gauge("serve_queue_depth"));
+    let faults_ctr = m.map(|m| m.counter("serve_faults_injected_total"));
+    let quarantine_ctr = m.map(|m| m.counter("serve_quarantines_total"));
+    let failover_ctr = m.map(|m| m.counter("fleet_failovers_total"));
+    let repair_ctr = m.map(|m| m.counter("fleet_peer_repairs_total"));
+
+    macro_rules! emit {
+        ($src:expr, $kind:expr) => {
+            if let Some(trace) = &obs.trace {
+                trace.emit(clock, $src, $kind);
+            }
+        };
+    }
+
     macro_rules! resolve {
         ($idx:expr, $status:expr, $by:expr) => {{
             let idx: usize = $idx;
@@ -419,6 +466,9 @@ pub fn simulate(
                     fleet_completed += 1;
                     let lat = clock.saturating_sub(reqs[idx].arrival);
                     fleet_latencies.push(lat);
+                    if let Some(h) = &lat_hist {
+                        h.record(lat);
+                    }
                     if let Some(r) = by {
                         reps[r].completed += 1;
                         reps[r].latencies.push(lat);
@@ -476,6 +526,23 @@ pub fn simulate(
                 if n == cfg.batch_max {
                     reps[r].full_batches += 1;
                 }
+                if let Some(h) = &occ_hist {
+                    h.record(n as u64);
+                }
+                if let Some(h) = &wait_hist {
+                    for &i in &batch_reqs {
+                        h.record(clock.saturating_sub(reqs[i].arrival));
+                    }
+                }
+                emit!(
+                    r as u32,
+                    EventKind::BatchDispatched {
+                        occupancy: n as u32
+                    }
+                );
+                if let Some(g) = &queue_gauge {
+                    g.set(queue.len() as i64);
+                }
                 reps[r].workers[worker] = Some(Batch {
                     reqs: batch_reqs,
                     outputs,
@@ -498,6 +565,9 @@ pub fn simulate(
             for idx in ids.into_iter().rev() {
                 queue.push_front(idx);
             }
+            if let Some(g) = &queue_gauge {
+                g.set(queue.len() as i64);
+            }
         }};
     }
 
@@ -515,6 +585,7 @@ pub fn simulate(
         ($r:expr) => {{
             let r: usize = $r;
             reps[r].replica.set_state(ReplicaState::Serving);
+            emit!(r as u32, EventKind::Quarantine { entered: false });
             reps[r].downtime.close_at(clock);
             update_fleet_gate!();
             reps[r].cursor.reset();
@@ -547,6 +618,9 @@ pub fn simulate(
                     resolve!(idx, RequestStatus::Rejected(RejectReason::QueueFull), None);
                 } else {
                     queue.push_back(idx);
+                    if let Some(g) = &queue_gauge {
+                        g.set(queue.len() as i64);
+                    }
                     try_dispatch!();
                 }
             }
@@ -579,11 +653,33 @@ pub fn simulate(
                 reps[r].replica.host().corrupt_weight(layer, weight);
                 reps[r].faults_injected += 1;
                 reps[r].last_fault_time = clock;
+                if let Some(c) = &faults_ctr {
+                    c.inc();
+                }
+                emit!(
+                    r as u32,
+                    EventKind::FaultInjected {
+                        layer: layer as u32,
+                        weight: weight as u64,
+                    }
+                );
             }
             Event::HeavyFault { replica: r, layer } => {
                 reps[r].replica.host().corrupt_layer(layer);
                 reps[r].faults_injected += 1;
                 reps[r].last_fault_time = clock;
+                if let Some(c) = &faults_ctr {
+                    c.inc();
+                }
+                // A whole-layer corruption has no single weight index:
+                // `u64::MAX` marks the beyond-capacity campaign.
+                emit!(
+                    r as u32,
+                    EventKind::FaultInjected {
+                        layer: layer as u32,
+                        weight: u64::MAX,
+                    }
+                );
             }
             Event::ScrubTick { replica: r, epoch } => {
                 if epoch != reps[r].epoch || !reps[r].replica.state().is_serving() {
@@ -591,6 +687,7 @@ pub fn simulate(
                 }
                 reps[r].scrub_ticks += 1;
                 let chunk = reps[r].cursor.begin_tick(clock);
+                reps[r].replica.set_now(clock);
                 let tick = reps[r].replica.tick(&chunk)?;
                 let flagged = !tick.detection.is_clean();
                 if let Some(cycle_start) = reps[r].cursor.finish_tick(flagged, clock) {
@@ -609,6 +706,17 @@ pub fn simulate(
                     reps[r].epoch += 1;
                     reps[r].downtime.open_at(clock);
                     update_fleet_gate!();
+                    if let Some(c) = &quarantine_ctr {
+                        c.inc();
+                    }
+                    emit!(r as u32, EventKind::Quarantine { entered: true });
+                    // Router failover: peers keep taking the traffic
+                    // this replica just dropped.
+                    if reps.iter().any(|rep| rep.replica.state().is_serving()) {
+                        if let Some(c) = &failover_ctr {
+                            c.inc();
+                        }
+                    }
                     let voided = reps[r].ledger.invalidate();
                     match cfg.policy {
                         QuarantinePolicy::Drain => {
@@ -652,6 +760,7 @@ pub fn simulate(
                 // are written back and journal-flushed, min-norm /
                 // failed layers escalate to peer repair, and a clean
                 // verify re-protects + re-anchors durably.
+                reps[r].replica.set_now(clock);
                 match reps[r].replica.try_heal()? {
                     RoundOutcome::Clean { .. } => rejoin!(r),
                     RoundOutcome::Escalate { escalated, .. } => {
@@ -728,9 +837,19 @@ pub fn simulate(
                 reps[donor].repairs_donated += 1;
                 reps[r].repair_pages += images.len();
                 reps[r].repair_bytes += images.iter().map(|i| i.bytes.len()).sum::<usize>();
+                emit!(
+                    r as u32,
+                    EventKind::PeerRepair {
+                        donor: donor as u32
+                    }
+                );
+                reps[r].replica.set_now(clock);
                 match apply_repair(&mut reps[r].replica, &images) {
                     Ok(_stats) => {
                         reps[r].peer_repairs += 1;
+                        if let Some(c) = &repair_ctr {
+                            c.inc();
+                        }
                         // apply_repair already re-anchored durably.
                         rejoin!(r);
                     }

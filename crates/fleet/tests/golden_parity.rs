@@ -41,13 +41,18 @@ const FLEET_HEAVY_FLEET: &str = "{\"seed\":990951,\"policy\":\"drain\",\"submitt
 \"availability\":1.000000000,\"latency_mean_us\":20202.411,\"latency_p50_us\":20355.248,\
 \"latency_p95_us\":28576.373,\"latency_max_us\":31472.190,\"digest\":260079948217714707}";
 
-/// Same run, the capacity aggregate — captured at PR 4.
+/// Same run, the capacity aggregate — captured at PR 4, percentiles
+/// re-captured at PR 7 when `ServeReport::aggregate` switched from
+/// count-weighted percentile averaging (wrong for multimodal mixes) to
+/// merging the per-replica latency histograms. Mean, max, digest, and
+/// every count are bit-identical to the PR 4 capture; only p50/p95 moved
+/// (and only within the histogram's ≤3.2% bucket width).
 const FLEET_HEAVY_CAPACITY: &str = "{\"seed\":990951,\"policy\":\"drain\",\"submitted\":118,\
 \"completed\":100,\"rejected\":0,\"reexecuted\":18,\"faults_injected\":3,\
 \"scrub_corrected\":0,\"scrub_ticks\":34,\"quarantines\":2,\"layers_recovered\":2,\
 \"durability_errors\":0,\"total_ns\":60000000,\"downtime_ns\":13666666,\
-\"availability\":0.772222222,\"latency_mean_us\":20202.411,\"latency_p50_us\":20508.728,\
-\"latency_p95_us\":27902.114,\"latency_max_us\":31472.190,\"digest\":14796408015967164088}";
+\"availability\":0.772222222,\"latency_mean_us\":20202.411,\"latency_p50_us\":20447.231,\
+\"latency_p95_us\":28835.839,\"latency_max_us\":31472.190,\"digest\":14796408015967164088}";
 
 /// Same run, the three per-replica digests in replica order.
 const FLEET_HEAVY_REPLICA_DIGESTS: [u64; 3] = [
@@ -135,4 +140,62 @@ fn fleet_sim_heavy_seed_is_byte_identical_to_pre_refactor() {
     // Exact heals were re-anchored durably on the replicas; the peer
     // repair added one more anchor through its re-admission.
     assert_eq!(r.fleet.pipeline.anchors, r.fleet.pipeline.reprotects);
+}
+
+/// Observation must be provably non-perturbing: the same golden-seed
+/// run with a trace recorder *and* a metrics registry attached must
+/// reproduce every report byte and every digest of the unobserved run.
+#[test]
+fn fleet_sim_observed_run_is_byte_identical_to_unobserved() {
+    use milr_obs::{MetricsRegistry, Observer, RingRecorder};
+    use std::sync::Arc;
+
+    let model = milr_models::serving_probe(11);
+    let cfg = FleetConfig {
+        requests: 100,
+        faults: 2,
+        heavy_faults: 1,
+        kind: SubstrateKind::Plain,
+        ..FleetConfig::default()
+    };
+    let recorder = Arc::new(RingRecorder::new(65_536));
+    let metrics = Arc::new(MetricsRegistry::new());
+    let obs = Observer::with_trace(recorder.clone()).and_metrics(metrics.clone());
+    let observed = milr_fleet::simulate_observed(&model, MilrConfig::default(), &cfg, &obs)
+        .expect("seeded fleet simulation is deterministic");
+    let r = &observed.report;
+
+    // Same pre-refactor legacy bytes and digests as the unobserved run.
+    assert_legacy_prefix(&r.fleet, FLEET_HEAVY_FLEET, "observed fleet aggregate");
+    assert_legacy_prefix(
+        &r.capacity,
+        FLEET_HEAVY_CAPACITY,
+        "observed capacity aggregate",
+    );
+    assert_eq!(r.fleet.digest, 260079948217714707);
+    for (rep, &digest) in r.per_replica.iter().zip(&FLEET_HEAVY_REPLICA_DIGESTS) {
+        assert_eq!(
+            rep.report.digest, digest,
+            "observed replica {} digest diverged",
+            rep.replica
+        );
+    }
+
+    // And the observer actually observed: the fault campaign, the
+    // quarantines, and the peer repair all landed in trace + metrics.
+    let jsonl = recorder.to_jsonl();
+    assert!(jsonl.contains("\"event\":\"FaultInjected\""));
+    assert!(jsonl.contains("\"event\":\"Quarantine\""));
+    assert!(jsonl.contains("\"event\":\"PeerRepair\""));
+    assert_eq!(recorder.dropped(), 0, "ring must not overflow at this size");
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.counter_value("serve_faults_injected_total"),
+        Some(r.fleet.faults_injected as u64)
+    );
+    assert_eq!(
+        snap.counter_value("serve_quarantines_total"),
+        Some(r.fleet.quarantines as u64)
+    );
+    assert_eq!(snap.counter_value("fleet_peer_repairs_total"), Some(1));
 }

@@ -41,6 +41,7 @@ use crate::policy::{Anchored, Budget, DurabilityPolicy, EscalationPolicy, Flushe
 use crate::report::PipelineReport;
 use crate::IntegrityError;
 use milr_core::{DetectionReport, Milr};
+use milr_obs::{EventKind, TraceHandle};
 use milr_substrate::ScrubSummary;
 use std::time::Instant;
 
@@ -65,6 +66,23 @@ pub enum Stage {
     Reprotect,
     /// Durably commit the new (weights, artifacts) pair.
     Anchor,
+}
+
+impl Stage {
+    /// The stage's static name, as carried on `StageEntered` trace
+    /// events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Scrub => "Scrub",
+            Stage::Detect => "Detect",
+            Stage::Heal => "Heal",
+            Stage::Classify => "Classify",
+            Stage::Escalate => "Escalate",
+            Stage::Verify => "Verify",
+            Stage::Reprotect => "Reprotect",
+            Stage::Anchor => "Anchor",
+        }
+    }
 }
 
 /// What one tick's Scrub + Detect stages found.
@@ -137,6 +155,15 @@ pub struct IntegrityPipeline {
     /// The flag set of the episode's opening full detection.
     last_flagged: Vec<usize>,
     report: PipelineReport,
+    /// Structured event sink, when a driver attached one.
+    trace: Option<TraceHandle>,
+    /// Source id stamped on emitted events (replica index, or 0).
+    src: u32,
+    /// The driver's clock, in nanoseconds: virtual time in simulators,
+    /// wall time since start in live drivers. Events are stamped with
+    /// this value — the pipeline never reads a clock of its own, which
+    /// is what keeps sim traces seed-reproducible.
+    now: u64,
 }
 
 /// Ascending, deduplicated union of two layer sets.
@@ -162,7 +189,40 @@ impl IntegrityPipeline {
             healed: false,
             last_flagged: Vec::new(),
             report: PipelineReport::default(),
+            trace: None,
+            src: 0,
+            now: 0,
         }
+    }
+
+    /// Attaches a structured trace sink; emitted events carry `src` as
+    /// their source id. Tracing never changes pipeline behaviour or
+    /// its report — attaching a recorder to a seeded simulation leaves
+    /// every golden digest byte-identical.
+    pub fn attach_trace(&mut self, trace: TraceHandle, src: u32) {
+        self.trace = Some(trace);
+        self.src = src;
+    }
+
+    /// Sets the driver clock used to stamp subsequently emitted
+    /// events. Simulators pass their virtual clock before each engine
+    /// call; wall-clock drivers pass elapsed time since start.
+    pub fn set_now(&mut self, ns: u64) {
+        self.now = ns;
+    }
+
+    #[inline]
+    fn emit(&self, kind: EventKind) {
+        if let Some(trace) = &self.trace {
+            trace.emit(self.now, self.src, kind);
+        }
+    }
+
+    #[inline]
+    fn enter(&self, stage: Stage) {
+        self.emit(EventKind::StageEntered {
+            stage: stage.name(),
+        });
     }
 
     /// Enables wall-clock stage timing (live servers, cold starts,
@@ -273,6 +333,7 @@ impl IntegrityPipeline {
         host: &ModelHost,
         durability: &mut dyn DurabilityPolicy,
     ) -> Result<ScrubSummary, IntegrityError> {
+        self.enter(Stage::Scrub);
         let t = self.stamp();
         let summary = host.store().scrub();
         self.lap(t, Stage::Scrub);
@@ -295,16 +356,23 @@ impl IntegrityPipeline {
         chunk: &[usize],
         durability: &mut dyn DurabilityPolicy,
     ) -> Result<TickOutcome, IntegrityError> {
+        self.enter(Stage::Scrub);
         let t = self.stamp();
         let scrub = host.scrub_layers(chunk);
         self.lap(t, Stage::Scrub);
         self.note_scrub(&scrub, host, durability)?;
+        self.enter(Stage::Detect);
         let t = self.stamp();
         let live = host.materialize_layers(chunk);
         let detection = milr.detect_layers(&live, chunk)?;
         self.lap(t, Stage::Detect);
         self.report.chunk_detects += 1;
         self.report.layers_checked += detection.checks.len();
+        for &layer in &detection.flagged {
+            self.emit(EventKind::ScrubFlagged {
+                layer: layer as u32,
+            });
+        }
         Ok(TickOutcome { scrub, detection })
     }
 
@@ -333,6 +401,7 @@ impl IntegrityPipeline {
         durability: &mut dyn DurabilityPolicy,
     ) -> Result<RoundOutcome, IntegrityError> {
         // ---- Detect ----------------------------------------------
+        self.enter(Stage::Detect);
         let t = self.stamp();
         let live = host.materialize();
         let detection = milr.detect(&live)?;
@@ -382,6 +451,7 @@ impl IntegrityPipeline {
         self.report.heal_rounds += 1;
 
         // ---- Heal ------------------------------------------------
+        self.enter(Stage::Heal);
         let t = self.stamp();
         let mut live = match live {
             Some(live) => live,
@@ -389,8 +459,15 @@ impl IntegrityPipeline {
         };
         let recovery = milr.recover_layers(&mut live, &flagged)?;
         self.lap(t, Stage::Heal);
+        for (layer, outcome) in &recovery.outcomes {
+            self.emit(EventKind::HealOutcome {
+                layer: *layer as u32,
+                exact: outcome.is_exact(),
+            });
+        }
 
         // ---- Classify --------------------------------------------
+        self.enter(Stage::Classify);
         let (accepted, escalated): (Vec<usize>, Vec<usize>) = match self.escalation {
             // Never serve an approximation: only bit-exact outcomes
             // are written back, the rest go to a peer.
@@ -418,6 +495,7 @@ impl IntegrityPipeline {
 
         // ---- Escalate --------------------------------------------
         if !escalated.is_empty() {
+            self.enter(Stage::Escalate);
             self.report.layers_escalated += escalated.len();
             self.suspect = union(&self.suspect, &accepted);
             return Ok(RoundOutcome::Escalate {
@@ -428,6 +506,7 @@ impl IntegrityPipeline {
 
         // ---- Verify (fast path) ----------------------------------
         self.suspect = union(&self.suspect, &flagged);
+        self.enter(Stage::Verify);
         let t = self.stamp();
         let live = host.materialize_layers(&self.suspect);
         let verify = milr.detect_layers(&live, &self.suspect)?;
@@ -505,10 +584,12 @@ impl IntegrityPipeline {
         milr: &mut Milr,
         durability: &mut dyn DurabilityPolicy,
     ) -> Result<bool, IntegrityError> {
+        self.enter(Stage::Reprotect);
         let t = self.stamp();
         *milr = Milr::protect(&live, *milr.config())?;
         self.lap(t, Stage::Reprotect);
         self.report.reprotects += 1;
+        self.enter(Stage::Anchor);
         let t = self.stamp();
         let anchored = match durability.anchor(milr, &live, host)? {
             Anchored::Durable => {
@@ -522,6 +603,7 @@ impl IntegrityPipeline {
             }
         };
         self.lap(t, Stage::Anchor);
+        self.emit(EventKind::Reanchor { durable: anchored });
         self.end_episode();
         Ok(anchored)
     }
@@ -544,6 +626,7 @@ impl IntegrityPipeline {
             // passed a *full* detection may become the new baseline —
             // a fault that landed outside the suspect set during this
             // episode must heal now, not get certified forever.
+            self.enter(Stage::Verify);
             let t = self.stamp();
             let detection = milr.detect(&live)?;
             self.lap(t, Stage::Verify);

@@ -1,0 +1,311 @@
+//! Episode forensics: folds a flat trace-event stream into
+//! per-incident timelines.
+//!
+//! An *episode* is one integrity incident on one source: it opens at
+//! the first `FaultInjected` (or at a `ScrubFlagged` that arrives with
+//! no pending fault — latent corruption), accumulates the detection,
+//! heal, quarantine, and escalation events that follow, and closes at
+//! the `Reanchor` that certifies the store again. The fold recovers
+//! the paper's quantities of interest per incident instead of per run:
+//! fault→detect latency, detect→heal latency, exact-vs-approximate
+//! heal mix, and the escalation path taken.
+
+use crate::trace::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+
+/// One folded integrity incident.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Episode {
+    /// Source the episode happened on (replica index, or 0).
+    pub src: u32,
+    /// Driver clock of the first fault, if the fault was observed.
+    pub fault_ns: Option<u64>,
+    /// Layers faulted during the episode.
+    pub fault_layers: Vec<u32>,
+    /// Driver clock when a scrub first flagged the corruption.
+    pub flagged_ns: Option<u64>,
+    /// Layers flagged by scrubs during the episode.
+    pub flagged_layers: Vec<u32>,
+    /// Driver clock of the first heal outcome.
+    pub heal_ns: Option<u64>,
+    /// Bit-exact heals during the episode.
+    pub exact_heals: usize,
+    /// Approximate (escalation-worthy) heals during the episode.
+    pub approx_heals: usize,
+    /// Donors used for peer repair, in order.
+    pub donors: Vec<u32>,
+    /// True if the source entered quarantine during the episode.
+    pub quarantined: bool,
+    /// Driver clock of the closing re-anchor.
+    pub reanchor_ns: Option<u64>,
+    /// Whether the closing re-anchor reached durable storage.
+    pub durable: Option<bool>,
+    /// Pipeline stages entered, in order, with their clock stamps.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+impl Episode {
+    /// Fault→detect latency, when both ends were observed.
+    pub fn detect_latency_ns(&self) -> Option<u64> {
+        Some(self.flagged_ns?.saturating_sub(self.fault_ns?))
+    }
+
+    /// Detect→heal latency, when both ends were observed.
+    pub fn heal_latency_ns(&self) -> Option<u64> {
+        Some(self.heal_ns?.saturating_sub(self.flagged_ns?))
+    }
+
+    /// Fault→certify (re-anchor) latency, when both ends were observed.
+    pub fn certify_latency_ns(&self) -> Option<u64> {
+        Some(self.reanchor_ns?.saturating_sub(self.fault_ns?))
+    }
+
+    /// The escalation path taken, e.g. `"heal"`, `"heal→peer-repair"`,
+    /// `"heal→quarantine→peer-repair"`.
+    pub fn escalation_path(&self) -> String {
+        let mut path = vec!["heal"];
+        if self.quarantined {
+            path.push("quarantine");
+        }
+        if !self.donors.is_empty() {
+            path.push("peer-repair");
+        }
+        path.join("→")
+    }
+}
+
+/// Folds a trace-event stream (any interleaving of sources) into the
+/// episodes it contains, in order of episode opening. Events that do
+/// not belong to an incident (`BatchDispatched`, stage entries of
+/// clean scrub cycles) are ignored.
+pub fn fold_episodes(events: &[TraceEvent]) -> Vec<Episode> {
+    let mut open: BTreeMap<u32, (usize, Episode)> = BTreeMap::new();
+    let mut done: Vec<(usize, Episode)> = Vec::new();
+    for (order, ev) in events.iter().enumerate() {
+        match ev.kind {
+            EventKind::FaultInjected { layer, .. } => {
+                let (_, ep) = open.entry(ev.src).or_insert_with(|| {
+                    let ep = Episode {
+                        src: ev.src,
+                        ..Episode::default()
+                    };
+                    (order, ep)
+                });
+                if ep.fault_ns.is_none() {
+                    ep.fault_ns = Some(ev.ns);
+                }
+                ep.fault_layers.push(layer);
+            }
+            EventKind::ScrubFlagged { layer } => {
+                let (_, ep) = open.entry(ev.src).or_insert_with(|| {
+                    let ep = Episode {
+                        src: ev.src,
+                        ..Episode::default()
+                    };
+                    (order, ep)
+                });
+                if ep.flagged_ns.is_none() {
+                    ep.flagged_ns = Some(ev.ns);
+                }
+                ep.flagged_layers.push(layer);
+            }
+            EventKind::StageEntered { stage } => {
+                if let Some((_, ep)) = open.get_mut(&ev.src) {
+                    ep.stages.push((stage, ev.ns));
+                }
+            }
+            EventKind::HealOutcome { exact, .. } => {
+                if let Some((_, ep)) = open.get_mut(&ev.src) {
+                    if ep.heal_ns.is_none() {
+                        ep.heal_ns = Some(ev.ns);
+                    }
+                    if exact {
+                        ep.exact_heals += 1;
+                    } else {
+                        ep.approx_heals += 1;
+                    }
+                }
+            }
+            EventKind::Quarantine { entered } => {
+                if let Some((_, ep)) = open.get_mut(&ev.src) {
+                    if entered {
+                        ep.quarantined = true;
+                    }
+                }
+            }
+            EventKind::PeerRepair { donor } => {
+                if let Some((_, ep)) = open.get_mut(&ev.src) {
+                    ep.donors.push(donor);
+                }
+            }
+            EventKind::Reanchor { durable } => {
+                if let Some((opened, mut ep)) = open.remove(&ev.src) {
+                    ep.reanchor_ns = Some(ev.ns);
+                    ep.durable = Some(durable);
+                    done.push((opened, ep));
+                }
+            }
+            EventKind::BatchDispatched { .. } => {}
+        }
+    }
+    // Unclosed episodes (run ended mid-incident) still count.
+    done.extend(open.into_values());
+    done.sort_by_key(|(opened, _)| *opened);
+    done.into_iter().map(|(_, ep)| ep).collect()
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders episodes as a human-readable forensics timeline, one line
+/// per incident plus a stage sub-line when stage stamps were traced.
+pub fn render_timeline(episodes: &[Episode]) -> String {
+    let mut out = String::new();
+    for (i, ep) in episodes.iter().enumerate() {
+        out.push_str(&format!("episode {} (src {}):", i + 1, ep.src));
+        match ep.fault_ns {
+            Some(ns) => out.push_str(&format!(
+                " fault@{:.3}ms layers {:?}",
+                ms(ns),
+                ep.fault_layers
+            )),
+            None => out.push_str(" latent fault"),
+        }
+        if let Some(ns) = ep.flagged_ns {
+            out.push_str(&format!(" -> flagged@{:.3}ms", ms(ns)));
+            if let Some(d) = ep.detect_latency_ns() {
+                out.push_str(&format!(" (+{:.3}ms)", ms(d)));
+            }
+        }
+        if let Some(ns) = ep.heal_ns {
+            let kind = if ep.approx_heals == 0 {
+                "exact"
+            } else {
+                "approx"
+            };
+            out.push_str(&format!(" -> healed@{:.3}ms", ms(ns)));
+            if let Some(d) = ep.heal_latency_ns() {
+                out.push_str(&format!(" (+{:.3}ms, {kind})", ms(d)));
+            } else {
+                out.push_str(&format!(" ({kind})"));
+            }
+        }
+        if let Some(ns) = ep.reanchor_ns {
+            let durable = if ep.durable == Some(true) {
+                "durable"
+            } else {
+                "volatile"
+            };
+            out.push_str(&format!(" -> reanchored@{:.3}ms {durable}", ms(ns)));
+            if let Some(d) = ep.certify_latency_ns() {
+                out.push_str(&format!(" (total {:.3}ms)", ms(d)));
+            }
+        } else {
+            out.push_str(" -> [open at end of trace]");
+        }
+        out.push_str(&format!(" via {}\n", ep.escalation_path()));
+        if !ep.stages.is_empty() {
+            out.push_str("  stages:");
+            for (stage, ns) in &ep.stages {
+                out.push_str(&format!(" {stage}@{:.3}ms", ms(*ns)));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ns: u64, src: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent { ns, src, kind }
+    }
+
+    #[test]
+    fn folds_a_full_incident() {
+        let events = vec![
+            ev(1_000_000, 0, EventKind::BatchDispatched { occupancy: 4 }),
+            ev(
+                2_000_000,
+                0,
+                EventKind::FaultInjected {
+                    layer: 1,
+                    weight: 7,
+                },
+            ),
+            ev(6_000_000, 0, EventKind::ScrubFlagged { layer: 1 }),
+            ev(6_000_000, 0, EventKind::Quarantine { entered: true }),
+            ev(6_000_000, 0, EventKind::StageEntered { stage: "Heal" }),
+            ev(
+                16_000_000,
+                0,
+                EventKind::HealOutcome {
+                    layer: 1,
+                    exact: true,
+                },
+            ),
+            ev(16_500_000, 0, EventKind::Reanchor { durable: false }),
+        ];
+        let eps = fold_episodes(&events);
+        assert_eq!(eps.len(), 1);
+        let ep = &eps[0];
+        assert_eq!(ep.detect_latency_ns(), Some(4_000_000));
+        assert_eq!(ep.heal_latency_ns(), Some(10_000_000));
+        assert_eq!(ep.certify_latency_ns(), Some(14_500_000));
+        assert_eq!(ep.exact_heals, 1);
+        assert!(ep.quarantined);
+        assert_eq!(ep.escalation_path(), "heal→quarantine");
+        assert_eq!(ep.stages, vec![("Heal", 6_000_000)]);
+
+        let timeline = render_timeline(&eps);
+        assert!(timeline.contains("fault@2.000ms"));
+        assert!(timeline.contains("flagged@6.000ms (+4.000ms)"));
+        assert!(timeline.contains("healed@16.000ms (+10.000ms, exact)"));
+        assert!(timeline.contains("via heal→quarantine"));
+    }
+
+    #[test]
+    fn interleaved_sources_fold_independently() {
+        let events = vec![
+            ev(
+                1,
+                0,
+                EventKind::FaultInjected {
+                    layer: 0,
+                    weight: 1,
+                },
+            ),
+            ev(
+                2,
+                1,
+                EventKind::FaultInjected {
+                    layer: 2,
+                    weight: 9,
+                },
+            ),
+            ev(3, 1, EventKind::ScrubFlagged { layer: 2 }),
+            ev(4, 1, EventKind::PeerRepair { donor: 0 }),
+            ev(5, 1, EventKind::Reanchor { durable: true }),
+            ev(6, 0, EventKind::ScrubFlagged { layer: 0 }),
+        ];
+        let eps = fold_episodes(&events);
+        assert_eq!(eps.len(), 2);
+        assert_eq!(eps[0].src, 0, "episodes ordered by opening");
+        assert_eq!(eps[0].reanchor_ns, None, "src 0 episode left open");
+        assert_eq!(eps[1].donors, vec![0]);
+        assert_eq!(eps[1].escalation_path(), "heal→peer-repair");
+        assert!(render_timeline(&eps).contains("[open at end of trace]"));
+    }
+
+    #[test]
+    fn clean_stage_entries_outside_incidents_are_ignored() {
+        let events = vec![
+            ev(1, 0, EventKind::StageEntered { stage: "Scrub" }),
+            ev(2, 0, EventKind::StageEntered { stage: "Detect" }),
+        ];
+        assert!(fold_episodes(&events).is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! Log-bucketed mergeable histograms.
+//!
+//! The bucket layout is HdrHistogram-style: values below [`SUB`] get one
+//! exact bucket each; every octave above that is split into [`SUB`]
+//! sub-buckets, so the relative quantization error is bounded by
+//! `1/SUB ≈ 3.1%` (comfortably inside the 5% budget). Two histograms
+//! recorded on different replicas merge by bucket-wise addition, which
+//! is exactly what count-weighted percentile averaging cannot do:
+//! quantiles of the merged distribution are recovered from the merged
+//! cumulative counts, not averaged from per-replica summaries.
+//!
+//! The sum and max are tracked exactly alongside the buckets, so the
+//! merged mean and max carry no quantization error at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of sub-buckets per octave.
+pub const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (and the number of exact unit buckets).
+pub const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: `SUB` exact buckets plus `SUB` sub-buckets for
+/// each of the `64 - SUB_BITS - 1` octaves a `u64` value can occupy.
+pub const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize - 1) * SUB;
+
+/// Maps a value to its bucket index. Total order preserving: monotone
+/// in `v`, exact below `SUB`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let octave = (msb - SUB_BITS) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) as usize) & (SUB - 1);
+        SUB + octave * SUB + sub
+    }
+}
+
+/// Largest value stored in bucket `idx` — the canonical representative
+/// reported by quantile queries.
+#[inline]
+pub fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let octave = (idx - SUB) / SUB;
+        let sub = ((idx - SUB) % SUB) as u64;
+        let lower = (SUB as u64 + sub) << octave;
+        lower + ((1u64 << octave) - 1)
+    }
+}
+
+/// A plain (single-threaded) mergeable histogram with exact sum and max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile over the merged buckets. Returns the upper
+    /// bound of the bucket holding the ranked sample (exact below
+    /// [`SUB`]), capped at the exactly-tracked max. `q` is clamped to
+    /// `[0, 1]`; returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every bucket (and the exact sum/max) of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates non-empty buckets as `(upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(idx, &n)| (bucket_upper(idx), n))
+    }
+}
+
+/// A lock-free histogram: recording is a handful of `Relaxed` atomic
+/// RMWs on preallocated buckets — no lock, no allocation — so it is
+/// safe to call from the fused clean-path forward.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, AtomicU64::default);
+        AtomicHistogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty atomic histogram with all buckets preallocated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value using only `Relaxed` atomics.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (dst, src) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed) as u128;
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_upper_bound_holds() {
+        let mut prev = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index must be monotone at {v}");
+            assert!(bucket_upper(idx) >= v, "upper bound must cover {v}");
+            assert!(idx < NUM_BUCKETS);
+            prev = idx;
+            v = v * 3 + 7;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_within_five_percent() {
+        let mut v = 1u64;
+        for _ in 0..200_000 {
+            let upper = bucket_upper(bucket_index(v));
+            let err = (upper - v) as f64 / v as f64;
+            assert!(err <= 0.05, "relative error {err} at {v}");
+            v = v.wrapping_mul(31).wrapping_add(17) % (u64::MAX / 2) + 1;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_percentiles() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (1..=10_000).map(|i| i * 97).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = h.quantile(q);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 0.05, "q={q}: approx {approx} vs exact {exact}");
+        }
+        assert_eq!(h.max(), 970_000);
+        assert_eq!(h.quantile(1.0), 970_000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn merge_matches_recording_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..500u64 {
+            let v = i * i + 3;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn atomic_snapshot_equals_plain() {
+        let ah = AtomicHistogram::new();
+        let mut h = Histogram::new();
+        for v in [0, 1, 31, 32, 33, 1000, 123_456_789] {
+            ah.record(v);
+            h.record(v);
+        }
+        assert_eq!(ah.snapshot(), h);
+    }
+}

@@ -1,0 +1,290 @@
+//! The metrics registry: named atomic counters, gauges, and
+//! [`AtomicHistogram`]s, snapshot-exportable as JSON and Prometheus
+//! text exposition format.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a short mutex to
+//! get-or-create the named instrument and hands back an `Arc` handle;
+//! all *recording* through the handle is lock-free atomics, so hot
+//! paths register once up front and never touch the registry lock
+//! again.
+
+use crate::hist::{AtomicHistogram, Histogram};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed atomic gauge (queue depths, in-flight counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via `dec`).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Instruments {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<AtomicHistogram>>,
+}
+
+/// A named-instrument registry. Cheap to share (`Arc<MetricsRegistry>`);
+/// instruments live for the registry's lifetime.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Instruments>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the histogram named `name`. All buckets are
+    /// preallocated here, so recording through the handle never
+    /// allocates.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// A point-in-time copy of every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// An immutable snapshot of a [`MetricsRegistry`], ready to export.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, histogram)` pairs, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of the named counter, if it was registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value of the named gauge, if it was registered.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The named histogram, if it was registered.
+    pub fn histogram_named(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as a single JSON object. Histograms export
+    /// their count, exact sum/max/mean, and the standard quantiles.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\
+                 \"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count(),
+                h.sum(),
+                h.max(),
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    /// Histogram buckets are cumulative over the non-empty buckets,
+    /// closed by the conventional `+Inf` bucket, `_sum`, and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (upper, n) in h.nonzero_buckets() {
+                cumulative += n;
+                out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                h.count(),
+                h.sum(),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_lock_free_after_registration() {
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter("requests_total");
+        let c2 = reg.counter("requests_total");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(reg.counter("requests_total").get(), 3);
+
+        let g = reg.gauge("queue_depth");
+        g.set(5);
+        g.dec();
+        assert_eq!(g.get(), 4);
+
+        let h = reg.histogram("latency_ns");
+        h.record(1000);
+        h.record(2000);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_exports_json_and_prometheus() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total").add(7);
+        reg.counter("a_total").add(3);
+        reg.gauge("depth").set(-2);
+        let h = reg.histogram("lat");
+        h.record(10);
+        h.record(100);
+
+        let snap = reg.snapshot();
+        // BTreeMap ordering: names are sorted.
+        assert_eq!(snap.counters[0].0, "a_total");
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"counters\":{\"a_total\":3,\"b_total\":7}"));
+        assert!(json.contains("\"depth\":-2"));
+        assert!(json.contains("\"lat\":{\"count\":2,\"sum\":110,\"max\":100"));
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE a_total counter\na_total 3\n"));
+        assert!(prom.contains("# TYPE depth gauge\ndepth -2\n"));
+        assert!(prom.contains("# TYPE lat histogram\n"));
+        assert!(prom.contains("lat_bucket{le=\"10\"} 1\n"));
+        assert!(prom.contains("lat_bucket{le=\"+Inf\"} 2\nlat_sum 110\nlat_count 2\n"));
+    }
+}

@@ -54,10 +54,30 @@ pub fn cold_start(
     store: &mut Store,
     cache_pages: usize,
 ) -> Result<(ModelHost, Milr, ColdStartReport), StoreError> {
+    cold_start_observed(store, cache_pages, &milr_obs::Observer::default())
+}
+
+/// [`cold_start`] with an [`milr_obs::Observer`] attached to the boot
+/// pipeline: scrub/detect/heal/re-anchor events land in the trace.
+/// The boot pipeline has no driver clock, so events are stamped 0 —
+/// stream order is event order, which keeps a fixed container's boot
+/// trace byte-reproducible.
+///
+/// # Errors
+///
+/// As [`cold_start`].
+pub fn cold_start_observed(
+    store: &mut Store,
+    cache_pages: usize,
+    obs: &milr_obs::Observer,
+) -> Result<(ModelHost, Milr, ColdStartReport), StoreError> {
     let host = ModelHost::from_parts(store.template().clone(), store.open_substrates(cache_pages));
     let mut milr = store.milr().clone();
     let mut pipeline =
         IntegrityPipeline::new(EscalationPolicy::Fail, Budget::default()).with_wall_timing();
+    if let Some(trace) = &obs.trace {
+        pipeline.attach_trace(trace.clone(), 0);
+    }
     let (scrub, outcome) = {
         let mut durability = Journaled::strict(store);
         let scrub = pipeline.scrub_full(&host, &mut durability)?;

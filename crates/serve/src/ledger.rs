@@ -40,12 +40,22 @@ impl<T> CertificationLedger<T> {
     /// Releases every batch whose finish stamp is `<= watermark` (a
     /// clean cycle started at `watermark` proves them).
     pub fn certify_before(&mut self, watermark: u64) -> Vec<T> {
+        self.certify_before_stamped(watermark)
+            .into_iter()
+            .map(|(_, b)| b)
+            .collect()
+    }
+
+    /// [`certify_before`](CertificationLedger::certify_before), keeping
+    /// each batch's finish stamp — callers measuring certification
+    /// hold time (`now − finish`) read it off the pair.
+    pub fn certify_before_stamped(&mut self, watermark: u64) -> Vec<(u64, T)> {
         let mut out = Vec::new();
         while let Some(&(finish, _)) = self.pending.front() {
             if finish > watermark {
                 break;
             }
-            out.push(self.pending.pop_front().unwrap().1);
+            out.push(self.pending.pop_front().unwrap());
         }
         out
     }

@@ -65,7 +65,7 @@ pub mod sim;
 #[cfg(test)]
 mod testutil;
 
-pub use coldstart::{cold_start, ColdStartReport};
+pub use coldstart::{cold_start, cold_start_observed, ColdStartReport};
 pub use ledger::CertificationLedger;
 // The substrate-backed weight host and the shared integrity engine
 // moved to `milr-integrity` (the serve/store/fleet drivers all ride
@@ -78,4 +78,4 @@ pub use report::{outcome_digest, ServeReport};
 pub use request::{QuarantinePolicy, RejectReason, RequestId, RequestOutcome, RequestStatus};
 pub use scrubber::ScrubCursor;
 pub use server::{ReadPath, ResponseHandle, ServeError, Server, ServerConfig};
-pub use sim::{simulate, SimConfig, SimResult, VirtualCosts};
+pub use sim::{simulate, simulate_observed, SimConfig, SimResult, VirtualCosts};

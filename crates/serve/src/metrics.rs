@@ -1,7 +1,21 @@
 //! Service metrics: latency distributions and downtime accounting.
 
+use milr_obs::Histogram;
+
 /// Latency distribution summary over resolved requests.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// The headline fields (`mean_us` … `max_us`) are computed exactly
+/// from the raw samples by [`LatencyStats::from_ns`] — nearest-rank on
+/// the sorted sample set, so a deterministic run summarizes to
+/// byte-identical JSON. Alongside them the summary carries the
+/// **mergeable** log-bucketed histogram of the same samples: merging
+/// replicas' histograms and reading quantiles off the merged buckets
+/// is the only correct way to aggregate percentiles across replicas
+/// (averaging per-replica percentiles is not —
+/// [`ServeReport::aggregate`](crate::ServeReport::aggregate) uses the
+/// histogram path). The histogram is not exported in report JSON, so
+/// legacy summaries stay byte-identical.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LatencyStats {
     /// Samples summarized.
     pub count: usize,
@@ -16,6 +30,8 @@ pub struct LatencyStats {
     pub p99_us: f64,
     /// Maximum latency, microseconds.
     pub max_us: f64,
+    /// Mergeable log-bucketed histogram of the samples, nanoseconds.
+    pub hist: Histogram,
 }
 
 impl LatencyStats {
@@ -33,6 +49,10 @@ impl LatencyStats {
             sorted[idx] as f64 / 1e3
         };
         let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        let mut hist = Histogram::new();
+        for &v in &sorted {
+            hist.record(v);
+        }
         LatencyStats {
             count: sorted.len(),
             mean_us: sum as f64 / sorted.len() as f64 / 1e3,
@@ -40,6 +60,27 @@ impl LatencyStats {
             p95_us: rank(0.95),
             p99_us: rank(0.99),
             max_us: *sorted.last().unwrap() as f64 / 1e3,
+            hist,
+        }
+    }
+
+    /// Rebuilds a summary from an already-merged histogram — the
+    /// aggregation path. Mean and max are exact (the histogram tracks
+    /// exact sums and maxima); percentiles are read off the merged
+    /// buckets with ≤ ~3.1% quantization error, which is *correct* in
+    /// the way count-weighted percentile averaging is not.
+    pub fn from_histogram(hist: Histogram) -> Self {
+        if hist.is_empty() {
+            return LatencyStats::default();
+        }
+        LatencyStats {
+            count: hist.count() as usize,
+            mean_us: hist.mean() / 1e3,
+            p50_us: hist.quantile(0.50) as f64 / 1e3,
+            p95_us: hist.quantile(0.95) as f64 / 1e3,
+            p99_us: hist.quantile(0.99) as f64 / 1e3,
+            max_us: hist.max() as f64 / 1e3,
+            hist,
         }
     }
 }
@@ -118,5 +159,66 @@ mod tests {
         d.close_at(700);
         assert_eq!(d.windows(), &[(100, 300), (600, 700)]);
         assert_eq!(d.total_ns(1000), 300);
+    }
+
+    #[test]
+    fn close_before_open_is_a_no_op() {
+        let mut d = DowntimeLog::default();
+        d.close_at(500);
+        assert_eq!(d.windows(), &[]);
+        assert_eq!(d.total_ns(1000), 0);
+        assert_eq!(d.availability(1000), 1.0);
+        // A later real window is unaffected by the stray close.
+        d.open_at(600);
+        d.close_at(800);
+        assert_eq!(d.windows(), &[(600, 800)]);
+    }
+
+    #[test]
+    fn open_window_is_truncated_at_end() {
+        let mut d = DowntimeLog::default();
+        d.open_at(900);
+        // The open window counts only up to the queried horizon...
+        assert_eq!(d.total_ns(1000), 100);
+        assert!((d.availability(1000) - 0.9).abs() < 1e-12);
+        // ...and contributes nothing when it opened past the horizon.
+        assert_eq!(d.total_ns(800), 0);
+        assert_eq!(d.availability(800), 1.0);
+    }
+
+    #[test]
+    fn zero_length_windows_cost_nothing() {
+        let mut d = DowntimeLog::default();
+        d.open_at(100);
+        d.close_at(100);
+        assert_eq!(d.windows(), &[(100, 100)]);
+        assert_eq!(d.total_ns(1000), 0);
+        // Close with a clock that went backwards: clamped to the open
+        // stamp, still zero-length.
+        d.open_at(500);
+        d.close_at(400);
+        assert_eq!(d.windows(), &[(100, 100), (500, 500)]);
+        assert_eq!(d.total_ns(1000), 0);
+        assert_eq!(d.availability(1000), 1.0);
+    }
+
+    #[test]
+    fn from_histogram_matches_from_ns_within_bucket_error() {
+        let ns: Vec<u64> = (1..=1000).map(|i| i * 977).collect();
+        let exact = LatencyStats::from_ns(&ns);
+        let merged = LatencyStats::from_histogram(exact.hist.clone());
+        assert_eq!(merged.count, exact.count);
+        assert!(
+            (merged.mean_us - exact.mean_us).abs() < 1e-9,
+            "mean is exact"
+        );
+        assert_eq!(merged.max_us, exact.max_us, "max is exact");
+        for (a, b) in [
+            (merged.p50_us, exact.p50_us),
+            (merged.p95_us, exact.p95_us),
+            (merged.p99_us, exact.p99_us),
+        ] {
+            assert!((a - b).abs() / b <= 0.05, "quantile {a} vs exact {b}");
+        }
     }
 }

@@ -110,11 +110,15 @@ impl ServeReport {
     /// that was serving. This is deliberately not the client-facing
     /// fleet availability (the fleet is only *down* when every replica
     /// is, which needs the overlap of the downtime windows — the fleet
-    /// simulation measures that directly). Latency percentiles are
-    /// merged as count-weighted means of the replicas' percentiles (an
-    /// approximation; the exact fleet distribution is computed from the
-    /// raw samples by the driver that has them), and the digest chains
-    /// the replicas' digests in order.
+    /// simulation measures that directly). Latency is merged by adding
+    /// the replicas' histogram buckets and reading quantiles off the
+    /// merged distribution — mean and max come out exact (the
+    /// histograms carry exact sums and maxima), percentiles carry only
+    /// the ≤ ~3.1% bucket quantization. Averaging per-replica
+    /// percentiles, the old behaviour, is simply wrong on heterogeneous
+    /// replicas: a fast replica's p99 pulls the "merged" p99 below
+    /// values that 5% of fleet traffic exceeds. The digest chains the
+    /// replicas' digests in order.
     ///
     /// # Panics
     ///
@@ -125,17 +129,10 @@ impl ServeReport {
         let downtime_sum: u64 = reports.iter().map(|r| r.downtime_ns).sum();
         let downtime_ns = downtime_sum / reports.len() as u64;
         let capacity_ns = total_ns.saturating_mul(reports.len() as u64);
-        let samples: usize = reports.iter().map(|r| r.latency.count).sum();
-        let weighted = |f: fn(&LatencyStats) -> f64| -> f64 {
-            if samples == 0 {
-                return 0.0;
-            }
-            reports
-                .iter()
-                .map(|r| f(&r.latency) * r.latency.count as f64)
-                .sum::<f64>()
-                / samples as f64
-        };
+        let mut merged = milr_obs::Histogram::new();
+        for r in reports {
+            merged.merge(&r.latency.hist);
+        }
         let batches: usize = reports.iter().map(|r| r.batches).sum();
         // Recover per-replica request totals from occupancy × batches
         // so the merged occupancy is batch-weighted, not replica-mean.
@@ -175,14 +172,7 @@ impl ServeReport {
             } else {
                 1.0 - downtime_sum as f64 / capacity_ns as f64
             },
-            latency: LatencyStats {
-                count: samples,
-                mean_us: weighted(|l| l.mean_us),
-                p50_us: weighted(|l| l.p50_us),
-                p95_us: weighted(|l| l.p95_us),
-                p99_us: weighted(|l| l.p99_us),
-                max_us: reports.iter().map(|r| r.latency.max_us).fold(0.0, f64::max),
-            },
+            latency: LatencyStats::from_histogram(merged),
             batches,
             full_batches: reports.iter().map(|r| r.full_batches).sum(),
             batch_occupancy: if batches == 0 {
@@ -272,7 +262,11 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_sums_counters_and_weights_capacity() {
+    fn aggregate_sums_counters_and_merges_histograms() {
+        // Per-replica summaries come from raw samples, exactly as the
+        // drivers build them.
+        let fast = LatencyStats::from_ns(&[2_000; 8]);
+        let slow = LatencyStats::from_ns(&[4_000; 24]);
         let base = ServeReport {
             seed: 3,
             policy: "drain".into(),
@@ -289,14 +283,7 @@ mod tests {
             total_ns: 1_000,
             downtime_ns: 100,
             availability: 0.9,
-            latency: LatencyStats {
-                count: 8,
-                mean_us: 2.0,
-                p50_us: 2.0,
-                p95_us: 3.0,
-                p99_us: 3.5,
-                max_us: 4.0,
-            },
+            latency: fast,
             batches: 4,
             full_batches: 1,
             batch_occupancy: 2.0,
@@ -311,14 +298,7 @@ mod tests {
             completed: 24,
             total_ns: 2_000,
             downtime_ns: 500,
-            latency: LatencyStats {
-                count: 24,
-                mean_us: 4.0,
-                p50_us: 4.0,
-                p95_us: 6.0,
-                p99_us: 8.0,
-                max_us: 9.0,
-            },
+            latency: slow,
             batches: 6,
             full_batches: 3,
             batch_occupancy: 4.0,
@@ -336,10 +316,10 @@ mod tests {
         assert_eq!(agg.downtime_ns, 300);
         // Capacity availability: 1 − 600 / (2 · 2000).
         assert!((agg.availability - (1.0 - 600.0 / 4000.0)).abs() < 1e-12);
-        // Count-weighted latency merge.
+        // Histogram-merged latency: mean and max are exact.
         assert_eq!(agg.latency.count, 32);
         assert!((agg.latency.mean_us - (2.0 * 8.0 + 4.0 * 24.0) / 32.0).abs() < 1e-12);
-        assert_eq!(agg.latency.max_us, 9.0);
+        assert_eq!(agg.latency.max_us, 4.0);
         // Batch stats: counts sum, occupancy is batch-weighted.
         assert_eq!(agg.batches, 10);
         assert_eq!(agg.full_batches, 4);
@@ -354,6 +334,74 @@ mod tests {
             ServeReport { digest: 11, ..base },
         ]);
         assert_ne!(agg.digest, swapped.digest);
+    }
+
+    #[test]
+    fn merged_percentiles_diverge_from_averaged_on_bimodal_replicas() {
+        // One fast replica (every request ~1 ms) and one slow replica
+        // (every request ~100 ms), equal traffic. Half of all fleet
+        // requests take ~100 ms, so the true fleet p95 *is* ~100 ms.
+        let fast = LatencyStats::from_ns(&[1_000_000; 100]);
+        let slow = LatencyStats::from_ns(&[100_000_000; 100]);
+        let template = ServeReport {
+            seed: 0,
+            policy: "drain".into(),
+            submitted: 100,
+            completed: 100,
+            rejected: 0,
+            reexecuted: 0,
+            faults_injected: 0,
+            scrub_corrected: 0,
+            scrub_ticks: 0,
+            quarantines: 0,
+            layers_recovered: 0,
+            durability_errors: 0,
+            total_ns: 1_000,
+            downtime_ns: 0,
+            availability: 1.0,
+            latency: fast.clone(),
+            batches: 0,
+            full_batches: 0,
+            batch_occupancy: 0.0,
+            digest: 1,
+            pipeline: PipelineReport::default(),
+        };
+        let replicas = [
+            template.clone(),
+            ServeReport {
+                latency: slow.clone(),
+                digest: 2,
+                ..template
+            },
+        ];
+        // What count-weighted averaging (the replaced behaviour) would
+        // have claimed: the mean of the two p95s.
+        let averaged_p95 = (fast.p95_us * 100.0 + slow.p95_us * 100.0) / 200.0;
+        assert!((averaged_p95 - 50_500.0).abs() < 1.0);
+
+        // The exact fleet p95 from the concatenated raw samples.
+        let mut all = vec![1_000_000u64; 100];
+        all.extend_from_slice(&[100_000_000; 100]);
+        let exact = LatencyStats::from_ns(&all);
+        assert!((exact.p95_us - 100_000.0).abs() < 1e-9);
+
+        // The histogram merge lands within bucket error of the truth...
+        let agg = ServeReport::aggregate(&replicas);
+        let err = (agg.latency.p95_us - exact.p95_us).abs() / exact.p95_us;
+        assert!(
+            err <= 0.05,
+            "merged p95 {} vs exact {}",
+            agg.latency.p95_us,
+            exact.p95_us
+        );
+        // ...while the averaged summary was off by a factor of ~2.
+        assert!(
+            (averaged_p95 - exact.p95_us).abs() / exact.p95_us > 0.4,
+            "averaging should diverge wildly on bimodal replicas"
+        );
+        // p99 likewise comes from merged buckets.
+        let p99_err = (agg.latency.p99_us - exact.p99_us).abs() / exact.p99_us;
+        assert!(p99_err <= 0.05);
     }
 
     #[test]

@@ -22,6 +22,9 @@ use milr_integrity::{
     RoundOutcome, TickOutcome, Volatile,
 };
 use milr_nn::Sequential;
+use milr_obs::{
+    AtomicHistogram, Counter, EventKind, Gauge, MetricsRegistry, MetricsSnapshot, TraceHandle,
+};
 use milr_substrate::{SubstrateKind, WeightSubstrate};
 use milr_tensor::Tensor;
 use std::collections::VecDeque;
@@ -70,6 +73,10 @@ pub struct ServerConfig {
     pub substrate: SubstrateKind,
     /// Decode path used by workers.
     pub read_path: ReadPath,
+    /// Optional structured trace sink. Live-server events are stamped
+    /// with wall time since server start (the sim stamps virtual time
+    /// instead — same event schema, different clock domain).
+    pub trace: Option<TraceHandle>,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +91,7 @@ impl Default for ServerConfig {
             policy: QuarantinePolicy::Drain,
             substrate: SubstrateKind::Plain,
             read_path: ReadPath::Fused,
+            trace: None,
         }
     }
 }
@@ -173,6 +181,33 @@ struct Inner {
     batched_requests: usize,
 }
 
+/// Pre-registered metrics handles: all recording below is lock-free
+/// atomics on preallocated storage, so the fused clean path never
+/// takes a lock or allocates for observability.
+struct ServerObs {
+    latency: Arc<AtomicHistogram>,
+    batch_wait: Arc<AtomicHistogram>,
+    occupancy: Arc<AtomicHistogram>,
+    ledger_hold: Arc<AtomicHistogram>,
+    queue_depth: Arc<Gauge>,
+    faults: Arc<Counter>,
+    quarantines: Arc<Counter>,
+}
+
+impl ServerObs {
+    fn register(metrics: &MetricsRegistry) -> Self {
+        ServerObs {
+            latency: metrics.histogram("serve_latency_ns"),
+            batch_wait: metrics.histogram("serve_batch_wait_ns"),
+            occupancy: metrics.histogram("serve_batch_occupancy"),
+            ledger_hold: metrics.histogram("serve_ledger_hold_ns"),
+            queue_depth: metrics.gauge("serve_queue_depth"),
+            faults: metrics.counter("serve_faults_injected_total"),
+            quarantines: metrics.counter("serve_quarantines_total"),
+        }
+    }
+}
+
 struct Shared {
     host: ModelHost,
     /// The protection instance. Mutable because recovery re-anchors it
@@ -190,6 +225,8 @@ struct Shared {
     inner: Mutex<Inner>,
     work_cv: Condvar,
     stop: AtomicBool,
+    metrics: Arc<MetricsRegistry>,
+    obs: ServerObs,
 }
 
 impl Shared {
@@ -197,11 +234,20 @@ impl Shared {
         self.start.elapsed().as_nanos() as u64
     }
 
-    fn resolve(inner: &mut Inner, now: u64, req: PendingRequest, status: RequestStatus) {
+    #[inline]
+    fn emit(&self, now: u64, kind: EventKind) {
+        if let Some(trace) = &self.config.trace {
+            trace.emit(now, 0, kind);
+        }
+    }
+
+    fn resolve(&self, inner: &mut Inner, now: u64, req: PendingRequest, status: RequestStatus) {
         match &status {
             RequestStatus::Completed(out) => {
                 inner.completed += 1;
-                inner.latencies.push(now.saturating_sub(req.arrival_ns));
+                let latency = now.saturating_sub(req.arrival_ns);
+                self.obs.latency.record(latency);
+                inner.latencies.push(latency);
                 let _ = req.tx.send(Ok(out.clone()));
             }
             RequestStatus::Rejected(reason) => {
@@ -287,9 +333,14 @@ impl Server {
         // The Reprotect gate is mandatory here: faults can land
         // concurrently with recovery, so only a snapshot that passed a
         // full detection may become the new protection baseline.
-        let pipeline = IntegrityPipeline::new(EscalationPolicy::Quarantine, Budget::default())
+        let mut pipeline = IntegrityPipeline::new(EscalationPolicy::Quarantine, Budget::default())
             .with_wall_timing()
             .with_reprotect_gate();
+        if let Some(trace) = &config.trace {
+            pipeline.attach_trace(trace.clone(), 0);
+        }
+        let metrics = Arc::new(MetricsRegistry::new());
+        let obs = ServerObs::register(&metrics);
         let shared = Arc::new(Shared {
             host,
             milr: Mutex::new(milr),
@@ -321,6 +372,8 @@ impl Server {
             }),
             work_cv: Condvar::new(),
             stop: AtomicBool::new(false),
+            metrics,
+            obs,
         });
         let workers = (0..shared.config.workers)
             .map(|_| {
@@ -367,7 +420,7 @@ impl Server {
                 arrival_ns: now,
                 tx,
             };
-            Shared::resolve(
+            self.shared.resolve(
                 &mut inner,
                 now,
                 req,
@@ -382,7 +435,7 @@ impl Server {
                 arrival_ns: now,
                 tx,
             };
-            Shared::resolve(
+            self.shared.resolve(
                 &mut inner,
                 now,
                 req,
@@ -396,6 +449,7 @@ impl Server {
             arrival_ns: now,
             tx,
         });
+        self.shared.obs.queue_depth.set(inner.queue.len() as i64);
         drop(inner);
         self.shared.work_cv.notify_one();
         Ok(ResponseHandle { id, rx })
@@ -415,6 +469,26 @@ impl Server {
             .lock()
             .expect("lock poisoned")
             .faults_injected += 1;
+        self.shared.obs.faults.inc();
+        self.shared.emit(
+            self.shared.now_ns(),
+            EventKind::FaultInjected {
+                layer: layer as u32,
+                weight: weight as u64,
+            },
+        );
+    }
+
+    /// A point-in-time snapshot of the server's metrics registry —
+    /// latency/batch histograms, queue-depth gauge, fault and
+    /// quarantine counters. Exportable as JSON or Prometheus text via
+    /// [`MetricsSnapshot`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .gauge("substrate_epoch_total")
+            .set(self.shared.host.store().epoch_total() as i64);
+        self.shared.metrics.snapshot()
     }
 
     /// True while a quarantine is in progress.
@@ -456,13 +530,14 @@ impl Server {
         if clean {
             for batch in inner.ledger.certify_before(now) {
                 for (req, out) in batch.requests.into_iter().zip(batch.outputs) {
-                    Shared::resolve(&mut inner, now, req, RequestStatus::Completed(out));
+                    self.shared
+                        .resolve(&mut inner, now, req, RequestStatus::Completed(out));
                 }
             }
         }
         for batch in inner.ledger.invalidate() {
             for req in batch.requests {
-                Shared::resolve(
+                self.shared.resolve(
                     &mut inner,
                     now,
                     req,
@@ -471,7 +546,7 @@ impl Server {
             }
         }
         while let Some(req) = inner.queue.pop_front() {
-            Shared::resolve(
+            self.shared.resolve(
                 &mut inner,
                 now,
                 req,
@@ -565,7 +640,22 @@ fn worker_loop(shared: &Shared) {
         if n == shared.config.batch_max {
             inner.full_batches += 1;
         }
+        shared.obs.queue_depth.set(inner.queue.len() as i64);
         drop(inner);
+        let dispatch_ns = shared.now_ns();
+        shared.obs.occupancy.record(n as u64);
+        for req in &requests {
+            shared
+                .obs
+                .batch_wait
+                .record(dispatch_ns.saturating_sub(req.arrival_ns));
+        }
+        shared.emit(
+            dispatch_ns,
+            EventKind::BatchDispatched {
+                occupancy: n as u32,
+            },
+        );
 
         // Compute outside the state lock. The fused path decodes each
         // layer's shard through the host's epoch-tagged cache (a clean
@@ -595,7 +685,7 @@ fn worker_loop(shared: &Shared) {
                 }
                 QuarantinePolicy::Reject => {
                     for req in requests {
-                        Shared::resolve(
+                        shared.resolve(
                             &mut inner,
                             now,
                             req,
@@ -652,6 +742,7 @@ fn scrubber_loop(shared: &Shared) {
         let TickOutcome { detection, .. } = {
             let milr = shared.milr.lock().expect("lock poisoned");
             let mut pipeline = shared.pipeline.lock().expect("pipeline lock poisoned");
+            pipeline.set_now(now);
             with_durability(shared, |dur| {
                 pipeline.tick(&shared.host, &milr, &chunk, dur)
             })
@@ -661,9 +752,10 @@ fn scrubber_loop(shared: &Shared) {
 
         let mut inner = shared.inner.lock().expect("lock poisoned");
         if let Some(watermark) = inner.cursor.finish_tick(flagged, now) {
-            for batch in inner.ledger.certify_before(watermark) {
+            for (finish, batch) in inner.ledger.certify_before_stamped(watermark) {
+                shared.obs.ledger_hold.record(now.saturating_sub(finish));
                 for (req, out) in batch.requests.into_iter().zip(batch.outputs) {
-                    Shared::resolve(&mut inner, now, req, RequestStatus::Completed(out));
+                    shared.resolve(&mut inner, now, req, RequestStatus::Completed(out));
                 }
             }
         }
@@ -676,6 +768,8 @@ fn scrubber_loop(shared: &Shared) {
         inner.epoch += 1;
         inner.quarantines += 1;
         inner.downtime.open_at(now);
+        shared.obs.quarantines.inc();
+        shared.emit(now, EventKind::Quarantine { entered: true });
         let voided = inner.ledger.invalidate();
         match shared.config.policy {
             QuarantinePolicy::Drain => {
@@ -690,7 +784,7 @@ fn scrubber_loop(shared: &Shared) {
             QuarantinePolicy::Reject => {
                 for batch in voided {
                     for req in batch.requests {
-                        Shared::resolve(
+                        shared.resolve(
                             &mut inner,
                             now,
                             req,
@@ -699,7 +793,7 @@ fn scrubber_loop(shared: &Shared) {
                     }
                 }
                 while let Some(req) = inner.queue.pop_front() {
-                    Shared::resolve(
+                    shared.resolve(
                         &mut inner,
                         now,
                         req,
@@ -721,6 +815,7 @@ fn scrubber_loop(shared: &Shared) {
         {
             let mut milr = shared.milr.lock().expect("lock poisoned");
             let mut pipeline = shared.pipeline.lock().expect("pipeline lock poisoned");
+            pipeline.set_now(shared.now_ns());
             let outcome = with_durability(shared, |dur| pipeline.run(&shared.host, &mut milr, dur))
                 .expect("recovery propagates only solver errors");
             debug_assert!(matches!(
@@ -733,6 +828,7 @@ fn scrubber_loop(shared: &Shared) {
         let mut inner = shared.inner.lock().expect("lock poisoned");
         inner.status = Status::Serving;
         inner.downtime.close_at(now);
+        shared.emit(now, EventKind::Quarantine { entered: false });
         inner.cursor.reset();
         drop(inner);
         shared.work_cv.notify_all();

@@ -34,6 +34,7 @@ use milr_integrity::{
     Budget, EscalationPolicy, IntegrityPipeline, ModelHost, RoundOutcome, Volatile,
 };
 use milr_nn::{Layer, Sequential};
+use milr_obs::{EventKind, Observer};
 use milr_substrate::SubstrateKind;
 use milr_tensor::{Tensor, TensorRng};
 use std::collections::{BinaryHeap, VecDeque};
@@ -277,6 +278,28 @@ pub fn simulate(
     milr_config: MilrConfig,
     cfg: &SimConfig,
 ) -> milr_core::Result<SimResult> {
+    simulate_observed(golden, milr_config, cfg, &Observer::default())
+}
+
+/// [`simulate`] with an observability context: trace events are
+/// stamped with the **virtual clock**, so a fixed seed reproduces the
+/// JSONL stream byte-for-byte, and metrics handles are registered once
+/// up front (recording is atomics only). Observation is provably
+/// non-perturbing: the returned result — digest included — is
+/// byte-identical with or without an observer attached (the golden
+/// parity suite asserts this).
+///
+/// # Errors
+///
+/// # Panics
+///
+/// See [`simulate`].
+pub fn simulate_observed(
+    golden: &Sequential,
+    milr_config: MilrConfig,
+    cfg: &SimConfig,
+    obs: &Observer,
+) -> milr_core::Result<SimResult> {
     assert!(cfg.workers > 0, "need at least one worker");
     assert!(cfg.queue_capacity > 0, "need a non-empty queue");
     assert!(cfg.batch_max > 0, "need a non-empty batch");
@@ -291,6 +314,19 @@ pub fn simulate(
     // Quarantine policy matches the online server's give-up-and-resume
     // contract (the round budget itself is asserted below).
     let mut pipeline = IntegrityPipeline::new(EscalationPolicy::Quarantine, Budget::default());
+    if let Some(trace) = &obs.trace {
+        pipeline.attach_trace(trace.clone(), 0);
+    }
+    // Metrics handles, registered once: recording below is lock-free
+    // atomics on preallocated buckets.
+    let m = obs.metrics.as_deref();
+    let lat_hist = m.map(|m| m.histogram("serve_latency_ns"));
+    let wait_hist = m.map(|m| m.histogram("serve_batch_wait_ns"));
+    let occ_hist = m.map(|m| m.histogram("serve_batch_occupancy"));
+    let hold_hist = m.map(|m| m.histogram("serve_ledger_hold_ns"));
+    let queue_gauge = m.map(|m| m.gauge("serve_queue_depth"));
+    let faults_ctr = m.map(|m| m.counter("serve_faults_injected_total"));
+    let quarantine_ctr = m.map(|m| m.counter("serve_quarantines_total"));
 
     // Seeded workload: inputs and exponential arrivals.
     let mut input_rng = TensorRng::new(cfg.seed ^ 0x1A7E57);
@@ -379,7 +415,11 @@ pub fn simulate(
             match &status {
                 RequestStatus::Completed(_) => {
                     completed += 1;
-                    latencies.push(clock.saturating_sub(reqs[idx].arrival));
+                    let latency = clock.saturating_sub(reqs[idx].arrival);
+                    if let Some(h) = &lat_hist {
+                        h.record(latency);
+                    }
+                    latencies.push(latency);
                 }
                 RequestStatus::Rejected(_) => rejected += 1,
             }
@@ -393,6 +433,21 @@ pub fn simulate(
             let n: usize = $n;
             let worker: usize = $worker;
             let batch_reqs: Vec<usize> = queue.drain(..n).collect();
+            obs.emit(
+                clock,
+                0,
+                EventKind::BatchDispatched {
+                    occupancy: n as u32,
+                },
+            );
+            if let Some(h) = &occ_hist {
+                h.record(n as u64);
+            }
+            if let Some(h) = &wait_hist {
+                for &i in &batch_reqs {
+                    h.record(clock.saturating_sub(reqs[i].arrival));
+                }
+            }
             let inputs: Vec<Tensor> = batch_reqs.iter().map(|&i| reqs[i].input.clone()).collect();
             // Fused decode-forward: parameterized layers pull their
             // shard through the host's epoch-tagged cache, so no
@@ -522,6 +577,17 @@ pub fn simulate(
                 host.corrupt_weight(layer, weight);
                 faults_injected += 1;
                 last_fault_time = clock;
+                obs.emit(
+                    clock,
+                    0,
+                    EventKind::FaultInjected {
+                        layer: layer as u32,
+                        weight: weight as u64,
+                    },
+                );
+                if let Some(c) = &faults_ctr {
+                    c.inc();
+                }
             }
             Event::ScrubTick { epoch: tick_epoch } => {
                 if quarantined || tick_epoch != epoch {
@@ -529,13 +595,17 @@ pub fn simulate(
                 }
                 scrub_ticks += 1;
                 let chunk = cursor.begin_tick(clock);
+                pipeline.set_now(clock);
                 let tick = pipeline
                     .tick(&host, &milr, &chunk, &mut Volatile)
                     .map_err(into_milr_err)?;
                 let flagged = !tick.detection.is_clean();
                 if let Some(cycle_start) = cursor.finish_tick(flagged, clock) {
                     last_clean_cycle_start = Some(cycle_start);
-                    for batch in ledger.certify_before(cycle_start) {
+                    for (finish, batch) in ledger.certify_before_stamped(cycle_start) {
+                        if let Some(h) = &hold_hist {
+                            h.record(clock.saturating_sub(finish));
+                        }
                         for (idx, out) in batch.reqs.into_iter().zip(batch.outputs) {
                             resolve!(idx, RequestStatus::Completed(out));
                         }
@@ -549,6 +619,10 @@ pub fn simulate(
                     epoch += 1;
                     deadline_pending = false; // pending deadline now stale
                     downtime.open_at(clock);
+                    obs.emit(clock, 0, EventKind::Quarantine { entered: true });
+                    if let Some(c) = &quarantine_ctr {
+                        c.inc();
+                    }
                     let voided = ledger.invalidate();
                     match cfg.policy {
                         QuarantinePolicy::Drain => {
@@ -584,6 +658,7 @@ pub fn simulate(
                 // that keeps an approximate heal (partial-
                 // recoverability geometry, §V-B) from leaving stored
                 // CRC grids out of sync with storage.
+                pipeline.set_now(clock);
                 match pipeline
                     .heal_round(&host, &mut milr, &mut Volatile)
                     .map_err(into_milr_err)?
@@ -591,6 +666,7 @@ pub fn simulate(
                     RoundOutcome::Clean { .. } => {
                         // Resume serving.
                         quarantined = false;
+                        obs.emit(clock, 0, EventKind::Quarantine { entered: false });
                         downtime.close_at(clock);
                         cursor.reset();
                         timeline
@@ -612,6 +688,9 @@ pub fn simulate(
                 }
             }
         }
+        if let Some(g) = &queue_gauge {
+            g.set(queue.len() as i64);
+        }
         if done(
             resolved,
             quarantined,
@@ -623,6 +702,12 @@ pub fn simulate(
         }
     }
     assert_eq!(resolved, cfg.requests, "workload did not drain");
+    if let Some(m) = m {
+        // Substrate-plane export: total raw-bit mutation epochs
+        // (write-backs, fault injections, scrub corrections).
+        m.gauge("substrate_epoch_total")
+            .set(host.store().epoch_total() as i64);
+    }
 
     let total_ns = clock;
     let outcomes: Vec<RequestOutcome> = reqs

@@ -154,6 +154,14 @@ impl SharedSubstrate {
         self.epochs[shard].load(Ordering::Acquire)
     }
 
+    /// Sum of all shard epochs — a cheap monotone counter of raw-bit
+    /// mutations (write-backs, fault injections, scrub corrections)
+    /// across the whole substrate, exported as the substrate-plane
+    /// `epoch_total` metric.
+    pub fn epoch_total(&self) -> u64 {
+        self.epochs.iter().map(|e| e.load(Ordering::Acquire)).sum()
+    }
+
     /// Bumps `shard`'s epoch. Must be called with the shard's write
     /// lock held (all internal callers do); the bump-before-unlock
     /// discipline is what makes "same epoch ⇒ same bits" hold.
