@@ -30,6 +30,9 @@ struct Cli {
     model_seed: u64,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    spans_out: Option<String>,
+    slo_out: Option<String>,
+    slo_gate: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -43,6 +46,9 @@ fn parse_cli() -> Result<Cli, String> {
     let mut model_seed = 42u64;
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut spans_out = None;
+    let mut slo_out = None;
+    let mut slo_gate = false;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
@@ -100,6 +106,9 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--trace-out" => trace_out = Some(value("--trace-out")?),
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+            "--spans-out" => spans_out = Some(value("--spans-out")?),
+            "--slo-out" => slo_out = Some(value("--slo-out")?),
+            "--slo-gate" => slo_gate = true,
             "--json" => json = Some(value("--json")?),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -110,6 +119,9 @@ fn parse_cli() -> Result<Cli, String> {
         model_seed,
         trace_out,
         metrics_out,
+        spans_out,
+        slo_out,
+        slo_gate,
     })
 }
 
@@ -121,13 +133,16 @@ fn main() {
             eprintln!(
                 "usage: [--replicas N] [--requests N] [--seed N] [--model-seed N] [--workers N] \
                  [--faults N] [--heavy-faults N] [--substrate plain|secded|xts|xts+secded] \
-                 [--policy drain|reject] [--trace-out FILE] [--metrics-out FILE] [--json FILE]"
+                 [--policy drain|reject] [--trace-out FILE] [--metrics-out FILE] \
+                 [--spans-out FILE] [--slo-out FILE] [--slo-gate] [--json FILE]"
             );
             std::process::exit(2);
         }
     };
     let net = milr_models::reduced_mnist(cli.model_seed);
-    let obs_out = ObsOutputs::from_flags(cli.trace_out.clone(), cli.metrics_out.clone());
+    let obs_out = ObsOutputs::from_flags(cli.trace_out.clone(), cli.metrics_out.clone())
+        .with_spans(cli.spans_out.clone())
+        .with_slo(cli.slo_out.clone());
     let (result, cmp, storage) = run_fleet_measured_observed(
         &net.model,
         MilrConfig::default(),
@@ -201,12 +216,43 @@ fn main() {
         cmp.fleet_modeled_eq6, r.replicas
     );
     println!("digest:   {:#x} (seed-reproducible)", r.fleet.digest);
+    if let Some(slo) = &r.fleet.slo {
+        println!(
+            "slo:      {} ({} alert(s) fired)",
+            if slo.pass { "PASS" } else { "FAIL" },
+            slo.alerts
+        );
+    }
 
     obs_out.flush();
+    obs_out.write_slo(r.fleet.slo.as_ref());
     let json = JsonObject::new()
         .raw("fleet", &r.to_json())
         .raw("comparison", &cmp.to_json())
         .raw("storage", &storage.to_json())
         .finish();
     write_summary(&json, cli.json.as_deref());
+
+    if cli.slo_gate {
+        // CI gate: the campaign must leave the fleet-level availability
+        // error budget intact. Latency/heal budgets can legitimately be
+        // spent by a heavy-fault campaign, so only availability gates.
+        let avail_ok = r
+            .fleet
+            .slo
+            .as_ref()
+            .and_then(|slo| slo.budget("availability"))
+            .map(|b| b.pass);
+        match avail_ok {
+            Some(true) => println!("slo-gate: PASS (fleet availability budget intact)"),
+            Some(false) => {
+                eprintln!("slo-gate: FAIL (fleet availability error budget blown)");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("slo-gate: FAIL (run carried no fleet availability SLO)");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -42,6 +42,10 @@ struct Cli {
     check_p99_against: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    spans_out: Option<String>,
+    slo_out: Option<String>,
+    live_http: Option<String>,
+    live_http_hold_ms: u64,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -54,6 +58,10 @@ fn parse_cli() -> Result<Cli, String> {
     let mut check_p99_against = None;
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut spans_out = None;
+    let mut slo_out = None;
+    let mut live_http = None;
+    let mut live_http_hold_ms = 0u64;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
@@ -125,6 +133,14 @@ fn parse_cli() -> Result<Cli, String> {
             "--check-p99-against" => check_p99_against = Some(value("--check-p99-against")?),
             "--trace-out" => trace_out = Some(value("--trace-out")?),
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+            "--spans-out" => spans_out = Some(value("--spans-out")?),
+            "--slo-out" => slo_out = Some(value("--slo-out")?),
+            "--live-http" => live_http = Some(value("--live-http")?),
+            "--live-http-hold-ms" => {
+                live_http_hold_ms = value("--live-http-hold-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --live-http-hold-ms: {e}"))?
+            }
             "--json" => json = Some(value("--json")?),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -139,6 +155,10 @@ fn parse_cli() -> Result<Cli, String> {
         check_p99_against,
         trace_out,
         metrics_out,
+        spans_out,
+        slo_out,
+        live_http,
+        live_http_hold_ms,
     })
 }
 
@@ -189,7 +209,8 @@ fn main() {
                  [--batch-max N] [--batch-wait-us N] [--scrub-interval-us N] \
                  [--policy drain|reject] [--live] [--substrate plain|secded|xts|xts-secded] \
                  [--fault-every-ms N] [--check-p99-against FILE] [--trace-out FILE] \
-                 [--metrics-out FILE] [--json FILE]"
+                 [--metrics-out FILE] [--spans-out FILE] [--slo-out FILE] \
+                 [--live-http ADDR] [--live-http-hold-ms N] [--json FILE]"
             );
             std::process::exit(2);
         }
@@ -199,7 +220,9 @@ fn main() {
         run_live_comparison(&cli, &net.model);
         return;
     }
-    let obs_out = ObsOutputs::from_flags(cli.trace_out.clone(), cli.metrics_out.clone());
+    let obs_out = ObsOutputs::from_flags(cli.trace_out.clone(), cli.metrics_out.clone())
+        .with_spans(cli.spans_out.clone())
+        .with_slo(cli.slo_out.clone());
     let (result, cmp, storage) = run_measured_observed(
         &net.model,
         MilrConfig::default(),
@@ -248,8 +271,16 @@ fn main() {
         cmp.modeled_per_fault_availability
     );
     println!("digest:   {:#x} (seed-reproducible)", r.digest);
+    if let Some(slo) = &r.slo {
+        println!(
+            "slo:      {} ({} alert(s) fired)",
+            if slo.pass { "PASS" } else { "FAIL" },
+            slo.alerts
+        );
+    }
 
     obs_out.flush();
+    obs_out.write_slo(r.slo.as_ref());
     let json = JsonObject::new()
         .raw("report", &r.to_json())
         .raw("comparison", &cmp.to_json())
@@ -265,8 +296,10 @@ fn main() {
 /// and hardware, reporting the fused-over-legacy sustained-QPS speedup.
 fn run_live_comparison(cli: &Cli, model: &milr_nn::Sequential) {
     // The live server keeps its own metrics registry (snapshotted at
-    // shutdown), so only the trace rides through ObsOutputs here.
-    let obs_out = ObsOutputs::from_flags(cli.trace_out.clone(), None);
+    // shutdown), so only the trace and spans ride through ObsOutputs.
+    let obs_out = ObsOutputs::from_flags(cli.trace_out.clone(), None)
+        .with_spans(cli.spans_out.clone())
+        .with_slo(cli.slo_out.clone());
     let live_cfg = LiveConfig {
         requests: cli.sim.requests,
         seed: cli.sim.seed,
@@ -298,10 +331,14 @@ fn run_live_comparison(cli: &Cli, model: &milr_nn::Sequential) {
         &live_cfg,
     )
     .expect("live server cannot fail structurally");
-    // Only the fused (headline) run is traced: the comparison trace
-    // would interleave two servers' wall clocks in one stream.
+    // Only the fused (headline) run is observed: the comparison trace
+    // and spans would interleave two servers' wall clocks in one
+    // stream. It also hosts the live introspection endpoint.
     let fused_cfg = LiveConfig {
         trace: obs_out.observer().trace,
+        spans: obs_out.span_handle(),
+        http_addr: cli.live_http.clone(),
+        http_hold: Duration::from_millis(cli.live_http_hold_ms),
         ..live_cfg
     };
     let fused = run_live(model, MilrConfig::default(), ReadPath::Fused, &fused_cfg)
@@ -321,7 +358,15 @@ fn run_live_comparison(cli: &Cli, model: &milr_nn::Sequential) {
     }
     let speedup = fused.qps / legacy.qps.max(f64::MIN_POSITIVE);
     println!("speedup: fused is {speedup:.2}x legacy sustained QPS");
+    if let Some(slo) = &fused.report.slo {
+        println!(
+            "slo:      {} ({} alert(s) fired, fused run)",
+            if slo.pass { "PASS" } else { "FAIL" },
+            slo.alerts
+        );
+    }
     obs_out.flush();
+    obs_out.write_slo(fused.report.slo.as_ref());
     if let Some(path) = &cli.metrics_out {
         if let Err(e) = std::fs::write(path, fused.metrics.to_prometheus()) {
             eprintln!("error: write {path}: {e}");

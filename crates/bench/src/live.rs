@@ -46,6 +46,21 @@ pub struct LiveConfig {
     /// Optional structured trace sink handed to the server. Live
     /// events stamp wall time since server start.
     pub trace: Option<milr_obs::TraceHandle>,
+    /// Optional span sink handed to the server (batch, engine, and
+    /// journal trees stamped with wall time since server start).
+    pub spans: Option<milr_obs::SpanHandle>,
+    /// Optional live-introspection bind address forwarded to
+    /// [`ServerConfig::http_addr`]; the bound address is printed so a
+    /// probe can curl `/metrics`, `/health`, `/slo`, and `/spans`
+    /// while the campaign runs.
+    pub http_addr: Option<String>,
+    /// How long to keep the server (and its introspection listener)
+    /// up after the workload drains. A release-mode fused run can
+    /// finish in tens of milliseconds — too narrow a window for an
+    /// external probe — so CI smoke runs hold the served endpoints
+    /// open briefly. Ignored when no listener is bound; does not
+    /// affect the measured elapsed time or QPS.
+    pub http_hold: Duration,
 }
 
 impl Default for LiveConfig {
@@ -61,6 +76,9 @@ impl Default for LiveConfig {
             fault_every: Some(Duration::from_millis(40)),
             max_faults: None,
             trace: None,
+            spans: None,
+            http_addr: None,
+            http_hold: Duration::ZERO,
         }
     }
 }
@@ -123,9 +141,14 @@ pub fn run_live(
             substrate: cfg.substrate,
             read_path,
             trace: cfg.trace.clone(),
+            spans: cfg.spans.clone(),
+            http_addr: cfg.http_addr.clone(),
             ..ServerConfig::default()
         },
     )?;
+    if let Some(addr) = server.http_addr() {
+        println!("live introspection: http://{addr}");
+    }
     let (fault_layer, fault_weights) = model
         .layers()
         .iter()
@@ -184,6 +207,9 @@ pub fn run_live(
         let faults = campaign.map(|c| c.join().expect("campaign panicked"));
         (completed, faults.unwrap_or(0), elapsed)
     });
+    if server.http_addr().is_some() && !cfg.http_hold.is_zero() {
+        std::thread::sleep(cfg.http_hold);
+    }
     let metrics = server.metrics_snapshot();
     let report = server.shutdown();
     Ok(LiveOutcome {

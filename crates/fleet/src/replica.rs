@@ -179,6 +179,13 @@ impl Replica {
         self.pipeline.attach_trace(trace, src);
     }
 
+    /// Attaches a span sink to the replica's integrity engine: every
+    /// tick and heal episode pushes one stage-timed tree (stamped with
+    /// the driver clock set via [`Replica::set_now`]).
+    pub fn attach_spans(&mut self, spans: milr_obs::SpanHandle) {
+        self.pipeline.attach_spans(spans);
+    }
+
     /// Sets the driver clock the replica's engine stamps trace events
     /// with (the fleet sim forwards its virtual clock here before each
     /// tick/heal call).

@@ -133,6 +133,7 @@ mod tests {
             batch_occupancy: 4.0,
             digest,
             pipeline: crate::PipelineReport::default(),
+            slo: None,
         }
     }
 

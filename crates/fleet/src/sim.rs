@@ -37,7 +37,7 @@ use milr_core::{Milr, MilrConfig, SolvingPlan};
 use milr_fault::FaultRng;
 use milr_integrity::{PipelineReport, RoundOutcome};
 use milr_nn::{Layer, Sequential};
-use milr_obs::{EventKind, Observer};
+use milr_obs::{EventKind, Observer, SloEngine, SloKind, FLEET_SRC};
 use milr_serve::sim::{EventQueue, VirtualCosts};
 use milr_serve::{
     outcome_digest, CertificationLedger, DowntimeLog, LatencyStats, QuarantinePolicy, RejectReason,
@@ -314,6 +314,9 @@ pub fn simulate_observed(
         if let Some(trace) = &obs.trace {
             replica.attach_trace(trace.clone());
         }
+        if let Some(spans) = &obs.spans {
+            replica.attach_spans(spans.clone());
+        }
         store_paths.push(path);
         reps.push(Rep {
             replica,
@@ -435,6 +438,19 @@ pub fn simulate_observed(
     let mut fleet_completed = 0usize;
     let mut fleet_latencies: Vec<u64> = Vec::new();
 
+    // SLO engines run unconditionally over the deterministic run
+    // streams, so the embedded verdicts are identical with or without
+    // an observer; only `AlertFired` trace emission is observer-gated.
+    // One fleet-view engine (alerts sourced `FLEET_SRC`) plus one
+    // serving-view engine per replica (alerts sourced by index).
+    let mut fleet_slo = SloEngine::fleet_defaults();
+    let mut rep_slo: Vec<SloEngine> = (0..cfg.replicas)
+        .map(|_| SloEngine::serving_defaults())
+        .collect();
+    let mut fleet_avail_mark = 0u64;
+    let mut fleet_serving = true;
+    let mut rep_avail_mark = vec![0u64; cfg.replicas];
+
     // Pre-registered observability handles: recording below is atomic
     // ops on these, never a registry lookup inside the event loop.
     let m = obs.metrics.as_deref();
@@ -451,6 +467,20 @@ pub fn simulate_observed(
         ($src:expr, $kind:expr) => {
             if let Some(trace) = &obs.trace {
                 trace.emit(clock, $src, $kind);
+            }
+        };
+    }
+
+    macro_rules! slo_alerts {
+        ($src:expr, $alerts:expr) => {
+            for a in $alerts {
+                emit!(
+                    $src,
+                    EventKind::AlertFired {
+                        slo: a.spec,
+                        burn_milli: a.burn_milli,
+                    }
+                );
             }
         };
     }
@@ -472,7 +502,9 @@ pub fn simulate_observed(
                     if let Some(r) = by {
                         reps[r].completed += 1;
                         reps[r].latencies.push(lat);
+                        slo_alerts!(r as u32, rep_slo[r].observe_latency(clock, lat));
                     }
+                    slo_alerts!(FLEET_SRC, fleet_slo.observe_latency(clock, lat));
                 }
                 RequestStatus::Rejected(_) => {
                     fleet_rejected += 1;
@@ -573,10 +605,23 @@ pub fn simulate_observed(
 
     macro_rules! update_fleet_gate {
         () => {{
-            if reps.iter().any(|rep| rep.replica.state().is_serving()) {
+            let any = reps.iter().any(|rep| rep.replica.state().is_serving());
+            if any {
                 fleet_down.close_at(clock);
             } else {
                 fleet_down.open_at(clock);
+            }
+            // Each serving/down flip closes one fleet-availability
+            // segment and feeds it into the burn-rate windows.
+            if any != fleet_serving {
+                let seg = clock.saturating_sub(fleet_avail_mark);
+                fleet_avail_mark = clock;
+                let (good, bad) = if fleet_serving { (seg, 0) } else { (0, seg) };
+                slo_alerts!(
+                    FLEET_SRC,
+                    fleet_slo.observe(clock, SloKind::Availability, good, bad)
+                );
+                fleet_serving = any;
             }
         }};
     }
@@ -587,6 +632,12 @@ pub fn simulate_observed(
             reps[r].replica.set_state(ReplicaState::Serving);
             emit!(r as u32, EventKind::Quarantine { entered: false });
             reps[r].downtime.close_at(clock);
+            let down = clock.saturating_sub(rep_avail_mark[r]);
+            rep_avail_mark[r] = clock;
+            slo_alerts!(
+                r as u32,
+                rep_slo[r].observe(clock, SloKind::Availability, 0, down)
+            );
             update_fleet_gate!();
             reps[r].cursor.reset();
             reps[r].pending_repair.clear();
@@ -705,6 +756,12 @@ pub fn simulate_observed(
                     reps[r].replica.set_state(ReplicaState::Quarantined);
                     reps[r].epoch += 1;
                     reps[r].downtime.open_at(clock);
+                    let up = clock.saturating_sub(rep_avail_mark[r]);
+                    rep_avail_mark[r] = clock;
+                    slo_alerts!(
+                        r as u32,
+                        rep_slo[r].observe(clock, SloKind::Availability, up, 0)
+                    );
                     update_fleet_gate!();
                     if let Some(c) = &quarantine_ctr {
                         c.inc();
@@ -761,7 +818,29 @@ pub fn simulate_observed(
                 // failed layers escalate to peer repair, and a clean
                 // verify re-protects + re-anchors durably.
                 reps[r].replica.set_now(clock);
-                match reps[r].replica.try_heal()? {
+                let heals_before = {
+                    let p = reps[r].replica.pipeline_report();
+                    (p.heals_exact, p.heals_approx)
+                };
+                let round = reps[r].replica.try_heal()?;
+                let (exact, approx) = {
+                    let p = reps[r].replica.pipeline_report();
+                    (
+                        (p.heals_exact - heals_before.0) as u64,
+                        (p.heals_approx - heals_before.1) as u64,
+                    )
+                };
+                if exact + approx > 0 {
+                    slo_alerts!(
+                        r as u32,
+                        rep_slo[r].observe(clock, SloKind::HealExactness, exact, approx)
+                    );
+                    slo_alerts!(
+                        FLEET_SRC,
+                        fleet_slo.observe(clock, SloKind::HealExactness, exact, approx)
+                    );
+                }
+                match round {
                     RoundOutcome::Clean { .. } => rejoin!(r),
                     RoundOutcome::Escalate { escalated, .. } => {
                         // Beyond MILR's recoverable set: fetch the
@@ -900,6 +979,33 @@ pub fn simulate_observed(
             }
         })
         .collect();
+    // Close each replica's SLO windows: the trailing serving segment
+    // (the loop only exits with every replica serving) and the
+    // lifetime durability tally (anchors committed vs journal/commit
+    // failures).
+    for (r, rep) in reps.iter().enumerate() {
+        let tail = total_ns.saturating_sub(rep_avail_mark[r]);
+        rep_avail_mark[r] = total_ns;
+        let (good, bad) = if rep.replica.state().is_serving() {
+            (tail, 0)
+        } else {
+            (0, tail)
+        };
+        slo_alerts!(
+            r as u32,
+            rep_slo[r].observe(total_ns, SloKind::Availability, good, bad)
+        );
+        let p = rep.replica.pipeline_report();
+        slo_alerts!(
+            r as u32,
+            rep_slo[r].observe(
+                total_ns,
+                SloKind::Durability,
+                p.anchors as u64,
+                p.durability_errors as u64
+            )
+        );
+    }
     let per_replica: Vec<ReplicaReport> = reps
         .iter()
         .enumerate()
@@ -943,6 +1049,7 @@ pub fn simulate_observed(
                     },
                     digest: outcome_digest(&mine),
                     pipeline,
+                    slo: Some(rep_slo[r].report(total_ns)),
                 },
             }
         })
@@ -950,6 +1057,24 @@ pub fn simulate_observed(
     let mut fleet_pipeline = PipelineReport::default();
     for rep in &per_replica {
         fleet_pipeline.merge(&rep.report.pipeline);
+    }
+    // Close the fleet-view windows the same way.
+    {
+        let tail = total_ns.saturating_sub(fleet_avail_mark);
+        let (good, bad) = if fleet_serving { (tail, 0) } else { (0, tail) };
+        slo_alerts!(
+            FLEET_SRC,
+            fleet_slo.observe(total_ns, SloKind::Availability, good, bad)
+        );
+        slo_alerts!(
+            FLEET_SRC,
+            fleet_slo.observe(
+                total_ns,
+                SloKind::Durability,
+                fleet_pipeline.anchors as u64,
+                fleet_pipeline.durability_errors as u64
+            )
+        );
     }
     let fleet = ServeReport {
         seed: cfg.seed,
@@ -981,6 +1106,7 @@ pub fn simulate_observed(
         },
         digest: outcome_digest(&outcomes),
         pipeline: fleet_pipeline,
+        slo: Some(fleet_slo.report(total_ns)),
     };
     let capacity = ServeReport::aggregate(
         &per_replica

@@ -143,11 +143,15 @@ fn fleet_sim_heavy_seed_is_byte_identical_to_pre_refactor() {
 }
 
 /// Observation must be provably non-perturbing: the same golden-seed
-/// run with a trace recorder *and* a metrics registry attached must
-/// reproduce every report byte and every digest of the unobserved run.
+/// run with a trace recorder, a metrics registry, *and* a span ring
+/// attached must reproduce every report byte and every digest of the
+/// unobserved run. The SLO engines always run (they feed off the same
+/// deterministic streams), so the `slo` block is part of the golden
+/// bytes either way; only span collection and `AlertFired` emission
+/// are observer-gated, and neither may perturb anything.
 #[test]
 fn fleet_sim_observed_run_is_byte_identical_to_unobserved() {
-    use milr_obs::{MetricsRegistry, Observer, RingRecorder};
+    use milr_obs::{MetricsRegistry, Observer, RingRecorder, SpanRing};
     use std::sync::Arc;
 
     let model = milr_models::serving_probe(11);
@@ -160,7 +164,10 @@ fn fleet_sim_observed_run_is_byte_identical_to_unobserved() {
     };
     let recorder = Arc::new(RingRecorder::new(65_536));
     let metrics = Arc::new(MetricsRegistry::new());
-    let obs = Observer::with_trace(recorder.clone()).and_metrics(metrics.clone());
+    let spans = Arc::new(SpanRing::new(65_536));
+    let obs = Observer::with_trace(recorder.clone())
+        .and_metrics(metrics.clone())
+        .and_spans(spans.clone());
     let observed = milr_fleet::simulate_observed(&model, MilrConfig::default(), &cfg, &obs)
         .expect("seeded fleet simulation is deterministic");
     let r = &observed.report;
@@ -198,4 +205,13 @@ fn fleet_sim_observed_run_is_byte_identical_to_unobserved() {
         Some(r.fleet.quarantines as u64)
     );
     assert_eq!(snap.counter_value("fleet_peer_repairs_total"), Some(1));
+
+    // Span collection observed too: every replica engine pushed timed
+    // trees (scrub ticks, heal episodes) without touching a single
+    // report byte above.
+    assert!(!spans.is_empty(), "span ring must have collected trees");
+    assert_eq!(spans.dropped(), 0, "span ring must not overflow");
+    let span_jsonl = spans.to_jsonl();
+    assert!(span_jsonl.contains("\"name\":\"tick\""));
+    assert!(span_jsonl.contains("\"name\":\"heal_round\""));
 }

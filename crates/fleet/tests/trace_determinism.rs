@@ -5,7 +5,7 @@
 
 use milr_core::MilrConfig;
 use milr_fleet::{simulate_observed, FleetConfig};
-use milr_obs::{Observer, RingRecorder, FLEET_SRC};
+use milr_obs::{Observer, RingRecorder, SpanRing, FLEET_SRC};
 use milr_substrate::SubstrateKind;
 use std::sync::Arc;
 
@@ -62,8 +62,52 @@ fn fleet_trace_sources_span_replicas() {
     assert!(jsonl.contains("\"event\":\"PeerRepair\""));
     assert!(jsonl.contains("\"event\":\"Quarantine\",\"entered\":true"));
     assert!(jsonl.contains("\"event\":\"Quarantine\",\"entered\":false"));
-    // No fleet-level source is emitted today; the constant is reserved
-    // for router events, so its appearance would be a regression here.
+    // The fleet-level source is reserved for router-scope events; the
+    // only such events today are fleet SLO burn-rate alerts, so any
+    // line sourced there must be an `AlertFired`.
     let fleet_tag = format!("\"src\":{FLEET_SRC},");
-    assert!(!jsonl.contains(&fleet_tag));
+    for line in jsonl.lines().filter(|l| l.contains(&fleet_tag)) {
+        assert!(
+            line.contains("\"event\":\"AlertFired\""),
+            "unexpected fleet-scope event: {line}"
+        );
+    }
+}
+
+fn span_run(cfg: &FleetConfig) -> String {
+    let model = milr_models::serving_probe(11);
+    let ring = Arc::new(SpanRing::new(65_536));
+    let obs = Observer::default().and_spans(ring.clone());
+    simulate_observed(&model, MilrConfig::default(), cfg, &obs)
+        .expect("seeded fleet simulation is deterministic");
+    assert_eq!(ring.dropped(), 0);
+    ring.to_jsonl()
+}
+
+#[test]
+fn fleet_sim_span_jsonl_is_byte_identical_across_runs() {
+    let cfg = FleetConfig {
+        requests: 100,
+        faults: 2,
+        heavy_faults: 1,
+        kind: SubstrateKind::Plain,
+        ..FleetConfig::default()
+    };
+    let spans_a = span_run(&cfg);
+    let spans_b = span_run(&cfg);
+    assert!(!spans_a.is_empty(), "the campaign must emit span trees");
+    assert_eq!(
+        spans_a, spans_b,
+        "same seed must replay the same span stream"
+    );
+    // Every replica engine contributes stage-timed trees: scrub ticks
+    // everywhere, heal rounds on the quarantined replicas.
+    assert!(spans_a.contains("\"name\":\"tick\""));
+    assert!(spans_a.contains("\"name\":\"heal_round\""));
+
+    let other = FleetConfig {
+        seed: cfg.seed ^ 0x5EED,
+        ..cfg
+    };
+    assert_ne!(spans_a, span_run(&other));
 }

@@ -27,6 +27,7 @@
 //! demands — never served from a stale-clean copy.
 
 use milr_nn::{Result as NnResult, Sequential};
+use milr_obs::SpanTree;
 use milr_substrate::{ScrubSummary, SharedSubstrate, WeightSubstrate};
 use milr_tensor::Tensor;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -260,9 +261,22 @@ impl ModelHost {
     /// # Errors
     ///
     /// Propagates layer shape errors.
-    pub fn forward_stacked(&self, mut batch: Tensor) -> NnResult<Tensor> {
+    pub fn forward_stacked(&self, batch: Tensor) -> NnResult<Tensor> {
+        self.forward_stacked_with(batch, &mut |_, _| {})
+    }
+
+    /// The layer walk shared by the plain and traced forwards:
+    /// `mark(i, true)` fires immediately before layer `i` runs,
+    /// `mark(i, false)` immediately after (not fired when the layer
+    /// errors — the caller's span tree clamps unclosed spans).
+    fn forward_stacked_with(
+        &self,
+        mut batch: Tensor,
+        mark: &mut dyn FnMut(usize, bool),
+    ) -> NnResult<Tensor> {
         const MAX_LAYER_RETRIES: u32 = 4;
         for (i, layer) in self.template.layers().iter().enumerate() {
+            mark(i, true);
             match self.param_layers.binary_search(&i) {
                 Ok(shard) => {
                     let mut attempts = 0;
@@ -278,6 +292,7 @@ impl ModelHost {
                 }
                 Err(_) => batch = layer.forward_owned(batch)?,
             }
+            mark(i, false);
         }
         Ok(batch)
     }
@@ -295,6 +310,39 @@ impl ModelHost {
     pub fn forward_batch(&self, examples: &[Tensor]) -> NnResult<Vec<Tensor>> {
         let stacked = self.template.stack_batch(examples)?;
         let out = self.forward_stacked(stacked)?;
+        Sequential::split_batch(&out, examples.len())
+    }
+
+    /// [`forward_batch`](ModelHost::forward_batch) with span
+    /// attribution: builds `decode` (batch stacking) and `forward`
+    /// children — with one `layer` grandchild per model layer — under
+    /// whatever span the caller has open in `tree`, stamped via the
+    /// caller's `clock` (the host never reads a clock of its own).
+    /// Arithmetic is bit-identical to the untraced path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stacking and layer shape errors; on error the
+    /// in-flight spans are left open for the caller's
+    /// [`SpanTree::finish`](milr_obs::SpanTree::finish) to clamp.
+    pub fn forward_batch_traced(
+        &self,
+        examples: &[Tensor],
+        clock: &mut dyn FnMut() -> u64,
+        tree: &mut SpanTree,
+    ) -> NnResult<Vec<Tensor>> {
+        tree.open(clock(), "decode", examples.len() as u64);
+        let stacked = self.template.stack_batch(examples)?;
+        tree.close(clock());
+        tree.open(clock(), "forward", examples.len() as u64);
+        let out = self.forward_stacked_with(stacked, &mut |layer, opening| {
+            if opening {
+                tree.open(clock(), "layer", layer as u64);
+            } else {
+                tree.close(clock());
+            }
+        })?;
+        tree.close(clock());
         Sequential::split_batch(&out, examples.len())
     }
 

@@ -41,7 +41,7 @@ use crate::policy::{Anchored, Budget, DurabilityPolicy, EscalationPolicy, Flushe
 use crate::report::PipelineReport;
 use crate::IntegrityError;
 use milr_core::{DetectionReport, Milr};
-use milr_obs::{EventKind, TraceHandle};
+use milr_obs::{EventKind, SpanHandle, SpanTree, TraceHandle};
 use milr_substrate::ScrubSummary;
 use std::time::Instant;
 
@@ -157,6 +157,16 @@ pub struct IntegrityPipeline {
     report: PipelineReport,
     /// Structured event sink, when a driver attached one.
     trace: Option<TraceHandle>,
+    /// Completed-span ring, when a driver attached one. Each engine
+    /// call (tick, heal round, re-anchor) builds one span tree —
+    /// entry → stage → layer — stamped with the driver clock (plus
+    /// wall offsets on timed pipelines) and pushes it here.
+    spans: Option<SpanHandle>,
+    /// In-flight span tree of the current engine call.
+    tree: SpanTree,
+    /// Wall anchor of the current engine call on timed pipelines, so
+    /// span stamps carry intra-call offsets on top of `now`.
+    call_started: Option<Instant>,
     /// Source id stamped on emitted events (replica index, or 0).
     src: u32,
     /// The driver's clock, in nanoseconds: virtual time in simulators,
@@ -190,6 +200,9 @@ impl IntegrityPipeline {
             last_flagged: Vec::new(),
             report: PipelineReport::default(),
             trace: None,
+            spans: None,
+            tree: SpanTree::new(),
+            call_started: None,
             src: 0,
             now: 0,
         }
@@ -202,6 +215,17 @@ impl IntegrityPipeline {
     pub fn attach_trace(&mut self, trace: TraceHandle, src: u32) {
         self.trace = Some(trace);
         self.src = src;
+    }
+
+    /// Attaches a span ring: every subsequent engine call (tick, heal
+    /// round, re-anchor) pushes one completed span tree — entry →
+    /// stage → layer. Spans are stamped with the driver clock
+    /// ([`set_now`](IntegrityPipeline::set_now)), so simulator span
+    /// streams are byte-identical per seed; timed pipelines add the
+    /// intra-call wall offset on top. Like tracing, attaching spans
+    /// never changes behaviour or a report byte.
+    pub fn attach_spans(&mut self, spans: SpanHandle) {
+        self.spans = Some(spans);
     }
 
     /// Sets the driver clock used to stamp subsequently emitted
@@ -219,10 +243,65 @@ impl IntegrityPipeline {
     }
 
     #[inline]
-    fn enter(&self, stage: Stage) {
+    fn enter(&mut self, stage: Stage) {
         self.emit(EventKind::StageEntered {
             stage: stage.name(),
         });
+        if self.spans.is_some() && self.tree.depth() > 0 {
+            // Stage children sit flat under the engine-call root:
+            // close whatever stage (and its layer children) is open,
+            // then open the new one.
+            let ns = self.span_now();
+            while self.tree.depth() > 1 {
+                self.tree.close(ns);
+            }
+            self.tree.open(ns, stage.name(), 0);
+        }
+    }
+
+    /// The span stamp for "now": the driver clock, plus the wall
+    /// offset into the current engine call on timed pipelines (the
+    /// virtual clock never advances mid-call, the wall clock does).
+    #[inline]
+    fn span_now(&self) -> u64 {
+        match &self.call_started {
+            Some(t0) => self.now + t0.elapsed().as_nanos() as u64,
+            None => self.now,
+        }
+    }
+
+    /// Opens the root span of one engine call. Any tree left open by
+    /// an errored-out previous call is sealed first, so the stream
+    /// stays well formed.
+    fn span_root(&mut self, name: &'static str, tag: u64) {
+        let Some(spans) = self.spans.clone() else {
+            return;
+        };
+        spans.push_all(self.tree.finish(self.span_now()));
+        self.call_started = self.timed.then(Instant::now);
+        self.tree.open(self.now, name, tag);
+    }
+
+    /// Closes the engine call's root span (and any open stage under
+    /// it) and pushes the completed tree into the ring.
+    fn span_seal(&mut self) {
+        let Some(spans) = self.spans.clone() else {
+            return;
+        };
+        spans.push_all(self.tree.finish(self.span_now()));
+        self.call_started = None;
+    }
+
+    /// Records a zero-width layer child under the currently open
+    /// stage span (per-layer wall timing is not observable — the
+    /// engine heals and verifies layers in batches — but which layers
+    /// a stage touched is).
+    fn span_layer(&mut self, layer: usize) {
+        if self.spans.is_some() && self.tree.depth() > 1 {
+            let ns = self.span_now();
+            self.tree.open(ns, "layer", layer as u64);
+            self.tree.close(ns);
+        }
     }
 
     /// Enables wall-clock stage timing (live servers, cold starts,
@@ -333,11 +412,14 @@ impl IntegrityPipeline {
         host: &ModelHost,
         durability: &mut dyn DurabilityPolicy,
     ) -> Result<ScrubSummary, IntegrityError> {
+        self.span_root("scrub_full", 0);
         self.enter(Stage::Scrub);
         let t = self.stamp();
         let summary = host.store().scrub();
         self.lap(t, Stage::Scrub);
-        self.note_scrub(&summary, host, durability)?;
+        let noted = self.note_scrub(&summary, host, durability);
+        self.span_seal();
+        noted?;
         Ok(summary)
     }
 
@@ -350,6 +432,19 @@ impl IntegrityPipeline {
     ///
     /// Propagates detection and strict durability failures.
     pub fn tick(
+        &mut self,
+        host: &ModelHost,
+        milr: &Milr,
+        chunk: &[usize],
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<TickOutcome, IntegrityError> {
+        self.span_root("tick", chunk.len() as u64);
+        let outcome = self.tick_inner(host, milr, chunk, durability);
+        self.span_seal();
+        outcome
+    }
+
+    fn tick_inner(
         &mut self,
         host: &ModelHost,
         milr: &Milr,
@@ -369,6 +464,7 @@ impl IntegrityPipeline {
         self.report.chunk_detects += 1;
         self.report.layers_checked += detection.checks.len();
         for &layer in &detection.flagged {
+            self.span_layer(layer);
             self.emit(EventKind::ScrubFlagged {
                 layer: layer as u32,
             });
@@ -395,6 +491,18 @@ impl IntegrityPipeline {
     /// out under [`EscalationPolicy::Fail`] or
     /// [`EscalationPolicy::PeerRepair`].
     pub fn heal_round(
+        &mut self,
+        host: &ModelHost,
+        milr: &mut Milr,
+        durability: &mut dyn DurabilityPolicy,
+    ) -> Result<RoundOutcome, IntegrityError> {
+        self.span_root("heal_round", self.rounds as u64);
+        let outcome = self.heal_round_inner(host, milr, durability);
+        self.span_seal();
+        outcome
+    }
+
+    fn heal_round_inner(
         &mut self,
         host: &ModelHost,
         milr: &mut Milr,
@@ -460,6 +568,12 @@ impl IntegrityPipeline {
         let recovery = milr.recover_layers(&mut live, &flagged)?;
         self.lap(t, Stage::Heal);
         for (layer, outcome) in &recovery.outcomes {
+            self.span_layer(*layer);
+            if outcome.is_exact() {
+                self.report.heals_exact += 1;
+            } else {
+                self.report.heals_approx += 1;
+            }
             self.emit(EventKind::HealOutcome {
                 layer: *layer as u32,
                 exact: outcome.is_exact(),
@@ -544,7 +658,12 @@ impl IntegrityPipeline {
         let mut carried: Option<Vec<usize>> = None;
         loop {
             let outcome = match carried.take() {
-                Some(flagged) => self.round_with(flagged, None, host, milr, durability)?,
+                Some(flagged) => {
+                    self.span_root("heal_round", self.rounds as u64);
+                    let outcome = self.round_with(flagged, None, host, milr, durability);
+                    self.span_seal();
+                    outcome?
+                }
                 None => self.heal_round(host, milr, durability)?,
             };
             match outcome {
@@ -571,8 +690,11 @@ impl IntegrityPipeline {
         milr: &mut Milr,
         durability: &mut dyn DurabilityPolicy,
     ) -> Result<bool, IntegrityError> {
+        self.span_root("reanchor", 0);
         let live = host.materialize();
-        self.reprotect_snapshot(live, host, milr, durability)
+        let anchored = self.reprotect_snapshot(live, host, milr, durability);
+        self.span_seal();
+        anchored
     }
 
     /// Re-protects and anchors exactly `live` — the snapshot the

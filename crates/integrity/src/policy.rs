@@ -7,6 +7,7 @@ use crate::host::ModelHost;
 use crate::IntegrityError;
 use milr_core::Milr;
 use milr_nn::Sequential;
+use milr_obs::{SpanHandle, SpanTree};
 use milr_store::Store;
 
 /// Heal rounds one episode may spend before the engine declares the
@@ -151,6 +152,10 @@ impl DurabilityPolicy for Volatile {
 pub struct Journaled<'a> {
     store: &'a mut Store,
     strict: bool,
+    /// Span ring + driver clock, when the driver wants re-anchor
+    /// commits attributed: each durable anchor pushes one
+    /// `reanchor_commit` tree (shadow-write → rename).
+    spans: Option<(SpanHandle, Box<dyn FnMut() -> u64 + Send + 'a>)>,
 }
 
 impl<'a> Journaled<'a> {
@@ -160,6 +165,7 @@ impl<'a> Journaled<'a> {
         Journaled {
             store,
             strict: true,
+            spans: None,
         }
     }
 
@@ -170,7 +176,23 @@ impl<'a> Journaled<'a> {
         Journaled {
             store,
             strict: false,
+            spans: None,
         }
+    }
+
+    /// Attaches a span ring and the driver's clock (nanoseconds; wall
+    /// since start in live drivers): every durable re-anchor pushes
+    /// one `reanchor_commit` span tree whose children time the
+    /// shadow-file write and the atomic rename. Purely observational —
+    /// commit behaviour and the crash-consistency kill-point protocol
+    /// are unchanged.
+    pub fn with_spans(
+        mut self,
+        spans: SpanHandle,
+        clock: Box<dyn FnMut() -> u64 + Send + 'a>,
+    ) -> Self {
+        self.spans = Some((spans, clock));
+        self
     }
 }
 
@@ -179,6 +201,7 @@ impl std::fmt::Debug for Journaled<'_> {
         f.debug_struct("Journaled")
             .field("store", &self.store.path())
             .field("strict", &self.strict)
+            .field("spans", &self.spans.is_some())
             .finish()
     }
 }
@@ -201,7 +224,37 @@ impl DurabilityPolicy for Journaled<'_> {
         live: &Sequential,
         host: &ModelHost,
     ) -> Result<Anchored, IntegrityError> {
-        match self.store.commit_reanchor(milr, live, host.store()) {
+        let mut tap = self.spans.take();
+        let committed = match &mut tap {
+            Some((handle, clock)) => {
+                let mut tree = SpanTree::new();
+                tree.open(clock(), "reanchor_commit", 0);
+                let committed = self.store.commit_reanchor_with_observer(
+                    milr,
+                    live,
+                    host.store(),
+                    &mut |step| {
+                        let ns = clock();
+                        match step {
+                            "begin" => tree.open(ns, "shadow-write", 0),
+                            "shadow-written" => {
+                                tree.close(ns);
+                                tree.open(ns, "rename", 0);
+                            }
+                            "renamed" => tree.close(ns),
+                            _ => {}
+                        }
+                    },
+                );
+                // A failed commit leaves children open; finish clamps
+                // them, so the tree still shows where it stopped.
+                handle.push_all(tree.finish(clock()));
+                committed
+            }
+            None => self.store.commit_reanchor(milr, live, host.store()),
+        };
+        self.spans = tap;
+        match committed {
             Ok(()) => Ok(Anchored::Durable),
             Err(e) if self.strict => Err(IntegrityError::Store(e)),
             Err(e) => {

@@ -85,6 +85,15 @@ pub struct PipelineReport {
     /// Best-effort durability operations that failed (logged and
     /// swallowed; the container on disk may lag the served state).
     pub durability_errors: usize,
+    /// Recovery outcomes that restored exact golden bits
+    /// (CRC-certified solves). Counts every outcome the Heal stage
+    /// produced, including ones later escalated instead of written
+    /// back — it feeds the heal-exactness SLO, which judges the
+    /// *recovery* machinery, not the write-back policy.
+    pub heals_exact: usize,
+    /// Recovery outcomes that came back min-norm/approximate or
+    /// failed outright.
+    pub heals_approx: usize,
     /// Cumulative wall time per stage (zero under virtual clocks).
     pub stage_ns: StageNanos,
 }
@@ -106,6 +115,8 @@ impl PipelineReport {
         self.reprotects += other.reprotects;
         self.anchors += other.anchors;
         self.durability_errors += other.durability_errors;
+        self.heals_exact += other.heals_exact;
+        self.heals_approx += other.heals_approx;
         self.stage_ns.merge(&other.stage_ns);
     }
 
@@ -133,7 +144,8 @@ impl PipelineReport {
                 "\"full_detects\":{},\"chunk_detects\":{},\"fast_verifies\":{},",
                 "\"layers_checked\":{},\"layers_skipped\":{},\"heal_rounds\":{},",
                 "\"layers_healed\":{},\"layers_escalated\":{},\"reprotects\":{},",
-                "\"anchors\":{},\"durability_errors\":{},\"stage_ns\":{}}}"
+                "\"anchors\":{},\"durability_errors\":{},",
+                "\"heals_exact\":{},\"heals_approx\":{},\"stage_ns\":{}}}"
             ),
             self.scrub_corrected,
             self.scrub_uncorrectable,
@@ -148,6 +160,8 @@ impl PipelineReport {
             self.reprotects,
             self.anchors,
             self.durability_errors,
+            self.heals_exact,
+            self.heals_approx,
             self.stage_ns.to_json(),
         )
     }

@@ -42,6 +42,14 @@ pub struct Episode {
     pub durable: Option<bool>,
     /// Pipeline stages entered, in order, with their clock stamps.
     pub stages: Vec<(&'static str, u64)>,
+    /// Batches dispatched on this source while the incident was open:
+    /// `(clock, occupancy)` — the traffic that was in flight during
+    /// the episode.
+    pub batches: Vec<(u64, u32)>,
+    /// SLO burn-rate alerts that fired while the incident was open:
+    /// `(clock, spec index)` — when the budget tripped relative to the
+    /// fault/heal timeline.
+    pub alerts: Vec<(u64, u32)>,
 }
 
 impl Episode {
@@ -145,7 +153,16 @@ pub fn fold_episodes(events: &[TraceEvent]) -> Vec<Episode> {
                     done.push((opened, ep));
                 }
             }
-            EventKind::BatchDispatched { .. } => {}
+            EventKind::BatchDispatched { occupancy } => {
+                if let Some((_, ep)) = open.get_mut(&ev.src) {
+                    ep.batches.push((ev.ns, occupancy));
+                }
+            }
+            EventKind::AlertFired { slo, .. } => {
+                if let Some((_, ep)) = open.get_mut(&ev.src) {
+                    ep.alerts.push((ev.ns, slo));
+                }
+            }
         }
     }
     // Unclosed episodes (run ended mid-incident) still count.
@@ -209,6 +226,20 @@ pub fn render_timeline(episodes: &[Episode]) -> String {
             out.push_str("  stages:");
             for (stage, ns) in &ep.stages {
                 out.push_str(&format!(" {stage}@{:.3}ms", ms(*ns)));
+            }
+            out.push('\n');
+        }
+        if !ep.batches.is_empty() {
+            out.push_str("  in-flight batches:");
+            for (ns, occupancy) in &ep.batches {
+                out.push_str(&format!(" {occupancy}req@{:.3}ms", ms(*ns)));
+            }
+            out.push('\n');
+        }
+        if !ep.alerts.is_empty() {
+            out.push_str("  budget alerts:");
+            for (ns, slo) in &ep.alerts {
+                out.push_str(&format!(" slo#{slo}@{:.3}ms", ms(*ns)));
             }
             out.push('\n');
         }
@@ -307,5 +338,53 @@ mod tests {
             ev(2, 0, EventKind::StageEntered { stage: "Detect" }),
         ];
         assert!(fold_episodes(&events).is_empty());
+    }
+
+    #[test]
+    fn in_flight_batches_and_alerts_join_the_incident_timeline() {
+        let events = vec![
+            // Before the incident: ignored, like clean stage entries.
+            ev(1_000_000, 0, EventKind::BatchDispatched { occupancy: 8 }),
+            ev(
+                2_000_000,
+                0,
+                EventKind::FaultInjected {
+                    layer: 0,
+                    weight: 3,
+                },
+            ),
+            // In flight while the fault is live.
+            ev(3_000_000, 0, EventKind::BatchDispatched { occupancy: 4 }),
+            ev(4_000_000, 0, EventKind::ScrubFlagged { layer: 0 }),
+            // The budget trips mid-incident.
+            ev(
+                5_000_000,
+                0,
+                EventKind::AlertFired {
+                    slo: 0,
+                    burn_milli: 3000,
+                },
+            ),
+            ev(5_500_000, 0, EventKind::BatchDispatched { occupancy: 2 }),
+            ev(6_000_000, 0, EventKind::Reanchor { durable: false }),
+            // After the incident closed: ignored again.
+            ev(
+                7_000_000,
+                0,
+                EventKind::AlertFired {
+                    slo: 1,
+                    burn_milli: 100,
+                },
+            ),
+        ];
+        let eps = fold_episodes(&events);
+        assert_eq!(eps.len(), 1);
+        let ep = &eps[0];
+        assert_eq!(ep.batches, vec![(3_000_000, 4), (5_500_000, 2)]);
+        assert_eq!(ep.alerts, vec![(5_000_000, 0)]);
+
+        let timeline = render_timeline(&eps);
+        assert!(timeline.contains("in-flight batches: 4req@3.000ms 2req@5.500ms"));
+        assert!(timeline.contains("budget alerts: slo#0@5.000ms"));
     }
 }

@@ -118,6 +118,17 @@ impl Histogram {
     /// [`SUB`]), capped at the exactly-tracked max. `q` is clamped to
     /// `[0, 1]`; returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
+        self.value_at_quantile(q)
+    }
+
+    /// Inverse of the bucket math: the value at arbitrary quantile `q`
+    /// — walk the cumulative bucket counts to the nearest-rank bucket
+    /// and return its upper bound (exact below [`SUB`], within the
+    /// `1/SUB ≈ 3.1%` bucket quantization above it), capped at the
+    /// exactly-tracked max. This is the query surface the SLO engine
+    /// and tests use for quantiles beyond the pre-baked p50/p95/p99.
+    /// `q` is clamped to `[0, 1]`; returns 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
@@ -263,6 +274,86 @@ mod tests {
         }
         assert_eq!(h.max(), 970_000);
         assert_eq!(h.quantile(1.0), 970_000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn value_at_quantile_tracks_exact_nearest_rank_on_random_samples() {
+        // Deterministic LCG "random" samples spanning several octaves.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut samples: Vec<u64> = (0..5_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 16) % 10_000_000 + 1
+            })
+            .collect();
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        // Arbitrary quantiles, not just the pre-baked three.
+        for q in [
+            0.01, 0.10, 0.25, 0.333, 0.5, 0.6, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0,
+        ] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = h.value_at_quantile(q);
+            assert!(approx >= exact, "q={q}: {approx} below exact {exact}");
+            let err = (approx - exact) as f64 / exact as f64;
+            assert!(
+                err <= 1.0 / SUB as f64 + 1e-9,
+                "q={q}: err {err} (approx {approx}, exact {exact})"
+            );
+        }
+        assert_eq!(h.value_at_quantile(0.0), h.quantile(0.0));
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_ranges_preserves_both_tails() {
+        // One histogram lives entirely in the exact low buckets, the
+        // other entirely several octaves up — no bucket overlaps.
+        let mut low = Histogram::new();
+        for v in 1..=20u64 {
+            low.record(v);
+        }
+        let mut high = Histogram::new();
+        for v in 0..20u64 {
+            high.record(1_000_000 + v * 10_000);
+        }
+        let mut merged = low.clone();
+        merged.merge(&high);
+        assert_eq!(merged.count(), 40);
+        assert_eq!(merged.sum(), low.sum() + high.sum());
+        assert_eq!(merged.max(), high.max());
+        // The low tail is exact, the high tail is bucket-quantized.
+        assert_eq!(merged.value_at_quantile(0.25), 10);
+        let p90 = merged.value_at_quantile(0.9);
+        assert!(
+            p90 >= 1_000_000,
+            "p90 {p90} must come from the high histogram"
+        );
+        // Every non-empty bucket of the merge belongs to exactly one
+        // input (the ranges are disjoint).
+        let lows = low.nonzero_buckets().count();
+        let highs = high.nonzero_buckets().count();
+        assert_eq!(merged.nonzero_buckets().count(), lows + highs);
+    }
+
+    #[test]
+    fn zero_count_merge_is_identity() {
+        let mut h = Histogram::new();
+        for v in [3u64, 77, 12_345] {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before, "merging an empty histogram changes nothing");
+
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into empty copies the input");
     }
 
     #[test]

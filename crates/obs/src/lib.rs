@@ -15,17 +15,27 @@
 //! - [`forensics`]: folds the event stream into per-incident
 //!   [`Episode`] timelines — fault→detect→heal→certify latencies,
 //!   exact-vs-approximate heal mix, escalation paths.
+//! - [`span`]: hierarchical timed spans ([`SpanTree`]) with
+//!   self-overhead accounting, flame-style JSON export, an ASCII
+//!   renderer, and a bounded [`SpanRing`] of completed trees.
+//! - [`slo`]: declarative [`SloSpec`]s evaluated by an [`SloEngine`]
+//!   with fast/slow multi-window burn-rate alerting, folded into an
+//!   [`SloReport`] budget verdict.
 
 #![deny(missing_docs)]
 
 pub mod forensics;
 pub mod hist;
 pub mod metrics;
+pub mod slo;
+pub mod span;
 pub mod trace;
 
 pub use forensics::{fold_episodes, render_timeline, Episode};
 pub use hist::{AtomicHistogram, Histogram};
 pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use slo::{SloAlert, SloBudget, SloEngine, SloKind, SloReport, SloSpec};
+pub use span::{render_flame, SpanHandle, SpanNode, SpanRing, SpanTree};
 pub use trace::{
     EventKind, NullSink, Observer, RingRecorder, TraceEvent, TraceHandle, TraceSink, FLEET_SRC,
 };

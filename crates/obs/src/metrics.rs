@@ -83,6 +83,8 @@ struct Instruments {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     inner: Mutex<Instruments>,
+    /// Wall cost of the most recent [`MetricsRegistry::snapshot`].
+    last_snapshot_ns: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -115,10 +117,15 @@ impl MetricsRegistry {
             .clone()
     }
 
-    /// A point-in-time copy of every instrument, sorted by name.
+    /// A point-in-time copy of every instrument, sorted by name. The
+    /// wall cost of building the copy is tracked for
+    /// [`MetricsRegistry::export_self_stats`] — snapshotting is the
+    /// registry's only non-constant operation, so its cost *is* the
+    /// registry's overhead story.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let started = std::time::Instant::now();
         let inner = self.inner.lock().unwrap();
-        MetricsSnapshot {
+        let snap = MetricsSnapshot {
             counters: inner
                 .counters
                 .iter()
@@ -134,7 +141,40 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+        };
+        drop(inner);
+        self.last_snapshot_ns
+            .store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        snap
+    }
+
+    /// Number of registered series across all instrument kinds.
+    pub fn series_count(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.counters.len() + inner.gauges.len() + inner.histograms.len()
+    }
+
+    /// Wall cost (ns) of the most recent snapshot, 0 before the first.
+    pub fn last_snapshot_cost_ns(&self) -> u64 {
+        self.last_snapshot_ns.load(Ordering::Relaxed)
+    }
+
+    /// Surfaces the observability plane's own health as first-class
+    /// metrics, so observability loss is itself observable:
+    /// `obs_series` (registered series), `obs_snapshot_cost_ns` (wall
+    /// cost of the last snapshot), and — when the caller passes its
+    /// trace recorder's drop count — `obs_trace_dropped_total`
+    /// (monotone; the counter is advanced by the delta since the last
+    /// export). Call right before exporting a snapshot.
+    pub fn export_self_stats(&self, trace_dropped: Option<u64>) {
+        if let Some(dropped) = trace_dropped {
+            let c = self.counter("obs_trace_dropped_total");
+            c.add(dropped.saturating_sub(c.get()));
         }
+        let series = self.gauge("obs_series");
+        let cost = self.gauge("obs_snapshot_cost_ns");
+        series.set(self.series_count() as i64);
+        cost.set(self.last_snapshot_cost_ns() as i64);
     }
 }
 
@@ -286,5 +326,33 @@ mod tests {
         assert!(prom.contains("# TYPE lat histogram\n"));
         assert!(prom.contains("lat_bucket{le=\"10\"} 1\n"));
         assert!(prom.contains("lat_bucket{le=\"+Inf\"} 2\nlat_sum 110\nlat_count 2\n"));
+    }
+
+    #[test]
+    fn self_stats_surface_series_count_snapshot_cost_and_trace_drops() {
+        let reg = MetricsRegistry::new();
+        reg.counter("requests_total").inc();
+        reg.gauge("depth").set(1);
+        assert_eq!(reg.series_count(), 2);
+        assert_eq!(reg.last_snapshot_cost_ns(), 0, "no snapshot yet");
+
+        let _ = reg.snapshot();
+        reg.export_self_stats(Some(7));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("obs_trace_dropped_total"), Some(7));
+        // 2 user series + obs_trace_dropped_total + obs_series +
+        // obs_snapshot_cost_ns.
+        assert_eq!(snap.gauge_value("obs_series"), Some(5));
+        assert!(snap.gauge_value("obs_snapshot_cost_ns").is_some());
+
+        // The drop counter is monotone and delta-advanced: exporting a
+        // larger cumulative count adds only the difference, exporting
+        // the same count is a no-op.
+        reg.export_self_stats(Some(9));
+        reg.export_self_stats(Some(9));
+        assert_eq!(
+            reg.snapshot().counter_value("obs_trace_dropped_total"),
+            Some(9)
+        );
     }
 }

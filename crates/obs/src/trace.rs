@@ -59,6 +59,14 @@ pub enum EventKind {
         /// True when the anchor reached durable storage.
         durable: bool,
     },
+    /// An SLO burn-rate alert fired (rising edge): both the fast and
+    /// slow windows of spec `slo` exceeded the burn threshold.
+    AlertFired {
+        /// Index of the spec in the run's SLO engine.
+        slo: u32,
+        /// Fast-window burn rate × 1000 at the firing instant.
+        burn_milli: u32,
+    },
 }
 
 impl EventKind {
@@ -73,6 +81,7 @@ impl EventKind {
             EventKind::PeerRepair { .. } => "PeerRepair",
             EventKind::BatchDispatched { .. } => "BatchDispatched",
             EventKind::Reanchor { .. } => "Reanchor",
+            EventKind::AlertFired { .. } => "AlertFired",
         }
     }
 }
@@ -115,6 +124,9 @@ impl TraceEvent {
                 format!(",\"occupancy\":{occupancy}}}")
             }
             EventKind::Reanchor { durable } => format!(",\"durable\":{durable}}}"),
+            EventKind::AlertFired { slo, burn_milli } => {
+                format!(",\"slo\":{slo},\"burn_milli\":{burn_milli}}}")
+            }
         };
         head + &tail
     }
@@ -229,14 +241,17 @@ impl TraceHandle {
 }
 
 /// The observability context threaded through drivers: an optional
-/// trace sink and an optional metrics registry. `Observer::default()`
-/// observes nothing and is the cost-free common case.
+/// trace sink, an optional metrics registry, and an optional span
+/// ring. `Observer::default()` observes nothing and is the cost-free
+/// common case.
 #[derive(Debug, Clone, Default)]
 pub struct Observer {
     /// Structured event sink, if any.
     pub trace: Option<TraceHandle>,
     /// Metrics registry, if any.
     pub metrics: Option<Arc<crate::metrics::MetricsRegistry>>,
+    /// Completed-span-tree ring, if any.
+    pub spans: Option<crate::span::SpanHandle>,
 }
 
 impl Observer {
@@ -245,12 +260,19 @@ impl Observer {
         Observer {
             trace: Some(TraceHandle::new(sink)),
             metrics: None,
+            spans: None,
         }
     }
 
     /// Adds a metrics registry.
     pub fn and_metrics(mut self, metrics: Arc<crate::metrics::MetricsRegistry>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Adds a span ring.
+    pub fn and_spans(mut self, ring: Arc<crate::span::SpanRing>) -> Self {
+        self.spans = Some(crate::span::SpanHandle::new(ring));
         self
     }
 
@@ -292,6 +314,18 @@ mod tests {
         assert!(fault
             .to_json()
             .ends_with("\"layer\":2,\"weight\":18446744073709551615}"));
+        let alert = TraceEvent {
+            ns: 99,
+            src: 1,
+            kind: EventKind::AlertFired {
+                slo: 0,
+                burn_milli: 2500,
+            },
+        };
+        assert_eq!(
+            alert.to_json(),
+            "{\"ns\":99,\"src\":1,\"event\":\"AlertFired\",\"slo\":0,\"burn_milli\":2500}"
+        );
     }
 
     #[test]
@@ -319,6 +353,6 @@ mod tests {
     fn observer_default_is_inert() {
         let obs = Observer::default();
         obs.emit(1, 0, EventKind::Reanchor { durable: true });
-        assert!(obs.trace.is_none() && obs.metrics.is_none());
+        assert!(obs.trace.is_none() && obs.metrics.is_none() && obs.spans.is_none());
     }
 }

@@ -55,6 +55,7 @@
 #![deny(missing_docs)]
 
 mod coldstart;
+pub mod http;
 mod ledger;
 mod metrics;
 mod report;

@@ -63,6 +63,11 @@ pub struct ServeReport {
     /// shared integrity pipeline behind the run's scrubbing and
     /// recovery. Deterministic under a seed on virtual-clock drivers.
     pub pipeline: PipelineReport,
+    /// Error-budget verdict of the run's SLO engine, when the driver
+    /// ran one (the simulators always do; aggregation drops it — the
+    /// fleet view carries its own). `None` leaves the JSON byte-for-
+    /// byte what it was before SLOs existed.
+    pub slo: Option<milr_obs::SloReport>,
 }
 
 /// FNV-1a over the resolved outcomes, for cheap reproducibility
@@ -182,6 +187,7 @@ impl ServeReport {
             },
             digest,
             pipeline,
+            slo: None,
         }
     }
 
@@ -192,7 +198,7 @@ impl ServeReport {
     /// pipeline block and the newer fields (p99, batch-occupancy
     /// stats) appended after it.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut json = format!(
             concat!(
                 "{{\"seed\":{},\"policy\":\"{}\",\"submitted\":{},\"completed\":{},",
                 "\"rejected\":{},\"reexecuted\":{},\"faults_injected\":{},",
@@ -230,7 +236,16 @@ impl ServeReport {
             self.batches,
             self.full_batches,
             self.batch_occupancy,
-        )
+        );
+        // The SLO block rides after the closing brace contract the
+        // parity suite pins: swap the final `}` for `,"slo":{...}}`.
+        if let Some(slo) = &self.slo {
+            json.pop();
+            json.push_str(",\"slo\":");
+            json.push_str(&slo.to_json());
+            json.push('}');
+        }
+        json
     }
 }
 
@@ -292,6 +307,7 @@ mod tests {
                 layers_healed: 1,
                 ..PipelineReport::default()
             },
+            slo: None,
         };
         let other = ServeReport {
             submitted: 30,
@@ -365,6 +381,7 @@ mod tests {
             batch_occupancy: 0.0,
             digest: 1,
             pipeline: PipelineReport::default(),
+            slo: None,
         };
         let replicas = [
             template.clone(),
@@ -428,6 +445,7 @@ mod tests {
             batch_occupancy: 2.5,
             digest: 42,
             pipeline: PipelineReport::default(),
+            slo: None,
         };
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
@@ -440,5 +458,17 @@ mod tests {
         // prefix the parity suite byte-compares never moves.
         assert!(json.contains("},\"latency_p99_us\":0.000"));
         assert!(json.ends_with("\"batches\":3,\"full_batches\":2,\"batch_occupancy\":2.500}"));
+
+        // With an SLO verdict attached, the block is appended inside
+        // the closing brace and everything before it is unmoved.
+        let without = json;
+        let with = ServeReport {
+            slo: Some(milr_obs::SloEngine::serving_defaults().report(1_000)),
+            ..r
+        }
+        .to_json();
+        assert!(with.starts_with(without.trim_end_matches('}')));
+        assert!(with.contains(",\"slo\":{\"pass\":true,"));
+        assert!(with.ends_with("}}"));
     }
 }

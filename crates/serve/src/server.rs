@@ -23,7 +23,8 @@ use milr_integrity::{
 };
 use milr_nn::Sequential;
 use milr_obs::{
-    AtomicHistogram, Counter, EventKind, Gauge, MetricsRegistry, MetricsSnapshot, TraceHandle,
+    AtomicHistogram, Counter, EventKind, Gauge, MetricsRegistry, MetricsSnapshot, SloAlert,
+    SloEngine, SloKind, SpanHandle, SpanTree, TraceHandle,
 };
 use milr_substrate::{SubstrateKind, WeightSubstrate};
 use milr_tensor::Tensor;
@@ -77,6 +78,17 @@ pub struct ServerConfig {
     /// with wall time since server start (the sim stamps virtual time
     /// instead — same event schema, different clock domain).
     pub trace: Option<TraceHandle>,
+    /// Optional span sink: worker batch trees (batch → decode →
+    /// forward → layer×N), engine stage trees from the scrubber, and —
+    /// for store-backed servers — journal commit and re-anchor trees
+    /// all land here, stamped with wall time since server start.
+    pub spans: Option<SpanHandle>,
+    /// Optional live-introspection bind address (e.g. `"127.0.0.1:0"`
+    /// for an ephemeral port). When set, a zero-dependency HTTP
+    /// listener ([`crate::http`]) answers `GET /metrics`, `/health`,
+    /// `/slo`, and `/spans` for the server's lifetime;
+    /// [`Server::http_addr`] reports the bound port.
+    pub http_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +104,8 @@ impl Default for ServerConfig {
             substrate: SubstrateKind::Plain,
             read_path: ReadPath::Fused,
             trace: None,
+            spans: None,
+            http_addr: None,
         }
     }
 }
@@ -161,6 +175,10 @@ enum Status {
 struct Inner {
     queue: VecDeque<PendingRequest>,
     status: Status,
+    /// Start of the current availability segment: the last instant the
+    /// serving/quarantined state flipped (or server start). Each flip
+    /// feeds the elapsed segment into the availability SLO window.
+    avail_mark: u64,
     epoch: u64,
     next_id: u64,
     in_flight: usize,
@@ -227,6 +245,11 @@ struct Shared {
     stop: AtomicBool,
     metrics: Arc<MetricsRegistry>,
     obs: ServerObs,
+    /// Burn-rate SLO evaluation over the live streams (availability
+    /// segments, per-request latencies, heal exactness, durability).
+    /// Leaf lock: taken while holding `inner`, `milr`, or `pipeline`,
+    /// and never the other way around.
+    slo: Mutex<SloEngine>,
 }
 
 impl Shared {
@@ -241,6 +264,30 @@ impl Shared {
         }
     }
 
+    /// Emits burn-rate alert rising edges on the trace (wall-stamped,
+    /// like every other live-server event).
+    fn fire_alerts(&self, alerts: Vec<SloAlert>) {
+        for a in alerts {
+            self.emit(
+                a.ns,
+                EventKind::AlertFired {
+                    slo: a.spec,
+                    burn_milli: a.burn_milli,
+                },
+            );
+        }
+    }
+
+    /// Feeds one good/bad sample into the SLO engine.
+    fn slo_observe(&self, now: u64, kind: SloKind, good: u64, bad: u64) {
+        let alerts = self
+            .slo
+            .lock()
+            .expect("slo lock poisoned")
+            .observe(now, kind, good, bad);
+        self.fire_alerts(alerts);
+    }
+
     fn resolve(&self, inner: &mut Inner, now: u64, req: PendingRequest, status: RequestStatus) {
         match &status {
             RequestStatus::Completed(out) => {
@@ -248,6 +295,12 @@ impl Shared {
                 let latency = now.saturating_sub(req.arrival_ns);
                 self.obs.latency.record(latency);
                 inner.latencies.push(latency);
+                let alerts = self
+                    .slo
+                    .lock()
+                    .expect("slo lock poisoned")
+                    .observe_latency(now, latency);
+                self.fire_alerts(alerts);
                 let _ = req.tx.send(Ok(out.clone()));
             }
             RequestStatus::Rejected(reason) => {
@@ -272,6 +325,8 @@ pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     scrubber: Option<JoinHandle<()>>,
+    http: Option<JoinHandle<()>>,
+    http_addr: Option<std::net::SocketAddr>,
 }
 
 impl Server {
@@ -339,6 +394,15 @@ impl Server {
         if let Some(trace) = &config.trace {
             pipeline.attach_trace(trace.clone(), 0);
         }
+        if let Some(spans) = &config.spans {
+            pipeline.attach_spans(spans.clone());
+        }
+        let start = Instant::now();
+        // Store-backed servers also time every journal commit step
+        // (write → fsync → apply → retire) into the same ring.
+        if let (Some(store), Some(spans)) = (&store, &config.spans) {
+            store.journal().set_spans(spans.clone(), start);
+        }
         let metrics = Arc::new(MetricsRegistry::new());
         let obs = ServerObs::register(&metrics);
         let shared = Arc::new(Shared {
@@ -347,10 +411,11 @@ impl Server {
             pipeline: Mutex::new(pipeline),
             store: store.map(Mutex::new),
             config,
-            start: Instant::now(),
+            start,
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 status: Status::Serving,
+                avail_mark: 0,
                 epoch: 0,
                 next_id: 0,
                 in_flight: 0,
@@ -374,6 +439,7 @@ impl Server {
             stop: AtomicBool::new(false),
             metrics,
             obs,
+            slo: Mutex::new(SloEngine::serving_defaults()),
         });
         let workers = (0..shared.config.workers)
             .map(|_| {
@@ -385,11 +451,41 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || scrubber_loop(&shared))
         };
+        let (http, http_addr) = match &shared.config.http_addr {
+            Some(addr) => {
+                let listener = std::net::TcpListener::bind(addr)
+                    .expect("failed to bind the live introspection listener");
+                let bound = listener
+                    .local_addr()
+                    .expect("introspection listener has a local address");
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || {
+                    let stop = {
+                        let shared = Arc::clone(&shared);
+                        move || shared.stop.load(Ordering::Acquire)
+                    };
+                    crate::http::serve_until(listener, stop, move |method, path| {
+                        introspect(&shared, method, path)
+                    });
+                });
+                (Some(handle), Some(bound))
+            }
+            None => (None, None),
+        };
         Server {
             shared,
             workers,
             scrubber: Some(scrubber),
+            http,
+            http_addr,
         }
+    }
+
+    /// The bound address of the live introspection listener, when
+    /// [`ServerConfig::http_addr`] was set (port 0 requests resolve to
+    /// the actual ephemeral port here).
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http_addr
     }
 
     /// Submits one request (input in the model's per-image shape).
@@ -514,6 +610,9 @@ impl Server {
         if let Some(s) = self.scrubber.take() {
             let _ = s.join();
         }
+        if let Some(h) = self.http.take() {
+            let _ = h.join();
+        }
         let now = self.shared.now_ns();
         let mut inner = self.shared.inner.lock().expect("lock poisoned");
         // Final certification flush: one full detection pass at `now`
@@ -561,6 +660,28 @@ impl Server {
             .expect("pipeline lock poisoned")
             .report()
             .clone();
+        // Close the SLO windows: the trailing availability segment,
+        // then the lifetime durability tally (anchors committed vs
+        // best-effort failures).
+        let tail = now.saturating_sub(inner.avail_mark);
+        inner.avail_mark = now;
+        if inner.status == Status::Serving {
+            self.shared.slo_observe(now, SloKind::Availability, tail, 0);
+        } else {
+            self.shared.slo_observe(now, SloKind::Availability, 0, tail);
+        }
+        self.shared.slo_observe(
+            now,
+            SloKind::Durability,
+            pipeline.anchors as u64,
+            pipeline.durability_errors as u64,
+        );
+        let slo = self
+            .shared
+            .slo
+            .lock()
+            .expect("slo lock poisoned")
+            .report(now);
         ServeReport {
             seed: 0,
             policy: self.shared.config.policy.name().to_string(),
@@ -587,6 +708,7 @@ impl Server {
             },
             digest: outcome_digest(&inner.outcomes),
             pipeline,
+            slo: Some(slo),
         }
     }
 }
@@ -664,7 +786,21 @@ fn worker_loop(shared: &Shared) {
         // cross-shard races.
         let inputs: Vec<Tensor> = requests.iter().map(|r| r.input.clone()).collect();
         let outputs = match shared.config.read_path {
-            ReadPath::Fused => shared.host.forward_batch(&inputs),
+            ReadPath::Fused => match &shared.config.spans {
+                // Traced fused path: one wall-clock span tree per batch
+                // (batch → decode → forward → layer×N) into the ring.
+                Some(spans) => {
+                    let mut clock = || shared.now_ns();
+                    let mut tree = SpanTree::default();
+                    tree.open(clock(), "batch", n as u64);
+                    let out = shared
+                        .host
+                        .forward_batch_traced(&inputs, &mut clock, &mut tree);
+                    spans.push_all(tree.finish(shared.now_ns()));
+                    out
+                }
+                None => shared.host.forward_batch(&inputs),
+            },
             ReadPath::LegacyMaterialize => shared.host.materialize().forward_batch(&inputs),
         }
         .expect("inputs validated against the model shape at submission");
@@ -713,7 +849,15 @@ fn with_durability<T>(shared: &Shared, f: impl FnOnce(&mut dyn DurabilityPolicy)
     match &shared.store {
         Some(store) => {
             let mut store = store.lock().expect("store lock poisoned");
-            f(&mut Journaled::best_effort(&mut store))
+            let mut policy = Journaled::best_effort(&mut store);
+            if let Some(spans) = &shared.config.spans {
+                let start = shared.start;
+                policy = policy.with_spans(
+                    spans.clone(),
+                    Box::new(move || start.elapsed().as_nanos() as u64),
+                );
+            }
+            f(&mut policy)
         }
         None => f(&mut Volatile),
     }
@@ -770,6 +914,10 @@ fn scrubber_loop(shared: &Shared) {
         inner.downtime.open_at(now);
         shared.obs.quarantines.inc();
         shared.emit(now, EventKind::Quarantine { entered: true });
+        // The serving segment that just ended is availability-good.
+        let up = now.saturating_sub(inner.avail_mark);
+        inner.avail_mark = now;
+        shared.slo_observe(now, SloKind::Availability, up, 0);
         let voided = inner.ledger.invalidate();
         match shared.config.policy {
             QuarantinePolicy::Drain => {
@@ -816,12 +964,26 @@ fn scrubber_loop(shared: &Shared) {
             let mut milr = shared.milr.lock().expect("lock poisoned");
             let mut pipeline = shared.pipeline.lock().expect("pipeline lock poisoned");
             pipeline.set_now(shared.now_ns());
+            let heals_before = {
+                let r = pipeline.report();
+                (r.heals_exact, r.heals_approx)
+            };
             let outcome = with_durability(shared, |dur| pipeline.run(&shared.host, &mut milr, dur))
                 .expect("recovery propagates only solver errors");
             debug_assert!(matches!(
                 outcome,
                 RoundOutcome::Clean { .. } | RoundOutcome::GaveUp { .. }
             ));
+            let (exact, approx) = {
+                let r = pipeline.report();
+                (
+                    (r.heals_exact - heals_before.0) as u64,
+                    (r.heals_approx - heals_before.1) as u64,
+                )
+            };
+            if exact + approx > 0 {
+                shared.slo_observe(shared.now_ns(), SloKind::HealExactness, exact, approx);
+            }
         }
 
         let now = shared.now_ns();
@@ -829,9 +991,90 @@ fn scrubber_loop(shared: &Shared) {
         inner.status = Status::Serving;
         inner.downtime.close_at(now);
         shared.emit(now, EventKind::Quarantine { entered: false });
+        // The quarantine window that just closed is availability-bad.
+        let down = now.saturating_sub(inner.avail_mark);
+        inner.avail_mark = now;
+        shared.slo_observe(now, SloKind::Availability, 0, down);
         inner.cursor.reset();
         drop(inner);
         shared.work_cv.notify_all();
+    }
+}
+
+/// Answers one live-introspection request against the control plane.
+/// Read-only: every endpoint snapshots state under short-lived locks,
+/// so probing never stalls serving.
+fn introspect(shared: &Shared, method: &str, path: &str) -> crate::http::HttpResponse {
+    use crate::http::HttpResponse;
+    if method != "GET" {
+        return HttpResponse::new(405, "text/plain; charset=utf-8", "method not allowed\n");
+    }
+    let now = shared.now_ns();
+    match path {
+        "/metrics" => {
+            shared
+                .metrics
+                .gauge("substrate_epoch_total")
+                .set(shared.host.store().epoch_total() as i64);
+            shared.metrics.export_self_stats(None);
+            HttpResponse::new(
+                200,
+                "text/plain; version=0.0.4",
+                shared.metrics.snapshot().to_prometheus(),
+            )
+        }
+        "/health" => {
+            let (status, quarantines) = {
+                let inner = shared.inner.lock().expect("lock poisoned");
+                (inner.status, inner.quarantines)
+            };
+            let pass = shared
+                .slo
+                .lock()
+                .expect("slo lock poisoned")
+                .report(now)
+                .pass;
+            let serving = status == Status::Serving;
+            let body = format!(
+                "{{\"status\":\"{}\",\"slo_pass\":{},\"quarantines\":{},\"uptime_ns\":{}}}\n",
+                if serving { "serving" } else { "quarantined" },
+                pass,
+                quarantines,
+                now,
+            );
+            // Readiness: quarantined replicas answer 503 so a probe
+            // can route around them; a blown budget alone stays 200
+            // (still serving) but reports `slo_pass:false`.
+            HttpResponse::new(if serving { 200 } else { 503 }, "application/json", body)
+        }
+        "/slo" => {
+            let mut slo = shared.slo.lock().expect("slo lock poisoned");
+            let report = slo.report(now);
+            let burns = slo.burn_rates(now);
+            let names: Vec<&'static str> = slo.specs().iter().map(|s| s.name).collect();
+            drop(slo);
+            let mut body = String::from("{\"report\":");
+            body.push_str(&report.to_json());
+            body.push_str(",\"burn_rates\":[");
+            for (i, ((fast, slow), name)) in burns.iter().zip(&names).enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!(
+                    "{{\"slo\":\"{name}\",\"fast\":{fast:.6},\"slow\":{slow:.6}}}"
+                ));
+            }
+            body.push_str("]}\n");
+            HttpResponse::new(200, "application/json", body)
+        }
+        "/spans" => {
+            let body = match &shared.config.spans {
+                Some(spans) => spans.ring().to_jsonl(),
+                None => String::new(),
+            };
+            HttpResponse::new(200, "application/x-ndjson", body)
+        }
+        _ => HttpResponse::not_found(),
     }
 }
 
@@ -844,6 +1087,9 @@ impl Drop for Server {
         }
         if let Some(s) = self.scrubber.take() {
             let _ = s.join();
+        }
+        if let Some(h) = self.http.take() {
+            let _ = h.join();
         }
     }
 }
@@ -976,5 +1222,90 @@ mod tests {
             }
             other => panic!("unexpected resolution: {other:?}"),
         }
+    }
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect introspection");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn live_introspection_answers_under_a_fault_campaign() {
+        let golden = serving_model(24);
+        let spans = SpanHandle::new(Arc::new(milr_obs::SpanRing::new(64)));
+        let server = Server::start(
+            &golden,
+            MilrConfig::default(),
+            ServerConfig {
+                workers: 2,
+                scrub_interval: Duration::from_millis(1),
+                policy: QuarantinePolicy::Drain,
+                spans: Some(spans.clone()),
+                http_addr: Some("127.0.0.1:0".to_string()),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.http_addr().expect("listener bound");
+        let mut rng = TensorRng::new(79);
+        let inputs: Vec<Tensor> = (0..8).map(|_| rng.uniform_tensor(&[10, 10, 1])).collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        server.inject_weight_fault(0, 7);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while server.quarantines() == 0 || server.is_quarantined() {
+            assert!(Instant::now() < deadline, "scrubber never healed the fault");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Probe every endpoint while the campaign is live.
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("serve_quarantines_total"), "{metrics}");
+        assert!(metrics.contains("obs_series"), "{metrics}");
+        let health = http_get(addr, "/health");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.contains("\"status\":\"serving\""), "{health}");
+        let slo = http_get(addr, "/slo");
+        assert!(slo.starts_with("HTTP/1.1 200 OK\r\n"), "{slo}");
+        assert!(slo.contains("\"name\":\"availability\""), "{slo}");
+        assert!(slo.contains("\"burn_rates\":["), "{slo}");
+        let spans_resp = http_get(addr, "/spans");
+        assert!(
+            spans_resp.starts_with("HTTP/1.1 200 OK\r\n"),
+            "{spans_resp}"
+        );
+        assert!(
+            http_get(addr, "/nope").starts_with("HTTP/1.1 404"),
+            "404 fallback"
+        );
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 8);
+        assert!(report.to_json().contains("\"slo\":{\"pass\":"));
+        let slo = report.slo.expect("live report carries an SLO verdict");
+        let avail = slo.budget("availability").expect("availability budget");
+        assert!(avail.good > 0, "availability window saw serving time");
+        assert!(avail.bad > 0, "availability window saw the quarantine");
+        // The worker batch trees and the scrubber's engine trees both
+        // landed in the ring.
+        let trees = spans.ring().trees();
+        assert!(
+            trees.iter().any(|t| t.name == "batch"),
+            "no batch span: {trees:?}"
+        );
+        assert!(
+            trees.iter().any(|t| t.name != "batch"),
+            "no engine span: {trees:?}"
+        );
     }
 }

@@ -34,7 +34,7 @@ use milr_integrity::{
     Budget, EscalationPolicy, IntegrityPipeline, ModelHost, RoundOutcome, Volatile,
 };
 use milr_nn::{Layer, Sequential};
-use milr_obs::{EventKind, Observer};
+use milr_obs::{EventKind, Observer, SloEngine, SloKind, SpanTree};
 use milr_substrate::SubstrateKind;
 use milr_tensor::{Tensor, TensorRng};
 use std::collections::{BinaryHeap, VecDeque};
@@ -317,6 +317,16 @@ pub fn simulate_observed(
     if let Some(trace) = &obs.trace {
         pipeline.attach_trace(trace.clone(), 0);
     }
+    if let Some(spans) = &obs.spans {
+        pipeline.attach_spans(spans.clone());
+    }
+    // The SLO engine runs unconditionally, fed from the run's own
+    // deterministic streams, so the report's budget verdict is part of
+    // the seeded contract: attaching (or omitting) observers cannot
+    // change a byte of it. Only the AlertFired trace emission below is
+    // observer-gated (`obs.emit` is a no-op without a recorder).
+    let mut slo = SloEngine::serving_defaults();
+    let mut avail_mark = 0u64;
     // Metrics handles, registered once: recording below is lock-free
     // atomics on preallocated buckets.
     let m = obs.metrics.as_deref();
@@ -407,6 +417,21 @@ pub fn simulate_observed(
     let mut batched_requests = 0usize;
     let mut deadline_pending = false;
 
+    macro_rules! slo_alerts {
+        ($alerts:expr) => {
+            for a in $alerts {
+                obs.emit(
+                    a.ns,
+                    0,
+                    EventKind::AlertFired {
+                        slo: a.spec,
+                        burn_milli: a.burn_milli,
+                    },
+                );
+            }
+        };
+    }
+
     macro_rules! resolve {
         ($idx:expr, $status:expr) => {{
             let idx: usize = $idx;
@@ -420,6 +445,7 @@ pub fn simulate_observed(
                         h.record(latency);
                     }
                     latencies.push(latency);
+                    slo_alerts!(slo.observe_latency(clock, latency));
                 }
                 RequestStatus::Rejected(_) => rejected += 1,
             }
@@ -455,6 +481,21 @@ pub fn simulate_observed(
             let outputs = host
                 .forward_batch(&inputs)
                 .expect("batch inputs validated at submission");
+            if let Some(sp) = &obs.spans {
+                // Span tree from the modeled costs: the virtual clock
+                // does not advance inside the host call, so the batch's
+                // decode/forward split comes from `VirtualCosts` — the
+                // same quantities the completion event is scheduled by.
+                let decode_done = clock + cfg.costs.batch_base_ns;
+                let span_done = clock + cfg.costs.batch_ns(n);
+                let mut tree = SpanTree::new();
+                tree.open(clock, "batch", n as u64);
+                tree.open(clock, "decode", n as u64);
+                tree.close(decode_done);
+                tree.open(decode_done, "forward", n as u64);
+                tree.close(span_done);
+                sp.push_all(tree.finish(span_done));
+            }
             batches += 1;
             batched_requests += n;
             if n == cfg.batch_max {
@@ -619,6 +660,14 @@ pub fn simulate_observed(
                     epoch += 1;
                     deadline_pending = false; // pending deadline now stale
                     downtime.open_at(clock);
+                    // Close the up-window for the availability SLO.
+                    slo_alerts!(slo.observe(
+                        clock,
+                        SloKind::Availability,
+                        clock.saturating_sub(avail_mark),
+                        0
+                    ));
+                    avail_mark = clock;
                     obs.emit(clock, 0, EventKind::Quarantine { entered: true });
                     if let Some(c) = &quarantine_ctr {
                         c.inc();
@@ -659,13 +708,35 @@ pub fn simulate_observed(
                 // recoverability geometry, §V-B) from leaving stored
                 // CRC grids out of sync with storage.
                 pipeline.set_now(clock);
-                match pipeline
+                let heals_before = (
+                    pipeline.report().heals_exact,
+                    pipeline.report().heals_approx,
+                );
+                let round = pipeline
                     .heal_round(&host, &mut milr, &mut Volatile)
-                    .map_err(into_milr_err)?
-                {
+                    .map_err(into_milr_err)?;
+                let exact = pipeline.report().heals_exact - heals_before.0;
+                let approx = pipeline.report().heals_approx - heals_before.1;
+                if exact + approx > 0 {
+                    slo_alerts!(slo.observe(
+                        clock,
+                        SloKind::HealExactness,
+                        exact as u64,
+                        approx as u64
+                    ));
+                }
+                match round {
                     RoundOutcome::Clean { .. } => {
                         // Resume serving.
                         quarantined = false;
+                        // Close the down-window for the availability SLO.
+                        slo_alerts!(slo.observe(
+                            clock,
+                            SloKind::Availability,
+                            0,
+                            clock.saturating_sub(avail_mark)
+                        ));
+                        avail_mark = clock;
                         obs.emit(clock, 0, EventKind::Quarantine { entered: false });
                         downtime.close_at(clock);
                         cursor.reset();
@@ -725,6 +796,22 @@ pub fn simulate_observed(
         })
         .collect();
     let pipeline = pipeline.into_report();
+    // Final SLO feedings: the trailing up-window (the loop only exits
+    // un-quarantined) and the run's durability tally, then the budget
+    // verdict — always computed, so it is part of the seeded contract.
+    slo_alerts!(slo.observe(
+        clock,
+        SloKind::Availability,
+        clock.saturating_sub(avail_mark),
+        0
+    ));
+    slo_alerts!(slo.observe(
+        clock,
+        SloKind::Durability,
+        pipeline.anchors as u64,
+        pipeline.durability_errors as u64
+    ));
+    let slo_report = slo.report(clock);
     let report = ServeReport {
         seed: cfg.seed,
         policy: cfg.policy.name().to_string(),
@@ -751,6 +838,7 @@ pub fn simulate_observed(
         },
         digest: outcome_digest(&outcomes),
         pipeline,
+        slo: Some(slo_report),
     };
     Ok(SimResult { report, outcomes })
 }

@@ -4,7 +4,7 @@
 //! itself (same report bytes, same digest).
 
 use milr_core::MilrConfig;
-use milr_obs::{EventKind, MetricsRegistry, Observer, RingRecorder, TraceSink};
+use milr_obs::{EventKind, MetricsRegistry, Observer, RingRecorder, SpanRing, TraceSink};
 use milr_serve::sim::SimConfig;
 use milr_serve::{simulate, simulate_observed, QuarantinePolicy};
 use std::sync::Arc;
@@ -69,6 +69,43 @@ fn serve_sim_observed_report_matches_unobserved() {
     );
     let lat = snap.histogram_named("serve_latency_ns").expect("latency");
     assert_eq!(lat.count(), observed.report.completed as u64);
+}
+
+fn span_run(cfg: &SimConfig) -> String {
+    let model = milr_models::serving_probe(11);
+    let ring = Arc::new(SpanRing::new(65_536));
+    let obs = Observer::default().and_spans(ring.clone());
+    simulate_observed(&model, MilrConfig::default(), cfg, &obs)
+        .expect("seeded simulation is deterministic");
+    assert_eq!(ring.dropped(), 0);
+    ring.to_jsonl()
+}
+
+#[test]
+fn serve_sim_span_jsonl_is_byte_identical_across_runs() {
+    let cfg = SimConfig::default();
+    let spans_a = span_run(&cfg);
+    let spans_b = span_run(&cfg);
+    assert!(
+        !spans_a.is_empty(),
+        "the default campaign must emit span trees"
+    );
+    assert_eq!(
+        spans_a, spans_b,
+        "same seed must replay the same span stream"
+    );
+    // The stream carries both the modeled serving trees and the
+    // integrity engine's stage-timed trees.
+    assert!(spans_a.contains("\"name\":\"batch\""));
+    assert!(spans_a.contains("\"name\":\"tick\""));
+    assert!(spans_a.contains("\"name\":\"heal_round\""));
+
+    // Not vacuous: a different seed reshuffles the virtual timeline.
+    let other = SimConfig {
+        seed: cfg.seed ^ 0x5EED,
+        ..cfg
+    };
+    assert_ne!(spans_a, span_run(&other));
 }
 
 #[test]

@@ -22,11 +22,13 @@
 
 use crate::StoreError;
 use milr_ecc::crc32;
+use milr_obs::{SpanHandle, SpanTree};
 use milr_substrate::{PageCommitter, PageFile, PagePatch, StdFile};
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Leading magic of a journal file.
 pub const JOURNAL_MAGIC: [u8; 8] = *b"MILRJRNL";
@@ -129,6 +131,10 @@ pub struct Journal {
     io: Arc<StdFile>,
     path: PathBuf,
     lock: Mutex<()>,
+    /// Span ring + wall anchor, when a live driver attached one (see
+    /// [`Journal::set_spans`]). Sim drivers never construct a file
+    /// journal, so journal spans are inherently wall-clocked.
+    spans: Mutex<Option<(SpanHandle, Instant)>>,
 }
 
 impl Journal {
@@ -138,7 +144,17 @@ impl Journal {
             io,
             path: journal_path(store_path),
             lock: Mutex::new(()),
+            spans: Mutex::new(None),
         }
+    }
+
+    /// Attaches a span ring: every committed page batch pushes one
+    /// `journal_commit` span tree — `write → fsync → apply → retire`
+    /// children stamped with wall nanoseconds since `started`. Purely
+    /// observational: the commit protocol, its kill-point observer
+    /// steps, and all error behaviour are unchanged.
+    pub fn set_spans(&self, spans: SpanHandle, started: Instant) {
+        *self.spans.lock().expect("journal spans lock poisoned") = Some((spans, started));
     }
 
     /// Commits a batch of page writes atomically (see module docs).
@@ -168,25 +184,54 @@ impl Journal {
             return Ok(());
         }
         let _guard = self.lock.lock().expect("journal lock poisoned");
+        // Span attribution rides alongside the protocol (only pushed
+        // on a fully committed batch; an errored commit drops the
+        // partial tree with the `?`).
+        let tap = self
+            .spans
+            .lock()
+            .expect("journal spans lock poisoned")
+            .clone();
+        let ns = |t0: &Instant| t0.elapsed().as_nanos() as u64;
+        let mut tree = SpanTree::new();
+        if let Some((_, t0)) = &tap {
+            tree.open(ns(t0), "journal_commit", patches.len() as u64);
+            tree.open(ns(t0), "write", 0);
+        }
         observe("begin");
         // 1. Make the intent durable: journal first.
         let bytes = encode_journal(patches);
         let mut file = File::create(&self.path)?;
         file.write_all(&bytes)?;
+        if let Some((_, t0)) = &tap {
+            tree.close(ns(t0));
+            tree.open(ns(t0), "fsync", 0);
+        }
         file.sync_all()?;
         drop(file);
         sync_dir(&self.path);
         observe("journal-written");
+        if let Some((_, t0)) = &tap {
+            tree.close(ns(t0));
+            tree.open(ns(t0), "apply", patches.len() as u64);
+        }
         // 2. Apply in place.
         for p in patches {
             self.io.write_all_at(p.offset, &p.bytes)?;
         }
         self.io.sync()?;
         observe("patches-applied");
+        if let Some((_, t0)) = &tap {
+            tree.close(ns(t0));
+            tree.open(ns(t0), "retire", 0);
+        }
         // 3. Retire the journal.
         std::fs::remove_file(&self.path)?;
         sync_dir(&self.path);
         observe("journal-removed");
+        if let Some((handle, t0)) = &tap {
+            handle.push_all(tree.finish(ns(t0)));
+        }
         Ok(())
     }
 }
@@ -326,6 +371,46 @@ mod tests {
         assert!(!journal_path(&store).exists());
         let data = std::fs::read(&store).unwrap();
         assert_eq!(&data[8..12], &[0xAB; 4]);
+        let _ = std::fs::remove_file(&store);
+    }
+
+    #[test]
+    fn commit_spans_time_every_protocol_step_without_changing_them() {
+        use milr_obs::SpanRing;
+        let store = temp("spans.milr");
+        std::fs::write(&store, vec![0u8; 64]).unwrap();
+        let io = Arc::new(StdFile::open(&store).unwrap());
+        let journal = Journal::new(&store, Arc::clone(&io));
+        let ring = Arc::new(SpanRing::new(8));
+        journal.set_spans(SpanHandle::new(Arc::clone(&ring)), Instant::now());
+        let mut steps = Vec::new();
+        journal
+            .commit_with_observer(
+                &[PagePatch {
+                    offset: 16,
+                    bytes: vec![0xCD; 4],
+                }],
+                &mut |s| steps.push(s.to_string()),
+            )
+            .unwrap();
+        // The kill-point protocol is byte-for-byte what it was.
+        assert_eq!(
+            steps,
+            [
+                "begin",
+                "journal-written",
+                "patches-applied",
+                "journal-removed"
+            ]
+        );
+        let trees = ring.trees();
+        assert_eq!(trees.len(), 1);
+        let root = &trees[0];
+        assert_eq!(root.name, "journal_commit");
+        assert_eq!(root.tag, 1, "tagged with the patch count");
+        let names: Vec<&str> = root.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, ["write", "fsync", "apply", "retire"]);
+        assert!(root.children.iter().all(|c| c.end_ns >= c.start_ns));
         let _ = std::fs::remove_file(&store);
     }
 
