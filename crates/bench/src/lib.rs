@@ -17,6 +17,7 @@
 
 pub mod args;
 pub mod arms;
+pub mod campaigns;
 pub mod fleet;
 pub mod json;
 pub mod live;

@@ -2,6 +2,7 @@ use crate::FaultRng;
 use milr_ecc::SecdedMemory;
 use milr_substrate::WeightSubstrate;
 use milr_xts::EncryptedMemory;
+use std::collections::BTreeSet;
 
 /// Summary of one injection pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -11,6 +12,25 @@ pub struct InjectionReport {
     /// Distinct raw words (weights, code words, or ciphertext blocks)
     /// touched.
     pub affected_words: usize,
+}
+
+/// Exact distinct-word counter for injection reports. The old scheme
+/// (compare against the immediately previous word) was only correct for
+/// monotone visit orders; correlated bursts revisit earlier words, so
+/// every injector now counts through this.
+#[derive(Default)]
+struct WordSet {
+    words: BTreeSet<usize>,
+}
+
+impl WordSet {
+    fn insert(&mut self, word: usize) {
+        self.words.insert(word);
+    }
+
+    fn len(&self) -> usize {
+        self.words.len()
+    }
 }
 
 /// Walks a Bernoulli(rate) process over `total_bits` positions using
@@ -52,17 +72,14 @@ pub fn inject_rber<S: WeightSubstrate + ?Sized>(
     if rber == 0.0 || memory.is_empty() {
         return report;
     }
-    let mut last_word = usize::MAX;
+    let mut words = WordSet::default();
     let total_bits = memory.raw_bits();
     walk_bits(total_bits, rber, rng, |pos| {
         memory.flip_raw_bit(pos);
         report.flipped_bits += 1;
-        let word = memory.raw_word_of_bit(pos);
-        if word != last_word {
-            report.affected_words += 1;
-            last_word = word;
-        }
+        words.insert(memory.raw_word_of_bit(pos));
     });
+    report.affected_words = words.len();
     report
 }
 
@@ -73,16 +90,13 @@ pub fn inject_rber<S: WeightSubstrate + ?Sized>(
 ///
 /// Whole-weight errors are defined in *plaintext space*, so the generic
 /// form reads the substrate's plaintext view, inverts the selected
-/// weights, and writes the result back through the substrate's encode
-/// path. For plain buffers this degenerates to in-place bit inversion.
-///
-/// Note that the write-back **re-encodes the whole buffer**: on coded
-/// substrates (SECDED, XTS+SECDED) any raw-space error state left by a
-/// previous injection is erased — surviving garble is baked into fresh,
-/// internally-consistent code words, so a later `scrub` reports clean.
-/// Compose raw-space and plaintext-space injections on separate
-/// substrate instances if you need both error processes' scrub
-/// statistics.
+/// weights, and writes them back through
+/// [`WeightSubstrate::write_weights_sparse`]: only the selected words
+/// (and, on XTS substrates, the 16-byte blocks holding them) are
+/// re-encoded, so raw-space error state left by a prior injection on
+/// *other* words survives and composed raw+plaintext campaigns keep
+/// honest scrub statistics. For plain buffers this degenerates to
+/// in-place bit inversion.
 ///
 /// # Panics
 ///
@@ -97,19 +111,40 @@ pub fn inject_whole_weight<S: WeightSubstrate + ?Sized>(
     if q == 0.0 || memory.is_empty() {
         return report;
     }
-    let mut weights = memory.read_weights();
+    let weights = memory.read_weights();
+    let mut updates = Vec::new();
     let mut idx = rng.geometric_gap(q);
     while idx < weights.len() {
-        weights[idx] = f32::from_bits(!weights[idx].to_bits());
+        updates.push((idx, f32::from_bits(!weights[idx].to_bits())));
         report.flipped_bits += 32;
         report.affected_words += 1;
         idx += 1 + rng.geometric_gap(q);
     }
-    if report.affected_words > 0 {
+    if !updates.is_empty() {
         memory
-            .write_weights(&weights)
-            .expect("substrate accepts its own length");
+            .write_weights_sparse(&updates)
+            .expect("selected indices are in range");
     }
+    report
+}
+
+/// Flips an explicit list of raw bits (deduplicated positions flip
+/// once per occurrence — an even number of visits cancels out, like
+/// real re-hammering). The report counts distinct words exactly, in
+/// any visit order.
+///
+/// # Panics
+///
+/// Panics when any position is out of range.
+pub fn inject_bits<S: WeightSubstrate + ?Sized>(memory: &mut S, bits: &[usize]) -> InjectionReport {
+    let mut report = InjectionReport::default();
+    let mut words = WordSet::default();
+    for &bit in bits {
+        memory.flip_raw_bit(bit);
+        report.flipped_bits += 1;
+        words.insert(memory.raw_word_of_bit(bit));
+    }
+    report.affected_words = words.len();
     report
 }
 
@@ -194,18 +229,15 @@ pub fn inject_ciphertext_rber(
     if rber == 0.0 || memory.is_empty() {
         return (report, flipped);
     }
-    let mut last_block = usize::MAX;
+    let mut blocks = WordSet::default();
     let total_bits = memory.raw_bits();
     walk_bits(total_bits, rber, rng, |pos| {
         memory.flip_raw_bit(pos);
         flipped.push(pos);
         report.flipped_bits += 1;
-        let block = memory.raw_word_of_bit(pos);
-        if block != last_block {
-            report.affected_words += 1;
-            last_block = block;
-        }
+        blocks.insert(memory.raw_word_of_bit(pos));
     });
+    report.affected_words = blocks.len();
     (report, flipped)
 }
 
@@ -478,6 +510,106 @@ mod tests {
             let ma: Vec<u32> = mem.read_weights().iter().map(|x| x.to_bits()).collect();
             let fa: Vec<u32> = file.read_weights().iter().map(|x| x.to_bits()).collect();
             assert_eq!(ma, fa, "{file_kind}: plaintext view diverged");
+        }
+    }
+
+    #[test]
+    fn affected_words_counts_distinct_words_exactly() {
+        // Revisit word 0 after touching word 1: the old `last_word`
+        // transition counter reported 3 affected words here; the
+        // distinct count is 2.
+        let mut w = weights(4);
+        let report = inject_bits(&mut w[..], &[0, 35, 7]);
+        assert_eq!(report.flipped_bits, 3);
+        assert_eq!(report.affected_words, 2);
+        // Two visits to the same bit cancel (re-hammering).
+        let mut v = weights(4);
+        let orig: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+        let report = inject_bits(&mut v[..], &[5, 5]);
+        assert_eq!(report.flipped_bits, 2);
+        assert_eq!(report.affected_words, 1);
+        let now: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(now, orig);
+    }
+
+    #[test]
+    fn affected_words_is_distinct_under_every_substrate() {
+        // Property over all kinds: report.affected_words equals the
+        // distinct raw_word_of_bit image of the flipped positions.
+        let w = weights(600);
+        for kind in SubstrateKind::ALL {
+            let mut mem = kind.store(&w);
+            let probe = kind.store(&w);
+            let mut rng = FaultRng::seed(77);
+            let report = inject_rber(&mut *mem, 4e-3, &mut rng);
+            // Replay the identical flip sequence to recover positions.
+            let mut rng2 = FaultRng::seed(77);
+            let mut distinct = std::collections::HashSet::new();
+            let mut pos = rng2.geometric_gap(4e-3);
+            let mut flips = 0;
+            while pos < probe.raw_bits() {
+                distinct.insert(probe.raw_word_of_bit(pos));
+                flips += 1;
+                pos += 1 + rng2.geometric_gap(4e-3);
+            }
+            assert_eq!(report.flipped_bits, flips, "{kind}");
+            assert_eq!(report.affected_words, distinct.len(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn whole_weight_preserves_raw_error_state_on_coded_substrate() {
+        // Satellite regression: compose a raw-space injection with a
+        // plaintext-space injection on ONE SECDED substrate. The raw
+        // double-bit error planted in word 0 must still be visible to
+        // scrub after the whole-weight pass — the old whole-buffer
+        // write-back re-encoded word 0 and reported a clean scrub.
+        let w = weights(400);
+        let mut mem = SecdedMemory::protect(&w);
+        WeightSubstrate::flip_raw_bit(&mut mem, 2);
+        WeightSubstrate::flip_raw_bit(&mut mem, 17); // word 0: uncorrectable
+        let word0_before = mem.words()[0];
+        let report = inject_whole_weight(&mut mem, 0.05, &mut FaultRng::seed(31));
+        assert!(report.affected_words > 0);
+        // Precondition for the assertion below: weight 0 was not among
+        // the selected weights under this seed.
+        assert_eq!(mem.words()[0], word0_before, "seed 31 selected weight 0");
+        let (_, scrub) = mem.scrub();
+        assert!(
+            scrub.uncorrectable >= 1,
+            "raw error state erased by whole-weight write-back: {scrub:?}"
+        );
+    }
+
+    #[test]
+    fn whole_weight_composes_with_raw_state_across_kinds() {
+        // The selected weights must invert and unselected raw words (or
+        // blocks) must keep their bytes bit-for-bit.
+        let w = weights(128);
+        for kind in SubstrateKind::ALL {
+            let mut mem = kind.store(&w);
+            let before = mem.export_raw();
+            let report = inject_whole_weight(&mut *mem, 0.1, &mut FaultRng::seed(19));
+            assert!(report.affected_words > 0, "{kind}");
+            let seen = mem.read_weights();
+            let changed = (0..w.len())
+                .filter(|&i| seen[i].to_bits() != w[i].to_bits())
+                .count();
+            assert_eq!(changed, report.affected_words, "{kind}");
+            for (a, b) in seen.iter().zip(w.iter()) {
+                if a.to_bits() != b.to_bits() {
+                    assert_eq!(a.to_bits(), !b.to_bits(), "{kind}: partial flip");
+                }
+            }
+            // At least one raw byte region is untouched when fewer than
+            // all weights were selected.
+            if report.affected_words < w.len() {
+                let after = mem.export_raw();
+                assert!(
+                    after.iter().zip(before.iter()).any(|(a, b)| a == b),
+                    "{kind}"
+                );
+            }
         }
     }
 

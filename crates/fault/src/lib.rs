@@ -41,11 +41,17 @@
 
 #![deny(missing_docs)]
 
+mod campaign;
 mod injector;
 mod rng;
 
+pub use campaign::{
+    assert_stuck, inject_burst, milli, plan_burst, plan_stuck_at, BurstPattern, BurstSpec,
+    ByzantineSpec, Campaign, ChaosSpec, SkewSpec, SloDecl, SloDeclKind, StuckAtPlan, StuckAtSpec,
+    TornWriteSpec,
+};
 pub use injector::{
-    corrupt_layer, inject_ciphertext_rber, inject_rber, inject_secded_rber, inject_whole_weight,
-    InjectionReport,
+    corrupt_layer, inject_bits, inject_ciphertext_rber, inject_rber, inject_secded_rber,
+    inject_whole_weight, InjectionReport,
 };
 pub use rng::FaultRng;

@@ -186,6 +186,14 @@ impl Replica {
         self.pipeline.attach_spans(spans);
     }
 
+    /// Attaches a stage hook to the replica's integrity engine: fired
+    /// at every stage seam the pipeline enters. The chaos harness uses
+    /// this to land torn writes mid-heal and to kill-test restart
+    /// behaviour at each seam.
+    pub fn attach_stage_hook(&mut self, hook: milr_integrity::StageHook) {
+        self.pipeline.attach_stage_hook(hook);
+    }
+
     /// Sets the driver clock the replica's engine stamps trace events
     /// with (the fleet sim forwards its virtual clock here before each
     /// tick/heal call).

@@ -20,6 +20,11 @@ pub struct ReplicaReport {
     pub repair_bytes: usize,
     /// Times this replica served as a certified-page donor.
     pub repairs_donated: usize,
+    /// Donations this replica *received* whose post-import verification
+    /// rejected the pages — a byzantine donor shipping corrupted images,
+    /// or fresh damage landing mid-repair. Rejected pages never reach a
+    /// certified state: the replica re-enters the heal ladder instead.
+    pub rejected_donations: usize,
     /// The replica's serving counters. `submitted` counts requests
     /// dispatched to it (re-dispatches after failover count again);
     /// `completed`/`rejected`/`reexecuted`, latency, and the digest
@@ -35,13 +40,15 @@ impl ReplicaReport {
         format!(
             concat!(
                 "{{\"replica\":{},\"peer_repairs\":{},\"repair_pages\":{},",
-                "\"repair_bytes\":{},\"repairs_donated\":{},\"report\":{}}}"
+                "\"repair_bytes\":{},\"repairs_donated\":{},",
+                "\"rejected_donations\":{},\"report\":{}}}"
             ),
             self.replica,
             self.peer_repairs,
             self.repair_pages,
             self.repair_bytes,
             self.repairs_donated,
+            self.rejected_donations,
             self.report.to_json()
         )
     }
@@ -84,6 +91,13 @@ impl FleetReport {
         self.per_replica.iter().map(|r| r.repair_bytes).sum()
     }
 
+    /// Donations rejected by post-import verification across the fleet
+    /// (byzantine donors caught by the certified-donor check, plus
+    /// fresh-damage rejections).
+    pub fn rejected_donations(&self) -> usize {
+        self.per_replica.iter().map(|r| r.rejected_donations).sum()
+    }
+
     /// Renders the report as one JSON object (hand-rolled like
     /// [`ServeReport::to_json`]; the workspace's serde stub has no
     /// serializer).
@@ -92,12 +106,14 @@ impl FleetReport {
         format!(
             concat!(
                 "{{\"replicas\":{},\"peer_repairs\":{},\"repair_pages\":{},",
-                "\"repair_bytes\":{},\"fleet\":{},\"capacity\":{},\"per_replica\":[{}]}}"
+                "\"repair_bytes\":{},\"rejected_donations\":{},",
+                "\"fleet\":{},\"capacity\":{},\"per_replica\":[{}]}}"
             ),
             self.replicas,
             self.peer_repairs(),
             self.repair_pages(),
             self.repair_bytes(),
+            self.rejected_donations(),
             self.fleet.to_json(),
             self.capacity.to_json(),
             per_replica.join(",")
@@ -150,6 +166,7 @@ mod tests {
                     repair_pages: 3,
                     repair_bytes: 96,
                     repairs_donated: 0,
+                    rejected_donations: 1,
                     report: report(1),
                 },
                 ReplicaReport {
@@ -158,6 +175,7 @@ mod tests {
                     repair_pages: 0,
                     repair_bytes: 0,
                     repairs_donated: 1,
+                    rejected_donations: 0,
                     report: report(2),
                 },
             ],
@@ -165,9 +183,11 @@ mod tests {
         assert_eq!(fleet.peer_repairs(), 1);
         assert_eq!(fleet.repair_pages(), 3);
         assert_eq!(fleet.repair_bytes(), 96);
+        assert_eq!(fleet.rejected_donations(), 1);
         let json = fleet.to_json();
         assert!(json.contains("\"per_replica\":[{\"replica\":0"));
         assert!(json.contains("\"repairs_donated\":1"));
+        assert!(json.contains("\"rejected_donations\":1"));
         assert!(json.contains("\"fleet\":{"));
         assert!(json.contains("\"capacity\":{"));
         assert_eq!(json.matches("\"report\":{").count(), 2);

@@ -28,27 +28,31 @@
 //! fleet queue where healthy peers absorb it: no request is lost during
 //! failover.
 
+use crate::repair::PageImage;
 use crate::repair::{apply_repair, fetch_certified};
 use crate::replica::{Replica, ReplicaState};
 use crate::report::{FleetReport, ReplicaReport};
 use crate::router::Router;
 use crate::FleetError;
 use milr_core::{Milr, MilrConfig, SolvingPlan};
-use milr_fault::FaultRng;
-use milr_integrity::{PipelineReport, RoundOutcome};
+use milr_fault::{
+    milli, plan_burst, plan_stuck_at, ChaosSpec, FaultRng, SkewSpec, StuckAtPlan, StuckAtSpec,
+};
+use milr_integrity::{PipelineReport, RoundOutcome, StageHook};
 use milr_nn::{Layer, Sequential};
-use milr_obs::{EventKind, Observer, SloEngine, SloKind, FLEET_SRC};
+use milr_obs::{EventKind, Observer, SloEngine, SloKind, SloSpec, FLEET_SRC};
 use milr_serve::sim::{EventQueue, VirtualCosts};
 use milr_serve::{
-    outcome_digest, CertificationLedger, DowntimeLog, LatencyStats, QuarantinePolicy, RejectReason,
-    RequestOutcome, RequestStatus, ScrubCursor, ServeReport,
+    outcome_digest, CertificationLedger, ChaosStats, DowntimeLog, LatencyStats, QuarantinePolicy,
+    RejectReason, RequestOutcome, RequestStatus, ScrubCursor, ServeReport,
 };
 use milr_store::{Store, StoreOptions};
 use milr_substrate::SubstrateKind;
 use milr_tensor::{Tensor, TensorRng};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Configuration of one simulated fleet run.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +101,17 @@ pub struct FleetConfig {
     /// returned store paths then point at removed files); give a
     /// directory to inspect the containers afterwards.
     pub dir: Option<PathBuf>,
+    /// Optional chaos campaign layered over the fault campaign:
+    /// correlated bursts, stuck-at cells, torn writes at stage seams,
+    /// byzantine donors during peer repair, and schedule skew. `None`
+    /// — or a quiet [`ChaosSpec::default`] — is byte-identical to the
+    /// legacy run.
+    pub chaos: Option<ChaosSpec>,
+    /// SLO suite override for the fleet-view engine (chaos campaigns
+    /// declare their own objectives). `None` keeps
+    /// [`SloEngine::fleet_defaults`]; per-replica engines always use
+    /// [`SloEngine::serving_defaults`].
+    pub slo_specs: Option<Vec<SloSpec>>,
 }
 
 impl Default for FleetConfig {
@@ -120,6 +135,8 @@ impl Default for FleetConfig {
             page_weights: 64,
             cache_pages: 16,
             dir: None,
+            chaos: None,
+            slo_specs: None,
         }
     }
 }
@@ -134,6 +151,10 @@ pub struct FleetSimResult {
     /// The replica container paths, by replica index (still on disk
     /// only when [`FleetConfig::dir`] was given).
     pub store_paths: Vec<PathBuf>,
+    /// Chaos-injection tallies summed over the fleet; `None` when the
+    /// run had no active [`FleetConfig::chaos`] spec. Byzantine
+    /// donations live in the report's `rejected_donations` counters.
+    pub chaos: Option<ChaosStats>,
 }
 
 #[derive(Debug)]
@@ -163,6 +184,9 @@ enum Event {
     RepairDone {
         replica: usize,
         epoch: u64,
+    },
+    ChaosBurst {
+        replica: usize,
     },
 }
 
@@ -205,6 +229,11 @@ struct Rep {
     repair_attempts: u32,
     /// Irrecoverable layers awaiting peer repair.
     pending_repair: Vec<usize>,
+    /// Donors whose donation to *this* replica was corrupted by the
+    /// byzantine campaign and rejected — skipped on every later donor
+    /// pick, so a retry reaches an honest peer instead of refetching
+    /// the same poisoned pages forever.
+    distrusted: BTreeSet<usize>,
     downtime: DowntimeLog,
     last_fault_time: u64,
     last_clean_cycle: Option<u64>,
@@ -223,7 +252,31 @@ struct Rep {
     repair_pages: usize,
     repair_bytes: usize,
     repairs_donated: usize,
+    rejected_donations: usize,
+    /// Chaos injections (bursts, stuck re-asserts, torn writes) that
+    /// landed on this replica — they gate certification exactly like
+    /// campaign faults.
+    chaos_injected: usize,
+    /// Torn-write firings already folded into the chaos tallies.
+    torn_seen: u64,
     latencies: Vec<u64>,
+}
+
+/// Flips one contiguous run of `flips` bits in a donated page image —
+/// the byzantine donor's in-flight corruption. A run (rather than
+/// scattered bits) guarantees some codeword takes a multi-bit error,
+/// so ECC substrates cannot silently correct the corruption away
+/// before the apply-side verification sees it.
+fn corrupt_image(img: &mut PageImage, flips: usize, rng: &mut FaultRng) {
+    let nbits = img.bytes.len() * 8;
+    if nbits == 0 {
+        return;
+    }
+    let flips = flips.clamp(1, nbits);
+    let start = rng.below(nbits - flips + 1);
+    for bit in start..start + flips {
+        img.bytes[bit / 8] ^= 1 << (bit % 8);
+    }
 }
 
 /// Distinguishes concurrently running simulations' temp directories.
@@ -326,6 +379,7 @@ pub fn simulate_observed(
             epoch: 0,
             repair_attempts: 0,
             pending_repair: Vec::new(),
+            distrusted: BTreeSet::new(),
             downtime: DowntimeLog::default(),
             last_fault_time: 0,
             last_clean_cycle: None,
@@ -343,8 +397,50 @@ pub fn simulate_observed(
             repair_pages: 0,
             repair_bytes: 0,
             repairs_donated: 0,
+            rejected_donations: 0,
+            chaos_injected: 0,
+            torn_seen: 0,
             latencies: Vec::new(),
         });
+    }
+
+    // -------------------------------------------------------- chaos
+    // A quiet spec is indistinguishable from no spec: every chaos
+    // branch below is gated on this binding, so legacy runs stay
+    // byte-identical.
+    let chaos = cfg.chaos.as_ref().filter(|c| !c.is_quiet());
+    let skew = chaos.and_then(|c| c.skew.clone());
+    let scrub_interval_ns = match &skew {
+        Some(sk) => SkewSpec::scale(cfg.scrub_interval_ns, sk.scrub_milli),
+        None => cfg.scrub_interval_ns,
+    };
+    let byz = chaos.and_then(|c| c.byzantine.clone());
+    let mut byz_rng = FaultRng::seed(cfg.seed ^ 0xB12A);
+
+    // Torn writes: every replica gets its own seeded hook with its own
+    // fire budget; the shared counters let the event loop fold firings
+    // into the chaos tallies with the virtual clock in hand.
+    let torn_fired: Vec<Arc<AtomicU64>> = (0..cfg.replicas)
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    if let Some(tw) = chaos.and_then(|c| c.torn_write.clone()) {
+        for (r, rep) in reps.iter_mut().enumerate() {
+            let store = rep.replica.host().store().clone();
+            let fired = Arc::clone(&torn_fired[r]);
+            let mut torn_rng = FaultRng::seed(cfg.seed ^ 0x70A2 ^ r as u64);
+            let tw = tw.clone();
+            let mut remaining = tw.fires;
+            rep.replica.attach_stage_hook(StageHook::new(move |stage| {
+                if remaining > 0 && stage.eq_ignore_ascii_case(&tw.stage) {
+                    remaining -= 1;
+                    let raw = store.raw_bits();
+                    for _ in 0..tw.flips {
+                        store.flip_raw_bit(torn_rng.below(raw));
+                    }
+                    fired.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
     }
 
     // ------------------------------------------------------- workload
@@ -354,7 +450,11 @@ pub fn simulate_observed(
     let mut t = 0u64;
     for _ in 0..cfg.requests {
         let gap = -arrival_rng.unit().max(f64::MIN_POSITIVE).ln() * cfg.mean_arrival_ns as f64;
-        t += (gap as u64).max(1);
+        let mut gap_ns = (gap as u64).max(1);
+        if let Some(sk) = &skew {
+            gap_ns = SkewSpec::scale(gap_ns, sk.arrival_milli);
+        }
+        t += gap_ns;
         reqs.push(Req {
             input: input_rng.uniform_tensor(golden.input_shape()),
             arrival: t,
@@ -419,13 +519,39 @@ pub fn simulate_observed(
     }
     for r in 0..cfg.replicas {
         timeline.schedule(
-            cfg.scrub_interval_ns,
+            scrub_interval_ns,
             Event::ScrubTick {
                 replica: r,
                 epoch: 0,
             },
         );
     }
+
+    // Chaos planning rides its own RNG stream so enabling a regime
+    // never perturbs the fault/arrival draws above.
+    let mut chaos_rng = FaultRng::seed(cfg.seed ^ 0xC4A05);
+    let burst_spec = chaos.and_then(|c| c.bursts.clone());
+    if let Some(b) = &burst_spec {
+        let mut times: Vec<(u64, usize)> = (0..b.bursts)
+            .map(|_| {
+                let time = horizon / 10 + (chaos_rng.unit() * 0.8 * horizon as f64) as u64;
+                (time, chaos_rng.below(cfg.replicas))
+            })
+            .collect();
+        times.sort_unstable();
+        for (time, replica) in times {
+            timeline.schedule(time, Event::ChaosBurst { replica });
+        }
+    }
+    let stuck: Option<(usize, StuckAtSpec, StuckAtPlan)> =
+        chaos.and_then(|c| c.stuck_at.clone()).map(|spec| {
+            let replica = chaos_rng.below(cfg.replicas);
+            let raw_bits = reps[replica].replica.host().store().raw_bits();
+            let plan = plan_stuck_at(raw_bits, spec.bits, &mut chaos_rng);
+            (replica, spec, plan)
+        });
+    let chaos_active = chaos.is_some();
+    let mut chaos_stats = ChaosStats::default();
 
     // ---------------------------------------------------- event loop
     let mut clock = 0u64;
@@ -443,7 +569,10 @@ pub fn simulate_observed(
     // an observer; only `AlertFired` trace emission is observer-gated.
     // One fleet-view engine (alerts sourced `FLEET_SRC`) plus one
     // serving-view engine per replica (alerts sourced by index).
-    let mut fleet_slo = SloEngine::fleet_defaults();
+    let mut fleet_slo = match &cfg.slo_specs {
+        Some(specs) => SloEngine::new(specs.clone()),
+        None => SloEngine::fleet_defaults(),
+    };
     let mut rep_slo: Vec<SloEngine> = (0..cfg.replicas)
         .map(|_| SloEngine::serving_defaults())
         .collect();
@@ -626,9 +755,32 @@ pub fn simulate_observed(
         }};
     }
 
+    /// Folds any torn-write firings on replica `$r` (they happen inside
+    /// `tick`/`try_heal`/`apply_repair` calls, where the virtual clock
+    /// is not in scope) into the chaos tallies and certification gate.
+    macro_rules! torn_sync {
+        ($r:expr) => {{
+            let r: usize = $r;
+            let fired = torn_fired[r].load(Ordering::Relaxed);
+            if fired > reps[r].torn_seen {
+                chaos_stats.torn_fires += fired - reps[r].torn_seen;
+                reps[r].torn_seen = fired;
+                reps[r].chaos_injected += 1;
+                reps[r].last_fault_time = clock;
+            }
+        }};
+    }
+
     macro_rules! rejoin {
         ($r:expr) => {{
             let r: usize = $r;
+            // Chaos campaigns quarantine the same replica repeatedly
+            // (stuck cells, repeated bursts); each episode deserves a
+            // fresh heal-round budget. Legacy runs keep the cumulative
+            // budget untouched.
+            if chaos_active {
+                reps[r].replica.reset_heal_budget();
+            }
             reps[r].replica.set_state(ReplicaState::Serving);
             emit!(r as u32, EventKind::Quarantine { entered: false });
             reps[r].downtime.close_at(clock);
@@ -643,7 +795,7 @@ pub fn simulate_observed(
             reps[r].pending_repair.clear();
             let epoch = reps[r].epoch;
             timeline.schedule(
-                clock + cfg.scrub_interval_ns,
+                clock + scrub_interval_ns,
                 Event::ScrubTick { replica: r, epoch },
             );
             try_dispatch!();
@@ -736,10 +888,34 @@ pub fn simulate_observed(
                 if epoch != reps[r].epoch || !reps[r].replica.state().is_serving() {
                     continue; // stale tick from before a quarantine
                 }
+                // Stuck cells re-assert just before the scrubber looks:
+                // only cells the previous corrections flipped back are
+                // touched (a blind re-flip would heal them instead).
+                if let Some((sr, spec, plan)) = &stuck {
+                    if *sr == r && spec.active(clock, horizon) {
+                        let store = reps[r].replica.host().store().clone();
+                        let mut asserted = 0usize;
+                        for &(bit, value) in &plan.cells {
+                            if store.raw_bit(bit) != value {
+                                store.flip_raw_bit(bit);
+                                asserted += 1;
+                            }
+                        }
+                        if asserted > 0 {
+                            chaos_stats.stuck_asserts += asserted;
+                            reps[r].chaos_injected += 1;
+                            reps[r].last_fault_time = clock;
+                            if let Some(c) = &faults_ctr {
+                                c.inc();
+                            }
+                        }
+                    }
+                }
                 reps[r].scrub_ticks += 1;
                 let chunk = reps[r].cursor.begin_tick(clock);
                 reps[r].replica.set_now(clock);
                 let tick = reps[r].replica.tick(&chunk)?;
+                torn_sync!(r);
                 let flagged = !tick.detection.is_clean();
                 if let Some(cycle_start) = reps[r].cursor.finish_tick(flagged, clock) {
                     reps[r].last_clean_cycle = Some(cycle_start);
@@ -804,7 +980,7 @@ pub fn simulate_observed(
                     try_dispatch!();
                 } else {
                     timeline.schedule(
-                        clock + cfg.scrub_interval_ns,
+                        clock + scrub_interval_ns,
                         Event::ScrubTick { replica: r, epoch },
                     );
                 }
@@ -823,6 +999,7 @@ pub fn simulate_observed(
                     (p.heals_exact, p.heals_approx)
                 };
                 let round = reps[r].replica.try_heal()?;
+                torn_sync!(r);
                 let (exact, approx) = {
                     let p = reps[r].replica.pipeline_report();
                     (
@@ -878,11 +1055,15 @@ pub fn simulate_observed(
                     continue;
                 }
                 // Deterministic donor choice: the lowest-index serving
-                // peer whose pages certify.
+                // peer whose pages certify — skipping donors this
+                // replica already caught shipping corrupted pages.
                 let layers = reps[r].pending_repair.clone();
                 let mut fetched = None;
                 for (p, rep) in reps.iter().enumerate() {
-                    if p == r || !rep.replica.state().is_serving() {
+                    if p == r
+                        || !rep.replica.state().is_serving()
+                        || reps[r].distrusted.contains(&p)
+                    {
                         continue;
                     }
                     if let Ok(images) = fetch_certified(rep.replica.store(), &layers) {
@@ -890,7 +1071,7 @@ pub fn simulate_observed(
                         break;
                     }
                 }
-                let Some((donor, images)) = fetched else {
+                let Some((donor, mut images)) = fetched else {
                     // No healthy donor right now (peers quarantined or
                     // their disks dirty): wait a scrub interval and
                     // retry. A campaign that takes every replica's copy
@@ -904,11 +1085,24 @@ pub fn simulate_observed(
                         return Err(FleetError::NoHealthyPeer { replica: r, layers });
                     }
                     timeline.schedule(
-                        clock + cfg.scrub_interval_ns,
+                        clock + scrub_interval_ns,
                         Event::RepairDone { replica: r, epoch },
                     );
                     continue;
                 };
+                // Byzantine donors corrupt the pages in flight — after
+                // their own store certified them, so the fetch-side
+                // check cannot see it. The flips are one contiguous run
+                // per page image: coded substrates (SECDED) silently
+                // correct isolated single-bit flips, and a donation the
+                // ECC can launder back to golden is not an attack the
+                // apply-side check should be expected to flag.
+                let byzantine_donation = byz.as_ref().is_some_and(|b| b.donors.contains(&donor));
+                if let Some(b) = byz.as_ref().filter(|_| byzantine_donation) {
+                    for img in images.iter_mut() {
+                        corrupt_image(img, b.flips, &mut byz_rng);
+                    }
+                }
                 // The fetch itself is repair traffic, whether or not
                 // this episode's verification succeeds (a rejected
                 // import still moved — and applied — the donor's
@@ -923,7 +1117,9 @@ pub fn simulate_observed(
                     }
                 );
                 reps[r].replica.set_now(clock);
-                match apply_repair(&mut reps[r].replica, &images) {
+                let applied = apply_repair(&mut reps[r].replica, &images);
+                torn_sync!(r);
+                match applied {
                     Ok(_stats) => {
                         reps[r].peer_repairs += 1;
                         if let Some(c) = &repair_ctr {
@@ -933,11 +1129,18 @@ pub fn simulate_observed(
                         rejoin!(r);
                     }
                     Err(FleetError::RepairRejected { .. }) => {
-                        // New damage landed mid-repair (the peer's
-                        // pages were imported, but verification caught
-                        // the fresh fault): go back through the
+                        // The post-import verification caught bad pages:
+                        // either a byzantine donation or new damage that
+                        // landed mid-repair. Count the rejection, stop
+                        // trusting a donor that was actually byzantine
+                        // (re-fetching its poisoned pages can never
+                        // converge), and go back through the
                         // heal-classify-repair ladder with a fresh
                         // round budget.
+                        reps[r].rejected_donations += 1;
+                        if byzantine_donation {
+                            reps[r].distrusted.insert(donor);
+                        }
                         reps[r].replica.set_state(ReplicaState::Quarantined);
                         reps[r].replica.reset_heal_budget();
                         timeline.schedule(
@@ -948,10 +1151,46 @@ pub fn simulate_observed(
                     Err(other) => return Err(other),
                 }
             }
+            Event::ChaosBurst { replica: r } => {
+                // A correlated burst over the victim replica's raw
+                // image, planned on the fly so burst shapes depend on
+                // the chaos RNG stream alone. Bursts land regardless of
+                // health state — hammering a quarantined replica
+                // mid-heal is exactly the nasty case.
+                if let Some(spec) = &burst_spec {
+                    let store = reps[r].replica.host().store().clone();
+                    let bits = plan_burst(
+                        store.raw_geometry(),
+                        store.raw_bits(),
+                        spec.pattern,
+                        milli(spec.flip_prob_milli),
+                        &mut chaos_rng,
+                    );
+                    for &bit in &bits {
+                        store.flip_raw_bit(bit);
+                    }
+                    chaos_stats.bursts_fired += 1;
+                    chaos_stats.burst_bits += bits.len();
+                    if !bits.is_empty() {
+                        reps[r].chaos_injected += 1;
+                        reps[r].last_fault_time = clock;
+                        if let Some(c) = &faults_ctr {
+                            c.inc();
+                        }
+                        emit!(
+                            r as u32,
+                            EventKind::FaultInjected {
+                                layer: u32::MAX,
+                                weight: bits.len() as u64,
+                            }
+                        );
+                    }
+                }
+            }
         }
         let all_serving = reps.iter().all(|rep| rep.replica.state().is_serving());
         let all_certified = reps.iter().all(|rep| {
-            rep.faults_injected == 0
+            rep.faults_injected + rep.chaos_injected == 0
                 || rep
                     .last_clean_cycle
                     .map(|c| c > rep.last_fault_time)
@@ -1023,6 +1262,7 @@ pub fn simulate_observed(
                 repair_pages: rep.repair_pages,
                 repair_bytes: rep.repair_bytes,
                 repairs_donated: rep.repairs_donated,
+                rejected_donations: rep.rejected_donations,
                 report: ServeReport {
                     seed: cfg.seed,
                     policy: cfg.policy.name().to_string(),
@@ -1030,7 +1270,7 @@ pub fn simulate_observed(
                     completed: rep.completed,
                     rejected: rep.rejected,
                     reexecuted: rep.reexecuted,
-                    faults_injected: rep.faults_injected,
+                    faults_injected: rep.faults_injected + rep.chaos_injected,
                     scrub_corrected: pipeline.scrub_corrected,
                     scrub_ticks: rep.scrub_ticks,
                     quarantines: rep.quarantines,
@@ -1083,7 +1323,10 @@ pub fn simulate_observed(
         completed: fleet_completed,
         rejected: fleet_rejected,
         reexecuted: reps.iter().map(|r| r.reexecuted).sum(),
-        faults_injected: reps.iter().map(|r| r.faults_injected).sum(),
+        faults_injected: reps
+            .iter()
+            .map(|r| r.faults_injected + r.chaos_injected)
+            .sum(),
         scrub_corrected: fleet_pipeline.scrub_corrected,
         scrub_ticks: reps.iter().map(|r| r.scrub_ticks).sum(),
         quarantines: reps.iter().map(|r| r.quarantines).sum(),
@@ -1126,6 +1369,7 @@ pub fn simulate_observed(
         report,
         outcomes,
         store_paths,
+        chaos: chaos.map(|_| chaos_stats),
     })
 }
 
@@ -1222,6 +1466,128 @@ mod tests {
             let eb: Vec<u32> = expect.data().iter().map(|v| v.to_bits()).collect();
             assert_eq!(ob, eb, "request {}", o.id);
         }
+    }
+
+    #[test]
+    fn byzantine_donor_is_caught_and_outputs_stay_golden() {
+        use milr_fault::ByzantineSpec;
+        // Four replicas, donors 0 and 1 byzantine: whichever replica
+        // the heavy fault lands on, its first donor pick is byzantine
+        // (lowest-index serving peer) and an honest peer still exists
+        // after both cheats are distrusted.
+        let model = fleet_model(5);
+        let cfg = FleetConfig {
+            replicas: 4,
+            requests: 100,
+            faults: 0,
+            heavy_faults: 1,
+            kind: SubstrateKind::Plain,
+            chaos: Some(ChaosSpec {
+                byzantine: Some(ByzantineSpec {
+                    donors: vec![0, 1],
+                    flips: 24,
+                }),
+                ..ChaosSpec::default()
+            }),
+            ..FleetConfig::default()
+        };
+        let result = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        let r = &result.report;
+        assert!(
+            r.rejected_donations() >= 1,
+            "certified-donor check never caught the byzantine donation"
+        );
+        // Pages moved even though the byzantine import was rejected;
+        // the residue the poisoned pages left behind is then healed in
+        // place or repaired from an honest peer — either way the fleet
+        // converges without trusting the cheat again.
+        assert!(r.repair_pages() > 0 && r.repair_bytes() > 0);
+        assert!(
+            r.per_replica
+                .iter()
+                .map(|p| p.repairs_donated)
+                .sum::<usize>()
+                >= 1
+        );
+        assert_eq!(r.fleet.completed, 100);
+        // Every certified output is bit-equal to the fault-free model
+        // even though corrupted pages were shipped mid-repair.
+        for o in &result.outcomes {
+            let RequestStatus::Completed(out) = &o.status else {
+                panic!("request {} not completed under drain", o.id)
+            };
+            let expect = &model.forward_batch(std::slice::from_ref(&o.input)).unwrap()[0];
+            let ob: Vec<u32> = out.data().iter().map(|v| v.to_bits()).collect();
+            let eb: Vec<u32> = expect.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ob, eb, "request {}", o.id);
+        }
+    }
+
+    #[test]
+    fn fleet_chaos_campaign_is_deterministic_and_drains() {
+        use milr_fault::{BurstPattern, BurstSpec, SkewSpec, StuckAtSpec, TornWriteSpec};
+        let model = fleet_model(7);
+        let chaos = ChaosSpec {
+            bursts: Some(BurstSpec {
+                pattern: BurstPattern::Row,
+                bursts: 2,
+                flip_prob_milli: 300,
+            }),
+            stuck_at: Some(StuckAtSpec {
+                bits: 6,
+                from_milli: 100,
+                until_milli: 600,
+            }),
+            torn_write: Some(TornWriteSpec {
+                stage: "Heal".to_string(),
+                fires: 1,
+                flips: 6,
+            }),
+            byzantine: None,
+            skew: Some(SkewSpec {
+                arrival_milli: 900,
+                scrub_milli: 1100,
+            }),
+        };
+        let cfg = FleetConfig {
+            requests: 80,
+            faults: 1,
+            kind: SubstrateKind::Plain,
+            chaos: Some(chaos),
+            ..FleetConfig::default()
+        };
+        let a = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        let b = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        assert_eq!(a.report.fleet.digest, b.report.fleet.digest);
+        assert_eq!(a.report.to_json(), b.report.to_json(), "report not stable");
+        assert_eq!(a.chaos, b.chaos);
+        let stats = a.chaos.expect("chaos stats present");
+        assert_eq!(stats.bursts_fired, 2);
+        assert!(stats.burst_bits > 0, "bursts flipped nothing");
+        assert_eq!(
+            a.report.fleet.completed + a.report.fleet.rejected,
+            80,
+            "workload did not drain"
+        );
+    }
+
+    #[test]
+    fn quiet_fleet_chaos_matches_none() {
+        let model = fleet_model(8);
+        let base = FleetConfig {
+            requests: 40,
+            faults: 1,
+            kind: SubstrateKind::Plain,
+            ..FleetConfig::default()
+        };
+        let quiet = FleetConfig {
+            chaos: Some(ChaosSpec::default()),
+            ..base.clone()
+        };
+        let a = simulate(&model, MilrConfig::default(), &base).unwrap();
+        let b = simulate(&model, MilrConfig::default(), &quiet).unwrap();
+        assert_eq!(a.report.to_json(), b.report.to_json());
+        assert!(b.chaos.is_none(), "quiet spec must report no chaos");
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod policy;
 mod report;
 
 pub use host::ModelHost;
-pub use pipeline::{IntegrityPipeline, RoundOutcome, Stage, TickOutcome};
+pub use pipeline::{IntegrityPipeline, RoundOutcome, Stage, StageHook, TickOutcome};
 pub use policy::{
     Anchored, Budget, DurabilityPolicy, EscalationPolicy, Flushed, Journaled, Volatile,
     DEFAULT_DONOR_RETRIES, DEFAULT_HEAL_ROUNDS,

@@ -43,7 +43,35 @@ use crate::IntegrityError;
 use milr_core::{DetectionReport, Milr};
 use milr_obs::{EventKind, SpanHandle, SpanTree, TraceHandle};
 use milr_substrate::ScrubSummary;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A callable stage seam: invoked with the stage's name every time the
+/// pipeline enters a stage — the store's kill-point observers
+/// generalized to any pipeline driver. Chaos campaigns attach one to
+/// fire torn writes mid-heal (the hook runs *before* the stage body);
+/// crash-consistency suites snapshot backing files from it. Cloning
+/// shares the underlying callback.
+#[derive(Clone)]
+pub struct StageHook(Arc<Mutex<dyn FnMut(&'static str) + Send>>);
+
+impl StageHook {
+    /// Wraps a callback.
+    pub fn new(f: impl FnMut(&'static str) + Send + 'static) -> Self {
+        StageHook(Arc::new(Mutex::new(f)))
+    }
+
+    /// Invokes the callback with a stage name.
+    pub fn fire(&self, stage: &'static str) {
+        (self.0.lock().expect("stage hook poisoned"))(stage);
+    }
+}
+
+impl std::fmt::Debug for StageHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StageHook")
+    }
+}
 
 /// The explicit stages of the integrity loop, in order. Carried on
 /// timing counters and useful for logging; the pipeline itself
@@ -157,6 +185,9 @@ pub struct IntegrityPipeline {
     report: PipelineReport,
     /// Structured event sink, when a driver attached one.
     trace: Option<TraceHandle>,
+    /// Stage seam callback, when a driver attached one. Fired with the
+    /// stage name on every stage entry, before the stage body runs.
+    hook: Option<StageHook>,
     /// Completed-span ring, when a driver attached one. Each engine
     /// call (tick, heal round, re-anchor) builds one span tree —
     /// entry → stage → layer — stamped with the driver clock (plus
@@ -200,6 +231,7 @@ impl IntegrityPipeline {
             last_flagged: Vec::new(),
             report: PipelineReport::default(),
             trace: None,
+            hook: None,
             spans: None,
             tree: SpanTree::new(),
             call_started: None,
@@ -228,6 +260,15 @@ impl IntegrityPipeline {
         self.spans = Some(spans);
     }
 
+    /// Attaches a stage seam hook, fired with the stage name on every
+    /// stage entry (before the stage body). The hook observes — and,
+    /// for chaos campaigns, corrupts — storage at exactly the seams
+    /// the store's kill-point observers expose for the journal, so
+    /// torn-write-mid-heal scenarios run against serve and fleet too.
+    pub fn attach_stage_hook(&mut self, hook: StageHook) {
+        self.hook = Some(hook);
+    }
+
     /// Sets the driver clock used to stamp subsequently emitted
     /// events. Simulators pass their virtual clock before each engine
     /// call; wall-clock drivers pass elapsed time since start.
@@ -244,6 +285,9 @@ impl IntegrityPipeline {
 
     #[inline]
     fn enter(&mut self, stage: Stage) {
+        if let Some(hook) = &self.hook {
+            hook.fire(stage.name());
+        }
         self.emit(EventKind::StageEntered {
             stage: stage.name(),
         });

@@ -52,26 +52,37 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
+/// Largest request head accepted before the connection is dropped.
+const MAX_HEAD_BYTES: usize = 8192;
+
 /// Reads one request head and returns `(method, path)` — the path
 /// with any query string stripped. `None` on malformed or timed-out
 /// input (the connection is simply dropped).
+///
+/// The request line can arrive split across arbitrarily many TCP
+/// segments — one byte per segment in the worst case — so this loops
+/// until the line's `\r\n` terminator shows up or the head exceeds
+/// [`MAX_HEAD_BYTES`]. A connection that hits EOF, times out, or
+/// errors before the terminator never delivered a complete request
+/// line; the truncated prefix is *not* parsed.
 fn read_request(stream: &mut TcpStream) -> Option<(String, String)> {
     let mut data = Vec::new();
     let mut buf = [0u8; 512];
-    loop {
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                data.extend_from_slice(&buf[..n]);
-                if data.windows(4).any(|w| w == b"\r\n\r\n") || data.len() >= 8192 {
-                    break;
-                }
-            }
-            Err(_) => break,
+    let line_end = loop {
+        if let Some(pos) = data.windows(2).position(|w| w == b"\r\n") {
+            break pos;
         }
-    }
-    let text = String::from_utf8_lossy(&data);
-    let line = text.lines().next()?;
+        if data.len() >= MAX_HEAD_BYTES {
+            return None;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => data.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return None,
+        }
+    };
+    let line = String::from_utf8_lossy(&data[..line_end]);
     let mut parts = line.split_whitespace();
     let method = parts.next()?.to_string();
     let target = parts.next()?;
@@ -170,5 +181,61 @@ mod tests {
         );
         stop.store(true, Ordering::Release);
         handle.join().unwrap();
+    }
+
+    /// Accepts one connection and runs `read_request` on it while the
+    /// test body drives the client side of the socket pair.
+    fn parse_one(client: impl FnOnce(TcpStream) + Send + 'static) -> Option<(String, String)> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || client(TcpStream::connect(addr).expect("connect")));
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let parsed = read_request(&mut stream);
+        drop(stream); // EOF for a client blocked in read_to_end
+        writer.join().unwrap();
+        parsed
+    }
+
+    #[test]
+    fn head_split_across_segments_is_reassembled() {
+        // Worst-case segmentation: every byte of the head in its own
+        // write, with the kernel given time to deliver them as
+        // separate reads.
+        let parsed = parse_one(|mut stream| {
+            for byte in b"GET /split?x=1 HTTP/1.1\r\n" {
+                stream.write_all(&[*byte]).unwrap();
+                stream.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let mut out = Vec::new();
+            let _ = stream.read_to_end(&mut out);
+        });
+        assert_eq!(parsed, Some(("GET".to_string(), "/split".to_string())));
+    }
+
+    #[test]
+    fn truncated_request_line_is_dropped_not_parsed() {
+        // The peer dies mid-request-line: no terminator ever arrives,
+        // so the head must be rejected — not parsed as `GET /par`.
+        let parsed = parse_one(|stream| {
+            (&stream).write_all(b"GET /partial").unwrap();
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+        });
+        assert_eq!(parsed, None);
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let parsed = parse_one(|mut stream| {
+            let long = vec![b'a'; MAX_HEAD_BYTES + 64];
+            let _ = stream.write_all(b"GET /");
+            let _ = stream.write_all(&long);
+            let mut out = Vec::new();
+            let _ = stream.read_to_end(&mut out);
+        });
+        assert_eq!(parsed, None);
     }
 }

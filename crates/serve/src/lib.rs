@@ -79,4 +79,4 @@ pub use report::{outcome_digest, ServeReport};
 pub use request::{QuarantinePolicy, RejectReason, RequestId, RequestOutcome, RequestStatus};
 pub use scrubber::ScrubCursor;
 pub use server::{ReadPath, ResponseHandle, ServeError, Server, ServerConfig};
-pub use sim::{simulate, simulate_observed, SimConfig, SimResult, VirtualCosts};
+pub use sim::{simulate, simulate_observed, ChaosStats, SimConfig, SimResult, VirtualCosts};

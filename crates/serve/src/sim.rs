@@ -29,15 +29,19 @@ use crate::report::{outcome_digest, ServeReport};
 use crate::request::{QuarantinePolicy, RejectReason, RequestOutcome, RequestStatus};
 use crate::scrubber::ScrubCursor;
 use milr_core::{Milr, MilrConfig, SolvingPlan};
-use milr_fault::FaultRng;
+use milr_fault::{
+    milli, plan_burst, plan_stuck_at, ChaosSpec, FaultRng, SkewSpec, StuckAtPlan, StuckAtSpec,
+};
 use milr_integrity::{
-    Budget, EscalationPolicy, IntegrityPipeline, ModelHost, RoundOutcome, Volatile,
+    Budget, EscalationPolicy, IntegrityPipeline, ModelHost, RoundOutcome, StageHook, Volatile,
 };
 use milr_nn::{Layer, Sequential};
-use milr_obs::{EventKind, Observer, SloEngine, SloKind, SpanTree};
-use milr_substrate::SubstrateKind;
+use milr_obs::{EventKind, Observer, SloEngine, SloKind, SloSpec, SpanTree};
+use milr_substrate::{SharedSubstrate, SubstrateKind};
 use milr_tensor::{Tensor, TensorRng};
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Virtual durations of the service's operations, in nanoseconds.
 ///
@@ -109,6 +113,18 @@ pub struct SimConfig {
     pub policy: QuarantinePolicy,
     /// Whole-weight faults injected over the run.
     pub faults: usize,
+    /// Substrate kind backing the model host. Chaos campaigns sweep
+    /// this; the default ([`SubstrateKind::Plain`]) is the legacy
+    /// configuration the golden-seed parity suite locks.
+    pub kind: SubstrateKind,
+    /// Chaos campaign overlay: correlated bursts, stuck-at cells, torn
+    /// writes at pipeline seams, schedule skew. `None` (and
+    /// `Some(quiet)`) leave the run byte-identical to the legacy
+    /// simulation. Byzantine donors are fleet-only and ignored here.
+    pub chaos: Option<ChaosSpec>,
+    /// SLO suite override for campaign runs; `None` uses
+    /// [`SloEngine::serving_defaults`].
+    pub slo_specs: Option<Vec<SloSpec>>,
     /// Candidate layers for fault injection; empty means every
     /// *fully recoverable* convolution layer (solving plan `ConvFull`),
     /// whose CRC-certified recovery restores exact golden bits — the
@@ -137,10 +153,34 @@ impl Default for SimConfig {
             layers_per_tick: 2,
             policy: QuarantinePolicy::Drain,
             faults: 2,
+            kind: SubstrateKind::Plain,
+            chaos: None,
+            slo_specs: None,
             fault_layers: Vec::new(),
             costs: VirtualCosts::default(),
         }
     }
+}
+
+/// What a chaos campaign actually injected over one run — the
+/// ground-truth side of a [`ChaosSpec`], for campaign reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosStats {
+    /// Correlated bursts fired.
+    pub bursts_fired: usize,
+    /// Raw bits flipped by bursts.
+    pub burst_bits: usize,
+    /// Stuck-at cell re-assertions (flips that pinned a corrected
+    /// cell back to its stuck value).
+    pub stuck_asserts: usize,
+    /// Torn writes fired at pipeline stage seams.
+    pub torn_fires: u64,
+    /// Cold redeploys from the golden artifact: heal episodes whose
+    /// damage exceeded single-instance recovery capacity (correlated
+    /// bursts spanning adjacent layers defeat layer-local recovery),
+    /// answered the way an operator would — a full-model rewrite,
+    /// re-protect, and re-anchor, priced as extra downtime.
+    pub redeploys: usize,
 }
 
 /// Everything a simulated run produced.
@@ -150,6 +190,8 @@ pub struct SimResult {
     pub report: ServeReport,
     /// Every request's terminal state, by submission order.
     pub outcomes: Vec<RequestOutcome>,
+    /// Chaos injection tallies; `None` when no campaign was active.
+    pub chaos: Option<ChaosStats>,
 }
 
 #[derive(Debug)]
@@ -171,6 +213,8 @@ enum Event {
         layer: usize,
         weight: usize,
     },
+    /// One correlated chaos burst over the raw image.
+    ChaosBurst,
     RecoveryDone {
         epoch: u64,
     },
@@ -306,8 +350,17 @@ pub fn simulate_observed(
     assert!(cfg.requests > 0, "need a workload");
 
     let mut milr = Milr::protect(golden, milr_config)?;
-    let host = ModelHost::new(golden, &|c| SubstrateKind::Plain.store(c));
+    let host = ModelHost::new(golden, &|c| cfg.kind.store(c));
     let checkable = milr.checkable_layers();
+    // Chaos campaign overlay. A quiet spec is the same as none: every
+    // branch below is skipped and the run stays byte-identical to the
+    // legacy simulation.
+    let chaos = cfg.chaos.as_ref().filter(|c| !c.is_quiet());
+    let skew = chaos.and_then(|c| c.skew.clone());
+    let scrub_interval_ns = match &skew {
+        Some(sk) => SkewSpec::scale(cfg.scrub_interval_ns, sk.scrub_milli),
+        None => cfg.scrub_interval_ns,
+    };
     let mut cursor = ScrubCursor::new(checkable.clone(), cfg.layers_per_tick);
     // The shared integrity engine, untimed (virtual clock) and
     // volatile: the simulation's weights live only in memory, and the
@@ -320,12 +373,36 @@ pub fn simulate_observed(
     if let Some(spans) = &obs.spans {
         pipeline.attach_spans(spans.clone());
     }
+    // Torn writes racing the heal: the stage hook owns a clone of the
+    // shared store and fires raw corruption the moment the pipeline
+    // enters the named seam — mid-heal, between Verify and Reprotect,
+    // wherever the campaign aims it — a bounded number of times.
+    let torn_fired = Arc::new(AtomicU64::new(0));
+    if let Some(tw) = chaos.and_then(|c| c.torn_write.clone()) {
+        let store: SharedSubstrate = host.store().clone();
+        let fired = Arc::clone(&torn_fired);
+        let mut torn_rng = FaultRng::seed(cfg.seed ^ 0x70A2);
+        let mut remaining = tw.fires;
+        pipeline.attach_stage_hook(StageHook::new(move |stage| {
+            if remaining > 0 && stage.eq_ignore_ascii_case(&tw.stage) {
+                remaining -= 1;
+                let raw = store.raw_bits();
+                for _ in 0..tw.flips {
+                    store.flip_raw_bit(torn_rng.below(raw));
+                }
+                fired.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
     // The SLO engine runs unconditionally, fed from the run's own
     // deterministic streams, so the report's budget verdict is part of
     // the seeded contract: attaching (or omitting) observers cannot
     // change a byte of it. Only the AlertFired trace emission below is
     // observer-gated (`obs.emit` is a no-op without a recorder).
-    let mut slo = SloEngine::serving_defaults();
+    let mut slo = match &cfg.slo_specs {
+        Some(specs) => SloEngine::new(specs.clone()),
+        None => SloEngine::serving_defaults(),
+    };
     let mut avail_mark = 0u64;
     // Metrics handles, registered once: recording below is lock-free
     // atomics on preallocated buckets.
@@ -345,7 +422,11 @@ pub fn simulate_observed(
     let mut t = 0u64;
     for _ in 0..cfg.requests {
         let gap = -arrival_rng.unit().max(f64::MIN_POSITIVE).ln() * cfg.mean_arrival_ns as f64;
-        t += (gap as u64).max(1);
+        let mut gap_ns = (gap as u64).max(1);
+        if let Some(sk) = &skew {
+            gap_ns = SkewSpec::scale(gap_ns, sk.arrival_milli);
+        }
+        t += gap_ns;
         reqs.push(Req {
             input: input_rng.uniform_tensor(golden.input_shape()),
             arrival: t,
@@ -382,6 +463,24 @@ pub fn simulate_observed(
         .collect();
     fault_sched.sort_unstable();
 
+    // Chaos planning: a dedicated RNG stream (never drawn from without
+    // a campaign) schedules correlated bursts over the same window as
+    // the whole-weight faults and plants the stuck-at cells.
+    let mut chaos_rng = FaultRng::seed(cfg.seed ^ 0xC4A05);
+    let burst_spec = chaos.and_then(|c| c.bursts.clone());
+    let mut burst_times: Vec<u64> = Vec::new();
+    if let Some(b) = &burst_spec {
+        burst_times = (0..b.bursts)
+            .map(|_| horizon / 10 + (chaos_rng.unit() * 0.8 * horizon as f64) as u64)
+            .collect();
+        burst_times.sort_unstable();
+    }
+    let stuck: Option<(StuckAtSpec, StuckAtPlan)> =
+        chaos.and_then(|c| c.stuck_at.clone()).map(|spec| {
+            let plan = plan_stuck_at(host.store().raw_bits(), spec.bits, &mut chaos_rng);
+            (spec, plan)
+        });
+
     // Event timeline.
     let mut timeline: EventQueue<Event> = EventQueue::new();
     for (i, r) in reqs.iter().enumerate() {
@@ -390,7 +489,10 @@ pub fn simulate_observed(
     for &(time, layer, weight) in &fault_sched {
         timeline.schedule(time, Event::Fault { layer, weight });
     }
-    timeline.schedule(cfg.scrub_interval_ns, Event::ScrubTick { epoch: 0 });
+    for &time in &burst_times {
+        timeline.schedule(time, Event::ChaosBurst);
+    }
+    timeline.schedule(scrub_interval_ns, Event::ScrubTick { epoch: 0 });
 
     // Service state.
     let mut clock = 0u64;
@@ -416,6 +518,24 @@ pub fn simulate_observed(
     let mut full_batches = 0usize;
     let mut batched_requests = 0usize;
     let mut deadline_pending = false;
+    let mut chaos_stats = ChaosStats::default();
+    // Chaos injections feed the same drain condition as whole-weight
+    // faults: the run only exits after a clean scrub cycle that started
+    // after the last injection of *any* kind.
+    let mut chaos_injected = 0usize;
+
+    /// Folds stage-hook firings (which happen inside pipeline calls)
+    /// into the chaos tallies and the drain condition.
+    macro_rules! torn_sync {
+        () => {
+            let fired = torn_fired.load(Ordering::Relaxed);
+            if fired > chaos_stats.torn_fires {
+                chaos_stats.torn_fires = fired;
+                chaos_injected += 1;
+                last_fault_time = clock;
+            }
+        };
+    }
 
     macro_rules! slo_alerts {
         ($alerts:expr) => {
@@ -630,9 +750,53 @@ pub fn simulate_observed(
                     c.inc();
                 }
             }
+            Event::ChaosBurst => {
+                let spec = burst_spec.as_ref().expect("burst event without a spec");
+                let store = host.store();
+                let bits = plan_burst(
+                    store.raw_geometry(),
+                    store.raw_bits(),
+                    spec.pattern,
+                    milli(spec.flip_prob_milli),
+                    &mut chaos_rng,
+                );
+                for &bit in &bits {
+                    store.flip_raw_bit(bit);
+                }
+                chaos_stats.bursts_fired += 1;
+                chaos_stats.burst_bits += bits.len();
+                if !bits.is_empty() {
+                    chaos_injected += 1;
+                    last_fault_time = clock;
+                }
+                if let Some(c) = &faults_ctr {
+                    c.inc();
+                }
+            }
             Event::ScrubTick { epoch: tick_epoch } => {
                 if quarantined || tick_epoch != epoch {
                     continue; // stale tick from before a quarantine
+                }
+                // Stuck-at cells re-assert just before the scrubber
+                // looks: whatever a previous pass corrected is pinned
+                // back to its stuck value, so this tick observes the
+                // cells held — the pattern iid flips cannot produce.
+                if let Some((spec, plan)) = &stuck {
+                    if spec.active(clock, horizon) {
+                        let store = host.store();
+                        let mut asserted = 0usize;
+                        for &(bit, value) in &plan.cells {
+                            if store.raw_bit(bit) != value {
+                                store.flip_raw_bit(bit);
+                                asserted += 1;
+                            }
+                        }
+                        if asserted > 0 {
+                            chaos_stats.stuck_asserts += asserted;
+                            chaos_injected += 1;
+                            last_fault_time = clock;
+                        }
+                    }
                 }
                 scrub_ticks += 1;
                 let chunk = cursor.begin_tick(clock);
@@ -640,6 +804,7 @@ pub fn simulate_observed(
                 let tick = pipeline
                     .tick(&host, &milr, &chunk, &mut Volatile)
                     .map_err(into_milr_err)?;
+                torn_sync!();
                 let flagged = !tick.detection.is_clean();
                 if let Some(cycle_start) = cursor.finish_tick(flagged, clock) {
                     last_clean_cycle_start = Some(cycle_start);
@@ -695,7 +860,7 @@ pub fn simulate_observed(
                         cfg.costs.full_detect_ns(checkable.len()) + cfg.costs.recover_ns;
                     timeline.schedule(clock + recovery_cost, Event::RecoveryDone { epoch });
                 } else {
-                    timeline.schedule(clock + cfg.scrub_interval_ns, Event::ScrubTick { epoch });
+                    timeline.schedule(clock + scrub_interval_ns, Event::ScrubTick { epoch });
                 }
             }
             Event::RecoveryDone { epoch: rec_epoch } => {
@@ -715,6 +880,7 @@ pub fn simulate_observed(
                 let round = pipeline
                     .heal_round(&host, &mut milr, &mut Volatile)
                     .map_err(into_milr_err)?;
+                torn_sync!();
                 let exact = pipeline.report().heals_exact - heals_before.0;
                 let approx = pipeline.report().heals_approx - heals_before.1;
                 if exact + approx > 0 {
@@ -727,6 +893,13 @@ pub fn simulate_observed(
                 }
                 match round {
                     RoundOutcome::Clean { .. } => {
+                        // Chaos campaigns run many quarantine episodes
+                        // (stuck cells re-flag after every heal); the
+                        // budget is per-episode there. Legacy runs keep
+                        // the cumulative budget byte-for-byte.
+                        if chaos.is_some() {
+                            pipeline.reset_budget();
+                        }
                         // Resume serving.
                         quarantined = false;
                         // Close the down-window for the availability SLO.
@@ -740,17 +913,39 @@ pub fn simulate_observed(
                         obs.emit(clock, 0, EventKind::Quarantine { entered: false });
                         downtime.close_at(clock);
                         cursor.reset();
-                        timeline
-                            .schedule(clock + cfg.scrub_interval_ns, Event::ScrubTick { epoch });
+                        timeline.schedule(clock + scrub_interval_ns, Event::ScrubTick { epoch });
                         admit!();
                     }
                     RoundOutcome::Retry { flagged } => {
-                        assert!(
-                            !pipeline.budget_exhausted(),
-                            "recovery failed to converge: {flagged:?}"
-                        );
-                        timeline
-                            .schedule(clock + cfg.costs.recover_ns, Event::RecoveryDone { epoch });
+                        if pipeline.budget_exhausted() {
+                            // Legacy workloads inject only recoverable
+                            // faults: a non-converging heal there is a
+                            // harness bug, not an outcome.
+                            assert!(chaos.is_some(), "recovery failed to converge: {flagged:?}");
+                            // A chaos campaign exceeded single-instance
+                            // capacity. Model the operator's answer: a
+                            // cold redeploy from the golden artifact —
+                            // full-model rewrite, re-protect, re-anchor
+                            // — priced at one recovery per checkable
+                            // layer of extra downtime. The SLO suite
+                            // judges the availability burn.
+                            host.write_back(golden, &checkable);
+                            pipeline
+                                .reprotect_and_anchor(&host, &mut milr, &mut Volatile)
+                                .map_err(into_milr_err)?;
+                            torn_sync!();
+                            pipeline.reset_budget();
+                            chaos_stats.redeploys += 1;
+                            timeline.schedule(
+                                clock + cfg.costs.recover_ns * checkable.len() as u64,
+                                Event::RecoveryDone { epoch },
+                            );
+                        } else {
+                            timeline.schedule(
+                                clock + cfg.costs.recover_ns,
+                                Event::RecoveryDone { epoch },
+                            );
+                        }
                     }
                     outcome => unreachable!(
                         "volatile quarantine serving neither escalates nor gives up before \
@@ -767,7 +962,7 @@ pub fn simulate_observed(
             quarantined,
             last_clean_cycle_start,
             last_fault_time,
-            faults_injected,
+            faults_injected + chaos_injected,
         ) {
             break;
         }
@@ -840,7 +1035,11 @@ pub fn simulate_observed(
         pipeline,
         slo: Some(slo_report),
     };
-    Ok(SimResult { report, outcomes })
+    Ok(SimResult {
+        report,
+        outcomes,
+        chaos: chaos.map(|_| chaos_stats),
+    })
 }
 
 /// The volatile simulation can only fail inside MILR itself — its
@@ -908,6 +1107,72 @@ mod tests {
                 assert_eq!(out.data(), golden_out.data());
             }
         }
+    }
+
+    #[test]
+    fn chaos_campaign_is_deterministic_and_drains() {
+        use milr_fault::{BurstPattern, BurstSpec, TornWriteSpec};
+        let model = serving_model(6);
+        let chaos = ChaosSpec {
+            bursts: Some(BurstSpec {
+                pattern: BurstPattern::Row,
+                bursts: 2,
+                flip_prob_milli: 300,
+            }),
+            stuck_at: Some(StuckAtSpec {
+                bits: 8,
+                from_milli: 100,
+                until_milli: 700,
+            }),
+            torn_write: Some(TornWriteSpec {
+                stage: "Heal".to_string(),
+                fires: 1,
+                flips: 8,
+            }),
+            byzantine: None,
+            skew: Some(SkewSpec {
+                arrival_milli: 800,
+                scrub_milli: 1200,
+            }),
+        };
+        let cfg = SimConfig {
+            requests: 80,
+            faults: 1,
+            kind: SubstrateKind::Secded,
+            chaos: Some(chaos),
+            ..SimConfig::default()
+        };
+        let a = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        let b = simulate(&model, MilrConfig::default(), &cfg).unwrap();
+        assert_eq!(a.report.digest, b.report.digest, "seeded chaos diverged");
+        let stats = a.chaos.expect("campaign stats");
+        assert_eq!(stats, b.chaos.unwrap());
+        assert_eq!(stats.bursts_fired, 2);
+        assert!(stats.burst_bits > 0, "bursts flipped nothing");
+        assert!(stats.stuck_asserts > 0, "stuck cells never re-asserted");
+        assert_eq!(
+            a.report.completed + a.report.rejected,
+            cfg.requests,
+            "workload did not drain under chaos"
+        );
+    }
+
+    #[test]
+    fn quiet_chaos_spec_is_byte_identical_to_none() {
+        let model = serving_model(3);
+        let base = SimConfig {
+            requests: 60,
+            faults: 1,
+            ..SimConfig::default()
+        };
+        let quiet = SimConfig {
+            chaos: Some(ChaosSpec::default()),
+            ..base.clone()
+        };
+        let a = simulate(&model, MilrConfig::default(), &base).unwrap();
+        let b = simulate(&model, MilrConfig::default(), &quiet).unwrap();
+        assert_eq!(a.report.digest, b.report.digest);
+        assert!(b.chaos.is_none(), "quiet spec must not report stats");
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Kill-at-every-seam coverage for the integrity engine as the serving
+//! stack drives it: a [`StageHook`] snapshots the seams an episode
+//! crosses (and must cross them identically run over run), and a
+//! panic-injected "kill" at **each** seam must leave the in-memory
+//! state restartable — a fresh engine, like a rebooted recovery
+//! driver, takes the surviving state to a certified-clean model whose
+//! outputs are bit-equal to the fault-free golden weights.
+
+use milr_core::{Milr, MilrConfig};
+use milr_integrity::{
+    Budget, EscalationPolicy, IntegrityPipeline, ModelHost, RoundOutcome, StageHook, Volatile,
+};
+use milr_models::serving_probe;
+use milr_substrate::SubstrateKind;
+use milr_tensor::TensorRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Every stage seam of the engine, in ladder order.
+const SEAMS: [&str; 8] = [
+    "Scrub",
+    "Detect",
+    "Heal",
+    "Classify",
+    "Escalate",
+    "Verify",
+    "Reprotect",
+    "Anchor",
+];
+
+/// One scrub tick plus heal rounds until the engine reports clean —
+/// the recovery drive both the simulator and the threaded server run.
+fn drive_to_clean(pipeline: &mut IntegrityPipeline, host: &ModelHost, milr: &mut Milr) {
+    let chunk = milr.checkable_layers();
+    let tick = pipeline
+        .tick(host, &*milr, &chunk, &mut Volatile)
+        .expect("tick");
+    if tick.detection.is_clean() {
+        return;
+    }
+    loop {
+        match pipeline
+            .heal_round(host, milr, &mut Volatile)
+            .expect("heal")
+        {
+            RoundOutcome::Clean { .. } => break,
+            RoundOutcome::Retry { .. } => continue,
+            other => panic!("unexpected heal outcome: {other:?}"),
+        }
+    }
+}
+
+fn assert_golden(host: &ModelHost, golden: &milr_nn::Sequential) {
+    let input = TensorRng::new(9).uniform_tensor(golden.input_shape());
+    let expect = &golden.forward_batch(std::slice::from_ref(&input)).unwrap()[0];
+    let got = &host.forward_batch(std::slice::from_ref(&input)).unwrap()[0];
+    let gb: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+    let eb: Vec<u32> = expect.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(gb, eb, "outputs diverged from the fault-free model");
+}
+
+#[test]
+fn seam_snapshot_is_deterministic_and_in_ladder_order() {
+    let golden = serving_probe(21);
+    let snapshot = || -> Vec<&'static str> {
+        let mut milr = Milr::protect(&golden, MilrConfig::default()).unwrap();
+        let host = ModelHost::new(&golden, &|c| SubstrateKind::Secded.store(c));
+        let mut pipeline = IntegrityPipeline::new(EscalationPolicy::Quarantine, Budget::default());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        {
+            let log = Arc::clone(&log);
+            pipeline.attach_stage_hook(StageHook::new(move |stage| {
+                log.lock().unwrap().push(stage);
+            }));
+        }
+        host.corrupt_weight(0, 2);
+        drive_to_clean(&mut pipeline, &host, &mut milr);
+        let log = log.lock().unwrap().clone();
+        log
+    };
+    let a = snapshot();
+    let b = snapshot();
+    assert_eq!(a, b, "seam crossings are not reproducible");
+    // The episode walks the ladder: scrub/detect first, then the heal
+    // tail through re-protect and re-anchor, in order.
+    for window in [
+        &["Scrub", "Detect"][..],
+        &["Heal", "Classify"][..],
+        &["Verify", "Reprotect", "Anchor"][..],
+    ] {
+        let pos: Vec<Option<usize>> = window
+            .iter()
+            .map(|s| a.iter().position(|x| x == s))
+            .collect();
+        assert!(
+            pos.iter().all(Option::is_some),
+            "missing seams {window:?} in {a:?}"
+        );
+        assert!(
+            pos.windows(2).all(|w| w[0] < w[1]),
+            "seams {window:?} out of order in {a:?}"
+        );
+    }
+}
+
+#[test]
+fn heal_is_restartable_after_a_kill_at_every_seam() {
+    let golden = serving_probe(22);
+    for seam in SEAMS {
+        let mut milr = Milr::protect(&golden, MilrConfig::default()).unwrap();
+        let host = ModelHost::new(&golden, &|c| SubstrateKind::Secded.store(c));
+        let mut pipeline = IntegrityPipeline::new(EscalationPolicy::Quarantine, Budget::default());
+        host.corrupt_weight(0, 3);
+        let mut armed = true;
+        pipeline.attach_stage_hook(StageHook::new(move |stage| {
+            if armed && stage == seam {
+                armed = false;
+                panic!("kill at {stage}");
+            }
+        }));
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            drive_to_clean(&mut pipeline, &host, &mut milr)
+        }));
+        if first.is_err() {
+            // "Reboot": a fresh engine (no hook, fresh budget) over
+            // whatever state the kill left behind. Stage-seam kills may
+            // leave the substrate mid-heal and the protection instance
+            // old *or* new — both must be drivable to clean.
+            let mut pipeline =
+                IntegrityPipeline::new(EscalationPolicy::Quarantine, Budget::default());
+            drive_to_clean(&mut pipeline, &host, &mut milr);
+        }
+        assert!(
+            milr.detect(&host.materialize()).unwrap().is_clean(),
+            "state not certifiable after kill at {seam}"
+        );
+        assert_golden(&host, &golden);
+    }
+}

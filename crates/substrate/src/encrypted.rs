@@ -3,8 +3,15 @@
 //! ciphertext, so every raw-bit fault garbles a whole 16-byte block
 //! (four weights) of plaintext.
 
-use crate::{ScrubSummary, SubstrateError, WeightSubstrate};
+use crate::{RawGeometry, ScrubSummary, SubstrateError, WeightSubstrate};
 use milr_xts::{EncryptedMemory, BLOCK_BYTES};
+
+/// One 128-bit cipher block per row: a ciphertext burst that stays
+/// inside a row garbles exactly one block of plaintext.
+const XTS_GEOMETRY: RawGeometry = RawGeometry {
+    word_bits: BLOCK_BYTES * 8,
+    words_per_row: 1,
+};
 
 impl WeightSubstrate for EncryptedMemory {
     fn label(&self) -> &'static str {
@@ -23,6 +30,15 @@ impl WeightSubstrate for EncryptedMemory {
         // The "word" a ciphertext fault touches is the 16-byte cipher
         // block: that is the blast-radius granularity in plaintext.
         bit / 8 / BLOCK_BYTES
+    }
+
+    fn raw_geometry(&self) -> RawGeometry {
+        XTS_GEOMETRY
+    }
+
+    fn raw_bit(&self, bit: usize) -> bool {
+        assert!(bit < self.ciphertext_bits(), "raw bit {bit} out of range");
+        (self.ciphertext()[bit / 8] >> (bit % 8)) & 1 == 1
     }
 
     fn flip_raw_bit(&mut self, bit: usize) {
@@ -44,6 +60,20 @@ impl WeightSubstrate for EncryptedMemory {
             });
         }
         self.overwrite(weights)
+            .map_err(|e| SubstrateError::Backend(e.to_string()))
+    }
+
+    fn write_weights_sparse(&mut self, updates: &[(usize, f32)]) -> Result<(), SubstrateError> {
+        let len = EncryptedMemory::len(self);
+        for &(idx, _) in updates {
+            if idx >= len {
+                return Err(SubstrateError::LengthMismatch {
+                    expected: len,
+                    got: idx + 1,
+                });
+            }
+        }
+        self.overwrite_sparse(updates)
             .map_err(|e| SubstrateError::Backend(e.to_string()))
     }
 

@@ -14,7 +14,7 @@
 //! seam where `milr-store` substitutes its crash-consistent journal for
 //! the default direct write.
 
-use crate::{ScrubSummary, SubstrateError, SubstrateKind, WeightSubstrate};
+use crate::{RawGeometry, ScrubSummary, SubstrateError, SubstrateKind, WeightSubstrate};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -458,6 +458,16 @@ impl WeightSubstrate for FileSubstrate {
         words_before + self.with_page(page, false, |sub| sub.raw_word_of_bit(local))
     }
 
+    fn raw_geometry(&self) -> RawGeometry {
+        self.kind.raw_geometry()
+    }
+
+    fn raw_bit(&self, bit: usize) -> bool {
+        let page = self.page_of_raw_bit(bit);
+        let local = bit - self.rawbit_prefix[page];
+        self.with_page(page, false, |sub| sub.raw_bit(local))
+    }
+
     fn flip_raw_bit(&mut self, bit: usize) {
         let page = self.page_of_raw_bit(bit);
         let local = bit - self.rawbit_prefix[page];
@@ -482,6 +492,32 @@ impl WeightSubstrate for FileSubstrate {
         for page in 0..self.pages.len() {
             let chunk = &weights[self.weight_prefix[page]..self.weight_prefix[page + 1]];
             self.with_page(page, true, |sub| sub.write_weights(chunk))?;
+        }
+        Ok(())
+    }
+
+    fn write_weights_sparse(&mut self, updates: &[(usize, f32)]) -> Result<(), SubstrateError> {
+        for &(idx, _) in updates {
+            if idx >= self.len {
+                return Err(SubstrateError::LengthMismatch {
+                    expected: self.len,
+                    got: idx + 1,
+                });
+            }
+        }
+        // Group updates by page so each page is loaded (and dirtied)
+        // once, with page-local indices.
+        let mut by_page: Vec<(usize, Vec<(usize, f32)>)> = Vec::new();
+        for &(idx, value) in updates {
+            let page = self.weight_prefix.partition_point(|&o| o <= idx) - 1;
+            let local = idx - self.weight_prefix[page];
+            match by_page.iter_mut().find(|(p, _)| *p == page) {
+                Some((_, list)) => list.push((local, value)),
+                None => by_page.push((page, vec![(local, value)])),
+            }
+        }
+        for (page, list) in by_page {
+            self.with_page(page, true, |sub| sub.write_weights_sparse(&list))?;
         }
         Ok(())
     }

@@ -5,7 +5,7 @@
 //! to and from bytes so weight pages can live in a file.
 
 use crate::file::{DirectCommitter, FileSubstrate, StdFile};
-use crate::{PlainMemory, SubstrateError, WeightSubstrate, XtsSecdedMemory};
+use crate::{PlainMemory, RawGeometry, SubstrateError, WeightSubstrate, XtsSecdedMemory};
 use milr_ecc::SecdedMemory;
 use milr_xts::{EncryptedMemory, XtsCipher, BLOCK_BYTES};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -221,6 +221,27 @@ impl SubstrateKind {
         }
     }
 
+    /// Raw-space geometry of this kind — the row/word grid over which
+    /// correlated burst campaigns are planned — without building a
+    /// substrate. File-backed kinds share their base kind's geometry.
+    pub fn raw_geometry(&self) -> RawGeometry {
+        match self.base() {
+            SubstrateKind::Plain => RawGeometry {
+                word_bits: 32,
+                words_per_row: 4,
+            },
+            SubstrateKind::Secded | SubstrateKind::XtsSecded => RawGeometry {
+                word_bits: 39,
+                words_per_row: 4,
+            },
+            SubstrateKind::Xts => RawGeometry {
+                word_bits: BLOCK_BYTES * 8,
+                words_per_row: 1,
+            },
+            _ => unreachable!("base() never returns a file kind"),
+        }
+    }
+
     /// Short name used in report headers and bench labels.
     pub fn name(&self) -> &'static str {
         match self {
@@ -363,6 +384,54 @@ mod tests {
             // Wrong-length images are rejected without touching state.
             assert!(mem.import_raw(&donor.export_raw()[1..]).is_err(), "{kind}");
             assert_eq!(mem.export_raw(), donor.export_raw(), "{kind}: unchanged");
+        }
+    }
+
+    #[test]
+    fn kind_geometry_matches_substrates() {
+        let w: Vec<f32> = (0..10).map(|i| i as f32 * 0.2 - 1.0).collect();
+        for kind in SubstrateKind::ALL
+            .into_iter()
+            .chain(SubstrateKind::FILE_BACKED)
+        {
+            let mem = kind.store(&w);
+            assert_eq!(mem.raw_geometry(), kind.raw_geometry(), "{kind}");
+            let geo = kind.raw_geometry();
+            assert!(geo.row_bits() > 0, "{kind}");
+            assert!(geo.rows(mem.raw_bits()) >= 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn sparse_write_touches_only_selected_words() {
+        let w: Vec<f32> = (0..12).map(|i| i as f32 * 0.5 - 3.0).collect();
+        for kind in SubstrateKind::ALL
+            .into_iter()
+            .chain(SubstrateKind::FILE_BACKED)
+        {
+            let mut mem = kind.store(&w);
+            let before = mem.export_raw();
+            let mut want = w.clone();
+            want[1] = 9.5;
+            want[10] = -7.25;
+            mem.write_weights_sparse(&[(1, 9.5), (10, -7.25)]).unwrap();
+            let got: Vec<u32> = mem.read_weights().iter().map(|v| v.to_bits()).collect();
+            let expect: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, expect, "{kind}: sparse write result");
+            // Weights 4..8 sit in untouched words/blocks under every
+            // kind: their raw bytes must be bit-identical afterwards.
+            let after = mem.export_raw();
+            let lo = kind.raw_image_bytes(4);
+            let hi = kind.raw_image_bytes(8);
+            assert_eq!(
+                &after[lo..hi],
+                &before[lo..hi],
+                "{kind}: untouched middle region changed"
+            );
+            assert!(
+                mem.write_weights_sparse(&[(w.len(), 0.0)]).is_err(),
+                "{kind}: out-of-range index accepted"
+            );
         }
     }
 

@@ -120,6 +120,36 @@ impl ScrubSummary {
     }
 }
 
+/// The physical arrangement of a substrate's raw bit image, as a grid
+/// of rows of raw words — the coordinate system correlated-fault
+/// injectors (rowhammer-style row/column bursts) plan over.
+///
+/// A **row** models one DRAM row / cache line / cipher block worth of
+/// adjacent raw words: the blast radius of a correlated disturbance.
+/// Plain and SECDED substrates group 4 data/code words per row (a
+/// 16-byte beat); the XTS substrates use one 128-bit cipher block per
+/// row, since that is the unit a disturbance garbles on decrypt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawGeometry {
+    /// Bits per raw word (32 plain, 39 SECDED, 128 XTS block).
+    pub word_bits: usize,
+    /// Raw words per row.
+    pub words_per_row: usize,
+}
+
+impl RawGeometry {
+    /// Bits per row.
+    pub fn row_bits(&self) -> usize {
+        self.word_bits * self.words_per_row
+    }
+
+    /// Number of (possibly ragged) rows covering a raw image of
+    /// `raw_bits` bits.
+    pub fn rows(&self, raw_bits: usize) -> usize {
+        raw_bits.div_ceil(self.row_bits().max(1))
+    }
+}
+
 /// A buffer of CNN weights held in some memory substrate.
 ///
 /// The trait splits the world into **plaintext space** (what
@@ -151,6 +181,22 @@ pub trait WeightSubstrate: Send + Sync {
     ///
     /// May panic when `bit >= self.raw_bits()`.
     fn raw_word_of_bit(&self, bit: usize) -> usize;
+
+    /// The row/word layout of the raw image — the coordinate system
+    /// correlated-fault planners (row/column bursts) use. Constant for
+    /// a given substrate kind.
+    fn raw_geometry(&self) -> RawGeometry;
+
+    /// Reads one bit of the raw representation, in the same indexing as
+    /// [`flip_raw_bit`](WeightSubstrate::flip_raw_bit). Stuck-at fault
+    /// models need this: re-asserting a stuck cell is `flip` only when
+    /// the current value differs, so a blind re-flip cannot accidentally
+    /// *heal* the bit after a scrub already rewrote it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bit >= self.raw_bits()`.
+    fn raw_bit(&self, bit: usize) -> bool;
 
     /// Flips one bit of the raw representation.
     ///
@@ -193,6 +239,43 @@ pub trait WeightSubstrate: Send + Sync {
     /// [`SubstrateError::LengthMismatch`] when `weights.len()` differs
     /// from [`len`](WeightSubstrate::len).
     fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError>;
+
+    /// Replaces only the given `(index, value)` weights, re-encoding /
+    /// re-encrypting **no more raw state than those weights touch** —
+    /// on coded substrates an untouched word's raw bits (including any
+    /// in-flight error state a fault campaign planted there) survive
+    /// the write verbatim. This is what lets composed raw+plaintext
+    /// campaigns keep honest scrub statistics: a plaintext-space
+    /// injection must not silently launder a neighboring word's raw
+    /// errors through a whole-buffer re-encode.
+    ///
+    /// The default falls back to a whole-buffer read-modify-write —
+    /// correct for plain storage, but it re-encodes everything on coded
+    /// substrates; every coded substrate in this crate overrides it
+    /// with a surgical path.
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::LengthMismatch`] when an index is out of
+    /// range; backend errors as
+    /// [`write_weights`](WeightSubstrate::write_weights).
+    fn write_weights_sparse(&mut self, updates: &[(usize, f32)]) -> Result<(), SubstrateError> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let len = self.len();
+        let mut weights = self.read_weights();
+        for &(idx, value) in updates {
+            if idx >= len {
+                return Err(SubstrateError::LengthMismatch {
+                    expected: len,
+                    got: idx + 1,
+                });
+            }
+            weights[idx] = value;
+        }
+        self.write_weights(&weights)
+    }
 
     /// Runs one error-scrub pass, repairing whatever the substrate's
     /// code layer can repair in place, and reports statistics. A no-op

@@ -2,7 +2,14 @@
 //! and the blanket [`WeightSubstrate`] impls for bare `f32` buffers that
 //! let the fault injectors run directly on model parameter slices.
 
-use crate::{ScrubSummary, SubstrateError, WeightSubstrate};
+use crate::{RawGeometry, ScrubSummary, SubstrateError, WeightSubstrate};
+
+/// Plain storage groups 4 data words (a 16-byte DRAM beat) per
+/// geometry row.
+const PLAIN_GEOMETRY: RawGeometry = RawGeometry {
+    word_bits: 32,
+    words_per_row: 4,
+};
 
 /// Weights stored as raw `f32` words in unprotected DRAM.
 ///
@@ -55,6 +62,29 @@ fn flip_f32_bit(words: &mut [f32], bit: usize) {
     words[word] = f32::from_bits(words[word].to_bits() ^ (1u32 << (bit % 32)));
 }
 
+/// Shared raw-bit read for anything stored as bare `f32` words.
+fn read_f32_bit(words: &[f32], bit: usize) -> bool {
+    let total = words.len() * 32;
+    assert!(bit < total, "raw bit {bit} out of range ({total} bits)");
+    (words[bit / 32].to_bits() >> (bit % 32)) & 1 == 1
+}
+
+/// Shared sparse write for anything stored as bare `f32` words: plain
+/// storage has no code layer, so a sparse write is a direct element
+/// store.
+fn write_f32_sparse(words: &mut [f32], updates: &[(usize, f32)]) -> Result<(), SubstrateError> {
+    for &(idx, value) in updates {
+        if idx >= words.len() {
+            return Err(SubstrateError::LengthMismatch {
+                expected: words.len(),
+                got: idx + 1,
+            });
+        }
+        words[idx] = value;
+    }
+    Ok(())
+}
+
 impl WeightSubstrate for PlainMemory {
     fn label(&self) -> &'static str {
         "plain DRAM"
@@ -70,6 +100,14 @@ impl WeightSubstrate for PlainMemory {
 
     fn raw_word_of_bit(&self, bit: usize) -> usize {
         bit / 32
+    }
+
+    fn raw_geometry(&self) -> RawGeometry {
+        PLAIN_GEOMETRY
+    }
+
+    fn raw_bit(&self, bit: usize) -> bool {
+        read_f32_bit(&self.words, bit)
     }
 
     fn flip_raw_bit(&mut self, bit: usize) {
@@ -94,6 +132,10 @@ impl WeightSubstrate for PlainMemory {
         }
         self.words.copy_from_slice(weights);
         Ok(())
+    }
+
+    fn write_weights_sparse(&mut self, updates: &[(usize, f32)]) -> Result<(), SubstrateError> {
+        write_f32_sparse(&mut self.words, updates)
     }
 
     fn scrub(&mut self) -> ScrubSummary {
@@ -134,6 +176,14 @@ impl WeightSubstrate for [f32] {
         bit / 32
     }
 
+    fn raw_geometry(&self) -> RawGeometry {
+        PLAIN_GEOMETRY
+    }
+
+    fn raw_bit(&self, bit: usize) -> bool {
+        read_f32_bit(self, bit)
+    }
+
     fn flip_raw_bit(&mut self, bit: usize) {
         flip_f32_bit(self, bit);
     }
@@ -156,6 +206,10 @@ impl WeightSubstrate for [f32] {
         }
         self.copy_from_slice(weights);
         Ok(())
+    }
+
+    fn write_weights_sparse(&mut self, updates: &[(usize, f32)]) -> Result<(), SubstrateError> {
+        write_f32_sparse(self, updates)
     }
 
     fn scrub(&mut self) -> ScrubSummary {
@@ -196,6 +250,14 @@ impl WeightSubstrate for Vec<f32> {
         bit / 32
     }
 
+    fn raw_geometry(&self) -> RawGeometry {
+        PLAIN_GEOMETRY
+    }
+
+    fn raw_bit(&self, bit: usize) -> bool {
+        read_f32_bit(self, bit)
+    }
+
     fn flip_raw_bit(&mut self, bit: usize) {
         flip_f32_bit(self, bit);
     }
@@ -210,6 +272,10 @@ impl WeightSubstrate for Vec<f32> {
 
     fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {
         self.as_mut_slice().write_weights(weights)
+    }
+
+    fn write_weights_sparse(&mut self, updates: &[(usize, f32)]) -> Result<(), SubstrateError> {
+        self.as_mut_slice().write_weights_sparse(updates)
     }
 
     fn scrub(&mut self) -> ScrubSummary {

@@ -3,8 +3,15 @@
 //! stored weight and a scrub that behaves like an ECC memory-controller
 //! sweep.
 
-use crate::{ScrubSummary, SubstrateError, WeightSubstrate};
+use crate::{RawGeometry, ScrubSummary, SubstrateError, WeightSubstrate};
 use milr_ecc::{Secded, SecdedMemory};
+
+/// SECDED rows group 4 code words, mirroring the 4-word DRAM beat of
+/// the plain substrate but at 39 raw bits per word.
+const SECDED_GEOMETRY: RawGeometry = RawGeometry {
+    word_bits: Secded::CODE_BITS as usize,
+    words_per_row: 4,
+};
 
 impl WeightSubstrate for SecdedMemory {
     fn label(&self) -> &'static str {
@@ -21,6 +28,16 @@ impl WeightSubstrate for SecdedMemory {
 
     fn raw_word_of_bit(&self, bit: usize) -> usize {
         bit / Secded::CODE_BITS as usize
+    }
+
+    fn raw_geometry(&self) -> RawGeometry {
+        SECDED_GEOMETRY
+    }
+
+    fn raw_bit(&self, bit: usize) -> bool {
+        assert!(bit < self.raw_bits(), "raw bit {bit} out of range");
+        let per = Secded::CODE_BITS as usize;
+        (self.words()[bit / per] >> (bit % per)) & 1 == 1
     }
 
     fn flip_raw_bit(&mut self, bit: usize) {
@@ -41,6 +58,22 @@ impl WeightSubstrate for SecdedMemory {
             });
         }
         *self = SecdedMemory::protect(weights);
+        Ok(())
+    }
+
+    fn write_weights_sparse(&mut self, updates: &[(usize, f32)]) -> Result<(), SubstrateError> {
+        // Re-encode only the touched words: raw-space error state on
+        // every *other* word must survive a sparse write-back.
+        let len = SecdedMemory::len(self);
+        for &(idx, value) in updates {
+            if idx >= len {
+                return Err(SubstrateError::LengthMismatch {
+                    expected: len,
+                    got: idx + 1,
+                });
+            }
+            self.words_mut()[idx] = Secded::encode(value.to_bits());
+        }
         Ok(())
     }
 

@@ -32,7 +32,7 @@
 //! lock is taken on the revalidation fast path, which is what lets a
 //! steady-state inference plane run with zero shard-lock traffic.
 
-use crate::{ScrubSummary, SubstrateError, WeightSubstrate};
+use crate::{RawGeometry, ScrubSummary, SubstrateError, WeightSubstrate};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -288,6 +288,27 @@ impl SharedSubstrate {
             total.uncorrectable += s.uncorrectable;
         }
         total
+    }
+
+    /// Raw-space geometry of the stored encoding (shard 0's; all shards
+    /// share one encoding by construction).
+    pub fn raw_geometry(&self) -> RawGeometry {
+        self.shards[0].read().expect("lock poisoned").raw_geometry()
+    }
+
+    /// Reads one bit of the global raw representation under the owning
+    /// shard's read lock (no epoch bump — observation, not mutation).
+    /// Stuck-at campaigns use this to re-assert a bit only when a scrub
+    /// actually corrected it away.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bit >= raw_bits()`.
+    pub fn raw_bit(&self, bit: usize) -> bool {
+        assert!(bit < self.raw_bits(), "raw bit {bit} out of range");
+        let shard = self.raw_offsets.partition_point(|&o| o <= bit) - 1;
+        let guard = self.shards[shard].read().expect("lock poisoned");
+        guard.raw_bit(bit - self.raw_offsets[shard])
     }
 
     /// Flips one bit of the global raw representation (fault

@@ -9,12 +9,18 @@
 //! in plaintext space. Per-word ECC therefore cannot bound plaintext
 //! damage under encryption; only a plaintext-space scheme (MILR) can.
 
-use crate::{ScrubSummary, SubstrateError, WeightSubstrate};
+use crate::{RawGeometry, ScrubSummary, SubstrateError, WeightSubstrate};
 use milr_ecc::{DecodeOutcome, Secded};
 use milr_xts::{EncryptedMemory, XtsCipher, BLOCK_BYTES, WEIGHTS_PER_BLOCK};
 
 /// Words of ciphertext per 16-byte cipher block.
 const WORDS_PER_BLOCK: usize = BLOCK_BYTES / 4;
+
+/// One cipher block (4 SECDED code words) per geometry row.
+const XTS_SECDED_GEOMETRY: RawGeometry = RawGeometry {
+    word_bits: Secded::CODE_BITS as usize,
+    words_per_row: WORDS_PER_BLOCK,
+};
 
 /// Weights stored as AES-XTS ciphertext with one (39,32) SECDED code
 /// word per 32-bit ciphertext word.
@@ -113,6 +119,16 @@ impl WeightSubstrate for XtsSecdedMemory {
         bit / Secded::CODE_BITS as usize
     }
 
+    fn raw_geometry(&self) -> RawGeometry {
+        XTS_SECDED_GEOMETRY
+    }
+
+    fn raw_bit(&self, bit: usize) -> bool {
+        assert!(bit < self.raw_bits(), "raw bit {bit} out of range");
+        let per = Secded::CODE_BITS as usize;
+        (self.words[bit / per] >> (bit % per)) & 1 == 1
+    }
+
     fn flip_raw_bit(&mut self, bit: usize) {
         assert!(bit < self.raw_bits(), "raw bit {bit} out of range");
         let per = Secded::CODE_BITS as usize;
@@ -131,6 +147,49 @@ impl WeightSubstrate for XtsSecdedMemory {
             });
         }
         *self = XtsSecdedMemory::protect(weights, self.cipher.clone());
+        Ok(())
+    }
+
+    fn write_weights_sparse(&mut self, updates: &[(usize, f32)]) -> Result<(), SubstrateError> {
+        // XTS forces block granularity: each touched 16-byte block is
+        // decoded, decrypted, patched, re-encrypted and re-encoded, but
+        // every *untouched* block keeps its raw error state bit-for-bit.
+        for &(idx, _) in updates {
+            if idx >= self.len {
+                return Err(SubstrateError::LengthMismatch {
+                    expected: self.len,
+                    got: idx + 1,
+                });
+            }
+        }
+        let mut blocks: Vec<usize> = updates
+            .iter()
+            .map(|&(idx, _)| idx / WEIGHTS_PER_BLOCK)
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        for block in blocks {
+            let words = &mut self.words[block * WORDS_PER_BLOCK..(block + 1) * WORDS_PER_BLOCK];
+            let mut bytes = [0u8; BLOCK_BYTES];
+            for (chunk, &w) in bytes.chunks_exact_mut(4).zip(words.iter()) {
+                chunk.copy_from_slice(&Secded::decode(w).data().to_le_bytes());
+            }
+            self.cipher
+                .decrypt_unit(&mut bytes, block as u64)
+                .expect("whole blocks by construction");
+            for &(idx, value) in updates {
+                if idx / WEIGHTS_PER_BLOCK == block {
+                    let off = (idx % WEIGHTS_PER_BLOCK) * 4;
+                    bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+                }
+            }
+            self.cipher
+                .encrypt_unit(&mut bytes, block as u64)
+                .expect("whole blocks by construction");
+            for (w, chunk) in words.iter_mut().zip(bytes.chunks_exact(4)) {
+                *w = Secded::encode(u32::from_le_bytes(chunk.try_into().expect("chunk of 4")));
+            }
+        }
         Ok(())
     }
 

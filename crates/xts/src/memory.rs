@@ -171,6 +171,42 @@ impl EncryptedMemory {
         *self = EncryptedMemory::encrypt(weights, self.cipher.clone())?;
         Ok(())
     }
+
+    /// Re-encrypts only the blocks holding the given weights, leaving
+    /// every untouched block's ciphertext — including any in-flight
+    /// error state — bit-for-bit intact. Each touched 16-byte block is
+    /// decrypted, patched in its 4-byte lanes, and re-encrypted once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XtsError::BadLength`] when an index is out of range;
+    /// propagates [`XtsError`] from the cipher.
+    pub fn overwrite_sparse(&mut self, updates: &[(usize, f32)]) -> Result<(), XtsError> {
+        for &(idx, _) in updates {
+            if idx >= self.len {
+                return Err(XtsError::BadLength { len: idx + 1 });
+            }
+        }
+        let mut blocks: Vec<usize> = updates
+            .iter()
+            .map(|&(idx, _)| idx / WEIGHTS_PER_BLOCK)
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        let bytes: &mut [u8] = &mut self.ciphertext;
+        for block in blocks {
+            let buf = &mut bytes[block * BLOCK_BYTES..(block + 1) * BLOCK_BYTES];
+            self.cipher.decrypt_unit(buf, block as u64)?;
+            for &(idx, value) in updates {
+                if idx / WEIGHTS_PER_BLOCK == block {
+                    let off = (idx % WEIGHTS_PER_BLOCK) * 4;
+                    buf[off..off + 4].copy_from_slice(&value.to_le_bytes());
+                }
+            }
+            self.cipher.encrypt_unit(buf, block as u64)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
