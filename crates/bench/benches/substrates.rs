@@ -51,12 +51,17 @@ fn bench_kernels(c: &mut Criterion) {
 }
 
 /// Per-substrate encode / scrub / decode throughput over a 4096-weight
-/// buffer — the substrate columns of the storage/latency story.
+/// buffer — the substrate columns of the storage/latency story. The
+/// quantized arms ride along: their pages are 2–4× smaller, so encode /
+/// scrub / decode should track well under the f32 arms.
 fn bench_substrate_matrix(c: &mut Criterion) {
     let weights: Vec<f32> = (0..4096).map(|i| i as f32 * 0.01).collect();
     let mut group = c.benchmark_group("substrate_4096");
     group.sample_size(10);
-    for kind in SubstrateKind::ALL {
+    for kind in SubstrateKind::ALL
+        .into_iter()
+        .chain(SubstrateKind::QUANTIZED)
+    {
         group.bench_with_input(BenchmarkId::new("encode", kind), &weights, |b, w| {
             b.iter(|| kind.store(w))
         });

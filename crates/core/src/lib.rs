@@ -84,11 +84,12 @@ mod serialize;
 mod solve;
 mod storage;
 
-pub use config::MilrConfig;
+pub use config::{MilrConfig, WeightGrid};
 pub use detect::{DetectionReport, LayerCheck};
 pub use error::MilrError;
 pub use milr::{Milr, RecoveryOutcome, RecoveryReport};
 pub use plan::{InversionPlan, LayerPlan, ProtectionPlan, SolvingPlan};
+pub use solve::{reset_ulp_snap_searches, ulp_snap_searches};
 pub use storage::StorageReport;
 
 /// Result alias for MILR operations.

@@ -483,9 +483,11 @@ impl Milr {
             // another conv has a rank-deficient im2col system, where a
             // blind full solve returns consistent-but-wrong weights.
             (Layer::Conv2D { filters, spec }, SolvingPlan::ConvFull | SolvingPlan::ConvPartial) => {
-                solve_conv_partial(&x, &y, filters, spec, &self.artifacts, index)?
+                solve_conv_partial(&x, &y, filters, spec, &self.artifacts, &self.config, index)?
             }
-            (Layer::Bias { bias }, SolvingPlan::Bias) => solve_bias(&x, &y, bias.numel())?,
+            (Layer::Bias { bias }, SolvingPlan::Bias) => {
+                solve_bias(&x, &y, bias.numel(), self.config.weight_grid)?
+            }
             (layer, plan) => {
                 return Err(MilrError::ModelMismatch(format!(
                     "layer {index} ({}) does not match its solving plan {plan:?}",

@@ -14,13 +14,14 @@
 
 use crate::artifacts::Artifacts;
 use crate::plan::{InversionPlan, LayerPlan, ProtectionPlan, SolvingPlan};
-use crate::{Milr, MilrConfig, MilrError, Result};
+use crate::{Milr, MilrConfig, MilrError, Result, WeightGrid};
 use milr_ecc::{Crc2d, Crc2dCodes};
 use milr_tensor::Tensor;
 use std::collections::BTreeMap;
 
-/// Format version of [`Milr::to_bytes`].
-const VERSION: u32 = 1;
+/// Format version of [`Milr::to_bytes`]. Version 2 appended the
+/// weight-grid tag to the config record.
+const VERSION: u32 = 2;
 
 // ---------------------------------------------------------------- writer
 
@@ -192,6 +193,11 @@ fn write_config(w: &mut Writer, c: &MilrConfig) {
     w.usize(c.crc_group);
     w.u8(c.dense_self_recovery as u8);
     w.u8(c.parallel as u8);
+    w.u8(match c.weight_grid {
+        WeightGrid::F32 => 0,
+        WeightGrid::Int8 => 1,
+        WeightGrid::Fp16 => 2,
+    });
 }
 
 fn read_config(r: &mut Reader) -> Result<MilrConfig> {
@@ -203,6 +209,16 @@ fn read_config(r: &mut Reader) -> Result<MilrConfig> {
         crc_group: r.usize("config.crc_group")?,
         dense_self_recovery: r.u8("config.dense_self_recovery")? != 0,
         parallel: r.u8("config.parallel")? != 0,
+        weight_grid: match r.u8("config.weight_grid")? {
+            0 => WeightGrid::F32,
+            1 => WeightGrid::Int8,
+            2 => WeightGrid::Fp16,
+            t => {
+                return Err(MilrError::CorruptArtifacts(format!(
+                    "unknown weight-grid tag {t}"
+                )))
+            }
+        },
     })
 }
 

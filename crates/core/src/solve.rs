@@ -9,9 +9,26 @@
 
 use crate::artifacts::{dense_dummy_rows, filter_zy_slice, Artifacts};
 use crate::plan::SolvingPlan;
-use crate::{MilrConfig, MilrError, Result};
+use crate::{MilrConfig, MilrError, Result, WeightGrid};
 use milr_linalg::{min_norm_solve, ridge_solve, Mat, Qr};
 use milr_tensor::{im2col, ConvSpec, Tensor};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of f32 ulp-walk CRC snap searches entered since start-up (or
+/// the last [`reset_ulp_snap_searches`]). Quantized weight grids snap
+/// solver output exactly and never enter the walk, which this counter
+/// lets tests and benchmarks prove.
+static ULP_SNAP_SEARCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the global ulp-snap search counter.
+pub fn ulp_snap_searches() -> u64 {
+    ULP_SNAP_SEARCHES.load(Ordering::Relaxed)
+}
+
+/// Resets the global ulp-snap search counter to zero.
+pub fn reset_ulp_snap_searches() {
+    ULP_SNAP_SEARCHES.store(0, Ordering::Relaxed)
+}
 
 /// Relative Tikhonov strength of the last-resort solver.
 const RIDGE_LAMBDA: f64 = 1e-10;
@@ -106,7 +123,7 @@ pub(crate) fn solve_dense(
         let rhs: Vec<f64> = y_aug.col(col)?.iter().map(|&v| v as f64).collect();
         let w = qr.solve(&rhs)?;
         for (row, &v) in w.iter().enumerate() {
-            weights[row * p + col] = v as f32;
+            weights[row * p + col] = config.weight_grid.snap(v as f32);
         }
     }
     Ok((Tensor::from_vec(weights, &[n, p])?, SolveOutcome::Full))
@@ -154,8 +171,10 @@ pub(crate) fn solve_conv_partial(
     current: &Tensor,
     spec: &ConvSpec,
     artifacts: &Artifacts,
+    config: &MilrConfig,
     index: usize,
 ) -> Result<(Tensor, SolveOutcome)> {
+    let grid = config.weight_grid;
     let dims = current.shape().dims().to_vec();
     let (f, z, ny) = (dims[0], dims[2], dims[3]);
     let grids = artifacts.crc_grids.get(&index).ok_or_else(|| {
@@ -225,7 +244,7 @@ pub(crate) fn solve_conv_partial(
         approximate |= approx;
         approx_filters[k] = approx;
         for (j, &pos) in coords.iter().enumerate() {
-            filters.data_mut()[pos * ny + k] = solution[j] as f32;
+            filters.data_mut()[pos * ny + k] = grid.snap(solution[j] as f32);
         }
         solved += coords.len();
     }
@@ -244,7 +263,6 @@ pub(crate) fn solve_conv_partial(
     // (one CRC-32 match is already a 2⁻³² certificate); each snapped
     // cell unblocks its chunk-mates for the next round, and the final
     // whole-grid verification below still checks every code.
-    const SNAP_ULPS: u32 = 4096;
     let mut unresolved: Vec<(usize, usize, usize)> = Vec::new(); // (g, zz, k)
     for (k, coords) in suspects.iter().enumerate() {
         if approx_filters[k] {
@@ -282,11 +300,18 @@ pub(crate) fn solve_conv_partial(
                 continue;
             }
             let pos = g * z + zz;
-            let base = filters.data()[pos * ny + k].to_bits();
+            let base = filters.data()[pos * ny + k];
             let mut snapped = false;
-            'search: for delta in 0..=SNAP_ULPS {
-                for bits in [base.wrapping_add(delta), base.wrapping_sub(delta)] {
-                    let cand = f32::from_bits(bits);
+            if !grid.is_exact() {
+                // Only the f32 grid pays the ulp walk; quantized grids
+                // step their (tiny) lattice neighbourhood instead.
+                ULP_SNAP_SEARCHES.fetch_add(1, Ordering::Relaxed);
+            }
+            'search: for delta in 0..=grid.snap_radius() {
+                for neg in [false, true] {
+                    let Some(cand) = grid.candidate(base, delta, neg) else {
+                        continue;
+                    };
                     slice[zz * ny + k] = cand;
                     if consistent(&slice) {
                         filters.data_mut()[pos * ny + k] = cand;
@@ -341,6 +366,7 @@ pub(crate) fn solve_bias(
     x: &Tensor,
     y: &Tensor,
     channels: usize,
+    grid: WeightGrid,
 ) -> Result<(Tensor, SolveOutcome)> {
     if x.shape() != y.shape() {
         return Err(MilrError::ModelMismatch(format!(
@@ -356,7 +382,7 @@ pub(crate) fn solve_bias(
         let mag = xv.abs();
         if mag < best_mag[c] {
             best_mag[c] = mag;
-            bias[c] = yv - xv;
+            bias[c] = grid.snap(yv - xv);
         }
     }
     Ok((Tensor::from_vec(bias, &[channels])?, SolveOutcome::Full))
@@ -413,7 +439,8 @@ mod tests {
         for &i in &[3usize, 77, 150, 200] {
             corrupted.data_mut()[i] += 2.5;
         }
-        let (recovered, outcome) = solve_conv_partial(&x, &y, &corrupted, &spec, &art, 0).unwrap();
+        let (recovered, outcome) =
+            solve_conv_partial(&x, &y, &corrupted, &spec, &art, &cfg, 0).unwrap();
         match outcome {
             SolveOutcome::Partial { solved } => assert!(solved >= 4, "solved {solved}"),
             other => panic!("expected partial, got {other:?}"),
@@ -443,7 +470,8 @@ mod tests {
         for v in corrupted.data_mut() {
             *v += 1.0;
         }
-        let (recovered, outcome) = solve_conv_partial(&x, &y, &corrupted, &spec, &art, 0).unwrap();
+        let (recovered, outcome) =
+            solve_conv_partial(&x, &y, &corrupted, &spec, &art, &cfg, 0).unwrap();
         assert!(matches!(outcome, SolveOutcome::MinNorm { .. }));
         // Min-norm cannot be exact (under-determined) but must
         // reproduce the layer's golden outputs on the golden input.
@@ -463,7 +491,7 @@ mod tests {
         let bias = Tensor::from_vec(vec![0.25, -0.5, 1.0, 2.0], &[4]).unwrap();
         let layer = Layer::Bias { bias: bias.clone() };
         let y = layer.forward(&x).unwrap();
-        let (recovered, outcome) = solve_bias(&x, &y, 4).unwrap();
+        let (recovered, outcome) = solve_bias(&x, &y, 4, WeightGrid::F32).unwrap();
         assert_eq!(outcome, SolveOutcome::Full);
         assert!(recovered.approx_eq(&bias, 1e-6, 1e-6));
     }
@@ -472,6 +500,6 @@ mod tests {
     fn bias_recovery_validates_shapes() {
         let x = Tensor::zeros(&[2, 4]);
         let y = Tensor::zeros(&[2, 5]);
-        assert!(solve_bias(&x, &y, 4).is_err());
+        assert!(solve_bias(&x, &y, 4, WeightGrid::F32).is_err());
     }
 }

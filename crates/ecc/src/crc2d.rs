@@ -1,5 +1,20 @@
-use crate::crc32;
+use crate::{crc32, Crc32Hasher};
 use serde::{Deserialize, Serialize};
+
+/// CRC-32 over the little-endian bytes of a run of cells, gathered
+/// through a stack buffer in pieces wide enough for the slice-by-8
+/// kernel. No heap allocation.
+fn crc_cells(cells: &[f32]) -> u32 {
+    let mut buf = [0u8; 64];
+    let mut h = Crc32Hasher::new();
+    for piece in cells.chunks(16) {
+        for (b, &v) in buf.chunks_exact_mut(4).zip(piece) {
+            b.copy_from_slice(&v.to_le_bytes());
+        }
+        h.update(&buf[..piece.len() * 4]);
+    }
+    h.finalize()
+}
 
 /// Configuration for two-dimensional CRC error coding over a 2-D grid of
 /// `f32` parameters.
@@ -79,10 +94,59 @@ impl Crc2d {
 
     /// Encodes a row-major `rows × cols` grid of parameters.
     ///
+    /// Visits the grid **once**, row-major, producing both code axes in
+    /// the same pass: row chunks hash contiguous cells through the
+    /// slice-by-8 CRC kernel, while one running CRC state per column
+    /// absorbs each row's cells and finalizes at every column-chunk
+    /// boundary. The only allocations are the two output code vectors
+    /// plus the per-column state — the old per-chunk scratch `Vec`s (one
+    /// per code, with a second strided sweep over the whole grid for the
+    /// column axis) are gone.
+    ///
     /// # Panics
     ///
     /// Panics if `grid.len() != rows * cols`.
     pub fn encode(&self, grid: &[f32]) -> Crc2dCodes {
+        assert_eq!(grid.len(), self.rows * self.cols, "grid size mismatch");
+        let rc = self.row_chunks();
+        let cc = self.col_chunks();
+        let mut row_codes = vec![0u32; self.rows * rc];
+        let mut col_codes = vec![0u32; self.cols * cc];
+        let mut col_hashers = vec![Crc32Hasher::new(); self.cols];
+        for r in 0..self.rows {
+            let row = &grid[r * self.cols..(r + 1) * self.cols];
+            for (chunk, cells) in row.chunks(self.group).enumerate() {
+                row_codes[r * rc + chunk] = crc_cells(cells);
+            }
+            for (h, &v) in col_hashers.iter_mut().zip(row) {
+                h.update(&v.to_le_bytes());
+            }
+            if (r + 1) % self.group == 0 || r + 1 == self.rows {
+                let col_chunk = r / self.group;
+                for (c, h) in col_hashers.iter_mut().enumerate() {
+                    col_codes[c * cc + col_chunk] = h.finalize();
+                    *h = Crc32Hasher::new();
+                }
+            }
+        }
+        Crc2dCodes {
+            config: *self,
+            row_codes,
+            col_codes,
+        }
+    }
+
+    /// Scalar reference encode: the original two independent sweeps
+    /// (row-major then column-major) with per-chunk byte gathering.
+    ///
+    /// Kept as the bit-equivalence ground truth for the single-pass
+    /// [`encode`](Crc2d::encode) and as the baseline side of
+    /// `kernel_bench`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid.len() != rows * cols`.
+    pub fn encode_scalar(&self, grid: &[f32]) -> Crc2dCodes {
         assert_eq!(grid.len(), self.rows * self.cols, "grid size mismatch");
         let mut row_codes = Vec::with_capacity(self.rows * self.row_chunks());
         for r in 0..self.rows {
@@ -196,11 +260,8 @@ impl Crc2dCodes {
         let row_chunk = c / cfg.group;
         let start = row_chunk * cfg.group;
         let end = (start + cfg.group).min(cfg.cols);
-        let mut bytes = Vec::with_capacity((end - start) * 4);
-        for cc in start..end {
-            bytes.extend_from_slice(&grid[r * cfg.cols + cc].to_le_bytes());
-        }
-        crc32(&bytes) == self.row_codes[r * cfg.row_chunks() + row_chunk]
+        let cells = &grid[r * cfg.cols + start..r * cfg.cols + end];
+        crc_cells(cells) == self.row_codes[r * cfg.row_chunks() + row_chunk]
     }
 
     /// True when the **column** chunk containing `(r, c)` matches its
@@ -216,11 +277,11 @@ impl Crc2dCodes {
         let col_chunk = r / cfg.group;
         let start = col_chunk * cfg.group;
         let end = (start + cfg.group).min(cfg.rows);
-        let mut bytes = Vec::with_capacity((end - start) * 4);
+        let mut h = Crc32Hasher::new();
         for rr in start..end {
-            bytes.extend_from_slice(&grid[rr * cfg.cols + c].to_le_bytes());
+            h.update(&grid[rr * cfg.cols + c].to_le_bytes());
         }
-        crc32(&bytes) == self.col_codes[c * cfg.col_chunks() + col_chunk]
+        h.finalize() == self.col_codes[c * cfg.col_chunks() + col_chunk]
     }
 
     /// True when the row chunk and column chunk containing `(r, c)` both
@@ -374,6 +435,23 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+        // Bit-equivalence: the single-pass encode must produce exactly
+        // the codes of the original double-sweep reference on arbitrary
+        // geometries, including ragged final chunks and group 1.
+        #[test]
+        fn single_pass_matches_scalar(
+            rows in 1usize..12,
+            cols in 1usize..12,
+            group in 1usize..7,
+            seed in proptest::num::u32::ANY,
+        ) {
+            let g: Vec<f32> = (0..rows * cols)
+                .map(|i| (i as f32 + seed as f32 * 1e-9) * 0.37 - 3.0)
+                .collect();
+            let cfg = Crc2d::with_group(rows, cols, group);
+            prop_assert_eq!(cfg.encode(&g), cfg.encode_scalar(&g));
+        }
+
         #[test]
         fn every_injected_error_is_flagged(
             rows in 2usize..10,

@@ -36,9 +36,20 @@
 mod crc;
 mod crc2d;
 mod memory;
+pub mod ring;
 mod secded;
 
 pub use crc::{crc16, crc32, crc8, Crc32Hasher};
 pub use crc2d::{Crc2d, Crc2dCodes};
 pub use memory::{ScrubReport, SecdedMemory};
 pub use secded::{DecodeOutcome, Secded};
+
+/// Scalar reference kernels.
+///
+/// The original byte-/bit-serial implementations every optimized kernel
+/// is proptested against, re-exported in one namespace so `kernel_bench`
+/// can measure scalar-vs-optimized throughput at runtime.
+pub mod scalar {
+    pub use crate::crc::scalar::{crc16, crc32, crc8};
+    pub use crate::secded::scalar::{decode as secded_decode, encode as secded_encode};
+}

@@ -83,29 +83,64 @@ impl SecdedMemory {
             .collect()
     }
 
-    /// Decodes every word, repairing correctable errors in place, and
-    /// returns the decoded weights plus statistics.
-    pub fn scrub(&mut self) -> (Vec<f32>, ScrubReport) {
+    /// Decodes every word best-effort into a caller-provided buffer,
+    /// without correcting storage or allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn read_all_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.words.len(), "output buffer length");
+        for (slot, &w) in out.iter_mut().zip(&self.words) {
+            *slot = f32::from_bits(Secded::decode(w).data());
+        }
+    }
+
+    /// Words per scrub chunk: the syndrome screen runs over a block of
+    /// code words at a time (pure mask+popcount reads the compiler can
+    /// unroll and vectorize) before any repair is attempted.
+    const SCRUB_CHUNK: usize = 32;
+
+    /// Repairs every correctable error in place without decoding weights
+    /// or allocating — the memory-controller sweep an ECC DIMM performs.
+    ///
+    /// Processes [`Self::SCRUB_CHUNK`]-word blocks: each block is first
+    /// screened with the branch-free [`Secded::is_clean`] syndrome kernel
+    /// (the overwhelmingly common all-clean case does zero writes), and
+    /// only flagged words go through full decode + re-encode.
+    pub fn scrub_in_place(&mut self) -> ScrubReport {
         let mut report = ScrubReport::default();
-        let mut out = Vec::with_capacity(self.words.len());
-        for w in &mut self.words {
-            match Secded::decode(*w) {
-                DecodeOutcome::Clean { data } => {
-                    report.clean += 1;
-                    out.push(f32::from_bits(data));
-                }
-                DecodeOutcome::Corrected { data, .. } => {
-                    report.corrected += 1;
-                    *w = Secded::encode(data);
-                    out.push(f32::from_bits(data));
-                }
-                DecodeOutcome::DoubleError { data } => {
-                    report.uncorrectable += 1;
-                    out.push(f32::from_bits(data));
+        for chunk in self.words.chunks_mut(Self::SCRUB_CHUNK) {
+            // Screen pass: one dirty bit per lane, no branches per word.
+            let mut dirty = 0u64;
+            for (lane, &w) in chunk.iter().enumerate() {
+                dirty |= u64::from(!Secded::is_clean(w)) << lane;
+            }
+            report.clean += chunk.len() - dirty.count_ones() as usize;
+            // Repair pass: only the flagged lanes.
+            while dirty != 0 {
+                let lane = dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                match Secded::decode(chunk[lane]) {
+                    DecodeOutcome::Clean { .. } => unreachable!("screened dirty"),
+                    DecodeOutcome::Corrected { data, .. } => {
+                        report.corrected += 1;
+                        chunk[lane] = Secded::encode(data);
+                    }
+                    DecodeOutcome::DoubleError { .. } => report.uncorrectable += 1,
                 }
             }
         }
-        (out, report)
+        report
+    }
+
+    /// Decodes every word, repairing correctable errors in place, and
+    /// returns the decoded weights plus statistics.
+    pub fn scrub(&mut self) -> (Vec<f32>, ScrubReport) {
+        let report = self.scrub_in_place();
+        // Post-repair, every correctable word decodes to its healed
+        // value, so reading after the sweep matches the old fused path.
+        (self.read_all(), report)
     }
 
     /// ECC storage overhead in bytes: 7 check bits per 32-bit word
@@ -193,5 +228,34 @@ mod tests {
     fn flip_bit_validates_position() {
         let mut mem = SecdedMemory::protect(&[0.0]);
         mem.flip_bit(0, 39);
+    }
+
+    #[test]
+    fn scrub_in_place_matches_scrub_across_chunk_boundaries() {
+        // Lengths straddling the screen-chunk size, with errors placed in
+        // every chunk position class (first lane, last lane, mid-chunk,
+        // tail chunk).
+        for len in [1usize, 31, 32, 33, 64, 100] {
+            let w: Vec<f32> = (0..len).map(|i| i as f32 * 0.5 - 7.0).collect();
+            let mut a = SecdedMemory::protect(&w);
+            let mut b = a.clone();
+            for (word, bits) in [
+                (0usize, vec![4u32]),
+                (len / 2, vec![0]),
+                (len - 1, vec![2, 30]),
+            ] {
+                for bit in bits {
+                    a.flip_bit(word, bit);
+                    b.flip_bit(word, bit);
+                }
+            }
+            let (decoded, report) = a.scrub();
+            let in_place = b.scrub_in_place();
+            assert_eq!(report, in_place, "len {len}");
+            assert_eq!(a.words(), b.words(), "len {len}");
+            let mut buf = vec![0.0f32; len];
+            b.read_all_into(&mut buf);
+            assert_eq!(decoded, buf, "len {len}");
+        }
     }
 }

@@ -1,0 +1,192 @@
+//! Quantized integer rings: the int8 lattice and IEEE half-precision
+//! codecs shared by the quantized weight substrates and MILR's exact
+//! integer-ring recovery.
+//!
+//! The point of quantization here is not (only) memory footprint — it is
+//! **exactness**. An f32 weight recovered by a least-squares solve lands
+//! within a few ulps of the golden value, forcing MILR's CRC snap to
+//! walk a ±4096-ulp neighborhood. A quantized weight lives on a discrete
+//! grid whose points are *exactly representable* in f32 (the int8 scale
+//! is a power of two, and every f16 value is an f32 value), so snapping
+//! the solver output to the nearest grid point lands on the golden bits
+//! in one step: the checksum arithmetic over the ring is exact and the
+//! ulp search never runs.
+
+/// Base-2 log of the int8 dequantization scale: weights are
+/// `q · 2^INT8_SCALE_LOG2` for `q ∈ [-128, 127]`.
+///
+/// A power-of-two scale makes both quantize and dequantize exact in f32
+/// (no rounding beyond the grid snap itself): range ±2.0, resolution
+/// 2⁻⁶ = 0.015625 — ample for the unit-scale CNN weights of the
+/// reproduction's models.
+pub const INT8_SCALE_LOG2: i32 = -6;
+
+/// The int8 dequantization scale as an (exact) f32.
+pub const INT8_SCALE: f32 = 0.015625;
+
+/// Quantizes onto the int8 lattice: nearest `q ∈ [-128, 127]`.
+pub fn int8_quantize(v: f32) -> i8 {
+    let q = (v / INT8_SCALE).round();
+    if q.is_nan() {
+        0
+    } else {
+        q.clamp(-128.0, 127.0) as i8
+    }
+}
+
+/// Dequantizes an int8 lattice point. Exact: `|q| ≤ 128 ≪ 2²⁴` times a
+/// power of two.
+pub fn int8_value(q: i8) -> f32 {
+    q as f32 * INT8_SCALE
+}
+
+/// Snaps an f32 to its nearest int8 lattice value.
+pub fn int8_snap(v: f32) -> f32 {
+    int8_value(int8_quantize(v))
+}
+
+/// Converts an f32 to IEEE 754 binary16 bits, round-to-nearest-even,
+/// with subnormal and infinity/NaN handling.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let x = value.to_bits();
+    let sign = ((x >> 16) & 0x8000) as u16;
+    let exp32 = ((x >> 23) & 0xFF) as i32;
+    let mant = x & 0x007F_FFFF;
+
+    if exp32 == 0xFF {
+        if mant == 0 {
+            return sign | 0x7C00; // infinity
+        }
+        // NaN: keep the top mantissa bits, force quiet-nonzero payload.
+        let m = (mant >> 13) as u16 & 0x3FF;
+        return sign | 0x7C00 | m | u16::from(m == 0);
+    }
+
+    let e = exp32 - 127 + 15;
+    if e >= 0x1F {
+        return sign | 0x7C00; // overflow to infinity
+    }
+    if e <= 0 {
+        // Subnormal half (or zero): value = m24 · 2^(e-38) = h · 2^-24.
+        if e < -10 {
+            return sign; // underflow to signed zero
+        }
+        let m24 = mant | 0x0080_0000;
+        let shift = (14 - e) as u32;
+        let half = (m24 >> shift) as u16;
+        let round_bit = 1u32 << (shift - 1);
+        let round_up = m24 & round_bit != 0 && (m24 & (round_bit - 1) != 0 || half & 1 != 0);
+        return sign | (half + u16::from(round_up));
+    }
+
+    // Normal half: drop 13 mantissa bits with round-to-nearest-even. A
+    // carry out of the mantissa correctly bumps the exponent (and can
+    // round up to infinity).
+    let half = ((e as u16) << 10) | ((mant >> 13) as u16);
+    let round_bit = 0x0000_1000u32;
+    let round_up = mant & round_bit != 0 && (mant & (round_bit - 1) != 0 || half & 1 != 0);
+    sign | (half + u16::from(round_up))
+}
+
+/// Converts IEEE 754 binary16 bits to the exactly-representing f32.
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let mant = (bits & 0x3FF) as u32;
+    let out = if exp == 0x1F {
+        sign | 0x7F80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: normalize. With the leading 1 moved to bit 10,
+            // value = (1+f) · 2^(-14-shift), so E = 113 - shift.
+            let shift = 10 - (31 - mant.leading_zeros());
+            let e = 113 - shift;
+            sign | (e << 23) | (((mant << shift) & 0x3FF) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Snaps an f32 to its nearest binary16-representable value
+/// (round-to-nearest-even).
+pub fn f16_snap(v: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn f16_known_vectors() {
+        for (v, bits) in [
+            (0.0f32, 0x0000u16),
+            (-0.0, 0x8000),
+            (1.0, 0x3C00),
+            (-2.0, 0xC000),
+            (0.5, 0x3800),
+            (0.1, 0x2E66),     // round-to-nearest-even case
+            (65504.0, 0x7BFF), // f16::MAX
+            (65520.0, 0x7C00), // rounds to infinity
+            (f32::INFINITY, 0x7C00),
+            (2.0f32.powi(-24), 0x0001), // smallest subnormal
+            (2.0f32.powi(-25), 0x0000), // tie rounds to even zero
+            (2.0f32.powi(-14), 0x0400), // smallest normal
+        ] {
+            assert_eq!(f32_to_f16_bits(v), bits, "{v}");
+        }
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_bits_roundtrip_exhaustive() {
+        // Every non-NaN half value must survive f16 -> f32 -> f16
+        // bit-for-bit; NaNs must stay NaN with payload preserved.
+        for bits in 0..=0xFFFFu16 {
+            let back = f32_to_f16_bits(f16_bits_to_f32(bits));
+            assert_eq!(back, bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn int8_lattice_points_are_exact() {
+        for q in i8::MIN..=i8::MAX {
+            let v = int8_value(q);
+            assert_eq!(int8_quantize(v), q, "q={q}");
+            assert_eq!(int8_snap(v).to_bits(), v.to_bits(), "q={q}");
+        }
+        assert_eq!(int8_quantize(100.0), 127);
+        assert_eq!(int8_quantize(-100.0), -128);
+        assert_eq!(int8_quantize(f32::NAN), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn f16_snap_is_idempotent(bits in proptest::num::u32::ANY) {
+            let v = f32::from_bits(bits);
+            let snapped = f16_snap(v);
+            prop_assert_eq!(f16_snap(snapped).to_bits(), snapped.to_bits());
+        }
+
+        #[test]
+        fn f16_snap_error_is_bounded(v in -1000.0f32..1000.0) {
+            // Half precision has 11 significand bits: relative error
+            // within 2^-11 for normal-range values.
+            let snapped = f16_snap(v);
+            let tol = v.abs().max(2.0f32.powi(-14)) * 2.0f32.powi(-11);
+            prop_assert!((snapped - v).abs() <= tol, "{v} -> {snapped}");
+        }
+
+        #[test]
+        fn int8_snap_is_idempotent(v in -10.0f32..10.0) {
+            let snapped = int8_snap(v);
+            prop_assert_eq!(int8_snap(snapped).to_bits(), snapped.to_bits());
+            prop_assert!((snapped.abs() <= 2.0) || snapped == -2.0);
+        }
+    }
+}

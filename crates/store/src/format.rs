@@ -273,6 +273,10 @@ fn kind_tag(kind: SubstrateKind) -> u8 {
         SubstrateKind::Secded => 1,
         SubstrateKind::Xts => 2,
         SubstrateKind::XtsSecded => 3,
+        SubstrateKind::Int8 => 4,
+        SubstrateKind::Fp16 => 5,
+        SubstrateKind::Int8Secded => 6,
+        SubstrateKind::Fp16Secded => 7,
         file => kind_tag(file.base()),
     }
 }
@@ -283,6 +287,10 @@ fn kind_from(tag: u8) -> Result<SubstrateKind, StoreError> {
         1 => SubstrateKind::Secded,
         2 => SubstrateKind::Xts,
         3 => SubstrateKind::XtsSecded,
+        4 => SubstrateKind::Int8,
+        5 => SubstrateKind::Fp16,
+        6 => SubstrateKind::Int8Secded,
+        7 => SubstrateKind::Fp16Secded,
         t => return Err(StoreError::Corrupt(format!("unknown substrate tag {t}"))),
     })
 }

@@ -435,6 +435,10 @@ impl WeightSubstrate for FileSubstrate {
             SubstrateKind::Plain => "file-backed plain",
             SubstrateKind::Secded => "file-backed SECDED",
             SubstrateKind::Xts => "file-backed AES-XTS",
+            SubstrateKind::Int8 => "file-backed int8",
+            SubstrateKind::Fp16 => "file-backed fp16",
+            SubstrateKind::Int8Secded => "file-backed int8 + SECDED",
+            SubstrateKind::Fp16Secded => "file-backed fp16 + SECDED",
             _ => "file-backed AES-XTS + SECDED",
         }
     }

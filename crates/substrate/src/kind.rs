@@ -5,6 +5,7 @@
 //! to and from bytes so weight pages can live in a file.
 
 use crate::file::{DirectCommitter, FileSubstrate, StdFile};
+use crate::quant::{QuantFormat, QuantMemory, QuantSecdedMemory};
 use crate::{PlainMemory, RawGeometry, SubstrateError, WeightSubstrate, XtsSecdedMemory};
 use milr_ecc::SecdedMemory;
 use milr_xts::{EncryptedMemory, XtsCipher, BLOCK_BYTES};
@@ -39,6 +40,14 @@ pub enum SubstrateKind {
     Xts,
     /// SECDED over the ciphertext words (ECC DRAM under encryption).
     XtsSecded,
+    /// Quantized int8 lattice bytes in unprotected DRAM (1 byte/weight).
+    Int8,
+    /// IEEE half-precision words in unprotected DRAM (2 bytes/weight).
+    Fp16,
+    /// Int8 bytes packed 4-per-word under (39,32) SECDED code words.
+    Int8Secded,
+    /// Fp16 words packed 2-per-word under (39,32) SECDED code words.
+    Fp16Secded,
     /// Plain raw image paged onto a file.
     FilePlain,
     /// SECDED code words paged onto a file.
@@ -56,6 +65,20 @@ impl SubstrateKind {
         SubstrateKind::Secded,
         SubstrateKind::Xts,
         SubstrateKind::XtsSecded,
+    ];
+
+    /// The quantized arms: reduced-precision page encodings whose grid
+    /// points are exactly representable in f32, enabling MILR's exact
+    /// integer-ring recovery (no ulp-snap search). Kept out of [`ALL`]
+    /// because the classic arms promise bit-exact f32 round-trips;
+    /// these promise grid-snapped round-trips instead.
+    ///
+    /// [`ALL`]: SubstrateKind::ALL
+    pub const QUANTIZED: [SubstrateKind; 4] = [
+        SubstrateKind::Int8,
+        SubstrateKind::Fp16,
+        SubstrateKind::Int8Secded,
+        SubstrateKind::Fp16Secded,
     ];
 
     /// The file-backed twins, in the same order.
@@ -88,6 +111,21 @@ impl SubstrateKind {
         self.base() != *self
     }
 
+    /// The quantized page encoding of this kind, if any.
+    pub fn quant_format(&self) -> Option<QuantFormat> {
+        match self.base() {
+            SubstrateKind::Int8 | SubstrateKind::Int8Secded => Some(QuantFormat::Int8),
+            SubstrateKind::Fp16 | SubstrateKind::Fp16Secded => Some(QuantFormat::Fp16),
+            _ => None,
+        }
+    }
+
+    /// True for the quantized kinds (weights stored on a reduced-
+    /// precision grid instead of raw f32 bits).
+    pub fn is_quantized(&self) -> bool {
+        self.quant_format().is_some()
+    }
+
     /// Encodes a weight buffer into a fresh substrate of this kind.
     ///
     /// `File*` kinds page the raw image onto a fresh temporary file
@@ -107,6 +145,14 @@ impl SubstrateKind {
                     .expect("padded plaintext length is always block-aligned"),
             ),
             SubstrateKind::XtsSecded => Box::new(XtsSecdedMemory::protect(weights, Self::cipher())),
+            SubstrateKind::Int8 => Box::new(QuantMemory::store(QuantFormat::Int8, weights)),
+            SubstrateKind::Fp16 => Box::new(QuantMemory::store(QuantFormat::Fp16, weights)),
+            SubstrateKind::Int8Secded => {
+                Box::new(QuantSecdedMemory::protect(QuantFormat::Int8, weights))
+            }
+            SubstrateKind::Fp16Secded => {
+                Box::new(QuantSecdedMemory::protect(QuantFormat::Fp16, weights))
+            }
             file => {
                 let seq = FILE_ARM_SEQ.fetch_add(1, Ordering::Relaxed);
                 let path = std::env::temp_dir()
@@ -175,6 +221,24 @@ impl SubstrateKind {
                 len,
                 Self::cipher(),
             ))),
+            SubstrateKind::Int8 => Ok(Box::new(QuantMemory::from_bytes(
+                QuantFormat::Int8,
+                raw.to_vec(),
+            ))),
+            SubstrateKind::Fp16 => Ok(Box::new(QuantMemory::from_bytes(
+                QuantFormat::Fp16,
+                raw.to_vec(),
+            ))),
+            SubstrateKind::Int8Secded => Ok(Box::new(QuantSecdedMemory::from_words(
+                QuantFormat::Int8,
+                words_u64(),
+                len,
+            ))),
+            SubstrateKind::Fp16Secded => Ok(Box::new(QuantSecdedMemory::from_words(
+                QuantFormat::Fp16,
+                words_u64(),
+                len,
+            ))),
             file => Err(SubstrateError::Backend(format!(
                 "{file}: restore a file-backed substrate with FileSubstrate::open"
             ))),
@@ -193,6 +257,11 @@ impl SubstrateKind {
             SubstrateKind::Xts => len.div_ceil(4) * BLOCK_BYTES,
             // One u64-stored code word per ciphertext word, 4 per block.
             SubstrateKind::XtsSecded => len.div_ceil(4) * 4 * 8,
+            SubstrateKind::Int8 => len,
+            SubstrateKind::Fp16 => len * 2,
+            // One u64-stored code word per 4 quantized bytes.
+            SubstrateKind::Int8Secded => len.div_ceil(4) * 8,
+            SubstrateKind::Fp16Secded => (len * 2).div_ceil(4) * 8,
             _ => unreachable!("base() never returns a file kind"),
         }
     }
@@ -205,6 +274,10 @@ impl SubstrateKind {
             SubstrateKind::Secded => len * 39,
             SubstrateKind::Xts => len.div_ceil(4) * BLOCK_BYTES * 8,
             SubstrateKind::XtsSecded => len.div_ceil(4) * 4 * 39,
+            SubstrateKind::Int8 => len * 8,
+            SubstrateKind::Fp16 => len * 16,
+            SubstrateKind::Int8Secded => len.div_ceil(4) * 39,
+            SubstrateKind::Fp16Secded => (len * 2).div_ceil(4) * 39,
             _ => unreachable!("base() never returns a file kind"),
         }
     }
@@ -217,6 +290,9 @@ impl SubstrateKind {
             SubstrateKind::Plain | SubstrateKind::Secded => len,
             SubstrateKind::Xts => len.div_ceil(4),
             SubstrateKind::XtsSecded => len.div_ceil(4) * 4,
+            SubstrateKind::Int8 | SubstrateKind::Fp16 => len,
+            SubstrateKind::Int8Secded => len.div_ceil(4),
+            SubstrateKind::Fp16Secded => (len * 2).div_ceil(4),
             _ => unreachable!("base() never returns a file kind"),
         }
     }
@@ -230,9 +306,20 @@ impl SubstrateKind {
                 word_bits: 32,
                 words_per_row: 4,
             },
-            SubstrateKind::Secded | SubstrateKind::XtsSecded => RawGeometry {
+            SubstrateKind::Secded
+            | SubstrateKind::XtsSecded
+            | SubstrateKind::Int8Secded
+            | SubstrateKind::Fp16Secded => RawGeometry {
                 word_bits: 39,
                 words_per_row: 4,
+            },
+            SubstrateKind::Int8 => RawGeometry {
+                word_bits: 8,
+                words_per_row: 16,
+            },
+            SubstrateKind::Fp16 => RawGeometry {
+                word_bits: 16,
+                words_per_row: 8,
             },
             SubstrateKind::Xts => RawGeometry {
                 word_bits: BLOCK_BYTES * 8,
@@ -249,6 +336,10 @@ impl SubstrateKind {
             SubstrateKind::Secded => "secded",
             SubstrateKind::Xts => "xts",
             SubstrateKind::XtsSecded => "xts+secded",
+            SubstrateKind::Int8 => "int8",
+            SubstrateKind::Fp16 => "fp16",
+            SubstrateKind::Int8Secded => "int8+secded",
+            SubstrateKind::Fp16Secded => "fp16+secded",
             SubstrateKind::FilePlain => "file:plain",
             SubstrateKind::FileSecded => "file:secded",
             SubstrateKind::FileXts => "file:xts",
@@ -432,6 +523,85 @@ mod tests {
                 mem.write_weights_sparse(&[(w.len(), 0.0)]).is_err(),
                 "{kind}: out-of-range index accepted"
             );
+        }
+    }
+
+    #[test]
+    fn quantized_kinds_roundtrip_grid_weights() {
+        // Grid-aligned values (int8 lattice ⊂ fp16 grid) round-trip
+        // bit-for-bit through every quantized kind.
+        let w: Vec<f32> = (0..11).map(|i| (i - 5) as f32 * 0.015625).collect();
+        for kind in SubstrateKind::QUANTIZED {
+            assert!(kind.is_quantized(), "{kind}");
+            assert!(!kind.is_file_backed(), "{kind}");
+            assert_eq!(kind.base(), kind, "{kind}");
+            let mem = kind.store(&w);
+            assert_eq!(mem.len(), w.len(), "{kind}");
+            let got: Vec<u32> = mem.read_weights().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = w.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "{kind}");
+            // Quantized pages are *smaller* than the f32 baseline.
+            assert!(mem.raw_bits() < w.len() * 32, "{kind}");
+        }
+    }
+
+    #[test]
+    fn quantized_kinds_snap_offgrid_weights() {
+        let w = [0.1f32, -0.77, 1.43];
+        for kind in SubstrateKind::QUANTIZED {
+            let format = kind.quant_format().unwrap();
+            let mem = kind.store(&w);
+            for (got, v) in mem.read_weights().iter().zip(w) {
+                assert_eq!(got.to_bits(), format.snap(v).to_bits(), "{kind}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_raw_image_formulas_match_substrates() {
+        for len in [1usize, 2, 3, 4, 5, 37, 64] {
+            let w: Vec<f32> = (0..len).map(|i| i as f32 * 0.015625 - 0.5).collect();
+            for kind in SubstrateKind::QUANTIZED {
+                let mem = kind.store(&w);
+                assert_eq!(
+                    mem.export_raw().len(),
+                    kind.raw_image_bytes(len),
+                    "{kind} image bytes for {len}"
+                );
+                assert_eq!(
+                    mem.raw_bits(),
+                    kind.raw_bits_for(len),
+                    "{kind} raw bits for {len}"
+                );
+                assert_eq!(
+                    mem.raw_word_of_bit(mem.raw_bits() - 1) + 1,
+                    kind.raw_words_for(len),
+                    "{kind} raw words for {len}"
+                );
+                assert_eq!(mem.raw_geometry(), kind.raw_geometry(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_export_restore_roundtrips_error_state() {
+        let w: Vec<f32> = (0..9).map(|i| i as f32 * 0.03125 - 0.125).collect();
+        for kind in SubstrateKind::QUANTIZED {
+            let mut mem = kind.store(&w);
+            mem.flip_raw_bit(2);
+            mem.flip_raw_bit(3);
+            let image = mem.export_raw();
+            let restored = kind.restore(&image, w.len()).unwrap();
+            assert_eq!(restored.len(), mem.len(), "{kind}");
+            let a: Vec<u32> = mem.read_weights().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = restored
+                .read_weights()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(a, b, "{kind}: restored plaintext diverged");
+            assert_eq!(restored.export_raw(), image, "{kind}: image not stable");
+            assert!(kind.restore(&image[1..], w.len()).is_err(), "{kind}");
         }
     }
 

@@ -48,6 +48,7 @@ mod encrypted;
 mod file;
 mod kind;
 mod plain;
+mod quant;
 mod secded;
 mod shared;
 mod xts_secded;
@@ -61,6 +62,7 @@ pub use milr_ecc::SecdedMemory;
 /// [`WeightSubstrate`] adaptation defined in this crate.
 pub use milr_xts::EncryptedMemory;
 pub use plain::PlainMemory;
+pub use quant::{QuantFormat, QuantMemory, QuantSecdedMemory};
 pub use shared::SharedSubstrate;
 pub use xts_secded::XtsSecdedMemory;
 

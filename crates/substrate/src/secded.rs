@@ -50,6 +50,17 @@ impl WeightSubstrate for SecdedMemory {
         self.read_all()
     }
 
+    fn read_weights_into(&self, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            SecdedMemory::len(self),
+            "read_weights_into buffer of {} cannot hold {} weights",
+            out.len(),
+            SecdedMemory::len(self)
+        );
+        self.read_all_into(out);
+    }
+
     fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {
         if weights.len() != SecdedMemory::len(self) {
             return Err(SubstrateError::LengthMismatch {
@@ -78,7 +89,9 @@ impl WeightSubstrate for SecdedMemory {
     }
 
     fn scrub(&mut self) -> ScrubSummary {
-        let (_decoded, report) = SecdedMemory::scrub(self);
+        // The allocation-free controller sweep: decoded weights are not
+        // needed here, only the repair statistics.
+        let report = self.scrub_in_place();
         ScrubSummary {
             corrected: report.corrected,
             uncorrectable: report.uncorrectable,

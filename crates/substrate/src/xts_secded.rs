@@ -72,28 +72,6 @@ impl XtsSecdedMemory {
         self.words.len()
     }
 
-    /// Decodes the code words best-effort into raw ciphertext bytes.
-    fn ciphertext_bytes(&self) -> Vec<u8> {
-        self.words
-            .iter()
-            .flat_map(|&w| Secded::decode(w).data().to_le_bytes())
-            .collect()
-    }
-
-    /// Decrypts a ciphertext image into the plaintext weight buffer.
-    fn decrypt(&self, mut bytes: Vec<u8>) -> Vec<f32> {
-        for (unit, block) in bytes.chunks_mut(BLOCK_BYTES).enumerate() {
-            self.cipher
-                .decrypt_unit(block, unit as u64)
-                .expect("whole blocks by construction");
-        }
-        bytes
-            .chunks_exact(4)
-            .take(self.len)
-            .map(|b| f32::from_le_bytes(b.try_into().expect("chunk of 4")))
-            .collect()
-    }
-
     /// The range of weight indices garbled when the code word holding
     /// the given raw bit is uncorrectable: all weights of its block.
     pub fn blast_radius(&self, bit: usize) -> std::ops::Range<usize> {
@@ -136,7 +114,36 @@ impl WeightSubstrate for XtsSecdedMemory {
     }
 
     fn read_weights(&self) -> Vec<f32> {
-        self.decrypt(self.ciphertext_bytes())
+        let mut out = vec![0.0f32; self.len];
+        self.read_weights_into(&mut out);
+        out
+    }
+
+    fn read_weights_into(&self, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            self.len,
+            "read_weights_into buffer of {} cannot hold {} weights",
+            out.len(),
+            self.len
+        );
+        // Block-wise decode + decrypt through a stack buffer: no
+        // intermediate ciphertext Vec on the serving read path.
+        let mut bytes = [0u8; BLOCK_BYTES];
+        for (block, words) in self.words.chunks_exact(WORDS_PER_BLOCK).enumerate() {
+            for (chunk, &w) in bytes.chunks_exact_mut(4).zip(words) {
+                chunk.copy_from_slice(&Secded::decode(w).data().to_le_bytes());
+            }
+            self.cipher
+                .decrypt_unit(&mut bytes, block as u64)
+                .expect("whole blocks by construction");
+            let base = block * WEIGHTS_PER_BLOCK;
+            for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+                if base + i < self.len {
+                    out[base + i] = f32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+                }
+            }
+        }
     }
 
     fn write_weights(&mut self, weights: &[f32]) -> Result<(), SubstrateError> {
@@ -194,10 +201,16 @@ impl WeightSubstrate for XtsSecdedMemory {
     }
 
     fn scrub(&mut self) -> ScrubSummary {
+        // Screen-then-repair, same shape as `SecdedMemory::scrub_in_place`:
+        // the branch-free syndrome check flags dirty words and only those
+        // go through full decode + re-encode. No allocation.
         let mut summary = ScrubSummary::default();
         for w in &mut self.words {
+            if Secded::is_clean(*w) {
+                continue;
+            }
             match Secded::decode(*w) {
-                DecodeOutcome::Clean { .. } => {}
+                DecodeOutcome::Clean { .. } => unreachable!("screened dirty"),
                 DecodeOutcome::Corrected { data, .. } => {
                     summary.corrected += 1;
                     *w = Secded::encode(data);

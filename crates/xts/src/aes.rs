@@ -8,6 +8,20 @@
 //!
 //! Table-based, not constant-time — this is a simulator substrate, not a
 //! production cryptographic library.
+//!
+//! # Kernel
+//!
+//! The hot path runs fused T-table rounds: four 256-entry `u32` tables
+//! (`TE`, and `TD` for the equivalent inverse cipher) each combine
+//! SubBytes, ShiftRows and the MixColumns column of one input row, so a
+//! full round is 16 table lookups and 16 XORs instead of per-byte S-box
+//! substitution plus 16 `gmul` field multiplications. Decryption uses
+//! the FIPS-197 §5.3.5 *equivalent inverse cipher*: InvMixColumns is
+//! folded into the decryption round keys once at key expansion, letting
+//! the inverse rounds share the same fused shape. The inverse S-box is a
+//! compile-time constant (no first-use derivation), and the original
+//! per-byte implementation survives in [`scalar`] as the bit-equivalence
+//! reference.
 
 /// AES S-box.
 static SBOX: [u8; 256] = [
@@ -29,42 +43,103 @@ static SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-/// Inverse AES S-box, derived from [`SBOX`] at first use.
-fn inv_sbox() -> &'static [u8; 256] {
-    use std::sync::OnceLock;
-    static INV: OnceLock<[u8; 256]> = OnceLock::new();
-    INV.get_or_init(|| {
-        let mut inv = [0u8; 256];
-        for (i, &s) in SBOX.iter().enumerate() {
-            inv[s as usize] = i as u8;
-        }
-        inv
-    })
+const fn build_inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
 }
+
+/// Inverse AES S-box, a compile-time constant derived from [`SBOX`].
+static INV_SBOX: [u8; 256] = build_inv_sbox();
 
 /// Multiplication by `x` in GF(2⁸) with the AES polynomial.
 #[inline]
-fn xtime(a: u8) -> u8 {
+const fn xtime(a: u8) -> u8 {
     (a << 1) ^ (if a & 0x80 != 0 { 0x1b } else { 0 })
 }
 
 /// GF(2⁸) multiplication.
-fn gmul(mut a: u8, mut b: u8) -> u8 {
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
-    for _ in 0..8 {
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
         a = xtime(a);
         b >>= 1;
+        i += 1;
     }
     p
 }
 
-/// Expanded AES-128 key: 11 round keys of 16 bytes.
+/// Encryption T-table for input row 0: `TE[0][x]` packs the MixColumns
+/// column `[2, 1, 1, 3] · SBOX[x]` little-endian; rows 1..=3 are byte
+/// rotations of row 0 (the matrix is circulant).
+const fn build_te() -> [[u32; 256]; 4] {
+    let mut te = [[0u32; 256]; 4];
+    let mut x = 0;
+    while x < 256 {
+        let s = SBOX[x];
+        let base = (gmul(s, 2) as u32)
+            | ((s as u32) << 8)
+            | ((s as u32) << 16)
+            | ((gmul(s, 3) as u32) << 24);
+        te[0][x] = base;
+        te[1][x] = base.rotate_left(8);
+        te[2][x] = base.rotate_left(16);
+        te[3][x] = base.rotate_left(24);
+        x += 1;
+    }
+    te
+}
+
+/// Decryption T-table for input row 0: `TD[0][x]` packs the
+/// InvMixColumns column `[14, 9, 13, 11] · INV_SBOX[x]` little-endian.
+const fn build_td() -> [[u32; 256]; 4] {
+    let inv = build_inv_sbox();
+    let mut td = [[0u32; 256]; 4];
+    let mut x = 0;
+    while x < 256 {
+        let s = inv[x];
+        let base = (gmul(s, 14) as u32)
+            | ((gmul(s, 9) as u32) << 8)
+            | ((gmul(s, 13) as u32) << 16)
+            | ((gmul(s, 11) as u32) << 24);
+        td[0][x] = base;
+        td[1][x] = base.rotate_left(8);
+        td[2][x] = base.rotate_left(16);
+        td[3][x] = base.rotate_left(24);
+        x += 1;
+    }
+    td
+}
+
+static TE: [[u32; 256]; 4] = build_te();
+static TD: [[u32; 256]; 4] = build_td();
+
+/// InvMixColumns applied to one little-endian-packed state column —
+/// used once per decryption round key at key-expansion time (the
+/// equivalent-inverse-cipher transform), never per block.
+const fn inv_mix_word(w: u32) -> u32 {
+    let (a0, a1, a2, a3) = (w as u8, (w >> 8) as u8, (w >> 16) as u8, (w >> 24) as u8);
+    (gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9)) as u32
+        | (((gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13)) as u32) << 8)
+        | (((gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11)) as u32) << 16)
+        | (((gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14)) as u32) << 24)
+}
+
+/// Expanded AES-128 key: 11 encryption round keys plus the
+/// InvMixColumns-transformed decryption schedule of the equivalent
+/// inverse cipher, each as 4 little-endian-packed state columns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Aes128 {
-    round_keys: [[u8; 16]; 11],
+    ek: [[u32; 4]; 11],
+    dk: [[u32; 4]; 11],
 }
 
 impl Aes128 {
@@ -89,102 +164,274 @@ impl Aes128 {
                 w[i][j] = w[i - 4][j] ^ temp[j];
             }
         }
-        let mut round_keys = [[0u8; 16]; 11];
-        for (r, rk) in round_keys.iter_mut().enumerate() {
+        let mut ek = [[0u32; 4]; 11];
+        for (r, rk) in ek.iter_mut().enumerate() {
             for c in 0..4 {
-                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                rk[c] = u32::from_le_bytes(w[4 * r + c]);
             }
         }
-        Aes128 { round_keys }
+        // Equivalent inverse cipher schedule: reversed round order, with
+        // InvMixColumns folded into every inner round key.
+        let mut dk = [[0u32; 4]; 11];
+        dk[0] = ek[10];
+        dk[10] = ek[0];
+        for r in 1..10 {
+            for c in 0..4 {
+                dk[r][c] = inv_mix_word(ek[10 - r][c]);
+            }
+        }
+        Aes128 { ek, dk }
     }
 
     /// Encrypts one 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[0]);
-        for round in 1..10 {
+        let load = |b: &[u8; 16], c: usize| {
+            u32::from_le_bytes([b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]])
+        };
+        let rk = &self.ek;
+        let mut c0 = load(block, 0) ^ rk[0][0];
+        let mut c1 = load(block, 1) ^ rk[0][1];
+        let mut c2 = load(block, 2) ^ rk[0][2];
+        let mut c3 = load(block, 3) ^ rk[0][3];
+        for round in rk[1..10].iter() {
+            let t0 = TE[0][(c0 & 0xFF) as usize]
+                ^ TE[1][((c1 >> 8) & 0xFF) as usize]
+                ^ TE[2][((c2 >> 16) & 0xFF) as usize]
+                ^ TE[3][(c3 >> 24) as usize]
+                ^ round[0];
+            let t1 = TE[0][(c1 & 0xFF) as usize]
+                ^ TE[1][((c2 >> 8) & 0xFF) as usize]
+                ^ TE[2][((c3 >> 16) & 0xFF) as usize]
+                ^ TE[3][(c0 >> 24) as usize]
+                ^ round[1];
+            let t2 = TE[0][(c2 & 0xFF) as usize]
+                ^ TE[1][((c3 >> 8) & 0xFF) as usize]
+                ^ TE[2][((c0 >> 16) & 0xFF) as usize]
+                ^ TE[3][(c1 >> 24) as usize]
+                ^ round[2];
+            let t3 = TE[0][(c3 & 0xFF) as usize]
+                ^ TE[1][((c0 >> 8) & 0xFF) as usize]
+                ^ TE[2][((c1 >> 16) & 0xFF) as usize]
+                ^ TE[3][(c2 >> 24) as usize]
+                ^ round[3];
+            (c0, c1, c2, c3) = (t0, t1, t2, t3);
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let sb = |x: u32, shift: u32| (SBOX[((x >> shift) & 0xFF) as usize] as u32) << shift;
+        let o0 = sb(c0, 0) | sb(c1, 8) | sb(c2, 16) | sb(c3, 24);
+        let o1 = sb(c1, 0) | sb(c2, 8) | sb(c3, 16) | sb(c0, 24);
+        let o2 = sb(c2, 0) | sb(c3, 8) | sb(c0, 16) | sb(c1, 24);
+        let o3 = sb(c3, 0) | sb(c0, 8) | sb(c1, 16) | sb(c2, 24);
+        block[0..4].copy_from_slice(&(o0 ^ rk[10][0]).to_le_bytes());
+        block[4..8].copy_from_slice(&(o1 ^ rk[10][1]).to_le_bytes());
+        block[8..12].copy_from_slice(&(o2 ^ rk[10][2]).to_le_bytes());
+        block[12..16].copy_from_slice(&(o3 ^ rk[10][3]).to_le_bytes());
+    }
+
+    /// Decrypts one 16-byte block in place (equivalent inverse cipher).
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let load = |b: &[u8; 16], c: usize| {
+            u32::from_le_bytes([b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]])
+        };
+        let rk = &self.dk;
+        let mut c0 = load(block, 0) ^ rk[0][0];
+        let mut c1 = load(block, 1) ^ rk[0][1];
+        let mut c2 = load(block, 2) ^ rk[0][2];
+        let mut c3 = load(block, 3) ^ rk[0][3];
+        for round in rk[1..10].iter() {
+            // InvShiftRows moves row r of column j in from column j - r.
+            let t0 = TD[0][(c0 & 0xFF) as usize]
+                ^ TD[1][((c3 >> 8) & 0xFF) as usize]
+                ^ TD[2][((c2 >> 16) & 0xFF) as usize]
+                ^ TD[3][(c1 >> 24) as usize]
+                ^ round[0];
+            let t1 = TD[0][(c1 & 0xFF) as usize]
+                ^ TD[1][((c0 >> 8) & 0xFF) as usize]
+                ^ TD[2][((c3 >> 16) & 0xFF) as usize]
+                ^ TD[3][(c2 >> 24) as usize]
+                ^ round[1];
+            let t2 = TD[0][(c2 & 0xFF) as usize]
+                ^ TD[1][((c1 >> 8) & 0xFF) as usize]
+                ^ TD[2][((c0 >> 16) & 0xFF) as usize]
+                ^ TD[3][(c3 >> 24) as usize]
+                ^ round[2];
+            let t3 = TD[0][(c3 & 0xFF) as usize]
+                ^ TD[1][((c2 >> 8) & 0xFF) as usize]
+                ^ TD[2][((c1 >> 16) & 0xFF) as usize]
+                ^ TD[3][(c0 >> 24) as usize]
+                ^ round[3];
+            (c0, c1, c2, c3) = (t0, t1, t2, t3);
+        }
+        // Final round: InvSubBytes + InvShiftRows + AddRoundKey.
+        let sb = |x: u32, shift: u32| (INV_SBOX[((x >> shift) & 0xFF) as usize] as u32) << shift;
+        let o0 = sb(c0, 0) | sb(c3, 8) | sb(c2, 16) | sb(c1, 24);
+        let o1 = sb(c1, 0) | sb(c0, 8) | sb(c3, 16) | sb(c2, 24);
+        let o2 = sb(c2, 0) | sb(c1, 8) | sb(c0, 16) | sb(c3, 24);
+        let o3 = sb(c3, 0) | sb(c2, 8) | sb(c1, 16) | sb(c0, 24);
+        block[0..4].copy_from_slice(&(o0 ^ rk[10][0]).to_le_bytes());
+        block[4..8].copy_from_slice(&(o1 ^ rk[10][1]).to_le_bytes());
+        block[8..12].copy_from_slice(&(o2 ^ rk[10][2]).to_le_bytes());
+        block[12..16].copy_from_slice(&(o3 ^ rk[10][3]).to_le_bytes());
+    }
+}
+
+/// Scalar reference implementation.
+///
+/// The original per-byte FIPS-197 cipher — SubBytes, ShiftRows and
+/// MixColumns as separate passes with `gmul` field multiplications —
+/// kept as the ground truth the T-table kernels are proptested against
+/// and as the baseline side of `kernel_bench`.
+pub mod scalar {
+    use super::{gmul, xtime, INV_SBOX, SBOX};
+
+    /// Expanded AES-128 key for the per-byte reference cipher.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Aes128 {
+        round_keys: [[u8; 16]; 11],
+    }
+
+    impl Aes128 {
+        /// Expands a 128-bit key.
+        pub fn new(key: &[u8; 16]) -> Self {
+            let mut w = [[0u8; 4]; 44];
+            for i in 0..4 {
+                w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+            }
+            let mut rcon: u8 = 1;
+            for i in 4..44 {
+                let mut temp = w[i - 1];
+                if i % 4 == 0 {
+                    temp.rotate_left(1);
+                    for t in &mut temp {
+                        *t = SBOX[*t as usize];
+                    }
+                    temp[0] ^= rcon;
+                    rcon = xtime(rcon);
+                }
+                for j in 0..4 {
+                    w[i][j] = w[i - 4][j] ^ temp[j];
+                }
+            }
+            let mut round_keys = [[0u8; 16]; 11];
+            for (r, rk) in round_keys.iter_mut().enumerate() {
+                for c in 0..4 {
+                    rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                }
+            }
+            Aes128 { round_keys }
+        }
+
+        /// Encrypts one 16-byte block in place.
+        pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+            add_round_key(block, &self.round_keys[0]);
+            for round in 1..10 {
+                sub_bytes(block);
+                shift_rows(block);
+                mix_columns(block);
+                add_round_key(block, &self.round_keys[round]);
+            }
             sub_bytes(block);
             shift_rows(block);
-            mix_columns(block);
-            add_round_key(block, &self.round_keys[round]);
+            add_round_key(block, &self.round_keys[10]);
         }
-        sub_bytes(block);
-        shift_rows(block);
-        add_round_key(block, &self.round_keys[10]);
-    }
 
-    /// Decrypts one 16-byte block in place.
-    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[10]);
-        inv_shift_rows(block);
-        inv_sub_bytes(block);
-        for round in (1..10).rev() {
-            add_round_key(block, &self.round_keys[round]);
-            inv_mix_columns(block);
+        /// Decrypts one 16-byte block in place.
+        pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+            add_round_key(block, &self.round_keys[10]);
             inv_shift_rows(block);
             inv_sub_bytes(block);
+            for round in (1..10).rev() {
+                add_round_key(block, &self.round_keys[round]);
+                inv_mix_columns(block);
+                inv_shift_rows(block);
+                inv_sub_bytes(block);
+            }
+            add_round_key(block, &self.round_keys[0]);
         }
-        add_round_key(block, &self.round_keys[0]);
     }
-}
 
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for i in 0..16 {
-        state[i] ^= rk[i];
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
     }
-}
 
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
     }
-}
 
-fn inv_sub_bytes(state: &mut [u8; 16]) {
-    let inv = inv_sbox();
-    for b in state.iter_mut() {
-        *b = inv[*b as usize];
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = INV_SBOX[*b as usize];
+        }
     }
-}
 
-/// State layout: byte `i` is row `i % 4`, column `i / 4` (FIPS-197
-/// column-major order).
-fn shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for row in 1..4 {
+    /// State layout: byte `i` is row `i % 4`, column `i / 4` (FIPS-197
+    /// column-major order).
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for row in 1..4 {
+            for col in 0..4 {
+                state[row + 4 * col] = s[row + 4 * ((col + row) % 4)];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for row in 1..4 {
+            for col in 0..4 {
+                state[row + 4 * ((col + row) % 4)] = s[row + 4 * col];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
         for col in 0..4 {
-            state[row + 4 * col] = s[row + 4 * ((col + row) % 4)];
+            let c = &mut state[4 * col..4 * col + 4];
+            let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
+            c[0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+            c[1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+            c[2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+            c[3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
         }
     }
-}
 
-fn inv_shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for row in 1..4 {
+    fn inv_mix_columns(state: &mut [u8; 16]) {
         for col in 0..4 {
-            state[row + 4 * ((col + row) % 4)] = s[row + 4 * col];
+            let c = &mut state[4 * col..4 * col + 4];
+            let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
+            c[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
+            c[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
+            c[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
+            c[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
         }
     }
-}
 
-fn mix_columns(state: &mut [u8; 16]) {
-    for col in 0..4 {
-        let c = &mut state[4 * col..4 * col + 4];
-        let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
-        c[0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
-        c[1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
-        c[2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
-        c[3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
-    }
-}
+    #[cfg(test)]
+    mod tests {
+        use super::*;
 
-fn inv_mix_columns(state: &mut [u8; 16]) {
-    for col in 0..4 {
-        let c = &mut state[4 * col..4 * col + 4];
-        let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
-        c[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
-        c[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
-        c[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
-        c[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
+        #[test]
+        fn mix_columns_roundtrip() {
+            let mut state: [u8; 16] = core::array::from_fn(|i| (i * 17 + 3) as u8);
+            let original = state;
+            mix_columns(&mut state);
+            assert_ne!(state, original);
+            inv_mix_columns(&mut state);
+            assert_eq!(state, original);
+        }
+
+        #[test]
+        fn shift_rows_roundtrip() {
+            let mut state: [u8; 16] = core::array::from_fn(|i| i as u8);
+            let original = state;
+            shift_rows(&mut state);
+            inv_shift_rows(&mut state);
+            assert_eq!(state, original);
+        }
     }
 }
 
@@ -230,29 +477,9 @@ mod tests {
 
     #[test]
     fn sbox_inverse_is_consistent() {
-        let inv = inv_sbox();
         for i in 0..=255u8 {
-            assert_eq!(inv[SBOX[i as usize] as usize], i);
+            assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
         }
-    }
-
-    #[test]
-    fn mix_columns_roundtrip() {
-        let mut state: [u8; 16] = core::array::from_fn(|i| (i * 17 + 3) as u8);
-        let original = state;
-        mix_columns(&mut state);
-        assert_ne!(state, original);
-        inv_mix_columns(&mut state);
-        assert_eq!(state, original);
-    }
-
-    #[test]
-    fn shift_rows_roundtrip() {
-        let mut state: [u8; 16] = core::array::from_fn(|i| i as u8);
-        let original = state;
-        shift_rows(&mut state);
-        inv_shift_rows(&mut state);
-        assert_eq!(state, original);
     }
 
     proptest! {
@@ -266,6 +493,27 @@ mod tests {
             aes.encrypt_block(&mut block);
             aes.decrypt_block(&mut block);
             prop_assert_eq!(block, plain);
+        }
+
+        // Bit-equivalence: the fused T-table cipher must produce exactly
+        // the bytes of the per-byte reference for arbitrary keys and
+        // blocks, in both directions.
+        #[test]
+        fn optimized_matches_scalar(
+            key in proptest::array::uniform16(proptest::num::u8::ANY),
+            plain in proptest::array::uniform16(proptest::num::u8::ANY),
+        ) {
+            let fast = Aes128::new(&key);
+            let slow = scalar::Aes128::new(&key);
+            let mut a = plain;
+            let mut b = plain;
+            fast.encrypt_block(&mut a);
+            slow.encrypt_block(&mut b);
+            prop_assert_eq!(a, b);
+            fast.decrypt_block(&mut a);
+            slow.decrypt_block(&mut b);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(a, plain);
         }
 
         #[test]

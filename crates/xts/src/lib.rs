@@ -39,6 +39,9 @@ mod aes;
 mod memory;
 mod xts;
 
+/// Scalar reference AES cipher (bit-equivalence ground truth and the
+/// baseline side of `kernel_bench`).
+pub use aes::scalar;
 pub use aes::Aes128;
 pub use memory::{EncryptedMemory, BLOCK_BYTES, WEIGHTS_PER_BLOCK};
 pub use xts::{XtsCipher, XtsError};
